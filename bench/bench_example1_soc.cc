@@ -1,0 +1,93 @@
+// Example #1 reproduction (paper §2): the SoC designer. "Which accelerator
+// IP blocks should my SoC include and how big must each be?" — answered
+// using only the performance interfaces in the registry (no RTL, no code
+// porting, no simulation of candidate configurations).
+#include <cstdio>
+
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/accel/protoacc/wire.h"
+#include "src/core/native_interfaces.h"
+#include "src/soc/dse.h"
+#include "src/soc/ip_catalog.h"
+#include "src/soc/roofline.h"
+#include "src/workload/message_gen.h"
+
+int main() {
+  using namespace perfiface;
+  std::printf("=== Example #1: SoC design-space exploration via interfaces ===\n\n");
+
+  const std::vector<IpBlockOption> catalog = BuildIpCatalog();
+  std::printf("IP catalog (performance column computed from shipped interfaces):\n");
+  for (const IpBlockOption& block : catalog) {
+    std::printf("  %s:\n", block.block.c_str());
+    for (const IpVariant& v : block.variants) {
+      std::printf("    %-10s area=%7.1f kGE  throughput=%.3e units/cycle\n", v.label.c_str(),
+                  v.area, v.throughput);
+    }
+  }
+
+  SocRequirements req;
+  req.hash_rate = 0.02;      // nonce attempts per cycle
+  req.image_rate = 1.5e-6;   // images per cycle
+  req.message_rate = 1e-3;   // RPC messages per cycle
+  std::printf("\nworkload requirements: %.3g hashes/cyc, %.3g images/cyc, %.3g msgs/cyc\n",
+              req.hash_rate, req.image_rate, req.message_rate);
+
+  std::printf("\n%-10s | %-44s | %9s | %7s\n", "budget", "chosen configuration", "area",
+              "headroom");
+  for (AreaKge budget : {420.0, 520.0, 700.0, 1000.0, 1600.0}) {
+    req.area_budget = budget;
+    const auto configs = ExploreSocDesigns(catalog, req);
+    const SocConfig& best = configs.front();
+    if (!best.fits_budget) {
+      std::printf("%-10.0f | %-44s | %9s | %7s\n", budget, "(no configuration fits)", "-", "-");
+      continue;
+    }
+    std::string desc;
+    for (const SocChoice& c : best.choices) {
+      if (!desc.empty()) {
+        desc += " + ";
+      }
+      desc += c.block.substr(0, c.block.find('_')) + "(" + c.variant.label + ")";
+    }
+    std::printf("%-10.0f | %-44s | %7.1f kGE | %6.2fx\n", budget, desc.c_str(), best.total_area,
+                best.score);
+  }
+  std::printf(
+      "\n-> as the area budget shrinks, the explorer trades the miner's Loop\n"
+      "   parameter (Fig 1's area/latency law) before dropping replication of\n"
+      "   the other blocks; every decision came from interfaces alone.\n");
+
+  // --- The status-quo baseline: a Gables roofline (paper ref [27]). ---
+  std::printf("\n--- roofline (Gables) vs interface prediction, Protoacc block ---\n");
+  GablesSoc soc;
+  soc.memory_bytes_per_cycle = 16;
+  // Protoacc as a roofline IP: peak = write engine at 16 B/cycle issue;
+  // intensity = output bytes per DRAM byte touched (~1).
+  soc.ips.push_back(GablesIp{"protoacc", 16.0, 1.0});
+  const double roofline_bytes = GablesAttainable(soc, 0, 1.0);
+
+  // Interface prediction for the same block on three real workloads.
+  std::printf("%-26s %22s\n", "workload", "predicted bytes/cycle");
+  std::printf("%-26s %22.2f\n", "roofline bound (any)", roofline_bytes);
+  struct Case {
+    const char* name;
+    MessageInstance msg;
+  };
+  Case cases[] = {
+      {"flat 8KB blob", MessageWithWireSize(8192, 3)},
+      {"nested depth 6", NestedMessage(6, 8, 4)},
+      {"nested depth 12", NestedMessage(12, 8, 4)},
+  };
+  for (const Case& c : cases) {
+    const double msgs_per_cycle = NativeProtoaccThroughput(c.msg, 60);
+    const double bytes_per_cycle =
+        msgs_per_cycle * static_cast<double>(SerializedSize(c.msg));
+    std::printf("%-26s %22.2f\n", c.name, bytes_per_cycle);
+  }
+  std::printf(
+      "-> the roofline bounds every workload by the same ceiling; the\n"
+      "   interface shows nested RPCs reaching a small fraction of it —\n"
+      "   the visibility gap the paper says SoC designers are missing.\n");
+  return 0;
+}

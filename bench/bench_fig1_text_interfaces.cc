@@ -1,0 +1,81 @@
+// Fig 1 reproduction: the natural-language performance interfaces, printed
+// verbatim, each followed by a measurement sweep on the corresponding
+// accelerator simulator demonstrating that the prose claim holds.
+#include <cstdio>
+
+#include "src/accel/bitcoin/miner.h"
+#include "src/accel/jpeg/codec.h"
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/core/text_interface.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+void PrintRule() { std::printf("%s\n", std::string(76, '-').c_str()); }
+
+void JpegSweep() {
+  std::printf("\n[jpeg_decoder] latency vs compression rate (fixed 128x128 output):\n");
+  std::printf("  %-10s %12s %14s %12s\n", "content", "compress", "coded bits", "latency");
+  JpegDecoderSim sim(JpegDecoderTiming{}, 1);
+  struct Case {
+    const char* name;
+    ImageClass cls;
+    int quality;
+  };
+  const Case cases[] = {
+      {"flat", ImageClass::kFlat, 85},
+      {"gradient", ImageClass::kGradient, 75},
+      {"texture", ImageClass::kTexture, 70},
+      {"noise", ImageClass::kNoise, 40},
+  };
+  for (const Case& c : cases) {
+    const CompressedImage img = Encode(GenerateImage(c.cls, 128, 128, 7), c.quality);
+    std::printf("  %-10s %12.5f %14llu %12llu\n", c.name, img.compress_rate(),
+                static_cast<unsigned long long>(img.total_coded_bits()),
+                static_cast<unsigned long long>(sim.DecodeLatency(img)));
+  }
+  std::printf("  -> latency falls as the compression rate rises (inverse relation).\n");
+}
+
+void MinerSweep() {
+  std::printf("\n[bitcoin_miner] Loop parameter sweep:\n");
+  std::printf("  %-8s %16s %12s\n", "Loop", "latency (cyc)", "area (kGE)");
+  for (int loop : {1, 2, 4, 8, 16, 32, 64, 192}) {
+    BitcoinMinerSim miner(MinerConfig{loop});
+    std::printf("  %-8d %16llu %12.1f\n", loop,
+                static_cast<unsigned long long>(miner.LatencyPerAttempt()), miner.Area());
+  }
+  std::printf("  -> latency == Loop exactly; area shrinks as Loop grows.\n");
+}
+
+void ProtoaccSweep() {
+  std::printf("\n[protoacc] throughput vs nesting depth (8 fields per level):\n");
+  std::printf("  %-8s %16s %20s\n", "depth", "wire bytes", "tput (msgs/kcycle)");
+  ProtoaccSim sim(ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 3);
+  for (std::size_t depth : {1, 2, 4, 6, 8, 10}) {
+    const MessageInstance msg = NestedMessage(depth, 8, 11);
+    const ProtoaccMeasurement m = sim.Measure(msg);
+    std::printf("  %-8zu %16llu %20.3f\n", depth,
+                static_cast<unsigned long long>(m.wire_bytes), m.throughput * 1000.0);
+  }
+  std::printf("  -> throughput decreases monotonically with nesting depth.\n");
+}
+
+}  // namespace
+}  // namespace perfiface
+
+int main() {
+  using namespace perfiface;
+  std::printf("=== Fig 1: performance interfaces as natural-language text ===\n\n");
+  for (const TextInterface& iface : Fig1TextInterfaces()) {
+    std::printf("%s\n", iface.text.c_str());
+    PrintRule();
+  }
+  JpegSweep();
+  MinerSweep();
+  ProtoaccSweep();
+  return 0;
+}

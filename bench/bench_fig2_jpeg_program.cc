@@ -1,0 +1,58 @@
+// Fig 2 reproduction: the JPEG decoder's interface as an executable program,
+// evaluated on 1500 random images as in the paper.
+//
+// Paper reference numbers (HotOS'23, §3): latency prediction error
+// avg 2.1% (max 10.3%); throughput error avg 2.2% (max 11.2%).
+//
+// The shipped PerfScript program (src/core/interfaces/jpeg_fig2.psc) is
+// executed for every image; the ground truth is the cycle-level decoder
+// simulator.
+#include <cstdio>
+
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/common/stats.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/workload/image_gen.h"
+
+int main() {
+  using namespace perfiface;
+  constexpr std::size_t kImages = 1500;
+  constexpr std::uint64_t kSeed = 20230622;  // HotOS'23 camera-ready day
+
+  std::printf("=== Fig 2: JPEG decoder interface as an executable program ===\n\n");
+  const InterfaceRegistry& registry = InterfaceRegistry::Default();
+  std::printf("shipped interface (%s):\n%s\n",
+              registry.Get("jpeg_decoder").program_path.c_str(),
+              registry.LoadProgram("jpeg_decoder").source().c_str());
+
+  const ProgramInterface iface = registry.LoadProgram("jpeg_decoder");
+  JpegDecoderSim sim(JpegDecoderTiming{}, 2024);
+
+  ErrorAccumulator latency_err;
+  ErrorAccumulator tput_err;
+  std::vector<double> latency_errors;
+  std::printf("evaluating on %zu random images...\n", kImages);
+  for (const ImageWorkload& w : GenerateImageCorpus(kImages, kSeed)) {
+    const JpegImageObject obj(&w.compressed);
+    const double pred_latency = iface.Eval("latency_jpeg_decode", obj);
+    const double pred_tput = iface.Eval("tput_jpeg_decode", obj);
+    const JpegDecodeMeasurement actual = sim.Measure(w.compressed);
+    latency_err.Add(pred_latency, static_cast<double>(actual.latency));
+    tput_err.Add(pred_tput, actual.throughput);
+    latency_errors.push_back(
+        std::abs(pred_latency - static_cast<double>(actual.latency)) /
+        static_cast<double>(actual.latency));
+  }
+
+  std::printf("\n%-22s %18s %18s\n", "metric", "paper avg (max)", "measured avg (max)");
+  std::printf("%-22s %18s %17.1f%% (%.1f%%)\n", "latency pred. error", "2.1% (10.3%)",
+              latency_err.avg_percent(), latency_err.max_percent());
+  std::printf("%-22s %18s %17.1f%% (%.1f%%)\n", "throughput pred. error", "2.2% (11.2%)",
+              tput_err.avg_percent(), tput_err.max_percent());
+  std::printf("\nerror distribution (latency): p50=%.2f%% p90=%.2f%% p99=%.2f%%\n",
+              100 * Percentile(latency_errors, 50), 100 * Percentile(latency_errors, 90),
+              100 * Percentile(latency_errors, 99));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Example #2 scenario (paper §2): you run the RPC stack of an enterprise
+// datacenter and are deciding whether (and where) to offload serialization.
+// The advisor answers with interfaces only — no hardware purchased, no code
+// ported.
+#include <cstdio>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/offload/advisor.h"
+#include "src/workload/message_gen.h"
+
+int main() {
+  using namespace perfiface;
+
+  OffloadAdvisor advisor{AdvisorConfig{}};
+
+  // Your production workload: a mid-size nested RPC response.
+  const MessageInstance workload = NestedMessage(/*depth=*/3, /*fields_per_level=*/16,
+                                                 /*seed=*/42);
+  std::printf("workload: nested RPC message, %llu wire bytes, depth %zu\n\n",
+              static_cast<unsigned long long>(SerializedSize(workload)),
+              workload.MaxNestingDepth());
+
+  const AdvisorReport report = advisor.Assess(workload);
+  std::printf("%-15s %14s %10s %12s %14s\n", "platform", "msgs/sec", "Gbps", "latency", "Gbps/$");
+  for (const PlatformAssessment& a : report.platforms) {
+    std::printf("%-15s %14.0f %10.2f %9.0f ns %14.4f\n", PlatformName(a.platform).c_str(),
+                a.msgs_per_sec, a.gbps, a.latency_ns, a.gbps_per_dollar);
+  }
+  std::printf("\nbest throughput: %s\nbest value:      %s\n",
+              PlatformName(report.best_throughput).c_str(),
+              PlatformName(report.best_value).c_str());
+
+  // "How many CPU cores can I save with an offloaded stack?"
+  const double load = 300'000;  // messages per second
+  std::printf("\nat %.0f msgs/s, offloading to %s frees %.2f Xeon cores.\n", load,
+              PlatformName(report.best_throughput).c_str(),
+              advisor.CoresSaved(report.best_throughput == Platform::kXeonCore
+                                     ? Platform::kProtoacc
+                                     : report.best_throughput,
+                                 workload, load));
+
+  // And the cautionary tale: the same decision for a tiny message.
+  const MessageInstance tiny = MessageWithWireSize(96, 7);
+  std::printf("\nfor a 96-byte message, blind offload to Protoacc would be a mistake:\n");
+  std::printf("  xeon:     %14.0f msgs/s\n  protoacc: %14.0f msgs/s  (transfer cost dominates)\n",
+              advisor.Throughput(Platform::kXeonCore, tiny),
+              advisor.Throughput(Platform::kProtoacc, tiny));
+  return 0;
+}

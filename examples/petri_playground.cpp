@@ -1,0 +1,75 @@
+// The performance IR by hand: author a small .pnet document inline, load
+// it, push tokens through it, and read latency/throughput off the sink —
+// the full life cycle of a Petri-net interface without any accelerator.
+//
+// The net models a two-stage pipeline with a bounded buffer and a
+// data-dependent first stage; the experiment shows backpressure emerging
+// from the net structure.
+#include <cstdio>
+
+#include "src/core/pnet.h"
+#include "src/petri/analysis.h"
+#include "src/petri/sim.h"
+
+namespace {
+
+constexpr const char* kNet = R"(
+# A toy accelerator: parse (cost = 2 cycles/byte) feeding a fixed-cost
+# commit stage through a 2-entry FIFO.
+net toy_pipeline
+attr bytes
+place in
+place buf cap=2
+place done
+trans parse  in=in  out=buf  delay="bytes * 2"
+trans commit in=buf out=done delay="100"
+)";
+
+}  // namespace
+
+int main() {
+  using namespace perfiface;
+
+  LoadedNet loaded = LoadPnet(kNet);
+  if (!loaded.ok()) {
+    std::printf("parse error: %s\n", loaded.error.c_str());
+    return 1;
+  }
+  const NetSummary summary = Summarize(*loaded.net);
+  std::printf("loaded net '%s': %zu places, %zu transitions, %zu arcs\n\n",
+              loaded.name.c_str(), summary.places, summary.transitions, summary.arcs);
+  for (const std::string& issue : LintNet(*loaded.net)) {
+    std::printf("lint: %s\n", issue.c_str());
+  }
+
+  const PlaceId in = loaded.net->PlaceByName("in");
+  const PlaceId done = loaded.net->PlaceByName("done");
+  const std::size_t bytes_slot = loaded.net->FindAttr("bytes");
+
+  // Small requests: parse (2*20=40) is faster than commit (100) -> the
+  // commit stage bottlenecks and backpressure throttles parse.
+  // Large requests: parse dominates.
+  for (double bytes : {20.0, 80.0}) {
+    PetriSim sim(loaded.net.get());
+    sim.Observe(done);
+    for (int i = 0; i < 50; ++i) {
+      Token t;
+      t.attrs.assign(loaded.net->attr_names().size(), 0);
+      t.attrs[bytes_slot] = bytes;
+      sim.Inject(in, t);
+    }
+    sim.Run(1'000'000);
+    const double tput = SteadyStateThroughput(sim, done, /*trim=*/5);
+    std::printf("requests of %3.0f bytes: first latency=%llu cyc, steady tput=%.4f req/cycle\n",
+                bytes, static_cast<unsigned long long>(ArrivalLatency(sim, done, 0)),
+                1.0 * tput);
+    const double bottleneck = std::max(bytes * 2.0, 100.0);
+    std::printf("  analytic bottleneck: 1/%.0f = %.4f req/cycle\n", bottleneck,
+                1.0 / bottleneck);
+  }
+
+  std::printf(
+      "\nThe measured steady-state throughput equals the analytic bottleneck in\n"
+      "both regimes: queueing and backpressure fall out of the net structure.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: query an accelerator's performance interfaces — all three
+// representations — without touching the accelerator itself.
+//
+//   $ ./quickstart
+//
+// Walks through the JPEG decoder: reads the natural-language interface,
+// evaluates the executable (PerfScript) interface on a concrete image, runs
+// the Petri-net IR for a precise prediction, and finally checks all of them
+// against the cycle-level simulator (which plays the role of the real
+// hardware).
+#include <cstdio>
+
+#include "src/accel/jpeg/codec.h"
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/core/petri_interfaces.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/workload/image_gen.h"
+
+int main() {
+  using namespace perfiface;
+
+  // Every accelerator ships its interfaces through the registry.
+  const InterfaceRegistry& registry = InterfaceRegistry::Default();
+  const InterfaceBundle& bundle = registry.Get("jpeg_decoder");
+
+  // 1) The natural-language interface: the cheapest way to understand how
+  //    performance varies across inputs.
+  std::printf("natural-language interface:\n  \"%s\"\n\n", bundle.text->text.c_str());
+
+  // A concrete workload: a 192x192 textured image, quality 70.
+  const RawImage raw = GenerateImage(ImageClass::kTexture, 192, 192, /*seed=*/1);
+  const CompressedImage image = Encode(raw, /*quality=*/70);
+  std::printf("workload: %zux%zu image, compress_rate=%.5f\n\n", raw.width(), raw.height(),
+              image.compress_rate());
+
+  // 2) The executable interface: run the vendor's program on the workload
+  //    descriptor. Same inputs as the hardware, but it returns performance
+  //    instead of pixels.
+  const ProgramInterface program = registry.LoadProgram("jpeg_decoder");
+  const JpegImageObject descriptor(&image);
+  const double program_latency = program.Eval("latency_jpeg_decode", descriptor);
+  std::printf("executable interface:   latency = %.0f cycles\n", program_latency);
+
+  // 3) The Petri-net IR: token-level prediction, precise enough for tools.
+  const JpegPetriInterface petri(bundle.pnet_path);
+  const Cycles petri_latency = petri.PredictLatency(image);
+  std::printf("petri-net interface:    latency = %llu cycles\n",
+              static_cast<unsigned long long>(petri_latency));
+
+  // Ground truth: the cycle-level decoder model ("the hardware").
+  JpegDecoderSim hardware(JpegDecoderTiming{}, /*seed=*/2024);
+  const Cycles actual = hardware.DecodeLatency(image);
+  std::printf("hardware (simulated):   latency = %llu cycles\n\n",
+              static_cast<unsigned long long>(actual));
+
+  std::printf("program error: %.2f%%   petri error: %.2f%%\n",
+              100.0 * std::abs(program_latency - static_cast<double>(actual)) /
+                  static_cast<double>(actual),
+              100.0 * std::abs(static_cast<double>(petri_latency) - static_cast<double>(actual)) /
+                  static_cast<double>(actual));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "src/accel/bitcoin/miner.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+void PutU32Le(std::uint8_t* dst, std::uint32_t v) {
+  dst[0] = static_cast<std::uint8_t>(v);
+  dst[1] = static_cast<std::uint8_t>(v >> 8);
+  dst[2] = static_cast<std::uint8_t>(v >> 16);
+  dst[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 80> BlockHeader::Serialize() const {
+  std::array<std::uint8_t, 80> out{};
+  PutU32Le(out.data(), version);
+  std::memcpy(out.data() + 4, prev_hash.data(), 32);
+  std::memcpy(out.data() + 36, merkle_root.data(), 32);
+  PutU32Le(out.data() + 68, timestamp);
+  PutU32Le(out.data() + 72, bits);
+  PutU32Le(out.data() + 76, nonce);
+  return out;
+}
+
+BitcoinMinerSim::BitcoinMinerSim(const MinerConfig& config) : config_(config) {
+  PI_CHECK(config_.loop >= 1 && config_.loop <= kTotalRounds);
+  PI_CHECK(kTotalRounds % config_.loop == 0);
+}
+
+AreaKge BitcoinMinerSim::Area() const {
+  const int round_units = kTotalRounds / config_.loop;
+  return kControllerArea + kRoundUnitArea * round_units;
+}
+
+bool MeetsDifficulty(const Sha256Digest& digest, int zero_bits) {
+  PI_CHECK(zero_bits >= 0 && zero_bits <= 256);
+  int remaining = zero_bits;
+  for (std::uint8_t byte : digest) {
+    if (remaining <= 0) {
+      return true;
+    }
+    if (remaining >= 8) {
+      if (byte != 0) {
+        return false;
+      }
+      remaining -= 8;
+    } else {
+      return (byte >> (8 - remaining)) == 0;
+    }
+  }
+  return remaining <= 0;
+}
+
+MineResult BitcoinMinerSim::Mine(const BlockHeader& header, std::uint32_t start_nonce,
+                                 std::uint64_t max_attempts, int difficulty_zero_bits) const {
+  MineResult result;
+  BlockHeader h = header;
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    h.nonce = start_nonce + static_cast<std::uint32_t>(i);
+    const auto bytes = h.Serialize();
+    const Sha256Digest digest =
+        Sha256::DoubleHash(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+    ++result.attempts;
+    result.cycles += LatencyPerAttempt();
+    if (MeetsDifficulty(digest, difficulty_zero_bits)) {
+      result.found = true;
+      result.nonce = h.nonce;
+      result.hash = digest;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,79 @@
+// Bitcoin miner accelerator: functional double-SHA-256 search plus the
+// Loop-parameterized timing/area model of the open-source FPGA miner.
+//
+// The hardware computes 3 x 64 = 192 compression rounds per nonce attempt
+// (two blocks for the 80-byte header, one for the second hash). The
+// configuration parameter `Loop` selects how many clock cycles that takes:
+// the circuit instantiates 192/Loop round units and iterates them Loop
+// times. Hence the paper's Fig 1 interface: latency (cycles) == Loop, and
+// area grows inversely with Loop.
+#ifndef SRC_ACCEL_BITCOIN_MINER_H_
+#define SRC_ACCEL_BITCOIN_MINER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/accel/bitcoin/sha256.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// An 80-byte Bitcoin block header; the miner varies the nonce field.
+struct BlockHeader {
+  std::uint32_t version = 2;
+  std::array<std::uint8_t, 32> prev_hash{};
+  std::array<std::uint8_t, 32> merkle_root{};
+  std::uint32_t timestamp = 0;
+  std::uint32_t bits = 0x1d00ffff;  // compact difficulty target
+  std::uint32_t nonce = 0;
+
+  std::array<std::uint8_t, 80> Serialize() const;
+};
+
+struct MinerConfig {
+  // Cycles per nonce attempt. Must divide 192 (the total round count).
+  int loop = 64;
+};
+
+struct MineResult {
+  bool found = false;
+  std::uint32_t nonce = 0;
+  Sha256Digest hash{};
+  Cycles cycles = 0;           // total simulated cycles spent
+  std::uint64_t attempts = 0;  // nonces tried
+};
+
+class BitcoinMinerSim {
+ public:
+  explicit BitcoinMinerSim(const MinerConfig& config);
+
+  // Searches nonces [start_nonce, start_nonce + max_attempts) for a hash
+  // whose leading `difficulty_zero_bits` bits are zero. Functionally real:
+  // every attempt runs the full double SHA-256.
+  MineResult Mine(const BlockHeader& header, std::uint32_t start_nonce,
+                  std::uint64_t max_attempts, int difficulty_zero_bits) const;
+
+  // The Fig 1 performance interface, exactly: per-attempt latency in cycles.
+  Cycles LatencyPerAttempt() const { return static_cast<Cycles>(config_.loop); }
+
+  // Silicon area in kilo-gate-equivalents: a fixed controller plus one round
+  // unit per unrolled round (192/Loop units).
+  AreaKge Area() const;
+
+  static constexpr int kTotalRounds = 192;
+  static constexpr AreaKge kControllerArea = 18.0;
+  static constexpr AreaKge kRoundUnitArea = 5.5;
+
+  const MinerConfig& config() const { return config_; }
+
+ private:
+  MinerConfig config_;
+};
+
+// True if the digest has at least `zero_bits` leading zero bits.
+bool MeetsDifficulty(const Sha256Digest& digest, int zero_bits);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_BITCOIN_MINER_H_

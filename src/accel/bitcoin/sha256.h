@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4). The functional core of the Bitcoin miner
+// accelerator: the hardware computes a double SHA-256 over an 80-byte block
+// header, with the compression-function rounds unrolled in silicon.
+#ifndef SRC_ACCEL_BITCOIN_SHA256_H_
+#define SRC_ACCEL_BITCOIN_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace perfiface {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const std::uint8_t> data);
+  Sha256Digest Finalize();
+
+  // One-shot helper.
+  static Sha256Digest Hash(std::span<const std::uint8_t> data);
+  // Bitcoin's double hash.
+  static Sha256Digest DoubleHash(std::span<const std::uint8_t> data);
+
+  // Number of compression rounds per 64-byte block; the miner's `Loop`
+  // parameter divides the (2 blocks + 1 block) round total across cycles.
+  static constexpr int kRoundsPerBlock = 64;
+
+ private:
+  void ProcessBlock(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+// Hex encoding of a digest (lowercase), for tests against NIST vectors.
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_BITCOIN_SHA256_H_

@@ -1,0 +1,126 @@
+#include "src/accel/compress/lz.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 66;
+constexpr std::size_t kHashSize = 1 << 13;
+
+std::uint32_t HashAt(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - 13);
+}
+
+struct Token {
+  bool is_match = false;
+  std::uint8_t literal = 0;
+  std::uint16_t offset = 0;
+  std::uint8_t length = 0;
+};
+
+template <typename Emit>
+LzStats Tokenize(const std::vector<std::uint8_t>& input, Emit&& emit) {
+  LzStats stats;
+  stats.input_bytes = input.size();
+
+  std::vector<std::size_t> head(kHashSize, SIZE_MAX);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_offset = 0;
+    if (pos + kMinMatch <= input.size()) {
+      const std::uint32_t h = HashAt(input.data() + pos);
+      const std::size_t candidate = head[h];
+      if (candidate != SIZE_MAX && candidate < pos && pos - candidate <= kWindow) {
+        const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+        std::size_t len = 0;
+        while (len < limit && input[candidate + len] == input[pos + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_offset = pos - candidate;
+        }
+      }
+      head[h] = pos;
+    }
+
+    Token token;
+    if (best_len >= kMinMatch) {
+      token.is_match = true;
+      token.offset = static_cast<std::uint16_t>(best_offset);
+      token.length = static_cast<std::uint8_t>(best_len);
+      ++stats.matches;
+      stats.output_bytes += 4;
+      pos += best_len;
+    } else {
+      token.literal = input[pos];
+      ++stats.literals;
+      stats.output_bytes += 2;
+      ++pos;
+    }
+    emit(token);
+  }
+  return stats;
+}
+
+}  // namespace
+
+LzStats LzCompress(const std::vector<std::uint8_t>& input, std::vector<std::uint8_t>* output) {
+  PI_CHECK(output != nullptr);
+  return Tokenize(input, [output](const Token& t) {
+    if (t.is_match) {
+      output->push_back(0x01);
+      output->push_back(static_cast<std::uint8_t>(t.offset & 0xFF));
+      output->push_back(static_cast<std::uint8_t>(t.offset >> 8));
+      output->push_back(static_cast<std::uint8_t>(t.length - kMinMatch));
+    } else {
+      output->push_back(0x00);
+      output->push_back(t.literal);
+    }
+  });
+}
+
+LzStats LzAnalyze(const std::vector<std::uint8_t>& input) {
+  return Tokenize(input, [](const Token&) {});
+}
+
+bool LzDecompress(const std::vector<std::uint8_t>& input, std::vector<std::uint8_t>* output) {
+  PI_CHECK(output != nullptr);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint8_t kind = input[pos++];
+    if (kind == 0x00) {
+      if (pos >= input.size()) {
+        return false;
+      }
+      output->push_back(input[pos++]);
+    } else if (kind == 0x01) {
+      if (pos + 3 > input.size()) {
+        return false;
+      }
+      const std::size_t offset = input[pos] | (static_cast<std::size_t>(input[pos + 1]) << 8);
+      const std::size_t length = static_cast<std::size_t>(input[pos + 2]) + kMinMatch;
+      pos += 3;
+      if (offset == 0 || offset > output->size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < length; ++i) {
+        output->push_back((*output)[output->size() - offset]);
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace perfiface

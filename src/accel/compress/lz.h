@@ -1,0 +1,45 @@
+// Functional LZ77-class compressor/decompressor: the functional core of the
+// compression accelerator (paper §1 lists compression among the common
+// fixed-function offloads; SmartNIC SoCs ship it as an IP block).
+//
+// Format: a token stream of literals and (offset, length) back-references
+// within a 4 KiB window, length 4..66. Encoded as:
+//   0x00 <byte>                       literal
+//   0x01 <offset_lo> <offset_hi> <len-4>  match
+// This is deliberately byte-oriented (no entropy stage): the accelerator's
+// performance behaviour is dominated by match search and token emission,
+// which is what the performance interface summarizes.
+#ifndef SRC_ACCEL_COMPRESS_LZ_H_
+#define SRC_ACCEL_COMPRESS_LZ_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace perfiface {
+
+struct LzStats {
+  std::size_t literals = 0;
+  std::size_t matches = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+
+  std::size_t tokens() const { return literals + matches; }
+  double ratio() const {
+    return input_bytes == 0 ? 1.0
+                            : static_cast<double>(output_bytes) /
+                                  static_cast<double>(input_bytes);
+  }
+};
+
+// Compresses `input`; appends encoded bytes to `output` and returns stats.
+LzStats LzCompress(const std::vector<std::uint8_t>& input, std::vector<std::uint8_t>* output);
+
+// Decompresses; returns false on malformed input.
+bool LzDecompress(const std::vector<std::uint8_t>& input, std::vector<std::uint8_t>* output);
+
+// Token statistics without materializing the output (used by descriptors).
+LzStats LzAnalyze(const std::vector<std::uint8_t>& input);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_COMPRESS_LZ_H_

@@ -1,0 +1,135 @@
+#include "src/accel/jpeg/codec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/accel/jpeg/dct.h"
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+// Bit category of a coefficient magnitude (JPEG "SSSS"): number of bits
+// needed to represent |v|.
+int Category(int v) {
+  int a = std::abs(v);
+  int cat = 0;
+  while (a != 0) {
+    ++cat;
+    a >>= 1;
+  }
+  return cat;
+}
+
+// Code lengths of the Annex K luminance DC Huffman table, by category.
+const int kDcCodeLen[12] = {2, 3, 3, 3, 3, 3, 4, 5, 6, 7, 8, 9};
+
+// Approximate AC (run, size) code length following the shape of the Annex K
+// luminance AC table: short codes for small runs/sizes, growing with both.
+int AcCodeLen(int run, int size) {
+  PI_CHECK(run >= 0 && run <= 15);
+  PI_CHECK(size >= 1 && size <= 11);
+  const int len = 2 + run + size;
+  return len > 16 ? 16 : len;
+}
+
+constexpr int kEobBits = 4;
+constexpr int kZrlBits = 11;  // run of 16 zeros
+// Per-block alignment/stuffing overhead of the hardware bitstream format
+// (the streaming decoder realigns its barrel shifter at block boundaries).
+constexpr int kAlignmentBits = 2;
+
+}  // namespace
+
+std::uint32_t EntropyCodedBits(const std::int16_t qcoeffs[64], std::int16_t prev_dc) {
+  std::uint32_t bits = kAlignmentBits;
+
+  // DC: differential, Huffman code + appended magnitude bits.
+  const int dc_diff = qcoeffs[0] - prev_dc;
+  const int dc_cat = Category(dc_diff);
+  PI_CHECK(dc_cat <= 11);
+  bits += static_cast<std::uint32_t>(kDcCodeLen[dc_cat] + dc_cat);
+
+  // AC: zig-zag scan with (run, size) symbols.
+  int run = 0;
+  int last_nonzero = 0;
+  for (int i = 63; i >= 1; --i) {
+    if (qcoeffs[kZigZag[i]] != 0) {
+      last_nonzero = i;
+      break;
+    }
+  }
+  for (int i = 1; i <= last_nonzero; ++i) {
+    const int v = qcoeffs[kZigZag[i]];
+    if (v == 0) {
+      ++run;
+      if (run == 16) {
+        bits += kZrlBits;
+        run = 0;
+      }
+      continue;
+    }
+    const int cat = Category(v);
+    PI_CHECK(cat >= 1 && cat <= 11);
+    bits += static_cast<std::uint32_t>(AcCodeLen(run, cat) + cat);
+    run = 0;
+  }
+  if (last_nonzero != 63) {
+    bits += kEobBits;
+  }
+  return bits;
+}
+
+CompressedImage::CompressedImage(std::size_t width, std::size_t height, int quality,
+                                 std::vector<EncodedBlock> blocks)
+    : width_(width), height_(height), quality_(quality), blocks_(std::move(blocks)) {
+  PI_CHECK(width_ % 8 == 0 && height_ % 8 == 0);
+  PI_CHECK(blocks_.size() == width_ * height_ / 64);
+  for (const EncodedBlock& b : blocks_) {
+    total_coded_bits_ += b.coded_bits;
+  }
+}
+
+CompressedImage Encode(const RawImage& image, int quality) {
+  std::uint16_t quant[64];
+  BuildQuantTable(quality, quant);
+
+  std::vector<EncodedBlock> blocks;
+  blocks.reserve(image.block_count());
+  std::int16_t prev_dc = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    std::uint8_t pixels[64];
+    image.ExtractBlock(b, pixels);
+    double coeffs[64];
+    ForwardDct8x8(pixels, coeffs);
+
+    EncodedBlock enc;
+    Quantize(coeffs, quant, enc.qcoeffs.data());
+    enc.coded_bits = EntropyCodedBits(enc.qcoeffs.data(), prev_dc);
+    for (int i = 0; i < 64; ++i) {
+      if (enc.qcoeffs[i] != 0) {
+        ++enc.nonzero_coeffs;
+      }
+    }
+    prev_dc = enc.qcoeffs[0];
+    blocks.push_back(enc);
+  }
+  return CompressedImage(image.width(), image.height(), quality, std::move(blocks));
+}
+
+RawImage Decode(const CompressedImage& compressed) {
+  std::uint16_t quant[64];
+  BuildQuantTable(compressed.quality(), quant);
+
+  RawImage out(compressed.width(), compressed.height());
+  for (std::size_t b = 0; b < compressed.block_count(); ++b) {
+    double coeffs[64];
+    Dequantize(compressed.blocks()[b].qcoeffs.data(), quant, coeffs);
+    std::uint8_t pixels[64];
+    InverseDct8x8(coeffs, pixels);
+    out.InsertBlock(b, pixels);
+  }
+  return out;
+}
+
+}  // namespace perfiface

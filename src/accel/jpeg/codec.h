@@ -1,0 +1,85 @@
+// Functional mini-JPEG codec (baseline DCT + quantization + entropy-size
+// model).
+//
+// Substitution note (see DESIGN.md): the paper's workload is real JPEG
+// bitstreams fed to the open-source core_jpeg RTL. We reproduce the
+// *performance-relevant* structure — per-block quantized DCT coefficients
+// and an accurate count of entropy-coded bits per block — without
+// serializing an actual Huffman bitstream: the decoder simulator's timing
+// depends only on coded-bit counts and block counts, and the functional
+// decoder reconstructs pixels from the stored coefficients. Bit counts
+// follow JPEG's (run, size) Huffman coding scheme with Annex-K-shaped code
+// lengths, so compression rates land in the realistic range.
+#ifndef SRC_ACCEL_JPEG_CODEC_H_
+#define SRC_ACCEL_JPEG_CODEC_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/jpeg/image.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct EncodedBlock {
+  std::array<std::int16_t, 64> qcoeffs{};  // quantized coefficients, row-major
+  std::uint32_t coded_bits = 0;            // entropy-coded size of this block
+  std::uint16_t nonzero_coeffs = 0;
+};
+
+// A compressed image. `orig_size` in the paper's Fig 2 interface refers to
+// the *decoded output size in bytes*; this decoder emits 64-bit pixel words
+// (16-bit RGBA), so orig_size = 8 * width * height.
+class CompressedImage {
+ public:
+  // Abbreviated streaming header (SOI/SOF markers only; quantization and
+  // Huffman tables are fixed in hardware, as in core_jpeg's streaming
+  // mode). Kept tiny so that compress_rate reflects the entropy-coded
+  // payload the VLD actually processes.
+  static constexpr Bytes kHeaderBytes = 8;
+  static constexpr Bytes kOutputBytesPerPixel = 8;
+
+  CompressedImage(std::size_t width, std::size_t height, int quality,
+                  std::vector<EncodedBlock> blocks);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  int quality() const { return quality_; }
+  const std::vector<EncodedBlock>& blocks() const { return blocks_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  std::uint64_t total_coded_bits() const { return total_coded_bits_; }
+  Bytes compressed_bytes() const { return kHeaderBytes + (total_coded_bits_ + 7) / 8; }
+
+  // Decoded output size in bytes (the interface's `orig_size`).
+  Bytes orig_size() const {
+    return static_cast<Bytes>(width_) * height_ * kOutputBytesPerPixel;
+  }
+
+  // The interface's `compress_rate`: compressed size / decoded output size.
+  double compress_rate() const {
+    return static_cast<double>(compressed_bytes()) / static_cast<double>(orig_size());
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  int quality_;
+  std::vector<EncodedBlock> blocks_;
+  std::uint64_t total_coded_bits_ = 0;
+};
+
+// Encodes an image at the given quality (1..100).
+CompressedImage Encode(const RawImage& image, int quality);
+
+// Functional decode: reconstructs pixels from the stored coefficients.
+RawImage Decode(const CompressedImage& compressed);
+
+// Entropy-coded size in bits of one quantized block, given the previous
+// block's DC coefficient (JPEG codes DC values differentially).
+std::uint32_t EntropyCodedBits(const std::int16_t qcoeffs[64], std::int16_t prev_dc);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_JPEG_CODEC_H_

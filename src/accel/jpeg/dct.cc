@@ -1,0 +1,123 @@
+#include "src/accel/jpeg/dct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Basis cache: cos((2x+1) u pi / 16) for x,u in 0..7.
+struct Basis {
+  double c[8][8];
+  Basis() {
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = std::cos((2.0 * x + 1.0) * u * kPi / 16.0);
+      }
+    }
+  }
+};
+const Basis kBasis;
+
+double Alpha(int u) { return u == 0 ? 0.35355339059327373 : 0.5; }  // 1/sqrt(8), sqrt(2/8)
+
+// Base luminance quantization table, JPEG Annex K.
+const std::uint16_t kBaseQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+}  // namespace
+
+const int kZigZag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10,  //
+    17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34,  //
+    27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36,  //
+    29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46,  //
+    53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+void ForwardDct8x8(const std::uint8_t pixels[64], double coeffs[64]) {
+  // Separable: rows then columns.
+  double tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0;
+      for (int x = 0; x < 8; ++x) {
+        acc += (static_cast<double>(pixels[y * 8 + x]) - 128.0) * kBasis.c[u][x];
+      }
+      tmp[y * 8 + u] = acc * Alpha(u);
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0;
+      for (int y = 0; y < 8; ++y) {
+        acc += tmp[y * 8 + u] * kBasis.c[v][y];
+      }
+      coeffs[v * 8 + u] = acc * Alpha(v);
+    }
+  }
+}
+
+void InverseDct8x8(const double coeffs[64], std::uint8_t pixels[64]) {
+  double tmp[64];
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += Alpha(u) * coeffs[v * 8 + u] * kBasis.c[u][x];
+      }
+      tmp[v * 8 + x] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        acc += Alpha(v) * tmp[v * 8 + x] * kBasis.c[v][y];
+      }
+      const double value = acc + 128.0;
+      pixels[y * 8 + x] =
+          static_cast<std::uint8_t>(std::clamp(std::lround(value), 0L, 255L));
+    }
+  }
+}
+
+void BuildQuantTable(int quality, std::uint16_t table[64]) {
+  PI_CHECK(quality >= 1 && quality <= 100);
+  // libjpeg scaling: quality 50 -> base table, <50 scales up, >50 scales down.
+  const int scale = quality < 50 ? 5000 / quality : 200 - quality * 2;
+  for (int i = 0; i < 64; ++i) {
+    int q = (kBaseQuant[i] * scale + 50) / 100;
+    q = std::clamp(q, 1, 32767);
+    table[i] = static_cast<std::uint16_t>(q);
+  }
+}
+
+void Quantize(const double coeffs[64], const std::uint16_t table[64], std::int16_t out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<std::int16_t>(std::lround(coeffs[i] / table[i]));
+  }
+}
+
+void Dequantize(const std::int16_t qcoeffs[64], const std::uint16_t table[64], double out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    out[i] = static_cast<double>(qcoeffs[i]) * table[i];
+  }
+}
+
+}  // namespace perfiface

@@ -1,0 +1,30 @@
+// 8x8 forward/inverse DCT and quantization, the transform core of the
+// mini-JPEG codec.
+#ifndef SRC_ACCEL_JPEG_DCT_H_
+#define SRC_ACCEL_JPEG_DCT_H_
+
+#include <cstdint>
+
+namespace perfiface {
+
+// Type-II DCT of a level-shifted 8x8 block (input pixels 0..255, internally
+// shifted by -128). Output coefficients in row-major frequency order.
+void ForwardDct8x8(const std::uint8_t pixels[64], double coeffs[64]);
+
+// Inverse DCT; clamps the reconstruction to 0..255.
+void InverseDct8x8(const double coeffs[64], std::uint8_t pixels[64]);
+
+// Scales the base luminance quantization table (Annex K of the JPEG spec)
+// by a quality factor in [1, 100], libjpeg-style.
+void BuildQuantTable(int quality, std::uint16_t table[64]);
+
+// Quantize / dequantize one block.
+void Quantize(const double coeffs[64], const std::uint16_t table[64], std::int16_t out[64]);
+void Dequantize(const std::int16_t qcoeffs[64], const std::uint16_t table[64], double out[64]);
+
+// Zig-zag scan order (index i of the scan -> row-major position).
+extern const int kZigZag[64];
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_JPEG_DCT_H_

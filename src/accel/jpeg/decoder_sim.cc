@@ -1,0 +1,111 @@
+#include "src/accel/jpeg/decoder_sim.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/sim/pipeline_model.h"
+
+namespace perfiface {
+
+std::vector<StripeInfo> SplitIntoStripes(const CompressedImage& image,
+                                         std::size_t blocks_per_stripe) {
+  PI_CHECK(blocks_per_stripe >= 1);
+  std::vector<StripeInfo> stripes;
+  const auto& blocks = image.blocks();
+  for (std::size_t b = 0; b < blocks.size(); b += blocks_per_stripe) {
+    StripeInfo s;
+    const std::size_t end = std::min(b + blocks_per_stripe, blocks.size());
+    s.blocks = end - b;
+    for (std::size_t i = b; i < end; ++i) {
+      s.coded_bits += blocks[i].coded_bits;
+    }
+    stripes.push_back(s);
+  }
+  return stripes;
+}
+
+JpegDecoderSim::JpegDecoderSim(const JpegDecoderTiming& timing, std::uint64_t seed)
+    : timing_(timing), seed_(seed) {
+  PI_CHECK(timing_.blocks_per_stripe >= 1);
+  PI_CHECK(timing_.fifo_stripes >= 1);
+}
+
+Cycles JpegDecoderSim::VldStripeCost(const StripeInfo& stripe) const {
+  PI_CHECK(stripe.blocks > 0);
+  PI_CHECK(stripe.coded_bits > 0);
+  // Local compression fraction: coded bytes over decoded output bytes
+  // (64 pixels/block, 8 output bytes/pixel -> 512 bytes/block).
+  const double coded_bytes = static_cast<double>(stripe.coded_bits) / 8.0;
+  const double out_bytes = static_cast<double>(stripe.blocks) * 512.0;
+  const double cr = coded_bytes / out_bytes;
+  const double cost =
+      ((timing_.vld_a / cr) * timing_.vld_b + timing_.vld_c) * timing_.vld_clock_ratio;
+  // Partial stripes scale with their share of a full stripe.
+  const double share =
+      static_cast<double>(stripe.blocks) / static_cast<double>(timing_.blocks_per_stripe);
+  return static_cast<Cycles>(std::ceil(cost * share));
+}
+
+Cycles JpegDecoderSim::IdctStripeCost(const StripeInfo& stripe) const {
+  return static_cast<Cycles>(stripe.blocks) * timing_.idct_per_block;
+}
+
+Cycles JpegDecoderSim::WriterStripeCost(const StripeInfo& stripe) const {
+  // 8 chunks of 64 output bytes per block; chunk costs alternate even/odd.
+  const std::size_t chunks = stripe.blocks * 8;
+  const std::size_t pairs = chunks / 2;
+  return static_cast<Cycles>(pairs) * (timing_.writer_even_chunk + timing_.writer_odd_chunk);
+}
+
+std::vector<std::vector<Cycles>> JpegDecoderSim::StageCosts(
+    const std::vector<StripeInfo>& stripes, std::uint64_t image_seed) const {
+  SplitMix64 rng(image_seed);
+  std::vector<std::vector<Cycles>> costs(3);
+  for (const StripeInfo& s : stripes) {
+    Cycles vld = VldStripeCost(s);
+    if (rng.NextBool(timing_.stall_probability)) {
+      vld += timing_.stall_cycles;
+    }
+    costs[0].push_back(vld);
+    costs[1].push_back(IdctStripeCost(s));
+    costs[2].push_back(WriterStripeCost(s));
+  }
+  return costs;
+}
+
+Cycles JpegDecoderSim::DecodeLatency(const CompressedImage& image) {
+  const std::vector<StripeInfo> stripes = SplitIntoStripes(image, timing_.blocks_per_stripe);
+  const std::uint64_t image_seed = DeriveSeed(seed_, image.total_coded_bits());
+  PipelineModel model(StageCosts(stripes, image_seed),
+                      {timing_.fifo_stripes, timing_.fifo_stripes}, timing_.header_parse);
+  return model.TotalLatency();
+}
+
+JpegDecodeMeasurement JpegDecoderSim::Measure(const CompressedImage& image, std::size_t copies) {
+  PI_CHECK(copies >= 2);
+  const std::vector<StripeInfo> stripes = SplitIntoStripes(image, timing_.blocks_per_stripe);
+  const std::uint64_t image_seed = DeriveSeed(seed_, image.total_coded_bits());
+
+  JpegDecodeMeasurement out;
+  out.stripes = stripes.size();
+  out.latency = DecodeLatency(image);
+
+  // Back-to-back streaming: concatenate the stripe streams of all copies.
+  // Headers of later images are prefetched during the previous image's
+  // decode, so only the first parse is exposed.
+  std::vector<StripeInfo> stream;
+  stream.reserve(stripes.size() * copies);
+  for (std::size_t c = 0; c < copies; ++c) {
+    stream.insert(stream.end(), stripes.begin(), stripes.end());
+  }
+  PipelineModel model(StageCosts(stream, image_seed),
+                      {timing_.fifo_stripes, timing_.fifo_stripes}, timing_.header_parse);
+  const Cycles first = model.FinishTime(2, stripes.size() - 1);
+  const Cycles last = model.FinishTime(2, stream.size() - 1);
+  PI_CHECK(last > first);
+  out.throughput = static_cast<double>(copies - 1) / static_cast<double>(last - first);
+  return out;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,103 @@
+// Cycle-level timing model of the pipelined JPEG decoder accelerator.
+//
+// Microarchitecture (mirroring the structure of core_jpeg): a three-stage
+// pipeline at stripe granularity connected by two-entry FIFOs.
+//
+//   [header parse] -> VLD -> fifo(2) -> IDCT -> fifo(2) -> output writer
+//
+// * VLD (variable-length decode) processes one stripe (8 blocks) at a time;
+//   its cost depends on how many entropy-coded bytes the stripe contains —
+//   this is the data dependence the paper's Fig 2 interface captures through
+//   `compress_rate`. Rarely, the bit unpacker takes a realignment stall;
+//   this effect is left out of every interface (it is the "deliberately cut
+//   corner" that bounds Petri-net accuracy in Table 1).
+// * IDCT is fixed-cost per block.
+// * The writer emits 64-byte chunks of 64-bit pixel words at a fixed rate;
+//   it is the bottleneck for well-compressed images (Fig 2's size*136.5
+//   term).
+//
+// Latency/throughput are computed with the exact pipeline recurrence
+// (PipelineModel), which is cycle-equivalent to simulating the three modules
+// clock-by-clock.
+#ifndef SRC_ACCEL_JPEG_DECODER_SIM_H_
+#define SRC_ACCEL_JPEG_DECODER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/jpeg/codec.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct JpegDecoderTiming {
+  Cycles header_parse = 220;
+
+  // VLD stripe cost: ceil(((a / cr) * b + c) * clock_ratio), with cr the
+  // stripe's local compression fraction. The constants are the ones printed
+  // in the paper's Fig 2 interface.
+  double vld_a = 5.0;
+  double vld_b = 3.0;
+  double vld_c = 6.0;
+  double vld_clock_ratio = 1.5;
+
+  // Rare bitstream realignment stall (per stripe).
+  double stall_probability = 0.015;
+  Cycles stall_cycles = 300;
+
+  Cycles idct_per_block = 48;
+
+  // Output writer: alternating cost per 64-byte chunk, averaging 136.5.
+  Cycles writer_even_chunk = 136;
+  Cycles writer_odd_chunk = 137;
+
+  std::size_t blocks_per_stripe = 8;
+  std::size_t fifo_stripes = 2;
+};
+
+// Per-stripe workload summary extracted from a compressed image; also the
+// token stream fed to the Petri-net interface.
+struct StripeInfo {
+  std::size_t blocks = 0;
+  std::uint64_t coded_bits = 0;
+};
+
+std::vector<StripeInfo> SplitIntoStripes(const CompressedImage& image,
+                                         std::size_t blocks_per_stripe);
+
+struct JpegDecodeMeasurement {
+  Cycles latency = 0;            // single image, in isolation
+  double throughput = 0;         // images/cycle, streaming back-to-back
+  std::size_t stripes = 0;
+};
+
+class JpegDecoderSim {
+ public:
+  JpegDecoderSim(const JpegDecoderTiming& timing, std::uint64_t seed);
+
+  // Decodes one image in isolation and returns its latency.
+  Cycles DecodeLatency(const CompressedImage& image);
+
+  // Streams `copies` identical images back-to-back and reports steady-state
+  // throughput together with the isolated latency.
+  JpegDecodeMeasurement Measure(const CompressedImage& image, std::size_t copies = 4);
+
+  // Deterministic per-stripe VLD cost (without the random stall); exposed so
+  // tests can validate the Petri net against the exact same cost function.
+  Cycles VldStripeCost(const StripeInfo& stripe) const;
+  Cycles IdctStripeCost(const StripeInfo& stripe) const;
+  Cycles WriterStripeCost(const StripeInfo& stripe) const;
+
+  const JpegDecoderTiming& timing() const { return timing_; }
+
+ private:
+  std::vector<std::vector<Cycles>> StageCosts(const std::vector<StripeInfo>& stripes,
+                                              std::uint64_t image_seed) const;
+
+  JpegDecoderTiming timing_;
+  std::uint64_t seed_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_JPEG_DECODER_SIM_H_

@@ -1,0 +1,49 @@
+#include "src/accel/jpeg/image.h"
+
+#include <cmath>
+
+namespace perfiface {
+
+RawImage::RawImage(std::size_t width, std::size_t height)
+    : width_(width), height_(height), pixels_(width * height, 0) {
+  PI_CHECK(width_ > 0 && height_ > 0);
+  PI_CHECK(width_ % 8 == 0 && height_ % 8 == 0);
+}
+
+void RawImage::ExtractBlock(std::size_t b, std::uint8_t out[64]) const {
+  PI_CHECK(b < block_count());
+  const std::size_t bx = (b % blocks_per_row()) * 8;
+  const std::size_t by = (b / blocks_per_row()) * 8;
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      out[y * 8 + x] = at(bx + x, by + y);
+    }
+  }
+}
+
+void RawImage::InsertBlock(std::size_t b, const std::uint8_t in[64]) {
+  PI_CHECK(b < block_count());
+  const std::size_t bx = (b % blocks_per_row()) * 8;
+  const std::size_t by = (b / blocks_per_row()) * 8;
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      set(bx + x, by + y, in[y * 8 + x]);
+    }
+  }
+}
+
+double Psnr(const RawImage& a, const RawImage& b) {
+  PI_CHECK(a.width() == b.width() && a.height() == b.height());
+  double mse = 0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.pixels().size());
+  if (mse == 0) {
+    return 99.0;  // identical; report a conventional cap
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace perfiface

@@ -1,0 +1,55 @@
+// Grayscale raster images: the input workload of the JPEG decoder
+// accelerator. We model single-component (grayscale) baseline JPEG; the
+// pipeline structure and the performance behaviour the paper's interfaces
+// describe (per-block entropy decode + fixed-rate IDCT/output stages) are
+// identical for chroma components, they just add more blocks.
+#ifndef SRC_ACCEL_JPEG_IMAGE_H_
+#define SRC_ACCEL_JPEG_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+class RawImage {
+ public:
+  // Dimensions must be multiples of 8 (one 8x8 block granularity).
+  RawImage(std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t pixel_count() const { return width_ * height_; }
+  std::size_t block_count() const { return pixel_count() / 64; }
+  std::size_t blocks_per_row() const { return width_ / 8; }
+
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    PI_CHECK(x < width_ && y < height_);
+    return pixels_[y * width_ + x];
+  }
+  void set(std::size_t x, std::size_t y, std::uint8_t v) {
+    PI_CHECK(x < width_ && y < height_);
+    pixels_[y * width_ + x] = v;
+  }
+
+  const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+
+  // Copies the 8x8 block with block-index `b` (row-major over blocks) into
+  // `out[64]`, row-major within the block.
+  void ExtractBlock(std::size_t b, std::uint8_t out[64]) const;
+  void InsertBlock(std::size_t b, const std::uint8_t in[64]);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+// Peak signal-to-noise ratio between two equally-sized images, in dB.
+double Psnr(const RawImage& a, const RawImage& b);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_JPEG_IMAGE_H_

@@ -1,0 +1,75 @@
+#include "src/accel/optimusprime/op_sim.h"
+
+#include <cmath>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+std::size_t CountAllFields(const MessageInstance& msg) {
+  std::size_t n = msg.num_fields();
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    n += CountAllFields(*sub);
+  }
+  return n;
+}
+
+std::size_t CountAllSubMessages(const MessageInstance& msg) {
+  std::size_t n = 0;
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    n += 1 + CountAllSubMessages(*sub);
+  }
+  return n;
+}
+
+}  // namespace
+
+OptimusPrimeSim::OptimusPrimeSim(const OptimusPrimeTiming& timing) : timing_(timing) {
+  PI_CHECK(timing_.units >= 1);
+}
+
+Cycles OptimusPrimeSim::MessageCost(const MessageInstance& msg) const {
+  const Bytes bytes = SerializedSize(msg);
+  double cost = static_cast<double>(timing_.dispatch);
+  cost += timing_.cycles_per_byte * static_cast<double>(bytes);
+  if (bytes > timing_.fast_path_bytes) {
+    cost += timing_.spill_cycles_per_byte * static_cast<double>(bytes - timing_.fast_path_bytes);
+  }
+  cost += static_cast<double>(timing_.per_field) * static_cast<double>(CountAllFields(msg));
+  cost += static_cast<double>(timing_.per_submessage) *
+          static_cast<double>(CountAllSubMessages(msg));
+  return static_cast<Cycles>(std::llround(cost));
+}
+
+OpMeasurement OptimusPrimeSim::Measure(const MessageInstance& msg) const {
+  OpMeasurement out;
+  const Cycles cost = MessageCost(msg);
+  out.latency = timing_.submit_overhead + cost;
+  // `units` messages complete every `cost` cycles in steady state.
+  out.throughput = static_cast<double>(timing_.units) / static_cast<double>(cost);
+  const double bytes_per_cycle = out.throughput * static_cast<double>(SerializedSize(msg));
+  out.gbps = bytes_per_cycle * 8.0 * timing_.clock_ghz;
+  return out;
+}
+
+double OptimusPrimeSim::TraceGbps(const std::vector<MessageInstance>& trace) const {
+  PI_CHECK(!trace.empty());
+  // Round-robin dispatch: each unit serves every units-th message; the trace
+  // completes when the busiest unit drains.
+  std::vector<double> unit_busy(timing_.units, 0.0);
+  double total_bytes = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    unit_busy[i % timing_.units] += static_cast<double>(MessageCost(trace[i]));
+    total_bytes += static_cast<double>(SerializedSize(trace[i]));
+  }
+  double makespan = 0;
+  for (double b : unit_busy) {
+    makespan = std::max(makespan, b);
+  }
+  PI_CHECK(makespan > 0);
+  return total_bytes / makespan * 8.0 * timing_.clock_ghz;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,76 @@
+// Protoacc's deserialization direction (the ISCA'21 accelerator handles
+// both; the paper's Fig 3 shows the serializer, so this module is shipped
+// as an extension with its own executable interface,
+// src/core/interfaces/protoacc_deser.psc).
+//
+// Microarchitecture:
+//  * STREAM STAGE: fetches the wire bytes sequentially through the TLB in
+//    16-byte beats (one memory access per beat).
+//  * DECODE STAGE: consumes tag/varint boundaries — a fixed cost per field
+//    plus one extra cycle per varint continuation byte.
+//  * MATERIALIZE STAGE: allocates one object per message node (pointer
+//    bump + header initialization) and writes fields back; the posted-write
+//    buffer retires one 16-byte store per store_window cycles, mirroring
+//    the serializer's commit path.
+//
+// Functional correctness is testable end-to-end: DeserializeWithShape
+// reconstructs a MessageInstance from wire bytes given the schema (wire
+// type 2 is ambiguous between bytes and sub-messages, so — like real
+// protobuf — decoding needs the schema), and re-serializing it must
+// reproduce the input byte-for-byte.
+#ifndef SRC_ACCEL_PROTOACC_DESERIALIZER_SIM_H_
+#define SRC_ACCEL_PROTOACC_DESERIALIZER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/protoacc/message.h"
+#include "src/common/types.h"
+#include "src/mem/memory_system.h"
+
+namespace perfiface {
+
+// Functional reference: decodes `wire` using `shape` as the schema (field
+// numbers and types must match). Returns false on malformed input.
+bool DeserializeWithShape(const std::vector<std::uint8_t>& wire, const MessageInstance& shape,
+                          MessageInstance* out);
+
+struct ProtoaccDeserTiming {
+  Cycles stream_setup = 8;
+  Cycles per_field_decode = 2;
+  Cycles per_varint_extra_byte = 1;
+  Cycles per_node_alloc = 40;
+  Cycles store_window = 60;  // same posted-write commit path as serialization
+  Cycles output_flush = 8;
+};
+
+struct ProtoaccDeserMeasurement {
+  Cycles latency = 0;
+  double throughput = 0;  // messages/cycle, streaming
+  Bytes wire_bytes = 0;
+  std::size_t fields = 0;  // total fields across the tree
+  std::size_t nodes = 0;   // message nodes materialized
+};
+
+class ProtoaccDeserSim {
+ public:
+  ProtoaccDeserSim(const ProtoaccDeserTiming& timing, const MemoryConfig& mem_config,
+                   std::uint64_t seed);
+
+  ProtoaccDeserMeasurement Measure(const MessageInstance& msg, std::size_t copies = 8);
+
+  const ProtoaccDeserTiming& timing() const { return timing_; }
+
+ private:
+  ProtoaccDeserTiming timing_;
+  MemoryConfig mem_config_;
+  std::uint64_t seed_;
+};
+
+// Tree-wide counts used by both the simulator and the interface.
+std::size_t TotalFieldCount(const MessageInstance& msg);
+std::size_t TotalVarintExtraBytes(const MessageInstance& msg);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_PROTOACC_DESERIALIZER_SIM_H_

@@ -1,0 +1,50 @@
+#include "src/accel/protoacc/message.h"
+
+#include <algorithm>
+
+namespace perfiface {
+
+std::vector<const MessageInstance*> MessageInstance::SubMessages() const {
+  std::vector<const MessageInstance*> out;
+  for (const FieldValue& f : fields) {
+    if (f.type == WireFieldType::kMessage && f.sub != nullptr) {
+      out.push_back(f.sub.get());
+    }
+  }
+  return out;
+}
+
+std::size_t MessageInstance::TotalNodeCount() const {
+  std::size_t n = 1;
+  for (const MessageInstance* sub : SubMessages()) {
+    n += sub->TotalNodeCount();
+  }
+  return n;
+}
+
+std::size_t MessageInstance::MaxNestingDepth() const {
+  std::size_t deepest = 0;
+  for (const MessageInstance* sub : SubMessages()) {
+    deepest = std::max(deepest, sub->MaxNestingDepth());
+  }
+  return deepest + 1;
+}
+
+MessageInstance CloneMessage(const MessageInstance& msg) {
+  MessageInstance out;
+  out.fields.reserve(msg.fields.size());
+  for (const FieldValue& f : msg.fields) {
+    FieldValue copy;
+    copy.type = f.type;
+    copy.field_number = f.field_number;
+    copy.varint = f.varint;
+    copy.length = f.length;
+    if (f.sub != nullptr) {
+      copy.sub = std::make_unique<MessageInstance>(CloneMessage(*f.sub));
+    }
+    out.fields.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace perfiface

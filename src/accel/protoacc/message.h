@@ -1,0 +1,56 @@
+// Protobuf-like message model: the workload of the RPC (de)serialization
+// accelerators (Protoacc, Optimus Prime) and of the CPU baseline.
+//
+// A message is a tree: each node has scalar fields (varint integers,
+// length-delimited strings/bytes) and sub-message fields. The attributes the
+// paper's Fig 3 interface reads are defined here:
+//   * num_fields  — direct fields of this node (scalars + sub-message refs);
+//   * num_writes  — 16-byte output words of the node's full wire encoding
+//                   (top-level attribute);
+//   * iteration over a message yields its direct sub-messages.
+#ifndef SRC_ACCEL_PROTOACC_MESSAGE_H_
+#define SRC_ACCEL_PROTOACC_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace perfiface {
+
+enum class WireFieldType {
+  kVarint,   // int32/int64/bool/enum
+  kFixed64,  // double/fixed64
+  kLength,   // string/bytes
+  kMessage,  // nested message
+};
+
+struct FieldValue {
+  WireFieldType type = WireFieldType::kVarint;
+  std::uint32_t field_number = 1;
+  std::uint64_t varint = 0;                    // kVarint / kFixed64 payload
+  std::uint32_t length = 0;                    // kLength payload size in bytes
+  std::unique_ptr<struct MessageInstance> sub; // kMessage payload
+};
+
+struct MessageInstance {
+  std::vector<FieldValue> fields;
+
+  // Direct field count (the interface's msg.num_fields).
+  std::size_t num_fields() const { return fields.size(); }
+
+  // Direct sub-messages, in field order.
+  std::vector<const MessageInstance*> SubMessages() const;
+
+  std::size_t TotalNodeCount() const;   // this node + all descendants
+  std::size_t MaxNestingDepth() const;  // leaf message = 1
+};
+
+// Deep copy (FieldValue owns sub-messages through unique_ptr).
+MessageInstance CloneMessage(const MessageInstance& msg);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_PROTOACC_MESSAGE_H_

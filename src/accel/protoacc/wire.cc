@@ -1,0 +1,167 @@
+#include "src/accel/protoacc/wire.h"
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+std::uint32_t WireTypeOf(WireFieldType t) {
+  switch (t) {
+    case WireFieldType::kVarint: return kWireVarint;
+    case WireFieldType::kFixed64: return kWireFixed64;
+    case WireFieldType::kLength: return kWireLengthDelimited;
+    case WireFieldType::kMessage: return kWireLengthDelimited;
+  }
+  return kWireVarint;
+}
+
+std::uint64_t TagOf(const FieldValue& f) {
+  return (static_cast<std::uint64_t>(f.field_number) << 3) | WireTypeOf(f.type);
+}
+
+void AppendField(std::vector<std::uint8_t>* out, const FieldValue& f) {
+  AppendVarint(out, TagOf(f));
+  switch (f.type) {
+    case WireFieldType::kVarint:
+      AppendVarint(out, f.varint);
+      break;
+    case WireFieldType::kFixed64:
+      for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<std::uint8_t>(f.varint >> (8 * i)));
+      }
+      break;
+    case WireFieldType::kLength: {
+      AppendVarint(out, f.length);
+      // Deterministic filler content; only the size matters for timing.
+      for (std::uint32_t i = 0; i < f.length; ++i) {
+        out->push_back(static_cast<std::uint8_t>('a' + (i % 26)));
+      }
+      break;
+    }
+    case WireFieldType::kMessage: {
+      PI_CHECK(f.sub != nullptr);
+      const std::vector<std::uint8_t> sub = SerializeMessage(*f.sub);
+      AppendVarint(out, sub.size());
+      out->insert(out->end(), sub.begin(), sub.end());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t VarintSize(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void AppendVarint(std::vector<std::uint8_t>* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+bool ReadVarint(const std::vector<std::uint8_t>& in, std::size_t* pos, std::uint64_t* value) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift < 64) {
+    const std::uint8_t byte = in[*pos];
+    ++*pos;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> SerializeMessage(const MessageInstance& msg) {
+  std::vector<std::uint8_t> out;
+  for (const FieldValue& f : msg.fields) {
+    AppendField(&out, f);
+  }
+  return out;
+}
+
+Bytes SerializedSize(const MessageInstance& msg) {
+  Bytes total = 0;
+  for (const FieldValue& f : msg.fields) {
+    total += VarintSize(TagOf(f));
+    switch (f.type) {
+      case WireFieldType::kVarint:
+        total += VarintSize(f.varint);
+        break;
+      case WireFieldType::kFixed64:
+        total += 8;
+        break;
+      case WireFieldType::kLength:
+        total += VarintSize(f.length) + f.length;
+        break;
+      case WireFieldType::kMessage: {
+        PI_CHECK(f.sub != nullptr);
+        const Bytes sub = SerializedSize(*f.sub);
+        total += VarintSize(sub) + sub;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t NumWrites(const MessageInstance& msg) {
+  const Bytes size = SerializedSize(msg);
+  return static_cast<std::size_t>((size + 15) / 16);
+}
+
+bool DecodeTopLevelFields(const std::vector<std::uint8_t>& wire,
+                          std::vector<DecodedField>* fields) {
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    DecodedField f;
+    std::uint64_t tag = 0;
+    if (!ReadVarint(wire, &pos, &tag)) {
+      return false;
+    }
+    f.field_number = static_cast<std::uint32_t>(tag >> 3);
+    f.wire_type = static_cast<std::uint32_t>(tag & 0x7);
+    switch (f.wire_type) {
+      case kWireVarint:
+        if (!ReadVarint(wire, &pos, &f.varint)) {
+          return false;
+        }
+        break;
+      case kWireFixed64:
+        if (pos + 8 > wire.size()) {
+          return false;
+        }
+        for (int i = 7; i >= 0; --i) {
+          f.varint = (f.varint << 8) | wire[pos + static_cast<std::size_t>(i)];
+        }
+        pos += 8;
+        break;
+      case kWireLengthDelimited: {
+        std::uint64_t len = 0;
+        if (!ReadVarint(wire, &pos, &len) || pos + len > wire.size()) {
+          return false;
+        }
+        f.length = static_cast<std::size_t>(len);
+        pos += f.length;
+        break;
+      }
+      default:
+        return false;
+    }
+    fields->push_back(f);
+  }
+  return true;
+}
+
+}  // namespace perfiface

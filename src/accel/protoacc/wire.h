@@ -1,0 +1,56 @@
+// Protobuf wire-format serialization (functional reference).
+//
+// Implements the real protobuf encoding rules — varints, tags
+// (field_number << 3 | wire_type), length-delimited payloads — so that
+// num_writes and all byte counts used by the timing models come from an
+// actual encoding, not an estimate. String/bytes payload *content* is
+// synthetic (deterministic filler), since only its size affects timing.
+#ifndef SRC_ACCEL_PROTOACC_WIRE_H_
+#define SRC_ACCEL_PROTOACC_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/protoacc/message.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// Wire types from the protobuf spec.
+enum WireType : std::uint32_t {
+  kWireVarint = 0,
+  kWireFixed64 = 1,
+  kWireLengthDelimited = 2,
+};
+
+void AppendVarint(std::vector<std::uint8_t>* out, std::uint64_t value);
+
+// Decodes a varint at `pos`; advances pos. Returns false on truncation.
+bool ReadVarint(const std::vector<std::uint8_t>& in, std::size_t* pos, std::uint64_t* value);
+
+std::size_t VarintSize(std::uint64_t value);
+
+// Serializes a message tree to wire bytes.
+std::vector<std::uint8_t> SerializeMessage(const MessageInstance& msg);
+
+// Size in bytes of the wire encoding, without materializing it.
+Bytes SerializedSize(const MessageInstance& msg);
+
+// The accelerator writes the wire encoding in 16-byte words; this is the
+// interface attribute msg.num_writes.
+std::size_t NumWrites(const MessageInstance& msg);
+
+// Structural decode of wire bytes (field numbers, wire types, lengths),
+// used by round-trip tests. Returns false on malformed input.
+struct DecodedField {
+  std::uint32_t field_number = 0;
+  std::uint32_t wire_type = 0;
+  std::uint64_t varint = 0;
+  std::size_t length = 0;  // for length-delimited
+};
+bool DecodeTopLevelFields(const std::vector<std::uint8_t>& wire,
+                          std::vector<DecodedField>* fields);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_PROTOACC_WIRE_H_

@@ -1,0 +1,67 @@
+#include "src/accel/vta/gemm_core.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+void GemmMicroOp(const GemmTile& a, const GemmTile& b, AccTile* acc) {
+  PI_CHECK(acc != nullptr);
+  for (int r = 0; r < GemmTile::kDim; ++r) {
+    for (int c = 0; c < GemmTile::kDim; ++c) {
+      std::int32_t sum = acc->at(r, c);
+      for (int k = 0; k < GemmTile::kDim; ++k) {
+        sum += static_cast<std::int32_t>(a.at(r, k)) * static_cast<std::int32_t>(b.at(k, c));
+      }
+      acc->set(r, c, sum);
+    }
+  }
+}
+
+void AluMicroOp(VtaAluOp op, std::int32_t imm, AccTile* acc) {
+  PI_CHECK(acc != nullptr);
+  for (int r = 0; r < AccTile::kDim; ++r) {
+    for (int c = 0; c < AccTile::kDim; ++c) {
+      const std::int32_t v = acc->at(r, c);
+      std::int32_t out = v;
+      switch (op) {
+        case VtaAluOp::kAdd: out = v + imm; break;
+        case VtaAluOp::kMax: out = std::max(v, imm); break;
+        case VtaAluOp::kShiftRight: out = v >> (imm & 31); break;
+        case VtaAluOp::kRelu: out = std::max(v, 0); break;
+      }
+      acc->set(r, c, out);
+    }
+  }
+}
+
+GemmTile QuantizeTile(const AccTile& acc, int shift) {
+  GemmTile out;
+  for (int r = 0; r < AccTile::kDim; ++r) {
+    for (int c = 0; c < AccTile::kDim; ++c) {
+      const std::int32_t shifted = acc.at(r, c) >> shift;
+      out.set(r, c, static_cast<std::int8_t>(std::clamp(shifted, -128, 127)));
+    }
+  }
+  return out;
+}
+
+void TiledMatmul(const std::vector<GemmTile>& a_tiles, const std::vector<GemmTile>& b_tiles,
+                 std::vector<AccTile>* c_tiles, int tiles_m, int tiles_k, int tiles_n) {
+  PI_CHECK(c_tiles != nullptr);
+  PI_CHECK(a_tiles.size() == static_cast<std::size_t>(tiles_m * tiles_k));
+  PI_CHECK(b_tiles.size() == static_cast<std::size_t>(tiles_k * tiles_n));
+  c_tiles->assign(static_cast<std::size_t>(tiles_m * tiles_n), AccTile{});
+  for (int m = 0; m < tiles_m; ++m) {
+    for (int n = 0; n < tiles_n; ++n) {
+      AccTile& acc = (*c_tiles)[static_cast<std::size_t>(m * tiles_n + n)];
+      for (int k = 0; k < tiles_k; ++k) {
+        GemmMicroOp(a_tiles[static_cast<std::size_t>(m * tiles_k + k)],
+                    b_tiles[static_cast<std::size_t>(k * tiles_n + n)], &acc);
+      }
+    }
+  }
+}
+
+}  // namespace perfiface

@@ -1,0 +1,49 @@
+// Functional model of VTA's GEMM core: an int8 matrix-multiply unit with
+// int32 accumulation over fixed 16x16x16 tiles, plus the vector ALU ops.
+// The timing model lives in vta_sim.*; this file makes the accelerator
+// functionally real so examples and tests can check actual numerics.
+#ifndef SRC_ACCEL_VTA_GEMM_CORE_H_
+#define SRC_ACCEL_VTA_GEMM_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace perfiface {
+
+struct GemmTile {
+  static constexpr int kDim = 16;
+  // Row-major [kDim][kDim].
+  std::vector<std::int8_t> data = std::vector<std::int8_t>(kDim * kDim, 0);
+
+  std::int8_t at(int r, int c) const { return data[static_cast<std::size_t>(r * kDim + c)]; }
+  void set(int r, int c, std::int8_t v) { data[static_cast<std::size_t>(r * kDim + c)] = v; }
+};
+
+struct AccTile {
+  static constexpr int kDim = 16;
+  std::vector<std::int32_t> data = std::vector<std::int32_t>(kDim * kDim, 0);
+
+  std::int32_t at(int r, int c) const { return data[static_cast<std::size_t>(r * kDim + c)]; }
+  void set(int r, int c, std::int32_t v) { data[static_cast<std::size_t>(r * kDim + c)] = v; }
+};
+
+// acc += a x b (int8 inputs, int32 accumulation), exactly as the GEMM core's
+// systolic array computes one micro-op.
+void GemmMicroOp(const GemmTile& a, const GemmTile& b, AccTile* acc);
+
+enum class VtaAluOp { kAdd, kMax, kShiftRight, kRelu };
+
+// Element-wise ALU micro-op over an accumulator tile.
+void AluMicroOp(VtaAluOp op, std::int32_t imm, AccTile* acc);
+
+// Saturating int32 -> int8 requantization (STORE path).
+GemmTile QuantizeTile(const AccTile& acc, int shift);
+
+// Reference full matmul over tiled matrices, used by tests to validate the
+// micro-op decomposition: C[MxN] = A[MxK] x B[KxN] in kDim-sized tiles.
+void TiledMatmul(const std::vector<GemmTile>& a_tiles, const std::vector<GemmTile>& b_tiles,
+                 std::vector<AccTile>* c_tiles, int tiles_m, int tiles_k, int tiles_n);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_VTA_GEMM_CORE_H_

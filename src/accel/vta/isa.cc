@@ -1,0 +1,120 @@
+#include "src/accel/vta/isa.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+
+void AppendMacroStep(VtaProgram* program, std::uint32_t load_words_w,
+                     std::uint32_t load_words_in, std::uint32_t gemm_uops,
+                     std::uint32_t gemm_iters, std::uint32_t alu_uops, std::uint32_t alu_iters,
+                     std::uint32_t store_words) {
+  PI_CHECK(load_words_w > 0 && load_words_in > 0);
+  PI_CHECK(gemm_uops > 0 && gemm_iters > 0);
+  PI_CHECK(store_words > 0);
+
+  VtaInsn load_w;
+  load_w.op = VtaOp::kLoad;
+  load_w.dma_words = load_words_w;
+  load_w.pop_next = true;   // consume a free-buffer credit from COMPUTE
+  load_w.push_next = true;  // announce data to COMPUTE
+  program->push_back(load_w);
+
+  VtaInsn load_in = load_w;
+  load_in.dma_words = load_words_in;
+  program->push_back(load_in);
+
+  VtaInsn gemm;
+  gemm.op = VtaOp::kGemm;
+  gemm.uops = gemm_uops;
+  gemm.iters = gemm_iters;
+  gemm.pop_prev = true;   // both LOADs (weight 2 handled by the executor)
+  gemm.push_prev = true;  // return buffer credits to LOAD
+  program->push_back(gemm);
+
+  const bool has_alu = alu_uops > 0 && alu_iters > 0;
+  if (has_alu) {
+    VtaInsn alu;
+    alu.op = VtaOp::kAlu;
+    alu.uops = alu_uops;
+    alu.iters = alu_iters;
+    alu.pop_next = true;   // output-buffer credit from STORE
+    alu.push_next = true;  // results ready for STORE
+    program->push_back(alu);
+  }
+
+  VtaInsn store;
+  store.op = VtaOp::kStore;
+  store.dma_words = store_words;
+  store.pop_prev = true;   // wait for COMPUTE's results
+  store.push_prev = true;  // return the output-buffer credit
+  program->push_back(store);
+
+  if (!has_alu) {
+    // GEMM feeds STORE directly: the GEMM carries the output-side flags.
+    VtaInsn& gemm_ref = (*program)[program->size() - 2];
+    gemm_ref.pop_next = true;
+    gemm_ref.push_next = true;
+  }
+}
+
+void AppendFinish(VtaProgram* program) {
+  VtaInsn fin;
+  fin.op = VtaOp::kFinish;
+  program->push_back(fin);
+}
+
+std::string ValidateProgram(const VtaProgram& program) {
+  if (program.empty()) {
+    return "empty program";
+  }
+  if (program.back().op != VtaOp::kFinish) {
+    return "program must end with FINISH";
+  }
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const VtaInsn& insn = program[i];
+    const bool is_finish = insn.op == VtaOp::kFinish;
+    if (is_finish && i + 1 != program.size()) {
+      return StrFormat("FINISH at %zu is not last", i);
+    }
+    switch (insn.op) {
+      case VtaOp::kLoad:
+      case VtaOp::kStore:
+        if (insn.dma_words == 0) {
+          return StrFormat("insn %zu: zero-length DMA", i);
+        }
+        break;
+      case VtaOp::kGemm:
+      case VtaOp::kAlu:
+        if (insn.uops == 0 || insn.iters == 0) {
+          return StrFormat("insn %zu: empty compute", i);
+        }
+        break;
+      case VtaOp::kFinish:
+        break;
+    }
+  }
+  return "";
+}
+
+std::string Disassemble(const VtaProgram& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const VtaInsn& insn = program[i];
+    const char* name = "?";
+    switch (insn.op) {
+      case VtaOp::kLoad: name = "LOAD"; break;
+      case VtaOp::kGemm: name = "GEMM"; break;
+      case VtaOp::kAlu: name = "ALU"; break;
+      case VtaOp::kStore: name = "STORE"; break;
+      case VtaOp::kFinish: name = "FINISH"; break;
+    }
+    out += StrFormat("%4zu: %-6s words=%u uops=%u iters=%u flags=%c%c%c%c\n", i, name,
+                     insn.dma_words, insn.uops, insn.iters, insn.pop_prev ? 'p' : '-',
+                     insn.pop_next ? 'n' : '-', insn.push_prev ? 'P' : '-',
+                     insn.push_next ? 'N' : '-');
+  }
+  return out;
+}
+
+}  // namespace perfiface

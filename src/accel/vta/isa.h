@@ -1,0 +1,72 @@
+// Instruction set of the VTA-style deep-learning accelerator.
+//
+// VTA (Moreau et al., IEEE Micro'19) is a decoupled access-execute design:
+// a FETCH module streams instructions to three independently-clocked
+// modules — LOAD, COMPUTE, STORE — which synchronize only through
+// dependency-token queues. Programs are sequences of macro-instructions:
+//
+//   LOAD   dma_words into the weight/input scratchpad   (load queue)
+//   GEMM   uops x iters matrix-multiply micro-ops        (compute queue)
+//   ALU    uops x iters vector ALU micro-ops             (compute queue)
+//   STORE  dma_words from the output scratchpad          (store queue)
+//   FINISH drain and raise completion                    (fetch)
+//
+// Dependency flags mirror VTA's pop/push prev/next scheme; the canonical
+// lowering used by the auto-tuner (and by the workload generator) emits the
+// double-buffered pattern LOAD,LOAD -> GEMM[,ALU] -> STORE per macro-step.
+#ifndef SRC_ACCEL_VTA_ISA_H_
+#define SRC_ACCEL_VTA_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace perfiface {
+
+enum class VtaOp : std::uint8_t { kLoad, kGemm, kAlu, kStore, kFinish };
+
+struct VtaInsn {
+  VtaOp op = VtaOp::kLoad;
+
+  // Dependency-token flags (VTA semantics). "prev" is the module closer to
+  // LOAD, "next" the module closer to STORE, from the executing module's
+  // point of view.
+  bool pop_prev = false;
+  bool pop_next = false;
+  bool push_prev = false;
+  bool push_next = false;
+
+  // LOAD/STORE: DMA size in 16-byte words.
+  std::uint32_t dma_words = 0;
+
+  // GEMM/ALU: micro-op count and loop iterations.
+  std::uint32_t uops = 0;
+  std::uint32_t iters = 0;
+};
+
+using VtaProgram = std::vector<VtaInsn>;
+
+// Builds one canonical double-buffered macro-step:
+//   LOAD(weights) LOAD(inputs) GEMM [ALU] STORE
+// with the dependency flags the VTA runtime would emit.
+void AppendMacroStep(VtaProgram* program, std::uint32_t load_words_w,
+                     std::uint32_t load_words_in, std::uint32_t gemm_uops,
+                     std::uint32_t gemm_iters, std::uint32_t alu_uops, std::uint32_t alu_iters,
+                     std::uint32_t store_words);
+
+// Appends the trailing FINISH.
+void AppendFinish(VtaProgram* program);
+
+// Validates the structural invariants the simulator and the Petri-net
+// interface rely on (flag pattern, FINISH placement, non-zero sizes).
+// Returns an empty string if valid, else a description of the violation.
+std::string ValidateProgram(const VtaProgram& program);
+
+// Human-readable disassembly (debugging, examples).
+std::string Disassemble(const VtaProgram& program);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_VTA_ISA_H_

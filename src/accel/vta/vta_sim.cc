@@ -1,0 +1,294 @@
+#include "src/accel/vta/vta_sim.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+namespace {
+
+// Shared memory bus: DMA bursts from LOAD and STORE serialize on it.
+// Each engine owns a private memory channel (TLB + bank state): DMAs are
+// precomputed at issue, so a shared bank model would let one engine's
+// future bursts block the other engine's earlier ones. Cross-engine
+// contention is carried by the bus reservation below, which is made in
+// issue order and therefore causally consistent.
+struct SharedBus {
+  Cycles free_at = 0;
+};
+
+// Computes the duration of a DMA transfer issued at `now`, advancing the
+// memory/bus state. Sequential burst addresses stream through the DRAM row
+// buffers; page boundaries hit the TLB. The bus is a bandwidth resource:
+// each transfer reserves one dma_burst_transfer slot per burst, so
+// overlapping LOAD/STORE DMAs queue behind each other's *transfer* time
+// (not their full latency chains).
+Cycles DmaDuration(const VtaTiming& timing, std::uint32_t words, Cycles now, MemorySystem* mem,
+                   SharedBus* bus, std::uint64_t* addr_cursor) {
+  const std::uint32_t bursts = (words + timing.dma_burst_words - 1) / timing.dma_burst_words;
+
+  // Queue for bus bandwidth behind in-flight transfers.
+  const Cycles bus_start = std::max(now, bus->free_at);
+  bus->free_at = bus_start + static_cast<Cycles>(bursts) * timing.dma_burst_transfer;
+  const Cycles queue_wait = bus_start - now;
+
+  Cycles t = now + queue_wait + timing.dma_setup;
+  for (std::uint32_t b = 0; b < bursts; ++b) {
+    const Cycles lat = mem->Access(*addr_cursor, t);
+    *addr_cursor += 16ULL * timing.dma_burst_words;
+    t += lat + timing.dma_burst_transfer;
+  }
+  return t - now;
+}
+
+// One executing module (LOAD, COMPUTE or STORE). Command and token queues
+// are plain deques here; the one-cycle handoff of hardware FIFOs is modeled
+// by making tokens pushed in cycle T visible from cycle T+1.
+struct TokenQueue {
+  std::deque<Cycles> ready_at;  // cycle from which each token is usable
+
+  void Push(Cycles now) { ready_at.push_back(now + 1); }
+  void PushInitial(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ready_at.push_back(0);
+    }
+  }
+  std::size_t Usable(Cycles now) const {
+    std::size_t n = 0;
+    for (Cycles t : ready_at) {
+      if (t <= now) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  void Pop(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      PI_CHECK(!ready_at.empty());
+      ready_at.pop_front();
+    }
+  }
+};
+
+struct CmdQueue {
+  std::deque<std::pair<VtaInsn, Cycles>> entries;  // instruction, visible-from
+
+  bool HasUsable(Cycles now) const { return !entries.empty() && entries.front().second <= now; }
+  std::size_t Size() const { return entries.size(); }
+};
+
+struct Executor {
+  bool busy = false;
+  Cycles busy_until = 0;
+  VtaInsn current;
+};
+
+struct MachineState {
+  MachineState(const MemoryConfig& mem_config, std::uint64_t seed)
+      : load_mem(mem_config, DeriveSeed(seed, 21)), store_mem(mem_config, DeriveSeed(seed, 22)) {}
+
+  CmdQueue load_q, compute_q, store_q;
+  TokenQueue l2g, g2l, g2s, s2g;
+  Executor load, compute, store;
+  SharedBus bus;
+  MemorySystem load_mem;
+  MemorySystem store_mem;
+  std::uint64_t load_addr = 0x10000000;
+  std::uint64_t store_addr = 0x20000000;
+  std::uint64_t stores_completed = 0;
+  std::vector<Cycles> store_times;
+  // Folded netlist-emulation state; kept observable so the compiler cannot
+  // elide the per-cycle work.
+  std::uint64_t datapath_hash = 0;
+};
+
+}  // namespace
+
+VtaSim::VtaSim(const VtaTiming& timing, const MemoryConfig& mem_config, std::uint64_t seed)
+    : timing_(timing), mem_config_(mem_config), seed_(seed) {
+  PI_CHECK(timing_.cmd_queue_depth >= 1);
+  PI_CHECK(timing_.dma_burst_words >= 1);
+}
+
+namespace {
+
+// Runs `program` (which must end in FINISH) cycle by cycle; returns the
+// completion time and fills `st->store_times`.
+Cycles RunProgram(const VtaTiming& timing, const VtaProgram& program, MachineState* st) {
+  const std::string err = ValidateProgram(program);
+  PI_CHECK_MSG(err.empty(), err.c_str());
+
+  st->g2l.PushInitial(timing.g2l_init_credits);
+  st->s2g.PushInitial(timing.s2g_init_credits);
+
+  std::size_t pc = 0;
+  const std::size_t body_end = program.size() - 1;  // FINISH handled at drain
+  Cycles fetch_stall_until = 0;
+  std::uint32_t dispatched = 0;
+
+  Cycles now = 0;
+  std::uint64_t datapath_state = 0x243F6A8885A308D3ULL;  // netlist emulation
+  for (;;) {
+    // ---- Netlist evaluation: the per-cycle cost of RTL simulation. ----
+    for (std::uint32_t i = 0; i < timing.rtl_emulation_ops; ++i) {
+      datapath_state ^= datapath_state << 13;
+      datapath_state ^= datapath_state >> 7;
+      datapath_state ^= datapath_state << 17;
+    }
+
+    // ---- FETCH: one dispatch per cycle, periodic refill stall. ----
+    if (pc < body_end && now >= fetch_stall_until) {
+      const VtaInsn& insn = program[pc];
+      CmdQueue* target = nullptr;
+      switch (insn.op) {
+        case VtaOp::kLoad: target = &st->load_q; break;
+        case VtaOp::kGemm:
+        case VtaOp::kAlu: target = &st->compute_q; break;
+        case VtaOp::kStore: target = &st->store_q; break;
+        case VtaOp::kFinish: target = nullptr; break;
+      }
+      PI_CHECK(target != nullptr);
+      if (target->Size() < timing.cmd_queue_depth) {
+        target->entries.emplace_back(insn, now + 1);
+        ++pc;
+        ++dispatched;
+        if (dispatched % timing.icache_period == 0) {
+          fetch_stall_until = now + 1 + timing.icache_stall;
+        }
+      }
+    }
+
+    // ---- LOAD ----
+    if (st->load.busy && now >= st->load.busy_until) {
+      st->load.busy = false;
+      if (st->load.current.push_next) {
+        st->l2g.Push(now);
+      }
+    }
+    if (!st->load.busy && st->load_q.HasUsable(now)) {
+      const VtaInsn& insn = st->load_q.entries.front().first;
+      const bool credit_ok = !insn.pop_next || st->g2l.Usable(now) >= 1;
+      if (credit_ok) {
+        if (insn.pop_next) {
+          st->g2l.Pop(1);
+        }
+        st->load.current = insn;
+        st->load.busy = true;
+        st->load.busy_until =
+            now + DmaDuration(timing, insn.dma_words, now, &st->load_mem, &st->bus,
+                              &st->load_addr);
+        st->load_q.entries.pop_front();
+      }
+    }
+
+    // ---- COMPUTE ----
+    if (st->compute.busy && now >= st->compute.busy_until) {
+      st->compute.busy = false;
+      const VtaInsn& insn = st->compute.current;
+      if (insn.push_prev) {
+        st->g2l.Push(now);
+        st->g2l.Push(now);  // returns both LOAD credits of the macro-step
+      }
+      if (insn.push_next) {
+        st->g2s.Push(now);
+      }
+    }
+    if (!st->compute.busy && st->compute_q.HasUsable(now)) {
+      const VtaInsn& insn = st->compute_q.entries.front().first;
+      const std::size_t need_l2g = insn.pop_prev ? 2 : 0;  // both LOADs of the step
+      const std::size_t need_s2g = insn.pop_next ? 1 : 0;
+      if (st->l2g.Usable(now) >= need_l2g && st->s2g.Usable(now) >= need_s2g) {
+        st->l2g.Pop(need_l2g);
+        st->s2g.Pop(need_s2g);
+        st->compute.current = insn;
+        st->compute.busy = true;
+        const Cycles base = insn.op == VtaOp::kGemm ? timing.gemm_base : timing.alu_base;
+        st->compute.busy_until =
+            now + base + static_cast<Cycles>(insn.uops) * static_cast<Cycles>(insn.iters);
+        st->compute_q.entries.pop_front();
+      }
+    }
+
+    // ---- STORE ----
+    if (st->store.busy && now >= st->store.busy_until) {
+      st->store.busy = false;
+      if (st->store.current.push_prev) {
+        st->s2g.Push(now);
+      }
+      ++st->stores_completed;
+      st->store_times.push_back(now);
+    }
+    if (!st->store.busy && st->store_q.HasUsable(now)) {
+      const VtaInsn& insn = st->store_q.entries.front().first;
+      const bool data_ok = !insn.pop_prev || st->g2s.Usable(now) >= 1;
+      if (data_ok) {
+        if (insn.pop_prev) {
+          st->g2s.Pop(1);
+        }
+        st->store.current = insn;
+        st->store.busy = true;
+        st->store.busy_until =
+            now + DmaDuration(timing, insn.dma_words, now, &st->store_mem, &st->bus,
+                              &st->store_addr);
+        st->store_q.entries.pop_front();
+      }
+    }
+
+    // ---- Completion check. ----
+    const bool drained = pc >= body_end && st->load_q.Size() == 0 && st->compute_q.Size() == 0 &&
+                         st->store_q.Size() == 0 && !st->load.busy && !st->compute.busy &&
+                         !st->store.busy;
+    if (drained) {
+      st->datapath_hash = datapath_state;
+      return now + timing.finish_cost;
+    }
+    ++now;
+    PI_CHECK_MSG(now < 500'000'000ULL, "VTA program did not drain (deadlock?)");
+  }
+}
+
+}  // namespace
+
+Cycles VtaSim::RunLatency(const VtaProgram& program) {
+  MachineState st(mem_config_, seed_);
+  const Cycles latency = RunProgram(timing_, program, &st);
+  last_datapath_hash_ = st.datapath_hash;
+  return latency;
+}
+
+VtaRunResult VtaSim::Measure(const VtaProgram& program, std::size_t copies) {
+  PI_CHECK(copies >= 3);
+  VtaRunResult out;
+  out.instructions = program.size() - 1;  // body, excluding FINISH
+  out.latency = RunLatency(program);
+
+  // Streaming: concatenate the body `copies` times. Store completions mark
+  // per-copy boundaries; steady-state throughput excludes fill and drain.
+  VtaProgram stream;
+  std::size_t stores_per_copy = 0;
+  for (const VtaInsn& insn : program) {
+    if (insn.op == VtaOp::kStore) {
+      ++stores_per_copy;
+    }
+  }
+  PI_CHECK(stores_per_copy > 0);
+  for (std::size_t c = 0; c < copies; ++c) {
+    stream.insert(stream.end(), program.begin(), program.end() - 1);
+  }
+  AppendFinish(&stream);
+
+  MachineState st(mem_config_, seed_);
+  RunProgram(timing_, stream, &st);
+  out.stores_completed = st.stores_completed;
+  PI_CHECK(st.store_times.size() == stores_per_copy * copies);
+  const Cycles first = st.store_times[stores_per_copy - 1];
+  const Cycles last = st.store_times[stores_per_copy * copies - 1];
+  PI_CHECK(last > first);
+  out.throughput = static_cast<double>(out.instructions * (copies - 1)) /
+                   static_cast<double>(last - first);
+  return out;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,19 @@
+#include "src/autotune/backend.h"
+
+namespace perfiface {
+
+CycleAccurateBackend::CycleAccurateBackend(const VtaTiming& timing,
+                                           const MemoryConfig& mem_config, std::uint64_t seed)
+    : sim_(timing, mem_config, seed) {}
+
+Cycles CycleAccurateBackend::EvaluateLatency(const VtaProgram& program) {
+  return sim_.RunLatency(program);
+}
+
+PetriBackend::PetriBackend(const std::string& pnet_path) : iface_(pnet_path) {}
+
+Cycles PetriBackend::EvaluateLatency(const VtaProgram& program) {
+  return iface_.PredictLatency(program);
+}
+
+}  // namespace perfiface

@@ -1,0 +1,53 @@
+// Cost backends for the auto-tuner: how a candidate program's latency is
+// obtained. The paper's example #3 contrasts profiling through
+// cycle-accurate simulation (slow, per-cycle cost) with querying the
+// Petri-net performance interface (fast, per-event cost).
+#ifndef SRC_AUTOTUNE_BACKEND_H_
+#define SRC_AUTOTUNE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/accel/vta/isa.h"
+#include "src/accel/vta/vta_sim.h"
+#include "src/common/types.h"
+#include "src/core/petri_interfaces.h"
+
+namespace perfiface {
+
+class CostBackend {
+ public:
+  virtual ~CostBackend() = default;
+
+  virtual Cycles EvaluateLatency(const VtaProgram& program) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Profiles by running the full cycle-accurate simulator.
+class CycleAccurateBackend : public CostBackend {
+ public:
+  CycleAccurateBackend(const VtaTiming& timing, const MemoryConfig& mem_config,
+                       std::uint64_t seed);
+
+  Cycles EvaluateLatency(const VtaProgram& program) override;
+  std::string name() const override { return "cycle-accurate"; }
+
+ private:
+  VtaSim sim_;
+};
+
+// Profiles by querying the Petri-net performance interface.
+class PetriBackend : public CostBackend {
+ public:
+  explicit PetriBackend(const std::string& pnet_path);
+
+  Cycles EvaluateLatency(const VtaProgram& program) override;
+  std::string name() const override { return "petri-net"; }
+
+ private:
+  VtaPetriInterface iface_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_AUTOTUNE_BACKEND_H_

@@ -1,0 +1,78 @@
+#include "src/autotune/schedule.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+namespace {
+
+// 16-byte DMA words per 16x16 int8 tile (256 bytes).
+constexpr std::uint32_t kWordsPerTile = 16;
+
+std::vector<std::uint32_t> DivisorsOf(std::uint32_t n) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t d = 1; d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Schedule::ToString() const {
+  return StrFormat("tile(m=%u,k=%u,n=%u)", tile_m, tile_k, tile_n);
+}
+
+VtaProgram LowerGemm(const GemmWorkload& workload, const Schedule& schedule) {
+  PI_CHECK(schedule.tile_m >= 1 && schedule.tile_k >= 1 && schedule.tile_n >= 1);
+  PI_CHECK(workload.tiles_m % schedule.tile_m == 0);
+  PI_CHECK(workload.tiles_k % schedule.tile_k == 0);
+  PI_CHECK(workload.tiles_n % schedule.tile_n == 0);
+
+  VtaProgram program;
+  const std::uint32_t steps_m = workload.tiles_m / schedule.tile_m;
+  const std::uint32_t steps_k = workload.tiles_k / schedule.tile_k;
+  const std::uint32_t steps_n = workload.tiles_n / schedule.tile_n;
+
+  for (std::uint32_t mi = 0; mi < steps_m; ++mi) {
+    for (std::uint32_t ni = 0; ni < steps_n; ++ni) {
+      for (std::uint32_t ki = 0; ki < steps_k; ++ki) {
+        const std::uint32_t w_words = schedule.tile_k * schedule.tile_n * kWordsPerTile;
+        const std::uint32_t in_words = schedule.tile_m * schedule.tile_k * kWordsPerTile;
+        const std::uint32_t gemm_uops = schedule.tile_m * schedule.tile_n;
+        const std::uint32_t gemm_iters = schedule.tile_k * 16;  // 16 k-steps per tile
+        // Accumulators spill every macro-step (ALU requantizes on the last
+        // k-chunk only; modeled as a small fixed ALU pass).
+        const std::uint32_t store_words =
+            schedule.tile_m * schedule.tile_n * kWordsPerTile;
+        const bool last_k = ki + 1 == steps_k;
+        AppendMacroStep(&program, w_words, in_words, gemm_uops, gemm_iters,
+                        last_k ? gemm_uops : 0, last_k ? 4 : 0, store_words);
+      }
+    }
+  }
+  AppendFinish(&program);
+  return program;
+}
+
+std::vector<Schedule> EnumerateSchedules(const GemmWorkload& workload) {
+  std::vector<Schedule> out;
+  for (std::uint32_t tm : DivisorsOf(workload.tiles_m)) {
+    for (std::uint32_t tk : DivisorsOf(workload.tiles_k)) {
+      for (std::uint32_t tn : DivisorsOf(workload.tiles_n)) {
+        // Scratchpad capacity: a macro-step's working set must fit the
+        // double-buffered on-chip SRAM (mirrors VTA's 128 tile budget).
+        const std::uint32_t tiles = tm * tk + tk * tn + tm * tn;
+        if (tiles <= 128) {
+          out.push_back(Schedule{tm, tk, tn});
+        }
+      }
+    }
+  }
+  PI_CHECK(!out.empty());
+  return out;
+}
+
+}  // namespace perfiface

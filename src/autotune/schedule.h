@@ -1,0 +1,43 @@
+// Schedule space for the auto-tuner (paper §2 example #3, §3 "speedup").
+//
+// The tuner optimizes a tiled matrix multiply C[M,N] = A[M,K] x B[K,N]
+// (dimensions in 16x16 hardware tiles) for the VTA accelerator. A schedule
+// picks macro-step tile sizes; lowering emits the canonical double-buffered
+// VTA instruction stream. Different schedules trade DMA volume against
+// compute granularity and pipeline overlap — the cost model (cycle-accurate
+// simulation or the Petri-net interface) decides which wins.
+#ifndef SRC_AUTOTUNE_SCHEDULE_H_
+#define SRC_AUTOTUNE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/accel/vta/isa.h"
+
+namespace perfiface {
+
+struct GemmWorkload {
+  std::uint32_t tiles_m = 4;
+  std::uint32_t tiles_k = 4;
+  std::uint32_t tiles_n = 4;
+};
+
+struct Schedule {
+  std::uint32_t tile_m = 1;
+  std::uint32_t tile_k = 1;
+  std::uint32_t tile_n = 1;
+
+  std::string ToString() const;
+};
+
+// Emits the VTA program implementing `workload` under `schedule`.
+VtaProgram LowerGemm(const GemmWorkload& workload, const Schedule& schedule);
+
+// All schedules whose tiles divide the workload dimensions (the candidate
+// set the tuner searches).
+std::vector<Schedule> EnumerateSchedules(const GemmWorkload& workload);
+
+}  // namespace perfiface
+
+#endif  // SRC_AUTOTUNE_SCHEDULE_H_

@@ -1,0 +1,176 @@
+#include "src/autotune/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+namespace {
+
+using ScheduleKey = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+ScheduleKey KeyOf(const Schedule& s) { return {s.tile_m, s.tile_k, s.tile_n}; }
+
+// Evaluates with memoization so revisited schedules do not consume budget.
+class BudgetedEvaluator {
+ public:
+  BudgetedEvaluator(const GemmWorkload& workload, CostBackend* backend, std::size_t budget)
+      : workload_(workload), backend_(backend), budget_(budget) {}
+
+  bool Exhausted() const { return evaluations_ >= budget_; }
+  std::size_t evaluations() const { return evaluations_; }
+
+  Cycles Evaluate(const Schedule& s) {
+    const auto it = cache_.find(KeyOf(s));
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    PI_CHECK(!Exhausted());
+    ++evaluations_;
+    const Cycles latency = backend_->EvaluateLatency(LowerGemm(workload_, s));
+    cache_.emplace(KeyOf(s), latency);
+    return latency;
+  }
+
+ private:
+  const GemmWorkload& workload_;
+  CostBackend* backend_;
+  std::size_t budget_;
+  std::size_t evaluations_ = 0;
+  std::map<ScheduleKey, Cycles> cache_;
+};
+
+// Mutates one tile dimension to an adjacent divisor of the workload dim.
+Schedule Mutate(const Schedule& s, const GemmWorkload& workload, SplitMix64* rng) {
+  auto divisors = [](std::uint32_t n) {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t d = 1; d <= n; ++d) {
+      if (n % d == 0) {
+        out.push_back(d);
+      }
+    }
+    return out;
+  };
+  Schedule mutated = s;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::size_t dim = rng->NextBelow(3);
+    const std::uint32_t workload_dim =
+        dim == 0 ? workload.tiles_m : dim == 1 ? workload.tiles_k : workload.tiles_n;
+    const std::vector<std::uint32_t> divs = divisors(workload_dim);
+    std::uint32_t& field =
+        dim == 0 ? mutated.tile_m : dim == 1 ? mutated.tile_k : mutated.tile_n;
+    const auto it = std::find(divs.begin(), divs.end(), field);
+    PI_CHECK(it != divs.end());
+    const std::size_t index = static_cast<std::size_t>(it - divs.begin());
+    const std::size_t next =
+        rng->NextBool(0.5) ? (index + 1 < divs.size() ? index + 1 : index)
+                           : (index > 0 ? index - 1 : index);
+    field = divs[next];
+    // Respect the scratchpad constraint; otherwise retry.
+    if (mutated.tile_m * mutated.tile_k + mutated.tile_k * mutated.tile_n +
+            mutated.tile_m * mutated.tile_n <=
+        128) {
+      return mutated;
+    }
+    mutated = s;
+  }
+  return s;
+}
+
+TuneResult TuneEvolutionary(const GemmWorkload& workload, CostBackend* backend,
+                            const TunerOptions& options) {
+  PI_CHECK(options.population >= 2);
+  PI_CHECK(options.survivors >= 1 && options.survivors < options.population);
+  SplitMix64 rng(options.seed);
+  BudgetedEvaluator evaluator(workload, backend, options.max_evaluations);
+
+  const std::vector<Schedule> space = EnumerateSchedules(workload);
+  struct Scored {
+    Schedule schedule;
+    Cycles latency = 0;
+  };
+  std::vector<Scored> population;
+
+  // Seed with random points from the space.
+  for (std::size_t i = 0; i < options.population && !evaluator.Exhausted(); ++i) {
+    const Schedule s = space[rng.NextBelow(space.size())];
+    population.push_back(Scored{s, evaluator.Evaluate(s)});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  // Generation cap: with a small space the memo cache can stop consuming
+  // budget, so budget exhaustion alone must not be the only exit.
+  for (std::size_t generation = 0; generation < 64 && !evaluator.Exhausted(); ++generation) {
+    const std::size_t before = evaluator.evaluations();
+    std::sort(population.begin(), population.end(),
+              [](const Scored& a, const Scored& b) { return a.latency < b.latency; });
+    population.resize(std::min(population.size(), options.survivors));
+    const std::size_t parents = population.size();
+    for (std::size_t i = 0; !evaluator.Exhausted() && i < options.population - parents; ++i) {
+      const Schedule child =
+          Mutate(population[rng.NextBelow(parents)].schedule, workload, &rng);
+      population.push_back(Scored{child, evaluator.Evaluate(child)});
+    }
+    if (evaluator.evaluations() == before) {
+      break;  // converged: every mutation revisits cached points
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  TuneResult result;
+  result.evaluations = evaluator.evaluations();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.best_latency = ~0ULL;
+  for (const Scored& s : population) {
+    if (s.latency < result.best_latency) {
+      result.best_latency = s.latency;
+      result.best_schedule = s.schedule;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+TuneResult Tune(const GemmWorkload& workload, CostBackend* backend,
+                const TunerOptions& options) {
+  PI_CHECK(backend != nullptr);
+  PI_CHECK(options.max_evaluations >= 1);
+
+  if (options.strategy == SearchStrategy::kEvolutionary) {
+    return TuneEvolutionary(workload, backend, options);
+  }
+
+  std::vector<Schedule> candidates = EnumerateSchedules(workload);
+  if (candidates.size() > options.max_evaluations) {
+    // Budgeted search: deterministic shuffle, then take the prefix.
+    SplitMix64 rng(options.seed);
+    for (std::size_t i = candidates.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.NextBelow(i + 1));
+      std::swap(candidates[i], candidates[j]);
+    }
+    candidates.resize(options.max_evaluations);
+  }
+
+  TuneResult result;
+  result.best_latency = ~0ULL;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Schedule& schedule : candidates) {
+    const VtaProgram program = LowerGemm(workload, schedule);
+    const Cycles latency = backend->EvaluateLatency(program);
+    ++result.evaluations;
+    if (latency < result.best_latency) {
+      result.best_latency = latency;
+      result.best_schedule = schedule;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace perfiface

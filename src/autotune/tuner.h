@@ -1,0 +1,45 @@
+// The auto-tuner: searches the schedule space of a GEMM workload with a
+// pluggable cost backend, mirroring TVM's profile-driven tuning loop.
+#ifndef SRC_AUTOTUNE_TUNER_H_
+#define SRC_AUTOTUNE_TUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/autotune/backend.h"
+#include "src/autotune/schedule.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct TuneResult {
+  Schedule best_schedule;
+  Cycles best_latency = 0;
+  std::size_t evaluations = 0;
+  double wall_seconds = 0;  // time spent inside the cost backend
+};
+
+enum class SearchStrategy {
+  // Exhaustive when the candidate set fits the budget, else a seeded random
+  // subset (TVM's baseline behaviour).
+  kSampled,
+  // Evolutionary search: tournament selection + divisor-neighbourhood
+  // mutation over tile sizes (the "learning-based search" of example #3).
+  kEvolutionary,
+};
+
+struct TunerOptions {
+  std::size_t max_evaluations = 128;
+  std::uint64_t seed = 1;
+  SearchStrategy strategy = SearchStrategy::kSampled;
+  // Evolutionary knobs.
+  std::size_t population = 12;
+  std::size_t survivors = 4;
+};
+
+TuneResult Tune(const GemmWorkload& workload, CostBackend* backend,
+                const TunerOptions& options);
+
+}  // namespace perfiface
+
+#endif  // SRC_AUTOTUNE_TUNER_H_

@@ -1,0 +1,44 @@
+#include "src/baseline/cpu_serializer.h"
+
+#include <cmath>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+void AccumulateCost(const CpuSerializerTiming& timing, const MessageInstance& msg,
+                    double* cost) {
+  *cost += static_cast<double>(timing.per_field) * static_cast<double>(msg.num_fields());
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    *cost += static_cast<double>(timing.per_submessage);
+    AccumulateCost(timing, *sub, cost);
+  }
+}
+
+}  // namespace
+
+Cycles CpuSerializer::MessageCost(const MessageInstance& msg) const {
+  double cost = static_cast<double>(timing_.per_message);
+  AccumulateCost(timing_, msg, &cost);
+  cost += timing_.cycles_per_byte * static_cast<double>(SerializedSize(msg));
+  return static_cast<Cycles>(std::llround(cost));
+}
+
+CpuSerializeMeasurement CpuSerializer::Measure(const MessageInstance& msg) const {
+  CpuSerializeMeasurement out;
+  out.cost = MessageCost(msg);
+  out.throughput = 1.0 / static_cast<double>(out.cost);
+  out.gbps = out.throughput * static_cast<double>(SerializedSize(msg)) * 8.0 * timing_.clock_ghz;
+  out.wire = SerializeMessage(msg);
+  return out;
+}
+
+double CpuSerializer::CoresNeeded(const MessageInstance& msg, double messages_per_second) const {
+  PI_CHECK(messages_per_second > 0);
+  const double cycles_per_second = timing_.clock_ghz * 1e9;
+  return messages_per_second * static_cast<double>(MessageCost(msg)) / cycles_per_second;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,54 @@
+// Software (Xeon-class CPU core) protobuf serialization baseline.
+//
+// The offload advisor (paper §2, example #2) compares accelerators against
+// "a regular Xeon". This model reproduces the well-known cost profile of
+// software protobuf serialization on a server core: a fixed call/dispatch
+// overhead per message, a per-field encode cost (branchy varint encoding),
+// a per-byte copy cost, and an allocation/pointer cost per nested message.
+// It also *runs* the functional serializer so that the baseline's results
+// can be compared against the accelerators' byte-for-byte.
+#ifndef SRC_BASELINE_CPU_SERIALIZER_H_
+#define SRC_BASELINE_CPU_SERIALIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/protoacc/message.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct CpuSerializerTiming {
+  Cycles per_message = 250;      // call chain, descriptor dispatch
+  Cycles per_field = 20;         // tag + varint encode, branches
+  double cycles_per_byte = 0.8;  // payload copy through the cache hierarchy
+  Cycles per_submessage = 60;    // size pre-pass + pointer deref
+  double clock_ghz = 2.5;
+};
+
+struct CpuSerializeMeasurement {
+  Cycles cost = 0;        // cycles per message on one core
+  double throughput = 0;  // messages/cycle (single core)
+  double gbps = 0;
+  std::vector<std::uint8_t> wire;  // functional output
+};
+
+class CpuSerializer {
+ public:
+  explicit CpuSerializer(const CpuSerializerTiming& timing) : timing_(timing) {}
+
+  Cycles MessageCost(const MessageInstance& msg) const;
+  CpuSerializeMeasurement Measure(const MessageInstance& msg) const;
+
+  // How many cores a given offered load (messages/second) would occupy.
+  double CoresNeeded(const MessageInstance& msg, double messages_per_second) const;
+
+  const CpuSerializerTiming& timing() const { return timing_; }
+
+ private:
+  CpuSerializerTiming timing_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_BASELINE_CPU_SERIALIZER_H_

@@ -1,0 +1,30 @@
+// Lightweight runtime assertion macros.
+//
+// PI_CHECK is always on (including release builds): simulators are the
+// ground truth for every experiment in this repository, so internal
+// inconsistencies must abort loudly rather than skew a measurement.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PI_CHECK(cond)                                                                 \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "PI_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,       \
+                   #cond);                                                             \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#define PI_CHECK_MSG(cond, msg)                                                        \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "PI_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__,  \
+                   #cond, msg);                                                        \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,65 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+std::uint64_t SplitMix64::Next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::NextBelow(std::uint64_t bound) {
+  PI_CHECK(bound > 0);
+  // Debiased modulo via rejection; bias is negligible for simulation but
+  // rejection keeps the generator honest for property tests.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t SplitMix64::NextInRange(std::uint64_t lo, std::uint64_t hi) {
+  PI_CHECK(lo <= hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double SplitMix64::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double SplitMix64::NextGaussian() {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  const double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+bool SplitMix64::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+std::uint64_t DeriveSeed(std::uint64_t parent, std::uint64_t stream) {
+  SplitMix64 mix(parent ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  return mix.Next();
+}
+
+}  // namespace perfiface

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element in this repository (workload generators, memory
+// latency jitter, pipeline stall injection) draws from these generators with
+// an explicit seed, so every experiment is exactly reproducible run-to-run.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace perfiface {
+
+// SplitMix64: tiny, fast, statistically solid for simulation purposes, and
+// trivially seedable. Used both directly and to seed Pcg32 streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller (one value per call; no caching so the
+  // stream position stays easy to reason about).
+  double NextGaussian();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+// Derives a child seed from a parent seed and a stream index, so independent
+// components can get decorrelated streams from a single experiment seed.
+std::uint64_t DeriveSeed(std::uint64_t parent, std::uint64_t stream);
+
+}  // namespace perfiface
+
+#endif  // SRC_COMMON_RNG_H_

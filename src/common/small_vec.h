@@ -1,0 +1,115 @@
+// Small vector with inline storage, used for token attributes on the Petri
+// hot path (token copies must not hit the heap for typical attribute
+// counts).
+#ifndef SRC_COMMON_SMALL_VEC_H_
+#define SRC_COMMON_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+template <typename T, std::size_t kInline>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) { Assign(init.begin(), init.end()); }
+  SmallVec(const SmallVec& other) { Assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept
+      : size_(other.size_), overflow_(std::move(other.overflow_)) {
+    if (size_ <= kInline) {
+      std::copy(other.inline_, other.inline_ + size_, inline_);
+    }
+    other.size_ = 0;
+    other.overflow_.clear();
+  }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      Assign(other.begin(), other.end());
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      overflow_ = std::move(other.overflow_);
+      if (size_ <= kInline) {
+        std::copy(other.inline_, other.inline_ + size_, inline_);
+      }
+      other.size_ = 0;
+      other.overflow_.clear();
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    Assign(init.begin(), init.end());
+    return *this;
+  }
+
+  void assign(std::size_t n, const T& value) {
+    resize(n);
+    std::fill(begin(), end(), value);
+  }
+
+  // Preserves existing elements (up to n), including across the
+  // inline/heap boundary in either direction.
+  void resize(std::size_t n) {
+    if (n > kInline) {
+      if (size_ <= kInline) {
+        overflow_.assign(inline_, inline_ + size_);
+      }
+      overflow_.resize(n);
+    } else {
+      if (size_ > kInline) {
+        std::copy(overflow_.begin(), overflow_.begin() + static_cast<std::ptrdiff_t>(n),
+                  inline_);
+      }
+      overflow_.clear();
+    }
+    size_ = n;
+  }
+
+  void push_back(const T& value) {
+    resize(size_ + 1);
+    (*this)[size_ - 1] = value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  T& operator[](std::size_t i) {
+    PI_CHECK(i < size_);
+    return size_ <= kInline ? inline_[i] : overflow_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    PI_CHECK(i < size_);
+    return size_ <= kInline ? inline_[i] : overflow_[i];
+  }
+
+  T* begin() { return size_ <= kInline ? inline_ : overflow_.data(); }
+  T* end() { return begin() + size_; }
+  const T* begin() const { return size_ <= kInline ? inline_ : overflow_.data(); }
+  const T* end() const { return begin() + size_; }
+
+ private:
+  template <typename It>
+  void Assign(It first, It last) {
+    resize(static_cast<std::size_t>(last - first));
+    std::copy(first, last, begin());
+  }
+
+  T inline_[kInline] = {};
+  std::size_t size_ = 0;
+  std::vector<T> overflow_;  // only engaged beyond kInline elements
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_COMMON_SMALL_VEC_H_

@@ -1,0 +1,56 @@
+// Summary statistics and prediction-error metrics.
+//
+// The paper reports interface quality as average and maximum relative
+// prediction error (e.g. "2.1% (10.3%)"); ErrorAccumulator computes exactly
+// that metric. RunningStats provides mean/min/max/stddev for benches.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace perfiface {
+
+// Incremental mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double variance() const;  // population variance
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Accumulates relative prediction errors |predicted - actual| / actual.
+class ErrorAccumulator {
+ public:
+  // Records one (predicted, actual) pair. actual must be > 0.
+  void Add(double predicted, double actual);
+
+  std::size_t count() const { return stats_.count(); }
+  // Average relative error, as a fraction (0.021 == 2.1%).
+  double avg() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+  double avg_percent() const { return 100.0 * avg(); }
+  double max_percent() const { return 100.0 * max(); }
+
+ private:
+  RunningStats stats_;
+};
+
+// Percentile over a copy of the data (p in [0,100]).
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace perfiface
+
+#endif  // SRC_COMMON_STATS_H_

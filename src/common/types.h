@@ -1,0 +1,26 @@
+// Basic type aliases shared across the perfiface libraries.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace perfiface {
+
+// Simulated hardware time, in accelerator clock cycles. All simulators and
+// Petri nets report time in cycles of the accelerator's own clock domain.
+using Cycles = std::uint64_t;
+
+// Fractional cycle count, used by analytic interfaces which may produce
+// non-integral predictions (e.g. 136.5 cycles per block on average).
+using CyclesF = double;
+
+// Byte counts (message sizes, image sizes, DMA transfer sizes).
+using Bytes = std::uint64_t;
+
+// Silicon area in kilo-gate-equivalents; used by the SoC design-space
+// exploration scenario. Absolute units are arbitrary but consistent.
+using AreaKge = double;
+
+}  // namespace perfiface
+
+#endif  // SRC_COMMON_TYPES_H_

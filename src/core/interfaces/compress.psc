@@ -1,0 +1,27 @@
+# Performance interface of the streaming compression accelerator.
+#
+# Inputs: a job object exposing
+#   input_bytes -- bytes to compress
+#   matches     -- back-reference tokens the match engine will emit
+#   tokens      -- total tokens (matches + literals)
+# (A vendor-supplied analyzer fills matches/tokens from a data sample; for
+# design-stage estimates, matches ~= 0 and tokens ~= input_bytes bound the
+# worst case.)
+
+def match_engine_cost(job):
+  return job.input_bytes + job.matches * 3
+end
+
+def writer_cost(job):
+  return job.tokens * 2
+end
+
+def latency_compress(job):
+  # 96-cycle setup, fully-overlapped two-stage pipeline, 32-cycle drain.
+  return 96 + max(match_engine_cost(job), writer_cost(job)) + 32
+end
+
+def tput_compress(job):
+  # Input bytes per cycle at steady state.
+  return job.input_bytes / max(match_engine_cost(job), writer_cost(job))
+end

@@ -1,0 +1,20 @@
+# Performance interface of the JPEG decoder accelerator, as an executable
+# program (paper Fig. 2, verbatim constants).
+#
+# Inputs: an image object exposing
+#   orig_size     -- decoded output size in bytes (64-bit pixel words)
+#   compress_rate -- compressed size / decoded output size
+#
+# The max() captures the two possible bottlenecks: the fixed-rate output
+# writer (size * 136.5) and the data-dependent entropy decoder, whose work
+# grows as compression gets worse (more coded bits per block).
+
+def latency_jpeg_decode(img):
+  size = img.orig_size / 64
+  return max(size * 136.5, size / 64 * ((5 / img.compress_rate) * 3 + 6) * 1.5)
+end
+
+def tput_jpeg_decode(img):
+  # Images are processed one-by-one
+  return 1 / latency_jpeg_decode(img)
+end

@@ -1,0 +1,38 @@
+# Performance interface of Protoacc's deserialization direction (shipped as
+# an extension; the paper's Fig 3 shows the serializer).
+#
+# Inputs: a message object exposing
+#   wire_bytes    -- wire-format size in bytes
+#   total_fields  -- fields across the whole tree
+#   total_nodes   -- message nodes (allocations) across the tree
+#   varint_extra  -- varint continuation bytes across the tree
+# avg_mem_latency is the same calibration constant the serializer ships.
+#
+# The three stages (stream, decode, materialize) pipeline across messages,
+# so steady-state throughput is bounded by the slowest stage.
+
+def stream_cost(msg):
+  # 16 = DMA setup plus the doorbell margin (conservative envelope).
+  return 16 + ceil(msg.wire_bytes / 16) * avg_mem_latency
+end
+
+def decode_cost(msg):
+  return msg.total_fields * 2 + msg.varint_extra
+end
+
+def materialize_cost(msg):
+  return msg.total_nodes * 40 + ceil(msg.wire_bytes / 16) * avg_mem_latency
+end
+
+def tput_protoacc_deser(msg):
+  return 1 / max(stream_cost(msg), decode_cost(msg), materialize_cost(msg))
+end
+
+def min_latency_protoacc_deser(msg):
+  # Fully overlapped stream+decode, then materialize.
+  return materialize_cost(msg)
+end
+
+def max_latency_protoacc_deser(msg):
+  return stream_cost(msg) + decode_cost(msg) + materialize_cost(msg) + 8
+end

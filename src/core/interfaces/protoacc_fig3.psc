@@ -1,0 +1,41 @@
+# Performance interface of the Protoacc serialization accelerator, as an
+# executable program (paper Fig. 3, verbatim structure).
+#
+# Inputs: a message object exposing
+#   num_fields -- direct fields of the node
+#   num_writes -- 16-byte output words of the full wire encoding
+# and iteration over direct sub-messages. `avg_mem_latency` is a calibration
+# constant shipped with the accelerator (see ProtoaccTiming).
+#
+# Latency has no closed form (read and write stages overlap in
+# message-dependent ways), so the interface provides bounds instead.
+
+def read_cost(msg):
+  cost = 0
+  for sub_msg in msg:
+    cost += read_cost(sub_msg)
+  end
+  return cost + 6 + avg_mem_latency * 2 + (4 + avg_mem_latency) * ceil(msg.num_fields / 32)
+end
+
+def tput_protoacc_ser(msg):
+  sub_msg_cost = 0
+  for sub_msg in msg:
+    sub_msg_cost += read_cost(sub_msg)
+  end
+  read_tput = 1 / ((4 + avg_mem_latency) * ceil(msg.num_fields / 32) + sub_msg_cost)
+  write_tput = 1 / (5 + msg.num_writes)
+  return min(read_tput, write_tput)
+end
+
+def min_latency_protoacc_ser(msg):
+  return (5 + msg.num_writes) * avg_mem_latency
+end
+
+def max_latency_protoacc_ser(msg):
+  sub_msg_cost = 0
+  for sub_msg in msg:
+    sub_msg_cost += read_cost(sub_msg)
+  end
+  return min_latency_protoacc_ser(msg) + (4 + avg_mem_latency) * ceil(msg.num_fields / 32) + sub_msg_cost
+end

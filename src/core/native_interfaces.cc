@@ -1,0 +1,56 @@
+#include "src/core/native_interfaces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/accel/protoacc/wire.h"
+
+namespace perfiface {
+
+double NativeJpegLatency(const CompressedImage& image) {
+  const double size = static_cast<double>(image.orig_size()) / 64.0;
+  const double writer_bound = size * 136.5;
+  const double vld_bound =
+      size / 64.0 * ((5.0 / image.compress_rate()) * 3.0 + 6.0) * 1.5;
+  return std::max(writer_bound, vld_bound);
+}
+
+double NativeJpegThroughput(const CompressedImage& image) {
+  return 1.0 / NativeJpegLatency(image);
+}
+
+double NativeProtoaccReadCost(const MessageInstance& msg, double avg_mem_latency) {
+  double cost = 0;
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    cost += NativeProtoaccReadCost(*sub, avg_mem_latency);
+  }
+  const double groups = std::ceil(static_cast<double>(msg.num_fields()) / 32.0);
+  return cost + 6.0 + avg_mem_latency * 2.0 + (4.0 + avg_mem_latency) * groups;
+}
+
+double NativeProtoaccThroughput(const MessageInstance& msg, double avg_mem_latency) {
+  double sub_msg_cost = 0;
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    sub_msg_cost += NativeProtoaccReadCost(*sub, avg_mem_latency);
+  }
+  const double groups = std::ceil(static_cast<double>(msg.num_fields()) / 32.0);
+  const double read_tput = 1.0 / ((4.0 + avg_mem_latency) * groups + sub_msg_cost);
+  const double write_tput = 1.0 / (5.0 + static_cast<double>(NumWrites(msg)));
+  return std::min(read_tput, write_tput);
+}
+
+double NativeProtoaccMinLatency(const MessageInstance& msg, double avg_mem_latency) {
+  return (5.0 + static_cast<double>(NumWrites(msg))) * avg_mem_latency;
+}
+
+double NativeProtoaccMaxLatency(const MessageInstance& msg, double avg_mem_latency) {
+  double sub_msg_cost = 0;
+  for (const MessageInstance* sub : msg.SubMessages()) {
+    sub_msg_cost += NativeProtoaccReadCost(*sub, avg_mem_latency);
+  }
+  const double groups = std::ceil(static_cast<double>(msg.num_fields()) / 32.0);
+  return NativeProtoaccMinLatency(msg, avg_mem_latency) +
+         (4.0 + avg_mem_latency) * groups + sub_msg_cost;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,605 @@
+#include "src/core/pnet.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/loc.h"
+#include "src/common/strings.h"
+#include "src/perfscript/interp.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+namespace {
+
+// Key/value option on a directive line, e.g. cap=2 or delay="...".
+struct Options {
+  std::map<std::string, std::string> kv;
+
+  bool Has(const std::string& key) const { return kv.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+// Splits a directive line into whitespace-separated words, keeping quoted
+// strings (which may contain spaces) intact.
+std::vector<std::string> Tokenize(std::string_view line, std::string* error) {
+  std::vector<std::string> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    std::string word;
+    bool in_quotes = false;
+    while (i < line.size() && (in_quotes || (line[i] != ' ' && line[i] != '\t'))) {
+      if (line[i] == '"') {
+        in_quotes = !in_quotes;
+      }
+      word.push_back(line[i]);
+      ++i;
+    }
+    if (in_quotes) {
+      *error = "unterminated quote";
+      return {};
+    }
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+bool ParseOption(const std::string& word, Options* opts, std::string* error) {
+  const auto eq = word.find('=');
+  if (eq == std::string::npos) {
+    *error = StrFormat("expected key=value, got '%s'", word.c_str());
+    return false;
+  }
+  std::string key = word.substr(0, eq);
+  std::string value = word.substr(eq + 1);
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  (*opts).kv[key] = value;
+  return true;
+}
+
+struct ArcSpec {
+  std::string place;
+  std::size_t weight = 1;
+};
+
+bool ParseArcs(const std::string& list, std::vector<ArcSpec>* out, std::string* error) {
+  for (const std::string& part : SplitString(list, ',')) {
+    if (part.empty()) {
+      *error = "empty arc entry";
+      return false;
+    }
+    ArcSpec arc;
+    const auto colon = part.find(':');
+    if (colon == std::string::npos) {
+      arc.place = part;
+    } else {
+      arc.place = part.substr(0, colon);
+      const int w = std::atoi(part.c_str() + colon + 1);
+      if (w < 1) {
+        *error = StrFormat("bad arc weight in '%s'", part.c_str());
+        return false;
+      }
+      arc.weight = static_cast<std::size_t>(w);
+    }
+    out->push_back(std::move(arc));
+  }
+  return true;
+}
+
+// Compiled expression bound to a net's attribute schema and constants.
+//
+// Delay and guard expressions run on every firing attempt, so they are
+// compiled once at net-load time into a flat postfix program for a tiny
+// stack machine: variable names are resolved to constant values or token
+// attribute slots here, and evaluation performs no lookups or allocations.
+class BoundExpr {
+ public:
+  static std::unique_ptr<BoundExpr> Compile(const std::string& source, const PetriNet& net,
+                                            const std::map<std::string, double>& consts,
+                                            std::string* error) {
+    ParseExprResult parsed = ParseExpression(source);
+    if (!parsed.ok) {
+      *error = parsed.error;
+      return nullptr;
+    }
+    auto bound = std::make_unique<BoundExpr>();
+    if (!bound->Emit(*parsed.expr, net, consts, error)) {
+      return nullptr;
+    }
+    return bound;
+  }
+
+  // Evaluates against the primary (first) token of a firing.
+  double Eval(const TokenRefs& tokens) const {
+    PI_CHECK(!tokens.empty());
+    const Token* primary = tokens.front();
+    double stack[kMaxStack];
+    int sp = 0;
+    for (const VmOp& op : ops_) {
+      switch (op.kind) {
+        case VmKind::kConst: stack[sp++] = op.value; break;
+        case VmKind::kAttr: stack[sp++] = primary->Attr(op.slot); break;
+        case VmKind::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
+        case VmKind::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
+        case VmKind::kCeil: stack[sp - 1] = std::ceil(stack[sp - 1]); break;
+        case VmKind::kFloor: stack[sp - 1] = std::floor(stack[sp - 1]); break;
+        case VmKind::kAbs: stack[sp - 1] = std::fabs(stack[sp - 1]); break;
+        case VmKind::kSqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
+        default: {
+          const double b = stack[--sp];
+          const double a = stack[sp - 1];
+          double r = 0;
+          switch (op.kind) {
+            case VmKind::kAdd: r = a + b; break;
+            case VmKind::kSub: r = a - b; break;
+            case VmKind::kMul: r = a * b; break;
+            case VmKind::kDiv:
+              PI_CHECK_MSG(b != 0, "division by zero in net expression");
+              r = a / b;
+              break;
+            case VmKind::kMod:
+              PI_CHECK_MSG(b != 0, "modulo by zero in net expression");
+              r = std::fmod(a, b);
+              break;
+            case VmKind::kLt: r = a < b ? 1 : 0; break;
+            case VmKind::kLe: r = a <= b ? 1 : 0; break;
+            case VmKind::kGt: r = a > b ? 1 : 0; break;
+            case VmKind::kGe: r = a >= b ? 1 : 0; break;
+            case VmKind::kEq: r = a == b ? 1 : 0; break;
+            case VmKind::kNe: r = a != b ? 1 : 0; break;
+            case VmKind::kAnd: r = (a != 0 && b != 0) ? 1 : 0; break;
+            case VmKind::kOr: r = (a != 0 || b != 0) ? 1 : 0; break;
+            case VmKind::kMin: r = std::fmin(a, b); break;
+            case VmKind::kMax: r = std::fmax(a, b); break;
+            default: PI_CHECK_MSG(false, "bad opcode");
+          }
+          stack[sp - 1] = r;
+          break;
+        }
+      }
+      PI_CHECK(sp > 0 && sp <= kMaxStack);
+    }
+    PI_CHECK(sp == 1);
+    return stack[0];
+  }
+
+ private:
+  enum class VmKind : std::uint8_t {
+    kConst, kAttr, kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe,
+    kAnd, kOr, kNeg, kNot, kCeil, kFloor, kAbs, kSqrt, kMin, kMax,
+  };
+  struct VmOp {
+    VmKind kind = VmKind::kConst;
+    double value = 0;
+    std::uint32_t slot = 0;
+  };
+  static constexpr int kMaxStack = 64;
+
+  void Push(VmKind kind) { ops_.push_back(VmOp{kind, 0, 0}); }
+
+  bool Emit(const Expr& e, const PetriNet& net, const std::map<std::string, double>& consts,
+            std::string* error) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        ops_.push_back(VmOp{VmKind::kConst, e.number, 0});
+        return true;
+      case ExprKind::kVar: {
+        const auto it = consts.find(e.name);
+        if (it != consts.end()) {
+          ops_.push_back(VmOp{VmKind::kConst, it->second, 0});
+          return true;
+        }
+        const std::size_t slot = net.FindAttr(e.name);
+        if (slot == PetriNet::kNoAttr) {
+          *error = StrFormat("line %d: unknown variable '%s' (declare attrs/consts first)",
+                             e.line, e.name.c_str());
+          return false;
+        }
+        ops_.push_back(VmOp{VmKind::kAttr, 0, static_cast<std::uint32_t>(slot)});
+        return true;
+      }
+      case ExprKind::kAttr:
+        *error = StrFormat("line %d: attribute access is not allowed in net expressions", e.line);
+        return false;
+      case ExprKind::kUnary:
+        if (!Emit(*e.children[0], net, consts, error)) {
+          return false;
+        }
+        Push(e.un_op == UnOp::kNeg ? VmKind::kNeg : VmKind::kNot);
+        return true;
+      case ExprKind::kCall: {
+        static const std::map<std::string, VmKind> kUnary = {{"ceil", VmKind::kCeil},
+                                                             {"floor", VmKind::kFloor},
+                                                             {"abs", VmKind::kAbs},
+                                                             {"sqrt", VmKind::kSqrt}};
+        const auto unary = kUnary.find(e.name);
+        if (unary != kUnary.end() && e.children.size() == 1) {
+          if (!Emit(*e.children[0], net, consts, error)) {
+            return false;
+          }
+          Push(unary->second);
+          return true;
+        }
+        if ((e.name == "min" || e.name == "max") && !e.children.empty()) {
+          if (!Emit(*e.children[0], net, consts, error)) {
+            return false;
+          }
+          for (std::size_t i = 1; i < e.children.size(); ++i) {
+            if (!Emit(*e.children[i], net, consts, error)) {
+              return false;
+            }
+            Push(e.name == "min" ? VmKind::kMin : VmKind::kMax);
+          }
+          return true;
+        }
+        *error = StrFormat("line %d: unknown function '%s' in net expression", e.line,
+                           e.name.c_str());
+        return false;
+      }
+      case ExprKind::kBinary: {
+        if (!Emit(*e.children[0], net, consts, error) ||
+            !Emit(*e.children[1], net, consts, error)) {
+          return false;
+        }
+        switch (e.bin_op) {
+          case BinOp::kAdd: Push(VmKind::kAdd); break;
+          case BinOp::kSub: Push(VmKind::kSub); break;
+          case BinOp::kMul: Push(VmKind::kMul); break;
+          case BinOp::kDiv: Push(VmKind::kDiv); break;
+          case BinOp::kMod: Push(VmKind::kMod); break;
+          case BinOp::kLt: Push(VmKind::kLt); break;
+          case BinOp::kLe: Push(VmKind::kLe); break;
+          case BinOp::kGt: Push(VmKind::kGt); break;
+          case BinOp::kGe: Push(VmKind::kGe); break;
+          case BinOp::kEq: Push(VmKind::kEq); break;
+          case BinOp::kNe: Push(VmKind::kNe); break;
+          case BinOp::kAnd: Push(VmKind::kAnd); break;
+          case BinOp::kOr: Push(VmKind::kOr); break;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<VmOp> ops_;
+};
+
+}  // namespace
+
+LoadedNet LoadPnet(std::string_view text) {
+  LoadedNet out;
+  out.net = std::make_unique<PetriNet>();
+  PetriNet& net = *out.net;
+  std::map<std::string, double> consts;
+
+  int line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::string err;
+    const std::vector<std::string> words = Tokenize(line, &err);
+    if (!err.empty()) {
+      out.error = StrFormat("line %d: %s", line_no, err.c_str());
+      return out;
+    }
+    PI_CHECK(!words.empty());
+    const std::string& directive = words[0];
+
+    auto fail = [&](const std::string& msg) {
+      out.error = StrFormat("line %d: %s", line_no, msg.c_str());
+    };
+
+    if (directive == "net") {
+      if (words.size() != 2) {
+        fail("net takes exactly one name");
+        return out;
+      }
+      out.name = words[1];
+    } else if (directive == "const") {
+      if (words.size() != 3) {
+        fail("const takes a name and a value");
+        return out;
+      }
+      consts[words[1]] = std::atof(words[2].c_str());
+    } else if (directive == "attr") {
+      if (words.size() != 2) {
+        fail("attr takes exactly one name");
+        return out;
+      }
+      net.RegisterAttr(words[1]);
+    } else if (directive == "place") {
+      if (words.size() < 2) {
+        fail("place needs a name");
+        return out;
+      }
+      Options opts;
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (!ParseOption(words[i], &opts, &err)) {
+          fail(err);
+          return out;
+        }
+      }
+      const int cap = std::atoi(opts.Get("cap", "0").c_str());
+      const int init = std::atoi(opts.Get("init", "0").c_str());
+      if (cap < 0 || init < 0) {
+        fail("negative cap/init");
+        return out;
+      }
+      if (net.HasPlace(words[1])) {
+        fail(StrFormat("duplicate place '%s'", words[1].c_str()));
+        return out;
+      }
+      net.AddPlace(words[1], static_cast<std::size_t>(cap), static_cast<std::size_t>(init));
+    } else if (directive == "trans") {
+      if (words.size() < 2) {
+        fail("trans needs a name");
+        return out;
+      }
+      Options opts;
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (!ParseOption(words[i], &opts, &err)) {
+          fail(err);
+          return out;
+        }
+      }
+      if (!opts.Has("in") || !opts.Has("delay")) {
+        fail("trans requires in= and delay=");
+        return out;
+      }
+      std::vector<ArcSpec> in_arcs;
+      std::vector<ArcSpec> out_arcs;
+      if (!ParseArcs(opts.Get("in"), &in_arcs, &err)) {
+        fail(err);
+        return out;
+      }
+      if (opts.Has("out") && !ParseArcs(opts.Get("out"), &out_arcs, &err)) {
+        fail(err);
+        return out;
+      }
+
+      TransitionSpec spec;
+      spec.name = words[1];
+      for (const ArcSpec& a : in_arcs) {
+        if (!net.HasPlace(a.place)) {
+          fail(StrFormat("unknown place '%s'", a.place.c_str()));
+          return out;
+        }
+        spec.inputs.push_back(Arc{net.PlaceByName(a.place), a.weight});
+      }
+      for (const ArcSpec& a : out_arcs) {
+        if (!net.HasPlace(a.place)) {
+          fail(StrFormat("unknown place '%s'", a.place.c_str()));
+          return out;
+        }
+        spec.outputs.push_back(Arc{net.PlaceByName(a.place), a.weight});
+      }
+      const int servers = std::atoi(opts.Get("servers", "1").c_str());
+      if (servers < 1) {
+        fail("servers must be >= 1");
+        return out;
+      }
+      spec.servers = static_cast<std::size_t>(servers);
+
+      std::unique_ptr<BoundExpr> delay = BoundExpr::Compile(opts.Get("delay"), net, consts, &err);
+      if (delay == nullptr) {
+        fail(StrFormat("delay: %s", err.c_str()));
+        return out;
+      }
+      // Shared so the std::function stays copyable.
+      std::shared_ptr<BoundExpr> delay_sp(std::move(delay));
+      spec.delay = [delay_sp](const TokenRefs& tokens) -> Cycles {
+        const double v = delay_sp->Eval(tokens);
+        PI_CHECK_MSG(v >= 0 && v < 1e15, "delay out of range");
+        return static_cast<Cycles>(std::llround(v));
+      };
+
+      if (opts.Has("guard")) {
+        std::unique_ptr<BoundExpr> guard =
+            BoundExpr::Compile(opts.Get("guard"), net, consts, &err);
+        if (guard == nullptr) {
+          fail(StrFormat("guard: %s", err.c_str()));
+          return out;
+        }
+        std::shared_ptr<BoundExpr> guard_sp(std::move(guard));
+        spec.guard = [guard_sp](const TokenRefs& tokens) -> bool {
+          return guard_sp->Eval(tokens) != 0.0;
+        };
+      }
+      net.AddTransition(std::move(spec));
+    } else {
+      fail(StrFormat("unknown directive '%s'", directive.c_str()));
+      return out;
+    }
+  }
+  if (out.name.empty()) {
+    out.error = "missing 'net' declaration";
+  }
+  return out;
+}
+
+namespace {
+
+// Rewrites one place reference ("name" or "name:weight") for inclusion.
+std::string RewritePlaceRef(const std::string& ref, const std::string& prefix,
+                            const std::map<std::string, std::string>& bind) {
+  std::string name = ref;
+  std::string weight;
+  const auto colon = ref.find(':');
+  if (colon != std::string::npos) {
+    name = ref.substr(0, colon);
+    weight = ref.substr(colon);
+  }
+  const auto bound = bind.find(name);
+  return (bound != bind.end() ? bound->second : prefix + "_" + name) + weight;
+}
+
+}  // namespace
+
+PnetExpansion ExpandPnetIncludes(std::string_view text, const std::string& include_dir,
+                                 int depth) {
+  PnetExpansion out;
+  if (depth > 8) {
+    out.error = "use: include depth limit exceeded";
+    return out;
+  }
+
+  std::string flattened;
+  int line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (!StartsWith(line, "use ") && line != "use") {
+      flattened += raw_line;
+      flattened += '\n';
+      continue;
+    }
+
+    std::string err;
+    const std::vector<std::string> words = Tokenize(line, &err);
+    if (!err.empty()) {
+      out.error = StrFormat("line %d: %s", line_no, err.c_str());
+      return out;
+    }
+    if (words.size() < 3) {
+      out.error = StrFormat("line %d: use \"file\" prefix=<p> [bind=\"a=b,...\"]", line_no);
+      return out;
+    }
+    std::string file = words[1];
+    if (file.size() >= 2 && file.front() == '"' && file.back() == '"') {
+      file = file.substr(1, file.size() - 2);
+    }
+    Options opts;
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      if (!ParseOption(words[i], &opts, &err)) {
+        out.error = StrFormat("line %d: %s", line_no, err.c_str());
+        return out;
+      }
+    }
+    const std::string prefix = opts.Get("prefix");
+    if (prefix.empty()) {
+      out.error = StrFormat("line %d: use requires prefix=", line_no);
+      return out;
+    }
+    std::map<std::string, std::string> bind;
+    if (opts.Has("bind")) {
+      for (const std::string& entry : SplitString(opts.Get("bind"), ',')) {
+        const std::string_view trimmed = StripWhitespace(entry);
+        const auto eq = trimmed.find('=');
+        if (eq == std::string_view::npos || eq == 0 || eq + 1 == trimmed.size()) {
+          out.error = StrFormat("line %d: bad bind entry '%s'", line_no,
+                                std::string(trimmed).c_str());
+          return out;
+        }
+        bind[std::string(trimmed.substr(0, eq))] = std::string(trimmed.substr(eq + 1));
+      }
+    }
+
+    // Recursively expand the component, then splice it in, renamed.
+    const std::string component_path = include_dir + "/" + file;
+    const PnetExpansion component =
+        ExpandPnetIncludes(ReadFileOrDie(component_path),
+                           component_path.substr(0, component_path.find_last_of('/')),
+                           depth + 1);
+    if (!component.ok) {
+      out.error = component.error;
+      return out;
+    }
+
+    flattened += StrFormat("# --- begin %s (prefix=%s) ---\n", file.c_str(), prefix.c_str());
+    int comp_line = 0;
+    for (const std::string& comp_raw : SplitString(component.text, '\n')) {
+      ++comp_line;
+      const std::string_view comp_line_view = StripWhitespace(comp_raw);
+      if (comp_line_view.empty() || comp_line_view[0] == '#') {
+        continue;
+      }
+      std::vector<std::string> comp_words = Tokenize(comp_line_view, &err);
+      if (!err.empty() || comp_words.empty()) {
+        out.error = StrFormat("%s line %d: %s", file.c_str(), comp_line, err.c_str());
+        return out;
+      }
+      const std::string& directive = comp_words[0];
+      if (directive == "net") {
+        continue;  // the including document names the net
+      }
+      if (directive == "attr" || directive == "const") {
+        flattened += comp_raw;
+        flattened += '\n';
+        continue;
+      }
+      if (directive == "place") {
+        if (comp_words.size() >= 2 && bind.count(comp_words[1]) > 0) {
+          continue;  // fused with an including-net place
+        }
+        comp_words[1] = prefix + "_" + comp_words[1];
+      } else if (directive == "trans") {
+        if (comp_words.size() < 2) {
+          out.error = StrFormat("%s line %d: malformed trans", file.c_str(), comp_line);
+          return out;
+        }
+        comp_words[1] = prefix + "_" + comp_words[1];
+        for (std::size_t i = 2; i < comp_words.size(); ++i) {
+          if (StartsWith(comp_words[i], "in=") || StartsWith(comp_words[i], "out=")) {
+            const auto eq = comp_words[i].find('=');
+            const std::string key = comp_words[i].substr(0, eq);
+            std::string rewritten;
+            for (const std::string& ref : SplitString(comp_words[i].substr(eq + 1), ',')) {
+              if (!rewritten.empty()) {
+                rewritten += ',';
+              }
+              rewritten += RewritePlaceRef(ref, prefix, bind);
+            }
+            comp_words[i] = key + "=" + rewritten;
+          }
+        }
+      } else {
+        out.error = StrFormat("%s line %d: unsupported directive '%s' in component",
+                              file.c_str(), comp_line, directive.c_str());
+        return out;
+      }
+      std::string joined;
+      for (const std::string& w : comp_words) {
+        if (!joined.empty()) {
+          joined += ' ';
+        }
+        joined += w;
+      }
+      flattened += joined;
+      flattened += '\n';
+    }
+    flattened += StrFormat("# --- end %s ---\n", file.c_str());
+  }
+  out.ok = true;
+  out.text = flattened;
+  return out;
+}
+
+LoadedNet LoadPnetFile(const std::string& path) {
+  const std::string dir = path.find('/') == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, path.find_last_of('/'));
+  const PnetExpansion expanded = ExpandPnetIncludes(ReadFileOrDie(path), dir);
+  if (!expanded.ok) {
+    LoadedNet out;
+    out.error = expanded.error;
+    return out;
+  }
+  return LoadPnet(expanded.text);
+}
+
+}  // namespace perfiface

@@ -1,0 +1,73 @@
+// Textual format for Petri-net performance interfaces (.pnet files).
+//
+// This is the concrete, shippable form of the paper's "performance IR": a
+// vendor writes one small .pnet file describing a net whose transitions are
+// performance-equivalent to the accelerator's processing elements. Delay
+// and guard annotations are PerfScript expressions over the attributes of
+// the (primary) input token and over declared constants.
+//
+//   # comment
+//   net jpeg_decoder
+//   const nominal_lat 52
+//   attr bits
+//   attr blocks
+//   place vld_in
+//   place fifo1 cap=2
+//   place done
+//   trans vld  in=vld_in out=fifo1 delay="blocks * 10"
+//   trans idct in=fifo1 out=done  delay="blocks * 48" servers=1
+//
+// Arc syntax: comma-separated `place` or `place:weight`. Optional per-
+// transition `guard="expr"` enables the firing only when the expression is
+// non-zero on the front token (used for instruction routing by opcode).
+#ifndef SRC_CORE_PNET_H_
+#define SRC_CORE_PNET_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/petri/net.h"
+
+namespace perfiface {
+
+struct LoadedNet {
+  std::string name;
+  // The net owns compiled delay/guard closures; heap-allocated so LoadedNet
+  // can move without invalidating PetriSim pointers.
+  std::unique_ptr<PetriNet> net;
+  std::string error;  // non-empty on failure
+
+  bool ok() const { return error.empty(); }
+};
+
+// Parses a .pnet document. Attribute slots are registered in declaration
+// order, so token producers can map attributes by PetriNet::FindAttr.
+LoadedNet LoadPnet(std::string_view text);
+
+// Reads and parses a .pnet file; aborts on I/O failure, returns parse errors
+// in LoadedNet::error. `use` directives are expanded relative to the file's
+// directory.
+LoadedNet LoadPnetFile(const std::string& path);
+
+// Component composition (paper §5: "develop individual Petri nets for such
+// components once and reuse them across multiple accelerators"):
+//
+//   use "components/dram_channel.pnet" prefix=ld bind="cmd=load_q,done=l2g"
+//
+// inlines the component net: its places and transitions are copied with the
+// `prefix_` name prefix, except places named on the left of a bind= entry,
+// which are fused with the including net's place on the right. Attributes
+// and constants merge by name. Nesting is allowed up to a small depth.
+struct PnetExpansion {
+  bool ok = false;
+  std::string error;
+  std::string text;  // the flattened document
+};
+
+PnetExpansion ExpandPnetIncludes(std::string_view text, const std::string& include_dir,
+                                 int depth = 0);
+
+}  // namespace perfiface
+
+#endif  // SRC_CORE_PNET_H_

@@ -1,0 +1,45 @@
+#include "src/core/program_interface.h"
+
+#include "src/common/check.h"
+#include "src/common/loc.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+
+ProgramInterface ProgramInterface::FromSource(const std::string& source) {
+  ProgramInterface out;
+  out.source_ = source;
+  ParseResult parsed = ParseProgram(source);
+  PI_CHECK_MSG(parsed.ok, parsed.error.c_str());
+  out.program_ = std::make_shared<Program>(std::move(parsed.program));
+  return out;
+}
+
+ProgramInterface ProgramInterface::FromFile(const std::string& path) {
+  return FromSource(ReadFileOrDie(path));
+}
+
+void ProgramInterface::SetConstant(const std::string& name, double value) {
+  for (auto& c : constants_) {
+    if (c.first == name) {
+      c.second = value;
+      return;
+    }
+  }
+  constants_.emplace_back(name, value);
+}
+
+double ProgramInterface::Eval(const std::string& function, const ScriptObject& workload) const {
+  Interpreter interp(program_.get());
+  for (const auto& c : constants_) {
+    interp.SetGlobal(c.first, c.second);
+  }
+  const EvalResult result = interp.Call(function, {Value::Object(&workload)});
+  return result.Num();
+}
+
+bool ProgramInterface::Has(const std::string& function) const {
+  return program_->Find(function) != nullptr;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,50 @@
+// Interfaces as executable programs (paper §3, Figs 2-3).
+//
+// A ProgramInterface loads a PerfScript source file shipped with the
+// accelerator, holds the parsed program, and evaluates its prediction
+// functions against workload descriptors. This mirrors how the paper
+// envisions vendors shipping small Python programs alongside hardware.
+#ifndef SRC_CORE_PROGRAM_INTERFACE_H_
+#define SRC_CORE_PROGRAM_INTERFACE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/perfscript/ast.h"
+#include "src/perfscript/interp.h"
+#include "src/perfscript/value.h"
+
+namespace perfiface {
+
+class ProgramInterface {
+ public:
+  // Parses a PerfScript source string; aborts on syntax errors (a shipped
+  // interface that does not parse is a packaging bug, not a runtime
+  // condition).
+  static ProgramInterface FromSource(const std::string& source);
+  static ProgramInterface FromFile(const std::string& path);
+
+  // Calibration constants referenced by the program (e.g. avg_mem_latency).
+  void SetConstant(const std::string& name, double value);
+
+  // Evaluates `function(workload)`; aborts with the script error message on
+  // runtime failure.
+  double Eval(const std::string& function, const ScriptObject& workload) const;
+
+  // True if the program defines `function` (interfaces expose different
+  // prediction sets: some have bounds, some exact predictors).
+  bool Has(const std::string& function) const;
+
+  const std::string& source() const { return source_; }
+
+ private:
+  ProgramInterface() = default;
+
+  std::string source_;
+  std::shared_ptr<Program> program_;
+  std::vector<std::pair<std::string, double>> constants_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_CORE_PROGRAM_INTERFACE_H_

@@ -1,0 +1,93 @@
+#include "src/core/registry.h"
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+std::string InterfaceRegistry::InterfaceDir() {
+  return std::string(PERFIFACE_SOURCE_DIR) + "/src/core/interfaces";
+}
+
+const InterfaceRegistry& InterfaceRegistry::Default() {
+  static const InterfaceRegistry* kRegistry = [] {
+    auto* r = new InterfaceRegistry();
+    const std::string dir = InterfaceDir();
+    const auto& texts = Fig1TextInterfaces();
+
+    InterfaceBundle jpeg;
+    jpeg.accelerator = "jpeg_decoder";
+    jpeg.text = texts[0];
+    jpeg.program_path = dir + "/jpeg_fig2.psc";
+    jpeg.pnet_path = dir + "/jpeg.pnet";
+    r->bundles_.push_back(jpeg);
+
+    InterfaceBundle miner;
+    miner.accelerator = "bitcoin_miner";
+    miner.text = texts[1];
+    r->bundles_.push_back(miner);
+
+    InterfaceBundle protoacc;
+    protoacc.accelerator = "protoacc";
+    protoacc.text = texts[2];
+    protoacc.program_path = dir + "/protoacc_fig3.psc";
+    protoacc.pnet_path = dir + "/protoacc.pnet";
+    protoacc.constants = {{"avg_mem_latency", 60.0}};
+    r->bundles_.push_back(protoacc);
+
+    InterfaceBundle deser;
+    deser.accelerator = "protoacc_deser";
+    deser.program_path = dir + "/protoacc_deser.psc";
+    deser.constants = {{"avg_mem_latency", 60.0}};
+    r->bundles_.push_back(deser);
+
+    InterfaceBundle compress;
+    compress.accelerator = "compressor";
+    compress.text = TextInterface{
+        "compressor",
+        "Throughput is one input byte per cycle for compressible data, dropping toward one "
+        "byte per two cycles as the data becomes incompressible (the token writer takes "
+        "over as the bottleneck).",
+        {}};
+    compress.program_path = dir + "/compress.psc";
+    r->bundles_.push_back(compress);
+
+    InterfaceBundle vta;
+    vta.accelerator = "vta";
+    vta.pnet_path = dir + "/vta.pnet";
+    r->bundles_.push_back(vta);
+
+    return r;
+  }();
+  return *kRegistry;
+}
+
+bool InterfaceRegistry::Has(const std::string& accelerator) const {
+  for (const InterfaceBundle& b : bundles_) {
+    if (b.accelerator == accelerator) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const InterfaceBundle& InterfaceRegistry::Get(const std::string& accelerator) const {
+  for (const InterfaceBundle& b : bundles_) {
+    if (b.accelerator == accelerator) {
+      return b;
+    }
+  }
+  PI_CHECK_MSG(false, accelerator.c_str());
+  return bundles_.front();
+}
+
+ProgramInterface InterfaceRegistry::LoadProgram(const std::string& accelerator) const {
+  const InterfaceBundle& b = Get(accelerator);
+  PI_CHECK_MSG(!b.program_path.empty(), "no executable interface shipped");
+  ProgramInterface iface = ProgramInterface::FromFile(b.program_path);
+  for (const auto& c : b.constants) {
+    iface.SetConstant(c.first, c.second);
+  }
+  return iface;
+}
+
+}  // namespace perfiface

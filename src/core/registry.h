@@ -1,0 +1,53 @@
+// The interface registry: what "ships with the accelerator".
+//
+// For each accelerator, the registry bundles the three representations the
+// paper proposes — natural-language text, an executable program, and a
+// Petri-net IR — plus the calibration constants they reference. Benches,
+// examples and downstream tools locate interfaces through this one entry
+// point, the way a build system locates header files.
+#ifndef SRC_CORE_REGISTRY_H_
+#define SRC_CORE_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/program_interface.h"
+#include "src/core/text_interface.h"
+
+namespace perfiface {
+
+struct InterfaceBundle {
+  std::string accelerator;
+  std::optional<TextInterface> text;
+  std::string program_path;  // empty if none shipped
+  std::string pnet_path;     // empty if none shipped
+  // Constants the executable interface needs (e.g. avg_mem_latency).
+  std::vector<std::pair<std::string, double>> constants;
+};
+
+class InterfaceRegistry {
+ public:
+  // Builds the default registry rooted at this repository's source tree.
+  static const InterfaceRegistry& Default();
+
+  // Returns the bundle for an accelerator; aborts if unknown (benches must
+  // fail loudly on a broken registry).
+  const InterfaceBundle& Get(const std::string& accelerator) const;
+  bool Has(const std::string& accelerator) const;
+
+  // Loads the accelerator's executable interface with constants applied.
+  ProgramInterface LoadProgram(const std::string& accelerator) const;
+
+  const std::vector<InterfaceBundle>& bundles() const { return bundles_; }
+
+  // Root of the interface files (".../src/core/interfaces").
+  static std::string InterfaceDir();
+
+ private:
+  std::vector<InterfaceBundle> bundles_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_CORE_REGISTRY_H_

@@ -1,0 +1,68 @@
+#include "src/core/script_objects.h"
+
+#include "src/accel/protoacc/deserializer_sim.h"
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+
+namespace perfiface {
+
+std::optional<double> JpegImageObject::GetAttr(std::string_view name) const {
+  PI_CHECK(image_ != nullptr);
+  if (name == "orig_size") {
+    return static_cast<double>(image_->orig_size());
+  }
+  if (name == "compress_rate") {
+    return image_->compress_rate();
+  }
+  if (name == "compressed_size") {
+    return static_cast<double>(image_->compressed_bytes());
+  }
+  return std::nullopt;
+}
+
+MessageObject::MessageObject(const MessageInstance* msg) : msg_(msg) {
+  PI_CHECK(msg_ != nullptr);
+  for (const MessageInstance* sub : msg_->SubMessages()) {
+    children_.push_back(std::make_unique<MessageObject>(sub));
+  }
+}
+
+std::optional<double> MessageObject::GetAttr(std::string_view name) const {
+  if (name == "num_fields") {
+    return static_cast<double>(msg_->num_fields());
+  }
+  if (name == "num_writes") {
+    return static_cast<double>(NumWrites(*msg_));
+  }
+  if (name == "wire_bytes") {
+    return static_cast<double>(SerializedSize(*msg_));
+  }
+  if (name == "total_fields") {
+    return static_cast<double>(TotalFieldCount(*msg_));
+  }
+  if (name == "total_nodes") {
+    return static_cast<double>(msg_->TotalNodeCount());
+  }
+  if (name == "varint_extra") {
+    return static_cast<double>(TotalVarintExtraBytes(*msg_));
+  }
+  return std::nullopt;
+}
+
+std::optional<double> CompressJobObject::GetAttr(std::string_view name) const {
+  if (name == "input_bytes") {
+    return static_cast<double>(stats_.input_bytes);
+  }
+  if (name == "matches") {
+    return static_cast<double>(stats_.matches);
+  }
+  if (name == "tokens") {
+    return static_cast<double>(stats_.tokens());
+  }
+  if (name == "output_bytes") {
+    return static_cast<double>(stats_.output_bytes);
+  }
+  return std::nullopt;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,62 @@
+// Adapters exposing workload descriptors to PerfScript interface programs.
+//
+// These are the "same inputs as the accelerator" of the paper's Fig 2/3:
+// the interface program receives the actual image / message the accelerator
+// would process, and reads only the attributes the vendor chose to expose.
+#ifndef SRC_CORE_SCRIPT_OBJECTS_H_
+#define SRC_CORE_SCRIPT_OBJECTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/accel/compress/lz.h"
+#include "src/accel/jpeg/codec.h"
+#include "src/accel/protoacc/message.h"
+#include "src/perfscript/value.h"
+
+namespace perfiface {
+
+// Image descriptor for the JPEG decoder interface (Fig 2): exposes
+// orig_size and compress_rate.
+class JpegImageObject : public ScriptObject {
+ public:
+  explicit JpegImageObject(const CompressedImage* image) : image_(image) {}
+
+  std::optional<double> GetAttr(std::string_view name) const override;
+
+ private:
+  const CompressedImage* image_;
+};
+
+// Message descriptor for the Protoacc interface (Fig 3): exposes num_fields
+// and num_writes, and iterates over direct sub-messages. The adapter
+// materializes a wrapper tree so that recursion in the interface program
+// (read_cost) walks the same structure the accelerator's read stage walks.
+class MessageObject : public ScriptObject {
+ public:
+  explicit MessageObject(const MessageInstance* msg);
+
+  std::optional<double> GetAttr(std::string_view name) const override;
+  std::size_t NumChildren() const override { return children_.size(); }
+  const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
+
+ private:
+  const MessageInstance* msg_;
+  std::vector<std::unique_ptr<MessageObject>> children_;
+};
+
+// Compression-job descriptor for the compressor interface: exposes
+// input_bytes plus the token statistics of (a sample of) the data.
+class CompressJobObject : public ScriptObject {
+ public:
+  explicit CompressJobObject(const LzStats& stats) : stats_(stats) {}
+
+  std::optional<double> GetAttr(std::string_view name) const override;
+
+ private:
+  LzStats stats_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_CORE_SCRIPT_OBJECTS_H_

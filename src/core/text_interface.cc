@@ -1,0 +1,21 @@
+#include "src/core/text_interface.h"
+
+namespace perfiface {
+
+const std::vector<TextInterface>& Fig1TextInterfaces() {
+  static const std::vector<TextInterface>* kInterfaces = new std::vector<TextInterface>{
+      {"jpeg_decoder",
+       "Latency is inversely proportional to the input image's compression rate",
+       {QualitativeClaim::kJpegLatencyVsCompressRate}},
+      {"bitcoin_miner",
+       "Latency (cycles) is equal to the configuration parameter Loop. However, the area "
+       "occupied by the accelerator grows inversely with Loop.",
+       {QualitativeClaim::kMinerLatencyEqualsLoop, QualitativeClaim::kMinerAreaInverseInLoop}},
+      {"protoacc",
+       "Throughput decreases as the degree of nesting in a message increases",
+       {QualitativeClaim::kProtoaccTputVsNesting}},
+  };
+  return *kInterfaces;
+}
+
+}  // namespace perfiface

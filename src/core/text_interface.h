@@ -1,0 +1,36 @@
+// Natural-language performance interfaces (paper §3, Fig 1).
+//
+// The lowest-precision, highest-readability representation: one or two
+// sentences describing how performance varies with the workload. Each text
+// is paired with a machine-checkable qualitative claim so that tests and
+// the Fig 1 bench can verify the prose against the simulators.
+#ifndef SRC_CORE_TEXT_INTERFACE_H_
+#define SRC_CORE_TEXT_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+namespace perfiface {
+
+enum class QualitativeClaim {
+  // JPEG: latency is inversely proportional to the compression rate.
+  kJpegLatencyVsCompressRate,
+  // Miner: latency (cycles) equals Loop; area grows inversely with Loop.
+  kMinerLatencyEqualsLoop,
+  kMinerAreaInverseInLoop,
+  // Protoacc: throughput decreases as message nesting deepens.
+  kProtoaccTputVsNesting,
+};
+
+struct TextInterface {
+  std::string accelerator;
+  std::string text;
+  std::vector<QualitativeClaim> claims;
+};
+
+// The three Fig 1 interfaces, verbatim.
+const std::vector<TextInterface>& Fig1TextInterfaces();
+
+}  // namespace perfiface
+
+#endif  // SRC_CORE_TEXT_INTERFACE_H_

@@ -1,0 +1,189 @@
+#include "src/extract/extractor.h"
+
+#include <cmath>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/extract/fit.h"
+
+namespace perfiface {
+namespace {
+
+struct JpegObservation {
+  double size = 0;  // orig_size / 64
+  double cr = 0;    // compress_rate
+  double latency = 0;
+};
+
+// Branch models include a per-image constant (header parse + pipeline
+// fill), which the shipped Fig 2 program omits but the data clearly shows.
+double JpegModel(double w, double wc, double a, double b, double dc,
+                 const JpegObservation& o) {
+  return std::max(o.size * w + wc, o.size / 64.0 * (a / o.cr + b) + dc);
+}
+
+void AccumulateErrors(double predicted, double actual, double* sum, double* max_err) {
+  const double err = std::fabs(predicted - actual) / actual;
+  *sum += err;
+  *max_err = std::max(*max_err, err);
+}
+
+}  // namespace
+
+ExtractedInterface ExtractJpegInterface(JpegDecoderSim* sim,
+                                        const std::vector<ImageWorkload>& corpus) {
+  PI_CHECK(sim != nullptr);
+  ExtractedInterface out;
+  if (corpus.size() < 8) {
+    return out;
+  }
+
+  // Profile.
+  std::vector<JpegObservation> obs;
+  obs.reserve(corpus.size());
+  for (const ImageWorkload& w : corpus) {
+    JpegObservation o;
+    o.size = static_cast<double>(w.compressed.orig_size()) / 64.0;
+    o.cr = w.compressed.compress_rate();
+    o.latency = static_cast<double>(sim->DecodeLatency(w.compressed));
+    obs.push_back(o);
+  }
+
+  // EM-style regime fitting: assign each sample to the writer-bound or
+  // decode-bound branch of the max(), fit each branch by least squares,
+  // reassign by the fitted model, repeat until stable.
+  //
+  // Initial assignment: decode-bound iff compression is strong (small cr).
+  std::vector<bool> decode_bound(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    decode_bound[i] = obs[i].cr < 0.0026;
+  }
+
+  double w = 0, wc = 0, a = 0, b = 0, dc = 0;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    std::vector<Sample> writer_samples;
+    std::vector<Sample> decode_samples;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      if (decode_bound[i]) {
+        decode_samples.push_back(Sample{
+            {obs[i].size / 64.0 / obs[i].cr, obs[i].size / 64.0, 1.0}, obs[i].latency});
+      } else {
+        writer_samples.push_back(Sample{{obs[i].size, 1.0}, obs[i].latency});
+      }
+    }
+    if (writer_samples.size() < 3 || decode_samples.size() < 4) {
+      return out;  // corpus does not span both regimes
+    }
+    const FitResult writer_fit = FitLeastSquares(writer_samples);
+    const FitResult decode_fit = FitLeastSquares(decode_samples);
+    if (!writer_fit.ok || !decode_fit.ok) {
+      return out;
+    }
+    w = writer_fit.coefficients[0];
+    wc = writer_fit.coefficients[1];
+    a = decode_fit.coefficients[0];
+    b = decode_fit.coefficients[1];
+    dc = decode_fit.coefficients[2];
+
+    // Reassign regimes using the fitted branches.
+    bool changed = false;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      const bool now_decode =
+          obs[i].size / 64.0 * (a / obs[i].cr + b) + dc > obs[i].size * w + wc;
+      if (now_decode != decode_bound[i]) {
+        decode_bound[i] = now_decode;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Training error of the full max() model.
+  double sum = 0;
+  double max_err = 0;
+  for (const JpegObservation& o : obs) {
+    AccumulateErrors(JpegModel(w, wc, a, b, dc, o), o.latency, &sum, &max_err);
+  }
+  out.train_avg_error = sum / static_cast<double>(obs.size());
+  out.train_max_error = max_err;
+  out.constants = {w, wc, a, b, dc};
+  out.psc_source = StrFormat(
+      "# Auto-extracted interface for the JPEG decoder (regime-fitted).\n"
+      "def latency_jpeg_decode(img):\n"
+      "  size = img.orig_size / 64\n"
+      "  return max(size * %.3f + %.1f, size / 64 * (%.3f / img.compress_rate + %.3f) + %.1f)\n"
+      "end\n"
+      "\n"
+      "def tput_jpeg_decode(img):\n"
+      "  return 1 / latency_jpeg_decode(img)\n"
+      "end\n",
+      w, wc, a, b, dc);
+  out.ok = true;
+  return out;
+}
+
+ExtractedInterface ExtractMinerInterface(const std::vector<int>& loops) {
+  ExtractedInterface out;
+  if (loops.empty()) {
+    return out;
+  }
+  std::vector<Sample> samples;
+  for (int loop : loops) {
+    BitcoinMinerSim miner{MinerConfig{loop}};
+    BlockHeader header;
+    // Profile a short functional run; cost per attempt is cycles/attempts.
+    const MineResult r = miner.Mine(header, 0, 64, /*difficulty_zero_bits=*/255);
+    PI_CHECK(r.attempts > 0);
+    const double per_attempt = static_cast<double>(r.cycles) / static_cast<double>(r.attempts);
+    samples.push_back(Sample{{static_cast<double>(loop)}, per_attempt});
+  }
+  const FitResult fit = FitLeastSquares(samples);
+  if (!fit.ok) {
+    return out;
+  }
+  const double c = fit.coefficients[0];
+  out.constants = {c};
+  out.train_max_error = fit.max_rel_error;
+  out.psc_source = StrFormat(
+      "# Auto-extracted interface for the Bitcoin miner.\n"
+      "def latency_per_attempt(job):\n"
+      "  return %.4f * job.loop\n"
+      "end\n",
+      c);
+  out.ok = true;
+  return out;
+}
+
+ExtractedInterface ExtractProtoaccWriteInterface(ProtoaccSim* sim,
+                                                 const std::vector<MessageInstance>& corpus) {
+  PI_CHECK(sim != nullptr);
+  ExtractedInterface out;
+  std::vector<Sample> samples;
+  for (const MessageInstance& msg : corpus) {
+    const ProtoaccMeasurement m = sim->Measure(msg, /*copies=*/12);
+    PI_CHECK(m.throughput > 0);
+    const double cost = 1.0 / m.throughput;
+    samples.push_back(Sample{{1.0, static_cast<double>(m.num_writes)}, cost});
+  }
+  const FitResult fit = FitLeastSquares(samples);
+  if (!fit.ok) {
+    return out;
+  }
+  const double a = fit.coefficients[0];
+  const double b = fit.coefficients[1];
+  out.constants = {a, b};
+  out.train_max_error = fit.max_rel_error;
+  out.psc_source = StrFormat(
+      "# Auto-extracted write-stage throughput interface for Protoacc.\n"
+      "def write_tput(msg):\n"
+      "  return 1 / (%.3f + %.4f * msg.num_writes)\n"
+      "end\n",
+      a, b);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace perfiface

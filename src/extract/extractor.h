@@ -1,0 +1,49 @@
+// Automatic extraction of executable performance interfaces (paper §5:
+// "building tools that can automatically extract interfaces ... from
+// accelerator implementations is a promising direction").
+//
+// The extractor treats the accelerator as a black box: it profiles a
+// workload corpus through the timing simulator, fits the constants of a
+// Fig 2-shaped cost model (a max() over per-stage linear terms) with
+// regime-aware least squares, and emits a ready-to-ship PerfScript program.
+// This is the PIX/Freud idea transplanted to accelerators.
+#ifndef SRC_EXTRACT_EXTRACTOR_H_
+#define SRC_EXTRACT_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/accel/bitcoin/miner.h"
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+
+struct ExtractedInterface {
+  bool ok = false;
+  std::string psc_source;        // the emitted interface program
+  double train_avg_error = 0;    // relative, on the profiling corpus
+  double train_max_error = 0;
+  std::vector<double> constants; // fitted model constants (model-specific)
+};
+
+// JPEG decoder: fits latency = max(size*w, (size/64)*(a/compress_rate + b))
+// by EM-style regime assignment (writer-bound vs decode-bound samples).
+// Ground truth comes from `sim`; the corpus should span both regimes.
+ExtractedInterface ExtractJpegInterface(JpegDecoderSim* sim,
+                                        const std::vector<ImageWorkload>& corpus);
+
+// Bitcoin miner: fits latency_per_attempt = c * Loop over the given Loop
+// values (functional mining runs provide the ground truth).
+ExtractedInterface ExtractMinerInterface(const std::vector<int>& loops);
+
+// Protoacc write stage: fits per-message steady-state cost = a + b*num_writes
+// from write-bound (large flat) messages.
+ExtractedInterface ExtractProtoaccWriteInterface(ProtoaccSim* sim,
+                                                 const std::vector<MessageInstance>& corpus);
+
+}  // namespace perfiface
+
+#endif  // SRC_EXTRACT_EXTRACTOR_H_

@@ -1,0 +1,105 @@
+#include "src/extract/fit.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+bool SolveLinearSystem(std::vector<std::vector<double>>* a, std::vector<double>* b,
+                       std::vector<double>* x) {
+  PI_CHECK(a != nullptr && b != nullptr && x != nullptr);
+  const std::size_t n = a->size();
+  PI_CHECK(b->size() == n);
+  for (const auto& row : *a) {
+    PI_CHECK(row.size() == n);
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs((*a)[r][col]) > std::fabs((*a)[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs((*a)[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap((*a)[col], (*a)[pivot]);
+    std::swap((*b)[col], (*b)[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = (*a)[r][col] / (*a)[col][col];
+      for (std::size_t c = col; c < n; ++c) {
+        (*a)[r][c] -= factor * (*a)[col][c];
+      }
+      (*b)[r] -= factor * (*b)[col];
+    }
+  }
+
+  x->assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = (*b)[i];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      acc -= (*a)[i][c] * (*x)[c];
+    }
+    (*x)[i] = acc / (*a)[i][i];
+  }
+  return true;
+}
+
+FitResult FitLeastSquares(const std::vector<Sample>& samples) {
+  FitResult result;
+  if (samples.empty()) {
+    return result;
+  }
+  const std::size_t k = samples[0].features.size();
+  if (k == 0 || samples.size() < k) {
+    return result;
+  }
+  for (const Sample& s : samples) {
+    PI_CHECK(s.features.size() == k);
+  }
+
+  // Normal equations: (X^T X) w = X^T y.
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (const Sample& s : samples) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        xtx[i][j] += s.features[i] * s.features[j];
+      }
+      xty[i] += s.features[i] * s.response;
+    }
+  }
+  if (!SolveLinearSystem(&xtx, &xty, &result.coefficients)) {
+    return result;
+  }
+
+  // Residual statistics.
+  double ss_res = 0;
+  double ss_tot = 0;
+  double mean = 0;
+  for (const Sample& s : samples) {
+    mean += s.response;
+  }
+  mean /= static_cast<double>(samples.size());
+  for (const Sample& s : samples) {
+    double predicted = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      predicted += result.coefficients[i] * s.features[i];
+    }
+    const double res = s.response - predicted;
+    ss_res += res * res;
+    ss_tot += (s.response - mean) * (s.response - mean);
+    if (s.response != 0) {
+      result.max_rel_error = std::max(result.max_rel_error, std::fabs(res / s.response));
+    }
+  }
+  result.r_squared = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace perfiface

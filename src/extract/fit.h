@@ -1,0 +1,41 @@
+// Least-squares fitting primitives for automatic interface extraction.
+//
+// The paper's §5 asks whether interfaces can be extracted from
+// implementations automatically instead of hand-written. This module
+// provides the numeric core: ordinary least squares over small feature
+// sets, solved by normal equations with Gaussian elimination — enough to
+// recover the constants of Fig 2/3-shaped cost models from profiled
+// (workload, latency) samples.
+#ifndef SRC_EXTRACT_FIT_H_
+#define SRC_EXTRACT_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace perfiface {
+
+// One profiled observation: feature vector x and response y.
+struct Sample {
+  std::vector<double> features;
+  double response = 0;
+};
+
+struct FitResult {
+  bool ok = false;
+  std::vector<double> coefficients;
+  double r_squared = 0;       // goodness of fit on the training samples
+  double max_rel_error = 0;   // worst relative residual
+};
+
+// Ordinary least squares: finds w minimizing ||Xw - y||^2. All samples must
+// share the feature count; requires at least as many samples as features.
+FitResult FitLeastSquares(const std::vector<Sample>& samples);
+
+// Solves A x = b in place (Gaussian elimination with partial pivoting).
+// Returns false if the system is singular.
+bool SolveLinearSystem(std::vector<std::vector<double>>* a, std::vector<double>* b,
+                       std::vector<double>* x);
+
+}  // namespace perfiface
+
+#endif  // SRC_EXTRACT_FIT_H_

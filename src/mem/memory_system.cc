@@ -1,0 +1,67 @@
+#include "src/mem/memory_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+MemorySystem::MemorySystem(const MemoryConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  PI_CHECK(config_.tlb_entries > 0);
+  PI_CHECK(config_.bank_count > 0);
+  PI_CHECK(config_.page_size_bytes > 0);
+  PI_CHECK(config_.row_size_bytes > 0);
+  Reset(seed);
+}
+
+void MemorySystem::Reset(std::uint64_t seed) {
+  rng_ = SplitMix64(seed);
+  tlb_tags_.assign(config_.tlb_entries, kInvalidTag);
+  open_rows_.assign(config_.bank_count, kInvalidTag);
+  bank_free_at_.assign(config_.bank_count, 0);
+  latency_stats_ = RunningStats();
+}
+
+Cycles MemorySystem::Jitter(Cycles base) {
+  double g = rng_.NextGaussian();
+  g = std::clamp(g, -3.0, 3.0);
+  const double jitter = g * config_.jitter_sigma * static_cast<double>(base);
+  const double result = std::max(1.0, static_cast<double>(base) + jitter);
+  return static_cast<Cycles>(std::llround(result));
+}
+
+Cycles MemorySystem::TlbLookup(std::uint64_t addr) {
+  const std::uint64_t vpn = addr / config_.page_size_bytes;
+  const std::size_t index = static_cast<std::size_t>(vpn % config_.tlb_entries);
+  if (tlb_tags_[index] == vpn) {
+    return config_.tlb_hit_latency;
+  }
+  tlb_tags_[index] = vpn;
+  return config_.tlb_hit_latency + config_.tlb_miss_walk_latency;
+}
+
+Cycles MemorySystem::DramAccess(std::uint64_t addr, Cycles now) {
+  const std::uint64_t row = addr / config_.row_size_bytes;
+  const std::size_t bank = static_cast<std::size_t>(row % config_.bank_count);
+
+  // Queue behind an in-flight access to the same bank.
+  const Cycles wait = bank_free_at_[bank] > now ? bank_free_at_[bank] - now : 0;
+
+  const bool row_hit = open_rows_[bank] == row;
+  const Cycles base = row_hit ? config_.row_hit_latency : config_.row_miss_latency;
+  const Cycles service = Jitter(base);
+
+  open_rows_[bank] = row;
+  bank_free_at_[bank] = now + wait + config_.bank_busy_cycles;
+  return wait + service;
+}
+
+Cycles MemorySystem::Access(std::uint64_t addr, Cycles now) {
+  const Cycles latency = TlbLookup(addr) + DramAccess(addr, now);
+  latency_stats_.Add(static_cast<double>(latency));
+  return latency;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,125 @@
+#include "src/offload/advisor.h"
+
+#include <algorithm>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+#include "src/core/native_interfaces.h"
+
+namespace perfiface {
+
+std::string PlatformName(Platform p) {
+  switch (p) {
+    case Platform::kXeonCore: return "xeon-core";
+    case Platform::kProtoacc: return "protoacc";
+    case Platform::kOptimusPrime: return "optimus-prime";
+  }
+  return "?";
+}
+
+OffloadAdvisor::OffloadAdvisor(const AdvisorConfig& config)
+    : config_(config),
+      cpu_(CpuSerializerTiming{250, 20, 0.8, 60, config.xeon_clock_ghz}),
+      op_(OptimusPrimeTiming{}) {}
+
+double OffloadAdvisor::Throughput(Platform p, const MessageInstance& msg) const {
+  const double bytes = static_cast<double>(SerializedSize(msg));
+  switch (p) {
+    case Platform::kXeonCore: {
+      return config_.xeon_clock_ghz * 1e9 / static_cast<double>(cpu_.MessageCost(msg));
+    }
+    case Platform::kProtoacc: {
+      // Accelerator-side rate from the Fig 3 interface; host-side submission
+      // path caps it.
+      const double accel =
+          NativeProtoaccThroughput(msg, config_.avg_mem_latency) * config_.protoacc_clock_ghz * 1e9;
+      const double host_cost =
+          config_.protoacc_host_cycles + config_.protoacc_host_cycles_per_byte * bytes;
+      const double host = config_.xeon_clock_ghz * 1e9 / host_cost;
+      return std::min(accel, host);
+    }
+    case Platform::kOptimusPrime: {
+      const double accel = op_.Measure(msg).throughput * config_.op_clock_ghz * 1e9;
+      const double host_cost = config_.op_host_cycles + config_.op_host_cycles_per_byte * bytes;
+      const double host = config_.xeon_clock_ghz * 1e9 / host_cost;
+      return std::min(accel, host);
+    }
+  }
+  return 0;
+}
+
+double OffloadAdvisor::LatencyNs(Platform p, const MessageInstance& msg) const {
+  switch (p) {
+    case Platform::kXeonCore:
+      return static_cast<double>(cpu_.MessageCost(msg)) / config_.xeon_clock_ghz;
+    case Platform::kProtoacc: {
+      // The interface only provides bounds; advise with the midpoint.
+      const double lo = NativeProtoaccMinLatency(msg, config_.avg_mem_latency);
+      const double hi = NativeProtoaccMaxLatency(msg, config_.avg_mem_latency);
+      const double accel_ns = 0.5 * (lo + hi) / config_.protoacc_clock_ghz;
+      const double host_ns = config_.protoacc_host_cycles / config_.xeon_clock_ghz;
+      return accel_ns + host_ns;
+    }
+    case Platform::kOptimusPrime: {
+      const double accel_ns =
+          static_cast<double>(op_.Measure(msg).latency) / config_.op_clock_ghz;
+      const double host_ns = config_.op_host_cycles / config_.xeon_clock_ghz;
+      return accel_ns + host_ns;
+    }
+  }
+  return 0;
+}
+
+AdvisorReport OffloadAdvisor::Assess(const MessageInstance& msg) const {
+  AdvisorReport report;
+  const double bits = static_cast<double>(SerializedSize(msg)) * 8.0;
+  const Platform all[] = {Platform::kXeonCore, Platform::kProtoacc, Platform::kOptimusPrime};
+  for (Platform p : all) {
+    PlatformAssessment a;
+    a.platform = p;
+    a.msgs_per_sec = Throughput(p, msg);
+    a.gbps = a.msgs_per_sec * bits / 1e9;
+    a.latency_ns = LatencyNs(p, msg);
+    const double dollars = p == Platform::kXeonCore     ? config_.xeon_core_dollars
+                           : p == Platform::kProtoacc   ? config_.protoacc_dollars
+                                                        : config_.op_dollars;
+    a.gbps_per_dollar = a.gbps / dollars;
+    report.platforms.push_back(a);
+  }
+  report.best_throughput =
+      std::max_element(report.platforms.begin(), report.platforms.end(),
+                       [](const PlatformAssessment& a, const PlatformAssessment& b) {
+                         return a.msgs_per_sec < b.msgs_per_sec;
+                       })
+          ->platform;
+  report.best_value =
+      std::max_element(report.platforms.begin(), report.platforms.end(),
+                       [](const PlatformAssessment& a, const PlatformAssessment& b) {
+                         return a.gbps_per_dollar < b.gbps_per_dollar;
+                       })
+          ->platform;
+  return report;
+}
+
+double OffloadAdvisor::CoresSaved(Platform accel, const MessageInstance& msg,
+                                  double messages_per_second) const {
+  PI_CHECK(accel != Platform::kXeonCore);
+  const double cores_for_load = cpu_.CoresNeeded(msg, messages_per_second);
+  const double accel_capacity = Throughput(accel, msg);
+  if (accel_capacity < messages_per_second) {
+    return 0;  // the accelerator cannot even absorb the load
+  }
+  // Host still spends submission cycles per message.
+  const double host_cost = accel == Platform::kProtoacc
+                               ? config_.protoacc_host_cycles +
+                                     config_.protoacc_host_cycles_per_byte *
+                                         static_cast<double>(SerializedSize(msg))
+                               : config_.op_host_cycles +
+                                     config_.op_host_cycles_per_byte *
+                                         static_cast<double>(SerializedSize(msg));
+  const double host_cores =
+      messages_per_second * host_cost / (config_.xeon_clock_ghz * 1e9);
+  return std::max(0.0, cores_for_load - host_cores);
+}
+
+}  // namespace perfiface

@@ -1,0 +1,56 @@
+// Record/replay end-to-end prediction strawman (paper §5).
+//
+// "The application is first run with a software implementation of the
+//  accelerator's API and all requests and responses are saved. The
+//  application is then re-run with a simple simulator that spins idly for
+//  the latency computed by the interface for the input request and then
+//  returns the correct, saved response."
+//
+// We implement exactly that for a deterministic RPC-pipeline application:
+// phase 1 records functional responses via the CPU serializer; phase 2
+// replays with interface-predicted latencies; the ground truth re-runs the
+// application against the Protoacc timing simulator.
+#ifndef SRC_OFFLOAD_REPLAY_H_
+#define SRC_OFFLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/protoacc/message.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct ReplayConfig {
+  // Application work per request besides serialization (checksum, routing),
+  // in accelerator-clock cycles.
+  Cycles app_work_per_request = 900;
+  double avg_mem_latency = 60;  // interface calibration constant
+};
+
+struct E2eComparison {
+  Cycles actual_total = 0;      // app + accelerator simulator
+  Cycles predicted_total = 0;   // app + interface midpoint latency (replay)
+  double relative_error = 0;
+  std::size_t requests = 0;
+  bool responses_match = false;  // functional record == accelerator output
+};
+
+class ReplayHarness {
+ public:
+  ReplayHarness(const ReplayConfig& config, const ProtoaccTiming& timing,
+                const MemoryConfig& mem_config, std::uint64_t seed);
+
+  E2eComparison Run(const std::vector<MessageInstance>& trace);
+
+ private:
+  ReplayConfig config_;
+  ProtoaccTiming timing_;
+  MemoryConfig mem_config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_OFFLOAD_REPLAY_H_

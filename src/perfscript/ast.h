@@ -1,0 +1,71 @@
+// Abstract syntax tree for PerfScript.
+#ifndef SRC_PERFSCRIPT_AST_H_
+#define SRC_PERFSCRIPT_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace perfiface {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe, kAnd, kOr };
+enum class UnOp { kNeg, kNot };
+
+enum class ExprKind { kNumber, kVar, kAttr, kCall, kBinary, kUnary };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kNumber
+  double number = 0;
+  // kVar: name; kAttr: attribute name; kCall: callee name.
+  std::string name;
+  // kAttr: object expr in children[0]; kBinary: lhs/rhs; kUnary: operand;
+  // kCall: arguments.
+  std::vector<ExprPtr> children;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { kAssign, kAugAdd, kReturn, kFor, kIf, kExpr };
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string target;  // kAssign / kAugAdd / kFor loop variable
+  ExprPtr value;       // kAssign/kAugAdd rhs, kReturn value, kFor iterable, kIf condition
+  std::vector<StmtPtr> body;       // kFor / kIf then-branch
+  std::vector<StmtPtr> else_body;  // kIf else-branch
+};
+
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<FunctionDef> functions;
+
+  const FunctionDef* Find(const std::string& name) const {
+    for (const FunctionDef& f : functions) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_AST_H_

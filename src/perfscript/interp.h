@@ -1,0 +1,78 @@
+// Tree-walking interpreter for PerfScript interface programs.
+#ifndef SRC_PERFSCRIPT_INTERP_H_
+#define SRC_PERFSCRIPT_INTERP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/perfscript/ast.h"
+#include "src/perfscript/value.h"
+
+namespace perfiface {
+
+struct EvalResult {
+  bool ok = false;
+  std::string error;
+  Value value;
+
+  // Convenience: the numeric result; aborts if !ok or non-numeric.
+  double Num() const;
+};
+
+class Interpreter {
+ public:
+  // The program must outlive the interpreter.
+  explicit Interpreter(const Program* program);
+
+  // Calls a top-level function with the given arguments.
+  EvalResult Call(const std::string& function, const std::vector<Value>& args);
+
+  // Defines a global constant visible to every function (the paper's Fig 3
+  // interface reads `avg_mem_latency`, a calibration constant shipped with
+  // the accelerator).
+  void SetGlobal(const std::string& name, double value);
+
+  // Resource limits: interfaces are untrusted vendor-supplied programs, so
+  // runaway recursion or loops must fail cleanly rather than hang the tool.
+  void set_max_steps(std::uint64_t steps) { max_steps_ = steps; }
+  void set_max_depth(std::size_t depth) { max_depth_ = depth; }
+
+ private:
+  struct Frame {
+    std::vector<std::pair<std::string, Value>> locals;
+  };
+
+  Value EvalExpr(const Expr& e, Frame* frame);
+  // Returns true if a `return` was executed (result in *ret).
+  bool ExecBlock(const std::vector<StmtPtr>& block, Frame* frame, Value* ret);
+  bool ExecStmt(const Stmt& s, Frame* frame, Value* ret);
+  Value CallFunction(const FunctionDef& f, const std::vector<Value>& args, int call_line);
+  Value CallBuiltin(const Expr& call, std::vector<Value> args, bool* handled);
+  Value* FindLocal(Frame* frame, const std::string& name);
+  void SetLocal(Frame* frame, const std::string& name, Value v);
+
+  void RuntimeError(int line, const std::string& msg);
+  bool Step(int line);
+  double NumOrError(const Value& v, int line, const char* what);
+
+  const Program* program_;
+  std::vector<std::pair<std::string, double>> globals_;
+  bool failed_ = false;
+  std::string error_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t max_steps_ = 50'000'000;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_ = 200;
+};
+
+// Evaluates a standalone expression (no function calls except builtins) with
+// variables resolved through `lookup`. Used to compile the delay annotations
+// of textual Petri nets into executable delay functions.
+EvalResult EvalExprWithVars(
+    const Expr& expr,
+    const std::function<std::optional<double>(std::string_view)>& lookup);
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_INTERP_H_

@@ -1,0 +1,154 @@
+#include "src/perfscript/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace perfiface {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+TokKind KeywordKind(std::string_view s) {
+  if (s == "def") return TokKind::kDef;
+  if (s == "return") return TokKind::kReturn;
+  if (s == "for") return TokKind::kFor;
+  if (s == "in") return TokKind::kIn;
+  if (s == "if") return TokKind::kIf;
+  if (s == "else") return TokKind::kElse;
+  if (s == "end") return TokKind::kEnd;
+  if (s == "and") return TokKind::kAnd;
+  if (s == "or") return TokKind::kOr;
+  if (s == "not") return TokKind::kNot;
+  return TokKind::kIdent;
+}
+
+}  // namespace
+
+std::string_view TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "end of input";
+    case TokKind::kNumber: return "number";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kDef: return "'def'";
+    case TokKind::kReturn: return "'return'";
+    case TokKind::kFor: return "'for'";
+    case TokKind::kIn: return "'in'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kEnd: return "'end'";
+    case TokKind::kAnd: return "'and'";
+    case TokKind::kOr: return "'or'";
+    case TokKind::kNot: return "'not'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kNewline: return "newline";
+  }
+  return "?";
+}
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  auto push = [&](TokKind k) { out.tokens.push_back(Tok{k, "", 0, line}); };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse consecutive newlines into one token.
+      if (!out.tokens.empty() && out.tokens.back().kind != TokKind::kNewline) {
+        push(TokKind::kNewline);
+      }
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const char* begin = src.data() + i;
+      char* endp = nullptr;
+      const double v = std::strtod(begin, &endp);
+      const std::size_t len = static_cast<std::size_t>(endp - begin);
+      if (len == 0) {
+        out.error = StrFormat("line %d: bad number", line);
+        return out;
+      }
+      out.tokens.push_back(Tok{TokKind::kNumber, "", v, line});
+      i += len;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < src.size() && IsIdentChar(src[j])) {
+        ++j;
+      }
+      std::string text(src.substr(i, j - i));
+      const TokKind k = KeywordKind(text);
+      out.tokens.push_back(Tok{k, k == TokKind::kIdent ? std::move(text) : "", 0, line});
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('<', '=')) { push(TokKind::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(TokKind::kGe); i += 2; continue; }
+    if (two('=', '=')) { push(TokKind::kEq); i += 2; continue; }
+    if (two('!', '=')) { push(TokKind::kNe); i += 2; continue; }
+    switch (c) {
+      case '(': push(TokKind::kLParen); break;
+      case ')': push(TokKind::kRParen); break;
+      case ',': push(TokKind::kComma); break;
+      case '.': push(TokKind::kDot); break;
+      case ':': push(TokKind::kColon); break;
+      case '=': push(TokKind::kAssign); break;
+      case '+': push(TokKind::kPlus); break;
+      case '-': push(TokKind::kMinus); break;
+      case '*': push(TokKind::kStar); break;
+      case '/': push(TokKind::kSlash); break;
+      case '%': push(TokKind::kPercent); break;
+      case '<': push(TokKind::kLt); break;
+      case '>': push(TokKind::kGt); break;
+      default:
+        out.error = StrFormat("line %d: unexpected character '%c'", line, c);
+        return out;
+    }
+    ++i;
+  }
+  if (!out.tokens.empty() && out.tokens.back().kind != TokKind::kNewline) {
+    out.tokens.push_back(Tok{TokKind::kNewline, "", 0, line});
+  }
+  out.tokens.push_back(Tok{TokKind::kEof, "", 0, line});
+  out.ok = true;
+  return out;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,72 @@
+// Lexer for PerfScript, the language performance interfaces ship in.
+//
+// PerfScript is a deliberately tiny, Python-flavoured language: enough to
+// express the paper's Fig 2/3 interface programs (arithmetic, min/max/ceil,
+// attribute access, recursion, iteration over sub-messages) and nothing
+// more. Blocks are closed with `end` instead of relying on indentation.
+#ifndef SRC_PERFSCRIPT_LEXER_H_
+#define SRC_PERFSCRIPT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfiface {
+
+enum class TokKind {
+  kEof,
+  kNumber,
+  kIdent,
+  // Keywords.
+  kDef,
+  kReturn,
+  kFor,
+  kIn,
+  kIf,
+  kElse,
+  kEnd,
+  kAnd,
+  kOr,
+  kNot,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kColon,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,  // ==
+  kNe,  // !=
+  kNewline,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEof;
+  std::string text;   // identifier spelling
+  double number = 0;  // for kNumber
+  int line = 0;
+};
+
+struct LexResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Tok> tokens;
+};
+
+LexResult Lex(std::string_view source);
+
+// For diagnostics.
+std::string_view TokKindName(TokKind kind);
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_LEXER_H_

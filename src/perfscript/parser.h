@@ -1,0 +1,44 @@
+// Recursive-descent parser for PerfScript.
+//
+// Grammar (statements are newline-terminated; blocks end with `end`):
+//   program   := { funcdef }
+//   funcdef   := 'def' IDENT '(' [params] ')' ':' NEWLINE block 'end'
+//   block     := { stmt }
+//   stmt      := IDENT '=' expr | IDENT '+=' ... (spelled `x = x + e`; the
+//                lexer has no '+=', but `x += e` from the paper listings is
+//                accepted via the parser rewriting `+` `=`)  -- see below
+//              | 'return' expr | 'for' IDENT 'in' expr ':' block 'end'
+//              | 'if' expr ':' block ['else' ':' block] 'end' | expr
+//   expr      := or-chain of comparisons over +- over */% over unary over
+//                primary; primary := NUMBER | IDENT | call | attr | '(' expr ')'
+#ifndef SRC_PERFSCRIPT_PARSER_H_
+#define SRC_PERFSCRIPT_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/perfscript/ast.h"
+
+namespace perfiface {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  Program program;
+};
+
+ParseResult ParseProgram(std::string_view source);
+
+// Parses a single expression (used by the Petri-net text format, whose delay
+// annotations are PerfScript expressions).
+struct ParseExprResult {
+  bool ok = false;
+  std::string error;
+  ExprPtr expr;
+};
+
+ParseExprResult ParseExpression(std::string_view source);
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_PARSER_H_

@@ -1,0 +1,55 @@
+// Runtime values for PerfScript.
+//
+// A value is either a number or a reference to a host object. Host objects
+// are how the C++ side hands workload descriptors (an image, a protobuf-like
+// message) to an interface program: the program reads attributes
+// (`img.orig_size`) and iterates sub-objects (`for sub_msg in msg:`), exactly
+// like the paper's Python interfaces do.
+#ifndef SRC_PERFSCRIPT_VALUE_H_
+#define SRC_PERFSCRIPT_VALUE_H_
+
+#include <optional>
+#include <string_view>
+
+namespace perfiface {
+
+class ScriptObject {
+ public:
+  virtual ~ScriptObject() = default;
+
+  // Returns the numeric attribute `name`, or nullopt if the object does not
+  // expose it (a runtime error in the interface program).
+  virtual std::optional<double> GetAttr(std::string_view name) const = 0;
+
+  // Iteration support (`for x in obj:` and `len(obj)`).
+  virtual std::size_t NumChildren() const { return 0; }
+  virtual const ScriptObject* Child(std::size_t i) const {
+    (void)i;
+    return nullptr;
+  }
+};
+
+struct Value {
+  enum class Kind { kNumber, kObject };
+  Kind kind = Kind::kNumber;
+  double num = 0;
+  const ScriptObject* obj = nullptr;
+
+  static Value Number(double v) {
+    Value out;
+    out.kind = Kind::kNumber;
+    out.num = v;
+    return out;
+  }
+  static Value Object(const ScriptObject* o) {
+    Value out;
+    out.kind = Kind::kObject;
+    out.obj = o;
+    return out;
+  }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_VALUE_H_

@@ -1,0 +1,75 @@
+#include "src/petri/analysis.h"
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+
+NetSummary Summarize(const PetriNet& net) {
+  NetSummary s;
+  s.places = net.places().size();
+  s.transitions = net.transitions().size();
+  s.structurally_bounded = true;
+  for (const Place& p : net.places()) {
+    if (p.capacity == 0) {
+      s.structurally_bounded = false;
+    }
+  }
+  for (const TransitionSpec& t : net.transitions()) {
+    s.arcs += t.inputs.size() + t.outputs.size();
+  }
+  return s;
+}
+
+std::vector<std::string> LintNet(const PetriNet& net) {
+  std::vector<std::string> issues;
+  std::vector<bool> produced(net.places().size(), false);
+  std::vector<bool> consumed(net.places().size(), false);
+  for (const TransitionSpec& t : net.transitions()) {
+    for (const Arc& a : t.inputs) {
+      consumed[a.place] = true;
+    }
+    for (const Arc& a : t.outputs) {
+      produced[a.place] = true;
+    }
+  }
+  for (std::size_t i = 0; i < net.places().size(); ++i) {
+    const Place& p = net.places()[i];
+    // A place that nothing consumes is a sink (fine); a place that nothing
+    // produces must be fed by injection or initial marking — we can only
+    // flag the case where it is also never consumed and holds no tokens.
+    if (!produced[i] && !consumed[i] && p.initial_tokens == 0) {
+      issues.push_back(StrFormat("place '%s' is disconnected", p.name.c_str()));
+    }
+    if (!consumed[i] && p.capacity != 0) {
+      issues.push_back(StrFormat(
+          "sink place '%s' has capacity %zu and will eventually deadlock the net",
+          p.name.c_str(), p.capacity));
+    }
+  }
+  for (const TransitionSpec& t : net.transitions()) {
+    if (t.servers == 0) {
+      issues.push_back(StrFormat("transition '%s' has zero servers", t.name.c_str()));
+    }
+  }
+  return issues;
+}
+
+double SteadyStateThroughput(const PetriSim& sim, PlaceId sink, std::size_t trim) {
+  const std::vector<Arrival>& log = sim.arrivals(sink);
+  PI_CHECK_MSG(log.size() >= 2 * trim + 2, "not enough arrivals for throughput");
+  const Arrival& first = log[trim];
+  const Arrival& last = log[log.size() - 1 - trim];
+  PI_CHECK(last.time > first.time);
+  const double tokens = static_cast<double>(log.size() - 1 - 2 * trim);
+  return tokens / static_cast<double>(last.time - first.time);
+}
+
+Cycles ArrivalLatency(const PetriSim& sim, PlaceId sink, std::size_t k) {
+  const std::vector<Arrival>& log = sim.arrivals(sink);
+  PI_CHECK(k < log.size());
+  PI_CHECK(log[k].time >= log[k].token.injected_at);
+  return log[k].time - log[k].token.injected_at;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,39 @@
+// Structural analysis and measurement helpers for Petri-net interfaces.
+#ifndef SRC_PETRI_ANALYSIS_H_
+#define SRC_PETRI_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/petri/net.h"
+#include "src/petri/sim.h"
+
+namespace perfiface {
+
+// Structural facts about a net, useful for sanity checks and documentation.
+struct NetSummary {
+  std::size_t places = 0;
+  std::size_t transitions = 0;
+  std::size_t arcs = 0;
+  bool structurally_bounded = false;  // true if every place has a capacity
+};
+
+NetSummary Summarize(const PetriNet& net);
+
+// Structural lint: returns human-readable issues (dangling places, sinks
+// with capacities that can deadlock, transitions without outputs that are
+// not explicitly named as sinks, ...). An empty result means clean.
+std::vector<std::string> LintNet(const PetriNet& net);
+
+// Steady-state throughput at an observed place: tokens per cycle measured
+// between the first and last arrival, optionally trimming warmup/cooldown
+// arrivals at each end to remove pipeline fill/drain transients.
+double SteadyStateThroughput(const PetriSim& sim, PlaceId sink, std::size_t trim = 0);
+
+// Latency of the k-th token to arrive at the sink, measured from injection.
+Cycles ArrivalLatency(const PetriSim& sim, PlaceId sink, std::size_t k);
+
+}  // namespace perfiface
+
+#endif  // SRC_PETRI_ANALYSIS_H_

@@ -1,0 +1,100 @@
+// Structure of a timed colored Petri net — the paper's "performance IR".
+//
+// Places are FIFO token queues (optionally bounded: a bounded place models a
+// hardware FIFO and produces backpressure). Transitions model processing
+// elements: they consume tokens from their input places, take a
+// data-dependent delay, and deposit transformed tokens into their output
+// places. Multiple transitions fire concurrently, which is how the IR
+// captures the parallel, pipelined execution model of accelerators
+// (paper §3, "Formal Petri net interfaces").
+#ifndef SRC_PETRI_NET_H_
+#define SRC_PETRI_NET_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/small_vec.h"
+#include "src/common/types.h"
+#include "src/petri/token.h"
+
+namespace perfiface {
+
+using PlaceId = std::size_t;
+using TransitionId = std::size_t;
+
+struct Place {
+  std::string name;
+  // 0 means unbounded. A bounded place refuses new firings that would
+  // overflow it (blocking-before-service), modeling a full hardware FIFO.
+  std::size_t capacity = 0;
+  // Initial marking: number of plain tokens present at t=0. Used for
+  // credit/slot places (e.g. "N outstanding DMA credits").
+  std::size_t initial_tokens = 0;
+};
+
+struct Arc {
+  PlaceId place = 0;
+  std::size_t weight = 1;
+};
+
+// Inputs to the delay/fire callbacks: one token per unit of input-arc weight,
+// ordered by input-arc declaration order. Inline storage: building this on
+// every firing attempt must not allocate.
+using TokenRefs = SmallVec<const Token*, 8>;
+
+// Computes the firing delay in cycles for a token set.
+using DelayFn = std::function<Cycles(const TokenRefs&)>;
+
+// Produces the output tokens: out[i] receives the tokens for output arc i
+// (exactly arc.weight tokens must be appended to each). If no FireFn is
+// given, the first input token is copied to every output arc.
+using FireFn = std::function<void(const TokenRefs&, std::vector<std::vector<Token>>&)>;
+
+// Enablement predicate over the front tokens; defaults to always-true.
+using GuardFn = std::function<bool(const TokenRefs&)>;
+
+struct TransitionSpec {
+  std::string name;
+  std::vector<Arc> inputs;
+  std::vector<Arc> outputs;
+  // Number of concurrent firings this transition supports (hardware
+  // replication). 1 = a single-server pipeline stage.
+  std::size_t servers = 1;
+  DelayFn delay;  // required
+  FireFn fire;    // optional
+  GuardFn guard;  // optional
+};
+
+class PetriNet {
+ public:
+  PlaceId AddPlace(std::string name, std::size_t capacity = 0, std::size_t initial_tokens = 0);
+  TransitionId AddTransition(TransitionSpec spec);
+
+  // Registers a named token-attribute slot; returns its index. Re-registering
+  // an existing name returns the same index. The schema is shared by all
+  // tokens in the net.
+  std::size_t RegisterAttr(std::string_view name);
+  // Returns the slot for `name`, or npos if unknown.
+  std::size_t FindAttr(std::string_view name) const;
+  static constexpr std::size_t kNoAttr = static_cast<std::size_t>(-1);
+
+  const std::vector<Place>& places() const { return places_; }
+  const std::vector<TransitionSpec>& transitions() const { return transitions_; }
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+
+  // Returns the place id with the given name; aborts if absent.
+  PlaceId PlaceByName(std::string_view name) const;
+  bool HasPlace(std::string_view name) const;
+
+ private:
+  std::vector<Place> places_;
+  std::vector<TransitionSpec> transitions_;
+  std::vector<std::string> attr_names_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PETRI_NET_H_

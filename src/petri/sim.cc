@@ -1,0 +1,259 @@
+#include "src/petri/sim.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+PetriSim::PetriSim(const PetriNet* net) : net_(net) {
+  PI_CHECK(net_ != nullptr);
+  watchers_.resize(net_->places().size());
+  for (TransitionId t = 0; t < net_->transitions().size(); ++t) {
+    const TransitionSpec& spec = net_->transitions()[t];
+    for (const Arc& a : spec.inputs) {
+      watchers_[a.place].push_back(t);
+    }
+    for (const Arc& a : spec.outputs) {
+      watchers_[a.place].push_back(t);
+    }
+  }
+  Reset();
+}
+
+void PetriSim::Reset() {
+  now_ = 0;
+  seq_ = 0;
+  total_firings_ = 0;
+  // Preserve which places are instrumented across resets; only markings,
+  // logs and in-flight firings are cleared.
+  std::vector<bool> observed(net_->places().size(), false);
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    observed[i] = places_[i].observed;
+  }
+  places_.clear();
+  places_.resize(net_->places().size());
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    places_[i].observed = observed[i];
+  }
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    for (std::size_t k = 0; k < net_->places()[i].initial_tokens; ++k) {
+      places_[i].tokens.push_back(Token{});
+    }
+  }
+  busy_servers_.assign(net_->transitions().size(), 0);
+  events_.clear();
+  slab_.clear();
+  free_slots_.clear();
+  pending_.assign(net_->transitions().size(), true);
+}
+
+void PetriSim::Inject(PlaceId place, Token token) {
+  PI_CHECK(place < places_.size());
+  token.injected_at = now_;
+  Deposit(place, std::move(token));
+}
+
+void PetriSim::Observe(PlaceId place) {
+  PI_CHECK(place < places_.size());
+  places_[place].observed = true;
+}
+
+const std::vector<Arrival>& PetriSim::arrivals(PlaceId place) const {
+  PI_CHECK(place < places_.size());
+  return places_[place].log;
+}
+
+std::size_t PetriSim::tokens_at(PlaceId place) const {
+  PI_CHECK(place < places_.size());
+  return places_[place].tokens.size();
+}
+
+void PetriSim::MarkTransition(TransitionId t) { pending_[t] = true; }
+
+void PetriSim::MarkPlaceChanged(PlaceId place) {
+  for (TransitionId t : watchers_[place]) {
+    pending_[t] = true;
+  }
+}
+
+void PetriSim::Deposit(PlaceId place, Token token) {
+  PlaceState& ps = places_[place];
+  if (ps.observed) {
+    ps.log.push_back(Arrival{now_, token});
+  }
+  ps.tokens.push_back(std::move(token));
+  MarkPlaceChanged(place);
+}
+
+bool PetriSim::TryStart(TransitionId t) {
+  const TransitionSpec& spec = net_->transitions()[t];
+  if (busy_servers_[t] >= spec.servers) {
+    return false;
+  }
+
+  // Check input availability and collect front-token refs for the guard.
+  TokenRefs refs;
+  for (const Arc& a : spec.inputs) {
+    if (places_[a.place].tokens.size() < a.weight) {
+      return false;
+    }
+  }
+  for (const Arc& a : spec.inputs) {
+    for (std::size_t k = 0; k < a.weight; ++k) {
+      refs.push_back(&places_[a.place].tokens[k]);
+    }
+  }
+  if (spec.guard && !spec.guard(refs)) {
+    return false;
+  }
+
+  // Check output room (blocking-before-service). Consumption by this firing
+  // is accounted for places that appear on both sides.
+  for (const Arc& out : spec.outputs) {
+    const Place& p = net_->places()[out.place];
+    if (p.capacity == 0) {
+      continue;
+    }
+    std::size_t consumed_here = 0;
+    for (const Arc& in : spec.inputs) {
+      if (in.place == out.place) {
+        consumed_here += in.weight;
+      }
+    }
+    const PlaceState& ps = places_[out.place];
+    const std::size_t occupied = ps.tokens.size() + ps.reserved - consumed_here;
+    if (occupied + out.weight > p.capacity) {
+      return false;
+    }
+  }
+
+  // Compute delay while the token refs are still valid.
+  const Cycles delay = spec.delay(refs);
+
+  // Consume inputs into a scheduled slab slot.
+  Firing& f = ScheduleFiring(now_ + delay);
+  f.transition = t;
+  f.consumed.resize(0);
+  for (const Arc& a : spec.inputs) {
+    for (std::size_t k = 0; k < a.weight; ++k) {
+      f.consumed.push_back(std::move(places_[a.place].tokens.front()));
+      places_[a.place].tokens.pop_front();
+    }
+    // Popping frees capacity: upstream producers may become enabled.
+    MarkPlaceChanged(a.place);
+  }
+
+  // Reserve output room.
+  for (const Arc& out : spec.outputs) {
+    places_[out.place].reserved += out.weight;
+  }
+
+  ++busy_servers_[t];
+  ++total_firings_;
+  PI_CHECK_MSG(total_firings_ <= max_firings_, "firing budget exhausted (zero-delay loop?)");
+  return true;
+}
+
+void PetriSim::StartAll() {
+  // Deterministic worklist: always service the lowest-id pending transition,
+  // which reproduces the firing order of a full in-order rescan.
+  for (;;) {
+    TransitionId next = pending_.size();
+    for (TransitionId t = 0; t < pending_.size(); ++t) {
+      if (pending_[t]) {
+        next = t;
+        break;
+      }
+    }
+    if (next == pending_.size()) {
+      return;
+    }
+    pending_[next] = false;
+    while (TryStart(next)) {
+    }
+  }
+}
+
+void PetriSim::Complete(const Firing& f) {
+  const TransitionSpec& spec = net_->transitions()[f.transition];
+
+  if (spec.fire) {
+    TokenRefs refs;
+    for (const Token& tok : f.consumed) {
+      refs.push_back(&tok);
+    }
+    std::vector<std::vector<Token>> outputs(spec.outputs.size());
+    spec.fire(refs, outputs);
+    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
+      const Arc& out = spec.outputs[i];
+      PI_CHECK_MSG(outputs[i].size() == out.weight, spec.name.c_str());
+      PI_CHECK(places_[out.place].reserved >= out.weight);
+      places_[out.place].reserved -= out.weight;
+      for (Token& tok : outputs[i]) {
+        // Preserve the primary input's injection stamp unless the FireFn
+        // produced fresh tokens (injected_at == 0 default): latency
+        // measurement follows the primary path.
+        if (!f.consumed.empty() && tok.injected_at == 0) {
+          tok.injected_at = f.consumed.front().injected_at;
+        }
+        Deposit(out.place, std::move(tok));
+      }
+    }
+  } else {
+    // Default: replicate the primary (first) input token, allocation-free.
+    PI_CHECK_MSG(!f.consumed.empty(), spec.name.c_str());
+    const Token& primary = f.consumed.front();
+    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
+      const Arc& out = spec.outputs[i];
+      PI_CHECK(places_[out.place].reserved >= out.weight);
+      places_[out.place].reserved -= out.weight;
+      for (std::size_t k = 0; k < out.weight; ++k) {
+        Deposit(out.place, primary);
+      }
+    }
+  }
+
+  PI_CHECK(busy_servers_[f.transition] > 0);
+  --busy_servers_[f.transition];
+  // A freed server may allow the next firing of this transition.
+  MarkTransition(f.transition);
+}
+
+PetriSim::Firing& PetriSim::ScheduleFiring(Cycles complete_at) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  events_.push_back(EventRef{complete_at, seq_++, slot});
+  std::push_heap(events_.begin(), events_.end(), FiringOrder());
+  return slab_[slot];
+}
+
+bool PetriSim::Run(Cycles max_time) {
+  for (;;) {
+    StartAll();
+    if (events_.empty()) {
+      return true;
+    }
+    const Cycles t = events_.front().complete_at;
+    if (t > max_time) {
+      now_ = max_time;
+      return false;
+    }
+    now_ = t;
+    while (!events_.empty() && events_.front().complete_at == now_) {
+      std::pop_heap(events_.begin(), events_.end(), FiringOrder());
+      const std::uint32_t slot = events_.back().slot;
+      events_.pop_back();
+      Complete(slab_[slot]);
+      free_slots_.push_back(slot);
+    }
+  }
+}
+
+}  // namespace perfiface

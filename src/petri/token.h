@@ -1,0 +1,30 @@
+// Tokens of the timed colored Petri net.
+#ifndef SRC_PETRI_TOKEN_H_
+#define SRC_PETRI_TOKEN_H_
+
+#include <cstdint>
+
+#include "src/common/small_vec.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// A token is a unit of data flowing through the performance IR (a request, a
+// pipeline stripe, an instruction). Its "color" is a flat vector of numeric
+// attributes; the meaning of each slot is defined by the net's attribute
+// schema (see PetriNet::RegisterAttr). Attributes are what let transition
+// delay functions depend on the data — e.g. a decode transition whose delay
+// is a function of the token's compressed-bit count.
+struct Token {
+  SmallVec<double, 8> attrs;
+
+  // Injection timestamp, stamped by the simulator when the token first
+  // enters the net. Used to measure per-request latency at sink places.
+  Cycles injected_at = 0;
+
+  double Attr(std::size_t slot) const { return slot < attrs.size() ? attrs[slot] : 0.0; }
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PETRI_TOKEN_H_

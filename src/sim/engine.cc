@@ -1,0 +1,59 @@
+#include "src/sim/engine.h"
+
+#include "src/common/check.h"
+
+namespace perfiface {
+
+void Engine::AddModule(Module* m) {
+  PI_CHECK(m != nullptr);
+  modules_.push_back(m);
+}
+
+void Engine::AddFifo(FifoBase* f) {
+  PI_CHECK(f != nullptr);
+  fifos_.push_back(f);
+}
+
+void Engine::TickOnce() {
+  for (Module* m : modules_) {
+    m->Tick(now_);
+  }
+  for (FifoBase* f : fifos_) {
+    f->CommitStaged();
+  }
+  ++now_;
+}
+
+bool Engine::AllIdle() const {
+  for (const Module* m : modules_) {
+    if (!m->Idle()) {
+      return false;
+    }
+  }
+  for (const FifoBase* f : fifos_) {
+    if (!f->Empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Engine::RunUntilIdle(Cycles max_cycles) {
+  const Cycles deadline = now_ + max_cycles;
+  while (now_ < deadline) {
+    if (AllIdle()) {
+      return true;
+    }
+    TickOnce();
+  }
+  return AllIdle();
+}
+
+void Engine::RunFor(Cycles cycles) {
+  const Cycles deadline = now_ + cycles;
+  while (now_ < deadline) {
+    TickOnce();
+  }
+}
+
+}  // namespace perfiface

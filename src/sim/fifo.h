@@ -1,0 +1,98 @@
+// Bounded synchronous FIFO connecting two Modules.
+//
+// Semantics: Push() during cycle N stages the element; it becomes visible to
+// Front()/Pop() from cycle N+1 onward (after Engine::CommitFifos). Capacity
+// accounting includes staged elements, so a full FIFO exerts backpressure in
+// the same cycle its producer would overflow it — exactly the behaviour the
+// Petri-net IR has to reproduce with place capacities.
+#ifndef SRC_SIM_FIFO_H_
+#define SRC_SIM_FIFO_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// Type-erased base so the Engine can commit and inspect FIFOs generically.
+class FifoBase {
+ public:
+  explicit FifoBase(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {
+    PI_CHECK(capacity_ > 0);
+  }
+  virtual ~FifoBase() = default;
+
+  FifoBase(const FifoBase&) = delete;
+  FifoBase& operator=(const FifoBase&) = delete;
+
+  virtual void CommitStaged() = 0;
+  virtual bool Empty() const = 0;
+  virtual std::size_t Size() const = 0;
+
+  std::string_view name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Instrumentation, cumulative over the run.
+  std::uint64_t total_pushes() const { return total_pushes_; }
+  std::uint64_t total_pops() const { return total_pops_; }
+
+ protected:
+  std::string name_;
+  std::size_t capacity_;
+  std::uint64_t total_pushes_ = 0;
+  std::uint64_t total_pops_ = 0;
+};
+
+template <typename T>
+class Fifo : public FifoBase {
+ public:
+  Fifo(std::string name, std::size_t capacity) : FifoBase(std::move(name), capacity) {}
+
+  // Producer side. CanPush is false when committed+staged would exceed
+  // capacity; callers must check it (stalling is how backpressure arises).
+  bool CanPush() const { return queue_.size() + staged_.size() < capacity_; }
+
+  void Push(T value) {
+    PI_CHECK_MSG(CanPush(), name_.c_str());
+    staged_.push_back(std::move(value));
+    ++total_pushes_;
+  }
+
+  // Consumer side: only committed elements are visible.
+  bool Empty() const override { return queue_.empty(); }
+  std::size_t Size() const override { return queue_.size() + staged_.size(); }
+
+  const T& Front() const {
+    PI_CHECK_MSG(!queue_.empty(), name_.c_str());
+    return queue_.front();
+  }
+
+  T Pop() {
+    PI_CHECK_MSG(!queue_.empty(), name_.c_str());
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    ++total_pops_;
+    return v;
+  }
+
+  void CommitStaged() override {
+    while (!staged_.empty()) {
+      queue_.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<T> queue_;   // visible to the consumer
+  std::deque<T> staged_;  // pushed this cycle, visible next cycle
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_SIM_FIFO_H_

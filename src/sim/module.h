@@ -1,0 +1,39 @@
+// Base class for synchronous hardware modules in the cycle-level simulators.
+#ifndef SRC_SIM_MODULE_H_
+#define SRC_SIM_MODULE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// A Module models one always-@(posedge clk) block: on every cycle, Tick()
+// observes the current state of its input FIFOs and stages writes to its
+// output FIFOs. Staged writes become visible to consumers only on the next
+// cycle (the Engine commits all FIFOs after every module has ticked), which
+// gives order-independent, synchronous semantics.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual void Tick(Cycles now) = 0;
+
+  // True when the module has no in-flight work. The Engine's RunUntilIdle
+  // stops when every module is idle and every FIFO is empty.
+  virtual bool Idle() const = 0;
+
+  std::string_view name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_SIM_MODULE_H_

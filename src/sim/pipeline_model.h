@@ -1,0 +1,101 @@
+// Exact discrete-event model of a linear pipeline with bounded inter-stage
+// FIFOs.
+//
+// Given per-stage, per-item service costs, computes the exact start/finish
+// time of every item at every stage under synchronous dataflow semantics:
+//
+//   start[s][i]  = max(finish[s][i-1],           // stage busy with prior item
+//                      finish[s-1][i],           // input not yet available
+//                      start[s+1][i-cap[s]])     // output FIFO still full
+//   finish[s][i] = start[s][i] + cost[s][i]
+//
+// The third term models backpressure: an item occupies a slot in the FIFO
+// between s and s+1 from the moment stage s begins serving it (the slot is
+// reserved for its output) until stage s+1 begins serving it (the slot is
+// popped). These are exactly the semantics of a timed Petri net in which
+// each stage is a single-server transition that reserves output-place room
+// when it starts firing — so a Petri-net interface with matching delays is
+// cycle-exact against this model, and any residual prediction error comes
+// only from effects deliberately left out of the net (e.g. random stalls).
+#ifndef SRC_SIM_PIPELINE_MODEL_H_
+#define SRC_SIM_PIPELINE_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+class PipelineModel {
+ public:
+  // costs[s][i]: service time of item i at stage s. All stages must see the
+  // same item count. fifo_capacity[s]: capacity (in items) of the FIFO
+  // between stage s and s+1; size must be stages-1. first_start: time at
+  // which item 0 may enter stage 0 (e.g. after header parsing).
+  PipelineModel(std::vector<std::vector<Cycles>> costs, std::vector<std::size_t> fifo_capacity,
+                Cycles first_start = 0);
+
+  Cycles StartTime(std::size_t stage, std::size_t item) const {
+    PI_CHECK(stage < start_.size());
+    PI_CHECK(item < start_[stage].size());
+    return start_[stage][item];
+  }
+
+  Cycles FinishTime(std::size_t stage, std::size_t item) const {
+    PI_CHECK(stage < finish_.size());
+    PI_CHECK(item < finish_[stage].size());
+    return finish_[stage][item];
+  }
+
+  // Completion time of the last item at the last stage.
+  Cycles TotalLatency() const;
+
+  std::size_t stages() const { return finish_.size(); }
+  std::size_t items() const { return finish_.empty() ? 0 : finish_[0].size(); }
+
+ private:
+  std::vector<std::vector<Cycles>> start_;
+  std::vector<std::vector<Cycles>> finish_;
+};
+
+inline PipelineModel::PipelineModel(std::vector<std::vector<Cycles>> costs,
+                                    std::vector<std::size_t> fifo_capacity, Cycles first_start) {
+  const std::size_t stages = costs.size();
+  PI_CHECK(stages > 0);
+  const std::size_t items = costs[0].size();
+  for (const auto& stage_costs : costs) {
+    PI_CHECK(stage_costs.size() == items);
+  }
+  PI_CHECK(fifo_capacity.size() + 1 == stages);
+  for (std::size_t cap : fifo_capacity) {
+    PI_CHECK(cap >= 1);
+  }
+
+  start_.assign(stages, std::vector<Cycles>(items, 0));
+  finish_.assign(stages, std::vector<Cycles>(items, 0));
+  for (std::size_t i = 0; i < items; ++i) {
+    for (std::size_t s = 0; s < stages; ++s) {
+      Cycles start = s == 0 ? first_start : finish_[s - 1][i];
+      if (i > 0) {
+        start = std::max(start, finish_[s][i - 1]);
+      }
+      if (s + 1 < stages && i >= fifo_capacity[s]) {
+        start = std::max(start, start_[s + 1][i - fifo_capacity[s]]);
+      }
+      start_[s][i] = start;
+      finish_[s][i] = start + costs[s][i];
+    }
+  }
+}
+
+inline Cycles PipelineModel::TotalLatency() const {
+  PI_CHECK(!finish_.empty());
+  PI_CHECK(!finish_.back().empty());
+  return finish_.back().back();
+}
+
+}  // namespace perfiface
+
+#endif  // SRC_SIM_PIPELINE_MODEL_H_

@@ -1,0 +1,81 @@
+#include "src/soc/dse.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+double RequirementFor(const SocRequirements& req, const std::string& block) {
+  if (block == "bitcoin_miner") {
+    return req.hash_rate;
+  }
+  if (block == "jpeg_decoder") {
+    return req.image_rate;
+  }
+  if (block == "protoacc") {
+    return req.message_rate;
+  }
+  if (block == "compressor") {
+    return req.compress_rate;
+  }
+  PI_CHECK_MSG(false, block.c_str());
+  return 0;
+}
+
+void Recurse(const std::vector<IpBlockOption>& catalog, const SocRequirements& req,
+             std::size_t index, SocConfig* current, std::vector<SocConfig>* out) {
+  if (index == catalog.size()) {
+    current->score = 1e300;
+    for (const SocChoice& c : current->choices) {
+      current->score = std::min(current->score, c.provided_over_required);
+    }
+    current->fits_budget = current->total_area <= req.area_budget;
+    out->push_back(*current);
+    return;
+  }
+  const IpBlockOption& block = catalog[index];
+  for (const IpVariant& v : block.variants) {
+    SocChoice choice;
+    choice.block = block.block;
+    choice.variant = v;
+    const double required = RequirementFor(req, block.block);
+    PI_CHECK(required > 0);
+    choice.provided_over_required = v.throughput / required;
+    current->choices.push_back(choice);
+    current->total_area += v.area;
+    Recurse(catalog, req, index + 1, current, out);
+    current->total_area -= v.area;
+    current->choices.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SocConfig> ExploreSocDesigns(const std::vector<IpBlockOption>& catalog,
+                                         const SocRequirements& requirements) {
+  PI_CHECK(!catalog.empty());
+  std::vector<SocConfig> out;
+  SocConfig scratch;
+  Recurse(catalog, requirements, 0, &scratch, &out);
+  std::sort(out.begin(), out.end(), [](const SocConfig& a, const SocConfig& b) {
+    if (a.fits_budget != b.fits_budget) {
+      return a.fits_budget;
+    }
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.total_area < b.total_area;
+  });
+  return out;
+}
+
+SocConfig BestSocDesign(const std::vector<IpBlockOption>& catalog,
+                        const SocRequirements& requirements) {
+  const std::vector<SocConfig> all = ExploreSocDesigns(catalog, requirements);
+  PI_CHECK_MSG(!all.empty() && all.front().fits_budget, "no configuration fits the budget");
+  return all.front();
+}
+
+}  // namespace perfiface

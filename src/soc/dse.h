@@ -1,0 +1,51 @@
+// SoC design-space exploration (paper §2, example #1): "which IP blocks
+// should my SoC include and how big must each be?" — answered with
+// performance interfaces alone, before any code exists.
+#ifndef SRC_SOC_DSE_H_
+#define SRC_SOC_DSE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/soc/ip_catalog.h"
+
+namespace perfiface {
+
+// Required work rates, in work units per cycle of the SoC clock.
+struct SocRequirements {
+  double hash_rate = 0.05;      // nonce attempts/cycle
+  double image_rate = 2e-6;     // images/cycle
+  double message_rate = 2e-3;   // RPC messages/cycle
+  double compress_rate = 0.2;   // input bytes/cycle
+  AreaKge area_budget = 700;
+};
+
+struct SocChoice {
+  std::string block;
+  IpVariant variant;
+  double provided_over_required = 0;  // headroom for this block
+};
+
+struct SocConfig {
+  std::vector<SocChoice> choices;
+  AreaKge total_area = 0;
+  // Bottleneck headroom: min over blocks of provided/required. >= 1 means
+  // every requirement is met.
+  double score = 0;
+  bool fits_budget = false;
+};
+
+// Enumerates every variant combination, scores them, and returns all
+// configurations sorted best-first (feasible ones first, then by score,
+// ties broken by smaller area).
+std::vector<SocConfig> ExploreSocDesigns(const std::vector<IpBlockOption>& catalog,
+                                         const SocRequirements& requirements);
+
+// Best feasible configuration; aborts if none fits.
+SocConfig BestSocDesign(const std::vector<IpBlockOption>& catalog,
+                        const SocRequirements& requirements);
+
+}  // namespace perfiface
+
+#endif  // SRC_SOC_DSE_H_

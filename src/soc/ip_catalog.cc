@@ -1,0 +1,91 @@
+#include "src/soc/ip_catalog.h"
+
+#include "src/accel/bitcoin/miner.h"
+#include "src/accel/compress/lz.h"
+#include "src/accel/jpeg/codec.h"
+#include "src/common/strings.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/workload/data_gen.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+
+std::vector<IpBlockOption> BuildIpCatalog() {
+  std::vector<IpBlockOption> catalog;
+  const InterfaceRegistry& registry = InterfaceRegistry::Default();
+
+  // Bitcoin miner: the Fig 1 interface *is* the catalog entry —
+  // latency = Loop, area inverse in Loop. One attempt finishes every Loop
+  // cycles (iterative engine), so throughput = 1/Loop.
+  {
+    IpBlockOption miner;
+    miner.block = "bitcoin_miner";
+    for (int loop : {1, 2, 4, 8, 16, 32, 64, 96, 192}) {
+      BitcoinMinerSim sim(MinerConfig{loop});
+      miner.variants.push_back(IpVariant{StrFormat("loop=%d", loop), sim.Area(),
+                                         1.0 / static_cast<double>(loop)});
+    }
+    catalog.push_back(std::move(miner));
+  }
+
+  // JPEG decoder: throughput for a representative image from the Fig 2
+  // executable interface; replication scales both area and throughput.
+  {
+    const RawImage representative =
+        GenerateImage(ImageClass::kTexture, 192, 192, /*seed=*/42);
+    const CompressedImage compressed = Encode(representative, 75);
+    const ProgramInterface iface = registry.LoadProgram("jpeg_decoder");
+    const JpegImageObject obj(&compressed);
+    const double tput = iface.Eval("tput_jpeg_decode", obj);
+
+    IpBlockOption jpeg;
+    jpeg.block = "jpeg_decoder";
+    for (int n : {1, 2, 4}) {
+      jpeg.variants.push_back(
+          IpVariant{StrFormat("pipes=%d", n), 140.0 * n, tput * static_cast<double>(n)});
+    }
+    catalog.push_back(std::move(jpeg));
+  }
+
+  // Protoacc: throughput for a representative RPC message from the Fig 3
+  // executable interface.
+  {
+    const MessageInstance representative = NestedMessage(/*depth=*/3, /*fields_per_level=*/12,
+                                                         /*seed=*/7);
+    const ProgramInterface iface = registry.LoadProgram("protoacc");
+    const MessageObject obj(&representative);
+    const double tput = iface.Eval("tput_protoacc_ser", obj);
+
+    IpBlockOption protoacc;
+    protoacc.block = "protoacc";
+    for (int n : {1, 2}) {
+      protoacc.variants.push_back(
+          IpVariant{StrFormat("units=%d", n), 90.0 * n, tput * static_cast<double>(n)});
+    }
+    catalog.push_back(std::move(protoacc));
+  }
+
+  // Compressor: throughput (bytes/cycle) for a representative mixed buffer
+  // from its executable interface; engines replicate.
+  {
+    const std::vector<std::uint8_t> sample = GenerateBuffer(DataClass::kText, 16384, 5);
+    const LzStats stats = LzAnalyze(sample);
+    const ProgramInterface iface = registry.LoadProgram("compressor");
+    const CompressJobObject job(stats);
+    const double tput = iface.Eval("tput_compress", job);
+
+    IpBlockOption compressor;
+    compressor.block = "compressor";
+    for (int n : {1, 2}) {
+      compressor.variants.push_back(
+          IpVariant{StrFormat("engines=%d", n), 60.0 * n, tput * static_cast<double>(n)});
+    }
+    catalog.push_back(std::move(compressor));
+  }
+
+  return catalog;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,37 @@
+// IP-block catalog for the SoC designer scenario (paper §2, example #1).
+//
+// Each accelerator is offered as several IP variants (unroll factors,
+// replication counts) with different area/performance points. Crucially,
+// the performance column is obtained *from the accelerators' performance
+// interfaces* — the SoC designer has no RTL and no code to port, exactly
+// the situation the paper describes.
+#ifndef SRC_SOC_IP_CATALOG_H_
+#define SRC_SOC_IP_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace perfiface {
+
+struct IpVariant {
+  std::string label;
+  AreaKge area = 0;
+  // Work units per cycle (hashes/cycle, images/cycle, messages/cycle).
+  double throughput = 0;
+};
+
+struct IpBlockOption {
+  std::string block;  // "bitcoin_miner", "jpeg_decoder", "protoacc"
+  std::vector<IpVariant> variants;
+};
+
+// Builds the catalog by querying the interface registry: the miner's Fig 1
+// latency/area law, the JPEG decoder's Fig 2 program on a representative
+// image, and Protoacc's Fig 3 program on a representative message.
+std::vector<IpBlockOption> BuildIpCatalog();
+
+}  // namespace perfiface
+
+#endif  // SRC_SOC_IP_CATALOG_H_

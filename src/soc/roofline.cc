@@ -1,0 +1,69 @@
+#include "src/soc/roofline.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace perfiface {
+namespace {
+
+// Recursively assigns share steps to IPs and keeps the best partition.
+void Search(const GablesSoc& soc, const std::vector<double>& required, std::size_t steps,
+            std::size_t ip, std::size_t steps_left, std::vector<std::size_t>* current,
+            GablesPartition* best) {
+  if (ip + 1 == soc.ips.size()) {
+    (*current)[ip] = steps_left;  // give the remainder to the last IP
+
+    double total = 0;
+    double min_headroom = 1e300;
+    for (std::size_t i = 0; i < soc.ips.size(); ++i) {
+      const double share =
+          static_cast<double>((*current)[i]) / static_cast<double>(steps);
+      const double attainable = GablesAttainable(soc, i, share);
+      total += attainable;
+      PI_CHECK(required[i] > 0);
+      min_headroom = std::min(min_headroom, attainable / required[i]);
+    }
+    if (min_headroom > best->min_headroom) {
+      best->min_headroom = min_headroom;
+      best->total_ops_per_cycle = total;
+      best->shares.resize(soc.ips.size());
+      for (std::size_t i = 0; i < soc.ips.size(); ++i) {
+        best->shares[i] =
+            static_cast<double>((*current)[i]) / static_cast<double>(steps);
+      }
+    }
+    return;
+  }
+  for (std::size_t s = 0; s <= steps_left; ++s) {
+    (*current)[ip] = s;
+    Search(soc, required, steps, ip + 1, steps_left - s, current, best);
+  }
+}
+
+}  // namespace
+
+double GablesAttainable(const GablesSoc& soc, std::size_t ip_index, double bandwidth_share) {
+  PI_CHECK(ip_index < soc.ips.size());
+  PI_CHECK(bandwidth_share >= 0 && bandwidth_share <= 1);
+  const GablesIp& ip = soc.ips[ip_index];
+  const double bandwidth_bound =
+      ip.ops_per_byte * bandwidth_share * soc.memory_bytes_per_cycle;
+  return std::min(ip.peak_ops_per_cycle, bandwidth_bound);
+}
+
+GablesPartition BestBandwidthPartition(const GablesSoc& soc,
+                                       const std::vector<double>& required_ops_per_cycle,
+                                       std::size_t steps) {
+  PI_CHECK(!soc.ips.empty());
+  PI_CHECK(required_ops_per_cycle.size() == soc.ips.size());
+  PI_CHECK(steps >= 1);
+
+  GablesPartition best;
+  best.min_headroom = -1;
+  std::vector<std::size_t> current(soc.ips.size(), 0);
+  Search(soc, required_ops_per_cycle, steps, 0, steps, &current, &best);
+  return best;
+}
+
+}  // namespace perfiface

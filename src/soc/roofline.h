@@ -1,0 +1,52 @@
+// Gables-style roofline model for SoCs (Hill & Reddi, HPCA'19 — the
+// paper's reference [27] for how SoC sizing is estimated today).
+//
+// Each IP block is summarized by a peak performance and an operational
+// intensity; all blocks share the SoC's memory bandwidth. The attainable
+// performance of block i given a bandwidth share b_i is
+//
+//     attainable_i = min(peak_i, intensity_i * b_i * B)
+//
+// This module exists as the *baseline* the paper argues against: a roofline
+// bounds what the silicon could do, but it cannot say what a given workload
+// will get — that is what the performance interfaces add. The SoC bench
+// contrasts both.
+#ifndef SRC_SOC_ROOFLINE_H_
+#define SRC_SOC_ROOFLINE_H_
+
+#include <string>
+#include <vector>
+
+namespace perfiface {
+
+struct GablesIp {
+  std::string name;
+  double peak_ops_per_cycle = 0;   // compute ceiling
+  double ops_per_byte = 0;         // operational intensity of its kernel
+};
+
+struct GablesSoc {
+  double memory_bytes_per_cycle = 0;  // shared DRAM bandwidth
+  std::vector<GablesIp> ips;
+};
+
+// Attainable throughput (ops/cycle) of one IP under a bandwidth share in
+// [0, 1].
+double GablesAttainable(const GablesSoc& soc, std::size_t ip_index, double bandwidth_share);
+
+struct GablesPartition {
+  std::vector<double> shares;       // one per IP, sums to <= 1
+  double total_ops_per_cycle = 0;   // sum of attainables
+  double min_headroom = 0;          // min over IPs of attainable/required
+};
+
+// Grid-searches bandwidth shares (granularity 1/steps) maximizing the
+// minimum headroom over the per-IP required rates; the Gables way to ask
+// "does this SoC support this workload mix?".
+GablesPartition BestBandwidthPartition(const GablesSoc& soc,
+                                       const std::vector<double>& required_ops_per_cycle,
+                                       std::size_t steps = 20);
+
+}  // namespace perfiface
+
+#endif  // SRC_SOC_ROOFLINE_H_

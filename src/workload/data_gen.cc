@@ -1,0 +1,61 @@
+#include "src/workload/data_gen.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+
+std::vector<std::uint8_t> GenerateBuffer(DataClass data_class, std::size_t bytes,
+                                         std::uint64_t seed) {
+  PI_CHECK(bytes > 0);
+  SplitMix64 rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes);
+
+  switch (data_class) {
+    case DataClass::kZeros: {
+      out.assign(bytes, 0);
+      break;
+    }
+    case DataClass::kText: {
+      static const char* kWords[] = {"the ",     "quick ",  "network ", "packet ",
+                                     "latency ", "buffer ", "queue ",   "offload "};
+      while (out.size() < bytes) {
+        if (rng.NextBool(0.08)) {
+          out.push_back(static_cast<std::uint8_t>('a' + rng.NextBelow(26)));
+          continue;
+        }
+        const char* word = kWords[rng.NextBelow(8)];
+        for (const char* p = word; *p != '\0' && out.size() < bytes; ++p) {
+          out.push_back(static_cast<std::uint8_t>(*p));
+        }
+      }
+      break;
+    }
+    case DataClass::kRecords: {
+      // 32-byte records: constant header, few varying fields.
+      std::uint8_t record[32];
+      for (int i = 0; i < 32; ++i) {
+        record[i] = static_cast<std::uint8_t>(i * 7);
+      }
+      while (out.size() < bytes) {
+        record[5] = static_cast<std::uint8_t>(rng.Next());
+        record[13] = static_cast<std::uint8_t>(rng.Next());
+        for (int i = 0; i < 32 && out.size() < bytes; ++i) {
+          out.push_back(record[i]);
+        }
+      }
+      break;
+    }
+    case DataClass::kRandom: {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.Next()));
+      }
+      break;
+    }
+  }
+  PI_CHECK(out.size() == bytes);
+  return out;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,22 @@
+// Byte-buffer workload generation for the compression accelerator.
+#ifndef SRC_WORKLOAD_DATA_GEN_H_
+#define SRC_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace perfiface {
+
+enum class DataClass {
+  kZeros,    // trivially compressible
+  kText,     // repeated vocabulary with noise: high match density
+  kRecords,  // fixed-stride binary records: periodic matches
+  kRandom,   // incompressible
+};
+
+std::vector<std::uint8_t> GenerateBuffer(DataClass data_class, std::size_t bytes,
+                                         std::uint64_t seed);
+
+}  // namespace perfiface
+
+#endif  // SRC_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,107 @@
+#include "src/workload/image_gen.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+namespace {
+
+std::uint8_t Clamp8(double v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+RawImage GenerateImage(ImageClass image_class, std::size_t width, std::size_t height,
+                       std::uint64_t seed) {
+  RawImage img(width, height);
+  SplitMix64 rng(seed);
+  const double base = 40.0 + rng.NextDouble() * 160.0;
+
+  switch (image_class) {
+    case ImageClass::kFlat: {
+      // Constant plus a very gentle ramp (keeps DC diffs small but nonzero).
+      const double slope = rng.NextDouble() * 0.05;
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          img.set(x, y, Clamp8(base + slope * static_cast<double>(x + y)));
+        }
+      }
+      break;
+    }
+    case ImageClass::kGradient: {
+      const double sx = (rng.NextDouble() - 0.5) * 1.6;
+      const double sy = (rng.NextDouble() - 0.5) * 1.6;
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          img.set(x, y, Clamp8(base + sx * static_cast<double>(x) + sy * static_cast<double>(y)));
+        }
+      }
+      break;
+    }
+    case ImageClass::kTexture: {
+      const double fx = 0.05 + rng.NextDouble() * 0.45;
+      const double fy = 0.05 + rng.NextDouble() * 0.45;
+      const double amp = 20.0 + rng.NextDouble() * 60.0;
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          const double v = base + amp * std::sin(fx * static_cast<double>(x)) *
+                                      std::cos(fy * static_cast<double>(y));
+          img.set(x, y, Clamp8(v));
+        }
+      }
+      break;
+    }
+    case ImageClass::kNoise: {
+      const double amp = 30.0 + rng.NextDouble() * 70.0;
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          img.set(x, y, Clamp8(base + (rng.NextDouble() - 0.5) * 2.0 * amp));
+        }
+      }
+      break;
+    }
+    case ImageClass::kComposite: {
+      // Smooth top half, busy bottom half: stripe-to-stripe compression
+      // variance is where the single-number compress_rate breaks down.
+      const double amp = 40.0 + rng.NextDouble() * 60.0;
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          if (y < height / 2) {
+            img.set(x, y, Clamp8(base + 0.3 * static_cast<double>(x)));
+          } else {
+            img.set(x, y, Clamp8(base + (rng.NextDouble() - 0.5) * 2.0 * amp));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return img;
+}
+
+std::vector<ImageWorkload> GenerateImageCorpus(std::size_t count, std::uint64_t seed) {
+  static const ImageClass kClasses[] = {ImageClass::kFlat, ImageClass::kGradient,
+                                        ImageClass::kTexture, ImageClass::kNoise,
+                                        ImageClass::kComposite};
+  static const std::size_t kDims[] = {128, 160, 192, 256};
+
+  std::vector<ImageWorkload> corpus;
+  corpus.reserve(count);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ImageClass cls = kClasses[rng.NextBelow(5)];
+    const std::size_t w = kDims[rng.NextBelow(4)];
+    const std::size_t h = kDims[rng.NextBelow(4)];
+    const int quality = 30 + static_cast<int>(rng.NextBelow(66));  // 30..95
+    const RawImage raw = GenerateImage(cls, w, h, DeriveSeed(seed, i));
+    corpus.push_back(ImageWorkload{cls, quality, Encode(raw, quality)});
+  }
+  return corpus;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,45 @@
+// Random image generation for the JPEG experiments.
+//
+// The paper evaluates the JPEG interfaces on "random images" (1500 for the
+// program interface, 50 for the Petri net). Pure noise would put every
+// image in the same corner of the behaviour space, so the generator
+// produces a controlled mix of content classes — flat, gradients, textures,
+// noise, and composites — spanning realistic compression rates, including
+// images whose compression varies strongly across stripes (where the
+// aggregate compress_rate abstraction of Fig 2 is weakest).
+#ifndef SRC_WORKLOAD_IMAGE_GEN_H_
+#define SRC_WORKLOAD_IMAGE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/jpeg/codec.h"
+#include "src/accel/jpeg/image.h"
+
+namespace perfiface {
+
+enum class ImageClass {
+  kFlat,       // near-constant: maximal compression, VLD-light
+  kGradient,   // smooth ramps
+  kTexture,    // medium-frequency patterns
+  kNoise,      // per-pixel noise: minimal compression, VLD-heavy
+  kComposite,  // half smooth / half busy: high stripe variance
+};
+
+RawImage GenerateImage(ImageClass image_class, std::size_t width, std::size_t height,
+                       std::uint64_t seed);
+
+// A corpus entry keeps the compressed form (what the decoder consumes).
+struct ImageWorkload {
+  ImageClass image_class;
+  int quality;
+  CompressedImage compressed;
+};
+
+// Deterministic corpus of `count` images with mixed classes, sizes and
+// qualities.
+std::vector<ImageWorkload> GenerateImageCorpus(std::size_t count, std::uint64_t seed);
+
+}  // namespace perfiface
+
+#endif  // SRC_WORKLOAD_IMAGE_GEN_H_

@@ -1,0 +1,180 @@
+#include "src/workload/message_gen.h"
+
+#include <memory>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+namespace {
+
+FieldValue ScalarField(std::uint32_t number, SplitMix64* rng, std::uint32_t max_payload,
+                       double string_fraction) {
+  FieldValue f;
+  f.field_number = number;
+  if (rng->NextBool(string_fraction)) {
+    f.type = WireFieldType::kLength;
+    f.length = 1 + static_cast<std::uint32_t>(rng->NextBelow(max_payload));
+  } else if (rng->NextBool(0.2)) {
+    f.type = WireFieldType::kFixed64;
+    f.varint = rng->Next();
+  } else {
+    f.type = WireFieldType::kVarint;
+    // Mix of small and large varints (1..10 wire bytes).
+    f.varint = rng->Next() >> (rng->NextBelow(8) * 8);
+  }
+  return f;
+}
+
+MessageInstance GenerateAtDepth(const MessageShape& shape, SplitMix64* rng, std::size_t depth) {
+  MessageInstance msg;
+  const std::size_t n_fields =
+      shape.min_fields + rng->NextBelow(shape.max_fields - shape.min_fields + 1);
+  std::uint32_t number = 1;
+  for (std::size_t i = 0; i < n_fields; ++i) {
+    msg.fields.push_back(
+        ScalarField(number++, rng, shape.max_payload_bytes, shape.string_fraction));
+  }
+  if (depth < shape.max_depth && shape.max_submessages > 0) {
+    const std::size_t n_subs = rng->NextBelow(shape.max_submessages + 1);
+    for (std::size_t i = 0; i < n_subs; ++i) {
+      FieldValue f;
+      f.type = WireFieldType::kMessage;
+      f.field_number = number++;
+      f.sub = std::make_unique<MessageInstance>(GenerateAtDepth(shape, rng, depth + 1));
+      msg.fields.push_back(std::move(f));
+    }
+  }
+  return msg;
+}
+
+MessageInstance FlatMessage(std::size_t n_varint, std::size_t n_strings,
+                            std::uint32_t string_len) {
+  MessageInstance msg;
+  std::uint32_t number = 1;
+  for (std::size_t i = 0; i < n_varint; ++i) {
+    FieldValue f;
+    f.type = WireFieldType::kVarint;
+    f.field_number = number++;
+    f.varint = 0x1234u + i * 7919u;
+    msg.fields.push_back(std::move(f));
+  }
+  for (std::size_t i = 0; i < n_strings; ++i) {
+    FieldValue f;
+    f.type = WireFieldType::kLength;
+    f.field_number = number++;
+    f.length = string_len;
+    msg.fields.push_back(std::move(f));
+  }
+  return msg;
+}
+
+void AddSubMessage(MessageInstance* parent, MessageInstance child) {
+  FieldValue f;
+  f.type = WireFieldType::kMessage;
+  f.field_number = static_cast<std::uint32_t>(parent->fields.size() + 1);
+  f.sub = std::make_unique<MessageInstance>(std::move(child));
+  parent->fields.push_back(std::move(f));
+}
+
+}  // namespace
+
+MessageInstance GenerateMessage(const MessageShape& shape, std::uint64_t seed) {
+  PI_CHECK(shape.min_fields >= 1);
+  PI_CHECK(shape.max_fields >= shape.min_fields);
+  PI_CHECK(shape.max_depth >= 1);
+  SplitMix64 rng(seed);
+  return GenerateAtDepth(shape, &rng, 1);
+}
+
+std::vector<NamedMessage> Protoacc32Formats() {
+  std::vector<NamedMessage> formats;
+
+  // 8 flat integer messages of growing field counts (write- vs read-bound).
+  for (std::size_t fields : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    formats.push_back({StrFormat("flat_int_%zu", fields), FlatMessage(fields, 0, 0)});
+  }
+  // 8 string messages of growing payloads (write-bound).
+  for (std::uint32_t len : {8u, 32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    formats.push_back({StrFormat("strings_%u", len), FlatMessage(4, 4, len)});
+  }
+  // 8 nested chains of growing depth (read-bound, pointer chasing).
+  for (std::size_t depth : {2, 3, 4, 5, 6, 8, 10, 12}) {
+    MessageInstance chain = FlatMessage(6, 1, 32);
+    for (std::size_t d = 1; d < depth; ++d) {
+      MessageInstance parent = FlatMessage(6, 1, 32);
+      AddSubMessage(&parent, std::move(chain));
+      chain = std::move(parent);
+    }
+    formats.push_back({StrFormat("nested_depth_%zu", depth), std::move(chain)});
+  }
+  // 8 fan-out messages: many small sub-messages under one root.
+  for (std::size_t fanout : {2, 4, 6, 8, 12, 16, 20, 24}) {
+    MessageInstance root = FlatMessage(8, 2, 64);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      root.fields.reserve(root.fields.size() + 1);
+      AddSubMessage(&root, FlatMessage(5, 1, 24));
+    }
+    formats.push_back({StrFormat("fanout_%zu", fanout), std::move(root)});
+  }
+
+  PI_CHECK(formats.size() == 32);
+  return formats;
+}
+
+MessageInstance MessageWithWireSize(Bytes target_bytes, std::uint64_t seed) {
+  PI_CHECK(target_bytes >= 4);
+  SplitMix64 rng(seed);
+  // A couple of integer fields plus one payload sized to hit the target.
+  MessageInstance msg = FlatMessage(2, 0, 0);
+  const Bytes base = SerializedSize(msg);
+  FieldValue f;
+  f.type = WireFieldType::kLength;
+  f.field_number = 3;
+  Bytes payload = target_bytes > base + 3 ? target_bytes - base - 3 : 1;
+  f.length = static_cast<std::uint32_t>(payload);
+  msg.fields.push_back(std::move(f));
+  // Trim the varint-length estimate error.
+  while (SerializedSize(msg) > target_bytes && msg.fields.back().length > 1) {
+    --msg.fields.back().length;
+  }
+  (void)rng;
+  return msg;
+}
+
+MessageInstance NestedMessage(std::size_t depth, std::size_t fields_per_level,
+                              std::uint64_t seed) {
+  PI_CHECK(depth >= 1);
+  SplitMix64 rng(seed);
+  MessageInstance current = FlatMessage(fields_per_level, 0, 0);
+  for (std::size_t d = 1; d < depth; ++d) {
+    MessageInstance parent = FlatMessage(fields_per_level, 0, 0);
+    AddSubMessage(&parent, std::move(current));
+    current = std::move(parent);
+  }
+  (void)rng;
+  return current;
+}
+
+std::vector<MessageInstance> RealisticRpcTrace(std::size_t count, std::uint64_t seed) {
+  std::vector<MessageInstance> trace;
+  trace.reserve(count);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.NextDouble();
+    Bytes size;
+    if (roll < 0.6) {
+      size = 32 + rng.NextBelow(256);  // small control-plane objects
+    } else if (roll < 0.9) {
+      size = 300 + rng.NextBelow(1800);  // medium
+    } else {
+      size = 4096 + rng.NextBelow(28672);  // bulk tail
+    }
+    trace.push_back(MessageWithWireSize(size, DeriveSeed(seed, i)));
+  }
+  return trace;
+}
+
+}  // namespace perfiface

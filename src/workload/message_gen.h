@@ -1,0 +1,50 @@
+// Message/RPC workload generation for the serialization experiments.
+#ifndef SRC_WORKLOAD_MESSAGE_GEN_H_
+#define SRC_WORKLOAD_MESSAGE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/accel/protoacc/message.h"
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// Shape parameters for random message generation.
+struct MessageShape {
+  std::size_t min_fields = 1;
+  std::size_t max_fields = 24;
+  std::size_t max_depth = 3;           // 1 = flat
+  std::size_t max_submessages = 4;     // per level
+  std::uint32_t max_payload_bytes = 256;  // per string/bytes field
+  double string_fraction = 0.35;       // share of length-delimited fields
+};
+
+MessageInstance GenerateMessage(const MessageShape& shape, std::uint64_t seed);
+
+// The 32 message formats of the Fig 3 evaluation ("32 message formats from
+// its test suite"): a deterministic spread over flat/nested, small/large,
+// int-heavy/string-heavy shapes. Index-stable across runs.
+struct NamedMessage {
+  std::string name;
+  MessageInstance message;
+};
+std::vector<NamedMessage> Protoacc32Formats();
+
+// A flat message whose wire encoding is as close as possible to
+// `target_bytes` (used for the offload advisor's object-size sweep).
+MessageInstance MessageWithWireSize(Bytes target_bytes, std::uint64_t seed);
+
+// A message with exactly `depth` levels of nesting and a fixed per-level
+// field count (used for the "throughput vs nesting" Fig 1 claim).
+MessageInstance NestedMessage(std::size_t depth, std::size_t fields_per_level,
+                              std::uint64_t seed);
+
+// A realistic datacenter RPC trace: mostly small objects, a long tail of
+// large ones (what drops Optimus Prime from 33 to ~14 Gbps).
+std::vector<MessageInstance> RealisticRpcTrace(std::size_t count, std::uint64_t seed);
+
+}  // namespace perfiface
+
+#endif  // SRC_WORKLOAD_MESSAGE_GEN_H_

@@ -1,0 +1,74 @@
+#include "src/workload/vta_gen.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+
+VtaProgram GenerateVtaProgram(const VtaProgramShape& shape, std::uint64_t seed) {
+  PI_CHECK(shape.min_steps >= 1 && shape.max_steps >= shape.min_steps);
+  SplitMix64 rng(seed);
+  VtaProgram program;
+  const std::size_t steps = shape.min_steps + rng.NextBelow(shape.max_steps - shape.min_steps + 1);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto words = [&] {
+      return static_cast<std::uint32_t>(
+          rng.NextInRange(shape.min_dma_words, shape.max_dma_words));
+    };
+    const std::uint32_t gemm_uops =
+        static_cast<std::uint32_t>(rng.NextInRange(shape.min_gemm_uops, shape.max_gemm_uops));
+    const std::uint32_t gemm_iters =
+        static_cast<std::uint32_t>(rng.NextInRange(shape.min_gemm_iters, shape.max_gemm_iters));
+    std::uint32_t alu_uops = 0;
+    std::uint32_t alu_iters = 0;
+    if (rng.NextBool(shape.alu_probability)) {
+      alu_uops = 1 + static_cast<std::uint32_t>(rng.NextBelow(shape.max_alu_uops));
+      alu_iters = 1 + static_cast<std::uint32_t>(rng.NextBelow(shape.max_alu_iters));
+    }
+    AppendMacroStep(&program, words(), words(), gemm_uops, gemm_iters, alu_uops, alu_iters,
+                    words());
+  }
+  AppendFinish(&program);
+  PI_CHECK(ValidateProgram(program).empty());
+  return program;
+}
+
+std::vector<VtaProgram> GenerateVtaCorpus(std::size_t count, std::uint64_t seed) {
+  std::vector<VtaProgram> corpus;
+  corpus.reserve(count);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    VtaProgramShape shape;
+    // Rotate through bias classes so the corpus spans all bottlenecks.
+    switch (rng.NextBelow(4)) {
+      case 0:  // compute-bound
+        shape.min_gemm_uops = 48;
+        shape.max_gemm_uops = 160;
+        shape.min_gemm_iters = 32;
+        shape.max_gemm_iters = 96;
+        shape.max_dma_words = 64;
+        break;
+      case 1:  // DMA-bound
+        shape.min_dma_words = 128;
+        shape.max_dma_words = 512;
+        shape.max_gemm_uops = 24;
+        shape.max_gemm_iters = 16;
+        break;
+      case 2:  // small/fetch-sensitive
+        shape.min_steps = 2;
+        shape.max_steps = 6;
+        shape.max_dma_words = 48;
+        shape.max_gemm_uops = 16;
+        shape.max_gemm_iters = 12;
+        break;
+      default:  // mixed, larger
+        shape.min_steps = 8;
+        shape.max_steps = 64;
+        break;
+    }
+    corpus.push_back(GenerateVtaProgram(shape, DeriveSeed(seed, i)));
+  }
+  return corpus;
+}
+
+}  // namespace perfiface

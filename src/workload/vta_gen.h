@@ -1,0 +1,35 @@
+// Random VTA instruction-sequence generation (Table 1 & auto-tuning
+// experiments: "1500 random code sequences").
+#ifndef SRC_WORKLOAD_VTA_GEN_H_
+#define SRC_WORKLOAD_VTA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/vta/isa.h"
+
+namespace perfiface {
+
+// Knobs spanning compute-bound, DMA-bound and fetch-bound programs.
+struct VtaProgramShape {
+  std::size_t min_steps = 2;
+  std::size_t max_steps = 40;
+  std::uint32_t min_dma_words = 16;
+  std::uint32_t max_dma_words = 256;
+  std::uint32_t min_gemm_uops = 8;
+  std::uint32_t max_gemm_uops = 96;
+  std::uint32_t min_gemm_iters = 8;
+  std::uint32_t max_gemm_iters = 64;
+  double alu_probability = 0.6;
+  std::uint32_t max_alu_uops = 24;
+  std::uint32_t max_alu_iters = 32;
+};
+
+VtaProgram GenerateVtaProgram(const VtaProgramShape& shape, std::uint64_t seed);
+
+// Deterministic corpus of `count` programs spanning the shape space.
+std::vector<VtaProgram> GenerateVtaCorpus(std::size_t count, std::uint64_t seed);
+
+}  // namespace perfiface
+
+#endif  // SRC_WORKLOAD_VTA_GEN_H_

@@ -1,0 +1,99 @@
+// Headline accuracy properties (reduced-size versions of the paper's
+// experiments; the full-size runs live in bench/). These tests pin the
+// *shape* of the evaluation: program interfaces land at single-digit-percent
+// average error, Petri nets are roughly an order of magnitude tighter, and
+// the Petri net is never the less accurate of the two on aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/common/stats.h"
+#include "src/core/native_interfaces.h"
+#include "src/core/petri_interfaces.h"
+#include "src/core/registry.h"
+#include "src/workload/image_gen.h"
+
+namespace perfiface {
+namespace {
+
+struct JpegErrors {
+  ErrorAccumulator program_latency;
+  ErrorAccumulator program_tput;
+  ErrorAccumulator petri_latency;
+  ErrorAccumulator petri_tput;
+};
+
+JpegErrors MeasureJpeg(std::size_t corpus_size, std::uint64_t seed) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  JpegDecoderSim sim(JpegDecoderTiming{}, 2024);
+  JpegPetriInterface petri(reg.Get("jpeg_decoder").pnet_path);
+
+  JpegErrors errors;
+  for (const auto& w : GenerateImageCorpus(corpus_size, seed)) {
+    const JpegDecodeMeasurement actual = sim.Measure(w.compressed);
+    errors.program_latency.Add(NativeJpegLatency(w.compressed),
+                               static_cast<double>(actual.latency));
+    errors.program_tput.Add(NativeJpegThroughput(w.compressed), actual.throughput);
+    const PetriPrediction petri_pred = petri.Predict(w.compressed);
+    errors.petri_latency.Add(static_cast<double>(petri_pred.latency),
+                             static_cast<double>(actual.latency));
+    errors.petri_tput.Add(petri_pred.throughput, actual.throughput);
+  }
+  return errors;
+}
+
+TEST(JpegAccuracy, ProgramInterfaceWithinPaperBand) {
+  const JpegErrors e = MeasureJpeg(120, 555);
+  // Paper: latency avg 2.1% (max 10.3%), tput avg 2.2% (max 11.2%).
+  EXPECT_LT(e.program_latency.avg_percent(), 6.0);
+  EXPECT_LT(e.program_latency.max_percent(), 20.0);
+  EXPECT_GT(e.program_latency.avg_percent(), 0.3);  // not trivially exact
+  EXPECT_LT(e.program_tput.avg_percent(), 6.0);
+  EXPECT_LT(e.program_tput.max_percent(), 20.0);
+}
+
+TEST(JpegAccuracy, PetriInterfaceOrderOfMagnitudeTighter) {
+  const JpegErrors e = MeasureJpeg(50, 777);
+  // Paper Table 1: petri avg 0.09% (max 0.50%), ~20x tighter than Fig 2.
+  EXPECT_LT(e.petri_latency.avg_percent(), 0.5);
+  EXPECT_LT(e.petri_latency.max_percent(), 2.0);
+  EXPECT_LT(e.petri_tput.avg_percent(), 0.5);
+  EXPECT_LT(e.petri_latency.avg(), e.program_latency.avg() / 4.0);
+}
+
+TEST(JpegAccuracy, PetriIsExactWhenStallsDisabled) {
+  // With the (deliberately unmodeled) VLD stall switched off in the
+  // hardware, the Petri net must be cycle-exact: the remaining model is the
+  // same timed dataflow graph.
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  JpegDecoderTiming timing;
+  timing.stall_probability = 0;
+  JpegDecoderSim sim(timing, 1);
+  JpegPetriInterface petri(reg.Get("jpeg_decoder").pnet_path);
+  for (const auto& w : GenerateImageCorpus(20, 888)) {
+    EXPECT_EQ(petri.PredictLatency(w.compressed), sim.DecodeLatency(w.compressed));
+  }
+}
+
+TEST(JpegAccuracy, ProgramInterfaceWorstOnHighVarianceImages) {
+  // The aggregate compress_rate abstraction must degrade on composite
+  // (half-smooth/half-noisy) images relative to uniform textures.
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  (void)reg;
+  JpegDecoderSim sim(JpegDecoderTiming{}, 2024);
+  ErrorAccumulator composite_err;
+  ErrorAccumulator texture_err;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const CompressedImage comp =
+        Encode(GenerateImage(ImageClass::kComposite, 192, 192, seed), 45);
+    const CompressedImage tex =
+        Encode(GenerateImage(ImageClass::kTexture, 192, 192, seed), 45);
+    composite_err.Add(NativeJpegLatency(comp), static_cast<double>(sim.DecodeLatency(comp)));
+    texture_err.Add(NativeJpegLatency(tex), static_cast<double>(sim.DecodeLatency(tex)));
+  }
+  EXPECT_GT(composite_err.avg(), texture_err.avg());
+}
+
+}  // namespace
+}  // namespace perfiface

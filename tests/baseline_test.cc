@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/baseline/cpu_serializer.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+CpuSerializer DefaultCpu() { return CpuSerializer(CpuSerializerTiming{}); }
+
+TEST(CpuSerializer, CostDecomposesAsDocumented) {
+  // cost = per_message + per_field*fields + per_submessage*subs + 0.8*bytes.
+  const CpuSerializer cpu = DefaultCpu();
+  const MessageInstance msg = NestedMessage(2, 4, 1);  // 2 nodes, 4+1 / 4 fields
+  const double expected = 250.0 + 20.0 * (5 + 4) + 60.0 * 1 +
+                          0.8 * static_cast<double>(SerializedSize(msg));
+  EXPECT_NEAR(static_cast<double>(cpu.MessageCost(msg)), expected, 1.0);
+}
+
+TEST(CpuSerializer, FunctionalOutputMatchesWireFormat) {
+  const CpuSerializer cpu = DefaultCpu();
+  const MessageInstance msg = GenerateMessage(MessageShape{}, 31);
+  const CpuSerializeMeasurement m = cpu.Measure(msg);
+  EXPECT_EQ(m.wire, SerializeMessage(msg));
+  EXPECT_GT(m.gbps, 0.0);
+  EXPECT_DOUBLE_EQ(m.throughput, 1.0 / static_cast<double>(m.cost));
+}
+
+TEST(CpuSerializer, CoresNeededScalesLinearlyWithLoad) {
+  const CpuSerializer cpu = DefaultCpu();
+  const MessageInstance msg = MessageWithWireSize(1024, 3);
+  const double one = cpu.CoresNeeded(msg, 100'000);
+  const double four = cpu.CoresNeeded(msg, 400'000);
+  EXPECT_NEAR(four, one * 4, 1e-9);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(CpuSerializer, ThroughputOrdersWithMessageSize) {
+  const CpuSerializer cpu = DefaultCpu();
+  EXPECT_GT(cpu.Measure(MessageWithWireSize(128, 1)).throughput,
+            cpu.Measure(MessageWithWireSize(8192, 1)).throughput);
+}
+
+TEST(CpuSerializer, GbpsIsSizeNormalized) {
+  // Per-byte work dominates for large payloads, so Gbps saturates near
+  // clock * 8 / cycles_per_byte.
+  const CpuSerializer cpu = DefaultCpu();
+  const double gbps = cpu.Measure(MessageWithWireSize(65536, 1)).gbps;
+  const double ceiling = 2.5 * 8.0 / 0.8;
+  EXPECT_LT(gbps, ceiling);
+  EXPECT_GT(gbps, ceiling * 0.8);
+}
+
+}  // namespace
+}  // namespace perfiface

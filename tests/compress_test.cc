@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/accel/compress/compress_sim.h"
+#include "src/accel/compress/lz.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/workload/data_gen.h"
+
+namespace perfiface {
+namespace {
+
+class LzRoundTrip : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(LzRoundTrip, DecompressReproducesInput) {
+  const auto cls = static_cast<DataClass>(std::get<0>(GetParam()));
+  const std::size_t size = std::get<1>(GetParam());
+  const std::vector<std::uint8_t> input = GenerateBuffer(cls, size, 42);
+  std::vector<std::uint8_t> compressed;
+  const LzStats stats = LzCompress(input, &compressed);
+  EXPECT_EQ(stats.input_bytes, input.size());
+  EXPECT_EQ(stats.output_bytes, compressed.size());
+
+  std::vector<std::uint8_t> restored;
+  ASSERT_TRUE(LzDecompress(compressed, &restored));
+  EXPECT_EQ(restored, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassesAndSizes, LzRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(std::size_t{64},
+                                                              std::size_t{1000},
+                                                              std::size_t{16384})));
+
+TEST(Lz, CompressionOrdersByDataClass) {
+  const std::size_t kSize = 8192;
+  const double zeros = LzAnalyze(GenerateBuffer(DataClass::kZeros, kSize, 1)).ratio();
+  const double text = LzAnalyze(GenerateBuffer(DataClass::kText, kSize, 1)).ratio();
+  const double random = LzAnalyze(GenerateBuffer(DataClass::kRandom, kSize, 1)).ratio();
+  EXPECT_LT(zeros, text);
+  EXPECT_LT(text, random);
+  EXPECT_LT(zeros, 0.1);   // near-constant data crushes
+  EXPECT_GT(random, 1.5);  // incompressible data expands (2 bytes/literal)
+}
+
+TEST(Lz, AnalyzeMatchesCompressStats) {
+  const auto input = GenerateBuffer(DataClass::kText, 4096, 9);
+  std::vector<std::uint8_t> compressed;
+  const LzStats a = LzCompress(input, &compressed);
+  const LzStats b = LzAnalyze(input);
+  EXPECT_EQ(a.literals, b.literals);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+}
+
+TEST(Lz, RejectsMalformedStreams) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(LzDecompress({0x00}, &out));              // literal without byte
+  EXPECT_FALSE(LzDecompress({0x01, 0x01}, &out));        // truncated match
+  EXPECT_FALSE(LzDecompress({0x02}, &out));              // unknown token kind
+  out.clear();
+  EXPECT_FALSE(LzDecompress({0x01, 0x05, 0x00, 0x00}, &out));  // offset beyond history
+}
+
+TEST(CompressorSim, CompressibleDataIsFaster) {
+  CompressorSim sim{CompressTiming{}};
+  const std::size_t kSize = 16384;
+  const auto fast = sim.Measure(GenerateBuffer(DataClass::kText, kSize, 3));
+  const auto slow = sim.Measure(GenerateBuffer(DataClass::kRandom, kSize, 3));
+  EXPECT_GT(fast.throughput_bytes_per_cycle, slow.throughput_bytes_per_cycle);
+  // Random data approaches the writer-bound floor of 1 byte / 2 cycles.
+  EXPECT_NEAR(slow.throughput_bytes_per_cycle, 0.5, 0.05);
+}
+
+TEST(CompressorSim, TextInterfaceClaimHolds) {
+  // "one input byte per cycle for compressible data"
+  CompressorSim sim{CompressTiming{}};
+  const auto zeros = sim.Measure(GenerateBuffer(DataClass::kZeros, 16384, 5));
+  EXPECT_GT(zeros.throughput_bytes_per_cycle, 0.9);
+  EXPECT_LE(zeros.throughput_bytes_per_cycle, 1.01);
+}
+
+TEST(CompressorSim, ProgramInterfaceTracksSimulator) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface iface = reg.LoadProgram("compressor");
+  CompressorSim sim{CompressTiming{}};
+  for (int cls = 0; cls < 4; ++cls) {
+    for (std::size_t size : {2048, 8192, 32768}) {
+      const auto input = GenerateBuffer(static_cast<DataClass>(cls), size, 7);
+      const CompressMeasurement actual = sim.Measure(input);
+      const CompressJobObject job(actual.stats);
+      const double predicted = iface.Eval("latency_compress", job);
+      const double err = std::abs(predicted - static_cast<double>(actual.latency)) /
+                         static_cast<double>(actual.latency);
+      EXPECT_LT(err, 0.03) << "class " << cls << " size " << size;
+    }
+  }
+}
+
+TEST(CompressorSim, RegistryShipsBothRepresentations) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  ASSERT_TRUE(reg.Has("compressor"));
+  EXPECT_TRUE(reg.Get("compressor").text.has_value());
+  EXPECT_TRUE(reg.LoadProgram("compressor").Has("tput_compress"));
+}
+
+}  // namespace
+}  // namespace perfiface

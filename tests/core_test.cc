@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/core/native_interfaces.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/core/text_interface.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+TEST(Registry, HasAllFourAccelerators) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  for (const char* name : {"jpeg_decoder", "bitcoin_miner", "protoacc", "vta"}) {
+    EXPECT_TRUE(reg.Has(name)) << name;
+  }
+  EXPECT_FALSE(reg.Has("tpu"));
+}
+
+TEST(Registry, BundlesShipExpectedRepresentations) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  EXPECT_TRUE(reg.Get("jpeg_decoder").text.has_value());
+  EXPECT_FALSE(reg.Get("jpeg_decoder").program_path.empty());
+  EXPECT_FALSE(reg.Get("jpeg_decoder").pnet_path.empty());
+  EXPECT_TRUE(reg.Get("bitcoin_miner").program_path.empty());  // text only
+  EXPECT_FALSE(reg.Get("vta").pnet_path.empty());
+  EXPECT_FALSE(reg.Get("protoacc").constants.empty());
+}
+
+TEST(TextInterfaces, Fig1HasThreeEntries) {
+  const auto& texts = Fig1TextInterfaces();
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(texts[0].accelerator, "jpeg_decoder");
+  EXPECT_NE(texts[1].text.find("Loop"), std::string::npos);
+  EXPECT_NE(texts[2].text.find("nesting"), std::string::npos);
+}
+
+TEST(ScriptObjects, JpegImageAttributes) {
+  const CompressedImage c = Encode(GenerateImage(ImageClass::kTexture, 64, 64, 1), 70);
+  const JpegImageObject obj(&c);
+  EXPECT_EQ(obj.GetAttr("orig_size"), static_cast<double>(c.orig_size()));
+  EXPECT_EQ(obj.GetAttr("compress_rate"), c.compress_rate());
+  EXPECT_FALSE(obj.GetAttr("bogus").has_value());
+  EXPECT_EQ(obj.NumChildren(), 0u);
+}
+
+TEST(ScriptObjects, MessageTreeMirrorsStructure) {
+  const MessageInstance msg = NestedMessage(3, 5, 2);
+  const MessageObject obj(&msg);
+  EXPECT_EQ(obj.GetAttr("num_fields"), 6.0);  // 5 scalars + 1 sub-ref
+  EXPECT_EQ(obj.NumChildren(), 1u);
+  EXPECT_EQ(obj.Child(0)->NumChildren(), 1u);
+  EXPECT_EQ(obj.Child(0)->Child(0)->NumChildren(), 0u);
+}
+
+// The shipped interface programs must agree exactly with their native C++
+// mirrors — this pins the interpreter semantics to the Fig 2/3 formulas.
+TEST(ProgramVsNative, JpegAgreesOnCorpus) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface iface = reg.LoadProgram("jpeg_decoder");
+  for (const auto& w : GenerateImageCorpus(25, 999)) {
+    const JpegImageObject obj(&w.compressed);
+    EXPECT_NEAR(iface.Eval("latency_jpeg_decode", obj), NativeJpegLatency(w.compressed),
+                1e-6 * NativeJpegLatency(w.compressed));
+    EXPECT_NEAR(iface.Eval("tput_jpeg_decode", obj), NativeJpegThroughput(w.compressed),
+                1e-9);
+  }
+}
+
+TEST(ProgramVsNative, ProtoaccAgreesOn32Formats) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface iface = reg.LoadProgram("protoacc");
+  for (const auto& fmt : Protoacc32Formats()) {
+    const MessageObject obj(&fmt.message);
+    const double native_tput = NativeProtoaccThroughput(fmt.message, 60);
+    EXPECT_NEAR(iface.Eval("tput_protoacc_ser", obj), native_tput, 1e-9 + native_tput * 1e-9)
+        << fmt.name;
+    EXPECT_NEAR(iface.Eval("min_latency_protoacc_ser", obj),
+                NativeProtoaccMinLatency(fmt.message, 60), 1e-6)
+        << fmt.name;
+    EXPECT_NEAR(iface.Eval("max_latency_protoacc_ser", obj),
+                NativeProtoaccMaxLatency(fmt.message, 60), 1e-6)
+        << fmt.name;
+  }
+}
+
+TEST(ProgramInterface, HasReportsFunctions) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface jpeg = reg.LoadProgram("jpeg_decoder");
+  EXPECT_TRUE(jpeg.Has("latency_jpeg_decode"));
+  EXPECT_TRUE(jpeg.Has("tput_jpeg_decode"));
+  EXPECT_FALSE(jpeg.Has("min_latency_jpeg_decode"));  // no bounds shipped
+  const ProgramInterface pa = reg.LoadProgram("protoacc");
+  EXPECT_TRUE(pa.Has("min_latency_protoacc_ser"));
+  EXPECT_TRUE(pa.Has("max_latency_protoacc_ser"));
+}
+
+TEST(ProgramInterface, MissingConstantFailsLoudly) {
+  ProgramInterface iface = ProgramInterface::FromSource(
+      "def f(m):\n return avg_mem_latency\nend\n");
+  const MessageInstance msg = NestedMessage(1, 2, 1);
+  const MessageObject obj(&msg);
+  EXPECT_DEATH(iface.Eval("f", obj), "undefined variable");
+}
+
+}  // namespace
+}  // namespace perfiface

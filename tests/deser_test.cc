@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/accel/protoacc/deserializer_sim.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/accel/protoacc/wire.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+TEST(Deserialize, RoundTripReproducesWireExactly) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    MessageShape shape;
+    shape.max_depth = 1 + seed % 4;
+    const MessageInstance original = GenerateMessage(shape, seed * 101);
+    const std::vector<std::uint8_t> wire = SerializeMessage(original);
+
+    MessageInstance decoded;
+    ASSERT_TRUE(DeserializeWithShape(wire, original, &decoded)) << "seed " << seed;
+    EXPECT_EQ(SerializeMessage(decoded), wire) << "seed " << seed;
+  }
+}
+
+TEST(Deserialize, RecoversFieldValues) {
+  MessageInstance msg;
+  FieldValue f;
+  f.type = WireFieldType::kVarint;
+  f.field_number = 1;
+  f.varint = 987654321;
+  msg.fields.push_back(std::move(f));
+  const std::vector<std::uint8_t> wire = SerializeMessage(msg);
+  MessageInstance decoded;
+  ASSERT_TRUE(DeserializeWithShape(wire, msg, &decoded));
+  ASSERT_EQ(decoded.fields.size(), 1u);
+  EXPECT_EQ(decoded.fields[0].varint, 987654321u);
+}
+
+TEST(Deserialize, RejectsMalformedInput) {
+  const MessageInstance shape = NestedMessage(2, 3, 1);
+  std::vector<std::uint8_t> wire = SerializeMessage(shape);
+  MessageInstance decoded;
+
+  // Truncation.
+  std::vector<std::uint8_t> truncated(wire.begin(), wire.end() - 2);
+  EXPECT_FALSE(DeserializeWithShape(truncated, shape, &decoded));
+
+  // Wrong schema (field numbers differ).
+  const MessageInstance other = NestedMessage(2, 4, 9);
+  EXPECT_FALSE(DeserializeWithShape(SerializeMessage(other), shape, &decoded));
+}
+
+TEST(Deserialize, TreeCountsAreConsistent) {
+  const MessageInstance msg = NestedMessage(3, 4, 7);
+  // 3 levels: fields per node = 4 scalars (+1 sub ref on non-leaves).
+  EXPECT_EQ(TotalFieldCount(msg), 4u * 3u + 2u);
+  EXPECT_EQ(msg.TotalNodeCount(), 3u);
+}
+
+TEST(DeserSim, DeterministicAndPositive) {
+  ProtoaccDeserSim a(ProtoaccDeserTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 5);
+  ProtoaccDeserSim b(ProtoaccDeserTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 5);
+  const MessageInstance msg = GenerateMessage(MessageShape{}, 77);
+  const auto ma = a.Measure(msg);
+  const auto mb = b.Measure(msg);
+  EXPECT_EQ(ma.latency, mb.latency);
+  EXPECT_GT(ma.throughput, 0.0);
+}
+
+TEST(DeserSim, InterfaceBoundsHold) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface iface = reg.LoadProgram("protoacc_deser");
+  ProtoaccDeserSim sim(ProtoaccDeserTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 11);
+  for (const auto& fmt : Protoacc32Formats()) {
+    const MessageObject obj(&fmt.message);
+    const auto m = sim.Measure(fmt.message);
+    EXPECT_GE(static_cast<double>(m.latency),
+              iface.Eval("min_latency_protoacc_deser", obj))
+        << fmt.name;
+    EXPECT_LE(static_cast<double>(m.latency),
+              iface.Eval("max_latency_protoacc_deser", obj))
+        << fmt.name;
+  }
+}
+
+TEST(DeserSim, InterfaceThroughputTracksSimulator) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface iface = reg.LoadProgram("protoacc_deser");
+  ProtoaccDeserSim sim(ProtoaccDeserTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 13);
+  double sum_err = 0;
+  for (const auto& fmt : Protoacc32Formats()) {
+    const MessageObject obj(&fmt.message);
+    const double predicted = iface.Eval("tput_protoacc_deser", obj);
+    const auto m = sim.Measure(fmt.message, 12);
+    sum_err += std::abs(predicted - m.throughput) / m.throughput;
+  }
+  EXPECT_LT(sum_err / 32.0, 0.12);
+}
+
+TEST(DeserSim, ThroughputScalesInverselyWithWireSize) {
+  ProtoaccDeserSim sim(ProtoaccDeserTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 17);
+  const auto small = sim.Measure(MessageWithWireSize(256, 1));
+  const auto large = sim.Measure(MessageWithWireSize(8192, 1));
+  EXPECT_GT(small.throughput, large.throughput * 4);
+}
+
+TEST(Registry, ShipsDeserInterface) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  ASSERT_TRUE(reg.Has("protoacc_deser"));
+  const ProgramInterface iface = reg.LoadProgram("protoacc_deser");
+  EXPECT_TRUE(iface.Has("tput_protoacc_deser"));
+  EXPECT_TRUE(iface.Has("min_latency_protoacc_deser"));
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -1,0 +1,249 @@
+// Edge-case coverage for the Petri-net engine beyond the happy paths of
+// petri_test.cc: multi-weight arcs, competing transitions, zero delays,
+// token provenance, and failure modes.
+#include <gtest/gtest.h>
+
+#include "src/petri/analysis.h"
+#include "src/petri/net.h"
+#include "src/petri/sim.h"
+
+namespace perfiface {
+namespace {
+
+DelayFn Const(Cycles c) {
+  return [c](const TokenRefs&) { return c; };
+}
+
+TEST(PetriEdge, MultiWeightInputConsumesInFifoOrder) {
+  PetriNet net;
+  const std::size_t slot = net.RegisterAttr("v");
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  // Consumes pairs; delay = first (older) token's value.
+  net.AddTransition({"pair",
+                     {{in, 2}},
+                     {{out, 1}},
+                     1,
+                     [slot](const TokenRefs& toks) {
+                       return static_cast<Cycles>(toks.front()->Attr(slot));
+                     },
+                     nullptr,
+                     nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (double v : {10.0, 99.0, 20.0, 99.0}) {
+    Token t;
+    t.attrs = {v};
+    sim.Inject(in, t);
+  }
+  ASSERT_TRUE(sim.Run(1000));
+  ASSERT_EQ(sim.arrivals(out).size(), 2u);
+  EXPECT_EQ(sim.arrivals(out)[0].time, 10u);        // pair (10, 99)
+  EXPECT_EQ(sim.arrivals(out)[1].time, 10u + 20u);  // pair (20, 99)
+}
+
+TEST(PetriEdge, MultiOutputWeightsDepositAllCopies) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"dup", {{in, 1}}, {{out, 3}}, 1, Const(5), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  sim.Inject(in, Token{});
+  ASSERT_TRUE(sim.Run(100));
+  EXPECT_EQ(sim.arrivals(out).size(), 3u);
+}
+
+TEST(PetriEdge, CompetingUnguardedTransitionsAlternateDeterministically) {
+  // Two transitions share an input place without guards: firing order is
+  // id-order, re-armed as servers free up — and must be reproducible.
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId a = net.AddPlace("a");
+  const PlaceId b = net.AddPlace("b");
+  net.AddTransition({"ta", {{in, 1}}, {{a, 1}}, 1, Const(10), nullptr, nullptr});
+  net.AddTransition({"tb", {{in, 1}}, {{b, 1}}, 1, Const(10), nullptr, nullptr});
+
+  auto run = [&] {
+    PetriSim sim(&net);
+    sim.Observe(a);
+    sim.Observe(b);
+    for (int i = 0; i < 6; ++i) {
+      sim.Inject(in, Token{});
+    }
+    EXPECT_TRUE(sim.Run(1000));
+    return std::make_pair(sim.arrivals(a).size(), sim.arrivals(b).size());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.first + first.second, 6u);
+  EXPECT_GT(first.first, 0u);  // both make progress (they run in parallel)
+  EXPECT_GT(first.second, 0u);
+}
+
+TEST(PetriEdge, ZeroDelayChainsCompleteInOneInstant) {
+  PetriNet net;
+  const PlaceId p0 = net.AddPlace("p0");
+  const PlaceId p1 = net.AddPlace("p1");
+  const PlaceId p2 = net.AddPlace("p2");
+  net.AddTransition({"t0", {{p0, 1}}, {{p1, 1}}, 1, Const(0), nullptr, nullptr});
+  net.AddTransition({"t1", {{p1, 1}}, {{p2, 1}}, 1, Const(0), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(p2);
+  sim.Inject(p0, Token{});
+  ASSERT_TRUE(sim.Run(10));
+  ASSERT_EQ(sim.arrivals(p2).size(), 1u);
+  EXPECT_EQ(sim.arrivals(p2)[0].time, 0u);
+}
+
+TEST(PetriEdge, FiringBudgetAbortsRunawayLoop) {
+  // A self-regenerating zero-delay loop must hit the firing budget.
+  PetriNet net;
+  const PlaceId p = net.AddPlace("p", 0, 1);
+  net.AddTransition({"loop", {{p, 1}}, {{p, 1}}, 1, Const(0), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.set_max_firings(1000);
+  EXPECT_DEATH(sim.Run(100), "firing budget");
+}
+
+TEST(PetriEdge, InjectionStampSurvivesMultipleHops) {
+  PetriNet net;
+  const PlaceId p0 = net.AddPlace("p0");
+  const PlaceId p1 = net.AddPlace("p1");
+  const PlaceId p2 = net.AddPlace("p2");
+  net.AddTransition({"t0", {{p0, 1}}, {{p1, 1}}, 1, Const(7), nullptr, nullptr});
+  net.AddTransition({"t1", {{p1, 1}}, {{p2, 1}}, 1, Const(9), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(p2);
+  sim.Inject(p0, Token{});
+  ASSERT_TRUE(sim.Run(100));
+  EXPECT_EQ(ArrivalLatency(sim, p2, 0), 16u);
+}
+
+TEST(PetriEdge, CustomFireFnTransformsTokens) {
+  PetriNet net;
+  const std::size_t slot = net.RegisterAttr("v");
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  TransitionSpec spec;
+  spec.name = "double";
+  spec.inputs = {{in, 1}};
+  spec.outputs = {{out, 1}};
+  spec.delay = Const(1);
+  spec.fire = [slot](const TokenRefs& inputs, std::vector<std::vector<Token>>& outputs) {
+    Token t = *inputs.front();
+    t.attrs[slot] = t.attrs[slot] * 2;
+    outputs[0].push_back(t);
+  };
+  net.AddTransition(std::move(spec));
+
+  // A second transition reads the transformed value as its delay.
+  const PlaceId done = net.AddPlace("done");
+  net.AddTransition({"sink",
+                     {{out, 1}},
+                     {{done, 1}},
+                     1,
+                     [slot](const TokenRefs& toks) {
+                       return static_cast<Cycles>(toks.front()->Attr(slot));
+                     },
+                     nullptr,
+                     nullptr});
+  PetriSim sim(&net);
+  sim.Observe(done);
+  Token t;
+  t.attrs = {21};
+  sim.Inject(in, t);
+  ASSERT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(done)[0].time, 1u + 42u);
+}
+
+TEST(PetriEdge, SelfLoopOnBoundedPlaceDoesNotDeadlock) {
+  // A mutex pattern: the transition consumes and re-deposits into a cap-1
+  // place; capacity accounting must net out the consumption.
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId mutex = net.AddPlace("mutex", 1, 1);
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition(
+      {"t", {{in, 1}, {mutex, 1}}, {{out, 1}, {mutex, 1}}, 1, Const(4), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 5; ++i) {
+    sim.Inject(in, Token{});
+  }
+  ASSERT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out).size(), 5u);
+  EXPECT_EQ(sim.arrivals(out)[4].time, 20u);
+}
+
+TEST(PetriEdge, MultiServerWithCreditInteraction) {
+  // 3 servers but only 2 credits: effective concurrency is 2.
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId credits = net.AddPlace("credits", 0, 2);
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t",
+                     {{in, 1}, {credits, 1}},
+                     {{out, 1}, {credits, 1}},
+                     3,
+                     Const(10),
+                     nullptr,
+                     nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 4; ++i) {
+    sim.Inject(in, Token{});
+  }
+  ASSERT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[1].time, 10u);
+  EXPECT_EQ(sim.arrivals(out)[3].time, 20u);
+}
+
+TEST(PetriEdge, RunIsResumable) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(100), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  sim.Inject(in, Token{});
+  EXPECT_FALSE(sim.Run(50));  // stops mid-firing
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_TRUE(sim.Run(1000));  // resumes and completes
+  EXPECT_EQ(sim.arrivals(out)[0].time, 100u);
+}
+
+TEST(PetriEdge, GuardSeesFrontTokensOfAllInputs) {
+  PetriNet net;
+  const std::size_t slot = net.RegisterAttr("v");
+  const PlaceId a = net.AddPlace("a");
+  const PlaceId b = net.AddPlace("b");
+  const PlaceId out = net.AddPlace("out");
+  // Fires only when the two front tokens carry equal attrs.
+  net.AddTransition({"match",
+                     {{a, 1}, {b, 1}},
+                     {{out, 1}},
+                     1,
+                     Const(1),
+                     nullptr,
+                     [slot](const TokenRefs& toks) {
+                       return toks[0]->Attr(slot) == toks[1]->Attr(slot);
+                     }});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  Token t1;
+  t1.attrs = {1};
+  Token t2;
+  t2.attrs = {2};
+  sim.Inject(a, t1);
+  sim.Inject(b, t2);  // mismatch: never fires
+  EXPECT_TRUE(sim.Run(100));
+  EXPECT_EQ(sim.arrivals(out).size(), 0u);
+  sim.Inject(b, t2);  // still mismatched fronts
+  EXPECT_TRUE(sim.Run(200));
+  EXPECT_EQ(sim.arrivals(out).size(), 0u);
+}
+
+}  // namespace
+}  // namespace perfiface

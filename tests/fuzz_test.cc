@@ -1,0 +1,112 @@
+// Robustness ("never crash on bad input") sweeps for the two shipped
+// artifact parsers. Interfaces come from vendors; a corrupted file must
+// produce a clean error, not undefined behaviour. Each TEST_P applies a
+// seeded corruption to a shipped artifact and requires the parser to
+// either accept it or reject it with a message.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/loc.h"
+#include "src/common/rng.h"
+#include "src/core/pnet.h"
+#include "src/core/registry.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+namespace {
+
+std::string Corrupt(const std::string& text, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::string out = text;
+  const std::size_t edits = 1 + rng.NextBelow(4);
+  for (std::size_t e = 0; e < edits && !out.empty(); ++e) {
+    const std::size_t pos = rng.NextBelow(out.size());
+    switch (rng.NextBelow(4)) {
+      case 0:  // flip a character to random printable (or newline)
+        out[pos] = static_cast<char>(rng.NextBool(0.1) ? '\n' : 32 + rng.NextBelow(95));
+        break;
+      case 1:  // delete a span
+        out.erase(pos, 1 + rng.NextBelow(8));
+        break;
+      case 2: {  // duplicate a span
+        const std::size_t len = 1 + rng.NextBelow(12);
+        out.insert(pos, out.substr(pos, std::min(len, out.size() - pos)));
+        break;
+      }
+      default: {  // delete a whole line
+        const std::size_t begin = out.rfind('\n', pos);
+        const std::size_t line_start = begin == std::string::npos ? 0 : begin + 1;
+        std::size_t line_end = out.find('\n', pos);
+        if (line_end == std::string::npos) {
+          line_end = out.size();
+        }
+        out.erase(line_start, line_end - line_start);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class PnetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PnetFuzz, CorruptedNetsParseOrFailCleanly) {
+  const std::string original =
+      ReadFileOrDie(InterfaceRegistry::Default().Get("vta").pnet_path);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const std::string mutated = Corrupt(original, DeriveSeed(GetParam(), i));
+    const LoadedNet loaded = LoadPnet(mutated);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.error.empty());
+    } else {
+      // Accepted mutants must be safely inspectable (a comment-only mutant
+      // is a legal, empty net).
+      EXPECT_GE(loaded.net->places().size() + 1, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PnetFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+class PscFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PscFuzz, CorruptedProgramsParseOrFailCleanly) {
+  const std::string original =
+      ReadFileOrDie(InterfaceRegistry::Default().Get("protoacc").program_path);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const std::string mutated = Corrupt(original, DeriveSeed(GetParam() + 1000, i));
+    const ParseResult parsed = ParseProgram(mutated);
+    if (!parsed.ok) {
+      EXPECT_FALSE(parsed.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PscFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+class ExprFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprFuzz, RandomExpressionStringsNeverCrashTheParser) {
+  SplitMix64 rng(GetParam());
+  static const char* kAtoms[] = {"x",  "42", "1.5", "(", ")", "+",  "-",   "*",
+                                 "/",  "%",  "<",   ">", "==", "and", "or", "not",
+                                 "min", "max", ",",  ".", "ceil"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string expr;
+    const std::size_t atoms = 1 + rng.NextBelow(14);
+    for (std::size_t a = 0; a < atoms; ++a) {
+      expr += kAtoms[rng.NextBelow(21)];
+      expr += ' ';
+    }
+    const ParseExprResult r = ParseExpression(expr);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Range<std::uint64_t>(1, 5));
+
+}  // namespace
+}  // namespace perfiface

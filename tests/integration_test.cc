@@ -1,0 +1,135 @@
+// End-to-end integration: the paper's three developer questions (§1),
+// answered through the registry exactly the way the benches and examples
+// do, with every representation and simulator in one flow.
+#include <gtest/gtest.h>
+
+#include "src/accel/jpeg/decoder_sim.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/core/petri_interfaces.h"
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/core/script_objects.h"
+#include "src/offload/advisor.h"
+#include "src/soc/dse.h"
+#include "src/soc/ip_catalog.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+// Q1 (§1): "What throughput and latency can I expect from this accelerator
+// for my expected workload?" — answered by interfaces, validated by the
+// simulator playing hardware.
+TEST(Integration, Question1_ExpectedPerformanceForAWorkload) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+
+  const CompressedImage image = Encode(GenerateImage(ImageClass::kTexture, 192, 192, 11), 65);
+  const ProgramInterface program = reg.LoadProgram("jpeg_decoder");
+  const JpegImageObject descriptor(&image);
+  const double iface_latency = program.Eval("latency_jpeg_decode", descriptor);
+  const double iface_tput = program.Eval("tput_jpeg_decode", descriptor);
+
+  JpegDecoderSim hardware(JpegDecoderTiming{}, 4242);
+  const JpegDecodeMeasurement actual = hardware.Measure(image);
+
+  EXPECT_NEAR(iface_latency, static_cast<double>(actual.latency),
+              static_cast<double>(actual.latency) * 0.12);
+  EXPECT_NEAR(iface_tput, actual.throughput, actual.throughput * 0.12);
+
+  // The IR answers the same question more precisely.
+  const JpegPetriInterface petri(reg.Get("jpeg_decoder").pnet_path);
+  const double petri_err =
+      std::abs(static_cast<double>(petri.PredictLatency(image)) -
+               static_cast<double>(actual.latency)) /
+      static_cast<double>(actual.latency);
+  EXPECT_LT(petri_err, 0.01);
+}
+
+// Q2 (§1): "Which of these accelerators is the best fit for my expected
+// workload?" — the advisor must agree with brute-force simulation of the
+// candidates.
+TEST(Integration, Question2_BestFitAgreesWithSimulation) {
+  OffloadAdvisor advisor{AdvisorConfig{}};
+
+  // Large objects: the advisor picks Protoacc; simulating Protoacc must
+  // show it actually sustains more bytes/sec than the CPU model claims.
+  const MessageInstance bulk = MessageWithWireSize(16384, 7);
+  ASSERT_EQ(advisor.Assess(bulk).best_throughput, Platform::kProtoacc);
+
+  ProtoaccSim sim(ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 3);
+  const ProtoaccMeasurement m = sim.Measure(bulk, 12);
+  const double sim_msgs_per_sec = m.throughput * 1.5e9;  // protoacc clock
+  EXPECT_GT(sim_msgs_per_sec, advisor.Throughput(Platform::kXeonCore, bulk));
+}
+
+// Q3 (§1): "What performance can I expect from my code if I offload it?"
+// — the SoC/interface flow end to end: requirements in, configuration and
+// headroom out, with nothing but registry interfaces consulted.
+TEST(Integration, Question3_DesignStageAnswersNeedNoSimulator) {
+  const auto catalog = BuildIpCatalog();
+  SocRequirements req;
+  req.area_budget = 1200;
+  const SocConfig best = BestSocDesign(catalog, req);
+  EXPECT_TRUE(best.fits_budget);
+  EXPECT_GE(best.score, 1.0);
+  EXPECT_EQ(best.choices.size(), catalog.size());
+}
+
+// The registry is the single source of truth: every shipped artifact must
+// load, and the two shipped nets must lint clean (same checks the CLI
+// tools run).
+TEST(Integration, EveryShippedArtifactLoads) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  std::size_t programs = 0;
+  std::size_t nets = 0;
+  for (const InterfaceBundle& bundle : reg.bundles()) {
+    if (!bundle.program_path.empty()) {
+      const ProgramInterface iface = reg.LoadProgram(bundle.accelerator);
+      EXPECT_FALSE(iface.source().empty()) << bundle.accelerator;
+      ++programs;
+    }
+    if (!bundle.pnet_path.empty()) {
+      const LoadedNet net = LoadPnetFile(bundle.pnet_path);
+      EXPECT_TRUE(net.ok()) << bundle.accelerator << ": " << net.error;
+      ++nets;
+    }
+  }
+  EXPECT_GE(programs, 4u);  // jpeg, protoacc, protoacc_deser, compressor
+  EXPECT_GE(nets, 3u);      // jpeg, vta, protoacc
+}
+
+// Cross-representation consistency: for the JPEG decoder, the three
+// representations must tell one coherent story on the same workload —
+// text (direction), program (magnitude), net (precision).
+TEST(Integration, RepresentationsAgreeOnDirectionMagnitudePrecision) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  const ProgramInterface program = reg.LoadProgram("jpeg_decoder");
+  const JpegPetriInterface petri(reg.Get("jpeg_decoder").pnet_path);
+  JpegDecoderSim hardware(JpegDecoderTiming{}, 99);
+
+  const CompressedImage sparse = Encode(GenerateImage(ImageClass::kFlat, 128, 128, 5), 80);
+  const CompressedImage dense = Encode(GenerateImage(ImageClass::kNoise, 128, 128, 5), 35);
+  ASSERT_LT(sparse.compress_rate(), dense.compress_rate());
+
+  // Text claim direction (latency inverse in compression rate).
+  const Cycles hw_sparse = hardware.DecodeLatency(sparse);
+  const Cycles hw_dense = hardware.DecodeLatency(dense);
+  EXPECT_GT(hw_sparse, hw_dense);
+
+  // Program magnitude and net precision, for both workloads.
+  for (const CompressedImage* img : {&sparse, &dense}) {
+    const JpegImageObject obj(img);
+    const double actual = static_cast<double>(hardware.DecodeLatency(*img));
+    const double prog_err =
+        std::abs(program.Eval("latency_jpeg_decode", obj) - actual) / actual;
+    const double net_err =
+        std::abs(static_cast<double>(petri.PredictLatency(*img)) - actual) / actual;
+    EXPECT_LT(prog_err, 0.15);
+    EXPECT_LT(net_err, 0.01);
+    EXPECT_LE(net_err, prog_err + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -1,0 +1,231 @@
+// PerfScript interpreter edge cases beyond perfscript_test.cc: forward
+// references, nesting, shadowing, resource limits, and grammar corners that
+// shipped interfaces are allowed to rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/perfscript/interp.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+namespace {
+
+double Eval(const std::string& src, const std::string& fn,
+            const std::vector<Value>& args = {}) {
+  ParseResult parsed = ParseProgram(src);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  Interpreter interp(&parsed.program);
+  const EvalResult r = interp.Call(fn, args);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.value.num;
+}
+
+TEST(InterpEdge, ForwardReferencesAcrossFunctions) {
+  // `caller` is defined before `callee` in the source: name resolution is
+  // by program, not by position (Fig 3's read_cost relies on this pattern
+  // in reverse).
+  const std::string src =
+      "def caller(x):\n"
+      " return callee(x) + 1\n"
+      "end\n"
+      "def callee(x):\n"
+      " return x * 2\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(Eval(src, "caller", {Value::Number(5)}), 11.0);
+}
+
+TEST(InterpEdge, NestedForLoops) {
+  class Grid : public ScriptObject {
+   public:
+    explicit Grid(int depth) {
+      if (depth > 0) {
+        for (int i = 0; i < 3; ++i) {
+          children_.push_back(std::make_unique<Grid>(depth - 1));
+        }
+      }
+    }
+    std::optional<double> GetAttr(std::string_view name) const override {
+      if (name == "one") {
+        return 1.0;
+      }
+      return std::nullopt;
+    }
+    std::size_t NumChildren() const override { return children_.size(); }
+    const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
+
+   private:
+    std::vector<std::unique_ptr<Grid>> children_;
+  };
+
+  const std::string src =
+      "def count(g):\n"
+      " total = 0\n"
+      " for row in g:\n"
+      "  for cell in row:\n"
+      "   total += cell.one\n"
+      "  end\n"
+      " end\n"
+      " return total\n"
+      "end\n";
+  Grid grid(2);
+  EXPECT_DOUBLE_EQ(Eval(src, "count", {Value::Object(&grid)}), 9.0);
+}
+
+TEST(InterpEdge, LoopVariableShadowsAndPersists) {
+  class Two : public ScriptObject {
+   public:
+    std::optional<double> GetAttr(std::string_view) const override { return std::nullopt; }
+    std::size_t NumChildren() const override { return 2; }
+    const ScriptObject* Child(std::size_t) const override { return this; }
+  };
+  // After the loop, the loop variable holds the last child (objects are
+  // values too); using it numerically must fail, but reassigning is fine.
+  const std::string src =
+      "def f(obj):\n"
+      " x = 5\n"
+      " for x in obj:\n"
+      "  y = 1\n"
+      " end\n"
+      " x = 7\n"
+      " return x\n"
+      "end\n";
+  Two two;
+  EXPECT_DOUBLE_EQ(Eval(src, "f", {Value::Object(&two)}), 7.0);
+}
+
+TEST(InterpEdge, EarlyReturnFromLoop) {
+  class Five : public ScriptObject {
+   public:
+    std::optional<double> GetAttr(std::string_view name) const override {
+      if (name == "v") {
+        return 3.0;
+      }
+      return std::nullopt;
+    }
+    std::size_t NumChildren() const override { return 5; }
+    const ScriptObject* Child(std::size_t) const override { return this; }
+  };
+  const std::string src =
+      "def f(obj):\n"
+      " n = 0\n"
+      " for c in obj:\n"
+      "  n += 1\n"
+      "  if n == 2:\n"
+      "   return c.v * n\n"
+      "  end\n"
+      " end\n"
+      " return 0\n"
+      "end\n";
+  Five five;
+  EXPECT_DOUBLE_EQ(Eval(src, "f", {Value::Object(&five)}), 6.0);
+}
+
+TEST(InterpEdge, StepBudgetStopsLongLoops) {
+  class Wide : public ScriptObject {
+   public:
+    std::optional<double> GetAttr(std::string_view) const override { return 1.0; }
+    std::size_t NumChildren() const override { return 1000000; }
+    const ScriptObject* Child(std::size_t) const override { return this; }
+  };
+  ParseResult parsed = ParseProgram(
+      "def f(o):\n"
+      " n = 0\n"
+      " for c in o:\n"
+      "  n += 1\n"
+      " end\n"
+      " return n\n"
+      "end\n");
+  ASSERT_TRUE(parsed.ok);
+  Interpreter interp(&parsed.program);
+  interp.set_max_steps(10000);
+  Wide wide;
+  const EvalResult r = interp.Call("f", {Value::Object(&wide)});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step budget"), std::string::npos);
+}
+
+TEST(InterpEdge, ComparisonChainsAreLeftAssociative) {
+  // (1 < 2) < 3  ->  1 < 3  ->  1.
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return 1 < 2 < 3\nend\n", "f"), 1.0);
+  // (3 < 2) < 1  ->  0 < 1  ->  1 (documenting non-Python chaining).
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return 3 < 2 < 1\nend\n", "f"), 1.0);
+}
+
+TEST(InterpEdge, NotOperator) {
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return not 0\nend\n", "f"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return not 3\nend\n", "f"), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return not not 3\nend\n", "f"), 1.0);
+}
+
+TEST(InterpEdge, ModuloOnDoubles) {
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return 7 % 3\nend\n", "f"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("def f():\n return 7.5 % 2\nend\n", "f"), 1.5);
+}
+
+TEST(InterpEdge, MutualRecursionWithDepthLimit) {
+  const std::string src =
+      "def even(n):\n"
+      " if n == 0:\n"
+      "  return 1\n"
+      " end\n"
+      " return odd(n - 1)\n"
+      "end\n"
+      "def odd(n):\n"
+      " if n == 0:\n"
+      "  return 0\n"
+      " end\n"
+      " return even(n - 1)\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(Eval(src, "even", {Value::Number(10)}), 1.0);
+  EXPECT_DOUBLE_EQ(Eval(src, "even", {Value::Number(7)}), 0.0);
+
+  ParseResult parsed = ParseProgram(src);
+  ASSERT_TRUE(parsed.ok);
+  Interpreter interp(&parsed.program);
+  interp.set_max_depth(16);
+  const EvalResult r = interp.Call("even", {Value::Number(100)});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpEdge, FunctionWithoutReturnYieldsZero) {
+  EXPECT_DOUBLE_EQ(Eval("def f():\n x = 3\nend\n", "f"), 0.0);
+}
+
+TEST(InterpEdge, ObjectsPassThroughCalls) {
+  class Leaf : public ScriptObject {
+   public:
+    std::optional<double> GetAttr(std::string_view name) const override {
+      if (name == "v") {
+        return 13.0;
+      }
+      return std::nullopt;
+    }
+  };
+  const std::string src =
+      "def get(o):\n"
+      " return o.v\n"
+      "end\n"
+      "def f(o):\n"
+      " return get(o) + 1\n"
+      "end\n";
+  Leaf leaf;
+  EXPECT_DOUBLE_EQ(Eval(src, "f", {Value::Object(&leaf)}), 14.0);
+}
+
+TEST(InterpEdge, CommentsAndBlankLinesEverywhere) {
+  const std::string src =
+      "# leading comment\n"
+      "\n"
+      "def f(x):  # trailing\n"
+      "\n"
+      " # inner comment\n"
+      " return x  # result\n"
+      "\n"
+      "end\n"
+      "# closing comment\n";
+  EXPECT_DOUBLE_EQ(Eval(src, "f", {Value::Number(4)}), 4.0);
+}
+
+}  // namespace
+}  // namespace perfiface

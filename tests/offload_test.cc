@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/accel/optimusprime/op_sim.h"
+#include "src/accel/protoacc/wire.h"
+#include "src/offload/advisor.h"
+#include "src/offload/replay.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+TEST(OptimusPrime, PeakThroughputNear33Gbps) {
+  // The paper (via §4): "Optimus Prime can sustain a maximum throughput of
+  // 33 Gbps". The peak sits at its fast-path boundary (300 B objects).
+  OptimusPrimeSim op(OptimusPrimeTiming{});
+  const MessageInstance msg = MessageWithWireSize(300, 1);
+  const double gbps = op.Measure(msg).gbps;
+  EXPECT_GT(gbps, 28.0);
+  EXPECT_LT(gbps, 38.0);
+}
+
+TEST(OptimusPrime, RealisticWorkloadDropsToMidTeens) {
+  // "...but this drops to 14 Gbps for realistic workloads."
+  OptimusPrimeSim op(OptimusPrimeTiming{});
+  const double gbps = op.TraceGbps(RealisticRpcTrace(600, 11));
+  EXPECT_GT(gbps, 9.0);
+  EXPECT_LT(gbps, 20.0);
+}
+
+TEST(OptimusPrime, SmallObjectsAreItsSweetSpot) {
+  OptimusPrimeSim op(OptimusPrimeTiming{});
+  // Bytes/cycle efficiency peaks at the fast-path boundary and degrades
+  // beyond it.
+  const double at_300 = op.Measure(MessageWithWireSize(300, 2)).gbps;
+  const double at_4k = op.Measure(MessageWithWireSize(4096, 2)).gbps;
+  EXPECT_GT(at_300, at_4k);
+}
+
+TEST(Advisor, OptimusPrimeWinsSmallObjects) {
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  const MessageInstance small = MessageWithWireSize(200, 3);
+  EXPECT_EQ(advisor.Assess(small).best_throughput, Platform::kOptimusPrime);
+}
+
+TEST(Advisor, ProtoaccWinsLargeObjects) {
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  const MessageInstance large = MessageWithWireSize(8192, 3);
+  EXPECT_EQ(advisor.Assess(large).best_throughput, Platform::kProtoacc);
+}
+
+TEST(Advisor, ProtoaccLosesToXeonOnSmallObjects) {
+  // The paper's warning: blind offload can hurt. Transfer costs make
+  // Protoacc slower than a plain Xeon core for short strings.
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  const MessageInstance small = MessageWithWireSize(96, 5);
+  EXPECT_GT(advisor.Throughput(Platform::kXeonCore, small),
+            advisor.Throughput(Platform::kProtoacc, small));
+}
+
+TEST(Advisor, CrossoversAreOrdered) {
+  // Sweeping object size, the winner sequence must be OP -> ... -> Protoacc
+  // with no Protoacc-to-OP flip-back.
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  bool seen_protoacc = false;
+  for (Bytes size : {64ULL, 128ULL, 300ULL, 512ULL, 1024ULL, 2048ULL, 4096ULL, 16384ULL}) {
+    const Platform winner = advisor.Assess(MessageWithWireSize(size, 7)).best_throughput;
+    if (winner == Platform::kProtoacc) {
+      seen_protoacc = true;
+    } else if (seen_protoacc) {
+      ADD_FAILURE() << "winner flipped back at size " << size;
+    }
+  }
+  EXPECT_TRUE(seen_protoacc);
+}
+
+TEST(Advisor, CoresSavedPositiveForBulkWorkload) {
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  const MessageInstance bulk = MessageWithWireSize(16384, 9);
+  // 200k msgs/s of 16KB objects keeps several Xeon cores busy.
+  const double saved = advisor.CoresSaved(Platform::kProtoacc, bulk, 200'000);
+  EXPECT_GT(saved, 0.5);
+}
+
+TEST(Advisor, LatencyIncludesHostOverhead) {
+  OffloadAdvisor advisor{AdvisorConfig{}};
+  const MessageInstance msg = MessageWithWireSize(512, 4);
+  const double protoacc_ns = advisor.LatencyNs(Platform::kProtoacc, msg);
+  const double host_only_ns = AdvisorConfig{}.protoacc_host_cycles / 2.5;
+  EXPECT_GT(protoacc_ns, host_only_ns);
+}
+
+TEST(Replay, PredictionTracksGroundTruth) {
+  ReplayHarness harness(ReplayConfig{}, ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 99);
+  const auto trace = RealisticRpcTrace(40, 21);
+  const E2eComparison cmp = harness.Run(trace);
+  EXPECT_TRUE(cmp.responses_match);
+  EXPECT_EQ(cmp.requests, 40u);
+  // §5 calls this a strawman: bounds-midpoint replay should land within a
+  // few tens of percent of the true end-to-end time.
+  EXPECT_LT(cmp.relative_error, 0.35) << "error " << cmp.relative_error;
+  EXPECT_GT(cmp.actual_total, 0u);
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  ReplayHarness a(ReplayConfig{}, ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 7);
+  ReplayHarness b(ReplayConfig{}, ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), 7);
+  const auto trace = RealisticRpcTrace(10, 3);
+  const E2eComparison ca = a.Run(trace);
+  const E2eComparison cb = b.Run(trace);
+  EXPECT_EQ(ca.actual_total, cb.actual_total);
+  EXPECT_EQ(ca.predicted_total, cb.predicted_total);
+}
+
+}  // namespace
+}  // namespace perfiface

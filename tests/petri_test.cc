@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "src/petri/analysis.h"
+#include "src/petri/net.h"
+#include "src/petri/sim.h"
+#include "src/sim/pipeline_model.h"
+
+namespace perfiface {
+namespace {
+
+DelayFn Const(Cycles c) {
+  return [c](const TokenRefs&) { return c; };
+}
+
+TEST(PetriNet, AttrRegistrationIsIdempotent) {
+  PetriNet net;
+  const std::size_t a = net.RegisterAttr("x");
+  const std::size_t b = net.RegisterAttr("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(net.RegisterAttr("x"), a);
+  EXPECT_EQ(net.FindAttr("y"), b);
+  EXPECT_EQ(net.FindAttr("z"), PetriNet::kNoAttr);
+}
+
+TEST(PetriSim, SingleTransitionDelay) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(7), nullptr, nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  sim.Inject(in, Token{});
+  EXPECT_TRUE(sim.Run(1000));
+  ASSERT_EQ(sim.arrivals(out).size(), 1u);
+  EXPECT_EQ(sim.arrivals(out)[0].time, 7u);
+}
+
+TEST(PetriSim, SingleServerSerializes) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(10), nullptr, nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 3; ++i) {
+    sim.Inject(in, Token{});
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  ASSERT_EQ(sim.arrivals(out).size(), 3u);
+  EXPECT_EQ(sim.arrivals(out)[2].time, 30u);
+}
+
+TEST(PetriSim, MultiServerOverlaps) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 3, Const(10), nullptr, nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 3; ++i) {
+    sim.Inject(in, Token{});
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[2].time, 10u);
+}
+
+TEST(PetriSim, DelayDependsOnTokenAttrs) {
+  PetriNet net;
+  const std::size_t slot = net.RegisterAttr("work");
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t",
+                     {{in, 1}},
+                     {{out, 1}},
+                     1,
+                     [slot](const TokenRefs& toks) {
+                       return static_cast<Cycles>(toks.front()->Attr(slot));
+                     },
+                     nullptr,
+                     nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  Token t1;
+  t1.attrs = {5};
+  Token t2;
+  t2.attrs = {11};
+  sim.Inject(in, t1);
+  sim.Inject(in, t2);
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[0].time, 5u);
+  EXPECT_EQ(sim.arrivals(out)[1].time, 16u);
+}
+
+TEST(PetriSim, GuardBlocksFiring) {
+  PetriNet net;
+  const std::size_t slot = net.RegisterAttr("kind");
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId a = net.AddPlace("a");
+  const PlaceId b = net.AddPlace("b");
+  GuardFn is_one = [slot](const TokenRefs& toks) { return toks.front()->Attr(slot) == 1; };
+  GuardFn is_two = [slot](const TokenRefs& toks) { return toks.front()->Attr(slot) == 2; };
+  net.AddTransition({"to_a", {{in, 1}}, {{a, 1}}, 1, Const(1), nullptr, is_one});
+  net.AddTransition({"to_b", {{in, 1}}, {{b, 1}}, 1, Const(1), nullptr, is_two});
+
+  PetriSim sim(&net);
+  sim.Observe(a);
+  sim.Observe(b);
+  Token t1;
+  t1.attrs = {2};
+  Token t2;
+  t2.attrs = {1};
+  sim.Inject(in, t1);
+  sim.Inject(in, t2);
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(b).size(), 1u);  // routed by guard
+  EXPECT_EQ(sim.arrivals(a).size(), 1u);
+}
+
+TEST(PetriSim, CreditPlaceLimitsConcurrency) {
+  // Classic double-buffer: `credits` starts with 2 tokens; each firing of
+  // `use` consumes one and `restore` returns it after a delay.
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId credits = net.AddPlace("credits", 0, 2);
+  const PlaceId mid = net.AddPlace("mid");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"use", {{in, 1}, {credits, 1}}, {{mid, 1}}, 4, Const(1), nullptr, nullptr});
+  net.AddTransition({"restore", {{mid, 1}}, {{out, 1}, {credits, 1}}, 4, Const(10), nullptr,
+                     nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 4; ++i) {
+    sim.Inject(in, Token{});
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  // Despite 4 servers, only 2 can be in flight: completions at 11 (x2), 22 (x2).
+  ASSERT_EQ(sim.arrivals(out).size(), 4u);
+  EXPECT_EQ(sim.arrivals(out)[1].time, 11u);
+  EXPECT_EQ(sim.arrivals(out)[3].time, 22u);
+}
+
+TEST(PetriSim, BoundedPlaceBackpressure) {
+  // fast -> bounded(1) -> slow: fast stage is throttled by the slow one.
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId buf = net.AddPlace("buf", 1);
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"fast", {{in, 1}}, {{buf, 1}}, 1, Const(1), nullptr, nullptr});
+  net.AddTransition({"slow", {{buf, 1}}, {{out, 1}}, 1, Const(10), nullptr, nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 4; ++i) {
+    sim.Inject(in, Token{});
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[3].time, 41u);
+}
+
+// The load-bearing equivalence: a linear Petri net with bounded places must
+// time-match PipelineModel exactly (same semantics, two formulations).
+TEST(PetriSim, MatchesPipelineModelExactly) {
+  const std::vector<Cycles> s0 = {3, 9, 2, 14, 5, 7, 1, 8};
+  const std::vector<Cycles> s1 = {6, 2, 11, 3, 9, 4, 10, 2};
+  const std::vector<Cycles> s2 = {5, 5, 5, 12, 1, 9, 3, 6};
+  const std::size_t cap = 2;
+
+  PipelineModel model({s0, s1, s2}, {cap, cap});
+
+  PetriNet net;
+  const std::size_t slot0 = net.RegisterAttr("c0");
+  const std::size_t slot1 = net.RegisterAttr("c1");
+  const std::size_t slot2 = net.RegisterAttr("c2");
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId f1 = net.AddPlace("f1", cap);
+  const PlaceId f2 = net.AddPlace("f2", cap);
+  const PlaceId out = net.AddPlace("out");
+  auto delay_from = [](std::size_t slot) {
+    return [slot](const TokenRefs& toks) {
+      return static_cast<Cycles>(toks.front()->Attr(slot));
+    };
+  };
+  net.AddTransition({"s0", {{in, 1}}, {{f1, 1}}, 1, delay_from(slot0), nullptr, nullptr});
+  net.AddTransition({"s1", {{f1, 1}}, {{f2, 1}}, 1, delay_from(slot1), nullptr, nullptr});
+  net.AddTransition({"s2", {{f2, 1}}, {{out, 1}}, 1, delay_from(slot2), nullptr, nullptr});
+
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    Token t;
+    t.attrs = {static_cast<double>(s0[i]), static_cast<double>(s1[i]),
+               static_cast<double>(s2[i])};
+    sim.Inject(in, t);
+  }
+  EXPECT_TRUE(sim.Run(100000));
+  ASSERT_EQ(sim.arrivals(out).size(), s0.size());
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    EXPECT_EQ(sim.arrivals(out)[i].time, model.FinishTime(2, i)) << "item " << i;
+  }
+}
+
+TEST(PetriSim, LatencyStampsPreserved) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(5), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  sim.Inject(in, Token{});
+  sim.Inject(in, Token{});
+  EXPECT_TRUE(sim.Run(100));
+  EXPECT_EQ(ArrivalLatency(sim, out, 0), 5u);
+  EXPECT_EQ(ArrivalLatency(sim, out, 1), 10u);  // includes queueing
+}
+
+TEST(PetriSim, ResetRestoresInitialMarking) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId credits = net.AddPlace("credits", 0, 3);
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition(
+      {"t", {{in, 1}, {credits, 1}}, {{out, 1}}, 1, Const(1), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Inject(in, Token{});
+  EXPECT_TRUE(sim.Run(100));
+  EXPECT_EQ(sim.tokens_at(credits), 2u);
+  sim.Reset();
+  EXPECT_EQ(sim.tokens_at(credits), 3u);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(PetriSim, RunStopsAtMaxTime) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(100), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Inject(in, Token{});
+  EXPECT_FALSE(sim.Run(50));
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Analysis, SummarizeCountsElements) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 2);
+  const PlaceId b = net.AddPlace("b", 3);
+  net.AddTransition({"t", {{a, 1}}, {{b, 1}}, 1, Const(1), nullptr, nullptr});
+  const NetSummary s = Summarize(net);
+  EXPECT_EQ(s.places, 2u);
+  EXPECT_EQ(s.transitions, 1u);
+  EXPECT_EQ(s.arcs, 2u);
+  EXPECT_TRUE(s.structurally_bounded);
+}
+
+TEST(Analysis, LintFlagsDisconnectedAndCappedSinks) {
+  PetriNet net;
+  net.AddPlace("orphan");
+  const PlaceId a = net.AddPlace("a");
+  const PlaceId sink = net.AddPlace("sink", 1);
+  net.AddTransition({"t", {{a, 1}}, {{sink, 1}}, 1, Const(1), nullptr, nullptr});
+  const auto issues = LintNet(net);
+  EXPECT_EQ(issues.size(), 2u);
+}
+
+TEST(Analysis, SteadyStateThroughput) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(4), nullptr, nullptr});
+  PetriSim sim(&net);
+  sim.Observe(out);
+  for (int i = 0; i < 10; ++i) {
+    sim.Inject(in, Token{});
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_DOUBLE_EQ(SteadyStateThroughput(sim, out), 0.25);
+}
+
+}  // namespace
+}  // namespace perfiface

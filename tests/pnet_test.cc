@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/core/pnet.h"
+#include "src/core/registry.h"
+#include "src/petri/analysis.h"
+#include "src/petri/sim.h"
+
+namespace perfiface {
+namespace {
+
+TEST(Pnet, ParsesMinimalNet) {
+  const char* src =
+      "net demo\n"
+      "attr work\n"
+      "place in\n"
+      "place out\n"
+      "trans t in=in out=out delay=\"work * 2\"\n";
+  LoadedNet loaded = LoadPnet(src);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.name, "demo");
+  EXPECT_EQ(loaded.net->places().size(), 2u);
+  EXPECT_EQ(loaded.net->transitions().size(), 1u);
+
+  PetriSim sim(loaded.net.get());
+  const PlaceId out = loaded.net->PlaceByName("out");
+  sim.Observe(out);
+  Token t;
+  t.attrs = {21};
+  sim.Inject(loaded.net->PlaceByName("in"), t);
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[0].time, 42u);
+}
+
+TEST(Pnet, ConstantsAndBuiltinsInDelays) {
+  const char* src =
+      "net demo\n"
+      "const lat 50\n"
+      "attr words\n"
+      "place in\n"
+      "place out\n"
+      "trans dma in=in out=out delay=\"4 + ceil(words / 8) * (lat + 8)\"\n";
+  LoadedNet loaded = LoadPnet(src);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  PetriSim sim(loaded.net.get());
+  const PlaceId out = loaded.net->PlaceByName("out");
+  sim.Observe(out);
+  Token t;
+  t.attrs = {20};  // 3 bursts
+  sim.Inject(loaded.net->PlaceByName("in"), t);
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(out)[0].time, 4u + 3 * 58);
+}
+
+TEST(Pnet, CapacityInitAndWeights) {
+  const char* src =
+      "net demo\n"
+      "place in\n"
+      "place credits cap=4 init=2\n"
+      "place out\n"
+      "trans t in=in,credits:2 out=out delay=\"5\"\n";
+  LoadedNet loaded = LoadPnet(src);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  PetriSim sim(loaded.net.get());
+  const PlaceId out = loaded.net->PlaceByName("out");
+  sim.Observe(out);
+  sim.Inject(loaded.net->PlaceByName("in"), Token{});
+  sim.Inject(loaded.net->PlaceByName("in"), Token{});
+  EXPECT_TRUE(sim.Run(1000));
+  // Only one firing possible: the two credits are consumed by weight 2.
+  EXPECT_EQ(sim.arrivals(out).size(), 1u);
+}
+
+TEST(Pnet, GuardRouting) {
+  const char* src =
+      "net demo\n"
+      "attr op\n"
+      "place in\n"
+      "place a\n"
+      "place b\n"
+      "trans ta in=in out=a guard=\"op == 1\" delay=\"1\"\n"
+      "trans tb in=in out=b guard=\"op == 2\" delay=\"1\"\n";
+  LoadedNet loaded = LoadPnet(src);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  PetriSim sim(loaded.net.get());
+  const PlaceId a = loaded.net->PlaceByName("a");
+  const PlaceId b = loaded.net->PlaceByName("b");
+  sim.Observe(a);
+  sim.Observe(b);
+  for (double op : {1.0, 2.0, 2.0, 1.0}) {
+    Token t;
+    t.attrs = {op};
+    sim.Inject(loaded.net->PlaceByName("in"), t);
+  }
+  EXPECT_TRUE(sim.Run(1000));
+  EXPECT_EQ(sim.arrivals(a).size(), 2u);
+  EXPECT_EQ(sim.arrivals(b).size(), 2u);
+}
+
+TEST(Pnet, ErrorsAreReported) {
+  EXPECT_FALSE(LoadPnet("attr x\n").ok());  // missing net
+  EXPECT_FALSE(LoadPnet("net d\nplace p\nplace p\n").ok());  // duplicate place
+  EXPECT_FALSE(LoadPnet("net d\ntrans t in=q delay=\"1\"\n").ok());  // unknown place
+  EXPECT_FALSE(LoadPnet("net d\nplace p\ntrans t in=p\n").ok());  // missing delay
+  EXPECT_FALSE(LoadPnet("net d\nplace p\ntrans t in=p delay=\"1 +\"\n").ok());  // bad expr
+  EXPECT_FALSE(LoadPnet("net d\nbogus x\n").ok());  // unknown directive
+  EXPECT_FALSE(LoadPnet("net d\nplace p cap=-1\n").ok());  // negative cap
+}
+
+TEST(Pnet, LineNumbersInErrors) {
+  const LoadedNet loaded = LoadPnet("net d\nplace p\nbogus\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("line 3"), std::string::npos);
+}
+
+TEST(PnetCompose, UseDirectiveInlinesComponent) {
+  // A host net instantiating the shipped DMA-channel component twice.
+  const std::string host = std::string(
+      "net host\n"
+      "place ld_cmd\n"
+      "place st_cmd\n"
+      "place ld_done\n"
+      "place st_done\n"
+      "use \"components/dram_channel.pnet\" prefix=ld bind=\"cmd=ld_cmd,done=ld_done\"\n"
+      "use \"components/dram_channel.pnet\" prefix=st bind=\"cmd=st_cmd,done=st_done\"\n");
+  const PnetExpansion expanded =
+      ExpandPnetIncludes(host, InterfaceRegistry::InterfaceDir());
+  ASSERT_TRUE(expanded.ok) << expanded.error;
+  LoadedNet loaded = LoadPnet(expanded.text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error << "\n" << expanded.text;
+
+  // Each instance has its own mutex place and transition.
+  EXPECT_TRUE(loaded.net->HasPlace("ld_chan"));
+  EXPECT_TRUE(loaded.net->HasPlace("st_chan"));
+  EXPECT_EQ(loaded.net->transitions().size(), 2u);
+
+  // The two channels operate independently: a transfer on each completes
+  // concurrently at the component's delay.
+  PetriSim sim(loaded.net.get());
+  const PlaceId ld_done = loaded.net->PlaceByName("ld_done");
+  const PlaceId st_done = loaded.net->PlaceByName("st_done");
+  sim.Observe(ld_done);
+  sim.Observe(st_done);
+  const std::size_t words_slot = loaded.net->FindAttr("words");
+  ASSERT_NE(words_slot, PetriNet::kNoAttr);
+  Token t;
+  t.attrs.assign(loaded.net->attr_names().size(), 0);
+  t.attrs[words_slot] = 16;  // 2 bursts -> 4 + 2*60 = 124
+  sim.Inject(loaded.net->PlaceByName("ld_cmd"), t);
+  sim.Inject(loaded.net->PlaceByName("st_cmd"), t);
+  ASSERT_TRUE(sim.Run(10000));
+  EXPECT_EQ(sim.arrivals(ld_done)[0].time, 124u);
+  EXPECT_EQ(sim.arrivals(st_done)[0].time, 124u);
+
+  // And each instance serializes its own transfers via its mutex.
+  sim.Reset();
+  sim.Inject(loaded.net->PlaceByName("ld_cmd"), t);
+  sim.Inject(loaded.net->PlaceByName("ld_cmd"), t);
+  ASSERT_TRUE(sim.Run(10000));
+  EXPECT_EQ(sim.arrivals(ld_done)[1].time, 248u);
+}
+
+TEST(PnetCompose, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(ExpandPnetIncludes("use \"x.pnet\"\n", ".").ok);  // missing prefix
+  EXPECT_FALSE(
+      ExpandPnetIncludes("use \"components/dram_channel.pnet\" prefix=a bind=\"oops\"\n",
+                         InterfaceRegistry::InterfaceDir())
+          .ok);  // malformed bind
+}
+
+TEST(Pnet, ShippedJpegNetParses) {
+  const LoadedNet loaded =
+      LoadPnetFile(std::string(PERFIFACE_SOURCE_DIR) + "/src/core/interfaces/jpeg.pnet");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.name, "jpeg_decoder");
+  EXPECT_TRUE(LintNet(*loaded.net).empty());
+}
+
+TEST(Pnet, ShippedVtaNetParses) {
+  const LoadedNet loaded =
+      LoadPnetFile(std::string(PERFIFACE_SOURCE_DIR) + "/src/core/interfaces/vta.pnet");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.name, "vta");
+  EXPECT_TRUE(LintNet(*loaded.net).empty());
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "src/accel/protoacc/message.h"
+#include "src/accel/protoacc/serializer_sim.h"
+#include "src/accel/protoacc/wire.h"
+#include "src/core/native_interfaces.h"
+#include "src/core/petri_interfaces.h"
+#include "src/core/registry.h"
+#include "src/workload/message_gen.h"
+
+namespace perfiface {
+namespace {
+
+TEST(Wire, VarintRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 21, ~0ULL}) {
+    std::vector<std::uint8_t> buf;
+    AppendVarint(&buf, v);
+    EXPECT_EQ(buf.size(), VarintSize(v));
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    ASSERT_TRUE(ReadVarint(buf, &pos, &back));
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Wire, TruncatedVarintFails) {
+  std::vector<std::uint8_t> buf = {0x80, 0x80};  // continuation without end
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ReadVarint(buf, &pos, &v));
+}
+
+TEST(Wire, SerializedSizeMatchesEncoding) {
+  const MessageInstance msg = GenerateMessage(MessageShape{}, 42);
+  EXPECT_EQ(SerializedSize(msg), SerializeMessage(msg).size());
+}
+
+TEST(Wire, SerializedSizeMatchesEncodingSweep) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    MessageShape shape;
+    shape.max_depth = 1 + seed % 4;
+    const MessageInstance msg = GenerateMessage(shape, seed);
+    EXPECT_EQ(SerializedSize(msg), SerializeMessage(msg).size()) << "seed " << seed;
+  }
+}
+
+TEST(Wire, DecodeRecoversTopLevelStructure) {
+  MessageInstance msg;
+  FieldValue a;
+  a.type = WireFieldType::kVarint;
+  a.field_number = 1;
+  a.varint = 12345;
+  msg.fields.push_back(std::move(a));
+  FieldValue b;
+  b.type = WireFieldType::kLength;
+  b.field_number = 2;
+  b.length = 10;
+  msg.fields.push_back(std::move(b));
+
+  std::vector<DecodedField> fields;
+  ASSERT_TRUE(DecodeTopLevelFields(SerializeMessage(msg), &fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].field_number, 1u);
+  EXPECT_EQ(fields[0].varint, 12345u);
+  EXPECT_EQ(fields[1].field_number, 2u);
+  EXPECT_EQ(fields[1].length, 10u);
+}
+
+TEST(Wire, NestedMessageDecodes) {
+  const MessageInstance msg = NestedMessage(3, 4, 1);
+  std::vector<DecodedField> fields;
+  ASSERT_TRUE(DecodeTopLevelFields(SerializeMessage(msg), &fields));
+  EXPECT_EQ(fields.size(), msg.num_fields());
+}
+
+TEST(Wire, NumWritesIs16ByteWords) {
+  const MessageInstance msg = MessageWithWireSize(100, 1);
+  const Bytes size = SerializedSize(msg);
+  EXPECT_EQ(NumWrites(msg), (size + 15) / 16);
+}
+
+TEST(Message, StructureAccessors) {
+  const MessageInstance msg = NestedMessage(4, 6, 2);
+  EXPECT_EQ(msg.MaxNestingDepth(), 4u);
+  EXPECT_EQ(msg.TotalNodeCount(), 4u);
+  EXPECT_EQ(msg.num_fields(), 7u);  // 6 scalars + 1 sub-message ref
+  EXPECT_EQ(msg.SubMessages().size(), 1u);
+}
+
+TEST(Message, CloneIsDeepAndEqualSize) {
+  const MessageInstance msg = GenerateMessage(MessageShape{}, 77);
+  const MessageInstance copy = CloneMessage(msg);
+  EXPECT_EQ(SerializeMessage(msg), SerializeMessage(copy));
+}
+
+TEST(MessageGen, WireSizeTargeting) {
+  for (Bytes target : {64ULL, 300ULL, 1024ULL, 4096ULL, 16384ULL}) {
+    const MessageInstance msg = MessageWithWireSize(target, 3);
+    const Bytes actual = SerializedSize(msg);
+    EXPECT_LE(actual, target);
+    EXPECT_GE(actual + 8, target);
+  }
+}
+
+TEST(MessageGen, The32FormatsAreDiverse) {
+  const auto formats = Protoacc32Formats();
+  ASSERT_EQ(formats.size(), 32u);
+  std::size_t max_depth = 0;
+  Bytes max_size = 0;
+  for (const auto& f : formats) {
+    max_depth = std::max(max_depth, f.message.MaxNestingDepth());
+    max_size = std::max(max_size, SerializedSize(f.message));
+  }
+  EXPECT_GE(max_depth, 10u);
+  EXPECT_GE(max_size, 4000u);
+}
+
+ProtoaccSim MakeSim(std::uint64_t seed = 1) {
+  return ProtoaccSim(ProtoaccTiming{}, ProtoaccSim::RecommendedMemoryConfig(), seed);
+}
+
+TEST(ProtoaccSim, Deterministic) {
+  const MessageInstance msg = GenerateMessage(MessageShape{}, 5);
+  ProtoaccSim a = MakeSim(3);
+  ProtoaccSim b = MakeSim(3);
+  const auto ma = a.Measure(msg);
+  const auto mb = b.Measure(msg);
+  EXPECT_EQ(ma.latency, mb.latency);
+  EXPECT_DOUBLE_EQ(ma.throughput, mb.throughput);
+}
+
+TEST(ProtoaccSim, Fig1Claim_ThroughputDropsWithNesting) {
+  ProtoaccSim sim = MakeSim(7);
+  double prev_tput = 1e18;
+  for (std::size_t depth : {1, 3, 6, 10}) {
+    const MessageInstance msg = NestedMessage(depth, 8, 11);
+    const double tput = sim.Measure(msg).throughput;
+    EXPECT_LT(tput, prev_tput) << "depth " << depth;
+    prev_tput = tput;
+  }
+}
+
+TEST(ProtoaccSim, MinLatencyBoundIsStructural) {
+  // The posted-write buffer drains one store per store_window (=
+  // avg_mem_latency) cycles, so the min bound holds for every message, not
+  // just on average.
+  ProtoaccSim sim = MakeSim(13);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const MessageInstance msg = GenerateMessage(MessageShape{}, seed);
+    const auto m = sim.Measure(msg);
+    const double min_bound = NativeProtoaccMinLatency(msg, 60);
+    EXPECT_GE(static_cast<double>(m.latency), min_bound) << "seed " << seed;
+  }
+}
+
+TEST(ProtoaccSim, LatencyWithinBoundsOn32Formats) {
+  // The paper's claim for Fig 3: "the latency was always within the
+  // predicted bounds" across the 32 evaluated formats.
+  ProtoaccSim sim = MakeSim(17);
+  for (const auto& fmt : Protoacc32Formats()) {
+    const auto m = sim.Measure(fmt.message);
+    const double lo = NativeProtoaccMinLatency(fmt.message, 60);
+    const double hi = NativeProtoaccMaxLatency(fmt.message, 60);
+    EXPECT_GE(static_cast<double>(m.latency), lo) << fmt.name;
+    EXPECT_LE(static_cast<double>(m.latency), hi) << fmt.name;
+  }
+}
+
+TEST(ProtoaccSim, WriteBoundMessagesMatchInterfaceExactly) {
+  // A big flat string message is write-issue-bound: steady-state cost is
+  // exactly 5 + num_writes cycles per message.
+  ProtoaccSim sim = MakeSim(19);
+  const MessageInstance msg = MessageWithWireSize(8192, 23);
+  const auto m = sim.Measure(msg, /*copies=*/16);
+  const double iface = NativeProtoaccThroughput(msg, 60);
+  EXPECT_NEAR(m.throughput, iface, iface * 0.02);
+}
+
+TEST(ProtoaccSim, ThroughputErrorWithinPaperBand) {
+  // Average error across the 32 formats should land in single digits
+  // (paper: avg 5.9%, max 13.3%).
+  ProtoaccSim sim = MakeSim(29);
+  double sum_err = 0;
+  double max_err = 0;
+  for (const auto& fmt : Protoacc32Formats()) {
+    const auto m = sim.Measure(fmt.message, /*copies=*/12);
+    const double iface = NativeProtoaccThroughput(fmt.message, 60);
+    const double err = std::abs(iface - m.throughput) / m.throughput;
+    sum_err += err;
+    max_err = std::max(max_err, err);
+  }
+  const double avg_err = sum_err / 32.0;
+  EXPECT_LT(avg_err, 0.10);
+  EXPECT_LT(max_err, 0.25);
+  EXPECT_GT(avg_err, 0.005);  // the abstraction must cost *something*
+}
+
+TEST(ProtoaccPetri, PointEstimateBeatsTheBoundsSpan) {
+  // Fig 3 can only bound latency; the net's structural overlap model must
+  // give a point estimate whose error is small relative to the bound span.
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  ProtoaccPetriInterface net(reg.Get("protoacc").pnet_path);
+  ProtoaccSim sim = MakeSim(17);
+
+  double sum_err = 0;
+  double max_err = 0;
+  std::size_t within_bounds = 0;
+  const auto formats = Protoacc32Formats();
+  for (const auto& fmt : formats) {
+    const auto m = sim.Measure(fmt.message);
+    const double actual = static_cast<double>(m.latency);
+    const double predicted = static_cast<double>(net.PredictLatency(fmt.message));
+    const double err = std::abs(predicted - actual) / actual;
+    sum_err += err;
+    max_err = std::max(max_err, err);
+
+    const double lo = NativeProtoaccMinLatency(fmt.message, 60);
+    const double hi = NativeProtoaccMaxLatency(fmt.message, 60);
+    if (predicted >= lo && predicted <= hi) {
+      ++within_bounds;
+    }
+    // The point estimate must be far tighter than the midpoint-vs-span
+    // uncertainty of the bounds whenever the bounds are loose.
+    if (hi > lo * 1.5) {
+      EXPECT_LT(err, (hi - lo) / actual) << fmt.name;
+    }
+  }
+  EXPECT_LT(sum_err / static_cast<double>(formats.size()), 0.10);
+  EXPECT_LT(max_err, 0.30);
+  EXPECT_GE(within_bounds, formats.size() - 2);  // consistent with Fig 3
+}
+
+TEST(ProtoaccPetri, DeterministicAcrossCalls) {
+  const InterfaceRegistry& reg = InterfaceRegistry::Default();
+  ProtoaccPetriInterface net(reg.Get("protoacc").pnet_path);
+  const MessageInstance msg = NestedMessage(5, 10, 3);
+  EXPECT_EQ(net.PredictLatency(msg), net.PredictLatency(msg));
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/fifo.h"
+#include "src/sim/module.h"
+#include "src/sim/pipeline_model.h"
+
+namespace perfiface {
+namespace {
+
+TEST(Fifo, PushVisibleAfterCommit) {
+  Fifo<int> f("f", 4);
+  f.Push(1);
+  EXPECT_TRUE(f.Empty());  // staged, not yet visible
+  f.CommitStaged();
+  EXPECT_FALSE(f.Empty());
+  EXPECT_EQ(f.Front(), 1);
+  EXPECT_EQ(f.Pop(), 1);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(Fifo, CapacityIncludesStaged) {
+  Fifo<int> f("f", 2);
+  f.Push(1);
+  f.Push(2);
+  EXPECT_FALSE(f.CanPush());
+  f.CommitStaged();
+  EXPECT_FALSE(f.CanPush());
+  f.Pop();
+  EXPECT_TRUE(f.CanPush());
+}
+
+TEST(Fifo, CountsPushesAndPops) {
+  Fifo<int> f("f", 8);
+  for (int i = 0; i < 5; ++i) {
+    f.Push(i);
+  }
+  f.CommitStaged();
+  f.Pop();
+  f.Pop();
+  EXPECT_EQ(f.total_pushes(), 5u);
+  EXPECT_EQ(f.total_pops(), 2u);
+  EXPECT_EQ(f.Size(), 3u);
+}
+
+// A producer that emits `count` items, one per cycle.
+class Producer : public Module {
+ public:
+  Producer(Fifo<int>* out, int count) : Module("producer"), out_(out), remaining_(count) {}
+
+  void Tick(Cycles) override {
+    if (remaining_ > 0 && out_->CanPush()) {
+      out_->Push(remaining_--);
+    }
+  }
+  bool Idle() const override { return remaining_ == 0; }
+
+ private:
+  Fifo<int>* out_;
+  int remaining_;
+};
+
+// A consumer that pops one item per cycle.
+class Consumer : public Module {
+ public:
+  explicit Consumer(Fifo<int>* in) : Module("consumer"), in_(in) {}
+
+  void Tick(Cycles) override {
+    if (!in_->Empty()) {
+      in_->Pop();
+      ++consumed_;
+    }
+  }
+  bool Idle() const override { return in_->Empty(); }
+
+  int consumed() const { return consumed_; }
+
+ private:
+  Fifo<int>* in_;
+  int consumed_ = 0;
+};
+
+TEST(Engine, ProducerConsumerDrains) {
+  Fifo<int> f("f", 2);
+  Producer p(&f, 10);
+  Consumer c(&f);
+  Engine e;
+  e.AddModule(&p);
+  e.AddModule(&c);
+  e.AddFifo(&f);
+  EXPECT_TRUE(e.RunUntilIdle(1000));
+  EXPECT_EQ(c.consumed(), 10);
+  // 10 items at 1/cycle plus one cycle of pipeline fill.
+  EXPECT_LE(e.now(), 13u);
+}
+
+TEST(Engine, RunUntilIdleTimesOut) {
+  Fifo<int> f("f", 1);
+  Producer p(&f, 5);
+  Engine e;
+  e.AddModule(&p);
+  e.AddFifo(&f);
+  // No consumer: FIFO fills, producer never finishes.
+  EXPECT_FALSE(e.RunUntilIdle(50));
+}
+
+TEST(Engine, RunForAdvancesClock) {
+  Engine e;
+  e.RunFor(25);
+  EXPECT_EQ(e.now(), 25u);
+}
+
+TEST(PipelineModel, SingleStageSumsCosts) {
+  PipelineModel m({{3, 4, 5}}, {});
+  EXPECT_EQ(m.FinishTime(0, 0), 3u);
+  EXPECT_EQ(m.FinishTime(0, 1), 7u);
+  EXPECT_EQ(m.TotalLatency(), 12u);
+}
+
+TEST(PipelineModel, PerfectOverlapBottleneckDominates) {
+  // Stage 1 costs 10/item and dominates; with a large FIFO the total is
+  // fill (stage0 of item0) + items * bottleneck.
+  const std::size_t n = 6;
+  std::vector<std::vector<Cycles>> costs(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    costs[0].push_back(2);
+    costs[1].push_back(10);
+  }
+  PipelineModel m(std::move(costs), {100});
+  EXPECT_EQ(m.TotalLatency(), 2 + 10 * n);
+}
+
+TEST(PipelineModel, BackpressureWithUnitFifo) {
+  // Slow downstream with capacity-1 FIFO: upstream item i cannot start
+  // until downstream starts item i-1.
+  std::vector<std::vector<Cycles>> costs(2);
+  for (int i = 0; i < 4; ++i) {
+    costs[0].push_back(1);
+    costs[1].push_back(10);
+  }
+  PipelineModel m(std::move(costs), {1});
+  // Downstream starts at 1, 11, 21, 31 -> finishes at 41.
+  EXPECT_EQ(m.TotalLatency(), 41u);
+  EXPECT_EQ(m.StartTime(1, 3), 31u);
+  // Upstream item 3 waited for downstream start of item 2 (t=21).
+  EXPECT_EQ(m.StartTime(0, 3), 21u);
+}
+
+TEST(PipelineModel, FirstStartDelaysEverything) {
+  PipelineModel m({{5, 5}}, {}, 100);
+  EXPECT_EQ(m.FinishTime(0, 0), 105u);
+  EXPECT_EQ(m.TotalLatency(), 110u);
+}
+
+TEST(PipelineModel, DeeperFifoIncreasesOverlap) {
+  auto build = [](std::size_t cap) {
+    std::vector<std::vector<Cycles>> costs(2);
+    for (int i = 0; i < 8; ++i) {
+      costs[0].push_back(7);
+      costs[1].push_back(9);
+    }
+    return PipelineModel(std::move(costs), {cap}).TotalLatency();
+  };
+  EXPECT_LE(build(4), build(1));
+}
+
+}  // namespace
+}  // namespace perfiface

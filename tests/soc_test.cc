@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/soc/dse.h"
+#include "src/soc/ip_catalog.h"
+#include "src/soc/roofline.h"
+
+namespace perfiface {
+namespace {
+
+TEST(IpCatalog, HasFourBlocksWithVariants) {
+  const auto catalog = BuildIpCatalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  for (const auto& block : catalog) {
+    EXPECT_GE(block.variants.size(), 2u) << block.block;
+    for (const auto& v : block.variants) {
+      EXPECT_GT(v.area, 0.0);
+      EXPECT_GT(v.throughput, 0.0);
+    }
+  }
+}
+
+TEST(IpCatalog, MinerVariantsTradeAreaForLatency) {
+  const auto catalog = BuildIpCatalog();
+  const auto& miner = catalog[0];
+  ASSERT_EQ(miner.block, "bitcoin_miner");
+  for (std::size_t i = 1; i < miner.variants.size(); ++i) {
+    // Higher Loop: less area, less throughput.
+    EXPECT_LT(miner.variants[i].area, miner.variants[i - 1].area);
+    EXPECT_LT(miner.variants[i].throughput, miner.variants[i - 1].throughput);
+  }
+}
+
+TEST(Dse, EnumeratesAllCombinations) {
+  const auto catalog = BuildIpCatalog();
+  std::size_t expected = 1;
+  for (const auto& b : catalog) {
+    expected *= b.variants.size();
+  }
+  const auto configs = ExploreSocDesigns(catalog, SocRequirements{});
+  EXPECT_EQ(configs.size(), expected);
+}
+
+TEST(Dse, BestDesignFitsBudgetAndMeetsRequirements) {
+  const auto catalog = BuildIpCatalog();
+  SocRequirements req;
+  req.area_budget = 1500;
+  req.hash_rate = 0.02;
+  const SocConfig best = BestSocDesign(catalog, req);
+  EXPECT_TRUE(best.fits_budget);
+  EXPECT_LE(best.total_area, req.area_budget);
+  EXPECT_GE(best.score, 1.0);  // all requirements met
+}
+
+TEST(Dse, TighterBudgetForcesSmallerMiner) {
+  // The area/latency tradeoff of Fig 1 in action: shrinking the budget must
+  // push the chosen miner variant toward higher Loop (smaller area).
+  const auto catalog = BuildIpCatalog();
+  SocRequirements loose;
+  loose.area_budget = 2000;
+  loose.hash_rate = 0.01;
+  SocRequirements tight = loose;
+  tight.area_budget = 600;
+
+  auto miner_area = [&](const SocConfig& cfg) {
+    for (const auto& c : cfg.choices) {
+      if (c.block == "bitcoin_miner") {
+        return c.variant.area;
+      }
+    }
+    ADD_FAILURE();
+    return 0.0;
+  };
+  const double loose_area = miner_area(BestSocDesign(catalog, loose));
+  const double tight_area = miner_area(BestSocDesign(catalog, tight));
+  EXPECT_LE(tight_area, loose_area);
+}
+
+TEST(Dse, InfeasibleBudgetAborts) {
+  const auto catalog = BuildIpCatalog();
+  SocRequirements impossible;
+  impossible.area_budget = 10;  // nothing fits
+  EXPECT_DEATH(BestSocDesign(catalog, impossible), "no configuration fits");
+}
+
+TEST(Dse, RankingPutsFeasibleFirst) {
+  const auto catalog = BuildIpCatalog();
+  SocRequirements req;
+  req.area_budget = 900;
+  const auto configs = ExploreSocDesigns(catalog, req);
+  bool seen_infeasible = false;
+  for (const auto& c : configs) {
+    if (!c.fits_budget) {
+      seen_infeasible = true;
+    } else {
+      EXPECT_FALSE(seen_infeasible) << "feasible config ranked after infeasible one";
+    }
+  }
+}
+
+TEST(Roofline, AttainableIsMinOfCeilings) {
+  GablesSoc soc;
+  soc.memory_bytes_per_cycle = 10;
+  soc.ips.push_back(GablesIp{"a", /*peak=*/100, /*intensity=*/4});
+  // Bandwidth-bound at small shares: 4 * 0.1 * 10 = 4.
+  EXPECT_DOUBLE_EQ(GablesAttainable(soc, 0, 0.1), 4.0);
+  // Compute-bound at large shares: min(100, 4 * 1.0 * 10) = 40... still bw.
+  EXPECT_DOUBLE_EQ(GablesAttainable(soc, 0, 1.0), 40.0);
+  soc.ips[0].ops_per_byte = 100;
+  EXPECT_DOUBLE_EQ(GablesAttainable(soc, 0, 1.0), 100.0);  // hits the peak
+}
+
+TEST(Roofline, PartitionFavorsTheStarvedIp) {
+  GablesSoc soc;
+  soc.memory_bytes_per_cycle = 8;
+  soc.ips.push_back(GablesIp{"hungry", 1000, 1});  // needs bandwidth
+  soc.ips.push_back(GablesIp{"frugal", 1000, 100});
+  // Equal requirements: the optimizer must give most bandwidth to `hungry`.
+  const GablesPartition p = BestBandwidthPartition(soc, {4, 4}, 20);
+  EXPECT_GT(p.shares[0], p.shares[1]);
+  EXPECT_GE(p.min_headroom, 1.0);
+}
+
+TEST(Roofline, SharesFormAPartition) {
+  GablesSoc soc;
+  soc.memory_bytes_per_cycle = 4;
+  for (int i = 0; i < 3; ++i) {
+    soc.ips.push_back(GablesIp{"ip" + std::to_string(i), 10, 2});
+  }
+  const GablesPartition p = BestBandwidthPartition(soc, {1, 1, 1}, 10);
+  double sum = 0;
+  for (double s : p.shares) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Roofline, InfeasibleMixReportsHeadroomBelowOne) {
+  GablesSoc soc;
+  soc.memory_bytes_per_cycle = 1;
+  soc.ips.push_back(GablesIp{"a", 100, 1});
+  soc.ips.push_back(GablesIp{"b", 100, 1});
+  const GablesPartition p = BestBandwidthPartition(soc, {10, 10}, 10);
+  EXPECT_LT(p.min_headroom, 1.0);
+}
+
+}  // namespace
+}  // namespace perfiface

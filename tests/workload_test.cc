@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/accel/protoacc/wire.h"
+#include "src/workload/image_gen.h"
+#include "src/workload/message_gen.h"
+#include "src/workload/vta_gen.h"
+
+namespace perfiface {
+namespace {
+
+TEST(ImageGen, Deterministic) {
+  const RawImage a = GenerateImage(ImageClass::kNoise, 64, 64, 5);
+  const RawImage b = GenerateImage(ImageClass::kNoise, 64, 64, 5);
+  EXPECT_EQ(a.pixels(), b.pixels());
+  const RawImage c = GenerateImage(ImageClass::kNoise, 64, 64, 6);
+  EXPECT_NE(a.pixels(), c.pixels());
+}
+
+TEST(ImageGen, ClassesOrderByCompressibility) {
+  const CompressedImage flat = Encode(GenerateImage(ImageClass::kFlat, 128, 128, 1), 75);
+  const CompressedImage grad = Encode(GenerateImage(ImageClass::kGradient, 128, 128, 1), 75);
+  const CompressedImage noise = Encode(GenerateImage(ImageClass::kNoise, 128, 128, 1), 75);
+  EXPECT_LT(flat.total_coded_bits(), grad.total_coded_bits());
+  EXPECT_LT(grad.total_coded_bits(), noise.total_coded_bits());
+}
+
+TEST(ImageGen, CorpusSpansBothBottleneckRegimes) {
+  const auto corpus = GenerateImageCorpus(60, 42);
+  ASSERT_EQ(corpus.size(), 60u);
+  int vld_bound = 0;
+  int writer_bound = 0;
+  for (const auto& w : corpus) {
+    const double size = static_cast<double>(w.compressed.orig_size()) / 64.0;
+    const double writer = size * 136.5;
+    const double vld = size / 64.0 * ((5.0 / w.compressed.compress_rate()) * 3.0 + 6.0) * 1.5;
+    (vld > writer ? vld_bound : writer_bound)++;
+  }
+  EXPECT_GT(vld_bound, 5);
+  EXPECT_GT(writer_bound, 5);
+}
+
+TEST(ImageGen, CompositeHasHighStripeVariance) {
+  // The composite class exists to stress the aggregate compress_rate
+  // abstraction: its per-stripe bit counts must vary much more than a
+  // uniform texture's.
+  auto stripe_cv = [](const CompressedImage& c) {
+    double sum = 0;
+    double sum2 = 0;
+    std::size_t n = 0;
+    std::uint64_t acc = 0;
+    std::size_t k = 0;
+    for (const auto& b : c.blocks()) {
+      acc += b.coded_bits;
+      if (++k == 8) {
+        const double v = static_cast<double>(acc);
+        sum += v;
+        sum2 += v * v;
+        acc = 0;
+        k = 0;
+        ++n;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum2 / static_cast<double>(n) - mean * mean;
+    return std::sqrt(std::max(0.0, var)) / mean;
+  };
+  const CompressedImage comp = Encode(GenerateImage(ImageClass::kComposite, 128, 128, 3), 75);
+  const CompressedImage tex = Encode(GenerateImage(ImageClass::kTexture, 128, 128, 3), 75);
+  EXPECT_GT(stripe_cv(comp), 2.0 * stripe_cv(tex));
+}
+
+TEST(MessageGen, DeterministicAndShapeBounded) {
+  MessageShape shape;
+  shape.max_depth = 2;
+  shape.max_fields = 10;
+  const MessageInstance a = GenerateMessage(shape, 3);
+  const MessageInstance b = GenerateMessage(shape, 3);
+  EXPECT_EQ(SerializeMessage(a), SerializeMessage(b));
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const MessageInstance m = GenerateMessage(shape, seed);
+    EXPECT_LE(m.MaxNestingDepth(), 2u);
+  }
+}
+
+TEST(MessageGen, RealisticTraceIsSmallHeavyWithTail) {
+  const auto trace = RealisticRpcTrace(400, 7);
+  ASSERT_EQ(trace.size(), 400u);
+  int small = 0;
+  int large = 0;
+  for (const auto& m : trace) {
+    const Bytes s = SerializedSize(m);
+    if (s <= 300) ++small;
+    if (s >= 4096) ++large;
+  }
+  EXPECT_GT(small, 150);  // majority small
+  EXPECT_GT(large, 10);   // visible bulk tail
+  EXPECT_LT(large, 100);
+}
+
+TEST(VtaGen, ProgramsValidateAndVary) {
+  const auto corpus = GenerateVtaCorpus(50, 11);
+  ASSERT_EQ(corpus.size(), 50u);
+  std::set<std::size_t> sizes;
+  for (const auto& p : corpus) {
+    EXPECT_TRUE(ValidateProgram(p).empty());
+    sizes.insert(p.size());
+  }
+  EXPECT_GT(sizes.size(), 10u);  // diverse program lengths
+}
+
+TEST(VtaGen, Deterministic) {
+  const auto a = GenerateVtaCorpus(5, 3);
+  const auto b = GenerateVtaCorpus(5, 3);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Disassemble(a[i]), Disassemble(b[i]));
+  }
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -1,0 +1,211 @@
+// pnet_tool — command-line workbench for .pnet performance interfaces.
+//
+//   pnet_tool lint <file.pnet>               parse + structural lint
+//   pnet_tool show <file.pnet>               summary (after `use` expansion)
+//   pnet_tool expand <file.pnet>             print the flattened document
+//   pnet_tool run <file.pnet> <inject place attr=v[,attr=v...] xN> ...
+//       [--observe place] [--until T]
+//
+// Example:
+//   pnet_tool run src/core/interfaces/jpeg.pnet \
+//       --observe done inject hdr_in x1 inject vld_in bits=80,blocks=8 x40
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/loc.h"
+#include "src/common/strings.h"
+#include "src/core/pnet.h"
+#include "src/petri/analysis.h"
+#include "src/petri/sim.h"
+
+namespace perfiface {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pnet_tool <lint|show|expand|run> <file.pnet> [args]\n"
+               "  run args: [--observe PLACE] [--until T]\n"
+               "            inject PLACE [attr=v,attr=v...] [xN]\n");
+  return 2;
+}
+
+std::string DirOf(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+LoadedNet LoadOrDie(const std::string& path) {
+  LoadedNet loaded = LoadPnetFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+    std::exit(1);
+  }
+  return loaded;
+}
+
+int CmdLint(const std::string& path) {
+  const LoadedNet loaded = LoadOrDie(path);
+  const auto issues = LintNet(*loaded.net);
+  for (const std::string& issue : issues) {
+    std::printf("lint: %s\n", issue.c_str());
+  }
+  std::printf("%s: %s (%zu issue%s)\n", path.c_str(), issues.empty() ? "clean" : "has issues",
+              issues.size(), issues.size() == 1 ? "" : "s");
+  return issues.empty() ? 0 : 1;
+}
+
+int CmdShow(const std::string& path) {
+  const LoadedNet loaded = LoadOrDie(path);
+  const NetSummary s = Summarize(*loaded.net);
+  std::printf("net %s\n", loaded.name.c_str());
+  std::printf("  places: %zu, transitions: %zu, arcs: %zu, bounded: %s\n", s.places,
+              s.transitions, s.arcs, s.structurally_bounded ? "yes" : "no");
+  std::printf("  attrs:");
+  for (const std::string& a : loaded.net->attr_names()) {
+    std::printf(" %s", a.c_str());
+  }
+  std::printf("\n  spec LoC: %zu\n", CountLocInFile(path, LocSyntax::kPnet));
+  for (const Place& p : loaded.net->places()) {
+    std::printf("  place %-16s cap=%zu init=%zu\n", p.name.c_str(), p.capacity,
+                p.initial_tokens);
+  }
+  for (const TransitionSpec& t : loaded.net->transitions()) {
+    std::printf("  trans %-16s in=%zu out=%zu servers=%zu%s\n", t.name.c_str(),
+                t.inputs.size(), t.outputs.size(), t.servers, t.guard ? " guarded" : "");
+  }
+  return 0;
+}
+
+int CmdExpand(const std::string& path) {
+  const PnetExpansion expanded = ExpandPnetIncludes(ReadFileOrDie(path), DirOf(path));
+  if (!expanded.ok) {
+    std::fprintf(stderr, "error: %s\n", expanded.error.c_str());
+    return 1;
+  }
+  std::fputs(expanded.text.c_str(), stdout);
+  return 0;
+}
+
+int CmdRun(const std::string& path, const std::vector<std::string>& args) {
+  const LoadedNet loaded = LoadOrDie(path);
+  PetriSim sim(loaded.net.get());
+
+  std::vector<PlaceId> observed;
+  Cycles until = 1ULL << 40;
+  std::size_t i = 0;
+  struct Injection {
+    PlaceId place;
+    Token token;
+    std::size_t count;
+  };
+  std::vector<Injection> injections;
+
+  while (i < args.size()) {
+    const std::string& arg = args[i];
+    if (arg == "--observe" && i + 1 < args.size()) {
+      if (!loaded.net->HasPlace(args[i + 1])) {
+        std::fprintf(stderr, "error: no place '%s'\n", args[i + 1].c_str());
+        return 1;
+      }
+      observed.push_back(loaded.net->PlaceByName(args[i + 1]));
+      sim.Observe(observed.back());
+      i += 2;
+    } else if (arg == "--until" && i + 1 < args.size()) {
+      until = static_cast<Cycles>(std::strtoull(args[i + 1].c_str(), nullptr, 10));
+      i += 2;
+    } else if (arg == "inject" && i + 1 < args.size()) {
+      Injection inj;
+      if (!loaded.net->HasPlace(args[i + 1])) {
+        std::fprintf(stderr, "error: no place '%s'\n", args[i + 1].c_str());
+        return 1;
+      }
+      inj.place = loaded.net->PlaceByName(args[i + 1]);
+      inj.count = 1;
+      inj.token.attrs.assign(loaded.net->attr_names().size(), 0);
+      i += 2;
+      // Optional attr list and repeat count.
+      while (i < args.size() && args[i] != "inject" && !StartsWith(args[i], "--")) {
+        if (args[i].size() > 1 && args[i][0] == 'x' &&
+            std::isdigit(static_cast<unsigned char>(args[i][1]))) {
+          inj.count = static_cast<std::size_t>(std::atoll(args[i].c_str() + 1));
+        } else {
+          for (const std::string& kv : SplitString(args[i], ',')) {
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos) {
+              std::fprintf(stderr, "error: bad attr '%s'\n", kv.c_str());
+              return 1;
+            }
+            const std::size_t slot = loaded.net->FindAttr(kv.substr(0, eq));
+            if (slot == PetriNet::kNoAttr) {
+              std::fprintf(stderr, "error: unknown attr '%s'\n", kv.substr(0, eq).c_str());
+              return 1;
+            }
+            inj.token.attrs[slot] = std::atof(kv.c_str() + eq + 1);
+          }
+        }
+        ++i;
+      }
+      injections.push_back(inj);
+    } else {
+      return Usage();
+    }
+  }
+
+  for (const Injection& inj : injections) {
+    for (std::size_t k = 0; k < inj.count; ++k) {
+      sim.Inject(inj.place, inj.token);
+    }
+  }
+  const bool quiesced = sim.Run(until);
+  std::printf("%s at t=%llu after %llu firings\n", quiesced ? "quiesced" : "stopped",
+              static_cast<unsigned long long>(sim.now()),
+              static_cast<unsigned long long>(sim.total_firings()));
+  for (PlaceId p : observed) {
+    const auto& log = sim.arrivals(p);
+    std::printf("place %s: %zu arrivals", loaded.net->places()[p].name.c_str(), log.size());
+    if (!log.empty()) {
+      std::printf(", first=%llu last=%llu", static_cast<unsigned long long>(log.front().time),
+                  static_cast<unsigned long long>(log.back().time));
+      if (log.size() >= 2 && log.back().time > log.front().time) {
+        std::printf(", steady tput=%.6f tokens/cycle",
+                    static_cast<double>(log.size() - 1) /
+                        static_cast<double>(log.back().time - log.front().time));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> rest;
+  for (int i = 3; i < argc; ++i) {
+    rest.emplace_back(argv[i]);
+  }
+  if (cmd == "lint") {
+    return CmdLint(path);
+  }
+  if (cmd == "show") {
+    return CmdShow(path);
+  }
+  if (cmd == "expand") {
+    return CmdExpand(path);
+  }
+  if (cmd == "run") {
+    return CmdRun(path, rest);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace perfiface
+
+int main(int argc, char** argv) { return perfiface::Main(argc, argv); }

@@ -1,0 +1,170 @@
+// psc_tool — command-line runner for PerfScript interface programs.
+//
+//   psc_tool check <file.psc>                       parse only
+//   psc_tool list <file.psc>                        list functions
+//   psc_tool eval <file.psc> <function> [k=v ...]   call with an object
+//       [--const name=value ...]                    define globals
+//
+// The workload object passed to the function exposes the k=v pairs as
+// attributes. Nested objects (for `for sub in msg:`) can be expressed with
+// the children=N shorthand, which attaches N identical child objects
+// carrying the same attributes (enough to exercise recursive interfaces
+// like Fig 3's read_cost from the shell).
+//
+// Example:
+//   psc_tool eval src/core/interfaces/protoacc_fig3.psc tput_protoacc_ser \
+//       --const avg_mem_latency=60 num_fields=12 num_writes=9 children=2
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/loc.h"
+#include "src/common/strings.h"
+#include "src/perfscript/interp.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: psc_tool <check|list> <file.psc>\n"
+               "       psc_tool eval <file.psc> <function> [--const n=v ...] [k=v ...]\n");
+  return 2;
+}
+
+// A shell-constructed workload object: flat numeric attributes plus an
+// optional uniform child list (children=N).
+class KvObject : public ScriptObject {
+ public:
+  std::optional<double> GetAttr(std::string_view name) const override {
+    for (const auto& kv : attrs_) {
+      if (kv.first == name) {
+        return kv.second;
+      }
+    }
+    return std::nullopt;
+  }
+  std::size_t NumChildren() const override { return children_.size(); }
+  const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
+
+  void Set(const std::string& key, double value) { attrs_.emplace_back(key, value); }
+  void AddChild(std::unique_ptr<KvObject> child) { children_.push_back(std::move(child)); }
+  const std::vector<std::pair<std::string, double>>& attrs() const { return attrs_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> attrs_;
+  std::vector<std::unique_ptr<KvObject>> children_;
+};
+
+Program ParseOrDie(const std::string& path) {
+  ParseResult parsed = ParseProgram(ReadFileOrDie(path));
+  if (!parsed.ok) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    std::exit(1);
+  }
+  return std::move(parsed.program);
+}
+
+int CmdCheck(const std::string& path) {
+  (void)ParseOrDie(path);
+  std::printf("%s: ok (%zu effective LoC)\n", path.c_str(),
+              CountLocInFile(path, LocSyntax::kScript));
+  return 0;
+}
+
+int CmdList(const std::string& path) {
+  const Program program = ParseOrDie(path);
+  for (const FunctionDef& f : program.functions) {
+    std::printf("%s(", f.name.c_str());
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ", ", f.params[i].c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+int CmdEval(const std::string& path, const std::string& function,
+            const std::vector<std::string>& args) {
+  const Program program = ParseOrDie(path);
+  Interpreter interp(&program);
+
+  KvObject root;
+  int children = 0;
+  std::size_t i = 0;
+  while (i < args.size()) {
+    if (args[i] == "--const" && i + 1 < args.size()) {
+      const auto eq = args[i + 1].find('=');
+      if (eq == std::string::npos) {
+        return Usage();
+      }
+      interp.SetGlobal(args[i + 1].substr(0, eq), std::atof(args[i + 1].c_str() + eq + 1));
+      i += 2;
+      continue;
+    }
+    const auto eq = args[i].find('=');
+    if (eq == std::string::npos) {
+      return Usage();
+    }
+    const std::string key = args[i].substr(0, eq);
+    const double value = std::atof(args[i].c_str() + eq + 1);
+    if (key == "children") {
+      children = static_cast<int>(value);
+    } else {
+      root.Set(key, value);
+    }
+    ++i;
+  }
+  for (int c = 0; c < children; ++c) {
+    auto child = std::make_unique<KvObject>();
+    for (const auto& kv : root.attrs()) {
+      child->Set(kv.first, kv.second);
+    }
+    root.AddChild(std::move(child));
+  }
+
+  const EvalResult result = interp.Call(function, {Value::Object(&root)});
+  if (!result.ok) {
+    std::fprintf(stderr, "runtime error: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (result.value.IsNumber()) {
+    std::printf("%.10g\n", result.value.num);
+  } else {
+    std::printf("<object>\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd == "check") {
+    return CmdCheck(path);
+  }
+  if (cmd == "list") {
+    return CmdList(path);
+  }
+  if (cmd == "eval") {
+    if (argc < 4) {
+      return Usage();
+    }
+    std::vector<std::string> rest;
+    for (int i = 4; i < argc; ++i) {
+      rest.emplace_back(argv[i]);
+    }
+    return CmdEval(path, argv[3], rest);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace perfiface
+
+int main(int argc, char** argv) { return perfiface::Main(argc, argv); }
