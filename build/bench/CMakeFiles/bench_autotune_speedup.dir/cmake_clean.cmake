@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autotune_speedup.dir/bench_autotune_speedup.cc.o"
+  "CMakeFiles/bench_autotune_speedup.dir/bench_autotune_speedup.cc.o.d"
+  "bench_autotune_speedup"
+  "bench_autotune_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autotune_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

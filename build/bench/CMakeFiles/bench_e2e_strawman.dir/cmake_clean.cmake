@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_strawman.dir/bench_e2e_strawman.cc.o"
+  "CMakeFiles/bench_e2e_strawman.dir/bench_e2e_strawman.cc.o.d"
+  "bench_e2e_strawman"
+  "bench_e2e_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example1_soc.dir/bench_example1_soc.cc.o"
+  "CMakeFiles/bench_example1_soc.dir/bench_example1_soc.cc.o.d"
+  "bench_example1_soc"
+  "bench_example1_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example1_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2_offload.dir/bench_example2_offload.cc.o"
+  "CMakeFiles/bench_example2_offload.dir/bench_example2_offload.cc.o.d"
+  "bench_example2_offload"
+  "bench_example2_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_text_interfaces.dir/bench_fig1_text_interfaces.cc.o"
+  "CMakeFiles/bench_fig1_text_interfaces.dir/bench_fig1_text_interfaces.cc.o.d"
+  "bench_fig1_text_interfaces"
+  "bench_fig1_text_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_text_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

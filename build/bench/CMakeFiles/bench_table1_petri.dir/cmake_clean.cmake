@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_petri.dir/bench_table1_petri.cc.o"
+  "CMakeFiles/bench_table1_petri.dir/bench_table1_petri.cc.o.d"
+  "bench_table1_petri"
+  "bench_table1_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_an_interface.dir/author_an_interface.cpp.o"
+  "CMakeFiles/author_an_interface.dir/author_an_interface.cpp.o.d"
+  "author_an_interface"
+  "author_an_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_an_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_an_interface.dir/extract_an_interface.cpp.o"
+  "CMakeFiles/extract_an_interface.dir/extract_an_interface.cpp.o.d"
+  "extract_an_interface"
+  "extract_an_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_an_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extract_an_interface.
+# This may be replaced when dependencies are built.

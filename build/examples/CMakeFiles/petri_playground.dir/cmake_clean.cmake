@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_playground.dir/petri_playground.cpp.o"
+  "CMakeFiles/petri_playground.dir/petri_playground.cpp.o.d"
+  "petri_playground"
+  "petri_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

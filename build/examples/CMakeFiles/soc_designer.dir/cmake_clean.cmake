@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_designer.dir/soc_designer.cpp.o"
+  "CMakeFiles/soc_designer.dir/soc_designer.cpp.o.d"
+  "soc_designer"
+  "soc_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

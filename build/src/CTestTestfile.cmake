@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("petri")
+subdirs("perfscript")
+subdirs("accel")
+subdirs("baseline")
+subdirs("workload")
+subdirs("core")
+subdirs("extract")
+subdirs("autotune")
+subdirs("soc")
+subdirs("offload")

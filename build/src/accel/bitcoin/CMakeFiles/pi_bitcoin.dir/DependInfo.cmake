@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/bitcoin/miner.cc" "src/accel/bitcoin/CMakeFiles/pi_bitcoin.dir/miner.cc.o" "gcc" "src/accel/bitcoin/CMakeFiles/pi_bitcoin.dir/miner.cc.o.d"
+  "/root/repo/src/accel/bitcoin/sha256.cc" "src/accel/bitcoin/CMakeFiles/pi_bitcoin.dir/sha256.cc.o" "gcc" "src/accel/bitcoin/CMakeFiles/pi_bitcoin.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

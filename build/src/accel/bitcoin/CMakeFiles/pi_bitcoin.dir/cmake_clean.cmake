@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_bitcoin.dir/miner.cc.o"
+  "CMakeFiles/pi_bitcoin.dir/miner.cc.o.d"
+  "CMakeFiles/pi_bitcoin.dir/sha256.cc.o"
+  "CMakeFiles/pi_bitcoin.dir/sha256.cc.o.d"
+  "libpi_bitcoin.a"
+  "libpi_bitcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_bitcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

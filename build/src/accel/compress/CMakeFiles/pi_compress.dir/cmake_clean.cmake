@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_compress.dir/compress_sim.cc.o"
+  "CMakeFiles/pi_compress.dir/compress_sim.cc.o.d"
+  "CMakeFiles/pi_compress.dir/lz.cc.o"
+  "CMakeFiles/pi_compress.dir/lz.cc.o.d"
+  "libpi_compress.a"
+  "libpi_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

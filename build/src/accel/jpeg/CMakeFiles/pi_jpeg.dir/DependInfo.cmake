@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/jpeg/codec.cc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/codec.cc.o" "gcc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/codec.cc.o.d"
+  "/root/repo/src/accel/jpeg/dct.cc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/dct.cc.o" "gcc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/dct.cc.o.d"
+  "/root/repo/src/accel/jpeg/decoder_sim.cc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/decoder_sim.cc.o" "gcc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/decoder_sim.cc.o.d"
+  "/root/repo/src/accel/jpeg/image.cc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/image.cc.o" "gcc" "src/accel/jpeg/CMakeFiles/pi_jpeg.dir/image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_jpeg.dir/codec.cc.o"
+  "CMakeFiles/pi_jpeg.dir/codec.cc.o.d"
+  "CMakeFiles/pi_jpeg.dir/dct.cc.o"
+  "CMakeFiles/pi_jpeg.dir/dct.cc.o.d"
+  "CMakeFiles/pi_jpeg.dir/decoder_sim.cc.o"
+  "CMakeFiles/pi_jpeg.dir/decoder_sim.cc.o.d"
+  "CMakeFiles/pi_jpeg.dir/image.cc.o"
+  "CMakeFiles/pi_jpeg.dir/image.cc.o.d"
+  "libpi_jpeg.a"
+  "libpi_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_optimusprime.dir/op_sim.cc.o"
+  "CMakeFiles/pi_optimusprime.dir/op_sim.cc.o.d"
+  "libpi_optimusprime.a"
+  "libpi_optimusprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_optimusprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/protoacc/deserializer_sim.cc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/deserializer_sim.cc.o" "gcc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/deserializer_sim.cc.o.d"
+  "/root/repo/src/accel/protoacc/message.cc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/message.cc.o" "gcc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/message.cc.o.d"
+  "/root/repo/src/accel/protoacc/serializer_sim.cc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/serializer_sim.cc.o" "gcc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/serializer_sim.cc.o.d"
+  "/root/repo/src/accel/protoacc/wire.cc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/wire.cc.o" "gcc" "src/accel/protoacc/CMakeFiles/pi_protoacc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pi_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_protoacc.dir/deserializer_sim.cc.o"
+  "CMakeFiles/pi_protoacc.dir/deserializer_sim.cc.o.d"
+  "CMakeFiles/pi_protoacc.dir/message.cc.o"
+  "CMakeFiles/pi_protoacc.dir/message.cc.o.d"
+  "CMakeFiles/pi_protoacc.dir/serializer_sim.cc.o"
+  "CMakeFiles/pi_protoacc.dir/serializer_sim.cc.o.d"
+  "CMakeFiles/pi_protoacc.dir/wire.cc.o"
+  "CMakeFiles/pi_protoacc.dir/wire.cc.o.d"
+  "libpi_protoacc.a"
+  "libpi_protoacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_protoacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/vta/gemm_core.cc" "src/accel/vta/CMakeFiles/pi_vta.dir/gemm_core.cc.o" "gcc" "src/accel/vta/CMakeFiles/pi_vta.dir/gemm_core.cc.o.d"
+  "/root/repo/src/accel/vta/isa.cc" "src/accel/vta/CMakeFiles/pi_vta.dir/isa.cc.o" "gcc" "src/accel/vta/CMakeFiles/pi_vta.dir/isa.cc.o.d"
+  "/root/repo/src/accel/vta/vta_sim.cc" "src/accel/vta/CMakeFiles/pi_vta.dir/vta_sim.cc.o" "gcc" "src/accel/vta/CMakeFiles/pi_vta.dir/vta_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pi_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_vta.dir/gemm_core.cc.o"
+  "CMakeFiles/pi_vta.dir/gemm_core.cc.o.d"
+  "CMakeFiles/pi_vta.dir/isa.cc.o"
+  "CMakeFiles/pi_vta.dir/isa.cc.o.d"
+  "CMakeFiles/pi_vta.dir/vta_sim.cc.o"
+  "CMakeFiles/pi_vta.dir/vta_sim.cc.o.d"
+  "libpi_vta.a"
+  "libpi_vta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_vta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

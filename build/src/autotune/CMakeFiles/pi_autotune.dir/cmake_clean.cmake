@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_autotune.dir/backend.cc.o"
+  "CMakeFiles/pi_autotune.dir/backend.cc.o.d"
+  "CMakeFiles/pi_autotune.dir/schedule.cc.o"
+  "CMakeFiles/pi_autotune.dir/schedule.cc.o.d"
+  "CMakeFiles/pi_autotune.dir/tuner.cc.o"
+  "CMakeFiles/pi_autotune.dir/tuner.cc.o.d"
+  "libpi_autotune.a"
+  "libpi_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

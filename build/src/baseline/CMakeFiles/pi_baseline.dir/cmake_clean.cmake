@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_baseline.dir/cpu_serializer.cc.o"
+  "CMakeFiles/pi_baseline.dir/cpu_serializer.cc.o.d"
+  "libpi_baseline.a"
+  "libpi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_common.dir/loc.cc.o"
+  "CMakeFiles/pi_common.dir/loc.cc.o.d"
+  "CMakeFiles/pi_common.dir/rng.cc.o"
+  "CMakeFiles/pi_common.dir/rng.cc.o.d"
+  "CMakeFiles/pi_common.dir/stats.cc.o"
+  "CMakeFiles/pi_common.dir/stats.cc.o.d"
+  "CMakeFiles/pi_common.dir/strings.cc.o"
+  "CMakeFiles/pi_common.dir/strings.cc.o.d"
+  "libpi_common.a"
+  "libpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

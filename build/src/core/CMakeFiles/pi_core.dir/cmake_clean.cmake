@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_core.dir/native_interfaces.cc.o"
+  "CMakeFiles/pi_core.dir/native_interfaces.cc.o.d"
+  "CMakeFiles/pi_core.dir/petri_interfaces.cc.o"
+  "CMakeFiles/pi_core.dir/petri_interfaces.cc.o.d"
+  "CMakeFiles/pi_core.dir/pnet.cc.o"
+  "CMakeFiles/pi_core.dir/pnet.cc.o.d"
+  "CMakeFiles/pi_core.dir/program_interface.cc.o"
+  "CMakeFiles/pi_core.dir/program_interface.cc.o.d"
+  "CMakeFiles/pi_core.dir/registry.cc.o"
+  "CMakeFiles/pi_core.dir/registry.cc.o.d"
+  "CMakeFiles/pi_core.dir/script_objects.cc.o"
+  "CMakeFiles/pi_core.dir/script_objects.cc.o.d"
+  "CMakeFiles/pi_core.dir/text_interface.cc.o"
+  "CMakeFiles/pi_core.dir/text_interface.cc.o.d"
+  "libpi_core.a"
+  "libpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_extract.dir/extractor.cc.o"
+  "CMakeFiles/pi_extract.dir/extractor.cc.o.d"
+  "CMakeFiles/pi_extract.dir/fit.cc.o"
+  "CMakeFiles/pi_extract.dir/fit.cc.o.d"
+  "libpi_extract.a"
+  "libpi_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

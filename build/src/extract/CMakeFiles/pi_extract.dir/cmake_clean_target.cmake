@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpi_extract.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_mem.dir/memory_system.cc.o"
+  "CMakeFiles/pi_mem.dir/memory_system.cc.o.d"
+  "libpi_mem.a"
+  "libpi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_offload.dir/advisor.cc.o"
+  "CMakeFiles/pi_offload.dir/advisor.cc.o.d"
+  "CMakeFiles/pi_offload.dir/replay.cc.o"
+  "CMakeFiles/pi_offload.dir/replay.cc.o.d"
+  "libpi_offload.a"
+  "libpi_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

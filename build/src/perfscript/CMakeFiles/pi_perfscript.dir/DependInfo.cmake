@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfscript/interp.cc" "src/perfscript/CMakeFiles/pi_perfscript.dir/interp.cc.o" "gcc" "src/perfscript/CMakeFiles/pi_perfscript.dir/interp.cc.o.d"
+  "/root/repo/src/perfscript/lexer.cc" "src/perfscript/CMakeFiles/pi_perfscript.dir/lexer.cc.o" "gcc" "src/perfscript/CMakeFiles/pi_perfscript.dir/lexer.cc.o.d"
+  "/root/repo/src/perfscript/parser.cc" "src/perfscript/CMakeFiles/pi_perfscript.dir/parser.cc.o" "gcc" "src/perfscript/CMakeFiles/pi_perfscript.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_perfscript.dir/interp.cc.o"
+  "CMakeFiles/pi_perfscript.dir/interp.cc.o.d"
+  "CMakeFiles/pi_perfscript.dir/lexer.cc.o"
+  "CMakeFiles/pi_perfscript.dir/lexer.cc.o.d"
+  "CMakeFiles/pi_perfscript.dir/parser.cc.o"
+  "CMakeFiles/pi_perfscript.dir/parser.cc.o.d"
+  "libpi_perfscript.a"
+  "libpi_perfscript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_perfscript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/analysis.cc" "src/petri/CMakeFiles/pi_petri.dir/analysis.cc.o" "gcc" "src/petri/CMakeFiles/pi_petri.dir/analysis.cc.o.d"
+  "/root/repo/src/petri/net.cc" "src/petri/CMakeFiles/pi_petri.dir/net.cc.o" "gcc" "src/petri/CMakeFiles/pi_petri.dir/net.cc.o.d"
+  "/root/repo/src/petri/sim.cc" "src/petri/CMakeFiles/pi_petri.dir/sim.cc.o" "gcc" "src/petri/CMakeFiles/pi_petri.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

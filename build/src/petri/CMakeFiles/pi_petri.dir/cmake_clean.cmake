@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_petri.dir/analysis.cc.o"
+  "CMakeFiles/pi_petri.dir/analysis.cc.o.d"
+  "CMakeFiles/pi_petri.dir/net.cc.o"
+  "CMakeFiles/pi_petri.dir/net.cc.o.d"
+  "CMakeFiles/pi_petri.dir/sim.cc.o"
+  "CMakeFiles/pi_petri.dir/sim.cc.o.d"
+  "libpi_petri.a"
+  "libpi_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

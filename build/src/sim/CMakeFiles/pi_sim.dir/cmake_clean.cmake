@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_sim.dir/engine.cc.o"
+  "CMakeFiles/pi_sim.dir/engine.cc.o.d"
+  "libpi_sim.a"
+  "libpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

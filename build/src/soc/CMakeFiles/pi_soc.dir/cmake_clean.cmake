@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_soc.dir/dse.cc.o"
+  "CMakeFiles/pi_soc.dir/dse.cc.o.d"
+  "CMakeFiles/pi_soc.dir/ip_catalog.cc.o"
+  "CMakeFiles/pi_soc.dir/ip_catalog.cc.o.d"
+  "CMakeFiles/pi_soc.dir/roofline.cc.o"
+  "CMakeFiles/pi_soc.dir/roofline.cc.o.d"
+  "libpi_soc.a"
+  "libpi_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

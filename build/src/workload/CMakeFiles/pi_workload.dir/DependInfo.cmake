@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_gen.cc" "src/workload/CMakeFiles/pi_workload.dir/data_gen.cc.o" "gcc" "src/workload/CMakeFiles/pi_workload.dir/data_gen.cc.o.d"
+  "/root/repo/src/workload/image_gen.cc" "src/workload/CMakeFiles/pi_workload.dir/image_gen.cc.o" "gcc" "src/workload/CMakeFiles/pi_workload.dir/image_gen.cc.o.d"
+  "/root/repo/src/workload/message_gen.cc" "src/workload/CMakeFiles/pi_workload.dir/message_gen.cc.o" "gcc" "src/workload/CMakeFiles/pi_workload.dir/message_gen.cc.o.d"
+  "/root/repo/src/workload/vta_gen.cc" "src/workload/CMakeFiles/pi_workload.dir/vta_gen.cc.o" "gcc" "src/workload/CMakeFiles/pi_workload.dir/vta_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/jpeg/CMakeFiles/pi_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/protoacc/CMakeFiles/pi_protoacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/vta/CMakeFiles/pi_vta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pi_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

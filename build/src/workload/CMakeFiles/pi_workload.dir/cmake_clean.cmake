@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_workload.dir/data_gen.cc.o"
+  "CMakeFiles/pi_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/pi_workload.dir/image_gen.cc.o"
+  "CMakeFiles/pi_workload.dir/image_gen.cc.o.d"
+  "CMakeFiles/pi_workload.dir/message_gen.cc.o"
+  "CMakeFiles/pi_workload.dir/message_gen.cc.o.d"
+  "CMakeFiles/pi_workload.dir/vta_gen.cc.o"
+  "CMakeFiles/pi_workload.dir/vta_gen.cc.o.d"
+  "libpi_workload.a"
+  "libpi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcoin_test.dir/bitcoin_test.cc.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin_test.cc.o.d"
+  "bitcoin_test"
+  "bitcoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deser_test.dir/deser_test.cc.o"
+  "CMakeFiles/deser_test.dir/deser_test.cc.o.d"
+  "deser_test"
+  "deser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

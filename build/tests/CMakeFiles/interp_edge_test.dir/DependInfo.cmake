@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp_edge_test.cc" "tests/CMakeFiles/interp_edge_test.dir/interp_edge_test.cc.o" "gcc" "tests/CMakeFiles/interp_edge_test.dir/interp_edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/pi_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pi_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/pi_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/optimusprime/CMakeFiles/pi_optimusprime.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/bitcoin/CMakeFiles/pi_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/compress/CMakeFiles/pi_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/pi_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/pi_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfscript/CMakeFiles/pi_perfscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/vta/CMakeFiles/pi_vta.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/jpeg/CMakeFiles/pi_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/protoacc/CMakeFiles/pi_protoacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_edge_test.dir/interp_edge_test.cc.o"
+  "CMakeFiles/interp_edge_test.dir/interp_edge_test.cc.o.d"
+  "interp_edge_test"
+  "interp_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

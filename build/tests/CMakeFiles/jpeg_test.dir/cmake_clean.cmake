@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_test.dir/jpeg_test.cc.o"
+  "CMakeFiles/jpeg_test.dir/jpeg_test.cc.o.d"
+  "jpeg_test"
+  "jpeg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfscript_test.dir/perfscript_test.cc.o"
+  "CMakeFiles/perfscript_test.dir/perfscript_test.cc.o.d"
+  "perfscript_test"
+  "perfscript_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfscript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

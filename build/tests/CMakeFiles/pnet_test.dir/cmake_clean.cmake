@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_test.dir/pnet_test.cc.o"
+  "CMakeFiles/pnet_test.dir/pnet_test.cc.o.d"
+  "pnet_test"
+  "pnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

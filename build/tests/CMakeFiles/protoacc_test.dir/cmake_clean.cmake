@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protoacc_test.dir/protoacc_test.cc.o"
+  "CMakeFiles/protoacc_test.dir/protoacc_test.cc.o.d"
+  "protoacc_test"
+  "protoacc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protoacc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

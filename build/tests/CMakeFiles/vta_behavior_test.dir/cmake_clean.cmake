@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vta_behavior_test.dir/vta_behavior_test.cc.o"
+  "CMakeFiles/vta_behavior_test.dir/vta_behavior_test.cc.o.d"
+  "vta_behavior_test"
+  "vta_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vta_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vta_test.dir/vta_test.cc.o"
+  "CMakeFiles/vta_test.dir/vta_test.cc.o.d"
+  "vta_test"
+  "vta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/pnet_tool.cc" "tools/CMakeFiles/pnet_tool.dir/pnet_tool.cc.o" "gcc" "tools/CMakeFiles/pnet_tool.dir/pnet_tool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/pi_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfscript/CMakeFiles/pi_perfscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/jpeg/CMakeFiles/pi_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/protoacc/CMakeFiles/pi_protoacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/vta/CMakeFiles/pi_vta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/compress/CMakeFiles/pi_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_tool.dir/pnet_tool.cc.o"
+  "CMakeFiles/pnet_tool.dir/pnet_tool.cc.o.d"
+  "pnet_tool"
+  "pnet_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_tool.dir/psc_tool.cc.o"
+  "CMakeFiles/psc_tool.dir/psc_tool.cc.o.d"
+  "psc_tool"
+  "psc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pnet_lint_jpeg "/root/repo/build/tools/pnet_tool" "lint" "/root/repo/src/core/interfaces/jpeg.pnet")
+set_tests_properties(pnet_lint_jpeg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pnet_lint_vta "/root/repo/build/tools/pnet_tool" "lint" "/root/repo/src/core/interfaces/vta.pnet")
+set_tests_properties(pnet_lint_vta PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pnet_show_vta "/root/repo/build/tools/pnet_tool" "show" "/root/repo/src/core/interfaces/vta.pnet")
+set_tests_properties(pnet_show_vta PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_check_fig2 "/root/repo/build/tools/psc_tool" "check" "/root/repo/src/core/interfaces/jpeg_fig2.psc")
+set_tests_properties(psc_check_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_check_fig3 "/root/repo/build/tools/psc_tool" "check" "/root/repo/src/core/interfaces/protoacc_fig3.psc")
+set_tests_properties(psc_check_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_check_deser "/root/repo/build/tools/psc_tool" "check" "/root/repo/src/core/interfaces/protoacc_deser.psc")
+set_tests_properties(psc_check_deser PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(psc_check_compress "/root/repo/build/tools/psc_tool" "check" "/root/repo/src/core/interfaces/compress.psc")
+set_tests_properties(psc_check_compress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
