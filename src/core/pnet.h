@@ -31,6 +31,10 @@
 
 namespace perfiface {
 
+// Thread-safety: a LoadedNet is immutable once LoadPnet returns. The
+// compiled delay/guard closures are pure functions of the token set (flat
+// stack-machine programs, no captured mutable state), so one net may back
+// any number of concurrent PetriSims across threads.
 struct LoadedNet {
   std::string name;
   // The net owns compiled delay/guard closures; heap-allocated so LoadedNet

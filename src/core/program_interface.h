@@ -4,6 +4,12 @@
 // accelerator, holds the parsed program, and evaluates its prediction
 // functions against workload descriptors. This mirrors how the paper
 // envisions vendors shipping small Python programs alongside hardware.
+//
+// Thread-safety: after construction and SetConstant calls are done, the
+// object is effectively immutable — Eval builds a private Interpreter per
+// call, so concurrent Eval from many threads is safe. Callers that want to
+// amortize even that (one interpreter per worker thread) can share the
+// parsed program via program()/constants(); see src/serve.
 #ifndef SRC_CORE_PROGRAM_INTERFACE_H_
 #define SRC_CORE_PROGRAM_INTERFACE_H_
 
@@ -36,6 +42,11 @@ class ProgramInterface {
   bool Has(const std::string& function) const;
 
   const std::string& source() const { return source_; }
+
+  // The parsed program and the constants applied to it, for callers that
+  // build their own per-thread Interpreters over the shared parse.
+  const std::shared_ptr<Program>& program() const { return program_; }
+  const std::vector<std::pair<std::string, double>>& constants() const { return constants_; }
 
  private:
   ProgramInterface() = default;

@@ -5,6 +5,11 @@
 // Petri-net IR — plus the calibration constants they reference. Benches,
 // examples and downstream tools locate interfaces through this one entry
 // point, the way a build system locates header files.
+//
+// Thread-safety: Default() is initialized exactly once (C++11 magic
+// static) and the registry is immutable afterwards, so every const method
+// — including LoadProgram, which parses into a fresh ProgramInterface — is
+// safe to call from any number of threads concurrently.
 #ifndef SRC_CORE_REGISTRY_H_
 #define SRC_CORE_REGISTRY_H_
 

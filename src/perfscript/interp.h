@@ -1,4 +1,16 @@
 // Tree-walking interpreter for PerfScript interface programs.
+//
+// Thread-safety contract (relied on by src/serve's worker pool):
+//  - An Interpreter instance is STATEFUL (globals, step counter, error
+//    latch) and must never be shared between threads. Create one per
+//    thread — construction is cheap.
+//  - A parsed `Program` is immutable after parsing; any number of
+//    Interpreters on any number of threads may evaluate against the same
+//    Program concurrently.
+//  - Workload `ScriptObject`s are read through const methods only;
+//    implementations must keep GetAttr/NumChildren/Child free of hidden
+//    mutation (all in-tree implementations are plain const reads).
+//  - The interpreter itself holds no global or static mutable state.
 #ifndef SRC_PERFSCRIPT_INTERP_H_
 #define SRC_PERFSCRIPT_INTERP_H_
 
@@ -37,6 +49,12 @@ class Interpreter {
   // runaway recursion or loops must fail cleanly rather than hang the tool.
   void set_max_steps(std::uint64_t steps) { max_steps_ = steps; }
   void set_max_depth(std::size_t depth) { max_depth_ = depth; }
+
+  // True if the last Call failed because the step budget ran out, letting
+  // callers distinguish "program is broken" from "program was truncated"
+  // without parsing the error string.
+  bool step_budget_exhausted() const { return steps_ > max_steps_; }
+  std::uint64_t steps_used() const { return steps_; }
 
  private:
   struct Frame {

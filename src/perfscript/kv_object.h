@@ -1,0 +1,71 @@
+// A generic key/value workload object for PerfScript programs.
+//
+// Interface programs read workload descriptors through the ScriptObject
+// protocol (value.h). Production callers wrap their real domain objects
+// (images, messages); callers that only have a bag of numeric attributes —
+// the psc_tool CLI, the prediction service's wire-level queries — use this
+// adapter: flat numeric attributes plus an optional uniform child list
+// (enough to exercise recursive interfaces like Fig 3's read_cost).
+//
+// Thread-safety: a fully built KvObject is immutable through the
+// ScriptObject interface (GetAttr/Child are const) and may be read from any
+// number of threads concurrently. Set/AddChild must happen-before any
+// concurrent read.
+#ifndef SRC_PERFSCRIPT_KV_OBJECT_H_
+#define SRC_PERFSCRIPT_KV_OBJECT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/perfscript/value.h"
+
+namespace perfiface {
+
+class KvObject : public ScriptObject {
+ public:
+  std::optional<double> GetAttr(std::string_view name) const override {
+    for (const auto& kv : attrs_) {
+      if (kv.first == name) {
+        return kv.second;
+      }
+    }
+    return std::nullopt;
+  }
+  std::size_t NumChildren() const override { return children_.size(); }
+  const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
+
+  void Set(const std::string& key, double value) {
+    for (auto& kv : attrs_) {
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    }
+    attrs_.emplace_back(key, value);
+  }
+  void AddChild(std::unique_ptr<KvObject> child) { children_.push_back(std::move(child)); }
+  const std::vector<std::pair<std::string, double>>& attrs() const { return attrs_; }
+
+  // Attaches `n` children, each carrying this object's current attributes
+  // (the psc_tool / serve "children=N" shorthand for recursive interfaces).
+  void AddUniformChildren(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto child = std::make_unique<KvObject>();
+      for (const auto& kv : attrs_) {
+        child->Set(kv.first, kv.second);
+      }
+      AddChild(std::move(child));
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> attrs_;
+  std::vector<std::unique_ptr<KvObject>> children_;
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_KV_OBJECT_H_

@@ -25,6 +25,7 @@ void PetriSim::Reset() {
   now_ = 0;
   seq_ = 0;
   total_firings_ = 0;
+  budget_exhausted_ = false;
   // Preserve which places are instrumented across resets; only markings,
   // logs and in-flight firings are cleared.
   std::vector<bool> observed(net_->places().size(), false);
@@ -88,7 +89,7 @@ void PetriSim::Deposit(PlaceId place, Token token) {
 
 bool PetriSim::TryStart(TransitionId t) {
   const TransitionSpec& spec = net_->transitions()[t];
-  if (busy_servers_[t] >= spec.servers) {
+  if (budget_exhausted_ || busy_servers_[t] >= spec.servers) {
     return false;
   }
 
@@ -151,7 +152,13 @@ bool PetriSim::TryStart(TransitionId t) {
 
   ++busy_servers_[t];
   ++total_firings_;
-  PI_CHECK_MSG(total_firings_ <= max_firings_, "firing budget exhausted (zero-delay loop?)");
+  if (total_firings_ >= max_firings_) {
+    // Clean stop, not an abort: callers serving untrusted nets (the
+    // prediction service) must be able to reject a pathological net
+    // (zero-delay loop, unbounded token growth) without taking down the
+    // process. Run() reports the truncation through its return value.
+    budget_exhausted_ = true;
+  }
   return true;
 }
 
@@ -237,6 +244,9 @@ PetriSim::Firing& PetriSim::ScheduleFiring(Cycles complete_at) {
 bool PetriSim::Run(Cycles max_time) {
   for (;;) {
     StartAll();
+    if (budget_exhausted_) {
+      return false;
+    }
     if (events_.empty()) {
       return true;
     }

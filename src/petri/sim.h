@@ -35,7 +35,8 @@ class PetriSim {
   void Observe(PlaceId place);
 
   // Runs until no transition can fire and no firing is in flight, or until
-  // `max_time`. Returns true if the net quiesced.
+  // `max_time`. Returns true if the net quiesced; false if it ran out of
+  // time or of the firing budget (see set_max_firings).
   bool Run(Cycles max_time);
 
   // Resets all state (markings back to initial, logs cleared, time to 0).
@@ -47,8 +48,11 @@ class PetriSim {
   const std::vector<Arrival>& arrivals(PlaceId place) const;
   std::size_t tokens_at(PlaceId place) const;
 
-  // Safety valve against pathological zero-delay loops in authored nets.
+  // Safety valve against pathological zero-delay loops in authored nets:
+  // once the budget is hit the run stops cleanly (Run returns false) so
+  // services evaluating untrusted nets can reject them without aborting.
   void set_max_firings(std::uint64_t m) { max_firings_ = m; }
+  bool firing_budget_exhausted() const { return budget_exhausted_; }
 
  private:
   struct Firing {
@@ -96,6 +100,7 @@ class PetriSim {
   std::uint64_t seq_ = 0;
   std::uint64_t total_firings_ = 0;
   std::uint64_t max_firings_ = 500'000'000;
+  bool budget_exhausted_ = false;
   // Allocates a slab slot for an in-flight firing and schedules it.
   Firing& ScheduleFiring(Cycles complete_at);
 

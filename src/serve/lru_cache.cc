@@ -1,0 +1,104 @@
+#include "src/serve/lru_cache.h"
+
+#include <functional>
+
+namespace perfiface::serve {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t num_shards)
+    : capacity_(capacity) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::size_t shards = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
+  // Never shard below one entry per shard.
+  while (shards > 1 && capacity_ / shards == 0) {
+    shards >>= 1;
+  }
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key,
+                                                  std::size_t* hash_out) {
+  const std::size_t h = std::hash<std::string_view>{}(key);
+  *hash_out = h;
+  // Mix the high bits into the shard choice so the shard index and the
+  // unordered_map bucket (which uses the low bits) stay decorrelated.
+  return *shards_[(h >> 16) & shard_mask_];
+}
+
+bool ShardedLruCache::Get(const std::string& key, CachedPrediction* out) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::size_t h = 0;
+  Shard& shard = ShardFor(key, &h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(std::string_view(key));
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedLruCache::Put(const std::string& key, const CachedPrediction& value) {
+  if (!enabled()) {
+    return;
+  }
+  std::size_t h = 0;
+  Shard& shard = ShardFor(key, &h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(std::string_view(key));
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(std::string_view(shard.lru.back().first));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(std::string_view(shard.lru.front().first), shard.lru.begin());
+}
+
+void ShardedLruCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+std::size_t ShardedLruCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace perfiface::serve

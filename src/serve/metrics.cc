@@ -1,0 +1,152 @@
+#include "src/serve/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace perfiface::serve {
+
+namespace {
+
+std::size_t BucketOf(std::uint64_t ns) {
+  const std::size_t b = ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns));
+  return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+// Geometric midpoint of bucket b, which spans [2^(b-1), 2^b).
+double BucketMidNs(std::size_t b) {
+  if (b == 0) {
+    return 0.0;
+  }
+  const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+  return lo * 1.5;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  buckets_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileNs(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) {
+      return BucketMidNs(b);
+    }
+  }
+  return BucketMidNs(kBuckets - 1);
+}
+
+ServiceMetrics::ServiceMetrics(const std::vector<std::string>& interfaces) {
+  per_interface_.reserve(interfaces.size());
+  for (const std::string& name : interfaces) {
+    auto m = std::make_unique<InterfaceMetrics>();
+    m->interface = name;
+    per_interface_.push_back(std::move(m));
+  }
+}
+
+std::size_t ServiceMetrics::IndexOf(const std::string& interface) const {
+  for (std::size_t i = 0; i < per_interface_.size(); ++i) {
+    if (per_interface_[i]->interface == interface) {
+      return i;
+    }
+  }
+  return kNoInterface;
+}
+
+void ServiceMetrics::RecordRequest(std::size_t iface_idx, std::uint64_t latency_ns, bool ok) {
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) {
+    total_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (iface_idx < per_interface_.size()) {
+    InterfaceMetrics& m = *per_interface_[iface_idx];
+    m.requests.fetch_add(1, std::memory_order_relaxed);
+    m.latency.Record(latency_ns);
+    if (!ok) {
+      m.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServiceMetrics::RecordStatus(bool cache_hit, bool deadline_exceeded, bool rejected) {
+  if (cache_hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (deadline_exceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string ServiceMetrics::DumpText(std::size_t queue_depth) const {
+  std::string out;
+  out += StrFormat("requests=%llu errors=%llu cache_hits=%llu cache_misses=%llu ",
+                   static_cast<unsigned long long>(total_requests()),
+                   static_cast<unsigned long long>(total_errors()),
+                   static_cast<unsigned long long>(cache_hits()),
+                   static_cast<unsigned long long>(cache_misses()));
+  out += StrFormat("deadline_exceeded=%llu rejected=%llu queue_depth=%zu\n",
+                   static_cast<unsigned long long>(deadline_exceeded()),
+                   static_cast<unsigned long long>(rejected()), queue_depth);
+  out += StrFormat("%-18s %10s %8s %12s %12s %12s %12s\n", "interface", "requests", "errors",
+                   "mean_us", "p50_us", "p95_us", "p99_us");
+  for (const auto& m : per_interface_) {
+    out += StrFormat("%-18s %10llu %8llu %12.2f %12.2f %12.2f %12.2f\n", m->interface.c_str(),
+                     static_cast<unsigned long long>(m->requests.load(std::memory_order_relaxed)),
+                     static_cast<unsigned long long>(m->errors.load(std::memory_order_relaxed)),
+                     m->latency.mean_ns() / 1e3, m->latency.PercentileNs(50) / 1e3,
+                     m->latency.PercentileNs(95) / 1e3, m->latency.PercentileNs(99) / 1e3);
+  }
+  return out;
+}
+
+std::string ServiceMetrics::DumpJson(std::size_t queue_depth) const {
+  std::string out = "{";
+  out += StrFormat(
+      "\"requests\":%llu,\"errors\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"deadline_exceeded\":%llu,\"rejected\":%llu,\"queue_depth\":%zu,\"interfaces\":[",
+      static_cast<unsigned long long>(total_requests()),
+      static_cast<unsigned long long>(total_errors()),
+      static_cast<unsigned long long>(cache_hits()),
+      static_cast<unsigned long long>(cache_misses()),
+      static_cast<unsigned long long>(deadline_exceeded()),
+      static_cast<unsigned long long>(rejected()), queue_depth);
+  for (std::size_t i = 0; i < per_interface_.size(); ++i) {
+    const InterfaceMetrics& m = *per_interface_[i];
+    out += StrFormat(
+        "%s{\"interface\":\"%s\",\"requests\":%llu,\"errors\":%llu,\"mean_us\":%.3f,"
+        "\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f}",
+        i == 0 ? "" : ",", m.interface.c_str(),
+        static_cast<unsigned long long>(m.requests.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(m.errors.load(std::memory_order_relaxed)),
+        m.latency.mean_ns() / 1e3, m.latency.PercentileNs(50) / 1e3,
+        m.latency.PercentileNs(95) / 1e3, m.latency.PercentileNs(99) / 1e3);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace perfiface::serve

@@ -1,0 +1,91 @@
+// Service observability: per-interface latency histograms, cache and
+// status counters, queue-depth gauge, text/JSON dumps.
+//
+// Histograms use power-of-two nanosecond buckets: recording is one relaxed
+// atomic increment (safe and cheap on the hot path), and percentile
+// estimates come from the bucket geometric midpoints — plenty for the
+// p50/p95/p99 tail reporting the benches need. Exact percentiles, when a
+// bench wants them, come from client-side samples through
+// src/common/stats.h's Percentile.
+#ifndef SRC_SERVE_METRICS_H_
+#define SRC_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace perfiface::serve {
+
+// Log2-bucketed histogram of nanosecond durations. All methods are
+// thread-safe; Record is wait-free.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;  // covers up to ~78 hours
+
+  void Record(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  double mean_ns() const;
+  // Estimated percentile (p in [0,100]) from bucket midpoints; 0 if empty.
+  double PercentileNs(double p) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+// One row per interface, created when the service loads the registry so
+// the hot path never takes a lock to find its histogram.
+struct InterfaceMetrics {
+  std::string interface;
+  LatencyHistogram latency;                  // end-to-end service-side time
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+};
+
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(const std::vector<std::string>& interfaces);
+
+  // Index of the interface row, or npos for names outside the registry.
+  static constexpr std::size_t kNoInterface = static_cast<std::size_t>(-1);
+  std::size_t IndexOf(const std::string& interface) const;
+
+  void RecordRequest(std::size_t iface_idx, std::uint64_t latency_ns, bool ok);
+  void RecordStatus(bool cache_hit, bool deadline_exceeded, bool rejected);
+
+  std::uint64_t total_requests() const { return total_requests_.load(std::memory_order_relaxed); }
+  std::uint64_t total_errors() const { return total_errors_.load(std::memory_order_relaxed); }
+  std::uint64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  std::uint64_t cache_misses() const { return cache_misses_.load(std::memory_order_relaxed); }
+  std::uint64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+  const std::vector<std::unique_ptr<InterfaceMetrics>>& interfaces() const {
+    return per_interface_;
+  }
+
+  // Human-readable table / machine-readable JSON. queue_depth is sampled by
+  // the caller (the service owns the queue).
+  std::string DumpText(std::size_t queue_depth) const;
+  std::string DumpJson(std::size_t queue_depth) const;
+
+ private:
+  std::vector<std::unique_ptr<InterfaceMetrics>> per_interface_;
+  std::atomic<std::uint64_t> total_requests_{0};
+  std::atomic<std::uint64_t> total_errors_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace perfiface::serve
+
+#endif  // SRC_SERVE_METRICS_H_

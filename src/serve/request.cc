@@ -1,0 +1,58 @@
+#include "src/serve/request.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface::serve {
+
+const char* PredictStatusName(PredictStatus s) {
+  switch (s) {
+    case PredictStatus::kOk: return "OK";
+    case PredictStatus::kError: return "ERROR";
+    case PredictStatus::kNotFound: return "NOT_FOUND";
+    case PredictStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case PredictStatus::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case PredictStatus::kRejected: return "REJECTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string CanonicalCacheKey(const PredictRequest& req, Representation resolved) {
+  PI_CHECK(resolved != Representation::kAuto);
+  std::string key;
+  key.reserve(64 + 24 * req.attrs.size());
+  key += req.interface;
+  key += '\x1f';
+  key += resolved == Representation::kProgram ? 'p' : 'n';
+  key += '\x1f';
+  if (resolved == Representation::kProgram) {
+    key += req.function;
+  } else {
+    key += req.entry_place;
+    key += '\x1f';
+    key += StrFormat("%d", req.tokens);
+  }
+  key += '\x1f';
+  key += StrFormat("c%d", req.children);
+
+  // Sort attribute names without copying the request: order-insensitive
+  // keys are what make "same workload, different builder" queries collide.
+  std::vector<const std::pair<std::string, double>*> sorted;
+  sorted.reserve(req.attrs.size());
+  for (const auto& kv : req.attrs) {
+    sorted.push_back(&kv);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* kv : sorted) {
+    key += '\x1f';
+    key += kv->first;
+    // %.17g round-trips doubles exactly, so distinct workloads never alias.
+    key += StrFormat("=%.17g", kv->second);
+  }
+  return key;
+}
+
+}  // namespace perfiface::serve

@@ -1,0 +1,92 @@
+// Wire-level request/response types for the prediction service.
+//
+// A request names an interface from the registry, picks one of the shipped
+// representations, and describes the workload as flat numeric attributes
+// (plus the uniform-children shorthand for recursive interfaces). This is
+// deliberately the same vocabulary psc_tool speaks, so a query that works
+// on the command line works against the service unchanged.
+#ifndef SRC_SERVE_REQUEST_H_
+#define SRC_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perfiface::serve {
+
+// Which shipped representation answers the query. kAuto prefers the
+// executable program and falls back to the Petri net.
+enum class Representation { kAuto, kProgram, kPnet };
+
+struct PredictRequest {
+  std::string interface;  // registry accelerator name, e.g. "jpeg_decoder"
+  Representation representation = Representation::kAuto;
+
+  // Program queries: the prediction function to call (e.g.
+  // "latency_jpeg_decode"). Ignored for pnet queries.
+  std::string function;
+
+  // Workload attributes exposed to the interface. Program queries see them
+  // as object attributes; pnet queries map them onto the net's token
+  // attribute schema (names absent from the schema are ignored).
+  std::vector<std::pair<std::string, double>> attrs;
+  // Attach this many uniform child objects (recursive interfaces).
+  int children = 0;
+
+  // Pnet queries: where the workload tokens enter the net. Either empty
+  // (inject `tokens` copies into the net's first declared place) or a
+  // comma-separated list of `place[:count]` items — e.g. the JPEG net's
+  // "hdr_in:1,vld_in:8" injects the header token plus eight stripes. All
+  // injected tokens carry the same attribute values. The net then runs to
+  // quiescence; `value` is the quiescence time.
+  std::string entry_place;
+  int tokens = 1;  // copies used when entry_place names no :count
+
+  // Resource limits. max_steps bounds interpreter steps (program) or net
+  // firings (pnet); 0 means the service default. deadline_us is a wall
+  // clock budget measured from batch submission; 0 means none. See
+  // docs/serving.md for how the deadline maps onto the step budget.
+  std::uint64_t max_steps = 0;
+  std::int64_t deadline_us = 0;
+};
+
+enum class PredictStatus {
+  kOk,
+  kError,              // runtime error in the interface program / net
+  kNotFound,           // unknown interface, function, representation, place
+  kDeadlineExceeded,   // expired in queue or step budget derived from the
+                       // deadline exhausted mid-evaluation
+  kResourceExhausted,  // explicit max_steps budget exhausted
+  kRejected,           // service shutting down
+};
+
+const char* PredictStatusName(PredictStatus s);
+
+struct PredictResponse {
+  PredictStatus status = PredictStatus::kRejected;
+  std::string error;  // empty iff status == kOk
+
+  // Program queries: `value` is the called function's result; throughput is
+  // filled only when the function name suggests a rate (left 0 otherwise).
+  // Pnet queries: `value` is the quiescence latency in cycles and
+  // `throughput` is tokens/latency.
+  double value = 0;
+  double throughput = 0;
+
+  bool cache_hit = false;
+  std::uint64_t eval_ns = 0;  // service-side evaluation time (0 on a hit)
+
+  bool ok() const { return status == PredictStatus::kOk; }
+};
+
+// Canonical cache key: representation-resolved, attribute order and float
+// formatting normalized, so permuted but identical queries share an entry.
+// `resolved` must be kProgram or kPnet (kAuto is resolved by the service
+// before keying). Resource limits are deliberately excluded: the cache
+// stores ground-truth predictions, and limits only bound *evaluation* cost.
+std::string CanonicalCacheKey(const PredictRequest& req, Representation resolved);
+
+}  // namespace perfiface::serve
+
+#endif  // SRC_SERVE_REQUEST_H_

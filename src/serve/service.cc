@@ -1,0 +1,375 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/perfscript/kv_object.h"
+#include "src/petri/sim.h"
+
+namespace perfiface::serve {
+
+namespace {
+
+// Same event-horizon budget the petri interface adapters use: far beyond
+// any real prediction, only hit by nets that never quiesce.
+constexpr Cycles kPnetRunBudget = 1ULL << 40;
+
+std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(options.queue_capacity) {
+  // Pre-parse everything the registry ships: queries never touch the
+  // filesystem or the parser.
+  std::vector<std::string> names;
+  for (const InterfaceBundle& bundle : registry.bundles()) {
+    Entry entry;
+    entry.name = bundle.accelerator;
+    if (!bundle.program_path.empty()) {
+      entry.program = registry.LoadProgram(bundle.accelerator);
+    }
+    if (!bundle.pnet_path.empty()) {
+      entry.pnet = LoadPnetFile(bundle.pnet_path);
+      PI_CHECK_MSG(entry.pnet.ok(), entry.pnet.error.c_str());
+    }
+    names.push_back(entry.name);
+    entries_.push_back(std::move(entry));
+  }
+  metrics_ = std::make_unique<ServiceMetrics>(names);
+
+  std::size_t n = options_.num_workers;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.Close();
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  });
+}
+
+std::vector<std::string> PredictionService::InterfaceNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    names.push_back(e.name);
+  }
+  return names;
+}
+
+const PredictionService::Entry* PredictionService::FindEntry(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+PredictResponse PredictionService::Predict(const PredictRequest& request) {
+  return PredictBatch(std::span<const PredictRequest>(&request, 1))[0];
+}
+
+std::vector<PredictResponse> PredictionService::PredictBatch(
+    std::span<const PredictRequest> requests) {
+  std::vector<PredictResponse> responses(requests.size());
+  if (requests.empty()) {
+    return responses;
+  }
+
+  BatchState batch;
+  batch.submitted = Clock::now();
+
+  const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
+  std::size_t accepted_chunks = 0;
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.remaining = requests.size();
+  }
+  std::size_t first_rejected = requests.size();
+  for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
+    Job job;
+    job.requests = requests.data();
+    job.responses = responses.data();
+    job.begin = begin;
+    job.end = std::min(requests.size(), begin + chunk);
+    job.batch = &batch;
+    if (!queue_.Push(job)) {
+      first_rejected = begin;
+      break;
+    }
+    ++accepted_chunks;
+  }
+  if (first_rejected < requests.size()) {
+    // Service shut down mid-submission: answer the unqueued tail directly.
+    for (std::size_t i = first_rejected; i < requests.size(); ++i) {
+      responses[i].status = PredictStatus::kRejected;
+      responses[i].error = "service is shut down";
+      metrics_->RecordStatus(/*cache_hit=*/false, /*deadline_exceeded=*/false,
+                             /*rejected=*/true);
+    }
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.remaining -= requests.size() - first_rejected;
+    if (batch.remaining == 0) {
+      return responses;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.cv.wait(lock, [&] { return batch.remaining == 0; });
+  return responses;
+}
+
+void PredictionService::WorkerLoop() {
+  WorkerState state;
+  state.interps.resize(entries_.size());
+  Job job;
+  while (queue_.Pop(&job)) {
+    for (std::size_t i = job.begin; i < job.end; ++i) {
+      job.responses[i] = Evaluate(job.requests[i], job.batch->submitted, &state);
+    }
+    const std::size_t done = job.end - job.begin;
+    {
+      // Notify while still holding the mutex: the moment the submitter
+      // observes remaining == 0 it may destroy the BatchState, so the
+      // worker must not touch it after releasing the lock.
+      std::lock_guard<std::mutex> lock(job.batch->mu);
+      job.batch->remaining -= done;
+      if (job.batch->remaining == 0) {
+        job.batch->cv.notify_all();
+      }
+    }
+  }
+}
+
+PredictResponse PredictionService::Evaluate(const PredictRequest& request,
+                                            Clock::time_point submitted, WorkerState* state) {
+  const Clock::time_point start = Clock::now();
+  PredictResponse response;
+
+  const std::size_t iface_idx = metrics_->IndexOf(request.interface);
+  auto finish = [&](PredictResponse r) {
+    r.eval_ns = ElapsedNs(start, Clock::now());
+    metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
+    metrics_->RecordStatus(r.cache_hit, r.status == PredictStatus::kDeadlineExceeded,
+                           r.status == PredictStatus::kRejected);
+    return r;
+  };
+
+  // Deadline bookkeeping: queue-expired requests are answered without
+  // evaluating; live ones get a step budget capped by the time remaining.
+  std::uint64_t budget =
+      request.max_steps != 0 ? request.max_steps : options_.default_max_steps;
+  bool deadline_limited = false;
+  if (request.deadline_us > 0) {
+    const std::int64_t elapsed_us = static_cast<std::int64_t>(ElapsedNs(submitted, start) / 1000);
+    const std::int64_t remaining_us = request.deadline_us - elapsed_us;
+    if (remaining_us <= 0) {
+      response.status = PredictStatus::kDeadlineExceeded;
+      response.error = "deadline expired before evaluation started";
+      return finish(response);
+    }
+    const std::uint64_t deadline_steps =
+        static_cast<std::uint64_t>(remaining_us) * options_.steps_per_us;
+    if (deadline_steps < budget) {
+      budget = deadline_steps;
+      deadline_limited = true;
+    }
+  }
+
+  const Entry* entry = FindEntry(request.interface);
+  if (entry == nullptr) {
+    response.status = PredictStatus::kNotFound;
+    response.error = StrFormat("unknown interface '%s'", request.interface.c_str());
+    return finish(response);
+  }
+  const std::size_t entry_idx = static_cast<std::size_t>(entry - entries_.data());
+
+  Representation rep = request.representation;
+  if (rep == Representation::kAuto) {
+    if (!entry->program.has_value() && entry->pnet.net == nullptr) {
+      response.status = PredictStatus::kNotFound;
+      response.error = StrFormat("'%s' ships only a text interface (nothing executable)",
+                                 request.interface.c_str());
+      return finish(response);
+    }
+    rep = entry->program.has_value() ? Representation::kProgram : Representation::kPnet;
+  }
+  if (rep == Representation::kProgram && !entry->program.has_value()) {
+    response.status = PredictStatus::kNotFound;
+    response.error = StrFormat("'%s' ships no executable interface", request.interface.c_str());
+    return finish(response);
+  }
+  if (rep == Representation::kPnet && entry->pnet.net == nullptr) {
+    response.status = PredictStatus::kNotFound;
+    response.error = StrFormat("'%s' ships no Petri-net interface", request.interface.c_str());
+    return finish(response);
+  }
+
+  const std::string key = CanonicalCacheKey(request, rep);
+  CachedPrediction cached;
+  if (cache_.Get(key, &cached)) {
+    response.status = PredictStatus::kOk;
+    response.value = cached.value;
+    response.throughput = cached.throughput;
+    response.cache_hit = true;
+    return finish(response);
+  }
+
+  response = rep == Representation::kProgram
+                 ? EvaluateProgram(request, *entry, entry_idx, budget, deadline_limited, state)
+                 : EvaluatePnet(request, *entry, budget, deadline_limited);
+  if (response.ok()) {
+    cache_.Put(key, CachedPrediction{response.value, response.throughput});
+  }
+  return finish(response);
+}
+
+PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request,
+                                                   const Entry& entry, std::size_t entry_idx,
+                                                   std::uint64_t budget, bool deadline_limited,
+                                                   WorkerState* state) {
+  PredictResponse response;
+  const ProgramInterface& iface = *entry.program;
+  if (!iface.Has(request.function)) {
+    response.status = PredictStatus::kNotFound;
+    response.error = StrFormat("'%s' has no function '%s'", request.interface.c_str(),
+                               request.function.c_str());
+    return response;
+  }
+
+  // One interpreter per (worker, program), never shared across threads.
+  std::unique_ptr<Interpreter>& slot = state->interps[entry_idx];
+  if (slot == nullptr) {
+    slot = std::make_unique<Interpreter>(iface.program().get());
+    for (const auto& c : iface.constants()) {
+      slot->SetGlobal(c.first, c.second);
+    }
+  }
+  Interpreter& interp = *slot;
+  interp.set_max_steps(budget);
+
+  KvObject workload;
+  for (const auto& kv : request.attrs) {
+    workload.Set(kv.first, kv.second);
+  }
+  workload.AddUniformChildren(request.children);
+
+  const EvalResult result = interp.Call(request.function, {Value::Object(&workload)});
+  if (!result.ok) {
+    if (interp.step_budget_exhausted()) {
+      response.status =
+          deadline_limited ? PredictStatus::kDeadlineExceeded : PredictStatus::kResourceExhausted;
+    } else {
+      response.status = PredictStatus::kError;
+    }
+    response.error = result.error;
+    return response;
+  }
+  if (!result.value.IsNumber()) {
+    response.status = PredictStatus::kError;
+    response.error = "interface returned a non-numeric result";
+    return response;
+  }
+  response.status = PredictStatus::kOk;
+  response.value = result.value.num;
+  if (StartsWith(request.function, "tput")) {
+    response.throughput = response.value;
+  }
+  return response;
+}
+
+PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, const Entry& entry,
+                                                std::uint64_t budget, bool deadline_limited) {
+  PredictResponse response;
+  const PetriNet& net = *entry.pnet.net;
+
+  // Resolve the injection plan: either the first declared place, or each
+  // `place[:count]` item of the comma-separated entry_place spec. Items
+  // without an explicit count inject `tokens` copies.
+  const int default_count = std::max(1, request.tokens);
+  std::vector<std::pair<PlaceId, int>> injections;
+  if (request.entry_place.empty()) {
+    injections.emplace_back(PlaceId{0}, default_count);
+  } else {
+    for (const std::string& item : SplitString(request.entry_place, ',')) {
+      std::string name = item;
+      int count = default_count;
+      const std::size_t colon = item.find(':');
+      if (colon != std::string::npos) {
+        name = item.substr(0, colon);
+        char* end = nullptr;
+        const long parsed = std::strtol(item.c_str() + colon + 1, &end, 10);
+        if (end == item.c_str() + colon + 1 || *end != '\0' || parsed < 1) {
+          response.status = PredictStatus::kError;
+          response.error = StrFormat("bad token count in entry place item '%s'", item.c_str());
+          return response;
+        }
+        count = static_cast<int>(parsed);
+      }
+      if (!net.HasPlace(name)) {
+        response.status = PredictStatus::kNotFound;
+        response.error =
+            StrFormat("net '%s' has no place '%s'", entry.name.c_str(), name.c_str());
+        return response;
+      }
+      injections.emplace_back(net.PlaceByName(name), count);
+    }
+  }
+
+  // Map workload attributes onto the net's token schema; names the schema
+  // does not declare are ignored so mixed program/pnet query sets can share
+  // one workload description.
+  Token token;
+  token.attrs.assign(net.attr_names().size(), 0.0);
+  for (const auto& kv : request.attrs) {
+    const std::size_t slot = net.FindAttr(kv.first);
+    if (slot != PetriNet::kNoAttr) {
+      token.attrs[slot] = kv.second;
+    }
+  }
+
+  PetriSim sim(&net);
+  sim.set_max_firings(budget);
+  int tokens = 0;
+  for (const auto& [place, count] : injections) {
+    for (int i = 0; i < count; ++i) {
+      sim.Inject(place, token);
+    }
+    tokens += count;
+  }
+  const bool quiesced = sim.Run(kPnetRunBudget);
+  if (!quiesced) {
+    response.status =
+        deadline_limited ? PredictStatus::kDeadlineExceeded : PredictStatus::kResourceExhausted;
+    response.error = sim.firing_budget_exhausted()
+                         ? "net firing budget exhausted"
+                         : "net did not quiesce within the time horizon";
+    return response;
+  }
+  response.status = PredictStatus::kOk;
+  response.value = static_cast<double>(sim.now());
+  response.throughput = sim.now() == 0 ? 0.0 : static_cast<double>(tokens) / response.value;
+  return response;
+}
+
+}  // namespace perfiface::serve

@@ -1,0 +1,147 @@
+// PredictionService: a concurrent performance-query service over the
+// interface registry (paper §2's design-time and run-time clients — SoC
+// sizing sweeps, offload decisions, auto-tuners — all reduce to "what
+// latency/throughput will this workload see?" asked at high rate).
+//
+// The service loads the registry once, pre-parses every shipped .psc
+// program and .pnet net, and answers queries through a fixed worker pool:
+//
+//   clients ──Predict/PredictBatch──▶ bounded MPMC queue (request chunks)
+//                                          │
+//                             workers (one Interpreter per thread per
+//                             program — interpreters are stateful and are
+//                             never shared) ──▶ sharded LRU cache
+//
+// Responses memoize (interface, function, canonicalized workload) →
+// prediction, so hot workloads skip evaluation entirely. Per-request
+// deadlines ride on the interpreter's step budget (docs/serving.md).
+//
+// Thread-safety: all public methods are safe from any thread. Shutdown
+// (or destruction) drains accepted work, then rejects later submissions.
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/program_interface.h"
+#include "src/core/pnet.h"
+#include "src/core/registry.h"
+#include "src/serve/lru_cache.h"
+#include "src/serve/metrics.h"
+#include "src/serve/mpmc_queue.h"
+#include "src/serve/request.h"
+
+namespace perfiface::serve {
+
+struct ServiceOptions {
+  // 0 = one worker per hardware thread.
+  std::size_t num_workers = 0;
+  // Capacity of the request queue, in chunks (not individual requests).
+  std::size_t queue_capacity = 256;
+  // Batch submissions are split into chunks of this many requests; the
+  // chunk is the unit of queue handoff, so its cost amortizes.
+  std::size_t batch_chunk = 32;
+  // Total cache entries (0 disables caching) and shard count.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 64;
+  // Default evaluation budget: interpreter steps (program queries) or net
+  // firings (pnet queries).
+  std::uint64_t default_max_steps = 5'000'000;
+  // Deadline→budget conversion: a request with deadline_us left gets at
+  // most deadline_us * steps_per_us steps (docs/serving.md).
+  std::uint64_t steps_per_us = 200;
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(const InterfaceRegistry& registry, ServiceOptions options = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Synchronous single query (a batch of one).
+  PredictResponse Predict(const PredictRequest& request);
+
+  // Batch API: responses[i] answers requests[i]; blocks until the whole
+  // batch is resolved. Requests are processed by the pool concurrently.
+  std::vector<PredictResponse> PredictBatch(std::span<const PredictRequest> requests);
+
+  // Stops accepting work, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  const ServiceMetrics& metrics() const { return *metrics_; }
+  const ShardedLruCache& cache() const { return cache_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  // Observability dumps (histograms, counters, queue depth).
+  std::string StatsText() const { return metrics_->DumpText(queue_depth()); }
+  std::string StatsJson() const { return metrics_->DumpJson(queue_depth()); }
+
+  // Interfaces the service can answer for (registry order).
+  std::vector<std::string> InterfaceNames() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // One pre-parsed registry entry; immutable after construction.
+  struct Entry {
+    std::string name;
+    std::optional<ProgramInterface> program;  // shared parse + constants
+    LoadedNet pnet;                           // pnet.net null if none shipped
+  };
+
+  // Completion state shared between a batch submitter and the workers.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    Clock::time_point submitted;
+  };
+
+  struct Job {
+    const PredictRequest* requests = nullptr;
+    PredictResponse* responses = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    BatchState* batch = nullptr;
+  };
+
+  // Per-worker evaluation state: one Interpreter per program, created
+  // lazily and reused across requests (Call resets per-call state).
+  struct WorkerState {
+    std::vector<std::unique_ptr<Interpreter>> interps;  // by entry index
+  };
+
+  void WorkerLoop();
+  const Entry* FindEntry(const std::string& name) const;
+  PredictResponse Evaluate(const PredictRequest& request, Clock::time_point submitted,
+                           WorkerState* state);
+  PredictResponse EvaluateProgram(const PredictRequest& request, const Entry& entry,
+                                  std::size_t entry_idx, std::uint64_t budget,
+                                  bool deadline_limited, WorkerState* state);
+  PredictResponse EvaluatePnet(const PredictRequest& request, const Entry& entry,
+                               std::uint64_t budget, bool deadline_limited);
+
+  ServiceOptions options_;
+  std::vector<Entry> entries_;
+  std::unique_ptr<ServiceMetrics> metrics_;
+  ShardedLruCache cache_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace perfiface::serve
+
+#endif  // SRC_SERVE_SERVICE_H_

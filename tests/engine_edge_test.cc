@@ -97,14 +97,22 @@ TEST(PetriEdge, ZeroDelayChainsCompleteInOneInstant) {
   EXPECT_EQ(sim.arrivals(p2)[0].time, 0u);
 }
 
-TEST(PetriEdge, FiringBudgetAbortsRunawayLoop) {
-  // A self-regenerating zero-delay loop must hit the firing budget.
+TEST(PetriEdge, FiringBudgetStopsRunawayLoopCleanly) {
+  // A self-regenerating zero-delay loop must hit the firing budget and
+  // stop — a clean failure, not an abort, so a service evaluating an
+  // untrusted net can reject it and keep running.
   PetriNet net;
   const PlaceId p = net.AddPlace("p", 0, 1);
   net.AddTransition({"loop", {{p, 1}}, {{p, 1}}, 1, Const(0), nullptr, nullptr});
   PetriSim sim(&net);
   sim.set_max_firings(1000);
-  EXPECT_DEATH(sim.Run(100), "firing budget");
+  EXPECT_FALSE(sim.Run(100));
+  EXPECT_TRUE(sim.firing_budget_exhausted());
+  EXPECT_LE(sim.total_firings(), 1000u);
+
+  // Reset clears the exhaustion latch and the sim is usable again.
+  sim.Reset();
+  EXPECT_FALSE(sim.firing_budget_exhausted());
 }
 
 TEST(PetriEdge, InjectionStampSurvivesMultipleHops) {

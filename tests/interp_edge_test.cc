@@ -143,6 +143,46 @@ TEST(InterpEdge, StepBudgetStopsLongLoops) {
   const EvalResult r = interp.Call("f", {Value::Object(&wide)});
   ASSERT_FALSE(r.ok);
   EXPECT_NE(r.error.find("step budget"), std::string::npos);
+  EXPECT_TRUE(interp.step_budget_exhausted());
+}
+
+TEST(InterpEdge, UnboundedLoopFailsCleanlyAndInterpreterStaysUsable) {
+  // An effectively unbounded loop (the object claims endless children) must
+  // come back as a clean error under max_steps — never an abort or a hang —
+  // and the same interpreter must answer the next call normally, because
+  // serving workers reuse one interpreter per thread across requests.
+  class Endless : public ScriptObject {
+   public:
+    std::optional<double> GetAttr(std::string_view) const override { return 1.0; }
+    std::size_t NumChildren() const override { return static_cast<std::size_t>(-1); }
+    const ScriptObject* Child(std::size_t) const override { return this; }
+  };
+  ParseResult parsed = ParseProgram(
+      "def f(o):\n"
+      " n = 0\n"
+      " for c in o:\n"
+      "  n += c.x\n"
+      " end\n"
+      " return n\n"
+      "end\n"
+      "def g():\n"
+      " return 42\n"
+      "end\n");
+  ASSERT_TRUE(parsed.ok);
+  Interpreter interp(&parsed.program);
+  interp.set_max_steps(5000);
+  Endless endless;
+  const EvalResult r = interp.Call("f", {Value::Object(&endless)});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step budget exhausted"), std::string::npos);
+  EXPECT_TRUE(interp.step_budget_exhausted());
+  EXPECT_LE(interp.steps_used(), 5001u);
+
+  // Call resets the per-call state: the next request succeeds.
+  const EvalResult ok = interp.Call("g", {});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_DOUBLE_EQ(ok.value.num, 42.0);
+  EXPECT_FALSE(interp.step_budget_exhausted());
 }
 
 TEST(InterpEdge, ComparisonChainsAreLeftAssociative) {

@@ -1,0 +1,408 @@
+// Tests for the prediction service: correctness against direct evaluation,
+// batch semantics, caching, deadlines, resource limits, and concurrency
+// (this binary is the ThreadSanitizer target in CI).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/program_interface.h"
+#include "src/core/registry.h"
+#include "src/perfscript/interp.h"
+#include "src/perfscript/kv_object.h"
+#include "src/perfscript/parser.h"
+#include "src/serve/lru_cache.h"
+#include "src/serve/metrics.h"
+#include "src/serve/mpmc_queue.h"
+#include "src/serve/request.h"
+#include "src/serve/service.h"
+
+namespace perfiface::serve {
+namespace {
+
+PredictRequest JpegRequest(double orig_size, double compress_rate) {
+  PredictRequest req;
+  req.interface = "jpeg_decoder";
+  req.function = "latency_jpeg_decode";
+  req.attrs = {{"orig_size", orig_size}, {"compress_rate", compress_rate}};
+  return req;
+}
+
+PredictRequest ProtoaccRequest(double num_fields, double num_writes, int children) {
+  PredictRequest req;
+  req.interface = "protoacc";
+  req.function = "tput_protoacc_ser";
+  req.attrs = {{"num_fields", num_fields}, {"num_writes", num_writes}};
+  req.children = children;
+  return req;
+}
+
+double DirectJpegLatency(double orig_size, double compress_rate) {
+  ProgramInterface iface = InterfaceRegistry::Default().LoadProgram("jpeg_decoder");
+  KvObject img;
+  img.Set("orig_size", orig_size);
+  img.Set("compress_rate", compress_rate);
+  return iface.Eval("latency_jpeg_decode", img);
+}
+
+TEST(CanonicalCacheKey, AttrOrderInsensitive) {
+  PredictRequest a = JpegRequest(65536, 0.2);
+  PredictRequest b = a;
+  std::swap(b.attrs[0], b.attrs[1]);
+  EXPECT_EQ(CanonicalCacheKey(a, Representation::kProgram),
+            CanonicalCacheKey(b, Representation::kProgram));
+}
+
+TEST(CanonicalCacheKey, DistinguishesWorkloads) {
+  EXPECT_NE(CanonicalCacheKey(JpegRequest(65536, 0.2), Representation::kProgram),
+            CanonicalCacheKey(JpegRequest(65537, 0.2), Representation::kProgram));
+  EXPECT_NE(CanonicalCacheKey(JpegRequest(65536, 0.2), Representation::kProgram),
+            CanonicalCacheKey(JpegRequest(65536, 0.2), Representation::kPnet));
+  PredictRequest with_children = ProtoaccRequest(12, 9, 2);
+  PredictRequest without = ProtoaccRequest(12, 9, 0);
+  EXPECT_NE(CanonicalCacheKey(with_children, Representation::kProgram),
+            CanonicalCacheKey(without, Representation::kProgram));
+}
+
+TEST(ShardedLruCache, BasicHitMissEvict) {
+  ShardedLruCache cache(/*capacity=*/4, /*num_shards=*/1);
+  CachedPrediction out;
+  EXPECT_FALSE(cache.Get("a", &out));
+  cache.Put("a", {1.0, 0.0});
+  ASSERT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out.value, 1.0);
+  cache.Put("b", {2.0, 0.0});
+  cache.Put("c", {3.0, 0.0});
+  cache.Put("d", {4.0, 0.0});
+  // Refresh "a": the least recently used entry is now "b", so inserting a
+  // fifth entry evicts it.
+  ASSERT_TRUE(cache.Get("a", &out));
+  cache.Put("e", {5.0, 0.0});
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ShardedLruCache, DisabledCacheNeverHits) {
+  ShardedLruCache cache(/*capacity=*/0);
+  cache.Put("a", {1.0, 0.0});
+  CachedPrediction out;
+  EXPECT_FALSE(cache.Get("a", &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v));
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns < 100000; ns *= 3) {
+    h.Record(ns);
+  }
+  EXPECT_GT(h.count(), 0u);
+  EXPECT_LE(h.PercentileNs(50), h.PercentileNs(95));
+  EXPECT_LE(h.PercentileNs(95), h.PercentileNs(99));
+}
+
+TEST(PredictionService, MatchesDirectEvaluation) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  const PredictResponse resp = service.Predict(JpegRequest(65536, 0.2));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_DOUBLE_EQ(resp.value, DirectJpegLatency(65536, 0.2));
+}
+
+TEST(PredictionService, BatchPreservesOrderAcrossInterfaces) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.batch_chunk = 2;  // force many chunks
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  std::vector<PredictRequest> requests;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      requests.push_back(JpegRequest(4096.0 * (i + 1), 0.15));
+    } else {
+      requests.push_back(ProtoaccRequest(8 + i, 6 + i, i % 4));
+    }
+  }
+  const std::vector<PredictResponse> responses = service.PredictBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << i << ": " << responses[i].error;
+    EXPECT_GT(responses[i].value, 0.0);
+  }
+  // Spot-check a jpeg slot against direct evaluation.
+  EXPECT_DOUBLE_EQ(responses[0].value, DirectJpegLatency(4096, 0.15));
+}
+
+TEST(PredictionService, UnknownInterfaceAndFunction) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest bad_iface = JpegRequest(100, 0.5);
+  bad_iface.interface = "warp_drive";
+  EXPECT_EQ(service.Predict(bad_iface).status, PredictStatus::kNotFound);
+
+  PredictRequest bad_fn = JpegRequest(100, 0.5);
+  bad_fn.function = "latency_of_nothing";
+  EXPECT_EQ(service.Predict(bad_fn).status, PredictStatus::kNotFound);
+
+  // bitcoin_miner ships text only: no program, no pnet.
+  PredictRequest text_only;
+  text_only.interface = "bitcoin_miner";
+  text_only.function = "latency";
+  EXPECT_EQ(service.Predict(text_only).status, PredictStatus::kNotFound);
+}
+
+TEST(PredictionService, CacheHitSecondTime) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  const PredictResponse first = service.Predict(JpegRequest(65536, 0.2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  const PredictResponse second = service.Predict(JpegRequest(65536, 0.2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_DOUBLE_EQ(second.value, first.value);
+  EXPECT_GE(service.metrics().cache_hits(), 1u);
+
+  // Same workload, permuted attribute order: still a hit.
+  PredictRequest permuted = JpegRequest(65536, 0.2);
+  std::swap(permuted.attrs[0], permuted.attrs[1]);
+  EXPECT_TRUE(service.Predict(permuted).cache_hit);
+}
+
+TEST(PredictionService, CacheDisabled) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  EXPECT_FALSE(service.Predict(JpegRequest(1024, 0.3)).cache_hit);
+  EXPECT_FALSE(service.Predict(JpegRequest(1024, 0.3)).cache_hit);
+  EXPECT_EQ(service.metrics().cache_hits(), 0u);
+}
+
+TEST(PredictionService, ExplicitStepBudgetExhaustsCleanly) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req = ProtoaccRequest(32, 20, 8);
+  req.max_steps = 10;  // far below what read_cost recursion needs
+  const PredictResponse resp = service.Predict(req);
+  EXPECT_EQ(resp.status, PredictStatus::kResourceExhausted);
+  EXPECT_FALSE(resp.error.empty());
+
+  // The same request with a sane budget succeeds — the worker survived.
+  req.max_steps = 0;
+  EXPECT_TRUE(service.Predict(req).ok());
+}
+
+TEST(PredictionService, DeadlineDerivedBudgetReportsDeadlineExceeded) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.steps_per_us = 1;  // 1 step per microsecond: any real work blows it
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req = ProtoaccRequest(32, 20, 8);
+  req.deadline_us = 5;
+  const PredictResponse resp = service.Predict(req);
+  EXPECT_EQ(resp.status, PredictStatus::kDeadlineExceeded);
+  EXPECT_GE(service.metrics().deadline_exceeded(), 1u);
+}
+
+TEST(PredictionService, PnetQueryQuiescesAndPredicts) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req;
+  req.interface = "jpeg_decoder";
+  req.representation = Representation::kPnet;
+  // The JPEG net gates the vld stage on the header token, so a realistic
+  // decode injects both: one header plus eight stripes.
+  req.entry_place = "hdr_in:1,vld_in:8";
+  req.attrs = {{"bits", 800.0}, {"blocks", 8.0}};
+  const PredictResponse resp = service.Predict(req);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  // 8 stripes through the vld/idct/writer stages: latency dominated by the
+  // writer at blocks*4*273 cycles per stripe.
+  EXPECT_GT(resp.value, 8.0 * 8 * 4 * 273 * 0.9);
+  EXPECT_GT(resp.throughput, 0.0);
+
+  PredictRequest bad_place = req;
+  bad_place.entry_place = "no_such_place";
+  EXPECT_EQ(service.Predict(bad_place).status, PredictStatus::kNotFound);
+}
+
+TEST(PredictionService, RejectedAfterShutdown) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  service.Shutdown();
+  const PredictResponse resp = service.Predict(JpegRequest(1024, 0.2));
+  EXPECT_EQ(resp.status, PredictStatus::kRejected);
+  EXPECT_GE(service.metrics().rejected(), 1u);
+}
+
+TEST(PredictionService, StatsDumpsMentionInterfaces) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  (void)service.Predict(JpegRequest(2048, 0.25));
+  const std::string text = service.StatsText();
+  EXPECT_NE(text.find("jpeg_decoder"), std::string::npos);
+  const std::string json = service.StatsJson();
+  EXPECT_NE(json.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(json.find("jpeg_decoder"), std::string::npos);
+}
+
+// --- concurrency (the TSan-interesting part) ---
+
+TEST(PredictionServiceConcurrency, ParallelBatchesFromManyClients) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.batch_chunk = 8;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  constexpr int kClients = 6;
+  constexpr int kBatch = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &failures, c] {
+      std::vector<PredictRequest> requests;
+      requests.reserve(kBatch);
+      for (int i = 0; i < kBatch; ++i) {
+        // Overlapping key sets across clients: exercises concurrent cache
+        // insert/refresh of the same entries.
+        if ((c + i) % 3 == 0) {
+          requests.push_back(ProtoaccRequest(8 + i % 7, 5 + i % 5, i % 3));
+        } else {
+          requests.push_back(JpegRequest(1024.0 * (1 + i % 16), 0.1 + 0.01 * (i % 8)));
+        }
+      }
+      const std::vector<PredictResponse> responses = service.PredictBatch(requests);
+      for (const PredictResponse& r : responses) {
+        if (!r.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.metrics().total_requests(),
+            static_cast<std::uint64_t>(kClients * kBatch));
+}
+
+TEST(PredictionServiceConcurrency, CacheConsistencyUnderContention) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.cache_capacity = 64;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  const double expected = DirectJpegLatency(65536, 0.2);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &mismatches, expected] {
+      for (int i = 0; i < 50; ++i) {
+        const PredictResponse r = service.Predict(JpegRequest(65536, 0.2));
+        if (!r.ok() || r.value != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(PredictionServiceConcurrency, DeadlineExpiryUnderLoad) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.steps_per_us = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  std::vector<PredictRequest> requests;
+  for (int i = 0; i < 32; ++i) {
+    PredictRequest req = ProtoaccRequest(32, 20, 8);
+    req.deadline_us = (i % 2 == 0) ? 1 : 0;  // half tightly-deadlined
+    requests.push_back(std::move(req));
+  }
+  const std::vector<PredictResponse> responses = service.PredictBatch(requests);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(responses[i].status, PredictStatus::kDeadlineExceeded) << i;
+    } else {
+      EXPECT_TRUE(responses[i].ok()) << i << ": " << responses[i].error;
+    }
+  }
+}
+
+// Satellite: multi-threaded interpreter resource exhaustion. Each thread
+// owns its interpreter; the parsed program and the workload object are
+// shared read-only — the documented thread-safety contract of interp.h.
+TEST(InterpreterConcurrency, StepBudgetExhaustsCleanlyAcrossThreads) {
+  ParseResult parsed = ParseProgram(
+      "def burn(msg):\n"
+      "  total = 0\n"
+      "  for a in msg:\n"
+      "    for b in msg:\n"
+      "      total += 1\n"
+      "    end\n"
+      "  end\n"
+      "  return total\n"
+      "end\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Program program = std::move(parsed.program);
+
+  KvObject workload;
+  workload.Set("n", 1.0);
+  workload.AddUniformChildren(200);  // 200*200 inner iterations
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&program, &workload, &bad] {
+      Interpreter interp(&program);
+      interp.set_max_steps(500);
+      const EvalResult result = interp.Call("burn", {Value::Object(&workload)});
+      if (result.ok || !interp.step_budget_exhausted() ||
+          result.error.find("step budget exhausted") == std::string::npos) {
+        bad.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace perfiface::serve

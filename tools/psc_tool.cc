@@ -4,6 +4,7 @@
 //   psc_tool list <file.psc>                        list functions
 //   psc_tool eval <file.psc> <function> [k=v ...]   call with an object
 //       [--const name=value ...]                    define globals
+//       [--json]                                    machine-readable result
 //
 // The workload object passed to the function exposes the k=v pairs as
 // attributes. Nested objects (for `for sub in msg:`) can be expressed with
@@ -23,6 +24,7 @@
 #include "src/common/loc.h"
 #include "src/common/strings.h"
 #include "src/perfscript/interp.h"
+#include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
 
 namespace perfiface {
@@ -31,33 +33,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: psc_tool <check|list> <file.psc>\n"
-               "       psc_tool eval <file.psc> <function> [--const n=v ...] [k=v ...]\n");
+               "       psc_tool eval <file.psc> <function> [--const n=v ...] [--json] [k=v ...]\n");
   return 2;
 }
-
-// A shell-constructed workload object: flat numeric attributes plus an
-// optional uniform child list (children=N).
-class KvObject : public ScriptObject {
- public:
-  std::optional<double> GetAttr(std::string_view name) const override {
-    for (const auto& kv : attrs_) {
-      if (kv.first == name) {
-        return kv.second;
-      }
-    }
-    return std::nullopt;
-  }
-  std::size_t NumChildren() const override { return children_.size(); }
-  const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
-
-  void Set(const std::string& key, double value) { attrs_.emplace_back(key, value); }
-  void AddChild(std::unique_ptr<KvObject> child) { children_.push_back(std::move(child)); }
-  const std::vector<std::pair<std::string, double>>& attrs() const { return attrs_; }
-
- private:
-  std::vector<std::pair<std::string, double>> attrs_;
-  std::vector<std::unique_ptr<KvObject>> children_;
-};
 
 Program ParseOrDie(const std::string& path) {
   ParseResult parsed = ParseProgram(ReadFileOrDie(path));
@@ -94,8 +72,14 @@ int CmdEval(const std::string& path, const std::string& function,
 
   KvObject root;
   int children = 0;
+  bool json = false;
   std::size_t i = 0;
   while (i < args.size()) {
+    if (args[i] == "--json") {
+      json = true;
+      ++i;
+      continue;
+    }
     if (args[i] == "--const" && i + 1 < args.size()) {
       const auto eq = args[i + 1].find('=');
       if (eq == std::string::npos) {
@@ -118,18 +102,27 @@ int CmdEval(const std::string& path, const std::string& function,
     }
     ++i;
   }
-  for (int c = 0; c < children; ++c) {
-    auto child = std::make_unique<KvObject>();
-    for (const auto& kv : root.attrs()) {
-      child->Set(kv.first, kv.second);
-    }
-    root.AddChild(std::move(child));
-  }
+  root.AddUniformChildren(children);
 
   const EvalResult result = interp.Call(function, {Value::Object(&root)});
   if (!result.ok) {
-    std::fprintf(stderr, "runtime error: %s\n", result.error.c_str());
+    if (json) {
+      // Errors also go to stdout in JSON mode so one stream is parseable.
+      std::printf("{\"ok\":false,\"function\":\"%s\",\"error\":\"%s\"}\n", function.c_str(),
+                  result.error.c_str());
+    } else {
+      std::fprintf(stderr, "runtime error: %s\n", result.error.c_str());
+    }
     return 1;
+  }
+  if (json) {
+    if (result.value.IsNumber()) {
+      std::printf("{\"ok\":true,\"function\":\"%s\",\"value\":%.17g}\n", function.c_str(),
+                  result.value.num);
+    } else {
+      std::printf("{\"ok\":true,\"function\":\"%s\",\"value\":null}\n", function.c_str());
+    }
+    return 0;
   }
   if (result.value.IsNumber()) {
     std::printf("%.10g\n", result.value.num);

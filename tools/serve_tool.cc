@@ -1,0 +1,299 @@
+// serve_tool — command-line client for the prediction service.
+//
+//   serve_tool list
+//       interfaces the registry ships, with their representations
+//   serve_tool query <interface> <function|-> [k=v ...] [options]
+//       one ad-hoc query ("-" as function selects the Petri net)
+//   serve_tool run <query-file> [options]
+//       batch-execute a query file: one query per line,
+//           <interface> <function|-> [k=v ...]
+//       '#' starts a comment; blank lines are skipped
+//
+// Options:
+//   --rep program|pnet     force a representation (default: auto)
+//   --children N           uniform child objects (recursive interfaces)
+//   --tokens N             pnet: tokens injected (default 1)
+//   --entry SPEC           pnet: comma-separated place[:count] injection
+//                          plan (default: first place, `--tokens` copies)
+//   --deadline-us N        per-request deadline
+//   --max-steps N          per-request step/firing budget
+//   --workers N            worker threads (default: hardware concurrency)
+//   --cache N              cache capacity in entries (0 disables)
+//   --repeat N             run: repeat the query file N times (cache demo)
+//   --json                 machine-readable responses and stats
+//   --stats                print the service stats dump after the queries
+//
+// Example:
+//   serve_tool query jpeg_decoder latency_jpeg_decode orig_size=65536 compress_rate=0.18
+//   serve_tool query jpeg_decoder - --entry hdr_in:1,vld_in:40 bits=80 blocks=8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/loc.h"
+#include "src/common/strings.h"
+#include "src/core/registry.h"
+#include "src/serve/service.h"
+
+namespace perfiface::serve {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: serve_tool list\n"
+               "       serve_tool query <interface> <function|-> [k=v ...] [options]\n"
+               "       serve_tool run <query-file> [options]\n"
+               "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
+               "         --deadline-us N --max-steps N --workers N --cache N\n"
+               "         --repeat N --json --stats\n");
+  return 2;
+}
+
+struct CliOptions {
+  ServiceOptions service;
+  int repeat = 1;
+  bool json = false;
+  bool stats = false;
+};
+
+// Applies one option (with optional value) to the request/options; returns
+// the number of argv slots consumed, or 0 if `arg` is not an option.
+std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
+                        PredictRequest* req, CliOptions* cli) {
+  const std::string& arg = args[i];
+  auto value = [&](const char** out) {
+    if (i + 1 >= args.size()) {
+      return false;
+    }
+    *out = args[i + 1].c_str();
+    return true;
+  };
+  const char* v = nullptr;
+  if (arg == "--json") {
+    cli->json = true;
+    return 1;
+  }
+  if (arg == "--stats") {
+    cli->stats = true;
+    return 1;
+  }
+  if (arg == "--rep" && value(&v)) {
+    if (std::strcmp(v, "program") == 0) {
+      req->representation = Representation::kProgram;
+    } else if (std::strcmp(v, "pnet") == 0) {
+      req->representation = Representation::kPnet;
+    } else {
+      return 0;
+    }
+    return 2;
+  }
+  if (arg == "--children" && value(&v)) {
+    req->children = std::atoi(v);
+    return 2;
+  }
+  if (arg == "--tokens" && value(&v)) {
+    req->tokens = std::atoi(v);
+    return 2;
+  }
+  if (arg == "--entry" && value(&v)) {
+    req->entry_place = v;
+    return 2;
+  }
+  if (arg == "--deadline-us" && value(&v)) {
+    req->deadline_us = std::atoll(v);
+    return 2;
+  }
+  if (arg == "--max-steps" && value(&v)) {
+    req->max_steps = static_cast<std::uint64_t>(std::atoll(v));
+    return 2;
+  }
+  if (arg == "--workers" && value(&v)) {
+    cli->service.num_workers = static_cast<std::size_t>(std::atoi(v));
+    return 2;
+  }
+  if (arg == "--cache" && value(&v)) {
+    cli->service.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    return 2;
+  }
+  if (arg == "--repeat" && value(&v)) {
+    cli->repeat = std::atoi(v);
+    return 2;
+  }
+  return 0;
+}
+
+void PrintResponse(const PredictRequest& req, const PredictResponse& resp, bool json) {
+  if (json) {
+    std::string attrs;
+    for (const auto& kv : req.attrs) {
+      attrs += StrFormat("%s\"%s\":%.17g", attrs.empty() ? "" : ",", kv.first.c_str(), kv.second);
+    }
+    std::printf(
+        "{\"interface\":\"%s\",\"function\":\"%s\",\"attrs\":{%s},\"status\":\"%s\","
+        "\"value\":%.17g,\"throughput\":%.17g,\"cache_hit\":%s,\"eval_ns\":%llu%s%s%s}\n",
+        req.interface.c_str(), req.function.c_str(), attrs.c_str(),
+        PredictStatusName(resp.status), resp.value, resp.throughput,
+        resp.cache_hit ? "true" : "false", static_cast<unsigned long long>(resp.eval_ns),
+        resp.error.empty() ? "" : ",\"error\":\"", resp.error.c_str(),
+        resp.error.empty() ? "" : "\"");
+    return;
+  }
+  if (!resp.ok()) {
+    std::printf("%s %s: %s (%s)\n", req.interface.c_str(), req.function.c_str(),
+                PredictStatusName(resp.status), resp.error.c_str());
+    return;
+  }
+  std::printf("%s %s = %.10g%s%s\n", req.interface.c_str(),
+              req.function.empty() ? "<pnet>" : req.function.c_str(), resp.value,
+              resp.throughput != 0 && resp.throughput != resp.value
+                  ? StrFormat("  (throughput %.10g)", resp.throughput).c_str()
+                  : "",
+              resp.cache_hit ? "  [cached]" : "");
+}
+
+// Parses "<interface> <function|-> [k=v ...]" into a request; options are
+// handled by the caller. Returns false on malformed input.
+bool ParseQueryWords(const std::vector<std::string>& words, PredictRequest* req) {
+  if (words.size() < 2) {
+    return false;
+  }
+  req->interface = words[0];
+  if (words[1] == "-") {
+    req->representation = Representation::kPnet;
+  } else {
+    req->function = words[1];
+  }
+  for (std::size_t i = 2; i < words.size(); ++i) {
+    const auto eq = words[i].find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    const std::string key = words[i].substr(0, eq);
+    const double value = std::atof(words[i].c_str() + eq + 1);
+    if (key == "children") {
+      req->children = static_cast<int>(value);
+    } else {
+      req->attrs.emplace_back(key, value);
+    }
+  }
+  return true;
+}
+
+int CmdList() {
+  const InterfaceRegistry& registry = InterfaceRegistry::Default();
+  for (const InterfaceBundle& b : registry.bundles()) {
+    std::printf("%-18s%s%s%s\n", b.accelerator.c_str(), b.text.has_value() ? " text" : "",
+                b.program_path.empty() ? "" : " program", b.pnet_path.empty() ? "" : " pnet");
+  }
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  PredictRequest req;
+  CliOptions cli;
+  std::vector<std::string> words;
+  for (std::size_t i = 0; i < args.size();) {
+    const std::size_t consumed = ParseOption(args, i, &req, &cli);
+    if (consumed > 0) {
+      i += consumed;
+    } else if (StartsWith(args[i], "--")) {
+      return Usage();
+    } else {
+      words.push_back(args[i]);
+      ++i;
+    }
+  }
+  if (!ParseQueryWords(words, &req)) {
+    return Usage();
+  }
+  PredictionService service(InterfaceRegistry::Default(), cli.service);
+  const PredictResponse resp = service.Predict(req);
+  PrintResponse(req, resp, cli.json);
+  if (cli.stats) {
+    std::printf("%s\n", cli.json ? service.StatsJson().c_str() : service.StatsText().c_str());
+  }
+  return resp.ok() ? 0 : 1;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  const std::string path = args[0];
+  PredictRequest defaults;
+  CliOptions cli;
+  for (std::size_t i = 1; i < args.size();) {
+    const std::size_t consumed = ParseOption(args, i, &defaults, &cli);
+    if (consumed == 0) {
+      return Usage();
+    }
+    i += consumed;
+  }
+
+  std::vector<PredictRequest> requests;
+  for (const std::string& raw_line : SplitString(ReadFileOrDie(path), '\n')) {
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::vector<std::string> words;
+    for (const std::string& w : SplitString(line, ' ')) {
+      if (!StripWhitespace(w).empty()) {
+        words.push_back(std::string(StripWhitespace(w)));
+      }
+    }
+    PredictRequest req = defaults;
+    if (!ParseQueryWords(words, &req)) {
+      std::fprintf(stderr, "bad query line: %.*s\n", static_cast<int>(line.size()), line.data());
+      return 2;
+    }
+    requests.push_back(std::move(req));
+  }
+
+  PredictionService service(InterfaceRegistry::Default(), cli.service);
+  int failures = 0;
+  for (int r = 0; r < std::max(1, cli.repeat); ++r) {
+    const std::vector<PredictResponse> responses = service.PredictBatch(requests);
+    // Print only the last repetition; earlier ones just warm the cache.
+    if (r == std::max(1, cli.repeat) - 1) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        PrintResponse(requests[i], responses[i], cli.json);
+        if (!responses[i].ok()) {
+          ++failures;
+        }
+      }
+    }
+  }
+  if (cli.stats) {
+    std::printf("%s\n", cli.json ? service.StatsJson().c_str() : service.StatsText().c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    rest.emplace_back(argv[i]);
+  }
+  if (cmd == "list") {
+    return CmdList();
+  }
+  if (cmd == "query") {
+    return CmdQuery(rest);
+  }
+  if (cmd == "run") {
+    return CmdRun(rest);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace perfiface::serve
+
+int main(int argc, char** argv) { return perfiface::serve::Main(argc, argv); }
