@@ -11,6 +11,9 @@
 // The numbers printed here are the baseline later PRs must not regress:
 // scaling 1 -> 8 workers on the cached mix should be >= 4x, and a
 // cache-enabled run must beat cache-disabled on the Zipf workload.
+// Besides the human-readable table, the run writes BENCH_serve.json at the
+// repo root: the same rows in machine-readable form plus the host core
+// count, so CI (and later PRs) can diff throughput without scraping stdout.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -22,7 +25,9 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/common/strings.h"
 #include "src/core/registry.h"
+#include "src/obs/trace.h"
 #include "src/serve/service.h"
 
 namespace perfiface::serve {
@@ -169,6 +174,22 @@ LoadResult DriveLoad(PredictionService* service, const std::vector<PredictReques
   return out;
 }
 
+std::string RowJson(std::size_t workers, std::size_t cache, const LoadResult& r) {
+  return StrFormat(
+      "{\"workers\":%zu,\"cache\":%zu,\"qps\":%.1f,\"p50_us\":%.2f,\"p95_us\":%.2f,"
+      "\"p99_us\":%.2f,\"hit_rate\":%.4f}",
+      workers, cache, r.qps, r.p50_us, r.p95_us, r.p99_us, r.hit_rate);
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace
 }  // namespace perfiface::serve
 
@@ -195,6 +216,7 @@ int main() {
   double qps_1w_cached = 0;
   double qps_8w_cached = 0;
   double qps_8w_uncached = 0;
+  std::vector<std::string> sweep1_rows;
   for (const std::size_t cache : {std::size_t{0}, std::size_t{2048}}) {
     for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
       ServiceOptions options;
@@ -207,6 +229,7 @@ int main() {
           DriveLoad(&service, population, zipf, /*clients=*/8, kQueries, kBatch);
       std::printf("%8zu %8zu %12.0f %10.2f %10.2f %10.2f %9.1f%%\n", workers, cache, r.qps,
                   r.p50_us, r.p95_us, r.p99_us, 100.0 * r.hit_rate);
+      sweep1_rows.push_back(RowJson(workers, cache, r));
       if (cache != 0 && workers == 1) qps_1w_cached = r.qps;
       if (cache != 0 && workers == 8) qps_8w_cached = r.qps;
       if (cache == 0 && workers == 8) qps_8w_uncached = r.qps;
@@ -228,6 +251,7 @@ int main() {
               cache_gain > 1.0 ? "[ok: cache wins]" : "[CACHE NOT HELPING]");
 
   // --- Sweep 2: cache capacity ----------------------------------------
+  std::vector<std::string> sweep2_rows;
   std::printf("%10s %12s %10s\n", "cache_cap", "qps", "hit_rate");
   for (const std::size_t cache : {std::size_t{0}, std::size_t{256}, std::size_t{1024},
                                   std::size_t{4096}, std::size_t{16384}}) {
@@ -238,6 +262,68 @@ int main() {
     (void)DriveLoad(&service, population, zipf, 4, kQueries / 4, kBatch);
     const LoadResult r = DriveLoad(&service, population, zipf, 8, kQueries, kBatch);
     std::printf("%10zu %12.0f %9.1f%%\n", cache, r.qps, 100.0 * r.hit_rate);
+    sweep2_rows.push_back(RowJson(8, cache, r));
+  }
+
+  // --- Tracing overhead -------------------------------------------------
+  // Same config twice: tracer off (the shipped default — this is the row
+  // later PRs diff against the pre-instrumentation baseline) vs tracer on
+  // with 1-in-64 sampling. Enabled tracing may cost a few percent; the
+  // disabled row must not.
+  double qps_trace_off = 0;
+  double qps_trace_on = 0;
+  for (const bool traced : {false, true}) {
+    ServiceOptions options;
+    options.num_workers = 4;
+    options.cache_capacity = 2048;
+    PredictionService service(InterfaceRegistry::Default(), options);
+    (void)DriveLoad(&service, population, zipf, 4, kQueries / 8, kBatch);
+    if (traced) {
+      obs::TracerOptions trace_options;
+      trace_options.sample_every = 64;
+      obs::Tracer::Global().Start(trace_options);
+    }
+    const LoadResult r = DriveLoad(&service, population, zipf, 4, kQueries / 2, kBatch);
+    if (traced) {
+      obs::Tracer::Global().Stop();
+      qps_trace_on = r.qps;
+    } else {
+      qps_trace_off = r.qps;
+    }
+  }
+  std::printf("\ntracing overhead (4 workers, cached): off %.0f qps, on(1/64) %.0f qps -> %.1f%%\n",
+              qps_trace_off, qps_trace_on,
+              qps_trace_off > 0 ? 100.0 * (1.0 - qps_trace_on / qps_trace_off) : 0.0);
+
+  // --- Machine-readable dump (BENCH_serve.json, repo root) --------------
+  std::string json = "{\n";
+  json += StrFormat("  \"bench\": \"serve_throughput\",\n  \"host_cores\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += StrFormat(
+      "  \"distinct_queries\": %zu,\n  \"total_queries\": %zu,\n  \"batch\": %zu,\n"
+      "  \"zipf_s\": %.2f,\n",
+      kDistinct, kQueries, kBatch, kZipfS);
+  json += "  \"worker_cache_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep1_rows.size(); ++i) {
+    json += "    " + sweep1_rows[i] + (i + 1 == sweep1_rows.size() ? "\n" : ",\n");
+  }
+  json += "  ],\n  \"cache_capacity_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep2_rows.size(); ++i) {
+    json += "    " + sweep2_rows[i] + (i + 1 == sweep2_rows.size() ? "\n" : ",\n");
+  }
+  json += "  ],\n";
+  json += StrFormat("  \"worker_scaling_1_to_8_cached\": %.3f,\n", scaling);
+  json += StrFormat("  \"cache_speedup_8_workers\": %.3f,\n", cache_gain);
+  json += StrFormat(
+      "  \"trace_overhead\": {\"qps_disabled\": %.1f, \"qps_enabled_1_in_64\": %.1f}\n",
+      qps_trace_off, qps_trace_on);
+  json += "}\n";
+  const std::string out_path = std::string(PERFIFACE_SOURCE_DIR) + "/BENCH_serve.json";
+  if (WriteFile(out_path, json)) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
   }
   return 0;
 }

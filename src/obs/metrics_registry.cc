@@ -1,0 +1,55 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace perfiface::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Counter>& c : counters_) {
+    if (c->name_ == name) {
+      return *c;
+    }
+  }
+  counters_.push_back(std::unique_ptr<Counter>(new Counter(name, help)));
+  return *counters_.back();
+}
+
+std::uint64_t MetricsRegistry::RegisterCollector(std::function<void(std::string*)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  collectors_.push_back(CollectorEntry{handle, std::move(collector)});
+  return handle;
+}
+
+void MetricsRegistry::Unregister(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(std::remove_if(collectors_.begin(), collectors_.end(),
+                                   [&](const CollectorEntry& e) { return e.handle == handle; }),
+                    collectors_.end());
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<Counter>& c : counters_) {
+    out += StrFormat("# HELP %s %s\n", c->name_.c_str(), c->help_.c_str());
+    out += StrFormat("# TYPE %s counter\n", c->name_.c_str());
+    out += StrFormat("%s %llu\n", c->name_.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const CollectorEntry& entry : collectors_) {
+    entry.fn(&out);
+  }
+  return out;
+}
+
+}  // namespace perfiface::obs

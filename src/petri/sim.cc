@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace perfiface {
 
@@ -242,28 +244,58 @@ PetriSim::Firing& PetriSim::ScheduleFiring(Cycles complete_at) {
 }
 
 bool PetriSim::Run(Cycles max_time) {
-  for (;;) {
-    StartAll();
-    if (budget_exhausted_) {
-      return false;
+  static obs::MetricsRegistry::Counter& runs_total = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_pnet_runs_total", "Petri-net simulation runs");
+  static obs::MetricsRegistry::Counter& firings_total = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_pnet_firings_total", "Petri-net transition firings");
+  // Tracing cost is decided once per run: the per-firing instants below are
+  // subject to the tracer's sampling knob, the loop itself only pays a
+  // relaxed load when tracing is off.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool traced = tracer.enabled();
+  obs::SpanGuard span("pnet", "run");
+  const std::uint64_t firings_before = total_firings_;
+
+  const bool quiesced = [&] {
+    for (;;) {
+      StartAll();
+      if (traced) {
+        // In-flight firings == tokens currently being processed.
+        tracer.Counter("pnet", "tokens_in_flight", static_cast<double>(events_.size()));
+      }
+      if (budget_exhausted_) {
+        return false;
+      }
+      if (events_.empty()) {
+        return true;
+      }
+      const Cycles t = events_.front().complete_at;
+      if (t > max_time) {
+        now_ = max_time;
+        return false;
+      }
+      now_ = t;
+      while (!events_.empty() && events_.front().complete_at == now_) {
+        std::pop_heap(events_.begin(), events_.end(), FiringOrder());
+        const std::uint32_t slot = events_.back().slot;
+        events_.pop_back();
+        const TransitionId fired = slab_[slot].transition;
+        Complete(slab_[slot]);
+        free_slots_.push_back(slot);
+        if (traced) {
+          tracer.Instant("pnet", "fire", "sim_time", static_cast<double>(now_), "transition",
+                         std::string(net_->transitions()[fired].name));
+        }
+      }
     }
-    if (events_.empty()) {
-      return true;
-    }
-    const Cycles t = events_.front().complete_at;
-    if (t > max_time) {
-      now_ = max_time;
-      return false;
-    }
-    now_ = t;
-    while (!events_.empty() && events_.front().complete_at == now_) {
-      std::pop_heap(events_.begin(), events_.end(), FiringOrder());
-      const std::uint32_t slot = events_.back().slot;
-      events_.pop_back();
-      Complete(slab_[slot]);
-      free_slots_.push_back(slot);
-    }
+  }();
+
+  runs_total.Increment();
+  firings_total.Add(total_firings_ - firings_before);
+  if (span.active()) {
+    span.SetArg("firings", static_cast<double>(total_firings_ - firings_before));
   }
+  return quiesced;
 }
 
 }  // namespace perfiface

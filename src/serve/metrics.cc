@@ -87,10 +87,10 @@ void ServiceMetrics::RecordRequest(std::size_t iface_idx, std::uint64_t latency_
   }
 }
 
-void ServiceMetrics::RecordStatus(bool cache_hit, bool deadline_exceeded, bool rejected) {
-  if (cache_hit) {
+void ServiceMetrics::RecordStatus(CacheOutcome cache, bool deadline_exceeded, bool rejected) {
+  if (cache == CacheOutcome::kHit) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  } else if (cache == CacheOutcome::kMiss) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   if (deadline_exceeded) {
@@ -146,6 +146,76 @@ std::string ServiceMetrics::DumpJson(std::size_t queue_depth) const {
         m.latency.PercentileNs(95) / 1e3, m.latency.PercentileNs(99) / 1e3);
   }
   out += "]}";
+  return out;
+}
+
+std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
+  std::string out;
+  const auto counter = [&out](const char* name, const char* help, std::uint64_t value) {
+    out += StrFormat("# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help, name, name,
+                     static_cast<unsigned long long>(value));
+  };
+  counter("perfiface_serve_requests_total", "Requests answered by the prediction service",
+          total_requests());
+  counter("perfiface_serve_errors_total", "Requests that did not return OK", total_errors());
+  counter("perfiface_serve_cache_hits_total", "Requests answered from the prediction cache",
+          cache_hits());
+  counter("perfiface_serve_cache_misses_total",
+          "Requests that consulted the cache and evaluated", cache_misses());
+  counter("perfiface_serve_deadline_exceeded_total", "Requests past their deadline",
+          deadline_exceeded());
+  counter("perfiface_serve_rejected_total", "Requests rejected at submission", rejected());
+  out += StrFormat(
+      "# HELP perfiface_serve_queue_depth Request chunks waiting in the worker queue\n"
+      "# TYPE perfiface_serve_queue_depth gauge\n"
+      "perfiface_serve_queue_depth %zu\n",
+      queue_depth);
+
+  out +=
+      "# HELP perfiface_serve_interface_requests_total Requests per interface\n"
+      "# TYPE perfiface_serve_interface_requests_total counter\n";
+  for (const auto& m : per_interface_) {
+    out += StrFormat("perfiface_serve_interface_requests_total{interface=\"%s\"} %llu\n",
+                     m->interface.c_str(),
+                     static_cast<unsigned long long>(m->requests.load(std::memory_order_relaxed)));
+  }
+  out +=
+      "# HELP perfiface_serve_interface_errors_total Errors per interface\n"
+      "# TYPE perfiface_serve_interface_errors_total counter\n";
+  for (const auto& m : per_interface_) {
+    out += StrFormat("perfiface_serve_interface_errors_total{interface=\"%s\"} %llu\n",
+                     m->interface.c_str(),
+                     static_cast<unsigned long long>(m->errors.load(std::memory_order_relaxed)));
+  }
+
+  out +=
+      "# HELP perfiface_serve_latency_seconds Service-side request latency\n"
+      "# TYPE perfiface_serve_latency_seconds histogram\n";
+  for (const auto& m : per_interface_) {
+    // Skip idle rows: scrape size stays proportional to live traffic.
+    if (m->latency.count() == 0) {
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t n = m->latency.BucketCount(b);
+      if (n == 0 && b + 1 != LatencyHistogram::kBuckets) {
+        cumulative += n;
+        continue;  // elide empty buckets; cumulative semantics are preserved
+      }
+      cumulative += n;
+      out += StrFormat("perfiface_serve_latency_seconds_bucket{interface=\"%s\",le=\"%.9g\"} %llu\n",
+                       m->interface.c_str(),
+                       static_cast<double>(LatencyHistogram::BucketUpperNs(b)) / 1e9,
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("perfiface_serve_latency_seconds_bucket{interface=\"%s\",le=\"+Inf\"} %llu\n",
+                     m->interface.c_str(), static_cast<unsigned long long>(m->latency.count()));
+    out += StrFormat("perfiface_serve_latency_seconds_sum{interface=\"%s\"} %.9g\n",
+                     m->interface.c_str(), static_cast<double>(m->latency.sum_ns()) / 1e9);
+    out += StrFormat("perfiface_serve_latency_seconds_count{interface=\"%s\"} %llu\n",
+                     m->interface.c_str(), static_cast<unsigned long long>(m->latency.count()));
+  }
   return out;
 }
 

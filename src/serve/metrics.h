@@ -32,6 +32,13 @@ class LatencyHistogram {
   // Estimated percentile (p in [0,100]) from bucket midpoints; 0 if empty.
   double PercentileNs(double p) const;
 
+  // Raw bucket access for the Prometheus exposition: bucket b spans
+  // [2^(b-1), 2^b) ns and BucketUpperNs is its inclusive upper bound.
+  std::uint64_t BucketCount(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  static std::uint64_t BucketUpperNs(std::size_t b) { return 1ULL << b; }
+
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
@@ -47,6 +54,12 @@ struct InterfaceMetrics {
   std::atomic<std::uint64_t> errors{0};
 };
 
+// What the cache saw for one request. Requests that are resolved before the
+// cache lookup (rejected at submission, expired in queue, unknown
+// interface/function) must report kNotConsulted so they don't inflate the
+// miss counter and skew the hit rate.
+enum class CacheOutcome { kHit, kMiss, kNotConsulted };
+
 class ServiceMetrics {
  public:
   explicit ServiceMetrics(const std::vector<std::string>& interfaces);
@@ -56,7 +69,7 @@ class ServiceMetrics {
   std::size_t IndexOf(const std::string& interface) const;
 
   void RecordRequest(std::size_t iface_idx, std::uint64_t latency_ns, bool ok);
-  void RecordStatus(bool cache_hit, bool deadline_exceeded, bool rejected);
+  void RecordStatus(CacheOutcome cache, bool deadline_exceeded, bool rejected);
 
   std::uint64_t total_requests() const { return total_requests_.load(std::memory_order_relaxed); }
   std::uint64_t total_errors() const { return total_errors_.load(std::memory_order_relaxed); }
@@ -75,6 +88,9 @@ class ServiceMetrics {
   // the caller (the service owns the queue).
   std::string DumpText(std::size_t queue_depth) const;
   std::string DumpJson(std::size_t queue_depth) const;
+  // Prometheus text exposition (docs/observability.md): totals, queue-depth
+  // gauge, per-interface counters, and native histograms with log2 buckets.
+  std::string DumpPrometheus(std::size_t queue_depth) const;
 
  private:
   std::vector<std::unique_ptr<InterfaceMetrics>> per_interface_;

@@ -5,6 +5,8 @@
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/perfscript/kv_object.h"
 #include "src/petri/sim.h"
 
@@ -45,6 +47,10 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
     entries_.push_back(std::move(entry));
   }
   metrics_ = std::make_unique<ServiceMetrics>(names);
+  // One scrape via MetricsRegistry::RenderPrometheus() unifies this
+  // service's families with the process-wide interp/pnet/sim counters.
+  metrics_collector_ = obs::MetricsRegistry::Global().RegisterCollector(
+      [this](std::string* out) { *out += metrics_->DumpPrometheus(queue_depth()); });
 
   std::size_t n = options_.num_workers;
   if (n == 0) {
@@ -56,7 +62,11 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
   }
 }
 
-PredictionService::~PredictionService() { Shutdown(); }
+PredictionService::~PredictionService() {
+  // The collector captures `this`; detach it before any member dies.
+  obs::MetricsRegistry::Global().Unregister(metrics_collector_);
+  Shutdown();
+}
 
 void PredictionService::Shutdown() {
   std::call_once(shutdown_once_, [this] {
@@ -65,6 +75,10 @@ void PredictionService::Shutdown() {
       w.join();
     }
   });
+}
+
+std::string PredictionService::StatsPrometheus() const {
+  return obs::MetricsRegistry::Global().RenderPrometheus();
 }
 
 std::vector<std::string> PredictionService::InterfaceNames() const {
@@ -106,25 +120,35 @@ std::vector<PredictResponse> PredictionService::PredictBatch(
     batch.remaining = requests.size();
   }
   std::size_t first_rejected = requests.size();
-  for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
-    Job job;
-    job.requests = requests.data();
-    job.responses = responses.data();
-    job.begin = begin;
-    job.end = std::min(requests.size(), begin + chunk);
-    job.batch = &batch;
-    if (!queue_.Push(job)) {
-      first_rejected = begin;
-      break;
+  {
+    obs::SpanGuard enqueue_span("serve", "enqueue");
+    enqueue_span.SetArg("requests", static_cast<double>(requests.size()));
+    for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
+      Job job;
+      job.requests = requests.data();
+      job.responses = responses.data();
+      job.begin = begin;
+      job.end = std::min(requests.size(), begin + chunk);
+      job.batch = &batch;
+      if (!queue_.Push(job)) {
+        first_rejected = begin;
+        break;
+      }
+      ++accepted_chunks;
     }
-    ++accepted_chunks;
+  }
+  if (obs::Tracer::Global().enabled()) {
+    obs::Tracer::Global().Counter("serve", "queue_depth",
+                                  static_cast<double>(queue_.size()));
   }
   if (first_rejected < requests.size()) {
     // Service shut down mid-submission: answer the unqueued tail directly.
+    // These requests never consulted the cache, so the hit/miss counters
+    // must not move (the miss counter once did, skewing the hit rate).
     for (std::size_t i = first_rejected; i < requests.size(); ++i) {
       responses[i].status = PredictStatus::kRejected;
       responses[i].error = "service is shut down";
-      metrics_->RecordStatus(/*cache_hit=*/false, /*deadline_exceeded=*/false,
+      metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
                              /*rejected=*/true);
     }
     std::lock_guard<std::mutex> lock(batch.mu);
@@ -143,7 +167,20 @@ void PredictionService::WorkerLoop() {
   WorkerState state;
   state.interps.resize(entries_.size());
   Job job;
-  while (queue_.Pop(&job)) {
+  for (;;) {
+    {
+      // The dequeue span makes worker idle time (queue wait) visible next
+      // to the eval spans it precedes.
+      obs::SpanGuard dequeue_span("serve", "dequeue");
+      if (!queue_.Pop(&job)) {
+        break;
+      }
+      dequeue_span.SetArg("chunk", static_cast<double>(job.end - job.begin));
+    }
+    if (obs::Tracer::Global().enabled()) {
+      obs::Tracer::Global().Counter("serve", "queue_depth",
+                                    static_cast<double>(queue_.size()));
+    }
     for (std::size_t i = job.begin; i < job.end; ++i) {
       job.responses[i] = Evaluate(job.requests[i], job.batch->submitted, &state);
     }
@@ -166,12 +203,24 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   const Clock::time_point start = Clock::now();
   PredictResponse response;
 
+  obs::SpanGuard eval_span("serve", "eval");
+  if (eval_span.active()) {
+    eval_span.SetArg("interface", request.interface);
+  }
+
   const std::size_t iface_idx = metrics_->IndexOf(request.interface);
+  // kNotConsulted until the cache lookup actually runs: early exits
+  // (expired deadline, unknown interface/function) must not skew the
+  // hit/miss counters.
+  CacheOutcome cache_outcome = CacheOutcome::kNotConsulted;
   auto finish = [&](PredictResponse r) {
     r.eval_ns = ElapsedNs(start, Clock::now());
     metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
-    metrics_->RecordStatus(r.cache_hit, r.status == PredictStatus::kDeadlineExceeded,
+    metrics_->RecordStatus(cache_outcome, r.status == PredictStatus::kDeadlineExceeded,
                            r.status == PredictStatus::kRejected);
+    if (eval_span.active()) {
+      eval_span.SetArg("status", std::string(PredictStatusName(r.status)));
+    }
     return r;
   };
 
@@ -228,17 +277,21 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   const std::string key = CanonicalCacheKey(request, rep);
   CachedPrediction cached;
   if (cache_.Get(key, &cached)) {
+    cache_outcome = CacheOutcome::kHit;
+    obs::Tracer::Global().Instant("serve", "cache_hit");
     response.status = PredictStatus::kOk;
     response.value = cached.value;
     response.throughput = cached.throughput;
     response.cache_hit = true;
     return finish(response);
   }
+  cache_outcome = CacheOutcome::kMiss;
 
   response = rep == Representation::kProgram
                  ? EvaluateProgram(request, *entry, entry_idx, budget, deadline_limited, state)
                  : EvaluatePnet(request, *entry, budget, deadline_limited);
   if (response.ok()) {
+    obs::SpanGuard fill_span("serve", "cache_fill");
     cache_.Put(key, CachedPrediction{response.value, response.throughput});
   }
   return finish(response);

@@ -87,6 +87,10 @@ class PredictionService {
   // Observability dumps (histograms, counters, queue depth).
   std::string StatsText() const { return metrics_->DumpText(queue_depth()); }
   std::string StatsJson() const { return metrics_->DumpJson(queue_depth()); }
+  // Prometheus scrape: this service's families plus the process-wide
+  // interp/pnet/sim counters (the service registers itself as a collector
+  // with obs::MetricsRegistry; see docs/observability.md).
+  std::string StatsPrometheus() const;
 
   // Interfaces the service can answer for (registry order).
   std::vector<std::string> InterfaceNames() const;
@@ -140,6 +144,7 @@ class PredictionService {
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+  std::uint64_t metrics_collector_ = 0;  // obs::MetricsRegistry handle
 };
 
 }  // namespace perfiface::serve

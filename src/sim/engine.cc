@@ -1,6 +1,11 @@
 #include "src/sim/engine.h"
 
+#include <string>
+#include <vector>
+
 #include "src/common/check.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace perfiface {
 
@@ -38,22 +43,65 @@ bool Engine::AllIdle() const {
   return true;
 }
 
-bool Engine::RunUntilIdle(Cycles max_cycles) {
-  const Cycles deadline = now_ + max_cycles;
+template <typename StopFn>
+bool Engine::RunLoop(Cycles deadline, StopFn&& stop) {
+  static obs::MetricsRegistry::Counter& runs_total = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_sim_runs_total", "Cycle-level engine runs");
+  static obs::MetricsRegistry::Counter& cycles_total = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_sim_cycles_total", "Cycles simulated by the cycle-level engine");
+  static obs::MetricsRegistry::Counter& ticks_total = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_sim_module_ticks_total", "Module ticks executed by the cycle-level engine");
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool traced = tracer.enabled();
+  obs::SpanGuard span("sim", "run");
+  const Cycles start = now_;
+  std::vector<std::uint64_t> busy;
+  if (traced) {
+    busy.assign(modules_.size(), 0);
+  }
+
+  bool done = false;
   while (now_ < deadline) {
-    if (AllIdle()) {
-      return true;
+    if (stop()) {
+      done = true;
+      break;
+    }
+    if (traced) {
+      for (std::size_t m = 0; m < modules_.size(); ++m) {
+        if (!modules_[m]->Idle()) {
+          ++busy[m];
+        }
+      }
     }
     TickOnce();
+  }
+
+  const Cycles simulated = now_ - start;
+  runs_total.Increment();
+  cycles_total.Add(simulated);
+  ticks_total.Add(simulated * modules_.size());
+  if (span.active()) {
+    span.SetArg("cycles", static_cast<double>(simulated));
+  }
+  if (traced) {
+    // One counter track per module: busy cycles attributed to this run.
+    for (std::size_t m = 0; m < modules_.size(); ++m) {
+      tracer.CounterDyn("sim", "busy_cycles." + std::string(modules_[m]->name()),
+                        static_cast<double>(busy[m]));
+    }
+  }
+  return done;
+}
+
+bool Engine::RunUntilIdle(Cycles max_cycles) {
+  if (RunLoop(now_ + max_cycles, [&] { return AllIdle(); })) {
+    return true;
   }
   return AllIdle();
 }
 
 void Engine::RunFor(Cycles cycles) {
-  const Cycles deadline = now_ + cycles;
-  while (now_ < deadline) {
-    TickOnce();
-  }
+  RunLoop(now_ + cycles, [] { return false; });
 }
 
 }  // namespace perfiface

@@ -38,6 +38,13 @@ class Engine {
   bool AllIdle() const;
 
  private:
+  // Shared body of RunUntilIdle/RunFor with tracing: emits one "sim.run"
+  // span and, per module, a busy-cycle attribution (cycles the module had
+  // in-flight work). Attribution is collected only while the tracer is
+  // enabled, so the untraced per-cycle loop stays unchanged.
+  template <typename StopFn>
+  bool RunLoop(Cycles deadline, StopFn&& stop);
+
   Cycles now_ = 0;
   std::vector<Module*> modules_;
   std::vector<FifoBase*> fifos_;

@@ -1,0 +1,665 @@
+// Tests for the cross-layer tracing and metrics layer (src/obs): span
+// nesting across threads, deterministic seeded sampling, the wait-free
+// disabled hot path (verified allocation-free via a counting operator new),
+// Chrome trace_event JSON well-formedness (parsed back by a real JSON
+// parser below), the cross-layer acceptance trace (serve + interp + pnet +
+// sim categories in one file), and the Prometheus exposition.
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/core/registry.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request.h"
+#include "src/serve/service.h"
+#include "src/sim/engine.h"
+#include "src/sim/fifo.h"
+#include "src/sim/module.h"
+
+// ---------------------------------------------------------------------------
+// Counting operator new: lets the disabled-hot-path test assert that
+// instrumentation sites allocate nothing when tracing is off. Overriding at
+// global scope covers every allocation in this binary.
+
+static std::atomic<std::uint64_t> g_allocations{0};
+
+// GCC pairs our malloc-backed operator new with the free() in operator
+// delete and flags it as mismatched; the pairing is intentional here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace perfiface {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — just enough to parse the tracer's
+// own output back and make structural assertions against it. Parsing with a
+// real parser (rather than substring checks) is the point: it catches
+// escaping and comma-placement bugs that string matching would miss.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    JsonValue v;
+    if (!ParseValue(&v)) {
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing garbage
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key) || !Consume(':')) {
+        return false;
+      }
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->fields.emplace_back(std::move(key), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      return false;
+    }
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->items.push_back(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          *out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::atof(std::string(text_.substr(start, pos_ - start)).c_str());
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> ParseTrace(const std::string& json) {
+  return JsonParser(json).Parse();
+}
+
+// Convenience: parse the tracer's current contents and return traceEvents.
+std::vector<JsonValue> ExportedEvents() {
+  const auto doc = ParseTrace(obs::Tracer::Global().ExportChromeJson());
+  EXPECT_TRUE(doc.has_value());
+  if (!doc) {
+    return {};
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  return events ? events->items : std::vector<JsonValue>{};
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  // Every test leaves the process-wide tracer stopped.
+  void TearDown() override { obs::Tracer::Global().Stop(); }
+};
+
+TEST_F(TracerTest, SpanNestingAcrossThreads) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+
+  auto worker = [] {
+    obs::SpanGuard outer("test", "outer");
+    outer.SetArg("level", 0.0);
+    {
+      obs::SpanGuard inner("test", "inner");
+      inner.SetArg("level", 1.0);
+      // Make the inner span's duration visible at ns resolution.
+      volatile double sink = 0;
+      for (int i = 0; i < 1000; ++i) {
+        sink = sink + static_cast<double>(i);
+      }
+    }
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  tracer.Stop();
+
+  struct Span {
+    double ts = 0, dur = 0;
+  };
+  // tid -> name -> span. Each thread must carry its own nested pair.
+  std::map<double, std::map<std::string, Span>> by_tid;
+  for (const JsonValue& e : ExportedEvents()) {
+    const JsonValue* cat = e.Find("cat");
+    if (cat == nullptr || cat->str != "test") {
+      continue;
+    }
+    Span s{e.Find("ts")->number, e.Find("dur")->number};
+    by_tid[e.Find("tid")->number][e.Find("name")->str] = s;
+  }
+  ASSERT_EQ(by_tid.size(), 2u) << "expected spans from two distinct threads";
+  for (const auto& [tid, spans] : by_tid) {
+    ASSERT_TRUE(spans.count("outer")) << "tid " << tid;
+    ASSERT_TRUE(spans.count("inner")) << "tid " << tid;
+    const Span& outer = spans.at("outer");
+    const Span& inner = spans.at("inner");
+    EXPECT_GE(inner.ts, outer.ts);
+    EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur + 1e-3);
+  }
+}
+
+TEST_F(TracerTest, SamplingIsDeterministicPerSeed) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+
+  auto recorded_indices = [&](std::uint64_t seed) {
+    obs::TracerOptions options;
+    options.sample_every = 4;
+    options.seed = seed;
+    tracer.Start(options);
+    for (int i = 0; i < 16; ++i) {
+      tracer.Instant("sample", "tick", "i", static_cast<double>(i));
+    }
+    tracer.Stop();
+    std::set<int> indices;
+    for (const JsonValue& e : ExportedEvents()) {
+      if (e.Find("cat")->str != "sample") {
+        continue;
+      }
+      indices.insert(static_cast<int>(e.Find("args")->Find("i")->number));
+    }
+    return indices;
+  };
+
+  const std::set<int> seed0 = recorded_indices(0);
+  const std::set<int> seed0_again = recorded_indices(0);
+  const std::set<int> seed1 = recorded_indices(1);
+  EXPECT_EQ(seed0, (std::set<int>{0, 4, 8, 12}));
+  EXPECT_EQ(seed0, seed0_again) << "same seed must select the same events";
+  EXPECT_EQ(seed1, (std::set<int>{3, 7, 11, 15})) << "seed shifts the phase";
+  EXPECT_NE(seed0, seed1);
+}
+
+TEST_F(TracerTest, CountersBypassSampling) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::TracerOptions options;
+  options.sample_every = 1000;  // spans/instants essentially all dropped
+  tracer.Start(options);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Counter("queue", "depth", static_cast<double>(i));
+  }
+  tracer.Stop();
+  int counters = 0;
+  for (const JsonValue& e : ExportedEvents()) {
+    if (e.Find("cat")->str == "queue") {
+      EXPECT_EQ(e.Find("ph")->str, "C");
+      ++counters;
+    }
+  }
+  EXPECT_EQ(counters, 8);
+}
+
+TEST_F(TracerTest, DisabledHotPathDoesNotAllocate) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Stop();
+  ASSERT_FALSE(tracer.enabled());
+
+  // Warm up function-local statics outside the measured window.
+  {
+    obs::SpanGuard warmup("bench", "warmup");
+    tracer.Instant("bench", "warmup");
+    tracer.Counter("bench", "warmup", 0);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::SpanGuard span("bench", "hot");
+    span.SetArg("i", static_cast<double>(i));
+    tracer.Instant("bench", "hot");
+    tracer.Counter("bench", "hot", static_cast<double>(i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "disabled tracing must not allocate";
+}
+
+TEST_F(TracerTest, EventCapDropsAndCounts) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::TracerOptions options;
+  options.max_events_per_thread = 4;
+  tracer.Start(options);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant("cap", "tick");
+  }
+  tracer.Stop();
+  EXPECT_EQ(tracer.recorded_events(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+  EXPECT_NE(tracer.SummaryText().find("6 dropped"), std::string::npos);
+}
+
+TEST_F(TracerTest, ChromeJsonIsWellFormedAndEscaped) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+  {
+    obs::SpanGuard span("escape", "span");
+    span.SetArg("text", std::string("quote\" slash\\ newline\n tab\t ctrl\x01"));
+  }
+  tracer.Instant("escape", "instant", "n", 2.5);
+  tracer.CounterDyn("escape", "dyn\"name", 7);
+  tracer.Stop();
+
+  const std::string json = tracer.ExportChromeJson();
+  const auto doc = ParseTrace(json);
+  ASSERT_TRUE(doc.has_value()) << "export must be valid JSON:\n" << json;
+  EXPECT_EQ(doc->Find("displayTimeUnit")->str, "ns");
+
+  bool saw_escaped_arg = false, saw_dyn_counter = false;
+  for (const JsonValue& e : doc->Find("traceEvents")->items) {
+    ASSERT_NE(e.Find("ph"), nullptr);
+    const std::string& ph = e.Find("ph")->str;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C") << ph;
+    EXPECT_EQ(e.Find("pid")->number, 1.0);
+    EXPECT_FALSE(e.Find("name")->str.empty());
+    if (const JsonValue* args = e.Find("args"); args != nullptr) {
+      if (const JsonValue* text = args->Find("text"); text != nullptr) {
+        // The parser un-escapes; equality proves the escape round-trips.
+        EXPECT_EQ(text->str, "quote\" slash\\ newline\n tab\t ctrl\x01");
+        saw_escaped_arg = true;
+      }
+    }
+    if (e.Find("name")->str == "dyn\"name") {
+      EXPECT_EQ(e.Find("args")->Find("value")->number, 7.0);
+      saw_dyn_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_escaped_arg);
+  EXPECT_TRUE(saw_dyn_counter);
+}
+
+// A producer/consumer pair for driving the sim engine (same shape as
+// sim_test's, local to keep this binary self-contained).
+class Producer : public Module {
+ public:
+  Producer(Fifo<int>* out, int count) : Module("producer"), out_(out), remaining_(count) {}
+  void Tick(Cycles) override {
+    if (remaining_ > 0 && out_->CanPush()) {
+      out_->Push(remaining_--);
+    }
+  }
+  bool Idle() const override { return remaining_ == 0; }
+
+ private:
+  Fifo<int>* out_;
+  int remaining_;
+};
+
+class Consumer : public Module {
+ public:
+  explicit Consumer(Fifo<int>* in) : Module("consumer"), in_(in) {}
+  void Tick(Cycles) override {
+    if (!in_->Empty()) {
+      in_->Pop();
+    }
+  }
+  bool Idle() const override { return in_->Empty(); }
+
+ private:
+  Fifo<int>* in_;
+};
+
+// The PR's acceptance test: one trace file carries spans from the serve,
+// interp, pnet, and sim layers, written to disk and parsed back.
+TEST_F(TracerTest, CrossLayerTraceSpansAtLeastThreeLayers) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+
+  {
+    serve::ServiceOptions options;
+    options.num_workers = 2;
+    serve::PredictionService service(InterfaceRegistry::Default(), options);
+
+    std::vector<serve::PredictRequest> requests;
+    serve::PredictRequest program;
+    program.interface = "jpeg_decoder";
+    program.function = "latency_jpeg_decode";
+    program.attrs = {{"orig_size", 65536.0}, {"compress_rate", 0.2}};
+    requests.push_back(program);
+
+    serve::PredictRequest pnet;
+    pnet.interface = "jpeg_decoder";
+    pnet.representation = serve::Representation::kPnet;
+    pnet.entry_place = "hdr_in:1,vld_in:4";
+    pnet.attrs = {{"bits", 800.0}, {"blocks", 8.0}};
+    requests.push_back(pnet);
+
+    const auto responses = service.PredictBatch(requests);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_TRUE(responses[0].ok()) << responses[0].error;
+    EXPECT_TRUE(responses[1].ok()) << responses[1].error;
+  }
+
+  {
+    Fifo<int> fifo("f", 4);
+    Producer producer(&fifo, 32);
+    Consumer consumer(&fifo);
+    Engine engine;
+    engine.AddFifo(&fifo);
+    engine.AddModule(&producer);
+    engine.AddModule(&consumer);
+    EXPECT_TRUE(engine.RunUntilIdle(10000));
+  }
+
+  tracer.Stop();
+  const std::string path = ::testing::TempDir() + "/obs_cross_layer_trace.json";
+  ASSERT_TRUE(tracer.WriteChromeJson(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    json.append(buf, n);
+  }
+  std::fclose(f);
+
+  const auto doc = ParseTrace(json);
+  ASSERT_TRUE(doc.has_value()) << "trace file must be valid JSON";
+  std::set<std::string> span_cats;
+  std::set<std::string> all_cats;
+  for (const JsonValue& e : doc->Find("traceEvents")->items) {
+    all_cats.insert(e.Find("cat")->str);
+    if (e.Find("ph")->str == "X") {
+      span_cats.insert(e.Find("cat")->str);
+    }
+  }
+  EXPECT_TRUE(span_cats.count("serve")) << "missing serve-layer spans";
+  EXPECT_TRUE(span_cats.count("interp")) << "missing interp-layer spans";
+  EXPECT_TRUE(span_cats.count("pnet")) << "missing pnet-layer spans";
+  EXPECT_TRUE(span_cats.count("sim")) << "missing sim-layer spans";
+  EXPECT_GE(span_cats.size(), 3u);
+  // Instants/counters ride along: pnet firings and queue depth tracks.
+  EXPECT_TRUE(all_cats.count("pnet"));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry + Prometheus exposition.
+
+TEST(MetricsRegistry, CounterIdentityAndRendering) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry::Counter& a =
+      registry.GetCounter("obs_test_counter_total", "test counter");
+  obs::MetricsRegistry::Counter& b =
+      registry.GetCounter("obs_test_counter_total", "ignored on reuse");
+  EXPECT_EQ(&a, &b) << "same name must yield the same counter";
+  const std::uint64_t base = a.value();
+  a.Increment();
+  a.Add(4);
+  EXPECT_EQ(a.value(), base + 5);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP obs_test_counter_total test counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_counter_total counter"), std::string::npos);
+  EXPECT_NE(text.find(StrFormat("obs_test_counter_total %llu",
+                                static_cast<unsigned long long>(base + 5))),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, CollectorsAppendAndUnregister) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::uint64_t handle = registry.RegisterCollector(
+      [](std::string* out) { *out += "obs_test_collector_gauge 42\n"; });
+  EXPECT_NE(registry.RenderPrometheus().find("obs_test_collector_gauge 42"), std::string::npos);
+  registry.Unregister(handle);
+  EXPECT_EQ(registry.RenderPrometheus().find("obs_test_collector_gauge"), std::string::npos);
+}
+
+TEST(MetricsRegistry, InstrumentedLayersExposeCounters) {
+  // The interp/pnet instrumentation bumps process-wide counters even with
+  // tracing off; earlier tests in this binary (and this one's service run)
+  // have exercised both layers, so the families must exist by now.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  // Force at least one evaluation through each layer first.
+  serve::PredictionService service(InterfaceRegistry::Default(), {});
+  serve::PredictRequest req;
+  req.interface = "jpeg_decoder";
+  req.function = "latency_jpeg_decode";
+  req.attrs = {{"orig_size", 4096.0}, {"compress_rate", 0.5}};
+  EXPECT_TRUE(service.Predict(req).ok());
+  serve::PredictRequest pnet;
+  pnet.interface = "jpeg_decoder";
+  pnet.representation = serve::Representation::kPnet;
+  pnet.entry_place = "hdr_in:1";
+  EXPECT_TRUE(service.Predict(pnet).ok());
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("perfiface_interp_calls_total"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_interp_steps_total"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_pnet_runs_total"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_pnet_firings_total"), std::string::npos);
+  // The service's collector contributes its own families to the same scrape.
+  EXPECT_NE(text.find("perfiface_serve_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_queue_depth"), std::string::npos);
+}
+
+TEST(ServiceMetricsPrometheus, HistogramIsCumulativeAndLabeled) {
+  serve::ServiceMetrics metrics({"iface_a", "iface_b"});
+  const std::size_t a = metrics.IndexOf("iface_a");
+  metrics.RecordRequest(a, /*latency_ns=*/1000, /*ok=*/true);
+  metrics.RecordRequest(a, /*latency_ns=*/3000, /*ok=*/true);
+  metrics.RecordStatus(serve::CacheOutcome::kMiss, false, false);
+  metrics.RecordStatus(serve::CacheOutcome::kHit, false, false);
+
+  const std::string text = metrics.DumpPrometheus(/*queue_depth=*/3);
+  EXPECT_NE(text.find("perfiface_serve_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_cache_misses_total 1"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_interface_requests_total{interface=\"iface_a\"} 2"),
+            std::string::npos);
+  // Idle interfaces get no histogram series.
+  EXPECT_EQ(text.find("perfiface_serve_latency_seconds_bucket{interface=\"iface_b\""),
+            std::string::npos);
+  // The +Inf bucket equals the count, and the buckets are cumulative.
+  EXPECT_NE(text.find("perfiface_serve_latency_seconds_bucket{interface=\"iface_a\","
+                      "le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_latency_seconds_count{interface=\"iface_a\"} 2"),
+            std::string::npos);
+}
+
+TEST(ServiceMetricsPrometheus, NotConsultedLeavesCacheCountersAlone) {
+  serve::ServiceMetrics metrics({});
+  metrics.RecordStatus(serve::CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
+                       /*rejected=*/true);
+  metrics.RecordStatus(serve::CacheOutcome::kNotConsulted, /*deadline_exceeded=*/true,
+                       /*rejected=*/false);
+  const std::string text = metrics.DumpPrometheus(0);
+  EXPECT_NE(text.find("perfiface_serve_cache_hits_total 0"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_cache_misses_total 0"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_rejected_total 1"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_serve_deadline_exceeded_total 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perfiface

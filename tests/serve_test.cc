@@ -263,6 +263,47 @@ TEST(PredictionService, RejectedAfterShutdown) {
   EXPECT_GE(service.metrics().rejected(), 1u);
 }
 
+// Regression: requests resolved before the cache lookup (rejected at
+// submission, unknown interface) used to be recorded as cache misses,
+// inflating the miss counter and skewing the hit rate. They must report
+// CacheOutcome::kNotConsulted and leave both cache counters alone.
+TEST(PredictionService, RejectionsAndLookupFailuresDoNotSkewCacheCounters) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest unknown;
+  unknown.interface = "no_such_accelerator";
+  unknown.function = "latency";
+  EXPECT_EQ(service.Predict(unknown).status, PredictStatus::kNotFound);
+  EXPECT_EQ(service.metrics().cache_misses(), 0u);
+  EXPECT_EQ(service.metrics().cache_hits(), 0u);
+
+  // A genuine evaluation still counts as a miss.
+  EXPECT_FALSE(service.Predict(JpegRequest(1024, 0.2)).cache_hit);
+  EXPECT_EQ(service.metrics().cache_misses(), 1u);
+
+  service.Shutdown();
+  EXPECT_EQ(service.Predict(JpegRequest(2048, 0.2)).status, PredictStatus::kRejected);
+  EXPECT_EQ(service.metrics().cache_misses(), 1u);
+  EXPECT_EQ(service.metrics().cache_hits(), 0u);
+  EXPECT_GE(service.metrics().rejected(), 1u);
+}
+
+TEST(PredictionService, StatsPrometheusUnifiesServiceAndLayerFamilies) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  ASSERT_TRUE(service.Predict(JpegRequest(2048, 0.25)).ok());
+  const std::string prom = service.StatsPrometheus();
+  // Families owned by the service (via its registered collector)...
+  EXPECT_NE(prom.find("perfiface_serve_requests_total"), std::string::npos);
+  EXPECT_NE(prom.find("interface=\"jpeg_decoder\""), std::string::npos);
+  // ...and process-wide counters bumped by the layers below it.
+  EXPECT_NE(prom.find("perfiface_interp_calls_total"), std::string::npos);
+  EXPECT_NE(prom.find("perfiface_interp_steps_total"), std::string::npos);
+}
+
 TEST(PredictionService, StatsDumpsMentionInterfaces) {
   ServiceOptions options;
   options.num_workers = 1;

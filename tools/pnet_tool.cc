@@ -5,6 +5,9 @@
 //   pnet_tool expand <file.pnet>             print the flattened document
 //   pnet_tool run <file.pnet> <inject place attr=v[,attr=v...] xN> ...
 //       [--observe place] [--until T]
+//       [--trace out.json]  Chrome trace of the run (firing events,
+//                           tokens-in-flight track; docs/observability.md)
+//       [--metrics]         Prometheus counters after the run
 //
 // Example:
 //   pnet_tool run src/core/interfaces/jpeg.pnet \
@@ -18,6 +21,8 @@
 #include "src/common/loc.h"
 #include "src/common/strings.h"
 #include "src/core/pnet.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/petri/analysis.h"
 #include "src/petri/sim.h"
 
@@ -27,7 +32,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pnet_tool <lint|show|expand|run> <file.pnet> [args]\n"
-               "  run args: [--observe PLACE] [--until T]\n"
+               "  run args: [--observe PLACE] [--until T] [--trace FILE] [--metrics]\n"
                "            inject PLACE [attr=v,attr=v...] [xN]\n");
   return 2;
 }
@@ -95,6 +100,8 @@ int CmdRun(const std::string& path, const std::vector<std::string>& args) {
 
   std::vector<PlaceId> observed;
   Cycles until = 1ULL << 40;
+  std::string trace_path;
+  bool metrics = false;
   std::size_t i = 0;
   struct Injection {
     PlaceId place;
@@ -116,6 +123,12 @@ int CmdRun(const std::string& path, const std::vector<std::string>& args) {
     } else if (arg == "--until" && i + 1 < args.size()) {
       until = static_cast<Cycles>(std::strtoull(args[i + 1].c_str(), nullptr, 10));
       i += 2;
+    } else if (arg == "--trace" && i + 1 < args.size()) {
+      trace_path = args[i + 1];
+      i += 2;
+    } else if (arg == "--metrics") {
+      metrics = true;
+      ++i;
     } else if (arg == "inject" && i + 1 < args.size()) {
       Injection inj;
       if (!loaded.net->HasPlace(args[i + 1])) {
@@ -159,7 +172,21 @@ int CmdRun(const std::string& path, const std::vector<std::string>& args) {
       sim.Inject(inj.place, inj.token);
     }
   }
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Start();
+  }
   const bool quiesced = sim.Run(until);
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path.c_str());
+    }
+  }
+  if (metrics) {
+    std::fputs(obs::MetricsRegistry::Global().RenderPrometheus().c_str(), stdout);
+  }
   std::printf("%s at t=%llu after %llu firings\n", quiesced ? "quiesced" : "stopped",
               static_cast<unsigned long long>(sim.now()),
               static_cast<unsigned long long>(sim.total_firings()));

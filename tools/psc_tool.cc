@@ -5,6 +5,8 @@
 //   psc_tool eval <file.psc> <function> [k=v ...]   call with an object
 //       [--const name=value ...]                    define globals
 //       [--json]                                    machine-readable result
+//       [--trace out.json]                          Chrome trace of the call
+//       [--metrics]                                 Prometheus counters
 //
 // The workload object passed to the function exposes the k=v pairs as
 // attributes. Nested objects (for `for sub in msg:`) can be expressed with
@@ -23,6 +25,8 @@
 
 #include "src/common/loc.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
@@ -73,11 +77,23 @@ int CmdEval(const std::string& path, const std::string& function,
   KvObject root;
   int children = 0;
   bool json = false;
+  bool metrics = false;
+  std::string trace_path;
   std::size_t i = 0;
   while (i < args.size()) {
     if (args[i] == "--json") {
       json = true;
       ++i;
+      continue;
+    }
+    if (args[i] == "--metrics") {
+      metrics = true;
+      ++i;
+      continue;
+    }
+    if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[i + 1];
+      i += 2;
       continue;
     }
     if (args[i] == "--const" && i + 1 < args.size()) {
@@ -104,7 +120,21 @@ int CmdEval(const std::string& path, const std::string& function,
   }
   root.AddUniformChildren(children);
 
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Start();
+  }
   const EvalResult result = interp.Call(function, {Value::Object(&root)});
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path.c_str());
+    }
+  }
+  if (metrics) {
+    std::fputs(obs::MetricsRegistry::Global().RenderPrometheus().c_str(), stdout);
+  }
   if (!result.ok) {
     if (json) {
       // Errors also go to stdout in JSON mode so one stream is parseable.

@@ -22,10 +22,17 @@
 //   --repeat N             run: repeat the query file N times (cache demo)
 //   --json                 machine-readable responses and stats
 //   --stats                print the service stats dump after the queries
+//   --stats-format FMT     stats flavor: text|json|prometheus (implies --stats)
+//   --trace FILE           record a cross-layer trace (serve/interp/pnet
+//                          spans) and write Chrome trace_event JSON to FILE
+//                          (open in Perfetto; docs/observability.md)
+//   --trace-sample N       record 1 of every N spans/instants (default 1)
+//   --metrics              print the Prometheus scrape after the queries
 //
 // Example:
 //   serve_tool query jpeg_decoder latency_jpeg_decode orig_size=65536 compress_rate=0.18
 //   serve_tool query jpeg_decoder - --entry hdr_in:1,vld_in:40 bits=80 blocks=8
+//   serve_tool run examples/serve_queries.txt --trace out.json --stats-format prometheus
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +42,7 @@
 #include "src/common/loc.h"
 #include "src/common/strings.h"
 #include "src/core/registry.h"
+#include "src/obs/trace.h"
 #include "src/serve/service.h"
 
 namespace perfiface::serve {
@@ -47,16 +55,78 @@ int Usage() {
                "       serve_tool run <query-file> [options]\n"
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
                "         --deadline-us N --max-steps N --workers N --cache N\n"
-               "         --repeat N --json --stats\n");
+               "         --repeat N --json --stats --stats-format text|json|prometheus\n"
+               "         --trace FILE --trace-sample N --metrics\n");
   return 2;
 }
+
+enum class StatsFormat { kText, kJson, kPrometheus };
 
 struct CliOptions {
   ServiceOptions service;
   int repeat = 1;
   bool json = false;
   bool stats = false;
+  StatsFormat stats_format = StatsFormat::kText;
+  bool stats_format_set = false;
+  std::string trace_path;
+  std::uint64_t trace_sample = 1;
+  bool metrics = false;
 };
+
+// Starts the tracer when --trace was requested; on destruction writes the
+// Chrome JSON file and a one-line summary pointer to stderr.
+class TraceSession {
+ public:
+  explicit TraceSession(const CliOptions& cli) : path_(cli.trace_path) {
+    if (path_.empty()) {
+      return;
+    }
+    obs::TracerOptions options;
+    options.sample_every = cli.trace_sample;
+    obs::Tracer::Global().Start(options);
+  }
+
+  ~TraceSession() {
+    if (path_.empty()) {
+      return;
+    }
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Stop();
+    if (!tracer.WriteChromeJson(path_)) {
+      std::fprintf(stderr, "trace: failed to write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(stderr, "trace: %llu events -> %s (load in https://ui.perfetto.dev)\n",
+                 static_cast<unsigned long long>(tracer.recorded_events()), path_.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+void PrintStats(const PredictionService& service, const CliOptions& cli) {
+  if (cli.stats) {
+    StatsFormat format = cli.stats_format;
+    if (!cli.stats_format_set && cli.json) {
+      format = StatsFormat::kJson;  // back-compat: --json implies JSON stats
+    }
+    switch (format) {
+      case StatsFormat::kText:
+        std::printf("%s\n", service.StatsText().c_str());
+        break;
+      case StatsFormat::kJson:
+        std::printf("%s\n", service.StatsJson().c_str());
+        break;
+      case StatsFormat::kPrometheus:
+        std::printf("%s", service.StatsPrometheus().c_str());
+        break;
+    }
+  }
+  if (cli.metrics && (!cli.stats || cli.stats_format != StatsFormat::kPrometheus)) {
+    std::printf("%s", service.StatsPrometheus().c_str());
+  }
+}
 
 // Applies one option (with optional value) to the request/options; returns
 // the number of argv slots consumed, or 0 if `arg` is not an option.
@@ -77,6 +147,32 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
   }
   if (arg == "--stats") {
     cli->stats = true;
+    return 1;
+  }
+  if (arg == "--stats-format" && value(&v)) {
+    if (std::strcmp(v, "text") == 0) {
+      cli->stats_format = StatsFormat::kText;
+    } else if (std::strcmp(v, "json") == 0) {
+      cli->stats_format = StatsFormat::kJson;
+    } else if (std::strcmp(v, "prometheus") == 0) {
+      cli->stats_format = StatsFormat::kPrometheus;
+    } else {
+      return 0;
+    }
+    cli->stats = true;
+    cli->stats_format_set = true;
+    return 2;
+  }
+  if (arg == "--trace" && value(&v)) {
+    cli->trace_path = v;
+    return 2;
+  }
+  if (arg == "--trace-sample" && value(&v)) {
+    cli->trace_sample = static_cast<std::uint64_t>(std::atoll(v));
+    return 2;
+  }
+  if (arg == "--metrics") {
+    cli->metrics = true;
     return 1;
   }
   if (arg == "--rep" && value(&v)) {
@@ -208,12 +304,11 @@ int CmdQuery(const std::vector<std::string>& args) {
   if (!ParseQueryWords(words, &req)) {
     return Usage();
   }
+  TraceSession trace(cli);
   PredictionService service(InterfaceRegistry::Default(), cli.service);
   const PredictResponse resp = service.Predict(req);
   PrintResponse(req, resp, cli.json);
-  if (cli.stats) {
-    std::printf("%s\n", cli.json ? service.StatsJson().c_str() : service.StatsText().c_str());
-  }
+  PrintStats(service, cli);
   return resp.ok() ? 0 : 1;
 }
 
@@ -252,6 +347,7 @@ int CmdRun(const std::vector<std::string>& args) {
     requests.push_back(std::move(req));
   }
 
+  TraceSession trace(cli);
   PredictionService service(InterfaceRegistry::Default(), cli.service);
   int failures = 0;
   for (int r = 0; r < std::max(1, cli.repeat); ++r) {
@@ -266,9 +362,7 @@ int CmdRun(const std::vector<std::string>& args) {
       }
     }
   }
-  if (cli.stats) {
-    std::printf("%s\n", cli.json ? service.StatsJson().c_str() : service.StatsText().c_str());
-  }
+  PrintStats(service, cli);
   return failures == 0 ? 0 : 1;
 }
 
