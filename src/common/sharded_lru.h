@@ -1,0 +1,149 @@
+// Generic sharded LRU map: canonical string keys → small copyable values.
+//
+// Two subsystems memoize expensive evaluations behind string keys: the
+// prediction service's response cache (src/serve/lru_cache.h) and the
+// Petri-net sub-net memo table (src/petri/pnet_memo.h). Both want the same
+// storage shape — N power-of-two shards, each an independently locked
+// unordered_map + intrusive LRU list, so concurrent probes on different
+// shards never contend — so the shape lives here once, below both layers.
+//
+// Thread-safety: all public methods are safe to call from any thread.
+#ifndef SRC_COMMON_SHARDED_LRU_H_
+#define SRC_COMMON_SHARDED_LRU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace perfiface {
+
+template <typename V>
+class ShardedLru {
+ public:
+  // capacity: total entries across all shards; 0 disables the map
+  // (Get always misses, Put is a no-op). num_shards is rounded up to a
+  // power of two and never exceeds one entry per shard.
+  explicit ShardedLru(std::size_t capacity, std::size_t num_shards = 16)
+      : capacity_(capacity) {
+    if (capacity_ == 0) {
+      return;
+    }
+    std::size_t shards = 1;
+    while (shards < (num_shards == 0 ? 1 : num_shards)) {
+      shards <<= 1;
+    }
+    while (shards > 1 && capacity_ / shards == 0) {
+      shards >>= 1;
+    }
+    shard_mask_ = shards - 1;
+    per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  // On hit, copies the entry into *out, refreshes its recency, and returns
+  // true. Counts a hit/miss either way.
+  bool Get(const std::string& key, V* out) {
+    if (!enabled()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(std::string_view(key));
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->second;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or refreshes; evicts the shard's least-recently-used entry
+  // when the shard is at capacity.
+  void Put(const std::string& key, const V& value) {
+    if (!enabled()) {
+      return;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(std::string_view(key));
+    if (it != shard.index.end()) {
+      it->second->second = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(std::string_view(shard.lru.back().first));
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.emplace_front(key, value);
+    shard.index.emplace(std::string_view(shard.lru.front().first), shard.lru.begin());
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->index.clear();
+      shard->lru.clear();
+    }
+  }
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Most-recent at the front; list nodes own the key so the map can hold
+    // string_views into them without a second allocation.
+    std::list<std::pair<std::string, V>> lru;
+    std::unordered_map<std::string_view,
+                       typename std::list<std::pair<std::string, V>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    const std::size_t h = std::hash<std::string_view>{}(key);
+    // Mix the high bits into the shard choice so the shard index and the
+    // unordered_map bucket (which uses the low bits) stay decorrelated.
+    return *shards_[(h >> 16) & shard_mask_];
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_COMMON_SHARDED_LRU_H_

@@ -174,6 +174,21 @@ class BoundExpr {
     return stack[0];
   }
 
+  // Canonical serialization of the compiled program, recorded as
+  // TransitionSpec::delay_expr / guard_expr. Constants are inlined and
+  // attribute names resolved to slots at compile time, so the raw source
+  // text underdetermines behavior ("nominal_lat * blocks" means different
+  // things under different const tables); the compiled ops pin it down
+  // exactly, which is what CompiledNet's structural hash needs.
+  std::string Canonical() const {
+    std::string out;
+    out.reserve(ops_.size() * 8);
+    for (const VmOp& op : ops_) {
+      out += StrFormat("%u:%.17g:%u;", static_cast<unsigned>(op.kind), op.value, op.slot);
+    }
+    return out;
+  }
+
  private:
   enum class VmKind : std::uint8_t {
     kConst, kAttr, kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe,
@@ -402,6 +417,7 @@ LoadedNet LoadPnet(std::string_view text) {
       }
       // Shared so the std::function stays copyable.
       std::shared_ptr<BoundExpr> delay_sp(std::move(delay));
+      spec.delay_expr = delay_sp->Canonical();
       spec.delay = [delay_sp](const TokenRefs& tokens) -> Cycles {
         const double v = delay_sp->Eval(tokens);
         PI_CHECK_MSG(v >= 0 && v < 1e15, "delay out of range");
@@ -416,6 +432,7 @@ LoadedNet LoadPnet(std::string_view text) {
           return out;
         }
         std::shared_ptr<BoundExpr> guard_sp(std::move(guard));
+        spec.guard_expr = guard_sp->Canonical();
         spec.guard = [guard_sp](const TokenRefs& tokens) -> bool {
           return guard_sp->Eval(tokens) != 0.0;
         };

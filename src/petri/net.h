@@ -66,6 +66,14 @@ struct TransitionSpec {
   DelayFn delay;  // required
   FireFn fire;    // optional
   GuardFn guard;  // optional
+  // Source text of the delay/guard expressions when the closures were
+  // compiled from a textual form (.pnet files). Optional, but load-bearing
+  // for memoization: CompiledNet only assigns a structural hash — the key
+  // cross-request sub-net memoization is allowed to use — when every
+  // closure's behavior is pinned down by source text (an opaque C++ lambda
+  // cannot be compared across nets, so nets carrying one are unhashable).
+  std::string delay_expr;
+  std::string guard_expr;
 };
 
 class PetriNet {

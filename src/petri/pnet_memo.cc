@@ -1,0 +1,95 @@
+#include "src/petri/pnet_memo.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
+
+namespace perfiface {
+
+PnetMemoTable& PnetMemoTable::Global() {
+  static PnetMemoTable* table = new PnetMemoTable();
+  return *table;
+}
+
+PnetMemoTable::PnetMemoTable(std::size_t capacity, std::size_t num_shards)
+    : table_(capacity, num_shards) {}
+
+std::string PnetMemoTable::Key(const CompiledNet& net, std::size_t component, const Token& token,
+                               const std::vector<std::pair<PlaceId, int>>& injections) {
+  if (!net.hashable()) {
+    return std::string();
+  }
+  std::string key;
+  key.reserve(64);
+  key += StrFormat("%016llx",
+                   static_cast<unsigned long long>(net.component_hash(component)));
+
+  // Attributes labeled by schema name, sorted by name: two nets declaring
+  // the same attributes in different orders still share entries. %.17g
+  // round-trips doubles exactly, so distinct workloads never alias.
+  const std::vector<std::string>& names = net.source().attr_names();
+  std::vector<std::size_t> order(names.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&names](std::size_t a, std::size_t b) { return names[a] < names[b]; });
+  for (const std::size_t slot : order) {
+    key += '\x1f';
+    key += names[slot];
+    key += StrFormat("=%.17g", token.Attr(slot));
+  }
+
+  // Injection plan restricted to this component, as sorted (local place
+  // index, count) pairs: the same sub-net keyed identically no matter
+  // where it sits inside the enclosing net. All injected tokens carry the
+  // same attributes, so per-place counts fully describe the plan.
+  std::vector<std::pair<std::uint32_t, long long>> plan;
+  for (const auto& [place, count] : injections) {
+    const CompiledNet::PlaceInfo& info = net.places()[place];
+    if (info.component != component) {
+      continue;
+    }
+    plan.emplace_back(info.local_index, static_cast<long long>(count));
+  }
+  std::sort(plan.begin(), plan.end());
+  // Merge duplicate places (the same place listed twice injects the sum).
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i > 0 && plan[i].first == plan[i - 1].first) {
+      continue;
+    }
+    long long count = plan[i].second;
+    for (std::size_t j = i + 1; j < plan.size() && plan[j].first == plan[i].first; ++j) {
+      count += plan[j].second;
+    }
+    key += StrFormat("\x1f@%u:%lld", plan[i].first, count);
+  }
+  return key;
+}
+
+bool PnetMemoTable::Lookup(const std::string& key, std::uint64_t budget, PnetMemoResult* out) {
+  static obs::MetricsRegistry::Counter& hits = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_pnet_memo_hits_total", "Sub-net memo table hits");
+  static obs::MetricsRegistry::Counter& misses = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_pnet_memo_misses_total", "Sub-net memo table misses");
+  PnetMemoResult found;
+  // Strict: PetriSim reports exhaustion when firings reach the budget
+  // exactly, so a stored count equal to `budget` must miss — the
+  // simulation the hit replaces would not have quiesced.
+  if (table_.Get(key, &found) && found.firings < budget) {
+    *out = found;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits.Increment();
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses.Increment();
+  return false;
+}
+
+void PnetMemoTable::Insert(const std::string& key, const PnetMemoResult& result) {
+  table_.Put(key, result);
+}
+
+}  // namespace perfiface

@@ -8,18 +8,15 @@
 
 namespace perfiface {
 
-PetriSim::PetriSim(const PetriNet* net) : net_(net) {
-  PI_CHECK(net_ != nullptr);
-  watchers_.resize(net_->places().size());
-  for (TransitionId t = 0; t < net_->transitions().size(); ++t) {
-    const TransitionSpec& spec = net_->transitions()[t];
-    for (const Arc& a : spec.inputs) {
-      watchers_[a.place].push_back(t);
-    }
-    for (const Arc& a : spec.outputs) {
-      watchers_[a.place].push_back(t);
-    }
-  }
+PetriSim::PetriSim(const PetriNet* net)
+    : owned_(std::make_unique<CompiledNet>(net)), cnet_(owned_.get()) {
+  Reset();
+}
+
+PetriSim::PetriSim(const CompiledNet* compiled, std::size_t component)
+    : cnet_(compiled), component_(component) {
+  PI_CHECK(cnet_ != nullptr);
+  PI_CHECK(component_ == kAllComponents || component_ < cnet_->num_components());
   Reset();
 }
 
@@ -30,25 +27,32 @@ void PetriSim::Reset() {
   budget_exhausted_ = false;
   // Preserve which places are instrumented across resets; only markings,
   // logs and in-flight firings are cleared.
-  std::vector<bool> observed(net_->places().size(), false);
+  std::vector<bool> observed(cnet_->num_places(), false);
   for (std::size_t i = 0; i < places_.size(); ++i) {
     observed[i] = places_[i].observed;
   }
   places_.clear();
-  places_.resize(net_->places().size());
+  places_.resize(cnet_->num_places());
   for (std::size_t i = 0; i < places_.size(); ++i) {
     places_[i].observed = observed[i];
-  }
-  for (std::size_t i = 0; i < places_.size(); ++i) {
-    for (std::size_t k = 0; k < net_->places()[i].initial_tokens; ++k) {
+    for (std::size_t k = 0; k < cnet_->places()[i].initial_tokens; ++k) {
       places_[i].tokens.push_back(Token{});
     }
   }
-  busy_servers_.assign(net_->transitions().size(), 0);
+  busy_servers_.assign(cnet_->num_transitions(), 0);
   events_.clear();
   slab_.clear();
   free_slots_.clear();
-  pending_.assign(net_->transitions().size(), true);
+  // A component-restricted sim seeds the worklist with that component's
+  // transitions only; TryStart additionally refuses out-of-component
+  // firings (tokens injected into a foreign component's place would
+  // otherwise re-mark its watchers).
+  pending_.assign(cnet_->num_transitions(), false);
+  for (std::size_t t = 0; t < cnet_->num_transitions(); ++t) {
+    if (component_ == kAllComponents || cnet_->transitions()[t].component == component_) {
+      pending_[t] = true;
+    }
+  }
 }
 
 void PetriSim::Inject(PlaceId place, Token token) {
@@ -75,8 +79,10 @@ std::size_t PetriSim::tokens_at(PlaceId place) const {
 void PetriSim::MarkTransition(TransitionId t) { pending_[t] = true; }
 
 void PetriSim::MarkPlaceChanged(PlaceId place) {
-  for (TransitionId t : watchers_[place]) {
-    pending_[t] = true;
+  const CompiledNet::PlaceInfo& info = cnet_->places()[place];
+  const std::vector<std::uint32_t>& watchers = cnet_->watchers();
+  for (std::uint32_t w = info.watch_begin; w < info.watch_end; ++w) {
+    pending_[watchers[w]] = true;
   }
 }
 
@@ -90,66 +96,72 @@ void PetriSim::Deposit(PlaceId place, Token token) {
 }
 
 bool PetriSim::TryStart(TransitionId t) {
-  const TransitionSpec& spec = net_->transitions()[t];
-  if (budget_exhausted_ || busy_servers_[t] >= spec.servers) {
+  const CompiledNet::Transition& trans = cnet_->transitions()[t];
+  // Component restriction is enforced here, not only at Reset: injecting
+  // into another component's place marks its watchers pending, and those
+  // must still never fire.
+  if (component_ != kAllComponents && trans.component != component_) {
     return false;
   }
+  if (budget_exhausted_ || busy_servers_[t] >= trans.servers) {
+    return false;
+  }
+  const std::vector<CompiledNet::CompiledArc>& in_arcs = cnet_->inputs();
+  const std::vector<CompiledNet::CompiledArc>& out_arcs = cnet_->outputs();
 
   // Check input availability and collect front-token refs for the guard.
   TokenRefs refs;
-  for (const Arc& a : spec.inputs) {
-    if (places_[a.place].tokens.size() < a.weight) {
+  for (std::uint32_t i = trans.in_begin; i < trans.in_end; ++i) {
+    if (places_[in_arcs[i].place].tokens.size() < in_arcs[i].weight) {
       return false;
     }
   }
-  for (const Arc& a : spec.inputs) {
-    for (std::size_t k = 0; k < a.weight; ++k) {
-      refs.push_back(&places_[a.place].tokens[k]);
+  for (std::uint32_t i = trans.in_begin; i < trans.in_end; ++i) {
+    for (std::uint32_t k = 0; k < in_arcs[i].weight; ++k) {
+      refs.push_back(&places_[in_arcs[i].place].tokens[k]);
     }
   }
-  if (spec.guard && !spec.guard(refs)) {
+  if (trans.guard != nullptr && !(*trans.guard)(refs)) {
     return false;
   }
 
   // Check output room (blocking-before-service). Consumption by this firing
-  // is accounted for places that appear on both sides.
-  for (const Arc& out : spec.outputs) {
-    const Place& p = net_->places()[out.place];
-    if (p.capacity == 0) {
-      continue;
-    }
-    std::size_t consumed_here = 0;
-    for (const Arc& in : spec.inputs) {
-      if (in.place == out.place) {
-        consumed_here += in.weight;
+  // from places on both sides was precomputed at compile time.
+  if (trans.has_bounded_output) {
+    for (std::uint32_t i = trans.out_begin; i < trans.out_end; ++i) {
+      const CompiledNet::CompiledArc& out = out_arcs[i];
+      const std::uint32_t capacity = cnet_->places()[out.place].capacity;
+      if (capacity == 0) {
+        continue;
       }
-    }
-    const PlaceState& ps = places_[out.place];
-    const std::size_t occupied = ps.tokens.size() + ps.reserved - consumed_here;
-    if (occupied + out.weight > p.capacity) {
-      return false;
+      const PlaceState& ps = places_[out.place];
+      const std::size_t occupied = ps.tokens.size() + ps.reserved - out.consumed_from_place;
+      if (occupied + out.weight > capacity) {
+        return false;
+      }
     }
   }
 
   // Compute delay while the token refs are still valid.
-  const Cycles delay = spec.delay(refs);
+  const Cycles delay = (*trans.delay)(refs);
 
   // Consume inputs into a scheduled slab slot.
   Firing& f = ScheduleFiring(now_ + delay);
   f.transition = t;
   f.consumed.resize(0);
-  for (const Arc& a : spec.inputs) {
-    for (std::size_t k = 0; k < a.weight; ++k) {
-      f.consumed.push_back(std::move(places_[a.place].tokens.front()));
-      places_[a.place].tokens.pop_front();
+  for (std::uint32_t i = trans.in_begin; i < trans.in_end; ++i) {
+    PlaceState& ps = places_[in_arcs[i].place];
+    for (std::uint32_t k = 0; k < in_arcs[i].weight; ++k) {
+      f.consumed.push_back(std::move(ps.tokens.front()));
+      ps.tokens.pop_front();
     }
     // Popping frees capacity: upstream producers may become enabled.
-    MarkPlaceChanged(a.place);
+    MarkPlaceChanged(in_arcs[i].place);
   }
 
   // Reserve output room.
-  for (const Arc& out : spec.outputs) {
-    places_[out.place].reserved += out.weight;
+  for (std::uint32_t i = trans.out_begin; i < trans.out_end; ++i) {
+    places_[out_arcs[i].place].reserved += out_arcs[i].weight;
   }
 
   ++busy_servers_[t];
@@ -185,18 +197,21 @@ void PetriSim::StartAll() {
 }
 
 void PetriSim::Complete(const Firing& f) {
-  const TransitionSpec& spec = net_->transitions()[f.transition];
+  const CompiledNet::Transition& trans = cnet_->transitions()[f.transition];
+  const std::vector<CompiledNet::CompiledArc>& out_arcs = cnet_->outputs();
+  const char* trans_name = cnet_->source().transitions()[f.transition].name.c_str();
 
-  if (spec.fire) {
+  if (trans.fire != nullptr) {
     TokenRefs refs;
     for (const Token& tok : f.consumed) {
       refs.push_back(&tok);
     }
-    std::vector<std::vector<Token>> outputs(spec.outputs.size());
-    spec.fire(refs, outputs);
-    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
-      const Arc& out = spec.outputs[i];
-      PI_CHECK_MSG(outputs[i].size() == out.weight, spec.name.c_str());
+    const std::size_t num_outputs = trans.out_end - trans.out_begin;
+    std::vector<std::vector<Token>> outputs(num_outputs);
+    (*trans.fire)(refs, outputs);
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      const CompiledNet::CompiledArc& out = out_arcs[trans.out_begin + i];
+      PI_CHECK_MSG(outputs[i].size() == out.weight, trans_name);
       PI_CHECK(places_[out.place].reserved >= out.weight);
       places_[out.place].reserved -= out.weight;
       for (Token& tok : outputs[i]) {
@@ -211,13 +226,13 @@ void PetriSim::Complete(const Firing& f) {
     }
   } else {
     // Default: replicate the primary (first) input token, allocation-free.
-    PI_CHECK_MSG(!f.consumed.empty(), spec.name.c_str());
+    PI_CHECK_MSG(!f.consumed.empty(), trans_name);
     const Token& primary = f.consumed.front();
-    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
-      const Arc& out = spec.outputs[i];
+    for (std::uint32_t i = trans.out_begin; i < trans.out_end; ++i) {
+      const CompiledNet::CompiledArc& out = out_arcs[i];
       PI_CHECK(places_[out.place].reserved >= out.weight);
       places_[out.place].reserved -= out.weight;
-      for (std::size_t k = 0; k < out.weight; ++k) {
+      for (std::uint32_t k = 0; k < out.weight; ++k) {
         Deposit(out.place, primary);
       }
     }
@@ -264,6 +279,13 @@ bool PetriSim::Run(Cycles max_time) {
         tracer.Counter("pnet", "tokens_in_flight", static_cast<double>(events_.size()));
       }
       if (budget_exhausted_) {
+        if (traced) {
+          // The clean stop is an event worth pinning on the timeline: it is
+          // the difference between "the net quiesced" and "the service gave
+          // up on a pathological net" (PR 1's budget fix).
+          tracer.Instant("pnet", "budget_exhausted", "firings",
+                         static_cast<double>(total_firings_));
+        }
         return false;
       }
       if (events_.empty()) {
@@ -284,7 +306,7 @@ bool PetriSim::Run(Cycles max_time) {
         free_slots_.push_back(slot);
         if (traced) {
           tracer.Instant("pnet", "fire", "sim_time", static_cast<double>(now_), "transition",
-                         std::string(net_->transitions()[fired].name));
+                         std::string(cnet_->source().transitions()[fired].name));
         }
       }
     }

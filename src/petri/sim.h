@@ -4,15 +4,23 @@
 // simulated cycles. This is why a Petri-net performance interface can be
 // orders of magnitude faster than a cycle-accurate simulation of the same
 // accelerator while predicting the same latency/throughput (paper §3).
+//
+// The firing loop runs over a CompiledNet (src/petri/compiled_net.h): flat
+// arc arrays, CSR watchers, precomputed capacity-consumption weights. The
+// PetriNet* constructor compiles on the spot for one-off use; services
+// answering many queries over the same net should compile once and share
+// the CompiledNet across sims (it is immutable).
 #ifndef SRC_PETRI_SIM_H_
 #define SRC_PETRI_SIM_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/common/small_vec.h"
 #include "src/common/types.h"
+#include "src/petri/compiled_net.h"
 #include "src/petri/net.h"
 
 namespace perfiface {
@@ -25,7 +33,18 @@ struct Arrival {
 
 class PetriSim {
  public:
+  // Runs every component of the net (the default).
+  static constexpr std::size_t kAllComponents = static_cast<std::size_t>(-1);
+
+  // Compiles the net privately; convenient for one-off simulations.
   explicit PetriSim(const PetriNet* net);
+
+  // Shares a pre-compiled net (must outlive the sim). When `component` is
+  // given, only that weakly-connected component's transitions may fire:
+  // disconnected components evolve independently, so a restricted run
+  // predicts exactly what the full run predicts for that component (the
+  // basis for per-component memoization, src/petri/pnet_memo.h).
+  explicit PetriSim(const CompiledNet* compiled, std::size_t component = kAllComponents);
 
   // Deposits a token into a place at the current time. Typically used to
   // enqueue the workload (requests/stripes/instructions) before Run.
@@ -95,7 +114,9 @@ class PetriSim {
   void MarkPlaceChanged(PlaceId place);
   void MarkTransition(TransitionId t);
 
-  const PetriNet* net_;
+  std::unique_ptr<CompiledNet> owned_;  // only the PetriNet* constructor
+  const CompiledNet* cnet_;
+  std::size_t component_ = kAllComponents;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t total_firings_ = 0;
@@ -111,10 +132,7 @@ class PetriSim {
   std::vector<Firing> slab_;
   std::vector<std::uint32_t> free_slots_;
 
-  // Enablement worklist. watchers_[p]: transitions that must be re-examined
-  // when place p changes (its consumers, plus its producers for capacity
-  // releases). Kept sorted by transition id for deterministic firing order.
-  std::vector<std::vector<TransitionId>> watchers_;
+  // Enablement worklist; the watcher table lives in the compiled net.
   std::vector<bool> pending_;
 };
 

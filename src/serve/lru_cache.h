@@ -1,23 +1,16 @@
 // Sharded LRU cache memoizing canonicalized query keys → predictions.
 //
 // Hot workloads (the paper's runtime clients poll the same few workload
-// shapes over and over) skip evaluation entirely. The key space is sharded
-// by hash so that eight workers probing concurrently contend on different
-// mutexes; within a shard, a classic unordered_map + intrusive list LRU.
+// shapes over and over) skip evaluation entirely. Storage is the generic
+// sharded LRU (src/common/sharded_lru.h): the key space is sharded by hash
+// so that eight workers probing concurrently contend on different mutexes;
+// within a shard, a classic unordered_map + intrusive list LRU.
 //
 // Thread-safety: all public methods are safe to call from any thread.
 #ifndef SRC_SERVE_LRU_CACHE_H_
 #define SRC_SERVE_LRU_CACHE_H_
 
-#include <atomic>
-#include <cstdint>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <unordered_map>
-#include <utility>
-#include <vector>
+#include "src/common/sharded_lru.h"
 
 namespace perfiface::serve {
 
@@ -28,51 +21,7 @@ struct CachedPrediction {
   double throughput = 0;
 };
 
-class ShardedLruCache {
- public:
-  // capacity: total entries across all shards; 0 disables the cache
-  // (Get always misses, Put is a no-op). num_shards is rounded up to a
-  // power of two.
-  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16);
-
-  // On hit, copies the entry into *out, refreshes its recency, and returns
-  // true. Counts a hit/miss either way.
-  bool Get(const std::string& key, CachedPrediction* out);
-
-  // Inserts or refreshes; evicts the shard's least-recently-used entry
-  // when the shard is at capacity.
-  void Put(const std::string& key, const CachedPrediction& value);
-
-  void Clear();
-
-  bool enabled() const { return capacity_ > 0; }
-  std::size_t capacity() const { return capacity_; }
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
-  std::size_t size() const;
-
- private:
-  struct Shard {
-    std::mutex mu;
-    // Most-recent at the front; list nodes own the key so the map can hold
-    // string_views into them without a second allocation.
-    std::list<std::pair<std::string, CachedPrediction>> lru;
-    std::unordered_map<std::string_view,
-                       std::list<std::pair<std::string, CachedPrediction>>::iterator>
-        index;
-  };
-
-  Shard& ShardFor(const std::string& key, std::size_t* hash_out);
-
-  std::size_t capacity_ = 0;
-  std::size_t per_shard_capacity_ = 0;
-  std::size_t shard_mask_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-};
+using ShardedLruCache = ShardedLru<CachedPrediction>;
 
 }  // namespace perfiface::serve
 

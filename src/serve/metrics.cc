@@ -108,9 +108,13 @@ std::string ServiceMetrics::DumpText(std::size_t queue_depth) const {
                    static_cast<unsigned long long>(total_errors()),
                    static_cast<unsigned long long>(cache_hits()),
                    static_cast<unsigned long long>(cache_misses()));
-  out += StrFormat("deadline_exceeded=%llu rejected=%llu queue_depth=%zu\n",
+  out += StrFormat("deadline_exceeded=%llu rejected=%llu queue_depth=%zu ",
                    static_cast<unsigned long long>(deadline_exceeded()),
                    static_cast<unsigned long long>(rejected()), queue_depth);
+  out += StrFormat("inflight_batches=%lld lookup_hot=%llu lookup_cold=%llu\n",
+                   static_cast<long long>(inflight_batches()),
+                   static_cast<unsigned long long>(lookup_hot()),
+                   static_cast<unsigned long long>(lookup_cold()));
   out += StrFormat("%-18s %10s %8s %12s %12s %12s %12s\n", "interface", "requests", "errors",
                    "mean_us", "p50_us", "p95_us", "p99_us");
   for (const auto& m : per_interface_) {
@@ -127,13 +131,17 @@ std::string ServiceMetrics::DumpJson(std::size_t queue_depth) const {
   std::string out = "{";
   out += StrFormat(
       "\"requests\":%llu,\"errors\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
-      "\"deadline_exceeded\":%llu,\"rejected\":%llu,\"queue_depth\":%zu,\"interfaces\":[",
+      "\"deadline_exceeded\":%llu,\"rejected\":%llu,\"queue_depth\":%zu,"
+      "\"inflight_batches\":%lld,\"lookup_hot\":%llu,\"lookup_cold\":%llu,\"interfaces\":[",
       static_cast<unsigned long long>(total_requests()),
       static_cast<unsigned long long>(total_errors()),
       static_cast<unsigned long long>(cache_hits()),
       static_cast<unsigned long long>(cache_misses()),
       static_cast<unsigned long long>(deadline_exceeded()),
-      static_cast<unsigned long long>(rejected()), queue_depth);
+      static_cast<unsigned long long>(rejected()), queue_depth,
+      static_cast<long long>(inflight_batches()),
+      static_cast<unsigned long long>(lookup_hot()),
+      static_cast<unsigned long long>(lookup_cold()));
   for (std::size_t i = 0; i < per_interface_.size(); ++i) {
     const InterfaceMetrics& m = *per_interface_[i];
     out += StrFormat(
@@ -165,6 +173,15 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
   counter("perfiface_serve_deadline_exceeded_total", "Requests past their deadline",
           deadline_exceeded());
   counter("perfiface_serve_rejected_total", "Requests rejected at submission", rejected());
+  counter("perfiface_serve_registry_lookup_hot_total",
+          "Registry lookups answered by the lock-free hot tier", lookup_hot());
+  counter("perfiface_serve_registry_lookup_cold_total",
+          "Registry lookups that fell through to the hash index", lookup_cold());
+  out += StrFormat(
+      "# HELP perfiface_serve_inflight_batches Batches submitted and not yet fully resolved\n"
+      "# TYPE perfiface_serve_inflight_batches gauge\n"
+      "perfiface_serve_inflight_batches %lld\n",
+      static_cast<long long>(inflight_batches()));
   out += StrFormat(
       "# HELP perfiface_serve_queue_depth Request chunks waiting in the worker queue\n"
       "# TYPE perfiface_serve_queue_depth gauge\n"

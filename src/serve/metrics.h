@@ -71,6 +71,16 @@ class ServiceMetrics {
   void RecordRequest(std::size_t iface_idx, std::uint64_t latency_ns, bool ok);
   void RecordStatus(CacheOutcome cache, bool deadline_exceeded, bool rejected);
 
+  // One registry lookup, answered by the lock-free hot tier (`hot`) or by
+  // the cold hash index (which then refreshes the hot slot).
+  void RecordLookup(bool hot) {
+    (hot ? lookup_hot_ : lookup_cold_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Batches (sync or async) currently submitted and not yet fully resolved.
+  void IncrementInflight() { inflight_batches_.fetch_add(1, std::memory_order_relaxed); }
+  void DecrementInflight() { inflight_batches_.fetch_sub(1, std::memory_order_relaxed); }
+
   std::uint64_t total_requests() const { return total_requests_.load(std::memory_order_relaxed); }
   std::uint64_t total_errors() const { return total_errors_.load(std::memory_order_relaxed); }
   std::uint64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
@@ -79,6 +89,11 @@ class ServiceMetrics {
     return deadline_exceeded_.load(std::memory_order_relaxed);
   }
   std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  std::uint64_t lookup_hot() const { return lookup_hot_.load(std::memory_order_relaxed); }
+  std::uint64_t lookup_cold() const { return lookup_cold_.load(std::memory_order_relaxed); }
+  std::int64_t inflight_batches() const {
+    return inflight_batches_.load(std::memory_order_relaxed);
+  }
 
   const std::vector<std::unique_ptr<InterfaceMetrics>>& interfaces() const {
     return per_interface_;
@@ -100,6 +115,9 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> lookup_hot_{0};
+  std::atomic<std::uint64_t> lookup_cold_{0};
+  std::atomic<std::int64_t> inflight_batches_{0};
 };
 
 }  // namespace perfiface::serve

@@ -1,11 +1,76 @@
 #include "src/serve/request.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
 
 namespace perfiface::serve {
+
+namespace {
+
+// Canonical form of an entry-place spec: whitespace stripped, every item's
+// token count made explicit (items without ":count" inject `default_count`
+// copies), duplicate places merged by summing, items sorted by place name.
+// "vld_in ,hdr_in:1" with tokens=8 and "hdr_in:1,vld_in:4,vld_in:4" thus
+// canonicalize identically — they inject the same marking, so they must
+// share a cache entry. Malformed counts are kept verbatim (minus
+// whitespace): the service rejects them, and distinct garbage must not
+// alias.
+std::string CanonicalEntryPlace(const std::string& spec, int default_count) {
+  std::vector<std::pair<std::string, long long>> items;
+  std::vector<std::string> malformed;
+  for (const std::string& raw : SplitString(spec, ',')) {
+    std::string item(StripWhitespace(raw));
+    // Whitespace inside an item ("vld_in : 8") is insignificant too: place
+    // names are identifiers, so dropping every space cannot merge names.
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](unsigned char c) { return std::isspace(c) != 0; }),
+               item.end());
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      items.emplace_back(item, default_count);
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(item.c_str() + colon + 1, &end, 10);
+    if (end == item.c_str() + colon + 1 || *end != '\0' || parsed < 1) {
+      malformed.push_back(item);
+      continue;
+    }
+    items.emplace_back(item.substr(0, colon), parsed);
+  }
+  std::sort(items.begin(), items.end());
+  std::sort(malformed.begin(), malformed.end());
+
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0 && items[i].first == items[i - 1].first) {
+      continue;
+    }
+    long long count = items[i].second;
+    for (std::size_t j = i + 1; j < items.size() && items[j].first == items[i].first; ++j) {
+      count += items[j].second;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += items[i].first;
+    out += StrFormat(":%lld", count);
+  }
+  for (const std::string& item : malformed) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += '!';
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* PredictStatusName(PredictStatus s) {
   switch (s) {
@@ -30,9 +95,18 @@ std::string CanonicalCacheKey(const PredictRequest& req, Representation resolved
   if (resolved == Representation::kProgram) {
     key += req.function;
   } else {
-    key += req.entry_place;
-    key += '\x1f';
-    key += StrFormat("%d", req.tokens);
+    const int default_count = std::max(1, req.tokens);
+    const std::string canonical = CanonicalEntryPlace(req.entry_place, default_count);
+    if (canonical.empty()) {
+      // Empty spec means "first declared place, `tokens` copies" — the
+      // count is the only degree of freedom left.
+      key += StrFormat("@first:%d", default_count);
+    } else {
+      // Every count is explicit in the canonical spec, so the `tokens`
+      // field no longer matters: "vld_in" with tokens=8 and "vld_in:8"
+      // with tokens=1 are the same query.
+      key += canonical;
+    }
   }
   key += '\x1f';
   key += StrFormat("c%d", req.children);

@@ -81,10 +81,12 @@ struct PredictResponse {
 };
 
 // Canonical cache key: representation-resolved, attribute order and float
-// formatting normalized, so permuted but identical queries share an entry.
-// `resolved` must be kProgram or kPnet (kAuto is resolved by the service
-// before keying). Resource limits are deliberately excluded: the cache
-// stores ground-truth predictions, and limits only bound *evaluation* cost.
+// formatting normalized, and the entry-place spec canonicalized (whitespace
+// stripped, default counts made explicit, items sorted, duplicates merged),
+// so permuted but identical queries share an entry. `resolved` must be
+// kProgram or kPnet (kAuto is resolved by the service before keying).
+// Resource limits are deliberately excluded: the cache stores ground-truth
+// predictions, and limits only bound *evaluation* cost.
 std::string CanonicalCacheKey(const PredictRequest& req, Representation resolved);
 
 }  // namespace perfiface::serve

@@ -1,6 +1,7 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 
 #include "src/common/check.h"
@@ -8,6 +9,7 @@
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/perfscript/kv_object.h"
+#include "src/petri/pnet_memo.h"
 #include "src/petri/sim.h"
 
 namespace perfiface::serve {
@@ -26,12 +28,49 @@ std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+std::size_t PredictionService::BatchHandle::size() const {
+  return state_ == nullptr ? 0 : state_->responses.size();
+}
+
+bool PredictionService::BatchHandle::done() const {
+  if (state_ == nullptr) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->remaining == 0;
+}
+
+void PredictionService::BatchHandle::Wait() const {
+  if (state_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->remaining == 0; });
+}
+
+bool PredictionService::BatchHandle::WaitFor(std::chrono::microseconds timeout) const {
+  if (state_ == nullptr) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->remaining == 0; });
+}
+
+const std::vector<PredictResponse>& PredictionService::BatchHandle::Responses() const {
+  static const std::vector<PredictResponse>* const kEmpty = new std::vector<PredictResponse>();
+  if (state_ == nullptr) {
+    return *kEmpty;
+  }
+  Wait();
+  return state_->responses;
+}
+
 PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
       queue_(options.queue_capacity) {
   // Pre-parse everything the registry ships: queries never touch the
-  // filesystem or the parser.
+  // filesystem, the parser, or the pnet compiler.
   std::vector<std::string> names;
   for (const InterfaceBundle& bundle : registry.bundles()) {
     Entry entry;
@@ -42,9 +81,16 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
     if (!bundle.pnet_path.empty()) {
       entry.pnet = LoadPnetFile(bundle.pnet_path);
       PI_CHECK_MSG(entry.pnet.ok(), entry.pnet.error.c_str());
+      entry.compiled = std::make_unique<CompiledNet>(entry.pnet.net.get());
     }
     names.push_back(entry.name);
     entries_.push_back(std::move(entry));
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i].name, i);
+  }
+  for (std::atomic<std::uint32_t>& slot : hot_) {
+    slot.store(UINT32_MAX, std::memory_order_relaxed);
   }
   metrics_ = std::make_unique<ServiceMetrics>(names);
   // One scrape via MetricsRegistry::RenderPrometheus() unifies this
@@ -91,16 +137,49 @@ std::vector<std::string> PredictionService::InterfaceNames() const {
 }
 
 const PredictionService::Entry* PredictionService::FindEntry(const std::string& name) const {
-  for (const Entry& e : entries_) {
-    if (e.name == name) {
-      return &e;
-    }
+  // Hot tier: a direct-mapped slot of entry indices. Whatever the slot
+  // holds is validated by a name compare before use, so a stale or
+  // colliding value costs one extra map lookup, never a wrong answer.
+  std::atomic<std::uint32_t>& slot = hot_[std::hash<std::string>{}(name) & (kHotSlots - 1)];
+  const std::uint32_t cached = slot.load(std::memory_order_relaxed);
+  if (cached < entries_.size() && entries_[cached].name == name) {
+    metrics_->RecordLookup(/*hot=*/true);
+    return &entries_[cached];
   }
-  return nullptr;
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    metrics_->RecordLookup(/*hot=*/false);
+    return nullptr;
+  }
+  slot.store(static_cast<std::uint32_t>(it->second), std::memory_order_relaxed);
+  metrics_->RecordLookup(/*hot=*/false);
+  return &entries_[it->second];
 }
 
 PredictResponse PredictionService::Predict(const PredictRequest& request) {
   return PredictBatch(std::span<const PredictRequest>(&request, 1))[0];
+}
+
+std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
+                                             PredictResponse* responses, std::size_t n,
+                                             BatchState* batch,
+                                             const std::shared_ptr<BatchState>& keepalive) {
+  const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
+  obs::SpanGuard enqueue_span("serve", "enqueue");
+  enqueue_span.SetArg("requests", static_cast<double>(n));
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    Job job;
+    job.requests = requests;
+    job.responses = responses;
+    job.begin = begin;
+    job.end = std::min(n, begin + chunk);
+    job.batch = batch;
+    job.keepalive = keepalive;
+    if (!queue_.Push(job)) {
+      return begin;
+    }
+  }
+  return n;
 }
 
 std::vector<PredictResponse> PredictionService::PredictBatch(
@@ -112,31 +191,14 @@ std::vector<PredictResponse> PredictionService::PredictBatch(
 
   BatchState batch;
   batch.submitted = Clock::now();
-
-  const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
-  std::size_t accepted_chunks = 0;
   {
     std::lock_guard<std::mutex> lock(batch.mu);
     batch.remaining = requests.size();
   }
-  std::size_t first_rejected = requests.size();
-  {
-    obs::SpanGuard enqueue_span("serve", "enqueue");
-    enqueue_span.SetArg("requests", static_cast<double>(requests.size()));
-    for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
-      Job job;
-      job.requests = requests.data();
-      job.responses = responses.data();
-      job.begin = begin;
-      job.end = std::min(requests.size(), begin + chunk);
-      job.batch = &batch;
-      if (!queue_.Push(job)) {
-        first_rejected = begin;
-        break;
-      }
-      ++accepted_chunks;
-    }
-  }
+  metrics_->IncrementInflight();
+
+  const std::size_t first_rejected =
+      EnqueueChunks(requests.data(), responses.data(), requests.size(), &batch, nullptr);
   if (obs::Tracer::Global().enabled()) {
     obs::Tracer::Global().Counter("serve", "queue_depth",
                                   static_cast<double>(queue_.size()));
@@ -154,6 +216,7 @@ std::vector<PredictResponse> PredictionService::PredictBatch(
     std::lock_guard<std::mutex> lock(batch.mu);
     batch.remaining -= requests.size() - first_rejected;
     if (batch.remaining == 0) {
+      metrics_->DecrementInflight();
       return responses;
     }
   }
@@ -161,6 +224,50 @@ std::vector<PredictResponse> PredictionService::PredictBatch(
   std::unique_lock<std::mutex> lock(batch.mu);
   batch.cv.wait(lock, [&] { return batch.remaining == 0; });
   return responses;
+}
+
+PredictionService::BatchHandle PredictionService::SubmitBatch(
+    std::vector<PredictRequest> requests, StreamCallback on_complete) {
+  auto state = std::make_shared<BatchState>();
+  state->submitted = Clock::now();
+  state->requests = std::move(requests);
+  state->responses.resize(state->requests.size());
+  state->on_complete = std::move(on_complete);
+  const std::size_t n = state->requests.size();
+  if (n == 0) {
+    return BatchHandle(std::move(state));  // remaining == 0: already done
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->remaining = n;
+  }
+  metrics_->IncrementInflight();
+
+  const std::size_t first_rejected =
+      EnqueueChunks(state->requests.data(), state->responses.data(), n, state.get(), state);
+  if (obs::Tracer::Global().enabled()) {
+    obs::Tracer::Global().Counter("serve", "queue_depth",
+                                  static_cast<double>(queue_.size()));
+  }
+  if (first_rejected < n) {
+    // Resolve (and stream) the unqueued tail from the submitting thread.
+    for (std::size_t i = first_rejected; i < n; ++i) {
+      state->responses[i].status = PredictStatus::kRejected;
+      state->responses[i].error = "service is shut down";
+      metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
+                             /*rejected=*/true);
+      if (state->on_complete) {
+        state->on_complete(i, state->responses[i]);
+      }
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->remaining -= n - first_rejected;
+    if (state->remaining == 0) {
+      metrics_->DecrementInflight();
+      state->cv.notify_all();
+    }
+  }
+  return BatchHandle(std::move(state));
 }
 
 void PredictionService::WorkerLoop() {
@@ -183,18 +290,29 @@ void PredictionService::WorkerLoop() {
     }
     for (std::size_t i = job.begin; i < job.end; ++i) {
       job.responses[i] = Evaluate(job.requests[i], job.batch->submitted, &state);
+      if (job.batch->on_complete) {
+        // Stream each completion before the request is counted done: once
+        // remaining hits zero, Wait() may return and the submitter may
+        // assume every callback has finished.
+        job.batch->on_complete(i, job.responses[i]);
+      }
     }
     const std::size_t done = job.end - job.begin;
     {
       // Notify while still holding the mutex: the moment the submitter
-      // observes remaining == 0 it may destroy the BatchState, so the
-      // worker must not touch it after releasing the lock.
+      // observes remaining == 0 it may destroy the BatchState (sync
+      // batches stack-allocate it), so the worker must not touch it after
+      // releasing the lock. Async batches are additionally pinned by the
+      // keepalive below.
       std::lock_guard<std::mutex> lock(job.batch->mu);
       job.batch->remaining -= done;
       if (job.batch->remaining == 0) {
+        metrics_->DecrementInflight();
         job.batch->cv.notify_all();
       }
     }
+    // Release the async batch promptly rather than at the next Pop.
+    job.keepalive.reset();
   }
 }
 
@@ -355,6 +473,7 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
                                                 std::uint64_t budget, bool deadline_limited) {
   PredictResponse response;
   const PetriNet& net = *entry.pnet.net;
+  const CompiledNet& cnet = *entry.compiled;
 
   // Resolve the injection plan: either the first declared place, or each
   // `place[:count]` item of the comma-separated entry_place spec. Items
@@ -364,7 +483,13 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
   if (request.entry_place.empty()) {
     injections.emplace_back(PlaceId{0}, default_count);
   } else {
-    for (const std::string& item : SplitString(request.entry_place, ',')) {
+    for (std::string item : SplitString(request.entry_place, ',')) {
+      // Whitespace is insignificant, exactly as in CanonicalCacheKey: the
+      // cache would serve "hdr_in : 1" from a "hdr_in:1" entry, so the
+      // cold path must accept it too.
+      item.erase(std::remove_if(item.begin(), item.end(),
+                                [](unsigned char ch) { return std::isspace(ch) != 0; }),
+                 item.end());
       std::string name = item;
       int count = default_count;
       const std::size_t colon = item.find(':');
@@ -401,27 +526,85 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
     }
   }
 
-  PetriSim sim(&net);
-  sim.set_max_firings(budget);
   int tokens = 0;
   for (const auto& [place, count] : injections) {
-    for (int i = 0; i < count; ++i) {
-      sim.Inject(place, token);
-    }
     tokens += count;
   }
-  const bool quiesced = sim.Run(kPnetRunBudget);
+
+  Cycles value = 0;
+  bool quiesced = true;
+  bool firing_budget_hit = false;
+
+  if (options_.enable_pnet_memo && cnet.hashable()) {
+    // Weakly-connected components share no places, so they evolve
+    // independently: evaluate (or recall) each on its own, charging
+    // firings against one shared budget so budget-exhaustion statuses
+    // match a whole-net run exactly (the total work is identical, only
+    // the interleaving differs). Every component must run — one with no
+    // injected tokens can still fire off its initial marking.
+    PnetMemoTable& memo = PnetMemoTable::Global();
+    std::uint64_t remaining = budget;
+    for (std::size_t c = 0; c < cnet.num_components(); ++c) {
+      const std::string key = PnetMemoTable::Key(cnet, c, token, injections);
+      PnetMemoResult result;
+      bool hit;
+      {
+        obs::SpanGuard lookup_span("serve", "memo_lookup");
+        hit = memo.Lookup(key, remaining, &result);
+        if (lookup_span.active()) {
+          lookup_span.SetArg("hit", hit ? 1.0 : 0.0);
+        }
+      }
+      if (!hit) {
+        PetriSim sim(&cnet, c);
+        sim.set_max_firings(remaining);
+        for (const auto& [place, count] : injections) {
+          if (cnet.places()[place].component != c) {
+            continue;
+          }
+          for (int i = 0; i < count; ++i) {
+            sim.Inject(place, token);
+          }
+        }
+        const bool q = sim.Run(kPnetRunBudget);
+        result.quiesce_time = sim.now();
+        result.firings = sim.total_firings();
+        if (!q) {
+          quiesced = false;
+          firing_budget_hit = sim.firing_budget_exhausted();
+          break;
+        }
+        // Only quiesced results enter the table (pnet_memo.h contract).
+        memo.Insert(key, result);
+      }
+      remaining -= result.firings;
+      value = std::max(value, result.quiesce_time);
+    }
+  } else {
+    // Memo off (or net unhashable: opaque C++ closures): one whole-net
+    // run over the shared pre-compiled form.
+    PetriSim sim(&cnet);
+    sim.set_max_firings(budget);
+    for (const auto& [place, count] : injections) {
+      for (int i = 0; i < count; ++i) {
+        sim.Inject(place, token);
+      }
+    }
+    quiesced = sim.Run(kPnetRunBudget);
+    firing_budget_hit = sim.firing_budget_exhausted();
+    value = sim.now();
+  }
+
   if (!quiesced) {
     response.status =
         deadline_limited ? PredictStatus::kDeadlineExceeded : PredictStatus::kResourceExhausted;
-    response.error = sim.firing_budget_exhausted()
-                         ? "net firing budget exhausted"
-                         : "net did not quiesce within the time horizon";
+    response.error = firing_budget_hit ? "net firing budget exhausted"
+                                       : "net did not quiesce within the time horizon";
     return response;
   }
   response.status = PredictStatus::kOk;
-  response.value = static_cast<double>(sim.now());
-  response.throughput = sim.now() == 0 ? 0.0 : static_cast<double>(tokens) / response.value;
+  response.value = static_cast<double>(value);
+  response.throughput = value == 0 ? 0.0 : static_cast<double>(tokens) / response.value;
   return response;
 }
 

@@ -4,37 +4,49 @@
 // latency/throughput will this workload see?" asked at high rate).
 //
 // The service loads the registry once, pre-parses every shipped .psc
-// program and .pnet net, and answers queries through a fixed worker pool:
+// program and .pnet net (nets are also pre-compiled to flat CompiledNet
+// form), and answers queries through a fixed worker pool:
 //
-//   clients ──Predict/PredictBatch──▶ bounded MPMC queue (request chunks)
-//                                          │
+//   clients ──Predict/PredictBatch/SubmitBatch──▶ bounded MPMC queue
+//                                          │       (request chunks)
 //                             workers (one Interpreter per thread per
 //                             program — interpreters are stateful and are
 //                             never shared) ──▶ sharded LRU cache
+//                                          └──▶ process-wide sub-net memo
+//                                               (src/petri/pnet_memo.h)
 //
 // Responses memoize (interface, function, canonicalized workload) →
-// prediction, so hot workloads skip evaluation entirely. Per-request
-// deadlines ride on the interpreter's step budget (docs/serving.md).
+// prediction, so hot workloads skip evaluation entirely; below that, pnet
+// evaluations memoize per weakly-connected component keyed by structural
+// hash, so repeated *structure* is cheap even across different nets.
+// Registry lookups go through a lock-free direct-mapped hot tier over a
+// hash index — no linear scan on the hot path. Per-request deadlines ride
+// on the interpreter's step budget (docs/serving.md).
 //
 // Thread-safety: all public methods are safe from any thread. Shutdown
 // (or destruction) drains accepted work, then rejects later submissions.
 #ifndef SRC_SERVE_SERVICE_H_
 #define SRC_SERVE_SERVICE_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/program_interface.h"
 #include "src/core/pnet.h"
 #include "src/core/registry.h"
+#include "src/petri/compiled_net.h"
 #include "src/serve/lru_cache.h"
 #include "src/serve/metrics.h"
 #include "src/serve/mpmc_queue.h"
@@ -53,6 +65,10 @@ struct ServiceOptions {
   // Total cache entries (0 disables caching) and shard count.
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 64;
+  // Cross-request per-component Petri-net memoization (the process-wide
+  // table in src/petri/pnet_memo.h). Off, every pnet query simulates from
+  // scratch — useful for benchmarking and for verifying equivalence.
+  bool enable_pnet_memo = true;
   // Default evaluation budget: interpreter steps (program queries) or net
   // firings (pnet queries).
   std::uint64_t default_max_steps = 5'000'000;
@@ -61,7 +77,18 @@ struct ServiceOptions {
   std::uint64_t steps_per_us = 200;
 };
 
+// Per-request completion callback for the async API: invoked once per
+// request, from a worker thread, with the request's index in submission
+// order, as soon as that request resolves (streaming — not batched at the
+// end). May be invoked from the submitting thread for requests rejected at
+// submission (service shutting down). Must not block for long: it runs on
+// the worker that would otherwise be evaluating.
+using StreamCallback = std::function<void(std::size_t index, const PredictResponse& response)>;
+
 class PredictionService {
+ private:
+  struct BatchState;  // defined below; BatchHandle only holds a pointer
+
  public:
   explicit PredictionService(const InterfaceRegistry& registry, ServiceOptions options = {});
   ~PredictionService();
@@ -69,12 +96,42 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
+  // Handle to an in-flight async batch. Cheap to copy (shared state);
+  // dropping every copy does NOT cancel the batch — it runs to completion
+  // ("fire and forget" is legal, the workers keep the state alive).
+  class BatchHandle {
+   public:
+    BatchHandle() = default;  // invalid handle; done() == true
+
+    bool valid() const { return state_ != nullptr; }
+    std::size_t size() const;
+    // True once every request has resolved (and every callback returned).
+    bool done() const;
+    void Wait() const;
+    // False on timeout.
+    bool WaitFor(std::chrono::microseconds timeout) const;
+    // Blocks until done; responses[i] answers requests[i].
+    const std::vector<PredictResponse>& Responses() const;
+
+   private:
+    friend class PredictionService;
+    explicit BatchHandle(std::shared_ptr<BatchState> state) : state_(std::move(state)) {}
+    std::shared_ptr<BatchState> state_;
+  };
+
   // Synchronous single query (a batch of one).
   PredictResponse Predict(const PredictRequest& request);
 
   // Batch API: responses[i] answers requests[i]; blocks until the whole
   // batch is resolved. Requests are processed by the pool concurrently.
   std::vector<PredictResponse> PredictBatch(std::span<const PredictRequest> requests);
+
+  // Async batch API: returns immediately with a handle; the service owns
+  // the requests for the batch's lifetime. A single client thread can keep
+  // many batches in flight and consume completions through `on_complete`
+  // (streamed per request) or by polling/waiting on the handles.
+  BatchHandle SubmitBatch(std::vector<PredictRequest> requests,
+                          StreamCallback on_complete = nullptr);
 
   // Stops accepting work, drains the queue, joins the workers. Idempotent.
   void Shutdown();
@@ -103,14 +160,23 @@ class PredictionService {
     std::string name;
     std::optional<ProgramInterface> program;  // shared parse + constants
     LoadedNet pnet;                           // pnet.net null if none shipped
+    std::unique_ptr<CompiledNet> compiled;    // non-null iff pnet.net is
   };
 
   // Completion state shared between a batch submitter and the workers.
+  // Synchronous batches stack-allocate it (the submitter outlives the
+  // batch by construction); async batches heap-allocate it and the Jobs
+  // carry a keepalive reference so fire-and-forget is safe.
   struct BatchState {
     std::mutex mu;
     std::condition_variable cv;
     std::size_t remaining = 0;
     Clock::time_point submitted;
+    // Async-only: the batch owns its request/response storage, and
+    // completions stream through on_complete (may be empty).
+    std::vector<PredictRequest> requests;
+    std::vector<PredictResponse> responses;
+    StreamCallback on_complete;
   };
 
   struct Job {
@@ -119,6 +185,7 @@ class PredictionService {
     std::size_t begin = 0;
     std::size_t end = 0;
     BatchState* batch = nullptr;
+    std::shared_ptr<BatchState> keepalive;  // non-null for async batches
   };
 
   // Per-worker evaluation state: one Interpreter per program, created
@@ -128,6 +195,11 @@ class PredictionService {
   };
 
   void WorkerLoop();
+  // Splits [0, n) into chunks and enqueues them; returns the index of the
+  // first request that could not be queued (n when all were accepted).
+  std::size_t EnqueueChunks(const PredictRequest* requests, PredictResponse* responses,
+                            std::size_t n, BatchState* batch,
+                            const std::shared_ptr<BatchState>& keepalive);
   const Entry* FindEntry(const std::string& name) const;
   PredictResponse Evaluate(const PredictRequest& request, Clock::time_point submitted,
                            WorkerState* state);
@@ -139,6 +211,14 @@ class PredictionService {
 
   ServiceOptions options_;
   std::vector<Entry> entries_;
+  // Registry lookup, two tiers: a direct-mapped, lock-free hot tier of
+  // entry indices validated by name compare (one hash + one compare for a
+  // repeated interface name), backed by a hash index built at
+  // construction. Both are read-mostly; the hot tier's slots are plain
+  // relaxed atomics because any value they hold is validated before use.
+  static constexpr std::size_t kHotSlots = 64;  // power of two
+  std::unordered_map<std::string, std::size_t> index_;
+  mutable std::array<std::atomic<std::uint32_t>, kHotSlots> hot_;
   std::unique_ptr<ServiceMetrics> metrics_;
   ShardedLruCache cache_;
   BoundedQueue<Job> queue_;

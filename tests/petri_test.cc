@@ -1,7 +1,13 @@
+#include <algorithm>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "src/obs/trace.h"
 #include "src/petri/analysis.h"
+#include "src/petri/compiled_net.h"
 #include "src/petri/net.h"
+#include "src/petri/pnet_memo.h"
 #include "src/petri/sim.h"
 #include "src/sim/pipeline_model.h"
 
@@ -279,6 +285,213 @@ TEST(Analysis, SteadyStateThroughput) {
   }
   EXPECT_TRUE(sim.Run(1000));
   EXPECT_DOUBLE_EQ(SteadyStateThroughput(sim, out), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledNet: lowering, components, structural hashing.
+
+// A transition whose delay closure carries canonical source text, which is
+// what makes a hand-built net hashable (loader-produced nets get this from
+// BoundExpr::Canonical()).
+TransitionSpec ExprTransition(std::string name, std::vector<Arc> inputs, std::vector<Arc> outputs,
+                              Cycles delay, std::string delay_expr) {
+  TransitionSpec spec;
+  spec.name = std::move(name);
+  spec.inputs = std::move(inputs);
+  spec.outputs = std::move(outputs);
+  spec.delay = Const(delay);
+  spec.delay_expr = std::move(delay_expr);
+  return spec;
+}
+
+// Two disconnected chains plus an orphan place. `scale` shifts the delay
+// expression so structurally-identical and structurally-different variants
+// come from the same builder.
+PetriNet TwoChainNet(const char* prefix, Cycles chain_b_delay = 3) {
+  PetriNet net;
+  const PlaceId a_in = net.AddPlace(std::string(prefix) + "a_in");
+  const PlaceId a_out = net.AddPlace(std::string(prefix) + "a_out");
+  const PlaceId b_in = net.AddPlace(std::string(prefix) + "b_in");
+  const PlaceId b_mid = net.AddPlace(std::string(prefix) + "b_mid", 2);
+  const PlaceId b_out = net.AddPlace(std::string(prefix) + "b_out");
+  net.AddPlace(std::string(prefix) + "orphan");
+  net.AddTransition(ExprTransition("a0", {{a_in, 1}}, {{a_out, 1}}, 5, "5"));
+  net.AddTransition(ExprTransition("b0", {{b_in, 1}}, {{b_mid, 1}}, chain_b_delay,
+                                   std::to_string(chain_b_delay)));
+  net.AddTransition(ExprTransition("b1", {{b_mid, 1}}, {{b_out, 1}}, 2, "2"));
+  return net;
+}
+
+TEST(CompiledNet, PartitionsDisconnectedComponents) {
+  const PetriNet net = TwoChainNet("");
+  const CompiledNet cnet(&net);
+  ASSERT_EQ(cnet.num_components(), 3u);  // chain a, chain b, orphan place
+  EXPECT_TRUE(cnet.hashable());
+
+  // Chain a is discovered first (transition declaration order), the orphan
+  // place last.
+  EXPECT_EQ(cnet.transitions()[0].component, 0u);
+  EXPECT_EQ(cnet.transitions()[1].component, 1u);
+  EXPECT_EQ(cnet.transitions()[2].component, 1u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("a_in")].component, 0u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("b_out")].component, 1u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("orphan")].component, 2u);
+
+  // Local indices restart per component, in declaration order.
+  EXPECT_EQ(cnet.places()[net.PlaceByName("a_in")].local_index, 0u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("a_out")].local_index, 1u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("b_in")].local_index, 0u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("b_mid")].local_index, 1u);
+  EXPECT_EQ(cnet.places()[net.PlaceByName("orphan")].local_index, 0u);
+}
+
+TEST(CompiledNet, StructuralHashIgnoresNamesButNotStructure) {
+  const PetriNet base = TwoChainNet("");
+  const PetriNet renamed = TwoChainNet("x_");     // same structure, new names
+  const PetriNet different = TwoChainNet("", 4);  // chain b delay 3 -> 4
+  const CompiledNet c_base(&base);
+  const CompiledNet c_renamed(&renamed);
+  const CompiledNet c_diff(&different);
+
+  EXPECT_NE(c_base.structural_hash(), 0u);
+  EXPECT_EQ(c_base.structural_hash(), c_renamed.structural_hash());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(c_base.component_hash(c), c_renamed.component_hash(c)) << "component " << c;
+  }
+  // Only chain b changed, so only its component hash moves.
+  EXPECT_EQ(c_base.component_hash(0), c_diff.component_hash(0));
+  EXPECT_NE(c_base.component_hash(1), c_diff.component_hash(1));
+  EXPECT_EQ(c_base.component_hash(2), c_diff.component_hash(2));
+  EXPECT_NE(c_base.structural_hash(), c_diff.structural_hash());
+}
+
+TEST(CompiledNet, OpaqueClosuresAreUnhashable) {
+  PetriNet net;
+  const PlaceId in = net.AddPlace("in");
+  const PlaceId out = net.AddPlace("out");
+  // No delay_expr: the closure's behavior is not pinned down by text.
+  net.AddTransition({"t", {{in, 1}}, {{out, 1}}, 1, Const(7), nullptr, nullptr});
+  const CompiledNet cnet(&net);
+  EXPECT_FALSE(cnet.hashable());
+  EXPECT_EQ(cnet.structural_hash(), 0u);
+  EXPECT_EQ(cnet.component_hash(0), 0u);
+  // Unhashable nets must not produce memo keys.
+  EXPECT_TRUE(PnetMemoTable::Key(cnet, 0, Token{}, {}).empty());
+}
+
+TEST(PetriSim, ComponentRestrictedRunMatchesFullRun) {
+  const PetriNet net = TwoChainNet("");
+  const CompiledNet cnet(&net);
+  const PlaceId a_in = net.PlaceByName("a_in");
+  const PlaceId a_out = net.PlaceByName("a_out");
+  const PlaceId b_in = net.PlaceByName("b_in");
+  const PlaceId b_out = net.PlaceByName("b_out");
+
+  PetriSim full(&cnet);
+  full.Observe(a_out);
+  full.Observe(b_out);
+  for (int i = 0; i < 3; ++i) {
+    full.Inject(a_in, Token{});
+  }
+  for (int i = 0; i < 5; ++i) {
+    full.Inject(b_in, Token{});
+  }
+  ASSERT_TRUE(full.Run(100000));
+
+  PetriSim only_a(&cnet, 0);
+  only_a.Observe(a_out);
+  only_a.Observe(b_out);
+  for (int i = 0; i < 3; ++i) {
+    only_a.Inject(a_in, Token{});
+  }
+  // Tokens for the other component sit inert: its transitions are excluded.
+  for (int i = 0; i < 5; ++i) {
+    only_a.Inject(b_in, Token{});
+  }
+  ASSERT_TRUE(only_a.Run(100000));
+  ASSERT_EQ(only_a.arrivals(a_out).size(), 3u);
+  EXPECT_EQ(only_a.arrivals(b_out).size(), 0u);
+  EXPECT_EQ(only_a.tokens_at(b_in), 5u);
+
+  PetriSim only_b(&cnet, 1);
+  only_b.Observe(b_out);
+  for (int i = 0; i < 5; ++i) {
+    only_b.Inject(b_in, Token{});
+  }
+  ASSERT_TRUE(only_b.Run(100000));
+  ASSERT_EQ(only_b.arrivals(b_out).size(), 5u);
+
+  // Per-arrival times and total work match the interleaved full run.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(only_a.arrivals(a_out)[i].time, full.arrivals(a_out)[i].time);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(only_b.arrivals(b_out)[i].time, full.arrivals(b_out)[i].time);
+  }
+  EXPECT_EQ(only_a.total_firings() + only_b.total_firings(), full.total_firings());
+  EXPECT_EQ(std::max(only_a.now(), only_b.now()), full.now());
+}
+
+// Regression: the firing-budget clean stop must pin an instant event on the
+// trace timeline (it is the difference between "the net quiesced" and "the
+// service gave up on a pathological net").
+TEST(PetriSim, BudgetStopEmitsTraceInstant) {
+  PetriNet net;
+  const PlaceId loop = net.AddPlace("loop", 0, 1);
+  net.AddTransition({"spin", {{loop, 1}}, {{loop, 1}}, 1, Const(0), nullptr, nullptr});
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::TracerOptions options;
+  options.sample_every = 1;  // instants are sampled; record all of them
+  tracer.Start(options);
+  PetriSim sim(&net);
+  sim.set_max_firings(25);
+  EXPECT_FALSE(sim.Run(1000));
+  EXPECT_TRUE(sim.firing_budget_exhausted());
+  tracer.Stop();
+
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_NE(json.find("budget_exhausted"), std::string::npos)
+      << "budget stop must emit a pnet/budget_exhausted instant";
+}
+
+// ---------------------------------------------------------------------------
+// PnetMemoTable: keying and budget-respecting hits.
+
+TEST(PnetMemo, KeyMergesAndCanonicalizesInjections) {
+  const PetriNet net = TwoChainNet("");
+  const CompiledNet cnet(&net);
+  const PlaceId b_in = net.PlaceByName("b_in");
+  const PlaceId b_mid = net.PlaceByName("b_mid");
+  const PlaceId a_in = net.PlaceByName("a_in");
+
+  Token token;
+  const std::string key = PnetMemoTable::Key(cnet, 1, token, {{b_in, 2}, {b_mid, 1}, {b_in, 3}});
+  ASSERT_FALSE(key.empty());
+  // Reordered and duplicate-merged plans key identically; injections into
+  // other components are irrelevant to this component's key.
+  EXPECT_EQ(key, PnetMemoTable::Key(cnet, 1, token, {{b_mid, 1}, {b_in, 5}}));
+  EXPECT_EQ(key, PnetMemoTable::Key(cnet, 1, token, {{a_in, 7}, {b_in, 5}, {b_mid, 1}}));
+  EXPECT_NE(key, PnetMemoTable::Key(cnet, 1, token, {{b_in, 4}, {b_mid, 1}}));
+  // The same plan keys other components differently (component hash).
+  EXPECT_NE(key, PnetMemoTable::Key(cnet, 0, token, {{b_mid, 1}, {b_in, 5}}));
+}
+
+TEST(PnetMemo, LookupRespectsFiringBudget) {
+  PnetMemoTable table(/*capacity=*/64, /*num_shards=*/2);
+  const std::string key = "k";
+  PnetMemoResult out;
+  EXPECT_FALSE(table.Lookup(key, 1000, &out));
+  table.Insert(key, PnetMemoResult{/*quiesce_time=*/42, /*firings=*/10});
+
+  // A stored run of 10 firings would have exhausted a budget of 10 (the sim
+  // flags exhaustion when firings reach the budget), so only 11+ hits.
+  EXPECT_FALSE(table.Lookup(key, 10, &out));
+  ASSERT_TRUE(table.Lookup(key, 11, &out));
+  EXPECT_EQ(out.quiesce_time, 42u);
+  EXPECT_EQ(out.firings, 10u);
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 2u);
 }
 
 }  // namespace

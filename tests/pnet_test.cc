@@ -3,6 +3,7 @@
 #include "src/core/pnet.h"
 #include "src/core/registry.h"
 #include "src/petri/analysis.h"
+#include "src/petri/compiled_net.h"
 #include "src/petri/sim.h"
 
 namespace perfiface {
@@ -165,6 +166,63 @@ TEST(PnetCompose, ErrorsSurfaceCleanly) {
       ExpandPnetIncludes("use \"components/dram_channel.pnet\" prefix=a bind=\"oops\"\n",
                          InterfaceRegistry::InterfaceDir())
           .ok);  // malformed bind
+}
+
+// Loader-produced nets record the canonical compiled form of every delay
+// and guard expression, which is what makes them structurally hashable —
+// the precondition for cross-request sub-net memoization (pnet_memo.h).
+TEST(Pnet, LoadedNetsAreHashable) {
+  const char* src =
+      "net demo\n"
+      "attr op\n"
+      "place in\n"
+      "place a\n"
+      "trans ta in=in out=a guard=\"op == 1\" delay=\"op * 3\"\n";
+  const LoadedNet a = LoadPnet(src);
+  const LoadedNet b = LoadPnet(src);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const CompiledNet ca(a.net.get());
+  const CompiledNet cb(b.net.get());
+  EXPECT_TRUE(ca.hashable());
+  EXPECT_NE(ca.structural_hash(), 0u);
+  // Two loads of the same text must agree — that is what lets two
+  // *different* nets sharing a component share memo entries.
+  EXPECT_EQ(ca.structural_hash(), cb.structural_hash());
+}
+
+// Constants are inlined into the compiled expression program, so the same
+// delay *text* under a different const table is a different behavior and
+// must hash differently (raw source text would wrongly collide here).
+TEST(Pnet, ConstValueChangeAltersStructuralHash) {
+  const char* tmpl =
+      "net demo\n"
+      "const lat %d\n"
+      "attr words\n"
+      "place in\n"
+      "place out\n"
+      "trans dma in=in out=out delay=\"4 + ceil(words / 8) * (lat + 8)\"\n";
+  char src50[256];
+  char src60[256];
+  std::snprintf(src50, sizeof(src50), tmpl, 50);
+  std::snprintf(src60, sizeof(src60), tmpl, 60);
+  const LoadedNet a = LoadPnet(src50);
+  const LoadedNet b = LoadPnet(src60);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const CompiledNet ca(a.net.get());
+  const CompiledNet cb(b.net.get());
+  ASSERT_TRUE(ca.hashable() && cb.hashable());
+  EXPECT_NE(ca.structural_hash(), cb.structural_hash());
+}
+
+TEST(Pnet, ShippedNetsAreHashable) {
+  for (const char* name : {"jpeg", "protoacc", "vta"}) {
+    const LoadedNet loaded = LoadPnetFile(std::string(PERFIFACE_SOURCE_DIR) +
+                                          "/src/core/interfaces/" + name + ".pnet");
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.error;
+    const CompiledNet compiled(loaded.net.get());
+    EXPECT_TRUE(compiled.hashable()) << name;
+    EXPECT_NE(compiled.structural_hash(), 0u) << name;
+  }
 }
 
 TEST(Pnet, ShippedJpegNetParses) {

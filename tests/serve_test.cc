@@ -2,6 +2,9 @@
 // batch semantics, caching, deadlines, resource limits, and concurrency
 // (this binary is the ThreadSanitizer target in CI).
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "src/perfscript/interp.h"
 #include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
+#include "src/petri/pnet_memo.h"
 #include "src/serve/lru_cache.h"
 #include "src/serve/metrics.h"
 #include "src/serve/mpmc_queue.h"
@@ -35,6 +39,20 @@ PredictRequest ProtoaccRequest(double num_fields, double num_writes, int childre
   req.function = "tput_protoacc_ser";
   req.attrs = {{"num_fields", num_fields}, {"num_writes", num_writes}};
   req.children = children;
+  return req;
+}
+
+// A pnet-representation request. The attrs cover every shipped net's
+// schema superset; names a schema does not declare are ignored, so one
+// workload description works against all registry entries.
+PredictRequest PnetRequest(const std::string& iface, const std::string& entry_place,
+                           int tokens = 1) {
+  PredictRequest req;
+  req.interface = iface;
+  req.representation = Representation::kPnet;
+  req.entry_place = entry_place;
+  req.tokens = tokens;
+  req.attrs = {{"bits", 800.0}, {"blocks", 8.0}, {"words", 64.0}, {"num_fields", 6.0}};
   return req;
 }
 
@@ -63,6 +81,41 @@ TEST(CanonicalCacheKey, DistinguishesWorkloads) {
   PredictRequest without = ProtoaccRequest(12, 9, 0);
   EXPECT_NE(CanonicalCacheKey(with_children, Representation::kProgram),
             CanonicalCacheKey(without, Representation::kProgram));
+}
+
+// Satellite: the entry-place spec is canonicalized — whitespace stripped,
+// items sorted, default counts made explicit, duplicate places merged — so
+// permuted but identical pnet queries share one cache entry.
+TEST(CanonicalCacheKey, EntryPlaceOrderAndWhitespaceInsensitive) {
+  const auto key = [](const std::string& entry_place) {
+    return CanonicalCacheKey(PnetRequest("jpeg_decoder", entry_place), Representation::kPnet);
+  };
+  EXPECT_EQ(key("hdr_in:1,vld_in:8"), key("vld_in:8,hdr_in:1"));
+  EXPECT_EQ(key("hdr_in:1,vld_in:8"), key(" hdr_in : 1 ,\tvld_in:8 "));
+  // The same place listed twice injects the sum.
+  EXPECT_EQ(key("hdr_in:1,vld_in:8"), key("hdr_in:1,vld_in:4,vld_in:4"));
+}
+
+TEST(CanonicalCacheKey, DefaultCountsAreMadeExplicit) {
+  // "vld_in" with tokens=8 injects the same plan as an explicit "vld_in:8".
+  PredictRequest implicit = PnetRequest("jpeg_decoder", "vld_in,hdr_in:1", /*tokens=*/8);
+  PredictRequest explicit_count = PnetRequest("jpeg_decoder", "vld_in:8,hdr_in:1", /*tokens=*/1);
+  EXPECT_EQ(CanonicalCacheKey(implicit, Representation::kPnet),
+            CanonicalCacheKey(explicit_count, Representation::kPnet));
+  // With an empty spec, `tokens` is the first-place count and must key.
+  PredictRequest two = PnetRequest("jpeg_decoder", "", /*tokens=*/2);
+  PredictRequest three = PnetRequest("jpeg_decoder", "", /*tokens=*/3);
+  EXPECT_NE(CanonicalCacheKey(two, Representation::kPnet),
+            CanonicalCacheKey(three, Representation::kPnet));
+}
+
+TEST(CanonicalCacheKey, DistinguishesInjectionPlans) {
+  const auto key = [](const std::string& entry_place) {
+    return CanonicalCacheKey(PnetRequest("jpeg_decoder", entry_place), Representation::kPnet);
+  };
+  EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:1,vld_in:9"));
+  EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:2,vld_in:8"));
+  EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:1"));
 }
 
 TEST(ShardedLruCache, BasicHitMissEvict) {
@@ -316,6 +369,293 @@ TEST(PredictionService, StatsDumpsMentionInterfaces) {
   EXPECT_NE(json.find("jpeg_decoder"), std::string::npos);
 }
 
+// The evaluator must accept exactly the entry-place specs the cache key
+// canonicalizes: otherwise "hdr_in : 1" answers from a warm cache but
+// errors on a cold one.
+TEST(PredictionService, EntryPlaceWhitespaceAndDuplicatesEvaluateIdentically) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;  // force every variant down the cold path
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  const PredictResponse tight =
+      service.Predict(PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8"));
+  ASSERT_TRUE(tight.ok()) << tight.error;
+  const PredictResponse spaced =
+      service.Predict(PnetRequest("jpeg_decoder", " hdr_in : 1 ,\tvld_in:8 "));
+  ASSERT_TRUE(spaced.ok()) << spaced.error;
+  EXPECT_DOUBLE_EQ(spaced.value, tight.value);
+  const PredictResponse split =
+      service.Predict(PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:4,vld_in:4"));
+  ASSERT_TRUE(split.ok()) << split.error;
+  EXPECT_DOUBLE_EQ(split.value, tight.value);
+}
+
+TEST(PredictionService, RepeatedLookupsHitHotTier) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  ASSERT_TRUE(service.Predict(JpegRequest(1024, 0.2)).ok());
+  ASSERT_TRUE(service.Predict(JpegRequest(2048, 0.2)).ok());
+  // First lookup populates the direct-mapped slot (cold), the repeat is
+  // answered from it (hot).
+  EXPECT_GE(service.metrics().lookup_hot(), 1u);
+  EXPECT_GE(service.metrics().lookup_cold(), 1u);
+}
+
+// --- sub-net memoization ---
+
+// Acceptance: memoized and unmemoized evaluation must produce identical
+// predictions for every registry entry that ships a pnet. The response
+// cache is disabled on both services so every repeat actually exercises
+// the memo (or simulation) path.
+TEST(PredictionServiceMemo, MemoizedMatchesUnmemoizedAcrossRegistry) {
+  PnetMemoTable::Global().Clear();
+  ServiceOptions on;
+  on.num_workers = 2;
+  on.cache_capacity = 0;
+  ServiceOptions off = on;
+  off.enable_pnet_memo = false;
+  PredictionService memo_on(InterfaceRegistry::Default(), on);
+  PredictionService memo_off(InterfaceRegistry::Default(), off);
+
+  int ok_predictions = 0;
+  for (const std::string& name : memo_on.InterfaceNames()) {
+    for (int tokens : {1, 4}) {
+      const PredictRequest req = PnetRequest(name, "", tokens);
+      const PredictResponse base = memo_off.Predict(req);
+      // Cold (memo miss, inserts) then warm (memo hit): both must agree
+      // with the from-scratch answer, down to the status.
+      const PredictResponse cold = memo_on.Predict(req);
+      const PredictResponse warm = memo_on.Predict(req);
+      EXPECT_EQ(cold.status, base.status) << name;
+      EXPECT_EQ(warm.status, base.status) << name;
+      if (base.ok()) {
+        ++ok_predictions;
+        EXPECT_DOUBLE_EQ(cold.value, base.value) << name;
+        EXPECT_DOUBLE_EQ(warm.value, base.value) << name;
+        EXPECT_DOUBLE_EQ(cold.throughput, base.throughput) << name;
+        EXPECT_DOUBLE_EQ(warm.throughput, base.throughput) << name;
+      }
+    }
+  }
+  EXPECT_GT(ok_predictions, 0);  // the sweep must not be vacuous
+
+  // The realistic multi-place JPEG injection, and proof the warm repeat
+  // actually came from the memo table.
+  const PredictRequest jpeg = PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8");
+  const std::uint64_t hits_before = PnetMemoTable::Global().hits();
+  const PredictResponse base = memo_off.Predict(jpeg);
+  const PredictResponse cold = memo_on.Predict(jpeg);
+  const PredictResponse warm = memo_on.Predict(jpeg);
+  ASSERT_TRUE(base.ok()) << base.error;
+  EXPECT_DOUBLE_EQ(cold.value, base.value);
+  EXPECT_DOUBLE_EQ(warm.value, base.value);
+  EXPECT_GT(PnetMemoTable::Global().hits(), hits_before);
+}
+
+// A memo hit must never hide a budget exhaustion the simulation would
+// have reported: entries remember their firing cost, and Lookup rejects
+// when that cost does not fit the request's remaining budget.
+TEST(PredictionServiceMemo, MemoHitNeverMasksFiringBudgetExhaustion) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req = PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8");
+  ASSERT_TRUE(service.Predict(req).ok());  // warms the memo with a quiesced run
+
+  req.max_steps = 2;  // far below what the decode fires
+  EXPECT_EQ(service.Predict(req).status, PredictStatus::kResourceExhausted);
+
+  // And with the budget restored the memo answers again.
+  req.max_steps = 0;
+  EXPECT_TRUE(service.Predict(req).ok());
+}
+
+// Acceptance: the memo and async-API families are visible through one
+// Prometheus scrape of the service (the --metrics endpoint's payload).
+TEST(PredictionServiceMemo, MemoCountersVisibleInPrometheusScrape) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  ASSERT_TRUE(service.Predict(PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8")).ok());
+  const std::string prom = service.StatsPrometheus();
+  EXPECT_NE(prom.find("perfiface_pnet_memo_hits_total"), std::string::npos);
+  EXPECT_NE(prom.find("perfiface_pnet_memo_misses_total"), std::string::npos);
+  EXPECT_NE(prom.find("perfiface_serve_inflight_batches"), std::string::npos);
+  EXPECT_NE(prom.find("perfiface_serve_registry_lookup_hot_total"), std::string::npos);
+}
+
+// --- async batch API ---
+
+TEST(PredictionServiceAsync, SubmitBatchMatchesPredictBatch) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.batch_chunk = 4;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  std::vector<PredictRequest> requests;
+  for (int i = 0; i < 20; ++i) {
+    requests.push_back(i % 2 == 0 ? JpegRequest(1024.0 * (i + 1), 0.2)
+                                  : ProtoaccRequest(8 + i, 5 + i, i % 3));
+  }
+  const std::vector<PredictResponse> sync = service.PredictBatch(requests);
+  PredictionService::BatchHandle handle = service.SubmitBatch(requests);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(handle.size(), requests.size());
+  const std::vector<PredictResponse>& async = handle.Responses();
+  ASSERT_EQ(async.size(), sync.size());
+  for (std::size_t i = 0; i < sync.size(); ++i) {
+    EXPECT_EQ(async[i].status, sync[i].status) << i;
+    EXPECT_DOUBLE_EQ(async[i].value, sync[i].value) << i;
+  }
+  EXPECT_TRUE(handle.done());
+}
+
+TEST(PredictionServiceAsync, StreamsPerRequestCallbacks) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.batch_chunk = 3;  // several chunks per batch
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  constexpr std::size_t kN = 17;
+  std::vector<PredictRequest> requests;
+  for (std::size_t i = 0; i < kN; ++i) {
+    requests.push_back(JpegRequest(512.0 * (i + 1), 0.25));
+  }
+  std::mutex mu;
+  std::vector<int> seen(kN, 0);
+  std::vector<double> streamed(kN, 0.0);
+  PredictionService::BatchHandle handle = service.SubmitBatch(
+      requests, [&](std::size_t index, const PredictResponse& response) {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_LT(index, kN);
+        ++seen[index];
+        streamed[index] = response.value;
+      });
+  // Wait() returning guarantees every callback has also returned.
+  handle.Wait();
+  const std::vector<PredictResponse>& responses = handle.Responses();
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seen[i], 1) << i;
+    ASSERT_TRUE(responses[i].ok()) << responses[i].error;
+    EXPECT_DOUBLE_EQ(streamed[i], responses[i].value) << i;
+  }
+}
+
+// Acceptance: one client thread sustains >= 4 batches in flight. The first
+// batch's completion callback blocks the only worker, so everything
+// submitted meanwhile is provably in flight together; the gauge proves it.
+TEST(PredictionServiceAsync, SingleClientSustainsManyInflightBatches) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<PredictionService::BatchHandle> handles;
+  handles.push_back(service.SubmitBatch(
+      {JpegRequest(1024, 0.2)}, [&](std::size_t, const PredictResponse&) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      }));
+  for (int b = 0; b < 4; ++b) {
+    handles.push_back(service.SubmitBatch(
+        {JpegRequest(2048.0 * (b + 1), 0.2), ProtoaccRequest(8, 5, 1)}));
+  }
+  EXPECT_GE(service.metrics().inflight_batches(), 5);
+  EXPECT_FALSE(handles.back().done());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (PredictionService::BatchHandle& handle : handles) {
+    handle.Wait();
+    EXPECT_TRUE(handle.done());
+    for (const PredictResponse& r : handle.Responses()) {
+      EXPECT_TRUE(r.ok()) << r.error;
+    }
+  }
+  EXPECT_EQ(service.metrics().inflight_batches(), 0);
+}
+
+// Dropping every handle copy does not cancel the batch: the workers keep
+// the state alive and the callbacks still stream.
+TEST(PredictionServiceAsync, FireAndForgetRunsToCompletion) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  constexpr int kN = 12;
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  {
+    std::vector<PredictRequest> requests;
+    for (int i = 0; i < kN; ++i) {
+      requests.push_back(JpegRequest(4096.0 * (i + 1), 0.2));
+    }
+    service.SubmitBatch(std::move(requests),
+                        [&](std::size_t, const PredictResponse& response) {
+                          if (!response.ok()) {
+                            failures.fetch_add(1);
+                          }
+                          completed.fetch_add(1);
+                        });
+    // The handle temporary is gone here; the batch is not.
+  }
+  for (int spins = 0; spins < 20000 && completed.load() < kN; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(completed.load(), kN);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PredictionServiceAsync, SubmitAfterShutdownResolvesImmediately) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  service.Shutdown();
+
+  std::atomic<int> streamed{0};
+  PredictionService::BatchHandle handle = service.SubmitBatch(
+      {JpegRequest(1024, 0.2), JpegRequest(2048, 0.2), JpegRequest(4096, 0.2)},
+      [&](std::size_t, const PredictResponse& response) {
+        EXPECT_EQ(response.status, PredictStatus::kRejected);
+        streamed.fetch_add(1);
+      });
+  // Rejection resolves (and streams) from the submitting thread.
+  EXPECT_TRUE(handle.done());
+  EXPECT_EQ(streamed.load(), 3);
+  for (const PredictResponse& r : handle.Responses()) {
+    EXPECT_EQ(r.status, PredictStatus::kRejected);
+  }
+  EXPECT_EQ(service.metrics().inflight_batches(), 0);
+}
+
+TEST(PredictionServiceAsync, EmptyBatchAndInvalidHandle) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictionService::BatchHandle empty = service.SubmitBatch({});
+  EXPECT_TRUE(empty.valid());
+  EXPECT_TRUE(empty.done());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.Responses().empty());
+
+  PredictionService::BatchHandle invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(invalid.done());
+  invalid.Wait();  // must not block
+  EXPECT_TRUE(invalid.WaitFor(std::chrono::microseconds(1)));
+  EXPECT_TRUE(invalid.Responses().empty());
+}
+
 // --- concurrency (the TSan-interesting part) ---
 
 TEST(PredictionServiceConcurrency, ParallelBatchesFromManyClients) {
@@ -403,6 +743,68 @@ TEST(PredictionServiceConcurrency, DeadlineExpiryUnderLoad) {
       EXPECT_TRUE(responses[i].ok()) << i << ": " << responses[i].error;
     }
   }
+}
+
+// Async submissions from many clients, all funneling pnet work through
+// the process-wide memo table (response cache off so every request takes
+// the memo path): concurrent Key/Lookup/Insert on overlapping keys plus
+// the async completion machinery, under TSan in CI.
+TEST(PredictionServiceConcurrency, AsyncBatchesShareTheMemoTable) {
+  PnetMemoTable::Global().Clear();
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.cache_capacity = 0;
+  options.batch_chunk = 4;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  const PredictResponse expected = service.Predict(PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8"));
+  ASSERT_TRUE(expected.ok()) << expected.error;
+
+  constexpr int kClients = 4;
+  constexpr int kBatches = 3;
+  constexpr int kBatch = 8;
+  std::atomic<int> callbacks{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &callbacks, &mismatches, expected] {
+      std::vector<PredictionService::BatchHandle> handles;
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<PredictRequest> requests;
+        for (int i = 0; i < kBatch; ++i) {
+          // Even slots repeat one workload across every client (contended
+          // memo hits of the same key); odd slots cycle a few variants
+          // (interleaved inserts).
+          PredictRequest req = PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8");
+          if (i % 2 == 1) {
+            req.attrs[1].second = 1.0 + i % 4;  // blocks
+          }
+          requests.push_back(std::move(req));
+        }
+        handles.push_back(service.SubmitBatch(
+            std::move(requests),
+            [&callbacks, &mismatches, expected](std::size_t index,
+                                                const PredictResponse& response) {
+              callbacks.fetch_add(1);
+              if (!response.ok() ||
+                  (index % 2 == 0 && response.value != expected.value)) {
+                mismatches.fetch_add(1);
+              }
+            }));
+      }
+      for (PredictionService::BatchHandle& handle : handles) {
+        handle.Wait();
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(callbacks.load(), kClients * kBatches * kBatch);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(PnetMemoTable::Global().hits(), 0u);
+  EXPECT_EQ(service.metrics().inflight_batches(), 0);
 }
 
 // Satellite: multi-threaded interpreter resource exhaustion. Each thread

@@ -20,6 +20,10 @@
 //   --workers N            worker threads (default: hardware concurrency)
 //   --cache N              cache capacity in entries (0 disables)
 //   --repeat N             run: repeat the query file N times (cache demo)
+//   --no-memo              disable the cross-request sub-net memo table
+//                          (docs/serving.md)
+//   --async                run: submit through the async SubmitBatch API
+//                          and stream completions instead of blocking
 //   --json                 machine-readable responses and stats
 //   --stats                print the service stats dump after the queries
 //   --stats-format FMT     stats flavor: text|json|prometheus (implies --stats)
@@ -55,7 +59,8 @@ int Usage() {
                "       serve_tool run <query-file> [options]\n"
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
                "         --deadline-us N --max-steps N --workers N --cache N\n"
-               "         --repeat N --json --stats --stats-format text|json|prometheus\n"
+               "         --repeat N --no-memo --async --json --stats\n"
+               "         --stats-format text|json|prometheus\n"
                "         --trace FILE --trace-sample N --metrics\n");
   return 2;
 }
@@ -65,6 +70,7 @@ enum class StatsFormat { kText, kJson, kPrometheus };
 struct CliOptions {
   ServiceOptions service;
   int repeat = 1;
+  bool async = false;
   bool json = false;
   bool stats = false;
   StatsFormat stats_format = StatsFormat::kText;
@@ -217,6 +223,14 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
     cli->repeat = std::atoi(v);
     return 2;
   }
+  if (arg == "--no-memo") {
+    cli->service.enable_pnet_memo = false;
+    return 1;
+  }
+  if (arg == "--async") {
+    cli->async = true;
+    return 1;
+  }
   return 0;
 }
 
@@ -351,7 +365,11 @@ int CmdRun(const std::vector<std::string>& args) {
   PredictionService service(InterfaceRegistry::Default(), cli.service);
   int failures = 0;
   for (int r = 0; r < std::max(1, cli.repeat); ++r) {
-    const std::vector<PredictResponse> responses = service.PredictBatch(requests);
+    // --async drives the same queries through SubmitBatch: the handle owns
+    // the requests, the submitter is free immediately, and Responses()
+    // joins at the end (the streaming callback is exercised in tests).
+    const std::vector<PredictResponse> responses =
+        cli.async ? service.SubmitBatch(requests).Responses() : service.PredictBatch(requests);
     // Print only the last repetition; earlier ones just warm the cache.
     if (r == std::max(1, cli.repeat) - 1) {
       for (std::size_t i = 0; i < requests.size(); ++i) {
