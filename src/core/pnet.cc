@@ -3,11 +3,13 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/loc.h"
 #include "src/common/strings.h"
+#include "src/perfscript/compile.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/parser.h"
 
@@ -97,199 +99,44 @@ bool ParseArcs(const std::string& list, std::vector<ArcSpec>* out, std::string* 
   return true;
 }
 
-// Compiled expression bound to a net's attribute schema and constants.
-//
-// Delay and guard expressions run on every firing attempt, so they are
-// compiled once at net-load time into a flat postfix program for a tiny
-// stack machine: variable names are resolved to constant values or token
-// attribute slots here, and evaluation performs no lookups or allocations.
-class BoundExpr {
- public:
-  static std::unique_ptr<BoundExpr> Compile(const std::string& source, const PetriNet& net,
-                                            const std::map<std::string, double>& consts,
-                                            std::string* error) {
-    ParseExprResult parsed = ParseExpression(source);
-    if (!parsed.ok) {
-      *error = parsed.error;
-      return nullptr;
-    }
-    auto bound = std::make_unique<BoundExpr>();
-    if (!bound->Emit(*parsed.expr, net, consts, error)) {
-      return nullptr;
-    }
-    return bound;
-  }
-
-  // Evaluates against the primary (first) token of a firing.
-  double Eval(const TokenRefs& tokens) const {
-    PI_CHECK(!tokens.empty());
-    const Token* primary = tokens.front();
-    double stack[kMaxStack];
-    int sp = 0;
-    for (const VmOp& op : ops_) {
-      switch (op.kind) {
-        case VmKind::kConst: stack[sp++] = op.value; break;
-        case VmKind::kAttr: stack[sp++] = primary->Attr(op.slot); break;
-        case VmKind::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
-        case VmKind::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
-        case VmKind::kCeil: stack[sp - 1] = std::ceil(stack[sp - 1]); break;
-        case VmKind::kFloor: stack[sp - 1] = std::floor(stack[sp - 1]); break;
-        case VmKind::kAbs: stack[sp - 1] = std::fabs(stack[sp - 1]); break;
-        case VmKind::kSqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
-        default: {
-          const double b = stack[--sp];
-          const double a = stack[sp - 1];
-          double r = 0;
-          switch (op.kind) {
-            case VmKind::kAdd: r = a + b; break;
-            case VmKind::kSub: r = a - b; break;
-            case VmKind::kMul: r = a * b; break;
-            case VmKind::kDiv:
-              PI_CHECK_MSG(b != 0, "division by zero in net expression");
-              r = a / b;
-              break;
-            case VmKind::kMod:
-              PI_CHECK_MSG(b != 0, "modulo by zero in net expression");
-              r = std::fmod(a, b);
-              break;
-            case VmKind::kLt: r = a < b ? 1 : 0; break;
-            case VmKind::kLe: r = a <= b ? 1 : 0; break;
-            case VmKind::kGt: r = a > b ? 1 : 0; break;
-            case VmKind::kGe: r = a >= b ? 1 : 0; break;
-            case VmKind::kEq: r = a == b ? 1 : 0; break;
-            case VmKind::kNe: r = a != b ? 1 : 0; break;
-            case VmKind::kAnd: r = (a != 0 && b != 0) ? 1 : 0; break;
-            case VmKind::kOr: r = (a != 0 || b != 0) ? 1 : 0; break;
-            case VmKind::kMin: r = std::fmin(a, b); break;
-            case VmKind::kMax: r = std::fmax(a, b); break;
-            default: PI_CHECK_MSG(false, "bad opcode");
-          }
-          stack[sp - 1] = r;
-          break;
-        }
-      }
-      PI_CHECK(sp > 0 && sp <= kMaxStack);
-    }
-    PI_CHECK(sp == 1);
-    return stack[0];
-  }
-
-  // Canonical serialization of the compiled program, recorded as
-  // TransitionSpec::delay_expr / guard_expr. Constants are inlined and
-  // attribute names resolved to slots at compile time, so the raw source
-  // text underdetermines behavior ("nominal_lat * blocks" means different
-  // things under different const tables); the compiled ops pin it down
-  // exactly, which is what CompiledNet's structural hash needs.
-  std::string Canonical() const {
-    std::string out;
-    out.reserve(ops_.size() * 8);
-    for (const VmOp& op : ops_) {
-      out += StrFormat("%u:%.17g:%u;", static_cast<unsigned>(op.kind), op.value, op.slot);
-    }
-    return out;
-  }
-
- private:
-  enum class VmKind : std::uint8_t {
-    kConst, kAttr, kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe,
-    kAnd, kOr, kNeg, kNot, kCeil, kFloor, kAbs, kSqrt, kMin, kMax,
-  };
-  struct VmOp {
-    VmKind kind = VmKind::kConst;
-    double value = 0;
-    std::uint32_t slot = 0;
-  };
-  static constexpr int kMaxStack = 64;
-
-  void Push(VmKind kind) { ops_.push_back(VmOp{kind, 0, 0}); }
-
-  bool Emit(const Expr& e, const PetriNet& net, const std::map<std::string, double>& consts,
-            std::string* error) {
-    switch (e.kind) {
-      case ExprKind::kNumber:
-        ops_.push_back(VmOp{VmKind::kConst, e.number, 0});
-        return true;
-      case ExprKind::kVar: {
-        const auto it = consts.find(e.name);
+// Compiles a delay/guard expression against a net's attribute schema and
+// constants via the shared standalone-expression backend (CompiledExpr,
+// perfscript/compile.h). Delay and guard expressions run on every firing
+// attempt, so they are bound once at net-load time: variable names resolve
+// here to inlined constant values or token attribute slots, and evaluation
+// performs no lookups or allocations. CompiledExpr::Canonical() keeps the
+// exact serialization format this loader has always recorded as
+// TransitionSpec::delay_expr/guard_expr (CompiledNet's structural hash and
+// the cross-request memo key both depend on it).
+std::shared_ptr<const CompiledExpr> CompileNetExpr(const std::string& source,
+                                                   const PetriNet& net,
+                                                   const std::map<std::string, double>& consts,
+                                                   std::string* error) {
+  ExprCompileOptions options;
+  options.domain = "net expressions";
+  options.unknown_var_hint = " (declare attrs/consts first)";
+  return CompiledExpr::CompileSource(
+      source,
+      [&net, &consts](std::string_view name) -> std::optional<ExprBinding> {
+        const auto it = consts.find(std::string(name));
         if (it != consts.end()) {
-          ops_.push_back(VmOp{VmKind::kConst, it->second, 0});
-          return true;
+          return ExprBinding::Const(it->second);
         }
-        const std::size_t slot = net.FindAttr(e.name);
+        const std::size_t slot = net.FindAttr(std::string(name));
         if (slot == PetriNet::kNoAttr) {
-          *error = StrFormat("line %d: unknown variable '%s' (declare attrs/consts first)",
-                             e.line, e.name.c_str());
-          return false;
+          return std::nullopt;
         }
-        ops_.push_back(VmOp{VmKind::kAttr, 0, static_cast<std::uint32_t>(slot)});
-        return true;
-      }
-      case ExprKind::kAttr:
-        *error = StrFormat("line %d: attribute access is not allowed in net expressions", e.line);
-        return false;
-      case ExprKind::kUnary:
-        if (!Emit(*e.children[0], net, consts, error)) {
-          return false;
-        }
-        Push(e.un_op == UnOp::kNeg ? VmKind::kNeg : VmKind::kNot);
-        return true;
-      case ExprKind::kCall: {
-        static const std::map<std::string, VmKind> kUnary = {{"ceil", VmKind::kCeil},
-                                                             {"floor", VmKind::kFloor},
-                                                             {"abs", VmKind::kAbs},
-                                                             {"sqrt", VmKind::kSqrt}};
-        const auto unary = kUnary.find(e.name);
-        if (unary != kUnary.end() && e.children.size() == 1) {
-          if (!Emit(*e.children[0], net, consts, error)) {
-            return false;
-          }
-          Push(unary->second);
-          return true;
-        }
-        if ((e.name == "min" || e.name == "max") && !e.children.empty()) {
-          if (!Emit(*e.children[0], net, consts, error)) {
-            return false;
-          }
-          for (std::size_t i = 1; i < e.children.size(); ++i) {
-            if (!Emit(*e.children[i], net, consts, error)) {
-              return false;
-            }
-            Push(e.name == "min" ? VmKind::kMin : VmKind::kMax);
-          }
-          return true;
-        }
-        *error = StrFormat("line %d: unknown function '%s' in net expression", e.line,
-                           e.name.c_str());
-        return false;
-      }
-      case ExprKind::kBinary: {
-        if (!Emit(*e.children[0], net, consts, error) ||
-            !Emit(*e.children[1], net, consts, error)) {
-          return false;
-        }
-        switch (e.bin_op) {
-          case BinOp::kAdd: Push(VmKind::kAdd); break;
-          case BinOp::kSub: Push(VmKind::kSub); break;
-          case BinOp::kMul: Push(VmKind::kMul); break;
-          case BinOp::kDiv: Push(VmKind::kDiv); break;
-          case BinOp::kMod: Push(VmKind::kMod); break;
-          case BinOp::kLt: Push(VmKind::kLt); break;
-          case BinOp::kLe: Push(VmKind::kLe); break;
-          case BinOp::kGt: Push(VmKind::kGt); break;
-          case BinOp::kGe: Push(VmKind::kGe); break;
-          case BinOp::kEq: Push(VmKind::kEq); break;
-          case BinOp::kNe: Push(VmKind::kNe); break;
-          case BinOp::kAnd: Push(VmKind::kAnd); break;
-          case BinOp::kOr: Push(VmKind::kOr); break;
-        }
-        return true;
-      }
-    }
-    return false;
-  }
+        return ExprBinding::Slot(static_cast<std::uint32_t>(slot));
+      },
+      error, options);
+}
 
-  std::vector<VmOp> ops_;
-};
+// Evaluates a bound expression against the primary (first) token of a firing.
+double EvalNetExpr(const CompiledExpr& expr, const TokenRefs& tokens) {
+  PI_CHECK(!tokens.empty());
+  const Token* primary = tokens.front();
+  return expr.Eval([primary](std::uint32_t slot) { return primary->Attr(slot); });
+}
 
 }  // namespace
 
@@ -410,31 +257,30 @@ LoadedNet LoadPnet(std::string_view text) {
       }
       spec.servers = static_cast<std::size_t>(servers);
 
-      std::unique_ptr<BoundExpr> delay = BoundExpr::Compile(opts.Get("delay"), net, consts, &err);
-      if (delay == nullptr) {
+      // Shared so the std::function stays copyable.
+      std::shared_ptr<const CompiledExpr> delay_sp =
+          CompileNetExpr(opts.Get("delay"), net, consts, &err);
+      if (delay_sp == nullptr) {
         fail(StrFormat("delay: %s", err.c_str()));
         return out;
       }
-      // Shared so the std::function stays copyable.
-      std::shared_ptr<BoundExpr> delay_sp(std::move(delay));
       spec.delay_expr = delay_sp->Canonical();
       spec.delay = [delay_sp](const TokenRefs& tokens) -> Cycles {
-        const double v = delay_sp->Eval(tokens);
+        const double v = EvalNetExpr(*delay_sp, tokens);
         PI_CHECK_MSG(v >= 0 && v < 1e15, "delay out of range");
         return static_cast<Cycles>(std::llround(v));
       };
 
       if (opts.Has("guard")) {
-        std::unique_ptr<BoundExpr> guard =
-            BoundExpr::Compile(opts.Get("guard"), net, consts, &err);
-        if (guard == nullptr) {
+        std::shared_ptr<const CompiledExpr> guard_sp =
+            CompileNetExpr(opts.Get("guard"), net, consts, &err);
+        if (guard_sp == nullptr) {
           fail(StrFormat("guard: %s", err.c_str()));
           return out;
         }
-        std::shared_ptr<BoundExpr> guard_sp(std::move(guard));
         spec.guard_expr = guard_sp->Canonical();
         spec.guard = [guard_sp](const TokenRefs& tokens) -> bool {
-          return guard_sp->Eval(tokens) != 0.0;
+          return EvalNetExpr(*guard_sp, tokens) != 0.0;
         };
       }
       net.AddTransition(std::move(spec));

@@ -2,7 +2,9 @@
 
 #include "src/common/check.h"
 #include "src/common/loc.h"
+#include "src/obs/trace.h"
 #include "src/perfscript/parser.h"
+#include "src/perfscript/vm.h"
 
 namespace perfiface {
 
@@ -20,6 +22,9 @@ ProgramInterface ProgramInterface::FromFile(const std::string& path) {
 }
 
 void ProgramInterface::SetConstant(const std::string& name, double value) {
+  // Constants are folded into the bytecode, so any compiled form is stale.
+  compiled_ = nullptr;
+  compile_error_.clear();
   for (auto& c : constants_) {
     if (c.first == name) {
       c.second = value;
@@ -29,7 +34,31 @@ void ProgramInterface::SetConstant(const std::string& name, double value) {
   constants_.emplace_back(name, value);
 }
 
+void ProgramInterface::Compile() {
+  if (compiled_ != nullptr) {
+    return;
+  }
+  obs::SpanGuard span("psc", "compile");
+  CompileProgramResult result = CompileProgram(*program_, constants_);
+  if (result.ok()) {
+    compiled_ = std::move(result.program);
+    compile_error_.clear();
+  } else {
+    compile_error_ = result.reason;
+  }
+  if (span.active()) {
+    span.SetArg("compiled", compiled_ != nullptr ? 1.0 : 0.0);
+    if (!compile_error_.empty()) {
+      span.SetArg("fallback_reason", compile_error_);
+    }
+  }
+}
+
 double ProgramInterface::Eval(const std::string& function, const ScriptObject& workload) const {
+  if (compiled_ != nullptr) {
+    Vm vm(compiled_);
+    return vm.Call(function, {Value::Object(&workload)}).Num();
+  }
   Interpreter interp(program_.get());
   for (const auto& c : constants_) {
     interp.SetGlobal(c.first, c.second);

@@ -5,11 +5,12 @@
 // functions against workload descriptors. This mirrors how the paper
 // envisions vendors shipping small Python programs alongside hardware.
 //
-// Thread-safety: after construction and SetConstant calls are done, the
-// object is effectively immutable — Eval builds a private Interpreter per
-// call, so concurrent Eval from many threads is safe. Callers that want to
-// amortize even that (one interpreter per worker thread) can share the
-// parsed program via program()/constants(); see src/serve.
+// Thread-safety: after construction, SetConstant, and Compile calls are
+// done, the object is effectively immutable — Eval builds a private
+// Interpreter (or Vm) per call, so concurrent Eval from many threads is
+// safe. Callers that want to amortize even that (one interpreter/VM per
+// worker thread) can share the parsed program via program()/constants() and
+// the bytecode via compiled(); see src/serve.
 #ifndef SRC_CORE_PROGRAM_INTERFACE_H_
 #define SRC_CORE_PROGRAM_INTERFACE_H_
 
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "src/perfscript/ast.h"
+#include "src/perfscript/compile.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/value.h"
 
@@ -31,7 +33,25 @@ class ProgramInterface {
   static ProgramInterface FromFile(const std::string& path);
 
   // Calibration constants referenced by the program (e.g. avg_mem_latency).
+  // Invalidates any compiled form, since constants are folded into it.
   void SetConstant(const std::string& name, double value);
+
+  // Lowers the program to register bytecode with the current constants
+  // folded in (perfscript/compile.h). Idempotent; called by the registry
+  // after all constants are set. Programs outside the compilable subset
+  // (see CompileProgram) leave compiled() null and record compile_error();
+  // Eval then transparently falls back to the tree-walking interpreter.
+  void Compile();
+
+  // The compiled bytecode, or nullptr if Compile was never called, a
+  // constant changed since, or the program fell outside the compilable
+  // subset. Immutable and freely shared across threads (each Vm keeps its
+  // own mutable state).
+  const std::shared_ptr<const CompiledProgram>& compiled() const { return compiled_; }
+
+  // Why compiled() is null after Compile(): the first fallback reason, or
+  // empty if compilation succeeded / was never attempted.
+  const std::string& compile_error() const { return compile_error_; }
 
   // Evaluates `function(workload)`; aborts with the script error message on
   // runtime failure.
@@ -54,6 +74,8 @@ class ProgramInterface {
   std::string source_;
   std::shared_ptr<Program> program_;
   std::vector<std::pair<std::string, double>> constants_;
+  std::shared_ptr<const CompiledProgram> compiled_;
+  std::string compile_error_;
 };
 
 }  // namespace perfiface

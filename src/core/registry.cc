@@ -87,6 +87,10 @@ ProgramInterface InterfaceRegistry::LoadProgram(const std::string& accelerator) 
   for (const auto& c : b.constants) {
     iface.SetConstant(c.first, c.second);
   }
+  // Lower to bytecode once per load, after all calibration constants are in
+  // place (they get folded into the compiled form). Non-compilable programs
+  // simply keep the tree-walking path.
+  iface.Compile();
   return iface;
 }
 

@@ -170,6 +170,32 @@ void Tracer::CounterDyn(const char* cat, std::string name, double value) {
   Append(std::move(e));
 }
 
+void Tracer::FlowBegin(const char* cat, const char* name, std::uint64_t flow_id) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kFlowBegin;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = NowNs();
+  e.flow_id = flow_id;
+  Append(std::move(e));
+}
+
+void Tracer::FlowEnd(const char* cat, const char* name, std::uint64_t flow_id) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kFlowEnd;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = NowNs();
+  e.flow_id = flow_id;
+  Append(std::move(e));
+}
+
 std::vector<TraceEvent> Tracer::Snapshot(std::vector<std::uint32_t>* tids) const {
   std::vector<TraceEvent> events;
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -209,6 +235,17 @@ std::string Tracer::ExportChromeJson() const {
         break;
       case TraceEvent::Kind::kCounter:
         out += ",\"ph\":\"C\"";
+        break;
+      case TraceEvent::Kind::kFlowBegin:
+        out += StrFormat(",\"ph\":\"s\",\"id\":\"0x%llx\"",
+                         static_cast<unsigned long long>(e.flow_id));
+        break;
+      case TraceEvent::Kind::kFlowEnd:
+        // bp:"e" binds the arrow to the enclosing slice rather than the
+        // next one, matching where FlowEnd is emitted (inside the dequeue
+        // span).
+        out += StrFormat(",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"0x%llx\"",
+                         static_cast<unsigned long long>(e.flow_id));
         break;
     }
     AppendArgs(&out, e);

@@ -45,7 +45,7 @@ struct TracerOptions {
 };
 
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+  enum class Kind : std::uint8_t { kSpan, kInstant, kCounter, kFlowBegin, kFlowEnd };
   Kind kind = Kind::kSpan;
   const char* cat = "";    // static string (category / layer name)
   const char* name = "";   // static string; ignored if dyn_name non-empty
@@ -53,6 +53,7 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;   // since Tracer::Start
   std::uint64_t dur_ns = 0;  // spans only
   double value = 0;          // counters only
+  std::uint64_t flow_id = 0;  // flow events only; pairs begin with end
   // Optional args rendered into the Chrome "args" object.
   const char* num_key = nullptr;
   double num_val = 0;
@@ -89,6 +90,15 @@ class Tracer {
                double num_val = 0, const char* str_key = nullptr, std::string str_val = {});
   void Counter(const char* cat, const char* name, double value);
   void CounterDyn(const char* cat, std::string name, double value);
+
+  // Flow events stitch causally-linked spans on different threads into one
+  // arrow in the trace viewer (Chrome "s"/"f" phases): FlowBegin inside the
+  // producer's span, FlowEnd with the same id inside the consumer's span —
+  // e.g. serve's enqueue -> worker-dequeue handoff. Never sampled: a flow
+  // arrow with a missing endpoint is worse than no arrow, so both ends
+  // record whenever tracing is on (they are rare next to per-firing spans).
+  void FlowBegin(const char* cat, const char* name, std::uint64_t flow_id);
+  void FlowEnd(const char* cat, const char* name, std::uint64_t flow_id);
 
   // Chrome trace_event JSON ({"traceEvents":[...]}); load in Perfetto or
   // chrome://tracing. Safe to call while other threads record.

@@ -1,0 +1,1165 @@
+#include "src/perfscript/compile.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/perfscript/parser.h"
+
+namespace perfiface {
+namespace {
+
+constexpr std::uint32_t kMaxRegs = 250;
+constexpr std::size_t kMaxImm = 65535;
+
+enum class Builtin { kNone, kMin, kMax, kCeil, kFloor, kAbs, kSqrt, kLen };
+
+Builtin FindBuiltin(const std::string& name) {
+  if (name == "min") return Builtin::kMin;
+  if (name == "max") return Builtin::kMax;
+  if (name == "ceil") return Builtin::kCeil;
+  if (name == "floor") return Builtin::kFloor;
+  if (name == "abs") return Builtin::kAbs;
+  if (name == "sqrt") return Builtin::kSqrt;
+  if (name == "len") return Builtin::kLen;
+  return Builtin::kNone;
+}
+
+// The value an expression lowers to: a compile-time constant (nothing
+// emitted), or a register — a named local's slot or a temp holding the
+// result. `numeric` means the value is statically known to be a number, so
+// type checks against it can be skipped.
+struct Operand {
+  bool is_const = false;
+  double cval = 0;
+  std::uint32_t reg = 0;
+  bool numeric = false;
+
+  static Operand Const(double v) {
+    Operand o;
+    o.is_const = true;
+    o.cval = v;
+    o.numeric = true;
+    return o;
+  }
+  static Operand Reg(std::uint32_t r, bool numeric) {
+    Operand o;
+    o.reg = r;
+    o.numeric = numeric;
+    return o;
+  }
+};
+
+// Collects every name the block can assign (kAssign and kFor targets, in
+// source order). kAugAdd never creates a local, mirroring the interpreter.
+void CollectAssignedNames(const std::vector<StmtPtr>& block, std::vector<std::string>* out) {
+  for (const StmtPtr& s : block) {
+    switch (s->kind) {
+      case StmtKind::kAssign:
+        out->push_back(s->target);
+        break;
+      case StmtKind::kFor:
+        out->push_back(s->target);
+        CollectAssignedNames(s->body, out);
+        break;
+      case StmtKind::kIf:
+        CollectAssignedNames(s->body, out);
+        CollectAssignedNames(s->else_body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// Lowers one function. The analysis that makes register slots safe is
+// definite assignment: a variable read compiles to a plain register access
+// only when every path to the read assigns the variable first. A read of a
+// variable that is assigned on only *some* paths (one `if` branch, inside a
+// loop body) would need the interpreter's dynamic local-vs-global
+// resolution, so the whole program falls back to the tree-walker instead —
+// the compiled form must never disagree with it.
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const Program& program, const FunctionDef& fn,
+                   const std::vector<std::pair<std::string, double>>& constants,
+                   CompiledProgram* out)
+      : program_(program), fn_(fn), constants_(constants), out_(out) {}
+
+  // On failure, *reason says why the function cannot be lowered.
+  bool Compile(CompiledFunction* cf, std::string* reason);
+
+ private:
+  // --- emission -----------------------------------------------------------
+  void Emit(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c, std::size_t imm,
+            int line) {
+    if (!ok_) return;
+    if (a > 255 || b > 255 || c > 255 || imm > kMaxImm || cf_->code.size() >= kMaxImm) {
+      Fallback("function too large to lower");
+      return;
+    }
+    Instr ins;
+    ins.op = op;
+    ins.a = static_cast<std::uint8_t>(a);
+    ins.b = static_cast<std::uint8_t>(b);
+    ins.c = static_cast<std::uint8_t>(c);
+    ins.imm = static_cast<std::uint16_t>(imm);
+    ins.line = static_cast<std::uint16_t>(line < 0 ? 0 : (line > 65535 ? 65535 : line));
+    cf_->code.push_back(ins);
+  }
+
+  std::size_t ConstIdx(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const auto it = const_idx_.find(bits);
+    if (it != const_idx_.end()) return it->second;
+    const std::size_t idx = out_->consts.size();
+    if (idx > kMaxImm) {
+      Fallback("constant pool overflow");
+      return 0;
+    }
+    out_->consts.push_back(v);
+    const_idx_[bits] = idx;
+    return idx;
+  }
+
+  std::size_t ErrorIdx(const std::string& msg) {
+    const auto it = error_idx_.find(msg);
+    if (it != error_idx_.end()) return it->second;
+    const std::size_t idx = out_->errors.size();
+    if (idx > kMaxImm) {
+      Fallback("error pool overflow");
+      return 0;
+    }
+    out_->errors.push_back(msg);
+    error_idx_[msg] = idx;
+    return idx;
+  }
+
+  void EmitError(int line, const std::string& msg) { Emit(Op::kError, 0, 0, 0, ErrorIdx(msg), line); }
+
+  void EmitCheckNum(const Operand& o, CheckWhat what, int line) {
+    if (o.is_const || o.numeric) return;
+    Emit(Op::kCheckNum, o.reg, 0, 0, static_cast<std::size_t>(what), line);
+  }
+
+  // Returns the index of a jump instruction whose target is patched later.
+  std::size_t EmitJump(Op op, std::uint32_t a, std::uint32_t b, int line) {
+    Emit(op, a, b, 0, 0, line);
+    return ok_ ? cf_->code.size() - 1 : 0;
+  }
+  void PatchJump(std::size_t at) {
+    if (!ok_) return;
+    if (cf_->code.size() > kMaxImm) {
+      Fallback("function too large to lower");
+      return;
+    }
+    cf_->code[at].imm = static_cast<std::uint16_t>(cf_->code.size());
+    max_jump_target_ = std::max(max_jump_target_, cf_->code.size());
+  }
+  void EmitJumpTo(Op op, std::uint32_t a, std::uint32_t b, std::size_t target, int line) {
+    Emit(op, a, b, 0, target, line);
+    max_jump_target_ = std::max(max_jump_target_, target);
+  }
+
+  // If the last emitted instruction wrote the single-use temp `reg`, rewrite
+  // it to write `dst` directly instead of emitting a Move. Only temps
+  // qualify (rewriting a named local's producer would corrupt the local),
+  // and only when no jump lands on that instruction.
+  bool TryRetargetLast(std::uint32_t reg, std::uint32_t dst) {
+    if (!ok_ || reg < num_locals_ || cf_->code.empty()) return false;
+    if (max_jump_target_ >= cf_->code.size()) return false;
+    Instr& last = cf_->code.back();
+    if (last.a != reg || !WritesA(last.op)) return false;
+    last.a = static_cast<std::uint8_t>(dst);
+    return true;
+  }
+
+  static bool WritesA(Op op) {
+    switch (op) {
+      case Op::kCheckNum:
+      case Op::kJmp:
+      case Op::kJmpIfZero:
+      case Op::kJmpIfNotZero:
+      case Op::kJmpGe:
+      case Op::kRet:
+      case Op::kError:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  // Allocates/uses the temp register at watermark `w`.
+  std::uint32_t Temp(std::uint32_t w) {
+    if (w >= kMaxRegs) {
+      Fallback("register file overflow");
+      return 0;
+    }
+    max_regs_ = std::max<std::uint32_t>(max_regs_, w + 1);
+    return w;
+  }
+
+  // Materializes an operand into a register: constants load into the temp
+  // at `w`; register operands pass through.
+  Operand Materialize(const Operand& o, std::uint32_t w, int line) {
+    if (!o.is_const) return o;
+    const std::uint32_t r = Temp(w);
+    Emit(Op::kLoadConst, r, 0, 0, ConstIdx(o.cval), line);
+    return Operand::Reg(r, true);
+  }
+
+  void Fallback(const std::string& reason) {
+    if (ok_) {
+      ok_ = false;
+      reason_ = StrFormat("%s: %s", fn_.name.c_str(), reason.c_str());
+    }
+  }
+
+  // --- analysis -----------------------------------------------------------
+  // definite_ maps a variable that is assigned on *every* path to this
+  // program point to whether its value is statically known numeric.
+  using DefiniteMap = std::map<std::string, bool>;
+
+  bool IsLoopAssigned(const std::string& name) const {
+    for (const auto& set : loop_assigned_) {
+      if (set.count(name) > 0) return true;
+    }
+    return false;
+  }
+
+  const double* FindConstant(const std::string& name) const {
+    for (const auto& kv : constants_) {
+      if (kv.first == name) return &kv.second;
+    }
+    return nullptr;
+  }
+
+  std::uint32_t LocalReg(const std::string& name) const {
+    for (std::uint32_t i = 0; i < local_names_.size(); ++i) {
+      if (local_names_[i] == name) return i;
+    }
+    PI_CHECK_MSG(false, "unallocated local");
+    return 0;
+  }
+
+  // --- lowering -----------------------------------------------------------
+  Operand LowerExpr(const Expr& e, std::uint32_t w);
+  Operand LowerCall(const Expr& e, std::uint32_t w);
+  Operand LowerBinary(const Expr& e, std::uint32_t w);
+  void LowerBlock(const std::vector<StmtPtr>& block, std::uint32_t w);
+  void LowerStmt(const Stmt& s, std::uint32_t w);
+  void StoreTo(const Operand& v, std::uint32_t dst, int line);
+
+  const Program& program_;
+  const FunctionDef& fn_;
+  const std::vector<std::pair<std::string, double>>& constants_;
+  CompiledProgram* out_;
+  CompiledFunction* cf_ = nullptr;
+
+  std::vector<std::string> local_names_;
+  std::uint32_t num_locals_ = 0;
+  DefiniteMap definite_;
+  std::set<std::string> maybe_;
+  std::vector<std::set<std::string>> loop_assigned_;
+
+  std::map<std::uint64_t, std::size_t> const_idx_;
+  std::map<std::string, std::size_t> error_idx_;
+  std::size_t max_jump_target_ = 0;
+  std::uint32_t max_regs_ = 0;
+
+  bool ok_ = true;
+  std::string reason_;
+};
+
+bool FunctionCompiler::Compile(CompiledFunction* cf, std::string* reason) {
+  cf_ = cf;
+  cf_->name = fn_.name;
+  cf_->line = fn_.line;
+  cf_->num_params = fn_.params.size();
+
+  // Register layout: params, then every other assignable local (in source
+  // order), then expression temps above them.
+  for (const std::string& p : fn_.params) {
+    local_names_.push_back(p);
+  }
+  std::vector<std::string> assigned;
+  CollectAssignedNames(fn_.body, &assigned);
+  for (const std::string& name : assigned) {
+    bool seen = false;
+    for (const std::string& existing : local_names_) {
+      if (existing == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) local_names_.push_back(name);
+  }
+  if (local_names_.size() > kMaxRegs) {
+    *reason = StrFormat("%s: too many locals", fn_.name.c_str());
+    return false;
+  }
+  num_locals_ = static_cast<std::uint32_t>(local_names_.size());
+  max_regs_ = num_locals_;
+
+  // Parameters arrive assigned; their runtime kind is unknown (a caller can
+  // pass an object).
+  for (const std::string& p : fn_.params) {
+    definite_[p] = false;
+    maybe_.insert(p);
+  }
+
+  LowerBlock(fn_.body, num_locals_);
+
+  // Implicit `return 0` when control falls off the end (interp behavior).
+  if (ok_) {
+    const std::uint32_t r = Temp(num_locals_);
+    Emit(Op::kLoadConst, r, 0, 0, ConstIdx(0.0), fn_.line);
+    Emit(Op::kRet, r, 0, 0, 0, fn_.line);
+  }
+
+  if (!ok_) {
+    *reason = reason_;
+    return false;
+  }
+  cf_->num_regs = max_regs_;
+  return true;
+}
+
+Operand FunctionCompiler::LowerExpr(const Expr& e, std::uint32_t w) {
+  if (!ok_) return Operand::Const(0);
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return Operand::Const(e.number);
+    case ExprKind::kVar: {
+      const auto it = definite_.find(e.name);
+      if (it != definite_.end()) {
+        return Operand::Reg(LocalReg(e.name), it->second);
+      }
+      if (maybe_.count(e.name) > 0 || IsLoopAssigned(e.name)) {
+        // Whether this read sees a local or a global depends on the path
+        // taken at runtime; only the interpreter resolves that dynamically.
+        Fallback(StrFormat("read of maybe-assigned variable '%s'", e.name.c_str()));
+        return Operand::Const(0);
+      }
+      if (const double* c = FindConstant(e.name)) {
+        return Operand::Const(*c);
+      }
+      // Never assigned, not a global: this is a guaranteed runtime error if
+      // reached (it may sit in dead code, so it must stay a runtime error,
+      // not a compile failure).
+      EmitError(e.line, StrFormat("undefined variable '%s'", e.name.c_str()));
+      return Operand::Reg(Temp(w), true);
+    }
+    case ExprKind::kAttr: {
+      Operand base = Materialize(LowerExpr(*e.children[0], w), w, e.line);
+      const std::size_t site = out_->attr_names.size();
+      if (site > kMaxImm) {
+        Fallback("attribute site overflow");
+        return Operand::Const(0);
+      }
+      out_->attr_names.push_back(e.name);
+      const std::uint32_t dst = Temp(w);
+      Emit(Op::kAttr, dst, base.reg, 0, site, e.line);
+      return Operand::Reg(dst, true);
+    }
+    case ExprKind::kCall:
+      return LowerCall(e, w);
+    case ExprKind::kUnary: {
+      const Operand o = LowerExpr(*e.children[0], w);
+      if (o.is_const) {
+        return Operand::Const(e.un_op == UnOp::kNeg ? -o.cval : (o.cval == 0 ? 1 : 0));
+      }
+      const std::uint32_t dst = Temp(w);
+      Emit(e.un_op == UnOp::kNeg ? Op::kNeg : Op::kNot, dst, o.reg, 0, 0, e.line);
+      return Operand::Reg(dst, true);
+    }
+    case ExprKind::kBinary:
+      return LowerBinary(e, w);
+  }
+  return Operand::Const(0);
+}
+
+Operand FunctionCompiler::LowerBinary(const Expr& e, std::uint32_t w) {
+  const BinOp op = e.bin_op;
+  // Short-circuit logical operators mirror the interpreter: evaluate and
+  // type-check the lhs, decide, then evaluate/type-check the rhs.
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    Operand l = LowerExpr(*e.children[0], w);
+    if (l.is_const) {
+      const bool l_true = l.cval != 0;
+      if (op == BinOp::kAnd && !l_true) return Operand::Const(0);
+      if (op == BinOp::kOr && l_true) return Operand::Const(1);
+      Operand r = LowerExpr(*e.children[1], w);
+      if (r.is_const) return Operand::Const(r.cval != 0 ? 1 : 0);
+      EmitCheckNum(r, CheckWhat::kOperand, e.line);
+      const std::uint32_t dst = Temp(w);
+      Emit(Op::kBool, dst, r.reg, 0, 0, e.line);
+      return Operand::Reg(dst, true);
+    }
+    EmitCheckNum(l, CheckWhat::kOperand, e.line);
+    const std::uint32_t dst = Temp(w);
+    const std::size_t skip = EmitJump(
+        op == BinOp::kAnd ? Op::kJmpIfZero : Op::kJmpIfNotZero, l.reg, 0, e.line);
+    // Keep dst alive: the rhs evaluates above it.
+    Operand r = LowerExpr(*e.children[1], w + 1);
+    EmitCheckNum(r, CheckWhat::kOperand, e.line);
+    r = Materialize(r, w + 1, e.line);
+    Emit(Op::kBool, dst, r.reg, 0, 0, e.line);
+    const std::size_t done = EmitJump(Op::kJmp, 0, 0, e.line);
+    PatchJump(skip);
+    Emit(Op::kLoadConst, dst, 0, 0, ConstIdx(op == BinOp::kAnd ? 0.0 : 1.0), e.line);
+    PatchJump(done);
+    return Operand::Reg(dst, true);
+  }
+
+  Operand l = LowerExpr(*e.children[0], w);
+  // The interpreter converts the lhs to a number *before* evaluating the
+  // rhs, so a non-numeric lhs must win over any rhs error. Checking the lhs
+  // register here (before any rhs code) preserves that order; statically
+  // numeric operands skip the check.
+  EmitCheckNum(l, CheckWhat::kOperand, e.line);
+  std::uint32_t w_r = w;
+  if (!l.is_const && l.reg >= num_locals_) w_r = l.reg + 1;
+  Operand r = LowerExpr(*e.children[1], w_r);
+
+  if (l.is_const && r.is_const) {
+    const double a = l.cval;
+    const double b = r.cval;
+    switch (op) {
+      case BinOp::kAdd: return Operand::Const(a + b);
+      case BinOp::kSub: return Operand::Const(a - b);
+      case BinOp::kMul: return Operand::Const(a * b);
+      case BinOp::kDiv:
+        if (b != 0) return Operand::Const(a / b);
+        break;  // runtime "division by zero"
+      case BinOp::kMod:
+        if (b != 0) return Operand::Const(std::fmod(a, b));
+        break;  // runtime "modulo by zero"
+      case BinOp::kLt: return Operand::Const(a < b ? 1 : 0);
+      case BinOp::kLe: return Operand::Const(a <= b ? 1 : 0);
+      case BinOp::kGt: return Operand::Const(a > b ? 1 : 0);
+      case BinOp::kGe: return Operand::Const(a >= b ? 1 : 0);
+      case BinOp::kEq: return Operand::Const(a == b ? 1 : 0);
+      case BinOp::kNe: return Operand::Const(a != b ? 1 : 0);
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        break;  // handled above
+    }
+  }
+
+  // Constant-operand fast forms for the arithmetic core. By this point the
+  // register operand is already type-checked (EmitCheckNum above for the
+  // lhs; for a constant lhs the rhs check comes from the op itself), so
+  // these run unchecked except kRDivC's divisor-zero test.
+  const std::uint32_t dst = Temp(w);
+  if (r.is_const && !l.is_const) {
+    switch (op) {
+      case BinOp::kAdd:
+        Emit(Op::kAddC, dst, l.reg, 0, ConstIdx(r.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kSub:
+        Emit(Op::kSubC, dst, l.reg, 0, ConstIdx(r.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kMul:
+        Emit(Op::kMulC, dst, l.reg, 0, ConstIdx(r.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kDiv:
+        if (r.cval != 0) {
+          Emit(Op::kDivC, dst, l.reg, 0, ConstIdx(r.cval), e.line);
+          return Operand::Reg(dst, true);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (l.is_const && !r.is_const) {
+    // The rhs register still needs its type check before the raw ops.
+    EmitCheckNum(r, CheckWhat::kOperand, e.line);
+    switch (op) {
+      case BinOp::kAdd:
+        Emit(Op::kAddC, dst, r.reg, 0, ConstIdx(l.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kMul:
+        Emit(Op::kMulC, dst, r.reg, 0, ConstIdx(l.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kSub:
+        Emit(Op::kRSubC, dst, r.reg, 0, ConstIdx(l.cval), e.line);
+        return Operand::Reg(dst, true);
+      case BinOp::kDiv:
+        Emit(Op::kRDivC, dst, r.reg, 0, ConstIdx(l.cval), e.line);
+        return Operand::Reg(dst, true);
+      default:
+        break;
+    }
+  }
+
+  l = Materialize(l, w, e.line);
+  std::uint32_t w_m = l.reg >= num_locals_ ? std::max(w, l.reg + 1) : w;
+  r = Materialize(r, w_m, e.line);
+  Op generic = Op::kAdd;
+  switch (op) {
+    case BinOp::kAdd: generic = Op::kAdd; break;
+    case BinOp::kSub: generic = Op::kSub; break;
+    case BinOp::kMul: generic = Op::kMul; break;
+    case BinOp::kDiv: generic = Op::kDiv; break;
+    case BinOp::kMod: generic = Op::kMod; break;
+    case BinOp::kLt: generic = Op::kLt; break;
+    case BinOp::kLe: generic = Op::kLe; break;
+    case BinOp::kGt: generic = Op::kGt; break;
+    case BinOp::kGe: generic = Op::kGe; break;
+    case BinOp::kEq: generic = Op::kEq; break;
+    case BinOp::kNe: generic = Op::kNe; break;
+    case BinOp::kAnd:
+    case BinOp::kOr: PI_CHECK_MSG(false, "logical op reached generic lowering"); break;
+  }
+  Emit(generic, dst, l.reg, r.reg, 0, e.line);
+  return Operand::Reg(dst, true);
+}
+
+Operand FunctionCompiler::LowerCall(const Expr& e, std::uint32_t w) {
+  const std::size_t n = e.children.size();
+  const Builtin builtin = FindBuiltin(e.name);
+
+  // The interpreter evaluates every argument before any builtin arity or
+  // arity/undefined-function error, so lowering always emits the argument
+  // code first. Arguments land in consecutive temps at w, w+1, ...; for
+  // error paths they are evaluated for effect (errors) only.
+  std::vector<Operand> args;
+  args.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = w + static_cast<std::uint32_t>(i);
+    Operand a = LowerExpr(*e.children[i], slot);
+    if (!ok_) return Operand::Const(0);
+    args.push_back(a);
+  }
+
+  auto all_const = [&]() {
+    for (const Operand& a : args) {
+      if (!a.is_const) return false;
+    }
+    return true;
+  };
+  // Forces argument i into its call slot w+i (needed when the chain/call
+  // consumes them as a register block).
+  auto place = [&](std::size_t i) {
+    const std::uint32_t slot = w + static_cast<std::uint32_t>(i);
+    Operand& a = args[i];
+    if (a.is_const) {
+      a = Materialize(a, slot, e.line);
+    } else if (a.reg != slot) {
+      if (!TryRetargetLast(a.reg, Temp(slot))) {
+        Emit(Op::kMove, Temp(slot), a.reg, 0, 0, e.line);
+      }
+      a.reg = slot;
+    }
+  };
+
+  switch (builtin) {
+    case Builtin::kMin:
+    case Builtin::kMax: {
+      if (n < 1 || n > 16) {
+        EmitError(e.line, StrFormat("%s: wrong argument count", e.name.c_str()));
+        return Operand::Reg(Temp(w), true);
+      }
+      if (all_const()) {
+        double best = args[0].cval;
+        for (std::size_t i = 1; i < n; ++i) {
+          best = builtin == Builtin::kMin ? std::fmin(best, args[i].cval)
+                                          : std::fmax(best, args[i].cval);
+        }
+        return Operand::Const(best);
+      }
+      for (std::size_t i = 0; i < n; ++i) place(i);
+      // Type checks in argument order, like the interpreter's NumOrError
+      // sweep, then a fold chain into the accumulator at w.
+      for (std::size_t i = 0; i < n; ++i) {
+        EmitCheckNum(args[i], CheckWhat::kMinMaxArg, e.line);
+      }
+      const Op fold = builtin == Builtin::kMin ? Op::kMin2 : Op::kMax2;
+      for (std::size_t i = 1; i < n; ++i) {
+        Emit(fold, w, w, w + static_cast<std::uint32_t>(i), 0, e.line);
+      }
+      return Operand::Reg(w, true);
+    }
+    case Builtin::kCeil:
+    case Builtin::kFloor:
+    case Builtin::kAbs:
+    case Builtin::kSqrt: {
+      if (n != 1) {
+        EmitError(e.line, StrFormat("%s: wrong argument count", e.name.c_str()));
+        return Operand::Reg(Temp(w), true);
+      }
+      if (args[0].is_const) {
+        const double v = args[0].cval;
+        switch (builtin) {
+          case Builtin::kCeil: return Operand::Const(std::ceil(v));
+          case Builtin::kFloor: return Operand::Const(std::floor(v));
+          case Builtin::kAbs: return Operand::Const(std::fabs(v));
+          default: return Operand::Const(std::sqrt(v));
+        }
+      }
+      CheckWhat what = CheckWhat::kCeilArg;
+      Op op = Op::kCeil;
+      switch (builtin) {
+        case Builtin::kCeil: what = CheckWhat::kCeilArg; op = Op::kCeil; break;
+        case Builtin::kFloor: what = CheckWhat::kFloorArg; op = Op::kFloor; break;
+        case Builtin::kAbs: what = CheckWhat::kAbsArg; op = Op::kAbs; break;
+        default: what = CheckWhat::kSqrtArg; op = Op::kSqrt; break;
+      }
+      EmitCheckNum(args[0], what, e.line);
+      const std::uint32_t dst = Temp(w);
+      Emit(op, dst, args[0].reg, 0, 0, e.line);
+      return Operand::Reg(dst, true);
+    }
+    case Builtin::kLen: {
+      if (n != 1) {
+        EmitError(e.line, "len: wrong argument count");
+        return Operand::Reg(Temp(w), true);
+      }
+      const Operand a = Materialize(args[0], w, e.line);
+      const std::uint32_t dst = Temp(w);
+      Emit(Op::kLen, dst, a.reg, 0, 0, e.line);
+      return Operand::Reg(dst, true);
+    }
+    case Builtin::kNone:
+      break;
+  }
+
+  // User-defined function: resolve the callee index now; arity mismatches
+  // and unknown names become runtime error instructions (they may be dead
+  // code, and the interpreter only reports them when reached).
+  int fidx = -1;
+  for (std::size_t i = 0; i < program_.functions.size(); ++i) {
+    if (program_.functions[i].name == e.name) {
+      fidx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (fidx < 0) {
+    EmitError(e.line, StrFormat("undefined function '%s'", e.name.c_str()));
+    return Operand::Reg(Temp(w), true);
+  }
+  const FunctionDef& callee = program_.functions[fidx];
+  if (callee.params.size() != n) {
+    EmitError(e.line, StrFormat("%s: expected %zu arguments, got %zu", e.name.c_str(),
+                                callee.params.size(), n));
+    return Operand::Reg(Temp(w), true);
+  }
+  for (std::size_t i = 0; i < n; ++i) place(i);
+  if (n == 0) Temp(w);  // the result slot still needs a register
+  // The callee's register window starts at the first argument slot, so the
+  // arguments are already in place as its parameters (zero-copy call).
+  Emit(Op::kCall, w, w, n, static_cast<std::size_t>(fidx), e.line);
+  // A user function can return an object (`return msg`), so the result is
+  // not statically numeric.
+  return Operand::Reg(w, false);
+}
+
+// Stores a lowered value into a named local's register.
+void FunctionCompiler::StoreTo(const Operand& v, std::uint32_t dst, int line) {
+  if (v.is_const) {
+    Emit(Op::kLoadConst, dst, 0, 0, ConstIdx(v.cval), line);
+  } else if (v.reg != dst) {
+    if (!TryRetargetLast(v.reg, dst)) {
+      Emit(Op::kMove, dst, v.reg, 0, 0, line);
+    }
+  }
+}
+
+void FunctionCompiler::LowerBlock(const std::vector<StmtPtr>& block, std::uint32_t w) {
+  for (const StmtPtr& s : block) {
+    if (!ok_) return;
+    LowerStmt(*s, w);
+  }
+}
+
+void FunctionCompiler::LowerStmt(const Stmt& s, std::uint32_t w) {
+  switch (s.kind) {
+    case StmtKind::kAssign: {
+      const Operand v = LowerExpr(*s.value, w);
+      if (!ok_) return;
+      StoreTo(v, LocalReg(s.target), s.line);
+      definite_[s.target] = v.is_const || v.numeric;
+      maybe_.insert(s.target);
+      return;
+    }
+    case StmtKind::kAugAdd: {
+      const auto it = definite_.find(s.target);
+      if (it == definite_.end()) {
+        if (maybe_.count(s.target) > 0 || IsLoopAssigned(s.target)) {
+          Fallback(StrFormat("'+=' to maybe-assigned variable '%s'", s.target.c_str()));
+          return;
+        }
+        // Guaranteed runtime error when reached; note the interpreter never
+        // falls back to globals for a '+=' target.
+        EmitError(s.line, StrFormat("undefined variable '%s'", s.target.c_str()));
+        return;
+      }
+      const std::uint32_t t = LocalReg(s.target);
+      // Interpreter order: check the target's type, evaluate the value,
+      // check the value's type, add.
+      EmitCheckNum(Operand::Reg(t, it->second), CheckWhat::kAugTarget, s.line);
+      const Operand v = LowerExpr(*s.value, w);
+      if (!ok_) return;
+      EmitCheckNum(v, CheckWhat::kAugValue, s.line);
+      if (v.is_const) {
+        Emit(Op::kAddC, t, t, 0, ConstIdx(v.cval), s.line);
+      } else {
+        Emit(Op::kAdd, t, t, v.reg, 0, s.line);
+      }
+      definite_[s.target] = true;
+      return;
+    }
+    case StmtKind::kReturn: {
+      Operand v = LowerExpr(*s.value, w);
+      if (!ok_) return;
+      v = Materialize(v, w, s.line);
+      Emit(Op::kRet, v.reg, 0, 0, 0, s.line);
+      return;
+    }
+    case StmtKind::kExpr:
+      LowerExpr(*s.value, w);
+      return;
+    case StmtKind::kIf: {
+      const Operand c = LowerExpr(*s.value, w);
+      if (!ok_) return;
+      if (c.is_const) {
+        // A constant condition takes the same branch on every execution, so
+        // only the taken branch is compiled; the other branch's assignments
+        // never happen, exactly as in the interpreter.
+        LowerBlock(c.cval != 0 ? s.body : s.else_body, w);
+        return;
+      }
+      EmitCheckNum(c, CheckWhat::kCondition, s.line);
+      const std::size_t to_else = EmitJump(Op::kJmpIfZero, c.reg, 0, s.line);
+      const DefiniteMap before = definite_;
+      LowerBlock(s.body, w);
+      DefiniteMap after_then = definite_;
+      if (s.else_body.empty()) {
+        PatchJump(to_else);
+        definite_ = before;
+      } else {
+        const std::size_t to_end = EmitJump(Op::kJmp, 0, 0, s.line);
+        PatchJump(to_else);
+        definite_ = before;
+        LowerBlock(s.else_body, w);
+        PatchJump(to_end);
+        // Merge: definite afterwards iff definite on both paths; numeric
+        // iff numeric on both.
+        DefiniteMap merged;
+        for (const auto& kv : after_then) {
+          const auto other = definite_.find(kv.first);
+          if (other != definite_.end()) {
+            merged[kv.first] = kv.second && other->second;
+          }
+        }
+        definite_ = std::move(merged);
+        return;
+      }
+      // No else: merge then-branch against fallthrough state.
+      DefiniteMap merged;
+      for (const auto& kv : before) {
+        const auto other = after_then.find(kv.first);
+        if (other != after_then.end()) {
+          merged[kv.first] = kv.second && other->second;
+        }
+      }
+      definite_ = std::move(merged);
+      return;
+    }
+    case StmtKind::kFor: {
+      Operand iter = LowerExpr(*s.value, w);
+      if (!ok_) return;
+      iter = Materialize(iter, w, s.line);
+      std::uint32_t wl = iter.reg >= num_locals_ ? std::max(w, iter.reg + 1) : w;
+      const std::uint32_t rn = Temp(wl);
+      const std::uint32_t ri = Temp(wl + 1);
+      if (!ok_) return;
+      Emit(Op::kIterLen, rn, iter.reg, 0, 0, s.line);
+      Emit(Op::kLoadConst, ri, 0, 0, ConstIdx(0.0), s.line);
+
+      // Names assigned anywhere in the body: reads of them inside the body
+      // resolve differently on iteration 1 vs 2+ unless definitely assigned
+      // first (handled via loop_assigned_), and their static numeric-ness
+      // cannot be trusted across the back edge.
+      std::vector<std::string> body_assigned;
+      CollectAssignedNames(s.body, &body_assigned);
+      std::set<std::string> assigned_set(body_assigned.begin(), body_assigned.end());
+      assigned_set.insert(s.target);
+
+      const DefiniteMap before = definite_;
+      for (const std::string& name : body_assigned) {
+        const auto it = definite_.find(name);
+        if (it != definite_.end()) it->second = false;
+      }
+      definite_[s.target] = false;  // the loop variable is an object
+      maybe_.insert(s.target);
+      loop_assigned_.push_back(assigned_set);
+
+      const std::size_t head = cf_->code.size();
+      const std::size_t to_exit = EmitJump(Op::kJmpGe, ri, rn, s.line);
+      Emit(Op::kIterChild, LocalReg(s.target), iter.reg, ri, 0, s.line);
+      LowerBlock(s.body, wl + 2);
+      Emit(Op::kAddC, ri, ri, 0, ConstIdx(1.0), s.line);
+      EmitJumpTo(Op::kJmp, 0, 0, head, s.line);
+      PatchJump(to_exit);
+
+      loop_assigned_.pop_back();
+      for (const std::string& name : body_assigned) maybe_.insert(name);
+      // After the loop: a variable stays definite only if it was definite
+      // before (zero-iteration path); its numeric-ness must hold on both
+      // the zero-iteration and the post-body state.
+      DefiniteMap merged;
+      for (const auto& kv : before) {
+        const auto now = definite_.find(kv.first);
+        merged[kv.first] = kv.second && (now == definite_.end() || now->second);
+      }
+      definite_ = std::move(merged);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const CompiledFunction* CompiledProgram::Find(const std::string& name) const {
+  const int idx = FindIndex(name);
+  return idx < 0 ? nullptr : &functions[idx];
+}
+
+int CompiledProgram::FindIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const char* CheckWhatName(CheckWhat what) {
+  switch (what) {
+    case CheckWhat::kOperand: return "operand";
+    case CheckWhat::kCondition: return "condition";
+    case CheckWhat::kAugTarget: return "'+=' target";
+    case CheckWhat::kAugValue: return "'+=' value";
+    case CheckWhat::kMinMaxArg: return "min/max argument";
+    case CheckWhat::kCeilArg: return "ceil argument";
+    case CheckWhat::kFloorArg: return "floor argument";
+    case CheckWhat::kAbsArg: return "abs argument";
+    case CheckWhat::kSqrtArg: return "sqrt argument";
+  }
+  return "operand";
+}
+
+CompileProgramResult CompileProgram(
+    const Program& program,
+    const std::vector<std::pair<std::string, double>>& constants) {
+  CompileProgramResult result;
+  auto out = std::make_shared<CompiledProgram>();
+  out->functions.resize(program.functions.size());
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    FunctionCompiler fc(program, program.functions[i], constants, out.get());
+    if (!fc.Compile(&out->functions[i], &result.reason)) {
+      return result;
+    }
+  }
+  result.program = std::move(out);
+  return result;
+}
+
+namespace {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoadConst: return "loadc";
+    case Op::kMove: return "move";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kAddC: return "addc";
+    case Op::kSubC: return "subc";
+    case Op::kMulC: return "mulc";
+    case Op::kDivC: return "divc";
+    case Op::kRSubC: return "rsubc";
+    case Op::kRDivC: return "rdivc";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kBool: return "bool";
+    case Op::kCeil: return "ceil";
+    case Op::kFloor: return "floor";
+    case Op::kAbs: return "abs";
+    case Op::kSqrt: return "sqrt";
+    case Op::kMin2: return "min2";
+    case Op::kMax2: return "max2";
+    case Op::kLen: return "len";
+    case Op::kCheckNum: return "checknum";
+    case Op::kAttr: return "attr";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpIfZero: return "jz";
+    case Op::kJmpIfNotZero: return "jnz";
+    case Op::kJmpGe: return "jge";
+    case Op::kIterLen: return "iterlen";
+    case Op::kIterChild: return "iterchild";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CompiledProgram::DisassembleFunction(const CompiledFunction& fn) const {
+  std::string out = StrFormat("function %s(%zu params, %zu regs):\n", fn.name.c_str(),
+                              fn.num_params, fn.num_regs);
+  for (std::size_t i = 0; i < fn.code.size(); ++i) {
+    const Instr& ins = fn.code[i];
+    out += StrFormat("  %4zu: %-9s", i, OpName(ins.op));
+    switch (ins.op) {
+      case Op::kLoadConst:
+      case Op::kAddC:
+      case Op::kSubC:
+      case Op::kMulC:
+      case Op::kDivC:
+      case Op::kRSubC:
+      case Op::kRDivC:
+        out += StrFormat("r%u", ins.a);
+        if (ins.op != Op::kLoadConst) out += StrFormat(", r%u", ins.b);
+        out += StrFormat(", %g", consts[ins.imm]);
+        break;
+      case Op::kMove:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kBool:
+      case Op::kCeil:
+      case Op::kFloor:
+      case Op::kAbs:
+      case Op::kSqrt:
+      case Op::kLen:
+      case Op::kIterLen:
+        out += StrFormat("r%u, r%u", ins.a, ins.b);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kMin2:
+      case Op::kMax2:
+      case Op::kIterChild:
+        out += StrFormat("r%u, r%u, r%u", ins.a, ins.b, ins.c);
+        break;
+      case Op::kCheckNum:
+        out += StrFormat("r%u (%s)", ins.a, CheckWhatName(static_cast<CheckWhat>(ins.imm)));
+        break;
+      case Op::kAttr:
+        out += StrFormat("r%u, r%u.%s [ic %u]", ins.a, ins.b, attr_names[ins.imm].c_str(),
+                         ins.imm);
+        break;
+      case Op::kJmp:
+        out += StrFormat("-> %u", ins.imm);
+        break;
+      case Op::kJmpIfZero:
+      case Op::kJmpIfNotZero:
+        out += StrFormat("r%u -> %u", ins.a, ins.imm);
+        break;
+      case Op::kJmpGe:
+        out += StrFormat("r%u, r%u -> %u", ins.a, ins.b, ins.imm);
+        break;
+      case Op::kCall:
+        out += StrFormat("r%u = %s(r%u..r%u)", ins.a, functions[ins.imm].name.c_str(), ins.b,
+                         ins.b + (ins.c == 0 ? 0 : ins.c - 1));
+        break;
+      case Op::kRet:
+        out += StrFormat("r%u", ins.a);
+        break;
+      case Op::kError:
+        out += StrFormat("\"%s\"", errors[ins.imm].c_str());
+        break;
+    }
+    out += StrFormat("   ; line %u\n", ins.line);
+  }
+  return out;
+}
+
+std::string CompiledProgram::Disassemble() const {
+  std::string out;
+  for (const CompiledFunction& fn : functions) {
+    out += DisassembleFunction(fn);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledExpr
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expr& expr, const ExprBinder& binder,
+                                                    std::string* error,
+                                                    const ExprCompileOptions& options) {
+  auto compiled = std::unique_ptr<CompiledExpr>(new CompiledExpr());
+  if (!compiled->Emit(expr, binder, options, error)) {
+    return nullptr;
+  }
+  // Postfix depth is bounded at compile time so Run() can use a fixed-size
+  // stack with no per-op bounds branches beyond the existing checks.
+  int depth = 0;
+  int max_depth = 0;
+  for (const ExprInstr& op : compiled->ops_) {
+    switch (op.op) {
+      case ExprOp::kConst:
+      case ExprOp::kSlot:
+        ++depth;
+        break;
+      case ExprOp::kNeg:
+      case ExprOp::kNot:
+      case ExprOp::kCeil:
+      case ExprOp::kFloor:
+      case ExprOp::kAbs:
+      case ExprOp::kSqrt:
+        break;
+      default:
+        --depth;
+        break;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  if (max_depth > kMaxStack) {
+    *error = "expression too deep";
+    return nullptr;
+  }
+  return compiled;
+}
+
+std::unique_ptr<CompiledExpr> CompiledExpr::CompileSource(std::string_view source,
+                                                          const ExprBinder& binder,
+                                                          std::string* error,
+                                                          const ExprCompileOptions& options) {
+  ParseExprResult parsed = ParseExpression(source);
+  if (!parsed.ok) {
+    *error = parsed.error;
+    return nullptr;
+  }
+  return Compile(*parsed.expr, binder, error, options);
+}
+
+std::string CompiledExpr::Canonical() const {
+  std::string out;
+  out.reserve(ops_.size() * 8);
+  for (const ExprInstr& op : ops_) {
+    out += StrFormat("%u:%.17g:%u;", static_cast<unsigned>(op.op), op.value, op.slot);
+  }
+  return out;
+}
+
+bool CompiledExpr::Emit(const Expr& e, const ExprBinder& binder,
+                        const ExprCompileOptions& options, std::string* error) {
+  const std::uint16_t line =
+      static_cast<std::uint16_t>(e.line < 0 ? 0 : (e.line > 65535 ? 65535 : e.line));
+  auto push = [&](ExprOp op) { ops_.push_back(ExprInstr{op, 0, 0, line}); };
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      ops_.push_back(ExprInstr{ExprOp::kConst, e.number, 0, line});
+      return true;
+    case ExprKind::kVar: {
+      const std::optional<ExprBinding> binding = binder(e.name);
+      if (!binding.has_value()) {
+        *error = StrFormat("line %d: unknown variable '%s'%s", e.line, e.name.c_str(),
+                           options.unknown_var_hint);
+        return false;
+      }
+      if (binding->kind == ExprBinding::Kind::kConst) {
+        ops_.push_back(ExprInstr{ExprOp::kConst, binding->value, 0, line});
+      } else {
+        ops_.push_back(ExprInstr{ExprOp::kSlot, 0, binding->slot, line});
+      }
+      return true;
+    }
+    case ExprKind::kAttr:
+      *error = StrFormat("line %d: attribute access is not allowed in %s", e.line,
+                         options.domain);
+      return false;
+    case ExprKind::kUnary:
+      if (!Emit(*e.children[0], binder, options, error)) {
+        return false;
+      }
+      push(e.un_op == UnOp::kNeg ? ExprOp::kNeg : ExprOp::kNot);
+      return true;
+    case ExprKind::kCall: {
+      ExprOp unary_op = ExprOp::kCeil;
+      bool is_unary = true;
+      if (e.name == "ceil") unary_op = ExprOp::kCeil;
+      else if (e.name == "floor") unary_op = ExprOp::kFloor;
+      else if (e.name == "abs") unary_op = ExprOp::kAbs;
+      else if (e.name == "sqrt") unary_op = ExprOp::kSqrt;
+      else is_unary = false;
+      if (is_unary && e.children.size() == 1) {
+        if (!Emit(*e.children[0], binder, options, error)) {
+          return false;
+        }
+        push(unary_op);
+        return true;
+      }
+      if ((e.name == "min" || e.name == "max") && !e.children.empty()) {
+        if (!Emit(*e.children[0], binder, options, error)) {
+          return false;
+        }
+        for (std::size_t i = 1; i < e.children.size(); ++i) {
+          if (!Emit(*e.children[i], binder, options, error)) {
+            return false;
+          }
+          push(e.name == "min" ? ExprOp::kMin : ExprOp::kMax);
+        }
+        return true;
+      }
+      *error = StrFormat("line %d: unknown function '%s' in %s", e.line, e.name.c_str(),
+                         options.domain);
+      return false;
+    }
+    case ExprKind::kBinary: {
+      if (!Emit(*e.children[0], binder, options, error) ||
+          !Emit(*e.children[1], binder, options, error)) {
+        return false;
+      }
+      switch (e.bin_op) {
+        case BinOp::kAdd: push(ExprOp::kAdd); break;
+        case BinOp::kSub: push(ExprOp::kSub); break;
+        case BinOp::kMul: push(ExprOp::kMul); break;
+        case BinOp::kDiv: push(ExprOp::kDiv); break;
+        case BinOp::kMod: push(ExprOp::kMod); break;
+        case BinOp::kLt: push(ExprOp::kLt); break;
+        case BinOp::kLe: push(ExprOp::kLe); break;
+        case BinOp::kGt: push(ExprOp::kGt); break;
+        case BinOp::kGe: push(ExprOp::kGe); break;
+        case BinOp::kEq: push(ExprOp::kEq); break;
+        case BinOp::kNe: push(ExprOp::kNe); break;
+        case BinOp::kAnd: push(ExprOp::kAnd); break;
+        case BinOp::kOr: push(ExprOp::kOr); break;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace perfiface

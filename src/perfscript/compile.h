@@ -1,0 +1,225 @@
+// Bytecode compiler for PerfScript (docs/serving.md "Program compilation").
+//
+// Two compiled forms live here:
+//
+//  - CompiledProgram: a whole interface program lowered to register bytecode
+//    for the Vm (vm.h). Lowering happens once, at registry load: variable
+//    names resolve to register slots, calibration constants fold into the
+//    instruction stream, builtin and function call targets resolve to
+//    opcodes/indices, attribute reads get inline-cache sites, and `for`
+//    loops get their iteration setup precomputed. Anything the compiler
+//    cannot prove equivalent to the tree-walking interpreter (interp.h)
+//    refuses to lower — the caller falls back to the interpreter, which
+//    stays the reference semantics.
+//
+//  - CompiledExpr: a standalone expression (Petri-net delay/guard
+//    annotations, EvalExprWithVars callers) bound once against a
+//    caller-supplied name resolver and evaluated many times by a tiny stack
+//    machine with no per-call lookups, parses, or allocations. This is the
+//    cached "bound form" the .pnet loader stores per transition.
+//
+// Thread-safety: a CompiledProgram/CompiledExpr is immutable after
+// compilation; any number of threads may execute it concurrently (each Vm
+// instance holds the mutable state).
+#ifndef SRC_PERFSCRIPT_COMPILE_H_
+#define SRC_PERFSCRIPT_COMPILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/perfscript/ast.h"
+#include "src/perfscript/value.h"
+
+namespace perfiface {
+
+struct EvalResult;  // interp.h
+
+// ---------------------------------------------------------------------------
+// Register bytecode (CompiledProgram + Vm)
+// ---------------------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  kLoadConst,  // r[a] = consts[imm]
+  kMove,       // r[a] = r[b]
+  // Numeric binary ops: r[a] = r[b] op r[c]; both operands type-checked.
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  // Constant-operand forms: r[a] = r[b] op consts[imm] (k*C) or
+  // consts[imm] op r[b] (kR*C). kDivC is only emitted for a non-zero
+  // constant divisor.
+  kAddC, kSubC, kMulC, kDivC, kRSubC, kRDivC,
+  kNeg,   // r[a] = -r[b]
+  kNot,   // r[a] = r[b] == 0 ? 1 : 0
+  kBool,  // r[a] = r[b] != 0 ? 1 : 0
+  kCeil, kFloor, kAbs, kSqrt,  // r[a] = f(r[b])
+  kMin2, kMax2,                // r[a] = fmin/fmax(r[b], r[c])
+  kLen,                        // r[a] = NumChildren(r[b])
+  kCheckNum,   // error "<whats[imm]> must be a number" unless r[a] numeric
+  kAttr,       // r[a] = r[b].<attr_names[imm]>; imm doubles as the IC slot
+  kJmp,        // pc = imm
+  kJmpIfZero,  // if r[a].num == 0: pc = imm (operand pre-checked numeric)
+  kJmpIfNotZero,
+  kJmpGe,      // if r[a].num >= r[b].num: pc = imm (loop bounds, numeric)
+  kIterLen,    // r[a] = NumChildren(r[b]); error unless r[b] is an object
+  kIterChild,  // r[a] = Child(r[b], r[c].num); error on null child
+  kCall,       // r[a] = functions[imm](args at r[b]..r[b+c-1])
+  kRet,        // return r[a]
+  kError,      // raise errors[imm]
+};
+
+// Operand kinds for kCheckNum's error message ("<what> must be a number"),
+// chosen to reproduce the interpreter's messages exactly.
+enum class CheckWhat : std::uint16_t {
+  kOperand, kCondition, kAugTarget, kAugValue,
+  kMinMaxArg, kCeilArg, kFloorArg, kAbsArg, kSqrtArg,
+};
+const char* CheckWhatName(CheckWhat what);
+
+struct Instr {
+  Op op = Op::kRet;
+  std::uint8_t a = 0, b = 0, c = 0;
+  std::uint16_t imm = 0;
+  // Source line for runtime errors (clamped to 16 bits; interface programs
+  // are tens of lines).
+  std::uint16_t line = 0;
+};
+
+struct CompiledFunction {
+  std::string name;
+  int line = 0;  // definition line (arity errors point here, like interp)
+  std::size_t num_params = 0;
+  std::size_t num_regs = 0;  // frame size: params + locals + temps
+  std::vector<Instr> code;
+};
+
+struct CompiledProgram {
+  std::vector<CompiledFunction> functions;  // same order as the AST
+  std::vector<double> consts;               // kLoadConst / k*C pool
+  std::vector<std::string> attr_names;      // one per kAttr site (== IC slot)
+  std::vector<std::string> errors;          // kError message pool
+
+  // nullptr if the program defines no such function.
+  const CompiledFunction* Find(const std::string& name) const;
+  int FindIndex(const std::string& name) const;  // -1 if absent
+
+  // Human-readable listing of every function (psc_tool --dump-bytecode).
+  std::string Disassemble() const;
+  std::string DisassembleFunction(const CompiledFunction& fn) const;
+};
+
+struct CompileProgramResult {
+  // Null when the program (or one of its functions) uses a construct the
+  // compiler cannot lower with interpreter-identical semantics; `reason`
+  // then says which. The caller keeps evaluating through the interpreter.
+  std::shared_ptr<const CompiledProgram> program;
+  std::string reason;
+
+  bool ok() const { return program != nullptr; }
+};
+
+// Lowers a parsed program with the given calibration constants folded in as
+// immediates (the same values Interpreter::SetGlobal would install). The
+// AST is only read during compilation and need not outlive the result.
+CompileProgramResult CompileProgram(
+    const Program& program,
+    const std::vector<std::pair<std::string, double>>& constants);
+
+// ---------------------------------------------------------------------------
+// Standalone expressions (CompiledExpr)
+// ---------------------------------------------------------------------------
+
+// How a free variable in a standalone expression resolves: either to a
+// value fixed at compile time (net constants, EvalExprWithVars lookups) or
+// to a numeric slot read at every evaluation (token attribute index).
+struct ExprBinding {
+  enum class Kind { kConst, kSlot };
+  Kind kind = Kind::kConst;
+  double value = 0;
+  std::uint32_t slot = 0;
+
+  static ExprBinding Const(double v) { return {Kind::kConst, v, 0}; }
+  static ExprBinding Slot(std::uint32_t s) { return {Kind::kSlot, 0, s}; }
+};
+
+// Resolves a variable name; std::nullopt makes compilation fail with an
+// unknown-variable error.
+using ExprBinder = std::function<std::optional<ExprBinding>(std::string_view)>;
+
+struct ExprCompileOptions {
+  // Domain word used in error messages, e.g. "attribute access is not
+  // allowed in <domain>" — keeps the historical per-caller phrasing.
+  const char* domain = "expressions";
+  // Appended verbatim to unknown-variable errors (the .pnet loader adds
+  // " (declare attrs/consts first)").
+  const char* unknown_var_hint = "";
+};
+
+class CompiledExpr {
+ public:
+  // Compiles a parsed expression; returns nullptr and sets *error on
+  // unresolvable names, attribute access, or unknown functions.
+  static std::unique_ptr<CompiledExpr> Compile(const Expr& expr, const ExprBinder& binder,
+                                               std::string* error,
+                                               const ExprCompileOptions& options = {});
+  // Parses and compiles in one step (counts one expression parse).
+  static std::unique_ptr<CompiledExpr> CompileSource(std::string_view source,
+                                                     const ExprBinder& binder,
+                                                     std::string* error,
+                                                     const ExprCompileOptions& options = {});
+
+  // Evaluates with slot values read through `slot` (double(std::uint32_t)).
+  // Aborts on division/modulo by zero — the Petri-net contract, where a
+  // zero divisor in a delay is a net bug, not a recoverable condition.
+  template <typename SlotFn>
+  double Eval(SlotFn&& slot) const;
+
+  // Same, but reports division/modulo by zero as an error result instead of
+  // aborting (the EvalExprWithVars contract).
+  template <typename SlotFn>
+  EvalResult EvalChecked(SlotFn&& slot) const;
+
+  // Canonical serialization of the compiled ops, recorded by the .pnet
+  // loader as TransitionSpec::delay_expr/guard_expr: constants are inlined
+  // and attributes slot-resolved, so this pins down behavior exactly, which
+  // is what CompiledNet's structural hash keys on. The format (and the
+  // opcode numbering it exposes) must stay stable across refactors or
+  // every cross-request memo key changes.
+  std::string Canonical() const;
+
+  std::size_t num_ops() const { return ops_.size(); }
+
+ private:
+  // Numbering is load-bearing: Canonical() serializes the raw enum values.
+  enum class ExprOp : std::uint8_t {
+    kConst, kSlot, kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe,
+    kAnd, kOr, kNeg, kNot, kCeil, kFloor, kAbs, kSqrt, kMin, kMax,
+  };
+  struct ExprInstr {
+    ExprOp op = ExprOp::kConst;
+    double value = 0;
+    std::uint32_t slot = 0;
+    std::uint16_t line = 0;  // runtime div/mod-by-zero reporting only
+  };
+  static constexpr int kMaxStack = 64;
+
+  template <typename SlotFn>
+  double Run(SlotFn&& slot, bool* failed, std::string* error) const;
+
+  bool Emit(const Expr& e, const ExprBinder& binder, const ExprCompileOptions& options,
+            std::string* error);
+
+  std::vector<ExprInstr> ops_;
+};
+
+}  // namespace perfiface
+
+// Template bodies live out-of-line in a header so hot callers (the Petri
+// firing path) inline the slot read.
+#include "src/perfscript/compile_inl.h"  // IWYU pragma: keep
+
+#endif  // SRC_PERFSCRIPT_COMPILE_H_

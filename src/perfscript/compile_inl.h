@@ -1,0 +1,100 @@
+// Template bodies for CompiledExpr (see compile.h). Included at the end of
+// compile.h; do not include directly.
+#ifndef SRC_PERFSCRIPT_COMPILE_INL_H_
+#define SRC_PERFSCRIPT_COMPILE_INL_H_
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/perfscript/interp.h"
+
+namespace perfiface {
+
+template <typename SlotFn>
+double CompiledExpr::Run(SlotFn&& slot, bool* failed, std::string* error) const {
+  double stack[kMaxStack];
+  int sp = 0;
+  for (const ExprInstr& op : ops_) {
+    switch (op.op) {
+      case ExprOp::kConst: stack[sp++] = op.value; break;
+      case ExprOp::kSlot: stack[sp++] = slot(op.slot); break;
+      case ExprOp::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
+      case ExprOp::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
+      case ExprOp::kCeil: stack[sp - 1] = std::ceil(stack[sp - 1]); break;
+      case ExprOp::kFloor: stack[sp - 1] = std::floor(stack[sp - 1]); break;
+      case ExprOp::kAbs: stack[sp - 1] = std::fabs(stack[sp - 1]); break;
+      case ExprOp::kSqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
+      default: {
+        const double b = stack[--sp];
+        const double a = stack[sp - 1];
+        double r = 0;
+        switch (op.op) {
+          case ExprOp::kAdd: r = a + b; break;
+          case ExprOp::kSub: r = a - b; break;
+          case ExprOp::kMul: r = a * b; break;
+          case ExprOp::kDiv:
+            if (b == 0) {
+              if (failed == nullptr) {
+                PI_CHECK_MSG(false, "division by zero in net expression");
+              }
+              *failed = true;
+              *error = StrFormat("line %d: division by zero", op.line);
+              return 0;
+            }
+            r = a / b;
+            break;
+          case ExprOp::kMod:
+            if (b == 0) {
+              if (failed == nullptr) {
+                PI_CHECK_MSG(false, "modulo by zero in net expression");
+              }
+              *failed = true;
+              *error = StrFormat("line %d: modulo by zero", op.line);
+              return 0;
+            }
+            r = std::fmod(a, b);
+            break;
+          case ExprOp::kLt: r = a < b ? 1 : 0; break;
+          case ExprOp::kLe: r = a <= b ? 1 : 0; break;
+          case ExprOp::kGt: r = a > b ? 1 : 0; break;
+          case ExprOp::kGe: r = a >= b ? 1 : 0; break;
+          case ExprOp::kEq: r = a == b ? 1 : 0; break;
+          case ExprOp::kNe: r = a != b ? 1 : 0; break;
+          case ExprOp::kAnd: r = (a != 0 && b != 0) ? 1 : 0; break;
+          case ExprOp::kOr: r = (a != 0 || b != 0) ? 1 : 0; break;
+          case ExprOp::kMin: r = std::fmin(a, b); break;
+          case ExprOp::kMax: r = std::fmax(a, b); break;
+          default: PI_CHECK_MSG(false, "bad opcode");
+        }
+        stack[sp - 1] = r;
+        break;
+      }
+    }
+    PI_CHECK(sp > 0 && sp <= kMaxStack);
+  }
+  PI_CHECK(sp == 1);
+  return stack[0];
+}
+
+template <typename SlotFn>
+double CompiledExpr::Eval(SlotFn&& slot) const {
+  return Run(static_cast<SlotFn&&>(slot), nullptr, nullptr);
+}
+
+template <typename SlotFn>
+EvalResult CompiledExpr::EvalChecked(SlotFn&& slot) const {
+  EvalResult out;
+  bool failed = false;
+  const double v = Run(static_cast<SlotFn&&>(slot), &failed, &out.error);
+  if (failed) {
+    return out;
+  }
+  out.ok = true;
+  out.value = Value::Number(v);
+  return out;
+}
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_COMPILE_INL_H_

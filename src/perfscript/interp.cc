@@ -6,6 +6,7 @@
 #include "src/common/strings.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/perfscript/compile.h"
 
 namespace perfiface {
 
@@ -358,109 +359,27 @@ EvalResult Interpreter::Call(const std::string& function, const std::vector<Valu
 EvalResult EvalExprWithVars(
     const Expr& expr,
     const std::function<std::optional<double>(std::string_view)>& lookup) {
-  // Reuse the interpreter machinery by wrapping the expression in a synthetic
-  // zero-argument function is overkill; a small dedicated recursion keeps the
-  // dependency direction simple.
-  EvalResult out;
-
-  struct Ctx {
-    const std::function<std::optional<double>(std::string_view)>& lookup;
-    bool failed = false;
-    std::string error;
-
-    double Eval(const Expr& e) {
-      if (failed) return 0;
-      switch (e.kind) {
-        case ExprKind::kNumber:
-          return e.number;
-        case ExprKind::kVar: {
-          const std::optional<double> v = lookup(e.name);
-          if (!v.has_value()) {
-            Fail(e.line, StrFormat("unknown variable '%s'", e.name.c_str()));
-            return 0;
-          }
-          return *v;
-        }
-        case ExprKind::kAttr:
-          Fail(e.line, "attribute access is not allowed in delay expressions");
-          return 0;
-        case ExprKind::kCall: {
-          std::vector<double> args;
-          for (const ExprPtr& c : e.children) {
-            args.push_back(Eval(*c));
-            if (failed) return 0;
-          }
-          if ((e.name == "min" || e.name == "max") && !args.empty()) {
-            double best = args[0];
-            for (double a : args) {
-              best = e.name == "min" ? std::fmin(best, a) : std::fmax(best, a);
-            }
-            return best;
-          }
-          if (e.name == "ceil" && args.size() == 1) return std::ceil(args[0]);
-          if (e.name == "floor" && args.size() == 1) return std::floor(args[0]);
-          if (e.name == "abs" && args.size() == 1) return std::fabs(args[0]);
-          if (e.name == "sqrt" && args.size() == 1) return std::sqrt(args[0]);
-          Fail(e.line, StrFormat("unknown function '%s' in delay expression", e.name.c_str()));
-          return 0;
-        }
-        case ExprKind::kUnary: {
-          const double v = Eval(*e.children[0]);
-          return e.un_op == UnOp::kNeg ? -v : (v == 0 ? 1 : 0);
-        }
-        case ExprKind::kBinary: {
-          const double a = Eval(*e.children[0]);
-          if (failed) return 0;
-          const double b = Eval(*e.children[1]);
-          if (failed) return 0;
-          switch (e.bin_op) {
-            case BinOp::kAdd: return a + b;
-            case BinOp::kSub: return a - b;
-            case BinOp::kMul: return a * b;
-            case BinOp::kDiv:
-              if (b == 0) {
-                Fail(e.line, "division by zero");
-                return 0;
-              }
-              return a / b;
-            case BinOp::kMod:
-              if (b == 0) {
-                Fail(e.line, "modulo by zero");
-                return 0;
-              }
-              return std::fmod(a, b);
-            case BinOp::kLt: return a < b ? 1 : 0;
-            case BinOp::kLe: return a <= b ? 1 : 0;
-            case BinOp::kGt: return a > b ? 1 : 0;
-            case BinOp::kGe: return a >= b ? 1 : 0;
-            case BinOp::kEq: return a == b ? 1 : 0;
-            case BinOp::kNe: return a != b ? 1 : 0;
-            case BinOp::kAnd: return (a != 0 && b != 0) ? 1 : 0;
-            case BinOp::kOr: return (a != 0 || b != 0) ? 1 : 0;
-          }
-          return 0;
-        }
-      }
-      return 0;
-    }
-
-    void Fail(int line, const std::string& msg) {
-      if (!failed) {
-        failed = true;
-        error = StrFormat("line %d: %s", line, msg.c_str());
-      }
-    }
-  };
-
-  Ctx ctx{lookup, false, {}};
-  const double v = ctx.Eval(expr);
-  if (ctx.failed) {
-    out.error = ctx.error;
+  // Compile-then-run over the shared standalone-expression backend
+  // (CompiledExpr, compile.h) — the same bound form the .pnet loader caches
+  // per transition. Every variable resolves through `lookup` at bind time,
+  // so evaluation reads no slots.
+  ExprCompileOptions options;
+  options.domain = "delay expressions";
+  std::string error;
+  const auto bound = CompiledExpr::Compile(
+      expr,
+      [&lookup](std::string_view name) -> std::optional<ExprBinding> {
+        const std::optional<double> v = lookup(name);
+        if (!v.has_value()) return std::nullopt;
+        return ExprBinding::Const(*v);
+      },
+      &error, options);
+  if (bound == nullptr) {
+    EvalResult out;
+    out.error = error;
     return out;
   }
-  out.ok = true;
-  out.value = Value::Number(v);
-  return out;
+  return bound->EvalChecked([](std::uint32_t) { return 0.0; });
 }
 
 }  // namespace perfiface

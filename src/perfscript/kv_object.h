@@ -34,8 +34,39 @@ class KvObject : public ScriptObject {
     }
     return std::nullopt;
   }
-  std::size_t NumChildren() const override { return children_.size(); }
-  const ScriptObject* Child(std::size_t i) const override { return children_[i].get(); }
+  std::optional<double> GetAttrHinted(std::string_view name,
+                                      std::uint32_t* hint) const override {
+    if (*hint < attrs_.size() && attrs_[*hint].first == name) {
+      return attrs_[*hint].second;
+    }
+    for (std::size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i].first == name) {
+        *hint = static_cast<std::uint32_t>(i);
+        return attrs_[i].second;
+      }
+    }
+    return std::nullopt;
+  }
+  std::size_t NumChildren() const override {
+    std::size_t n = children_.size();
+    for (const auto& run : uniform_runs_) {
+      n += run.count;
+    }
+    return n;
+  }
+  const ScriptObject* Child(std::size_t i) const override {
+    if (i < children_.size()) {
+      return children_[i].get();
+    }
+    i -= children_.size();
+    for (const auto& run : uniform_runs_) {
+      if (i < run.count) {
+        return run.child.get();
+      }
+      i -= run.count;
+    }
+    return nullptr;
+  }
 
   void Set(const std::string& key, double value) {
     for (auto& kv : attrs_) {
@@ -51,19 +82,29 @@ class KvObject : public ScriptObject {
 
   // Attaches `n` children, each carrying this object's current attributes
   // (the psc_tool / serve "children=N" shorthand for recursive interfaces).
+  // The children are identical and immutable once built, so one object
+  // aliased `n` times is observationally equivalent through ScriptObject —
+  // this keeps children=400 workload builds O(attrs) instead of O(n*attrs)
+  // on the service's uncached path. Uniform children enumerate after any
+  // explicitly added ones.
   void AddUniformChildren(int n) {
-    for (int i = 0; i < n; ++i) {
-      auto child = std::make_unique<KvObject>();
-      for (const auto& kv : attrs_) {
-        child->Set(kv.first, kv.second);
-      }
-      AddChild(std::move(child));
+    if (n <= 0) {
+      return;
     }
+    auto child = std::make_unique<KvObject>();
+    child->attrs_ = attrs_;
+    uniform_runs_.push_back(UniformRun{static_cast<std::size_t>(n), std::move(child)});
   }
 
  private:
+  struct UniformRun {
+    std::size_t count;
+    std::unique_ptr<KvObject> child;
+  };
+
   std::vector<std::pair<std::string, double>> attrs_;
   std::vector<std::unique_ptr<KvObject>> children_;
+  std::vector<UniformRun> uniform_runs_;
 };
 
 }  // namespace perfiface

@@ -8,6 +8,7 @@
 #ifndef SRC_PERFSCRIPT_VALUE_H_
 #define SRC_PERFSCRIPT_VALUE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 
@@ -20,6 +21,17 @@ class ScriptObject {
   // Returns the numeric attribute `name`, or nullopt if the object does not
   // expose it (a runtime error in the interface program).
   virtual std::optional<double> GetAttr(std::string_view name) const = 0;
+
+  // Inline-cache-aware attribute read. `*hint` is a caller-owned slot
+  // keyed by the reading call site (the bytecode VM keeps one per kAttr
+  // instruction); implementations with indexable attribute storage probe
+  // the hinted index first and write back the index that matched. The
+  // default ignores the hint, so existing objects behave unchanged.
+  virtual std::optional<double> GetAttrHinted(std::string_view name,
+                                              std::uint32_t* hint) const {
+    (void)hint;
+    return GetAttr(name);
+  }
 
   // Iteration support (`for x in obj:` and `len(obj)`).
   virtual std::size_t NumChildren() const { return 0; }

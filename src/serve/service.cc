@@ -165,6 +165,7 @@ std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
                                              BatchState* batch,
                                              const std::shared_ptr<BatchState>& keepalive) {
   const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
+  obs::Tracer& tracer = obs::Tracer::Global();
   obs::SpanGuard enqueue_span("serve", "enqueue");
   enqueue_span.SetArg("requests", static_cast<double>(n));
   for (std::size_t begin = 0; begin < n; begin += chunk) {
@@ -175,6 +176,13 @@ std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
     job.end = std::min(n, begin + chunk);
     job.batch = batch;
     job.keepalive = keepalive;
+    if (tracer.enabled()) {
+      // Each chunk gets a flow arrow from this enqueue span to the dequeue
+      // span of whichever worker pops it (the queue-wait handoff the flat
+      // span view cannot show).
+      job.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+      tracer.FlowBegin("serve", "queue", job.flow_id);
+    }
     if (!queue_.Push(job)) {
       return begin;
     }
@@ -273,6 +281,7 @@ PredictionService::BatchHandle PredictionService::SubmitBatch(
 void PredictionService::WorkerLoop() {
   WorkerState state;
   state.interps.resize(entries_.size());
+  state.vms.resize(entries_.size());
   Job job;
   for (;;) {
     {
@@ -283,6 +292,11 @@ void PredictionService::WorkerLoop() {
         break;
       }
       dequeue_span.SetArg("chunk", static_cast<double>(job.end - job.begin));
+      if (job.flow_id != 0) {
+        // Terminate the enqueue->dequeue flow inside this span (the export
+        // binds "f" events to their enclosing slice).
+        obs::Tracer::Global().FlowEnd("serve", "queue", job.flow_id);
+      }
     }
     if (obs::Tracer::Global().enabled()) {
       obs::Tracer::Global().Counter("serve", "queue_depth",
@@ -428,26 +442,52 @@ PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request
     return response;
   }
 
-  // One interpreter per (worker, program), never shared across threads.
-  std::unique_ptr<Interpreter>& slot = state->interps[entry_idx];
-  if (slot == nullptr) {
-    slot = std::make_unique<Interpreter>(iface.program().get());
-    for (const auto& c : iface.constants()) {
-      slot->SetGlobal(c.first, c.second);
-    }
-  }
-  Interpreter& interp = *slot;
-  interp.set_max_steps(budget);
-
   KvObject workload;
   for (const auto& kv : request.attrs) {
     workload.Set(kv.first, kv.second);
   }
   workload.AddUniformChildren(request.children);
 
-  const EvalResult result = interp.Call(request.function, {Value::Object(&workload)});
+  // Compiled path: one Vm per (worker, program), never shared across
+  // threads, with identical observable semantics to the interpreter (the
+  // vm_diff_test contract). Programs outside the compilable subset fall
+  // back to tree-walking, counted so operators can see fallback in
+  // production scrapes.
+  EvalResult result;
+  bool budget_exhausted = false;
+  if (options_.enable_psc_compile && iface.compiled() != nullptr) {
+    std::unique_ptr<Vm>& slot = state->vms[entry_idx];
+    if (slot == nullptr) {
+      slot = std::make_unique<Vm>(iface.compiled());
+    }
+    Vm& vm = *slot;
+    vm.set_max_steps(budget);
+    result = vm.Call(request.function, {Value::Object(&workload)});
+    budget_exhausted = vm.step_budget_exhausted();
+  } else {
+    if (options_.enable_psc_compile) {
+      static obs::MetricsRegistry::Counter& fallback_total =
+          obs::MetricsRegistry::Global().GetCounter(
+              "perfiface_psc_vm_fallback_total",
+              "Program queries served by the interpreter because the program did not compile");
+      fallback_total.Increment();
+    }
+    // One interpreter per (worker, program), never shared across threads.
+    std::unique_ptr<Interpreter>& slot = state->interps[entry_idx];
+    if (slot == nullptr) {
+      slot = std::make_unique<Interpreter>(iface.program().get());
+      for (const auto& c : iface.constants()) {
+        slot->SetGlobal(c.first, c.second);
+      }
+    }
+    Interpreter& interp = *slot;
+    interp.set_max_steps(budget);
+    result = interp.Call(request.function, {Value::Object(&workload)});
+    budget_exhausted = interp.step_budget_exhausted();
+  }
+
   if (!result.ok) {
-    if (interp.step_budget_exhausted()) {
+    if (budget_exhausted) {
       response.status =
           deadline_limited ? PredictStatus::kDeadlineExceeded : PredictStatus::kResourceExhausted;
     } else {

@@ -46,6 +46,7 @@
 #include "src/core/program_interface.h"
 #include "src/core/pnet.h"
 #include "src/core/registry.h"
+#include "src/perfscript/vm.h"
 #include "src/petri/compiled_net.h"
 #include "src/serve/lru_cache.h"
 #include "src/serve/metrics.h"
@@ -69,6 +70,12 @@ struct ServiceOptions {
   // table in src/petri/pnet_memo.h). Off, every pnet query simulates from
   // scratch — useful for benchmarking and for verifying equivalence.
   bool enable_pnet_memo = true;
+  // Evaluate program interfaces through their compiled bytecode (one Vm per
+  // worker per program) instead of the tree-walking interpreter. Programs
+  // outside the compilable subset always use the interpreter. Off, every
+  // program query tree-walks — useful for benchmarking and for verifying
+  // equivalence (serve_tool --no-compile).
+  bool enable_psc_compile = true;
   // Default evaluation budget: interpreter steps (program queries) or net
   // firings (pnet queries).
   std::uint64_t default_max_steps = 5'000'000;
@@ -186,12 +193,18 @@ class PredictionService {
     std::size_t end = 0;
     BatchState* batch = nullptr;
     std::shared_ptr<BatchState> keepalive;  // non-null for async batches
+    // Links this chunk's enqueue span to the dequeue span of whichever
+    // worker picks it up (trace flow arrow). 0 = tracing was off at
+    // submission, no flow recorded.
+    std::uint64_t flow_id = 0;
   };
 
-  // Per-worker evaluation state: one Interpreter per program, created
-  // lazily and reused across requests (Call resets per-call state).
+  // Per-worker evaluation state: one Interpreter (and one bytecode Vm, for
+  // entries that compiled) per program, created lazily and reused across
+  // requests (Call resets per-call state).
   struct WorkerState {
     std::vector<std::unique_ptr<Interpreter>> interps;  // by entry index
+    std::vector<std::unique_ptr<Vm>> vms;               // by entry index
   };
 
   void WorkerLoop();
@@ -222,6 +235,7 @@ class PredictionService {
   std::unique_ptr<ServiceMetrics> metrics_;
   ShardedLruCache cache_;
   BoundedQueue<Job> queue_;
+  std::atomic<std::uint64_t> next_flow_id_{1};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
   std::uint64_t metrics_collector_ = 0;  // obs::MetricsRegistry handle

@@ -555,12 +555,69 @@ TEST_F(TracerTest, CrossLayerTraceSpansAtLeastThreeLayers) {
     }
   }
   EXPECT_TRUE(span_cats.count("serve")) << "missing serve-layer spans";
-  EXPECT_TRUE(span_cats.count("interp")) << "missing interp-layer spans";
+  // Program queries run on the bytecode VM by default; the tree-walking
+  // interpreter only shows up for non-compilable programs.
+  EXPECT_TRUE(span_cats.count("vm") || span_cats.count("interp"))
+      << "missing program-evaluation spans";
   EXPECT_TRUE(span_cats.count("pnet")) << "missing pnet-layer spans";
   EXPECT_TRUE(span_cats.count("sim")) << "missing sim-layer spans";
   EXPECT_GE(span_cats.size(), 3u);
   // Instants/counters ride along: pnet firings and queue depth tracks.
   EXPECT_TRUE(all_cats.count("pnet"));
+}
+
+// Every queue handoff records a flow: an "s" event inside the submitter's
+// enqueue span and a matching "f" (bp:"e") event inside the worker's
+// dequeue span, paired by id. Trace viewers draw these as arrows across
+// threads — the cross-thread causality a flat span view cannot show.
+TEST_F(TracerTest, FlowEventsLinkEnqueueToDequeue) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start();
+
+  {
+    serve::ServiceOptions options;
+    options.num_workers = 2;
+    options.batch_chunk = 4;
+    serve::PredictionService service(InterfaceRegistry::Default(), options);
+    std::vector<serve::PredictRequest> requests;
+    for (int i = 0; i < 32; ++i) {
+      serve::PredictRequest r;
+      r.interface = "jpeg_decoder";
+      r.function = "latency_jpeg_decode";
+      r.attrs = {{"orig_size", 1024.0 * (i + 1)}, {"compress_rate", 0.2}};
+      requests.push_back(r);
+    }
+    for (const auto& response : service.PredictBatch(requests)) {
+      EXPECT_TRUE(response.ok()) << response.error;
+    }
+  }
+
+  tracer.Stop();
+  const auto doc = ParseTrace(tracer.ExportChromeJson());
+  ASSERT_TRUE(doc.has_value());
+
+  std::multiset<std::string> begin_ids;
+  std::multiset<std::string> end_ids;
+  for (const JsonValue& e : doc->Find("traceEvents")->items) {
+    if (e.Find("cat")->str != "serve" || e.Find("name")->str != "queue") {
+      continue;
+    }
+    const std::string& ph = e.Find("ph")->str;
+    if (ph == "s") {
+      ASSERT_NE(e.Find("id"), nullptr);
+      begin_ids.insert(e.Find("id")->str);
+    } else if (ph == "f") {
+      ASSERT_NE(e.Find("id"), nullptr);
+      ASSERT_NE(e.Find("bp"), nullptr);
+      EXPECT_EQ(e.Find("bp")->str, "e") << "flow end must bind to its enclosing slice";
+      end_ids.insert(e.Find("id")->str);
+    }
+  }
+  // 32 requests in chunks of 4 -> 8 flows, each with exactly one begin and
+  // one end carrying the same id. Flows are never sampled, so the pairing
+  // is exact even though spans may be.
+  EXPECT_EQ(begin_ids.size(), 8u);
+  EXPECT_EQ(end_ids, begin_ids);
 }
 
 // ---------------------------------------------------------------------------
@@ -601,19 +658,30 @@ TEST(MetricsRegistry, InstrumentedLayersExposeCounters) {
   // have exercised both layers, so the families must exist by now.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   // Force at least one evaluation through each layer first.
-  serve::PredictionService service(InterfaceRegistry::Default(), {});
   serve::PredictRequest req;
   req.interface = "jpeg_decoder";
   req.function = "latency_jpeg_decode";
   req.attrs = {{"orig_size", 4096.0}, {"compress_rate", 0.5}};
-  EXPECT_TRUE(service.Predict(req).ok());
-  serve::PredictRequest pnet;
-  pnet.interface = "jpeg_decoder";
-  pnet.representation = serve::Representation::kPnet;
-  pnet.entry_place = "hdr_in:1";
-  EXPECT_TRUE(service.Predict(pnet).ok());
+  {
+    // Default path: compiled bytecode VM.
+    serve::PredictionService service(InterfaceRegistry::Default(), {});
+    EXPECT_TRUE(service.Predict(req).ok());
+    serve::PredictRequest pnet;
+    pnet.interface = "jpeg_decoder";
+    pnet.representation = serve::Representation::kPnet;
+    pnet.entry_place = "hdr_in:1";
+    EXPECT_TRUE(service.Predict(pnet).ok());
+  }
+  // Compilation off: the tree-walking interpreter layer. Stays alive for
+  // the scrape below so its collector still contributes the serve families.
+  serve::ServiceOptions interp_options;
+  interp_options.enable_psc_compile = false;
+  serve::PredictionService interp_service(InterfaceRegistry::Default(), interp_options);
+  EXPECT_TRUE(interp_service.Predict(req).ok());
 
   const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("perfiface_psc_vm_calls_total"), std::string::npos);
+  EXPECT_NE(text.find("perfiface_psc_vm_steps_total"), std::string::npos);
   EXPECT_NE(text.find("perfiface_interp_calls_total"), std::string::npos);
   EXPECT_NE(text.find("perfiface_interp_steps_total"), std::string::npos);
   EXPECT_NE(text.find("perfiface_pnet_runs_total"), std::string::npos);

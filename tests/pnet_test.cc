@@ -2,6 +2,7 @@
 
 #include "src/core/pnet.h"
 #include "src/core/registry.h"
+#include "src/obs/metrics_registry.h"
 #include "src/petri/analysis.h"
 #include "src/petri/compiled_net.h"
 #include "src/petri/sim.h"
@@ -223,6 +224,37 @@ TEST(Pnet, ShippedNetsAreHashable) {
     EXPECT_TRUE(compiled.hashable()) << name;
     EXPECT_NE(compiled.structural_hash(), 0u) << name;
   }
+}
+
+TEST(Pnet, DelayAndGuardExpressionsParseOncePerLoad) {
+  // Delay/guard expressions are bound to slots at net-load time and the
+  // bound form is reused on every firing — re-parsing (or re-walking the
+  // AST) per firing was the regression this counter guards against.
+  const char* src =
+      "net demo\n"
+      "attr work\n"
+      "place in\n"
+      "place out\n"
+      "trans t in=in out=out delay=\"work * 2 + 1\" guard=\"work > 0\"\n";
+  LoadedNet loaded = LoadPnet(src);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+
+  obs::MetricsRegistry::Counter& parses = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_psc_expr_parses_total", "Standalone PerfScript expression parses");
+  const std::uint64_t parses_after_load = parses.value();
+
+  PetriSim sim(loaded.net.get());
+  const PlaceId out = loaded.net->PlaceByName("out");
+  sim.Observe(out);
+  for (int i = 0; i < 100; ++i) {
+    Token t;
+    t.attrs = {static_cast<double>(i + 1)};
+    sim.Inject(loaded.net->PlaceByName("in"), t);
+  }
+  EXPECT_TRUE(sim.Run(1'000'000));
+  EXPECT_EQ(sim.arrivals(out).size(), 100u);
+  EXPECT_EQ(parses.value(), parses_after_load)
+      << "delay/guard evaluation re-parsed an expression on the hot path";
 }
 
 TEST(Pnet, ShippedJpegNetParses) {

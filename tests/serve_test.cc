@@ -12,6 +12,7 @@
 
 #include "src/core/program_interface.h"
 #include "src/core/registry.h"
+#include "src/obs/metrics_registry.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
@@ -343,6 +344,50 @@ TEST(PredictionService, RejectionsAndLookupFailuresDoNotSkewCacheCounters) {
   EXPECT_GE(service.metrics().rejected(), 1u);
 }
 
+TEST(PredictionService, CompiledAndInterpretedBackendsAgree) {
+  // The A/B knob behind serve_tool --no-compile: identical requests through
+  // a compiled-path service and a tree-walking service must produce
+  // bit-identical answers. Caching is off so every request actually
+  // evaluates.
+  ServiceOptions compiled_options;
+  compiled_options.num_workers = 2;
+  compiled_options.cache_capacity = 0;
+  ServiceOptions interp_options = compiled_options;
+  interp_options.enable_psc_compile = false;
+
+  std::vector<PredictRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(JpegRequest(512.0 * (i + 1), 0.1 + 0.05 * i));
+    requests.push_back(ProtoaccRequest(4.0 + i, 2.0 + i, i % 5));
+  }
+  PredictRequest bad = JpegRequest(1024, 0.5);
+  bad.function = "no_such_function";
+  requests.push_back(bad);
+
+  obs::MetricsRegistry::Counter& vm_calls = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_psc_vm_calls_total", "Top-level PerfScript bytecode VM calls");
+
+  PredictionService compiled_service(InterfaceRegistry::Default(), compiled_options);
+  const std::uint64_t vm_calls_before = vm_calls.value();
+  const auto compiled_responses = compiled_service.PredictBatch(requests);
+  EXPECT_GE(vm_calls.value() - vm_calls_before, requests.size() - 1)
+      << "compiled service should answer program queries on the VM";
+
+  PredictionService interp_service(InterfaceRegistry::Default(), interp_options);
+  const std::uint64_t vm_calls_mid = vm_calls.value();
+  const auto interp_responses = interp_service.PredictBatch(requests);
+  EXPECT_EQ(vm_calls.value(), vm_calls_mid)
+      << "interpreted service must not touch the VM";
+
+  ASSERT_EQ(compiled_responses.size(), interp_responses.size());
+  for (std::size_t i = 0; i < compiled_responses.size(); ++i) {
+    EXPECT_EQ(compiled_responses[i].status, interp_responses[i].status) << i;
+    EXPECT_EQ(compiled_responses[i].value, interp_responses[i].value) << i;
+    EXPECT_EQ(compiled_responses[i].throughput, interp_responses[i].throughput) << i;
+    EXPECT_EQ(compiled_responses[i].error, interp_responses[i].error) << i;
+  }
+}
+
 TEST(PredictionService, StatsPrometheusUnifiesServiceAndLayerFamilies) {
   ServiceOptions options;
   options.num_workers = 1;
@@ -352,9 +397,21 @@ TEST(PredictionService, StatsPrometheusUnifiesServiceAndLayerFamilies) {
   // Families owned by the service (via its registered collector)...
   EXPECT_NE(prom.find("perfiface_serve_requests_total"), std::string::npos);
   EXPECT_NE(prom.find("interface=\"jpeg_decoder\""), std::string::npos);
-  // ...and process-wide counters bumped by the layers below it.
-  EXPECT_NE(prom.find("perfiface_interp_calls_total"), std::string::npos);
-  EXPECT_NE(prom.find("perfiface_interp_steps_total"), std::string::npos);
+  // ...and process-wide counters bumped by the layer below it (program
+  // queries run on the bytecode VM by default).
+  EXPECT_NE(prom.find("perfiface_psc_vm_calls_total"), std::string::npos);
+  EXPECT_NE(prom.find("perfiface_psc_vm_steps_total"), std::string::npos);
+
+  // With compilation off, the same query tree-walks and the interpreter's
+  // families join the scrape.
+  ServiceOptions interp_options;
+  interp_options.num_workers = 1;
+  interp_options.enable_psc_compile = false;
+  PredictionService interp_service(InterfaceRegistry::Default(), interp_options);
+  ASSERT_TRUE(interp_service.Predict(JpegRequest(2048, 0.25)).ok());
+  const std::string prom2 = interp_service.StatsPrometheus();
+  EXPECT_NE(prom2.find("perfiface_interp_calls_total"), std::string::npos);
+  EXPECT_NE(prom2.find("perfiface_interp_steps_total"), std::string::npos);
 }
 
 TEST(PredictionService, StatsDumpsMentionInterfaces) {

@@ -7,6 +7,10 @@
 //       [--json]                                    machine-readable result
 //       [--trace out.json]                          Chrome trace of the call
 //       [--metrics]                                 Prometheus counters
+//       [--no-compile]                              tree-walk instead of the
+//                                                   bytecode VM (A/B)
+//       [--dump-bytecode]                           print the compiled
+//                                                   bytecode before the call
 //
 // The workload object passed to the function exposes the k=v pairs as
 // attributes. Nested objects (for `for sub in msg:`) can be expressed with
@@ -27,9 +31,11 @@
 #include "src/common/strings.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/perfscript/compile.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
+#include "src/perfscript/vm.h"
 
 namespace perfiface {
 namespace {
@@ -37,7 +43,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: psc_tool <check|list> <file.psc>\n"
-               "       psc_tool eval <file.psc> <function> [--const n=v ...] [--json] [k=v ...]\n");
+               "       psc_tool eval <file.psc> <function> [--const n=v ...] [--json]\n"
+               "                [--no-compile] [--dump-bytecode] [k=v ...]\n");
   return 2;
 }
 
@@ -72,12 +79,14 @@ int CmdList(const std::string& path) {
 int CmdEval(const std::string& path, const std::string& function,
             const std::vector<std::string>& args) {
   const Program program = ParseOrDie(path);
-  Interpreter interp(&program);
 
   KvObject root;
+  std::vector<std::pair<std::string, double>> constants;
   int children = 0;
   bool json = false;
   bool metrics = false;
+  bool compile = true;
+  bool dump_bytecode = false;
   std::string trace_path;
   std::size_t i = 0;
   while (i < args.size()) {
@@ -91,6 +100,16 @@ int CmdEval(const std::string& path, const std::string& function,
       ++i;
       continue;
     }
+    if (args[i] == "--no-compile") {
+      compile = false;
+      ++i;
+      continue;
+    }
+    if (args[i] == "--dump-bytecode") {
+      dump_bytecode = true;
+      ++i;
+      continue;
+    }
     if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[i + 1];
       i += 2;
@@ -101,7 +120,7 @@ int CmdEval(const std::string& path, const std::string& function,
       if (eq == std::string::npos) {
         return Usage();
       }
-      interp.SetGlobal(args[i + 1].substr(0, eq), std::atof(args[i + 1].c_str() + eq + 1));
+      constants.emplace_back(args[i + 1].substr(0, eq), std::atof(args[i + 1].c_str() + eq + 1));
       i += 2;
       continue;
     }
@@ -120,10 +139,41 @@ int CmdEval(const std::string& path, const std::string& function,
   }
   root.AddUniformChildren(children);
 
+  // Default path mirrors the serve workers: lower to bytecode (constants
+  // folded in) and run on the VM, tree-walking only when the program falls
+  // outside the compilable subset or --no-compile asks for the A/B.
+  std::shared_ptr<const CompiledProgram> compiled;
+  if (compile || dump_bytecode) {
+    CompileProgramResult compiled_result = CompileProgram(program, constants);
+    if (compiled_result.ok()) {
+      compiled = std::move(compiled_result.program);
+    } else if (compile) {
+      std::fprintf(stderr, "note: falling back to the interpreter (%s)\n",
+                   compiled_result.reason.c_str());
+    }
+    if (dump_bytecode) {
+      if (compiled == nullptr) {
+        std::fprintf(stderr, "cannot dump bytecode: %s\n", compiled_result.reason.c_str());
+        return 1;
+      }
+      std::fputs(compiled->Disassemble().c_str(), stdout);
+    }
+  }
+
   if (!trace_path.empty()) {
     obs::Tracer::Global().Start();
   }
-  const EvalResult result = interp.Call(function, {Value::Object(&root)});
+  EvalResult result;
+  if (compile && compiled != nullptr) {
+    Vm vm(compiled);
+    result = vm.Call(function, {Value::Object(&root)});
+  } else {
+    Interpreter interp(&program);
+    for (const auto& c : constants) {
+      interp.SetGlobal(c.first, c.second);
+    }
+    result = interp.Call(function, {Value::Object(&root)});
+  }
   if (!trace_path.empty()) {
     obs::Tracer::Global().Stop();
     if (!obs::Tracer::Global().WriteChromeJson(trace_path)) {

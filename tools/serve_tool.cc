@@ -22,6 +22,8 @@
 //   --repeat N             run: repeat the query file N times (cache demo)
 //   --no-memo              disable the cross-request sub-net memo table
 //                          (docs/serving.md)
+//   --no-compile           evaluate program interfaces on the tree-walking
+//                          interpreter instead of the bytecode VM (A/B)
 //   --async                run: submit through the async SubmitBatch API
 //                          and stream completions instead of blocking
 //   --json                 machine-readable responses and stats
@@ -59,7 +61,7 @@ int Usage() {
                "       serve_tool run <query-file> [options]\n"
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
                "         --deadline-us N --max-steps N --workers N --cache N\n"
-               "         --repeat N --no-memo --async --json --stats\n"
+               "         --repeat N --no-memo --no-compile --async --json --stats\n"
                "         --stats-format text|json|prometheus\n"
                "         --trace FILE --trace-sample N --metrics\n");
   return 2;
@@ -225,6 +227,10 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
   }
   if (arg == "--no-memo") {
     cli->service.enable_pnet_memo = false;
+    return 1;
+  }
+  if (arg == "--no-compile") {
+    cli->service.enable_psc_compile = false;
     return 1;
   }
   if (arg == "--async") {
