@@ -1,0 +1,71 @@
+// NetClient: a small blocking client for the NDJSON wire protocol, used by
+// serve_tool --connect, the loopback benchmark, and the tests. One client
+// owns one connection; it is NOT thread-safe (use one per thread, or
+// pipeline on a single thread — SendBatch many frames, then ReadResponse
+// until every id/index pair is accounted for).
+//
+// HttpGet is the matching one-shot HTTP/1.1 client for /metrics and
+// /healthz.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/serve/request.h"
+
+namespace perfiface::net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Connects to host:port; recv/send block at most timeout_ms each.
+  bool Connect(const std::string& host, std::uint16_t port, std::string* error,
+               int timeout_ms = 30'000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one request frame tagged `id`. Ids are the caller's demux keys;
+  // unique ids per in-flight frame keep pipelined responses attributable.
+  bool SendBatch(std::uint64_t id, const std::vector<serve::PredictRequest>& requests,
+                 std::string* error);
+
+  // Sends bytes verbatim, bypassing the codec. For tests and diagnostics
+  // that need to put deliberately malformed frames on the wire.
+  bool SendRaw(const std::string& bytes, std::string* error);
+
+  // Blocks for the next response line (or a malformed-frame error line —
+  // check out->malformed). False on EOF, timeout, or a line the client
+  // cannot parse.
+  bool ReadResponse(WireResponse* out, std::string* error);
+
+  // Synchronous convenience: one frame out, responses collected back into
+  // submission order. False if the server reported the frame malformed or
+  // the connection failed.
+  bool Call(const std::vector<serve::PredictRequest>& requests,
+            std::vector<serve::PredictResponse>* responses, std::string* error);
+
+  // Returns a fresh frame id (1, 2, ...) for manual SendBatch pipelining.
+  std::uint64_t NextId() { return next_id_++; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_{1 << 20};
+  std::uint64_t next_id_ = 1;
+};
+
+// One-shot HTTP GET. Returns false on connect/IO/parse failure; otherwise
+// *status and *body carry the response.
+bool HttpGet(const std::string& host, std::uint16_t port, const std::string& path, int* status,
+             std::string* body, std::string* error, int timeout_ms = 30'000);
+
+}  // namespace perfiface::net
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,550 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+
+namespace perfiface::net {
+
+namespace {
+
+obs::MetricsRegistry::Counter& ConnectionsTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_connections_total", "Client connections accepted by the TCP front end");
+  return c;
+}
+
+obs::MetricsRegistry::Counter& ConnectionsRejectedTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_connections_rejected_total",
+      "Connections closed immediately because max_connections was reached");
+  return c;
+}
+
+obs::MetricsRegistry::Counter& BytesRxTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_bytes_rx_total", "Bytes received by the TCP front end");
+  return c;
+}
+
+obs::MetricsRegistry::Counter& BytesTxTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_bytes_tx_total", "Bytes sent by the TCP front end");
+  return c;
+}
+
+obs::MetricsRegistry::Counter& FramesMalformedTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_frames_malformed_total",
+      "Request frames rejected as malformed or oversized");
+  return c;
+}
+
+obs::MetricsRegistry::Counter& BatchesRejectedTotal() {
+  static obs::MetricsRegistry::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "perfiface_net_batches_rejected_total",
+      "Frames answered with REJECTED lines because the connection's pipelining window was full");
+  return c;
+}
+
+// True if `header` names `name` (HTTP header names are case-insensitive).
+bool HeaderNameIs(std::string_view header, std::string_view name) {
+  if (header.size() < name.size() + 1 || header[name.size()] != ':') {
+    return false;
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(header[i])) !=
+        std::tolower(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string HttpResponse(int status, const char* reason, const char* content_type,
+                         std::string_view body) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status, reason);
+  out += StrFormat("Content-Type: %s\r\n", content_type);
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += "Connection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+NetServer::NetServer(serve::PredictionService* service, NetServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  // Touch every counter now so the scrape carries the full family set from
+  // the first request on (lazy creation would make families pop into
+  // existence mid-flight, which trips scrape diffing).
+  ConnectionsTotal();
+  ConnectionsRejectedTotal();
+  BytesRxTotal();
+  BytesTxTotal();
+  FramesMalformedTotal();
+  BatchesRejectedTotal();
+  metrics_collector_ = obs::MetricsRegistry::Global().RegisterCollector([this](std::string* out) {
+    *out += StrFormat(
+        "# HELP perfiface_net_open_connections Currently open client connections\n"
+        "# TYPE perfiface_net_open_connections gauge\n"
+        "perfiface_net_open_connections %zu\n",
+        open_connections());
+  });
+}
+
+NetServer::~NetServer() {
+  // The collector captures `this`; detach it before any member dies.
+  obs::MetricsRegistry::Global().Unregister(metrics_collector_);
+  Stop();
+}
+
+bool NetServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = StrFormat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = StrFormat("bad listen address '%s'", options_.host.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = StrFormat("bind %s:%u: %s", options_.host.c_str(),
+                       static_cast<unsigned>(options_.port), std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    *error = StrFormat("listen: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_relaxed);
+  }
+  started_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void NetServer::AcceptLoop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    ReapFinished(/*all=*/false);
+    if (pr <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    obs::SpanGuard accept_span("net", "accept");
+    ConnectionsTotal().Increment();
+    if (open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Cap exceeded: refuse now instead of queueing work the pool cannot
+      // keep up with. The peer sees a clean close.
+      ConnectionsRejectedTotal().Increment();
+      if (accept_span.active()) {
+        accept_span.SetArg("rejected", 1.0);
+      }
+      ::close(fd);
+      continue;
+    }
+    // Responses must hit the wire promptly: predictions are latency-bound
+    // and lines are small, so Nagle only adds delay.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Write timeout: send() blocks at most this long, so a peer that stops
+    // reading cannot pin a worker (the write marks the connection dead).
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] {
+      HandleConnection(conn);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      conn->finished.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void NetServer::ReapFinished(bool all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = **it;
+    if (!all && !conn.finished.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (conn.thread.joinable()) {
+      conn.thread.join();
+    }
+    // The thread drained its in-flight batches before exiting, so no
+    // callback can still be writing to this fd.
+    ::close(conn.fd);
+    it = conns_.erase(it);
+  }
+}
+
+void NetServer::Stop() {
+  // Serialize concurrent Stop calls: the first does the work, later ones
+  // block until it finishes and then return (fully stopped either way).
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_.load(std::memory_order_relaxed) || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    // Half-close every connection: readers see EOF, drain their in-flight
+    // batches (responses still flow — only the read side is shut), and
+    // exit.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Connection>& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  ReapFinished(/*all=*/true);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void NetServer::TimedWrite(Connection* conn, std::string_view data) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(conn->fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    // Timeout (SO_SNDTIMEO -> EAGAIN) or hard error: mark the connection
+    // dead and shut it down fully so the reader unblocks too. Later
+    // writes become no-ops — a stuck peer costs one timeout, not one
+    // timeout per response line.
+    conn->dead.store(true, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    break;
+  }
+  BytesTxTotal().Add(sent);
+}
+
+void NetServer::DrainInflight(Connection* conn) {
+  std::unique_lock<std::mutex> lock(conn->inflight_mu);
+  conn->inflight_cv.wait(lock, [conn] { return conn->inflight == 0; });
+}
+
+void NetServer::HandleConnection(const std::shared_ptr<Connection>& conn) {
+  // Protocol sniff: NDJSON frames start with '{'; everything else is
+  // treated as HTTP/1.1. MSG_PEEK leaves the byte for the real parser.
+  pollfd pfd{conn->fd, POLLIN, 0};
+  if (::poll(&pfd, 1, options_.io_timeout_ms) <= 0) {
+    return;
+  }
+  char first = 0;
+  if (::recv(conn->fd, &first, 1, MSG_PEEK) != 1) {
+    return;
+  }
+  if (first == '{') {
+    ServeNdjson(conn);
+  } else {
+    ServeHttp(conn);
+  }
+}
+
+void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
+  FrameReader reader(options_.max_frame_bytes);
+  std::vector<char> buf(64 * 1024);
+
+  const auto handle_frame = [&](const std::string& frame) {
+    obs::SpanGuard request_span("net", "request");
+    std::uint64_t id = 0;
+    std::vector<serve::PredictRequest> requests;
+    std::string error;
+    if (!DecodeRequestFrame(frame, &id, &requests, &error)) {
+      FramesMalformedTotal().Increment();
+      std::string line;
+      EncodeMalformedLine(id, error, &line);
+      TimedWrite(conn.get(), line);
+      return;
+    }
+    if (requests.size() > options_.max_batch_requests) {
+      FramesMalformedTotal().Increment();
+      std::string line;
+      EncodeMalformedLine(
+          id, StrFormat("frame has %zu requests; limit is %zu", requests.size(),
+                        options_.max_batch_requests),
+          &line);
+      TimedWrite(conn.get(), line);
+      return;
+    }
+    if (request_span.active()) {
+      request_span.SetArg("requests", static_cast<double>(requests.size()));
+    }
+
+    // Backpressure: past the pipelining window the frame is answered
+    // immediately with per-request REJECTED lines — the client's
+    // line-counting logic stays uniform, and nothing buffers unboundedly.
+    {
+      std::unique_lock<std::mutex> lock(conn->inflight_mu);
+      if (conn->inflight >= options_.max_inflight_batches) {
+        lock.unlock();
+        BatchesRejectedTotal().Increment();
+        std::string lines;
+        serve::PredictResponse rejected;
+        rejected.status = serve::PredictStatus::kRejected;
+        rejected.error = "too many batches in flight on this connection";
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          EncodeResponseLine(id, i, rejected, &lines);
+        }
+        TimedWrite(conn.get(), lines);
+        return;
+      }
+      ++conn->inflight;
+    }
+
+    auto remaining = std::make_shared<std::atomic<std::size_t>>(requests.size());
+    service_->SubmitBatch(
+        std::move(requests),
+        [this, conn, id, remaining](std::size_t index, const serve::PredictResponse& response) {
+          std::string line;
+          EncodeResponseLine(id, index, response, &line);
+          TimedWrite(conn.get(), line);
+          if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(conn->inflight_mu);
+            --conn->inflight;
+            conn->inflight_cv.notify_all();
+          }
+        });
+  };
+
+  for (;;) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, options_.io_timeout_ms);
+    if (pr == 0) {
+      // Idle timeout — but only when truly idle: a connection waiting on
+      // in-flight responses is working, not stuck.
+      std::lock_guard<std::mutex> lock(conn->inflight_mu);
+      if (conn->inflight == 0) {
+        break;
+      }
+      continue;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n == 0) {
+      break;  // EOF: the client is done sending; drain and close
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    BytesRxTotal().Add(static_cast<std::uint64_t>(n));
+    reader.Append(buf.data(), static_cast<std::size_t>(n));
+
+    std::string frame;
+    for (;;) {
+      const FrameReader::Next next = reader.Pop(&frame);
+      if (next == FrameReader::Next::kNeedMore) {
+        break;
+      }
+      if (next == FrameReader::Next::kOversized) {
+        FramesMalformedTotal().Increment();
+        std::string line;
+        EncodeMalformedLine(
+            0, StrFormat("frame exceeds max_frame_bytes (%zu)", options_.max_frame_bytes),
+            &line);
+        TimedWrite(conn.get(), line);
+        continue;
+      }
+      handle_frame(frame);
+    }
+    if (conn->dead.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Every submitted batch must resolve (and its responses flush) before
+  // the fd can be closed: callbacks write to it.
+  DrainInflight(conn.get());
+}
+
+void NetServer::ServeHttp(const std::shared_ptr<Connection>& conn) {
+  obs::SpanGuard request_span("net", "request");
+  // Read the request head (and body, if Content-Length says so). One
+  // request per connection; we always answer Connection: close.
+  std::string data;
+  std::vector<char> buf(16 * 1024);
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (data.size() > options_.max_frame_bytes) {
+      TimedWrite(conn.get(), HttpResponse(431, "Request Header Fields Too Large", "text/plain",
+                                          "header too large\n"));
+      return;
+    }
+    pollfd pfd{conn->fd, POLLIN, 0};
+    if (::poll(&pfd, 1, options_.io_timeout_ms) <= 0) {
+      return;
+    }
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    BytesRxTotal().Add(static_cast<std::uint64_t>(n));
+    data.append(buf.data(), static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = data.find("\r\n");
+  const std::string request_line = data.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    TimedWrite(conn.get(), HttpResponse(400, "Bad Request", "text/plain", "bad request line\n"));
+    return;
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (request_span.active()) {
+    request_span.SetArg("path", path);
+  }
+
+  std::size_t content_length = 0;
+  for (const std::string& header :
+       SplitString(data.substr(line_end + 2, header_end - line_end - 2), '\n')) {
+    if (HeaderNameIs(StripWhitespace(header), "content-length")) {
+      const std::string_view value = StripWhitespace(
+          std::string_view(header).substr(header.find(':') + 1));
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(std::string(value).c_str(), &end, 10);
+      if (errno == ERANGE || parsed > options_.max_frame_bytes) {
+        TimedWrite(conn.get(),
+                   HttpResponse(413, "Payload Too Large", "text/plain", "body too large\n"));
+        return;
+      }
+      content_length = static_cast<std::size_t>(parsed);
+    }
+  }
+
+  std::string body = data.substr(header_end + 4);
+  while (body.size() < content_length) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    if (::poll(&pfd, 1, options_.io_timeout_ms) <= 0) {
+      return;
+    }
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    BytesRxTotal().Add(static_cast<std::uint64_t>(n));
+    body.append(buf.data(), static_cast<std::size_t>(n));
+  }
+  body.resize(content_length);  // drop pipelined bytes past the declared body
+
+  if (method == "GET" && path == "/metrics") {
+    TimedWrite(conn.get(),
+               HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                            service_->StatsPrometheus()));
+    return;
+  }
+  if (method == "GET" && path == "/healthz") {
+    TimedWrite(conn.get(), HttpResponse(200, "OK", "text/plain", "ok\n"));
+    return;
+  }
+  if (method == "POST" && path == "/predict") {
+    // Body: one request frame (same schema as the NDJSON protocol, the
+    // trailing newline optional). Response body: the response lines.
+    std::uint64_t id = 0;
+    std::vector<serve::PredictRequest> requests;
+    std::string error;
+    std::string_view frame(body);
+    while (!frame.empty() && (frame.back() == '\n' || frame.back() == '\r')) {
+      frame.remove_suffix(1);
+    }
+    if (!DecodeRequestFrame(frame, &id, &requests, &error)) {
+      FramesMalformedTotal().Increment();
+      TimedWrite(conn.get(), HttpResponse(400, "Bad Request", "text/plain", error + "\n"));
+      return;
+    }
+    if (requests.size() > options_.max_batch_requests) {
+      FramesMalformedTotal().Increment();
+      TimedWrite(conn.get(), HttpResponse(400, "Bad Request", "text/plain",
+                                          "too many requests in frame\n"));
+      return;
+    }
+    const std::vector<serve::PredictResponse> responses = service_->PredictBatch(requests);
+    std::string lines;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      EncodeResponseLine(id, i, responses[i], &lines);
+    }
+    TimedWrite(conn.get(), HttpResponse(200, "OK", "application/x-ndjson", lines));
+    return;
+  }
+  TimedWrite(conn.get(), HttpResponse(404, "Not Found", "text/plain", "not found\n"));
+}
+
+}  // namespace perfiface::net

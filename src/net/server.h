@@ -1,0 +1,140 @@
+// NetServer: the TCP front end of the prediction service.
+//
+// One listener, one port, two protocols told apart by the first byte of a
+// connection:
+//  - '{' — newline-delimited JSON (src/net/wire.h): the client pipelines
+//    request frames and the server streams response lines back through the
+//    async SubmitBatch path, tagged with the client's frame id. One
+//    connection can keep many batches in flight.
+//  - anything else — HTTP/1.1, one request per connection: GET /metrics
+//    (the unified obs::MetricsRegistry Prometheus scrape), GET /healthz,
+//    POST /predict (a request frame in the body, response lines in the
+//    body back).
+//
+// Robustness contract (docs/serving.md "Wire protocol"):
+//  - per-connection read/write timeouts (a stalled peer cannot pin a
+//    thread or buffer forever; a write timeout marks the connection dead),
+//  - a max-connections cap (excess accepts are closed immediately),
+//  - a max frame size (an oversized frame earns one error line and the
+//    stream resynchronizes at the next newline),
+//  - backpressure: more than max_inflight_batches unanswered frames on one
+//    connection earns per-request REJECTED lines instead of buffering,
+//  - malformed frames earn an error line and never kill the connection,
+//  - Stop() drains: in-flight batches finish and their responses flush
+//    before the connection threads are joined.
+//
+// Thread-safety: Start/Stop/port/open_connections are safe from any
+// thread. The server never outlives the PredictionService it fronts; call
+// Stop() before shutting the service down.
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/serve/service.h"
+
+namespace perfiface::net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port with port()
+  // Accepted connections beyond this are closed immediately (counted in
+  // perfiface_net_connections_rejected_total).
+  std::size_t max_connections = 64;
+  // Frames (and HTTP requests) longer than this earn an error and are
+  // discarded without buffering.
+  std::size_t max_frame_bytes = 1 << 20;
+  // Per-connection pipelining window: unanswered frames beyond this earn
+  // REJECTED response lines instead of entering the service queue.
+  std::size_t max_inflight_batches = 32;
+  // Requests per frame; larger frames are answered with an error line.
+  std::size_t max_batch_requests = 1024;
+  // Read timeout when a connection is idle (no batches in flight) and
+  // write timeout for response lines. A connection with batches in flight
+  // is never idle-closed — its reader waits for the responses to flush.
+  int io_timeout_ms = 30'000;
+};
+
+class NetServer {
+ public:
+  // The service must outlive the server (Stop() before service Shutdown()).
+  explicit NetServer(serve::PredictionService* service, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. False (with *error set) if
+  // the address cannot be bound; the server is then inert.
+  bool Start(std::string* error);
+
+  // The bound port (useful with options.port == 0). 0 before Start.
+  std::uint16_t port() const { return port_; }
+
+  // Graceful shutdown: stop accepting, half-close every connection, let
+  // in-flight batches finish and flush, join every thread. Idempotent.
+  void Stop();
+
+  std::size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One accepted connection; owned by conns_, pinned by response
+  // callbacks via shared_ptr until its last batch resolves.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};  // thread done; reapable
+
+    // Serializes response lines from worker callbacks and the reader.
+    std::mutex write_mu;
+    // Set when a write times out or fails: subsequent writes become
+    // no-ops, so stuck peers cannot stall the worker pool.
+    std::atomic<bool> dead{false};
+
+    // Batches submitted but not yet fully answered on this connection.
+    std::mutex inflight_mu;
+    std::condition_variable inflight_cv;
+    std::size_t inflight = 0;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(const std::shared_ptr<Connection>& conn);
+  void ServeNdjson(const std::shared_ptr<Connection>& conn);
+  void ServeHttp(const std::shared_ptr<Connection>& conn);
+  // Writes all of `data`, respecting io_timeout_ms per poll; on failure
+  // marks the connection dead and half-closes it so the reader unblocks.
+  void TimedWrite(Connection* conn, std::string_view data);
+  // Blocks until every batch submitted on this connection has resolved.
+  static void DrainInflight(Connection* conn);
+  void ReapFinished(bool all);
+
+  serve::PredictionService* service_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;  // guarded by stop_mu_
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::list<std::shared_ptr<Connection>> conns_;
+  std::atomic<std::size_t> open_connections_{0};
+
+  std::uint64_t metrics_collector_ = 0;  // obs::MetricsRegistry handle
+};
+
+}  // namespace perfiface::net
+
+#endif  // SRC_NET_SERVER_H_

@@ -1,0 +1,132 @@
+// Wire codec for the prediction service's TCP front end.
+//
+// The protocol is newline-delimited JSON: every frame is one line, one
+// JSON object, terminated by '\n'. A client sends request frames
+//
+//   {"id": 7, "requests": [{"interface": "jpeg_decoder", ...}, ...]}
+//
+// (a single request object is accepted in place of the array) and the
+// server streams back one response line per request, in completion order,
+// tagged with the client's id and the request's index within the frame:
+//
+//   {"id": 7, "index": 0, "status": "OK", "value": 1.5e6, ...}
+//
+// A malformed frame yields exactly one error line ({"id": N, "malformed":
+// true, "error": "..."}) and never kills the connection. Ids are opaque to
+// the server — clients pick them to demultiplex pipelined batches.
+//
+// Integer fields (id, max_steps, deadline_us, eval_ns) are encoded as bare
+// JSON integers and decoded from the raw digit text, never through double,
+// so values near INT64_MAX round-trip exactly (docs/serving.md "Wire
+// protocol" documents the full frame schema).
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/request.h"
+
+namespace perfiface::net {
+
+// --- Minimal JSON parser ---------------------------------------------------
+//
+// Just enough JSON for the wire protocol: objects, arrays, strings (with
+// escapes; \uXXXX decodes to UTF-8), numbers, true/false/null. Numbers keep
+// their raw source text so integer fields can be re-parsed exactly.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+
+  bool bool_value = false;
+  double number = 0;
+  std::string raw_number;  // exact source text, e.g. "9223372036854775807"
+  std::string str;
+  std::map<std::string, std::unique_ptr<JsonValue>> object;
+  std::vector<std::unique_ptr<JsonValue>> array;
+
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+// Parses exactly one JSON document; trailing non-whitespace is an error.
+// Nesting is capped (64 levels) so hostile input cannot blow the stack.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+// Appends `s` as a JSON string literal (quotes included) to `out`.
+void AppendJsonString(std::string* out, std::string_view s);
+
+// --- Frame reader ----------------------------------------------------------
+
+// Splits a TCP byte stream into newline-delimited frames, enforcing a
+// maximum frame size. After an oversized frame the reader discards bytes
+// until the next newline, reports the frame once as kOversized, and
+// resumes — one bad client frame never desynchronizes the stream.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class Next { kFrame, kNeedMore, kOversized };
+
+  // Appends bytes received from the socket.
+  void Append(const char* data, std::size_t n);
+
+  // Pops the next complete frame into *frame (newline stripped). Returns
+  // kNeedMore when no full frame is buffered yet; kOversized once per
+  // frame whose length exceeded the cap (frame is left empty).
+  Next Pop(std::string* frame);
+
+  // Bytes buffered but not yet popped (excludes skipped oversized bytes).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;  // buffer_ prefix already known newline-free
+  bool skipping_ = false;      // discarding an oversized frame's tail
+  bool report_oversized_ = false;
+};
+
+// --- Frame codec -----------------------------------------------------------
+
+// One response line as decoded off the wire. `malformed` lines carry only
+// id + error (the server could not parse the client's frame).
+struct WireResponse {
+  std::uint64_t id = 0;
+  std::size_t index = 0;
+  bool malformed = false;
+  serve::PredictResponse response;
+};
+
+// Request frame: {"id": N, "requests": [...]}. Appends one line (with
+// trailing '\n') to *out.
+void EncodeRequestFrame(std::uint64_t id, const std::vector<serve::PredictRequest>& requests,
+                        std::string* out);
+
+// Decodes a request frame. On failure returns false with a diagnostic in
+// *error; *id is still filled when the frame parsed far enough to carry
+// one (so the error line can echo it back).
+bool DecodeRequestFrame(std::string_view frame, std::uint64_t* id,
+                        std::vector<serve::PredictRequest>* requests, std::string* error);
+
+// Response line for requests[index] of frame `id`.
+void EncodeResponseLine(std::uint64_t id, std::size_t index,
+                        const serve::PredictResponse& response, std::string* out);
+
+// Error line for a frame the server could not parse.
+void EncodeMalformedLine(std::uint64_t id, std::string_view error, std::string* out);
+
+// Decodes either a response or a malformed line.
+bool DecodeResponseLine(std::string_view line, WireResponse* out, std::string* error);
+
+}  // namespace perfiface::net
+
+#endif  // SRC_NET_WIRE_H_

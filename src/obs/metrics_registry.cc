@@ -6,6 +6,38 @@
 
 namespace perfiface::obs {
 
+namespace {
+
+std::string EscapeExposition(std::string_view in, bool escape_quote) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"':
+        if (escape_quote) {
+          out += "\\\"";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeHelpText(std::string_view text) {
+  return EscapeExposition(text, /*escape_quote=*/false);
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  return EscapeExposition(value, /*escape_quote=*/true);
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;
@@ -41,7 +73,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const std::unique_ptr<Counter>& c : counters_) {
-    out += StrFormat("# HELP %s %s\n", c->name_.c_str(), c->help_.c_str());
+    out += StrFormat("# HELP %s %s\n", c->name_.c_str(), EscapeHelpText(c->help_).c_str());
     out += StrFormat("# TYPE %s counter\n", c->name_.c_str());
     out += StrFormat("%s %llu\n", c->name_.c_str(),
                      static_cast<unsigned long long>(c->value()));

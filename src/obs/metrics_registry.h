@@ -21,9 +21,18 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace perfiface::obs {
+
+// Exposition-format escaping (v0.0.4). HELP text escapes backslash and
+// newline; label values additionally escape the double quote. Every emitter
+// of free-form text into a scrape (HELP strings, interface-name labels)
+// must route through these — an unescaped quote or newline corrupts the
+// whole scrape for the parser.
+std::string EscapeHelpText(std::string_view text);
+std::string EscapeLabelValue(std::string_view value);
 
 class MetricsRegistry {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
 
 namespace perfiface::serve {
 
@@ -192,8 +193,11 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
       "# HELP perfiface_serve_interface_requests_total Requests per interface\n"
       "# TYPE perfiface_serve_interface_requests_total counter\n";
   for (const auto& m : per_interface_) {
+    // Interface names are free-form registry strings; escape them per the
+    // exposition format so a quote/backslash/newline cannot corrupt the
+    // scrape (load-bearing once /metrics is network-served).
     out += StrFormat("perfiface_serve_interface_requests_total{interface=\"%s\"} %llu\n",
-                     m->interface.c_str(),
+                     obs::EscapeLabelValue(m->interface).c_str(),
                      static_cast<unsigned long long>(m->requests.load(std::memory_order_relaxed)));
   }
   out +=
@@ -201,7 +205,7 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
       "# TYPE perfiface_serve_interface_errors_total counter\n";
   for (const auto& m : per_interface_) {
     out += StrFormat("perfiface_serve_interface_errors_total{interface=\"%s\"} %llu\n",
-                     m->interface.c_str(),
+                     obs::EscapeLabelValue(m->interface).c_str(),
                      static_cast<unsigned long long>(m->errors.load(std::memory_order_relaxed)));
   }
 
@@ -213,6 +217,7 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
     if (m->latency.count() == 0) {
       continue;
     }
+    const std::string iface = obs::EscapeLabelValue(m->interface);
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
       const std::uint64_t n = m->latency.BucketCount(b);
@@ -222,16 +227,16 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
       }
       cumulative += n;
       out += StrFormat("perfiface_serve_latency_seconds_bucket{interface=\"%s\",le=\"%.9g\"} %llu\n",
-                       m->interface.c_str(),
+                       iface.c_str(),
                        static_cast<double>(LatencyHistogram::BucketUpperNs(b)) / 1e9,
                        static_cast<unsigned long long>(cumulative));
     }
     out += StrFormat("perfiface_serve_latency_seconds_bucket{interface=\"%s\",le=\"+Inf\"} %llu\n",
-                     m->interface.c_str(), static_cast<unsigned long long>(m->latency.count()));
+                     iface.c_str(), static_cast<unsigned long long>(m->latency.count()));
     out += StrFormat("perfiface_serve_latency_seconds_sum{interface=\"%s\"} %.9g\n",
-                     m->interface.c_str(), static_cast<double>(m->latency.sum_ns()) / 1e9);
+                     iface.c_str(), static_cast<double>(m->latency.sum_ns()) / 1e9);
     out += StrFormat("perfiface_serve_latency_seconds_count{interface=\"%s\"} %llu\n",
-                     m->interface.c_str(), static_cast<unsigned long long>(m->latency.count()));
+                     iface.c_str(), static_cast<unsigned long long>(m->latency.count()));
   }
   return out;
 }

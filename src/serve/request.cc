@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
@@ -35,8 +37,13 @@ std::string CanonicalEntryPlace(const std::string& spec, int default_count) {
       continue;
     }
     char* end = nullptr;
-    const long parsed = std::strtol(item.c_str() + colon + 1, &end, 10);
-    if (end == item.c_str() + colon + 1 || *end != '\0' || parsed < 1) {
+    errno = 0;
+    const long long parsed = std::strtoll(item.c_str() + colon + 1, &end, 10);
+    // An overflowing count must stay malformed-verbatim: strtoll clamps to
+    // LLONG_MAX on ERANGE, so without the errno check every overflowing
+    // spec would alias to one "p:9223372036854775807" key — exactly the
+    // aliasing the contract above forbids.
+    if (end == item.c_str() + colon + 1 || *end != '\0' || errno == ERANGE || parsed < 1) {
       malformed.push_back(item);
       continue;
     }
@@ -52,7 +59,14 @@ std::string CanonicalEntryPlace(const std::string& spec, int default_count) {
     }
     long long count = items[i].second;
     for (std::size_t j = i + 1; j < items.size() && items[j].first == items[i].first; ++j) {
-      count += items[j].second;
+      // Saturate the duplicate merge: two near-LLONG_MAX counts must key as
+      // "as many as representable", not wrap to a negative count (signed
+      // overflow is UB besides producing a nonsense key).
+      if (count > std::numeric_limits<long long>::max() - items[j].second) {
+        count = std::numeric_limits<long long>::max();
+      } else {
+        count += items[j].second;
+      }
     }
     if (!out.empty()) {
       out += ',';
@@ -82,6 +96,19 @@ const char* PredictStatusName(PredictStatus s) {
     case PredictStatus::kRejected: return "REJECTED";
   }
   return "UNKNOWN";
+}
+
+bool PredictStatusFromName(std::string_view name, PredictStatus* out) {
+  for (const PredictStatus s :
+       {PredictStatus::kOk, PredictStatus::kError, PredictStatus::kNotFound,
+        PredictStatus::kDeadlineExceeded, PredictStatus::kResourceExhausted,
+        PredictStatus::kRejected}) {
+    if (name == PredictStatusName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string CanonicalCacheKey(const PredictRequest& req, Representation resolved) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,10 @@ enum class PredictStatus {
 };
 
 const char* PredictStatusName(PredictStatus s);
+
+// Inverse of PredictStatusName; false (and *out untouched) on an unknown
+// name. Used by the wire codec to decode statuses off the network.
+bool PredictStatusFromName(std::string_view name, PredictStatus* out);
 
 struct PredictResponse {
   PredictStatus status = PredictStatus::kRejected;

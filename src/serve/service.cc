@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
@@ -121,6 +123,23 @@ void PredictionService::Shutdown() {
       w.join();
     }
   });
+}
+
+std::uint64_t PredictionService::DeadlineBudgetSteps(std::int64_t remaining_us,
+                                                     std::uint64_t steps_per_us) {
+  if (remaining_us <= 0) {
+    return 0;
+  }
+  const std::uint64_t remaining = static_cast<std::uint64_t>(remaining_us);
+  // Saturate instead of wrapping: deadline_us arrives from the client (and,
+  // with the wire front end, from the network), and a value near INT64_MAX
+  // must mean "effectively unlimited" — the wrapped product can be tiny,
+  // turning a generous deadline into a spurious DEADLINE_EXCEEDED.
+  if (steps_per_us != 0 &&
+      remaining > std::numeric_limits<std::uint64_t>::max() / steps_per_us) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return remaining * steps_per_us;
 }
 
 std::string PredictionService::StatsPrometheus() const {
@@ -370,7 +389,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
       return finish(response);
     }
     const std::uint64_t deadline_steps =
-        static_cast<std::uint64_t>(remaining_us) * options_.steps_per_us;
+        DeadlineBudgetSteps(remaining_us, options_.steps_per_us);
     if (deadline_steps < budget) {
       budget = deadline_steps;
       deadline_limited = true;
@@ -536,8 +555,13 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
       if (colon != std::string::npos) {
         name = item.substr(0, colon);
         char* end = nullptr;
-        const long parsed = std::strtol(item.c_str() + colon + 1, &end, 10);
-        if (end == item.c_str() + colon + 1 || *end != '\0' || parsed < 1) {
+        errno = 0;
+        const long long parsed = std::strtoll(item.c_str() + colon + 1, &end, 10);
+        // The ERANGE check matters on LP64 too: without it an overflowing
+        // count clamps to LLONG_MAX and the narrowing cast below would
+        // truncate it to garbage instead of rejecting the item.
+        if (end == item.c_str() + colon + 1 || *end != '\0' || errno == ERANGE ||
+            parsed < 1 || parsed > std::numeric_limits<int>::max()) {
           response.status = PredictStatus::kError;
           response.error = StrFormat("bad token count in entry place item '%s'", item.c_str());
           return response;

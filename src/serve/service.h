@@ -159,6 +159,14 @@ class PredictionService {
   // Interfaces the service can answer for (registry order).
   std::vector<std::string> InterfaceNames() const;
 
+  // Deadline→budget conversion used by Evaluate: at most remaining_us *
+  // steps_per_us steps, saturating at UINT64_MAX instead of wrapping (a
+  // client-supplied deadline near INT64_MAX must mean "effectively
+  // unlimited", not a tiny wrapped budget and a spurious
+  // DEADLINE_EXCEEDED). Non-positive remaining_us yields 0.
+  static std::uint64_t DeadlineBudgetSteps(std::int64_t remaining_us,
+                                           std::uint64_t steps_per_us);
+
  private:
   using Clock = std::chrono::steady_clock;
 

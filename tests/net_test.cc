@@ -1,0 +1,667 @@
+// Tests for the TCP front end: the JSON wire codec (exact integer
+// round-trips, hostile strings), the frame reader (splits across recv
+// boundaries, oversized frames, resynchronization), and the server itself
+// over loopback (pipelined batches, malformed frames, backpressure, the
+// HTTP endpoints, graceful drain). This binary runs under ThreadSanitizer
+// in CI alongside serve_test.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics_registry.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request.h"
+#include "src/serve/service.h"
+#include "tests/exposition_parser.h"
+
+namespace perfiface::net {
+namespace {
+
+using serve::PredictRequest;
+using serve::PredictResponse;
+using serve::PredictStatus;
+using serve::Representation;
+
+PredictRequest JpegRequest(double orig_size, double compress_rate) {
+  PredictRequest req;
+  req.interface = "jpeg_decoder";
+  req.function = "latency_jpeg_decode";
+  req.attrs = {{"orig_size", orig_size}, {"compress_rate", compress_rate}};
+  return req;
+}
+
+PredictRequest PnetRequest(const std::string& iface, const std::string& entry_place) {
+  PredictRequest req;
+  req.interface = iface;
+  req.representation = Representation::kPnet;
+  req.entry_place = entry_place;
+  req.attrs = {{"bits", 800.0}, {"blocks", 8.0}, {"words", 64.0}, {"num_fields", 6.0}};
+  return req;
+}
+
+// A service + server pair bound to an ephemeral loopback port.
+struct TestServer {
+  explicit TestServer(serve::ServiceOptions sopts = {}, NetServerOptions nopts = {})
+      : service(InterfaceRegistry::Default(), sopts), server(&service, nopts) {
+    std::string error;
+    ok = server.Start(&error);
+    EXPECT_TRUE(ok) << error;
+  }
+  ~TestServer() {
+    server.Stop();
+    service.Shutdown();
+  }
+
+  serve::PredictionService service;
+  NetServer server;
+  bool ok = false;
+};
+
+serve::ServiceOptions TwoWorkers() {
+  serve::ServiceOptions o;
+  o.num_workers = 2;
+  return o;
+}
+
+// Sends a raw HTTP/1.1 request to 127.0.0.1:port and returns the whole
+// response (headers + body). Empty string on any socket failure.
+std::string RawHttp(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// --- JSON parser -----------------------------------------------------------
+
+TEST(JsonParser, ParsesNestedDocument) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a":[1,2.5,-3e2],"b":{"c":"x\nyA"},"d":true,"e":null})", &v,
+                        &error))
+      << error;
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(v.Find("a"), nullptr);
+  EXPECT_EQ(v.Find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("a")->array[1]->number, 2.5);
+  EXPECT_EQ(v.Find("a")->array[2]->raw_number, "-3e2");
+  EXPECT_EQ(v.Find("b")->Find("c")->str, "x\nyA");
+  EXPECT_TRUE(v.Find("d")->bool_value);
+  EXPECT_EQ(v.Find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParser, RejectsTrailingGarbage) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(R"({"a":1} {"b":2})", &v, &error));
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos) << error;
+}
+
+TEST(JsonParser, RejectsHostileInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &v, &error));
+  EXPECT_FALSE(ParseJson("{", &v, &error));
+  EXPECT_FALSE(ParseJson(R"({"a")", &v, &error));
+  EXPECT_FALSE(ParseJson(R"("unterminated)", &v, &error));
+  EXPECT_FALSE(ParseJson(R"({"a":01x})", &v, &error));
+  // Deep nesting must fail cleanly, not blow the stack.
+  EXPECT_FALSE(ParseJson(std::string(10'000, '[') + std::string(10'000, ']'), &v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+// --- FrameReader -----------------------------------------------------------
+
+TEST(FrameReader, ReassemblesAcrossArbitrarySplits) {
+  // Feed the same three frames one byte at a time: every recv boundary is a
+  // potential split point, and the reader must be insensitive to all of
+  // them.
+  const std::string stream = "{\"id\":1}\n{\"id\":2}\r\n{\"id\":3}\n";
+  FrameReader reader(1024);
+  std::vector<std::string> frames;
+  for (const char c : stream) {
+    reader.Append(&c, 1);
+    std::string frame;
+    while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "{\"id\":1}");
+  EXPECT_EQ(frames[1], "{\"id\":2}");  // CRLF stripped
+  EXPECT_EQ(frames[2], "{\"id\":3}");
+}
+
+TEST(FrameReader, ManyFramesInOneAppend) {
+  FrameReader reader(1024);
+  const std::string stream = "a\nb\nc\n";
+  reader.Append(stream.data(), stream.size());
+  std::string frame;
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, "a");
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, "b");
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, "c");
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore);
+}
+
+TEST(FrameReader, OversizedFrameWithNewlineResynchronizes) {
+  FrameReader reader(8);
+  const std::string stream = "0123456789abcdef\nok\n";
+  reader.Append(stream.data(), stream.size());
+  std::string frame;
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kOversized);
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, "ok");
+}
+
+TEST(FrameReader, OversizedFrameWithoutNewlineDoesNotBuffer) {
+  // The newline never arrives within the cap: the reader must drop what it
+  // has (bounded memory), skip to the next newline, and resynchronize.
+  FrameReader reader(8);
+  std::string frame;
+  for (int i = 0; i < 100; ++i) {
+    const std::string chunk(16, 'x');
+    reader.Append(chunk.data(), chunk.size());
+    EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore);
+    EXPECT_LE(reader.buffered(), 32u);  // never the full 1600 bytes
+  }
+  const std::string tail = "tail\nok\n";
+  reader.Append(tail.data(), tail.size());
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kOversized);
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, "ok");
+}
+
+// --- Request/response codec ------------------------------------------------
+
+TEST(WireCodec, RequestFrameRoundTripsExactly) {
+  std::vector<PredictRequest> requests;
+  PredictRequest full;
+  full.interface = "jpeg_decoder";
+  full.representation = Representation::kPnet;
+  full.function = "latency_jpeg_decode";
+  full.attrs = {{"orig_size", 65536.0}, {"compress_rate", 0.2}, {"weird \"name\"", 1.25}};
+  full.children = 3;
+  full.entry_place = "hdr_in:1,vld_in:8";
+  full.tokens = 9;
+  // Values a double cannot represent: the codec must round-trip them
+  // bit-exactly through raw digit text.
+  full.max_steps = 18'446'744'073'709'551'613ULL;
+  full.deadline_us = INT64_MAX - 1;
+  requests.push_back(full);
+  requests.push_back(JpegRequest(1024, 0.5));
+
+  std::string frame;
+  EncodeRequestFrame(77, requests, &frame);
+  ASSERT_EQ(frame.back(), '\n');
+
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequestFrame(std::string_view(frame).substr(0, frame.size() - 1), &id,
+                                 &decoded, &error))
+      << error;
+  EXPECT_EQ(id, 77u);
+  ASSERT_EQ(decoded.size(), 2u);
+  const PredictRequest& d = decoded[0];
+  EXPECT_EQ(d.interface, full.interface);
+  EXPECT_EQ(d.representation, Representation::kPnet);
+  EXPECT_EQ(d.function, full.function);
+  // attrs decode into name-sorted order (JSON objects are unordered);
+  // compare as sets.
+  ASSERT_EQ(d.attrs.size(), full.attrs.size());
+  for (const auto& kv : full.attrs) {
+    bool found = false;
+    for (const auto& dk : d.attrs) {
+      if (dk.first == kv.first && dk.second == kv.second) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << kv.first;
+  }
+  EXPECT_EQ(d.children, full.children);
+  EXPECT_EQ(d.entry_place, full.entry_place);
+  EXPECT_EQ(d.tokens, full.tokens);
+  EXPECT_EQ(d.max_steps, full.max_steps);
+  EXPECT_EQ(d.deadline_us, full.deadline_us);
+}
+
+TEST(WireCodec, SingleObjectShorthand) {
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequestFrame(
+      R"({"id":3,"requests":{"interface":"jpeg_decoder","function":"f"}})", &id, &decoded,
+      &error))
+      << error;
+  EXPECT_EQ(id, 3u);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].interface, "jpeg_decoder");
+}
+
+TEST(WireCodec, RejectsBadFrames) {
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeRequestFrame("not json", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame("[1,2]", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(R"({"id":1})", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(R"({"id":1,"requests":[]})", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(R"({"id":1,"requests":[{}]})", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(R"({"id":1,"requests":[{"interface":""}]})", &id, &decoded,
+                                  &error));
+  EXPECT_FALSE(DecodeRequestFrame(
+      R"({"id":1,"requests":[{"interface":"x","rep":"quantum"}]})", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(
+      R"({"id":1,"requests":[{"interface":"x","attrs":{"a":"str"}}]})", &id, &decoded, &error));
+  EXPECT_FALSE(DecodeRequestFrame(
+      R"({"id":1,"requests":[{"interface":"x","deadline_us":1.5}]})", &id, &decoded, &error));
+  // An id that parsed must be reported even when the frame is bad, so the
+  // server's error line can echo it.
+  EXPECT_FALSE(DecodeRequestFrame(R"({"id":42,"requests":[{}]})", &id, &decoded, &error));
+  EXPECT_EQ(id, 42u);
+}
+
+TEST(WireCodec, ResponseLineRoundTripsEveryStatus) {
+  for (const PredictStatus status :
+       {PredictStatus::kOk, PredictStatus::kError, PredictStatus::kNotFound,
+        PredictStatus::kDeadlineExceeded, PredictStatus::kResourceExhausted,
+        PredictStatus::kRejected}) {
+    PredictResponse resp;
+    resp.status = status;
+    resp.error = status == PredictStatus::kOk ? "" : "oops \"quoted\"\nnewline\\slash";
+    resp.value = 1.25e6;
+    resp.throughput = 0.125;
+    resp.cache_hit = true;
+    resp.eval_ns = 18'446'744'073'709'551'610ULL;
+
+    std::string line;
+    EncodeResponseLine(9, 4, resp, &line);
+    ASSERT_EQ(line.back(), '\n');
+    WireResponse wire;
+    std::string error;
+    ASSERT_TRUE(DecodeResponseLine(std::string_view(line).substr(0, line.size() - 1), &wire,
+                                   &error))
+        << error;
+    EXPECT_EQ(wire.id, 9u);
+    EXPECT_EQ(wire.index, 4u);
+    EXPECT_FALSE(wire.malformed);
+    EXPECT_EQ(wire.response.status, status);
+    EXPECT_EQ(wire.response.error, resp.error);
+    EXPECT_DOUBLE_EQ(wire.response.value, resp.value);
+    EXPECT_DOUBLE_EQ(wire.response.throughput, resp.throughput);
+    EXPECT_TRUE(wire.response.cache_hit);
+    EXPECT_EQ(wire.response.eval_ns, resp.eval_ns);
+  }
+}
+
+TEST(WireCodec, MalformedLineRoundTrips) {
+  std::string line;
+  EncodeMalformedLine(13, "bad \"frame\"\n", &line);
+  WireResponse wire;
+  std::string error;
+  ASSERT_TRUE(DecodeResponseLine(std::string_view(line).substr(0, line.size() - 1), &wire,
+                                 &error))
+      << error;
+  EXPECT_TRUE(wire.malformed);
+  EXPECT_EQ(wire.id, 13u);
+  EXPECT_EQ(wire.response.error, "bad \"frame\"\n");
+}
+
+// --- Server over loopback --------------------------------------------------
+
+TEST(NetServer, RoundTripMatchesInProcessService) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  std::vector<PredictRequest> requests;
+  requests.push_back(JpegRequest(65536, 0.2));
+  requests.push_back(JpegRequest(1024, 0.5));
+  requests.push_back(PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8"));
+  PredictRequest unknown;
+  unknown.interface = "no_such_accelerator";
+  requests.push_back(unknown);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::vector<PredictResponse> over_wire;
+  ASSERT_TRUE(client.Call(requests, &over_wire, &error)) << error;
+
+  const std::vector<PredictResponse> in_process =
+      ts.service.SubmitBatch(requests).Responses();
+  ASSERT_EQ(over_wire.size(), in_process.size());
+  for (std::size_t i = 0; i < in_process.size(); ++i) {
+    EXPECT_EQ(over_wire[i].status, in_process[i].status) << i;
+    EXPECT_DOUBLE_EQ(over_wire[i].value, in_process[i].value) << i;
+    EXPECT_DOUBLE_EQ(over_wire[i].throughput, in_process[i].throughput) << i;
+  }
+}
+
+TEST(NetServer, PipelinesManyBatchesOnOneConnection) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+
+  // Send every frame before reading anything: responses interleave across
+  // batches in completion order and must demultiplex by (id, index).
+  constexpr int kBatches = 16;
+  constexpr int kPerBatch = 4;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<PredictRequest> batch;
+    for (int i = 0; i < kPerBatch; ++i) {
+      batch.push_back(JpegRequest(1000.0 + b * kPerBatch + i, 0.2));
+    }
+    ASSERT_TRUE(client.SendBatch(static_cast<std::uint64_t>(b + 1), batch, &error)) << error;
+  }
+
+  std::set<std::pair<std::uint64_t, std::size_t>> seen;
+  for (int i = 0; i < kBatches * kPerBatch; ++i) {
+    WireResponse wire;
+    ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+    ASSERT_FALSE(wire.malformed) << wire.response.error;
+    EXPECT_EQ(wire.response.status, PredictStatus::kOk) << wire.response.error;
+    EXPECT_TRUE(seen.emplace(wire.id, wire.index).second)
+        << "duplicate response " << wire.id << "/" << wire.index;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kBatches * kPerBatch));
+}
+
+TEST(NetServer, MalformedFramesNeverKillTheConnection) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+
+  // Hand-written hostile frames interleaved with real batches on ONE
+  // connection. Each earns exactly one error line; none kill the loop.
+  const std::vector<std::string> hostile = {
+      "{not json at all\n",
+      "{\"id\":8,\"requests\":[]}\n",
+      "{\"id\":9,\"requests\":[{\"interface\":\"x\",\"rep\":\"bogus\"}]}\n",
+  };
+  ASSERT_TRUE(client.SendBatch(1, {JpegRequest(65536, 0.2)}, &error)) << error;
+  WireResponse wire;
+  ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+  EXPECT_FALSE(wire.malformed);
+  EXPECT_EQ(wire.id, 1u);
+
+  for (const std::string& frame : hostile) {
+    ASSERT_TRUE(client.SendRaw(frame, &error)) << error;
+    WireResponse bad;
+    ASSERT_TRUE(client.ReadResponse(&bad, &error)) << error;
+    EXPECT_TRUE(bad.malformed) << frame;
+    // The connection survived: a valid frame still round-trips.
+    std::vector<PredictResponse> responses;
+    ASSERT_TRUE(client.Call({JpegRequest(2048, 0.3)}, &responses, &error)) << frame << ": " << error;
+    EXPECT_EQ(responses[0].status, PredictStatus::kOk);
+  }
+}
+
+TEST(NetServer, OversizedFrameEarnsErrorLineAndResync) {
+  NetServerOptions nopts;
+  nopts.max_frame_bytes = 256;
+  TestServer ts(TwoWorkers(), nopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::string huge = "{\"id\":1,\"junk\":\"" + std::string(4096, 'x') + "\"}\n";
+  ASSERT_TRUE(client.SendRaw(huge, &error)) << error;
+  WireResponse wire;
+  ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+  EXPECT_TRUE(wire.malformed);
+  EXPECT_NE(wire.response.error.find("max_frame_bytes"), std::string::npos)
+      << wire.response.error;
+  // The stream resynchronized: the next (valid) frame round-trips.
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+  EXPECT_EQ(responses[0].status, PredictStatus::kOk);
+}
+
+TEST(NetServer, BackpressureSurfacesAsRejectedLines) {
+  NetServerOptions nopts;
+  nopts.max_inflight_batches = 0;  // every frame is over the window
+  TestServer ts(TwoWorkers(), nopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  const std::vector<PredictRequest> batch = {JpegRequest(65536, 0.2), JpegRequest(1024, 0.5)};
+  ASSERT_TRUE(client.SendBatch(5, batch, &error)) << error;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    WireResponse wire;
+    ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+    EXPECT_FALSE(wire.malformed);
+    EXPECT_EQ(wire.id, 5u);
+    EXPECT_EQ(wire.response.status, PredictStatus::kRejected);
+    EXPECT_NE(wire.response.error.find("in flight"), std::string::npos);
+  }
+}
+
+TEST(NetServer, ConnectionCapRefusesExtraClients) {
+  NetServerOptions nopts;
+  nopts.max_connections = 1;
+  TestServer ts(TwoWorkers(), nopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient first;
+  std::string error;
+  ASSERT_TRUE(first.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(first.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+
+  // The first connection is still open, so the second is over the cap: the
+  // server closes it immediately and the read sees EOF.
+  NetClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  second.SendBatch(1, {JpegRequest(1, 0.1)}, &error);
+  WireResponse wire;
+  EXPECT_FALSE(second.ReadResponse(&wire, &error));
+}
+
+TEST(NetServer, HugeDeadlineOverTheWireIsNotSpuriouslyExceeded) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  PredictRequest req = JpegRequest(65536, 0.2);
+  req.deadline_us = INT64_MAX;  // pre-fix: the budget multiply wrapped
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call({req}, &responses, &error)) << error;
+  EXPECT_EQ(responses[0].status, PredictStatus::kOk) << responses[0].error;
+}
+
+TEST(NetServer, GracefulStopDrainsAndCloses) {
+  auto ts = std::make_unique<TestServer>(TwoWorkers());
+  ASSERT_TRUE(ts->ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts->server.port(), &error)) << error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+
+  ts->server.Stop();
+  ts->server.Stop();  // idempotent
+  EXPECT_EQ(ts->server.open_connections(), 0u);
+  // The half-close propagated: the client's next read sees EOF.
+  WireResponse wire;
+  EXPECT_FALSE(client.ReadResponse(&wire, &error));
+  ts.reset();  // destructor Stop + service Shutdown must also be clean
+}
+
+// --- HTTP endpoints --------------------------------------------------------
+
+TEST(NetServerHttp, HealthzAndNotFound) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+  int status = 0;
+  std::string body;
+  std::string error;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/healthz", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/no_such_path", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+}
+
+TEST(NetServerHttp, MetricsScrapePassesStrictParser) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+  // Put traffic through first so histogram families render too.
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/metrics", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  std::vector<testing::ExpositionSample> samples;
+  ASSERT_TRUE(testing::ParseExposition(body, &samples, &error)) << error;
+  const auto has = [&](const std::string& name) {
+    for (const auto& s : samples) {
+      if (s.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("perfiface_net_connections_total"));
+  EXPECT_TRUE(has("perfiface_net_bytes_rx_total"));
+  EXPECT_TRUE(has("perfiface_net_bytes_tx_total"));
+  EXPECT_TRUE(has("perfiface_net_frames_malformed_total"));
+  EXPECT_TRUE(has("perfiface_net_open_connections"));
+  EXPECT_TRUE(has("perfiface_serve_requests_total"));
+}
+
+TEST(NetServerHttp, HostileInterfaceNamesSurviveTheScrape) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  // A collector with label values the exposition format must escape: a
+  // quote, a backslash, and a newline. Pre-fix these corrupted the scrape.
+  const std::string hostile = "evil\"name\\with\nnewline";
+  serve::ServiceMetrics metrics({hostile});
+  metrics.RecordRequest(0, 1234, /*ok=*/true);
+  const std::uint64_t handle = obs::MetricsRegistry::Global().RegisterCollector(
+      [&metrics](std::string* out) { *out += metrics.DumpPrometheus(0); });
+
+  int status = 0;
+  std::string body;
+  std::string error;
+  const bool fetched =
+      HttpGet("127.0.0.1", ts.server.port(), "/metrics", &status, &body, &error);
+  obs::MetricsRegistry::Global().Unregister(handle);
+  ASSERT_TRUE(fetched) << error;
+  ASSERT_EQ(status, 200);
+
+  std::vector<testing::ExpositionSample> samples;
+  ASSERT_TRUE(testing::ParseExposition(body, &samples, &error)) << error;
+  // The hostile name must round-trip through the escaping, not merely
+  // survive: the parser's decoded label equals the original string.
+  bool found = false;
+  for (const auto& s : samples) {
+    const auto it = s.labels.find("interface");
+    if (it != s.labels.end() && it->second == hostile) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetServerHttp, PostPredictRoundTrips) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+  const std::string frame =
+      "{\"id\":21,\"requests\":[{\"interface\":\"jpeg_decoder\","
+      "\"function\":\"latency_jpeg_decode\","
+      "\"attrs\":{\"orig_size\":65536,\"compress_rate\":0.2}}]}";
+  const std::string response = RawHttp(
+      ts.server.port(),
+      "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: " + std::to_string(frame.size()) +
+          "\r\nConnection: close\r\n\r\n" + frame);
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  WireResponse wire;
+  std::string error;
+  ASSERT_TRUE(DecodeResponseLine(std::string_view(body).substr(0, body.size() - 1), &wire,
+                                 &error))
+      << error << ": " << body;
+  EXPECT_EQ(wire.id, 21u);
+  EXPECT_EQ(wire.response.status, PredictStatus::kOk);
+  EXPECT_GT(wire.response.value, 0);
+}
+
+TEST(NetServerHttp, PostPredictRejectsBadBody) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+  const std::string response = RawHttp(
+      ts.server.port(),
+      "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+}  // namespace
+}  // namespace perfiface::net

@@ -27,6 +27,7 @@
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"
 #include "src/serve/service.h"
+#include "tests/exposition_parser.h"
 #include "src/sim/engine.h"
 #include "src/sim/fifo.h"
 #include "src/sim/module.h"
@@ -714,6 +715,52 @@ TEST(ServiceMetricsPrometheus, HistogramIsCumulativeAndLabeled) {
             std::string::npos);
   EXPECT_NE(text.find("perfiface_serve_latency_seconds_count{interface=\"iface_a\"} 2"),
             std::string::npos);
+}
+
+// Regression: HELP text and label values used to be emitted verbatim, so a
+// backslash or newline in either corrupted the scrape — everything after it
+// parsed as garbage lines. Both must round-trip through the v0.0.4 escaping.
+TEST(MetricsRegistry, HostileHelpTextAndLabelValuesAreEscaped) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("obs_test_hostile_help_total",
+                      "line one\nline two with back\\slash");
+
+  const std::string text = registry.RenderPrometheus();
+  std::string error;
+  ASSERT_TRUE(testing::ParseExposition(text, nullptr, &error)) << error;
+  EXPECT_NE(text.find("# HELP obs_test_hostile_help_total "
+                      "line one\\nline two with back\\\\slash"),
+            std::string::npos);
+
+  // The escaping helpers round-trip through the strict parser's decoder.
+  EXPECT_EQ(obs::EscapeHelpText("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(obs::EscapeLabelValue("say \"hi\"\\now\n"), "say \\\"hi\\\"\\\\now\\n");
+}
+
+TEST(ServiceMetricsPrometheus, HostileInterfaceNamesKeepTheScrapeParseable) {
+  const std::string hostile = "evil\"name\\with\nnewline";
+  serve::ServiceMetrics metrics({hostile, "plain"});
+  metrics.RecordRequest(metrics.IndexOf(hostile), /*latency_ns=*/1000, /*ok=*/false);
+  metrics.RecordRequest(metrics.IndexOf("plain"), /*latency_ns=*/2000, /*ok=*/true);
+
+  const std::string text = metrics.DumpPrometheus(/*queue_depth=*/0);
+  std::vector<testing::ExpositionSample> samples;
+  std::string error;
+  ASSERT_TRUE(testing::ParseExposition(text, &samples, &error)) << error;
+  // The decoded label equals the original hostile string: escaped on the
+  // wire, intact after parsing.
+  bool found_hostile = false;
+  bool found_plain = false;
+  for (const auto& s : samples) {
+    const auto it = s.labels.find("interface");
+    if (it == s.labels.end()) {
+      continue;
+    }
+    found_hostile = found_hostile || it->second == hostile;
+    found_plain = found_plain || it->second == "plain";
+  }
+  EXPECT_TRUE(found_hostile);
+  EXPECT_TRUE(found_plain);
 }
 
 TEST(ServiceMetricsPrometheus, NotConsultedLeavesCacheCountersAlone) {

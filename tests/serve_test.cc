@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -117,6 +119,35 @@ TEST(CanonicalCacheKey, DistinguishesInjectionPlans) {
   EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:1,vld_in:9"));
   EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:2,vld_in:8"));
   EXPECT_NE(key("hdr_in:1,vld_in:8"), key("hdr_in:1"));
+}
+
+// Regression: counts past INT64_MAX used to go through strtol unchecked, so
+// ERANGE clamped every overflowing spec to the same LLONG_MAX and two
+// requests injecting different (absurd) counts aliased to one cache entry —
+// one bogus prediction answered both. Overflowing specs must stay distinct
+// (they are kept verbatim and rejected later, at evaluation).
+TEST(CanonicalCacheKey, OverflowingCountsDoNotAlias) {
+  const auto key = [](const std::string& entry_place) {
+    return CanonicalCacheKey(PnetRequest("jpeg_decoder", entry_place), Representation::kPnet);
+  };
+  EXPECT_NE(key("vld_in:99999999999999999999"), key("vld_in:88888888888888888888"));
+  // An overflowing count never collides with the value it used to clamp to.
+  EXPECT_NE(key("vld_in:99999999999999999999"), key("vld_in:9223372036854775807"));
+}
+
+// Regression: merging duplicate places summed counts with a plain +=, so two
+// near-LLONG_MAX items wrapped to a negative total in the canonical key. The
+// merge must saturate at INT64_MAX instead.
+TEST(CanonicalCacheKey, DuplicateMergeSaturatesInsteadOfWrapping) {
+  const auto key = [](const std::string& entry_place) {
+    return CanonicalCacheKey(PnetRequest("jpeg_decoder", entry_place), Representation::kPnet);
+  };
+  const std::string k =
+      key("vld_in:9223372036854775807,vld_in:9223372036854775806");
+  EXPECT_NE(k.find("9223372036854775807"), std::string::npos) << k;
+  EXPECT_EQ(k.find('-'), std::string::npos) << k;
+  // Saturation is idempotent: adding more maxed items changes nothing.
+  EXPECT_EQ(k, key("vld_in:9223372036854775807,vld_in:9223372036854775807"));
 }
 
 TEST(ShardedLruCache, BasicHitMissEvict) {
@@ -281,6 +312,54 @@ TEST(PredictionService, DeadlineDerivedBudgetReportsDeadlineExceeded) {
   const PredictResponse resp = service.Predict(req);
   EXPECT_EQ(resp.status, PredictStatus::kDeadlineExceeded);
   EXPECT_GE(service.metrics().deadline_exceeded(), 1u);
+}
+
+// Regression: the deadline→step-budget conversion multiplied remaining_us by
+// steps_per_us in uint64 without an overflow check, so a huge deadline
+// wrapped to a tiny budget and the most patient caller was the first one
+// killed with RESOURCE_EXHAUSTED.
+TEST(PredictionService, DeadlineBudgetStepsSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // Pre-fix, INT64_MAX * 200 wrapped to a small number; now it saturates.
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(INT64_MAX, 200), kMax);
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(INT64_MAX, 3), kMax);
+  // Non-overflowing products stay exact — including the largest one that
+  // fits: INT64_MAX * 2 is 2^64 - 2, one short of the saturation value.
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(INT64_MAX, 2), kMax - 1);
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(5, 200), 200u * 5u);
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(1, 1), 1u);
+  // Expired or degenerate inputs yield a zero budget, never a wrap.
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(0, 200), 0u);
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(-7, 200), 0u);
+  EXPECT_EQ(PredictionService::DeadlineBudgetSteps(INT64_MAX, 0), 0u);
+}
+
+TEST(PredictionService, FarFutureDeadlineIsNotSpuriouslyExhausted) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  PredictRequest req = ProtoaccRequest(32, 20, 8);
+  req.deadline_us = INT64_MAX;  // effectively "no deadline"
+  const PredictResponse resp = service.Predict(req);
+  EXPECT_TRUE(resp.ok()) << resp.error;
+}
+
+// Regression companion to OverflowingCountsDoNotAlias: the evaluator, not
+// the canonicalizer, is where an overflowing or absurd token count must be
+// rejected — as an error, not a clamp.
+TEST(PredictionService, PnetRejectsOverflowingTokenCounts) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  PredictRequest req = PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:99999999999999999999");
+  const PredictResponse resp = service.Predict(req);
+  EXPECT_EQ(resp.status, PredictStatus::kError);
+  EXPECT_NE(resp.error.find("token count"), std::string::npos) << resp.error;
+  // Merely large-but-parseable counts past INT_MAX are rejected too.
+  req.entry_place = "hdr_in:1,vld_in:4294967296";
+  const PredictResponse big = service.Predict(req);
+  EXPECT_EQ(big.status, PredictStatus::kError);
+  EXPECT_NE(big.error.find("token count"), std::string::npos) << big.error;
 }
 
 TEST(PredictionService, PnetQueryQuiescesAndPredicts) {

@@ -34,6 +34,13 @@
 //                          (open in Perfetto; docs/observability.md)
 //   --trace-sample N       record 1 of every N spans/instants (default 1)
 //   --metrics              print the Prometheus scrape after the queries
+//   --connect HOST:PORT    query a running perfiface_server over TCP
+//                          instead of an in-process service (the NDJSON
+//                          wire protocol; --async pipelines every repeat
+//                          before collecting). --metrics fetches the
+//                          server's GET /metrics. Service options
+//                          (--workers, --cache, ...) are ignored — they
+//                          belong to the server process.
 //
 // Example:
 //   serve_tool query jpeg_decoder latency_jpeg_decode orig_size=65536 compress_rate=0.18
@@ -48,6 +55,7 @@
 #include "src/common/loc.h"
 #include "src/common/strings.h"
 #include "src/core/registry.h"
+#include "src/net/client.h"
 #include "src/obs/trace.h"
 #include "src/serve/service.h"
 
@@ -63,7 +71,8 @@ int Usage() {
                "         --deadline-us N --max-steps N --workers N --cache N\n"
                "         --repeat N --no-memo --no-compile --async --json --stats\n"
                "         --stats-format text|json|prometheus\n"
-               "         --trace FILE --trace-sample N --metrics\n");
+               "         --trace FILE --trace-sample N --metrics\n"
+               "         --connect HOST:PORT (query a perfiface_server over TCP)\n");
   return 2;
 }
 
@@ -80,7 +89,36 @@ struct CliOptions {
   std::string trace_path;
   std::uint64_t trace_sample = 1;
   bool metrics = false;
+  std::string connect;  // HOST:PORT; empty = in-process service
 };
+
+// Splits "HOST:PORT"; false if the port is missing or out of range.
+bool ParseHostPort(const std::string& spec, std::string* host, std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return false;
+  }
+  const long parsed = std::atol(spec.c_str() + colon + 1);
+  if (parsed < 1 || parsed > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+// --metrics against --connect: scrape the server, not this process.
+int PrintRemoteMetrics(const std::string& host, std::uint16_t port) {
+  int status = 0;
+  std::string body;
+  std::string error;
+  if (!net::HttpGet(host, port, "/metrics", &status, &body, &error) || status != 200) {
+    std::fprintf(stderr, "GET /metrics failed: %s (status %d)\n", error.c_str(), status);
+    return 1;
+  }
+  std::printf("%s", body.c_str());
+  return 0;
+}
 
 // Starts the tracer when --trace was requested; on destruction writes the
 // Chrome JSON file and a one-line summary pointer to stderr.
@@ -237,6 +275,10 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
     cli->async = true;
     return 1;
   }
+  if (arg == "--connect" && value(&v)) {
+    cli->connect = v;
+    return 2;
+  }
   return 0;
 }
 
@@ -324,12 +366,94 @@ int CmdQuery(const std::vector<std::string>& args) {
   if (!ParseQueryWords(words, &req)) {
     return Usage();
   }
+  if (!cli.connect.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseHostPort(cli.connect, &host, &port)) {
+      return Usage();
+    }
+    net::NetClient client;
+    std::string error;
+    std::vector<PredictResponse> responses;
+    if (!client.Connect(host, port, &error) || !client.Call({req}, &responses, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    PrintResponse(req, responses[0], cli.json);
+    if (cli.metrics && PrintRemoteMetrics(host, port) != 0) {
+      return 1;
+    }
+    return responses[0].ok() ? 0 : 1;
+  }
   TraceSession trace(cli);
   PredictionService service(InterfaceRegistry::Default(), cli.service);
   const PredictResponse resp = service.Predict(req);
   PrintResponse(req, resp, cli.json);
   PrintStats(service, cli);
   return resp.ok() ? 0 : 1;
+}
+
+// `run` against --connect: every repeat is one request frame. --async
+// pipelines all of them before reading anything (the whole point of the
+// wire protocol); otherwise each repeat round-trips synchronously.
+int RunRemote(const std::vector<PredictRequest>& requests, const CliOptions& cli) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseHostPort(cli.connect, &host, &port)) {
+    return Usage();
+  }
+  net::NetClient client;
+  std::string error;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const int total = std::max(1, cli.repeat);
+  std::vector<PredictResponse> last(requests.size());
+  if (cli.async) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(static_cast<std::size_t>(total));
+    for (int r = 0; r < total; ++r) {
+      ids.push_back(client.NextId());
+      if (!client.SendBatch(ids.back(), requests, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+    }
+    const std::size_t expected = requests.size() * static_cast<std::size_t>(total);
+    for (std::size_t i = 0; i < expected; ++i) {
+      net::WireResponse wire;
+      if (!client.ReadResponse(&wire, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      if (wire.malformed) {
+        std::fprintf(stderr, "server rejected frame: %s\n", wire.response.error.c_str());
+        return 1;
+      }
+      if (wire.id == ids.back() && wire.index < last.size()) {
+        last[wire.index] = wire.response;
+      }
+    }
+  } else {
+    for (int r = 0; r < total; ++r) {
+      if (!client.Call(requests, &last, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    PrintResponse(requests[i], last[i], cli.json);
+    if (!last[i].ok()) {
+      ++failures;
+    }
+  }
+  if (cli.metrics && PrintRemoteMetrics(host, port) != 0) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int CmdRun(const std::vector<std::string>& args) {
@@ -365,6 +489,10 @@ int CmdRun(const std::vector<std::string>& args) {
       return 2;
     }
     requests.push_back(std::move(req));
+  }
+
+  if (!cli.connect.empty()) {
+    return RunRemote(requests, cli);
   }
 
   TraceSession trace(cli);
