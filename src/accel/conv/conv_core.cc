@@ -1,0 +1,135 @@
+#include "src/accel/conv/conv_core.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace perfiface {
+namespace {
+
+std::int8_t Requantize(std::int32_t acc, int shift) {
+  const std::int32_t shifted = shift >= 0 ? (acc >> shift) : acc;
+  return static_cast<std::int8_t>(std::clamp<std::int32_t>(shifted, -128, 127));
+}
+
+// Zero-padded input read; oob coordinates are the pad region.
+std::int8_t InputAt(const ConvLayer& layer, const std::vector<std::int8_t>& input,
+                    std::uint32_t c, std::int64_t y, std::int64_t x) {
+  if (y < 0 || x < 0 || y >= static_cast<std::int64_t>(layer.height) ||
+      x >= static_cast<std::int64_t>(layer.width)) {
+    return 0;
+  }
+  return input[(static_cast<std::size_t>(c) * layer.height + static_cast<std::size_t>(y)) *
+                   layer.width +
+               static_cast<std::size_t>(x)];
+}
+
+std::int8_t WeightAt(const ConvLayer& layer, const std::vector<std::int8_t>& weights,
+                     std::uint32_t k, std::uint32_t c, std::uint32_t r, std::uint32_t s) {
+  return weights[((static_cast<std::size_t>(k) * layer.channels + c) * layer.kernel_h + r) *
+                     layer.kernel_w +
+                 s];
+}
+
+}  // namespace
+
+ConvTensors MakeConvTensors(const ConvLayer& layer, std::uint64_t seed) {
+  PI_CHECK(layer.valid());
+  SplitMix64 rng(seed);
+  ConvTensors t;
+  t.input.resize(static_cast<std::size_t>(layer.channels) * layer.height * layer.width);
+  t.weights.resize(static_cast<std::size_t>(layer.filters) * layer.channels * layer.kernel_h *
+                   layer.kernel_w);
+  t.bias.resize(layer.filters);
+  for (std::int8_t& v : t.input) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.NextBelow(256)) - 128);
+  }
+  for (std::int8_t& v : t.weights) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.NextBelow(256)) - 128);
+  }
+  for (std::int8_t& v : t.bias) {
+    v = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.NextBelow(256)) - 128);
+  }
+  return t;
+}
+
+std::vector<std::int8_t> NaiveConvRef(const ConvLayer& layer, const ConvTensors& t, int shift) {
+  PI_CHECK(layer.valid());
+  const std::uint32_t oh = layer.out_height();
+  const std::uint32_t ow = layer.out_width();
+  std::vector<std::int8_t> out(static_cast<std::size_t>(layer.filters) * oh * ow);
+  for (std::uint32_t k = 0; k < layer.filters; ++k) {
+    for (std::uint32_t y = 0; y < oh; ++y) {
+      for (std::uint32_t x = 0; x < ow; ++x) {
+        std::int32_t acc = t.bias[k];
+        for (std::uint32_t c = 0; c < layer.channels; ++c) {
+          for (std::uint32_t r = 0; r < layer.kernel_h; ++r) {
+            for (std::uint32_t s = 0; s < layer.kernel_w; ++s) {
+              const std::int64_t in_y =
+                  static_cast<std::int64_t>(y) * layer.stride + r - layer.pad;
+              const std::int64_t in_x =
+                  static_cast<std::int64_t>(x) * layer.stride + s - layer.pad;
+              acc += static_cast<std::int32_t>(InputAt(layer, t.input, c, in_y, in_x)) *
+                     static_cast<std::int32_t>(WeightAt(layer, t.weights, k, c, r, s));
+            }
+          }
+        }
+        out[(static_cast<std::size_t>(k) * oh + y) * ow + x] = Requantize(acc, shift);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int8_t> RunConvCore(const ConvLayer& layer, const ConvTile& tile,
+                                     const ConvTensors& t, int shift) {
+  PI_CHECK(layer.valid());
+  PI_CHECK(tile.tile_h > 0 && tile.tile_w > 0 && tile.tile_k > 0);
+  const std::uint32_t oh = layer.out_height();
+  const std::uint32_t ow = layer.out_width();
+  const std::uint32_t flat = layer.channels * layer.kernel_h * layer.kernel_w;
+  std::vector<std::int8_t> out(static_cast<std::size_t>(layer.filters) * oh * ow);
+
+  // Tile walk order mirrors LowerConv: k-tiles outermost (weight reuse),
+  // then row-major spatial tiles.
+  for (std::uint32_t k0 = 0; k0 < layer.filters; k0 += tile.tile_k) {
+    const std::uint32_t k_end = std::min(k0 + tile.tile_k, layer.filters);
+    for (std::uint32_t h0 = 0; h0 < oh; h0 += tile.tile_h) {
+      const std::uint32_t h_end = std::min(h0 + tile.tile_h, oh);
+      for (std::uint32_t w0 = 0; w0 < ow; w0 += tile.tile_w) {
+        const std::uint32_t w_end = std::min(w0 + tile.tile_w, ow);
+        for (std::uint32_t k = k0; k < k_end; ++k) {
+          for (std::uint32_t y = h0; y < h_end; ++y) {
+            for (std::uint32_t x = w0; x < w_end; ++x) {
+              // 4-wide MAC groups over the flattened C*R*S axis, each group
+              // reduced into the int32 accumulator in one cycle.
+              std::int32_t acc = t.bias[k];
+              for (std::uint32_t g0 = 0; g0 < flat; g0 += kConvMacWidth) {
+                std::int32_t group = 0;
+                const std::uint32_t g_end = std::min(g0 + kConvMacWidth, flat);
+                for (std::uint32_t g = g0; g < g_end; ++g) {
+                  const std::uint32_t c = g / (layer.kernel_h * layer.kernel_w);
+                  const std::uint32_t rs = g % (layer.kernel_h * layer.kernel_w);
+                  const std::uint32_t r = rs / layer.kernel_w;
+                  const std::uint32_t s = rs % layer.kernel_w;
+                  const std::int64_t in_y =
+                      static_cast<std::int64_t>(y) * layer.stride + r - layer.pad;
+                  const std::int64_t in_x =
+                      static_cast<std::int64_t>(x) * layer.stride + s - layer.pad;
+                  group += static_cast<std::int32_t>(InputAt(layer, t.input, c, in_y, in_x)) *
+                           static_cast<std::int32_t>(WeightAt(layer, t.weights, k, c, r, s));
+                }
+                acc += group;
+              }
+              out[(static_cast<std::size_t>(k) * oh + y) * ow + x] = Requantize(acc, shift);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace perfiface

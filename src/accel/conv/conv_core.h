@@ -1,0 +1,43 @@
+// Functional model of the conv engine's datapath: int8 2D convolution with
+// int32 accumulation and saturating requantization on the store path. The
+// timing model lives in conv_sim.*; this file makes the accelerator
+// functionally real so tests can check actual numerics against a naive
+// reference, tile order and 4-wide MAC grouping included.
+#ifndef SRC_ACCEL_CONV_CONV_CORE_H_
+#define SRC_ACCEL_CONV_CONV_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/conv/conv_layer.h"
+
+namespace perfiface {
+
+// Dense tensors in the layouts the DMA engines stream: input CHW, weights
+// KCRS, output KHW (single image; int8 after requantization).
+struct ConvTensors {
+  std::vector<std::int8_t> input;    // [C][H][W]
+  std::vector<std::int8_t> weights;  // [K][C][R][S]
+  std::vector<std::int8_t> bias;     // [K], added pre-shift
+};
+
+// Deterministic pseudo-random tensors for a layer (tests, examples).
+ConvTensors MakeConvTensors(const ConvLayer& layer, std::uint64_t seed);
+
+// Naive 6-loop reference: out[k][oh][ow] = requant(bias[k] +
+// sum_{c,r,s} in[c][oh*stride+r-pad][ow*stride+s-pad] * w[k][c][r][s]).
+// Out-of-bounds input reads are zero (padding). `shift` is the saturating
+// arithmetic right-shift of the requantizer.
+std::vector<std::int8_t> NaiveConvRef(const ConvLayer& layer, const ConvTensors& t, int shift);
+
+// The engine's execution: walks tiles exactly as LowerConv orders them
+// (weight-stationary k-tiles outermost, spatial tiles inner) and reduces
+// each output element in 4-wide MAC groups over the flattened C*R*S axis.
+// Integer addition is associative, so this must match NaiveConvRef
+// bit-exactly — the test that pins the lowering to the datapath.
+std::vector<std::int8_t> RunConvCore(const ConvLayer& layer, const ConvTile& tile,
+                                     const ConvTensors& t, int shift);
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_CONV_CONV_CORE_H_

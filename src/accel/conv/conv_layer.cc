@@ -1,0 +1,243 @@
+#include "src/accel/conv/conv_layer.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+
+std::string ConvLayer::ToString() const {
+  return StrFormat("conv %ux%ux%u -> %u filters %ux%u stride %u pad %u", height, width,
+                   channels, filters, kernel_h, kernel_w, stride, pad);
+}
+
+std::string ConvTile::ToString() const {
+  return StrFormat("tile %ux%ux%u", tile_h, tile_w, tile_k);
+}
+
+namespace {
+
+std::uint32_t CeilDiv(std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::uint32_t ConvWeightWords(const ConvLayer& layer, std::uint32_t k_eff) {
+  return CeilDiv(k_eff * layer.channels * layer.kernel_h * layer.kernel_w, kConvDmaWordBytes);
+}
+
+std::uint32_t ConvInputWords(const ConvLayer& layer, std::uint32_t eff_th,
+                             std::uint32_t eff_tw) {
+  // The line buffer holds the full receptive field of the output tile. The
+  // DMA engine fetches the padded patch as-is (the halo rows cost bandwidth
+  // whether or not they land in the pad region — the address generator does
+  // not special-case edges).
+  const std::uint32_t in_h = (eff_th - 1) * layer.stride + layer.kernel_h;
+  const std::uint32_t in_w = (eff_tw - 1) * layer.stride + layer.kernel_w;
+  return CeilDiv(in_h * in_w * layer.channels, kConvDmaWordBytes);
+}
+
+std::uint32_t ConvStoreWords(std::uint32_t eff_th, std::uint32_t eff_tw, std::uint32_t k_eff) {
+  return CeilDiv(eff_th * eff_tw * k_eff, kConvDmaWordBytes);
+}
+
+std::uint32_t ConvMacGroups(const ConvLayer& layer, std::uint32_t eff_th, std::uint32_t eff_tw,
+                            std::uint32_t k_eff) {
+  // One output element needs C*R*S multiplies; the array retires 4 per
+  // cycle, one group per cycle in steady state.
+  const std::uint32_t per_output =
+      CeilDiv(layer.channels * layer.kernel_h * layer.kernel_w, kConvMacWidth);
+  return eff_th * eff_tw * k_eff * per_output;
+}
+
+ConvProgram LowerConv(const ConvLayer& layer, const ConvTile& tile) {
+  PI_CHECK(layer.valid());
+  PI_CHECK(tile.tile_h > 0 && tile.tile_w > 0 && tile.tile_k > 0);
+  const std::uint32_t oh = layer.out_height();
+  const std::uint32_t ow = layer.out_width();
+
+  ConvProgram program;
+  for (std::uint32_t k0 = 0; k0 < layer.filters; k0 += tile.tile_k) {
+    const std::uint32_t k_eff = std::min(tile.tile_k, layer.filters - k0);
+    ConvCmd wload;
+    wload.op = ConvOp::kWeightLoad;
+    wload.dma_words = ConvWeightWords(layer, k_eff);
+    program.push_back(wload);
+
+    bool first_mac_of_ktile = true;
+    for (std::uint32_t h0 = 0; h0 < oh; h0 += tile.tile_h) {
+      const std::uint32_t eff_th = std::min(tile.tile_h, oh - h0);
+      for (std::uint32_t w0 = 0; w0 < ow; w0 += tile.tile_w) {
+        const std::uint32_t eff_tw = std::min(tile.tile_w, ow - w0);
+
+        ConvCmd iload;
+        iload.op = ConvOp::kInputLoad;
+        iload.dma_words = ConvInputWords(layer, eff_th, eff_tw);
+        program.push_back(iload);
+
+        ConvCmd mac;
+        mac.op = ConvOp::kMac;
+        mac.groups = ConvMacGroups(layer, eff_th, eff_tw, k_eff);
+        mac.pop_weights = first_mac_of_ktile;
+        first_mac_of_ktile = false;
+        program.push_back(mac);
+
+        ConvCmd store;
+        store.op = ConvOp::kStore;
+        store.dma_words = ConvStoreWords(eff_th, eff_tw, k_eff);
+        program.push_back(store);
+      }
+    }
+  }
+  ConvCmd finish;
+  finish.op = ConvOp::kFinish;
+  program.push_back(finish);
+  return program;
+}
+
+std::string ValidateConvProgram(const ConvProgram& program) {
+  if (program.empty()) {
+    return "empty program";
+  }
+  if (program.back().op != ConvOp::kFinish) {
+    return "program must end in FINISH";
+  }
+  bool weights_pending = false;  // a WLOAD not yet latched by a MAC
+  bool input_pending = false;    // an ILOAD not yet consumed by a MAC
+  bool mac_pending = false;      // a MAC not yet drained by a STORE
+  std::size_t wloads = 0;
+  std::size_t macs = 0;
+  for (std::size_t i = 0; i + 1 < program.size(); ++i) {
+    const ConvCmd& cmd = program[i];
+    switch (cmd.op) {
+      case ConvOp::kWeightLoad:
+        if (cmd.dma_words == 0) {
+          return "WLOAD with zero dma_words";
+        }
+        if (weights_pending) {
+          return "back-to-back WLOAD without an intervening latching MAC";
+        }
+        weights_pending = true;
+        ++wloads;
+        break;
+      case ConvOp::kInputLoad:
+        if (cmd.dma_words == 0) {
+          return "ILOAD with zero dma_words";
+        }
+        if (input_pending) {
+          return "back-to-back ILOAD without an intervening MAC";
+        }
+        input_pending = true;
+        break;
+      case ConvOp::kMac:
+        if (cmd.groups == 0) {
+          return "MAC with zero groups";
+        }
+        if (!input_pending) {
+          return "MAC without a preceding ILOAD";
+        }
+        if (cmd.pop_weights) {
+          if (!weights_pending) {
+            return "weight-latching MAC without a preceding WLOAD";
+          }
+          weights_pending = false;
+        } else if (macs == 0) {
+          return "first MAC must latch weights";
+        }
+        input_pending = false;
+        if (mac_pending) {
+          return "back-to-back MAC without an intervening STORE";
+        }
+        mac_pending = true;
+        ++macs;
+        break;
+      case ConvOp::kStore:
+        if (cmd.dma_words == 0) {
+          return "STORE with zero dma_words";
+        }
+        if (!mac_pending) {
+          return "STORE without a preceding MAC";
+        }
+        mac_pending = false;
+        break;
+      case ConvOp::kFinish:
+        return "FINISH before the end of the program";
+    }
+  }
+  if (wloads == 0 || macs == 0) {
+    return "program does no work";
+  }
+  if (weights_pending || input_pending || mac_pending) {
+    return "program ends with an unconsumed WLOAD/ILOAD/MAC";
+  }
+  return "";
+}
+
+std::string DisassembleConv(const ConvProgram& program) {
+  std::string out;
+  for (const ConvCmd& cmd : program) {
+    switch (cmd.op) {
+      case ConvOp::kWeightLoad:
+        out += StrFormat("WLOAD words=%u\n", cmd.dma_words);
+        break;
+      case ConvOp::kInputLoad:
+        out += StrFormat("ILOAD words=%u\n", cmd.dma_words);
+        break;
+      case ConvOp::kMac:
+        out += StrFormat("MAC   groups=%u%s\n", cmd.groups, cmd.pop_weights ? " latch_w" : "");
+        break;
+      case ConvOp::kStore:
+        out += StrFormat("STORE words=%u\n", cmd.dma_words);
+        break;
+      case ConvOp::kFinish:
+        out += "FINISH\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ConvTile> EnumerateConvTiles(const ConvLayer& layer, const ConvBramBudget& budget) {
+  PI_CHECK(layer.valid());
+  const std::uint32_t oh = layer.out_height();
+  const std::uint32_t ow = layer.out_width();
+
+  // Candidate edge lengths: powers of two plus the full extent, clamped.
+  auto edges = [](std::uint32_t extent) {
+    std::set<std::uint32_t> out;
+    for (std::uint32_t e = 1; e < extent; e *= 2) {
+      out.insert(e);
+    }
+    out.insert(extent);
+    return out;
+  };
+
+  std::vector<ConvTile> tiles;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint32_t th : edges(oh)) {
+    for (std::uint32_t tw : edges(ow)) {
+      const std::uint32_t in_h = (th - 1) * layer.stride + layer.kernel_h;
+      const std::uint32_t in_w = (tw - 1) * layer.stride + layer.kernel_w;
+      if (in_h * in_w * layer.channels > budget.line_buffer_bytes) {
+        continue;
+      }
+      for (std::uint32_t tk : edges(layer.filters)) {
+        if (tk * layer.channels * layer.kernel_h * layer.kernel_w > budget.weight_bytes) {
+          continue;
+        }
+        if (th * tw * tk > budget.out_buffer_bytes) {
+          continue;
+        }
+        if (seen.insert({th, tw, tk}).second) {
+          tiles.push_back(ConvTile{th, tw, tk});
+        }
+      }
+    }
+  }
+  PI_CHECK_MSG(!tiles.empty(), "BRAM budget admits no tile for this layer");
+  return tiles;
+}
+
+}  // namespace perfiface

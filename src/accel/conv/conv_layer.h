@@ -1,0 +1,125 @@
+// Command stream of the conv-engine accelerator family.
+//
+// The engine is a weight-stationary int8 2D-convolution core in the style
+// of the configurable DNN inference stacks (VTA-class): a FETCH front end
+// streams macro-commands to three decoupled units — a DMA-in engine
+// (weights and input line-buffer tiles share one inbound channel), a
+// 4-way-MAC compute array, and a DMA-out engine — synchronized only
+// through credit/data token queues:
+//
+//   WLOAD  dma words of weights for one output-channel tile   (dma-in)
+//   ILOAD  dma words of one input patch into the line buffer  (dma-in)
+//   MAC    `groups` 4-wide MAC groups, 1 group/cycle          (compute)
+//   STORE  dma words of requantized outputs                   (dma-out)
+//   FINISH drain and raise completion                         (fetch)
+//
+// The canonical lowering walks output tiles innermost under an
+// output-channel (k) tile loop, so each weight tile is loaded once and
+// reused across every spatial tile — the BRAM-bounded reuse decision the
+// auto-tuner searches over.
+#ifndef SRC_ACCEL_CONV_CONV_LAYER_H_
+#define SRC_ACCEL_CONV_CONV_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace perfiface {
+
+// One NCHW convolution layer (single image). Weights are [K][C][R][S].
+struct ConvLayer {
+  std::uint32_t height = 16;    // input H
+  std::uint32_t width = 16;     // input W
+  std::uint32_t channels = 8;   // input channels C
+  std::uint32_t filters = 8;    // output channels K
+  std::uint32_t kernel_h = 3;   // R
+  std::uint32_t kernel_w = 3;   // S
+  std::uint32_t stride = 1;
+  std::uint32_t pad = 1;
+
+  std::uint32_t out_height() const {
+    return (height + 2 * pad - kernel_h) / stride + 1;
+  }
+  std::uint32_t out_width() const {
+    return (width + 2 * pad - kernel_w) / stride + 1;
+  }
+  // Structural sanity: kernel fits the padded input, stride covers it.
+  bool valid() const {
+    return height > 0 && width > 0 && channels > 0 && filters > 0 && kernel_h > 0 &&
+           kernel_w > 0 && stride > 0 && height + 2 * pad >= kernel_h &&
+           width + 2 * pad >= kernel_w;
+  }
+
+  std::string ToString() const;
+};
+
+// A tiling decision: output-tile height/width and output-channel tile. The
+// remainder tiles at the right/bottom/last-k edges are smaller.
+struct ConvTile {
+  std::uint32_t tile_h = 4;
+  std::uint32_t tile_w = 4;
+  std::uint32_t tile_k = 4;
+
+  std::string ToString() const;
+};
+
+enum class ConvOp : std::uint8_t { kWeightLoad, kInputLoad, kMac, kStore, kFinish };
+
+struct ConvCmd {
+  ConvOp op = ConvOp::kWeightLoad;
+
+  // WLOAD/ILOAD/STORE: DMA size in 16-byte words.
+  std::uint32_t dma_words = 0;
+
+  // MAC: number of 4-wide MAC groups (one group per cycle, steady state).
+  std::uint32_t groups = 0;
+
+  // MAC: true on the first MAC of an output-channel tile — it latches the
+  // freshly loaded weights into the array (pops the w2m token).
+  bool pop_weights = false;
+};
+
+using ConvProgram = std::vector<ConvCmd>;
+
+// Bytes moved per 16-byte DMA word, and the MAC array width.
+inline constexpr std::uint32_t kConvDmaWordBytes = 16;
+inline constexpr std::uint32_t kConvMacWidth = 4;
+
+// DMA word counts and MAC group counts for one macro-step, shared by the
+// lowering, the cycle-level simulator and the interface calibration tests.
+std::uint32_t ConvWeightWords(const ConvLayer& layer, std::uint32_t k_eff);
+std::uint32_t ConvInputWords(const ConvLayer& layer, std::uint32_t eff_th, std::uint32_t eff_tw);
+std::uint32_t ConvStoreWords(std::uint32_t eff_th, std::uint32_t eff_tw, std::uint32_t k_eff);
+std::uint32_t ConvMacGroups(const ConvLayer& layer, std::uint32_t eff_th, std::uint32_t eff_tw,
+                            std::uint32_t k_eff);
+
+// Emits the weight-stationary command stream for `layer` under `tile`
+// (WLOAD per k-tile, then ILOAD/MAC/STORE per output tile), ending in
+// FINISH.
+ConvProgram LowerConv(const ConvLayer& layer, const ConvTile& tile);
+
+// Structural invariants the simulator and Petri-net interface rely on:
+// non-empty, FINISH placement, WLOAD before the first MAC of each k-tile,
+// ILOAD/MAC/STORE triplets, non-zero sizes. Empty string when valid.
+std::string ValidateConvProgram(const ConvProgram& program);
+
+// Human-readable disassembly (debugging, examples).
+std::string DisassembleConv(const ConvProgram& program);
+
+// Candidate tiles whose working set fits the line buffer / weight BRAM
+// budget (in bytes); the set the tile-size auto-tuner searches. Tile edges
+// are clamped to the layer's output dims, deduplicated.
+struct ConvBramBudget {
+  std::uint32_t line_buffer_bytes = 16 * 1024;
+  std::uint32_t weight_bytes = 16 * 1024;
+  std::uint32_t out_buffer_bytes = 4 * 1024;
+};
+
+std::vector<ConvTile> EnumerateConvTiles(const ConvLayer& layer,
+                                         const ConvBramBudget& budget = ConvBramBudget{});
+
+}  // namespace perfiface
+
+#endif  // SRC_ACCEL_CONV_CONV_LAYER_H_

@@ -1,0 +1,71 @@
+#include "src/autotune/conv_search.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/core/registry.h"
+
+namespace perfiface {
+
+KvObject MakeConvWorkload(const ConvLayer& layer, const ConvTile& tile) {
+  KvObject obj;
+  obj.Set("height", layer.height);
+  obj.Set("width", layer.width);
+  obj.Set("channels", layer.channels);
+  obj.Set("filters", layer.filters);
+  obj.Set("kernel_h", layer.kernel_h);
+  obj.Set("kernel_w", layer.kernel_w);
+  obj.Set("stride", layer.stride);
+  obj.Set("pad", layer.pad);
+  obj.Set("tile_h", tile.tile_h);
+  obj.Set("tile_w", tile.tile_w);
+  obj.Set("tile_k", tile.tile_k);
+  return obj;
+}
+
+ConvSimBackend::ConvSimBackend(const ConvTiming& timing, const MemoryConfig& mem_config,
+                               std::uint64_t seed)
+    : sim_(timing, mem_config, seed) {}
+
+Cycles ConvSimBackend::EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) {
+  return sim_.RunLatency(LowerConv(layer, tile));
+}
+
+ConvProgramBackend::ConvProgramBackend()
+    : iface_(InterfaceRegistry::Default().LoadProgram("conv")) {}
+
+Cycles ConvProgramBackend::EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) {
+  const KvObject obj = MakeConvWorkload(layer, tile);
+  const double latency = iface_.Eval("latency_conv", obj);
+  PI_CHECK(latency > 0);
+  return static_cast<Cycles>(std::llround(latency));
+}
+
+ConvPetriBackend::ConvPetriBackend(const std::string& pnet_path) : iface_(pnet_path) {}
+
+Cycles ConvPetriBackend::EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) {
+  return iface_.PredictLatency(LowerConv(layer, tile));
+}
+
+ConvTuneResult TuneConvTiles(const ConvLayer& layer, ConvCostBackend* backend,
+                             const ConvBramBudget& budget) {
+  PI_CHECK(backend != nullptr);
+  const std::vector<ConvTile> candidates = EnumerateConvTiles(layer, budget);
+
+  ConvTuneResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (const ConvTile& tile : candidates) {
+    const Cycles latency = backend->EvaluateLatency(layer, tile);
+    ++result.evaluations;
+    if (result.evaluations == 1 || latency < result.best_latency) {
+      result.best_latency = latency;
+      result.best_tile = tile;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace perfiface

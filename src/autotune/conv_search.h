@@ -1,0 +1,90 @@
+// Tile-size auto-tuning for the conv engine: the paper's §2 example #3 at
+// a second accelerator family. The search walks the BRAM-feasible tile
+// space with a pluggable cost model — the cycle-accurate simulator (slow,
+// per-cycle cost) or a compiled performance interface (fast, per-command
+// or closed-form cost) — and the test/bench harness compares the tile each
+// one picks and how long the session took.
+#ifndef SRC_AUTOTUNE_CONV_SEARCH_H_
+#define SRC_AUTOTUNE_CONV_SEARCH_H_
+
+#include <memory>
+#include <string>
+
+#include "src/accel/conv/conv_layer.h"
+#include "src/accel/conv/conv_sim.h"
+#include "src/common/types.h"
+#include "src/core/petri_interfaces.h"
+#include "src/core/program_interface.h"
+#include "src/perfscript/kv_object.h"
+
+namespace perfiface {
+
+// The flat attribute bag the conv interfaces read (conv_fig2.psc inputs;
+// also the serve wire vocabulary for conv queries).
+KvObject MakeConvWorkload(const ConvLayer& layer, const ConvTile& tile);
+
+class ConvCostBackend {
+ public:
+  virtual ~ConvCostBackend() = default;
+
+  virtual Cycles EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Profiles by running the full cycle-accurate simulator on the lowered
+// command stream.
+class ConvSimBackend : public ConvCostBackend {
+ public:
+  ConvSimBackend(const ConvTiming& timing, const MemoryConfig& mem_config, std::uint64_t seed);
+
+  Cycles EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) override;
+  std::string name() const override { return "cycle-accurate"; }
+
+ private:
+  ConvSim sim_;
+};
+
+// Profiles by evaluating the compiled (bytecode-VM) PerfScript interface —
+// one closed-form call per candidate.
+class ConvProgramBackend : public ConvCostBackend {
+ public:
+  // Loads and compiles the registry's "conv" program with its calibration
+  // constants.
+  ConvProgramBackend();
+
+  Cycles EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) override;
+  std::string name() const override { return "compiled-program"; }
+
+ private:
+  ProgramInterface iface_;
+};
+
+// Profiles by querying the Petri-net performance interface — event-driven,
+// cost scales with macro-commands instead of cycles.
+class ConvPetriBackend : public ConvCostBackend {
+ public:
+  explicit ConvPetriBackend(const std::string& pnet_path);
+
+  Cycles EvaluateLatency(const ConvLayer& layer, const ConvTile& tile) override;
+  std::string name() const override { return "petri-net"; }
+
+ private:
+  ConvPetriInterface iface_;
+};
+
+struct ConvTuneResult {
+  ConvTile best_tile;
+  Cycles best_latency = 0;
+  std::size_t evaluations = 0;
+  double wall_seconds = 0;  // time spent inside the cost backend
+};
+
+// Exhaustive search over EnumerateConvTiles(layer, budget) with `backend`
+// as the cost model. Ties break toward the earlier candidate, so two
+// backends that induce the same ranking pick the same tile.
+ConvTuneResult TuneConvTiles(const ConvLayer& layer, ConvCostBackend* backend,
+                             const ConvBramBudget& budget = ConvBramBudget{});
+
+}  // namespace perfiface
+
+#endif  // SRC_AUTOTUNE_CONV_SEARCH_H_

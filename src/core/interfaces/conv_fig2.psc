@@ -1,0 +1,129 @@
+# Performance interface of the conv engine, as an executable program
+# (paper Fig. 2 style: closed-form pipeline algebra over the workload).
+#
+# Inputs: a layer object exposing
+#   height width channels filters  -- NCHW layer dims (C in, K out)
+#   kernel_h kernel_w stride pad   -- R, S, stride, zero padding
+#   tile_h tile_w tile_k           -- the tiling decision under evaluation
+# Constants supplied by the registry: burst_lat, mac_base, finish_cost.
+#
+# The engine is a three-stage weight-stationary pipeline (DMA-in, 4-wide
+# MAC array, DMA-out) with double-buffered line/output buffers, so each
+# spatial step costs the max of its stage times, and each k-tile's body
+# additionally lower-bounds at the inbound-DMA occupancy (patch loads plus
+# the next k-tile's weight load, which share one channel). Deliberately
+# uncounted (the interface "cuts corners"): DRAM jitter and TLB walks
+# (burst_lat is nominal), bus contention between the two DMA directions,
+# the command-fetch refill stall, and the RTL's 1-cycle FIFO handoffs.
+
+def dma_xfer(words):
+  return 4 + ceil(words / 8) * (burst_lat + 8)
+end
+
+def out_h(l):
+  return floor((l.height + 2 * l.pad - l.kernel_h) / l.stride) + 1
+end
+
+def out_w(l):
+  return floor((l.width + 2 * l.pad - l.kernel_w) / l.stride) + 1
+end
+
+def wload_time(l, keff):
+  return dma_xfer(ceil(keff * l.channels * l.kernel_h * l.kernel_w / 16))
+end
+
+def iload_time(l, th, tw):
+  in_h = (th - 1) * l.stride + l.kernel_h
+  in_w = (tw - 1) * l.stride + l.kernel_w
+  return dma_xfer(ceil(in_h * in_w * l.channels / 16))
+end
+
+def store_time(th, tw, keff):
+  return dma_xfer(ceil(th * tw * keff / 16))
+end
+
+def mac_time(l, th, tw, keff):
+  return mac_base + th * tw * keff * ceil(l.channels * l.kernel_h * l.kernel_w / 4)
+end
+
+# One spatial step: stages overlap across steps, the slowest dominates.
+def step_time(l, th, tw, keff):
+  return max(iload_time(l, th, tw), mac_time(l, th, tw, keff), store_time(th, tw, keff))
+end
+
+# Sum of per-step bottlenecks over one k-tile's spatial walk: full tiles
+# plus the right/bottom remainder classes.
+def ktile_body(l, keff):
+  fh = floor(out_h(l) / l.tile_h)
+  fw = floor(out_w(l) / l.tile_w)
+  rh = out_h(l) - fh * l.tile_h
+  rw = out_w(l) - fw * l.tile_w
+  body = fh * fw * step_time(l, l.tile_h, l.tile_w, keff)
+  if rh > 0:
+    body += fw * step_time(l, rh, l.tile_w, keff)
+  end
+  if rw > 0:
+    body += fh * step_time(l, l.tile_h, rw, keff)
+  end
+  if rh > 0 and rw > 0:
+    body += step_time(l, rh, rw, keff)
+  end
+  return body
+end
+
+# Inbound-DMA occupancy of one k-tile: every patch load (weights ride the
+# same channel and are charged by the caller).
+def ktile_dma_in(l):
+  fh = floor(out_h(l) / l.tile_h)
+  fw = floor(out_w(l) / l.tile_w)
+  rh = out_h(l) - fh * l.tile_h
+  rw = out_w(l) - fw * l.tile_w
+  t = fh * fw * iload_time(l, l.tile_h, l.tile_w)
+  if rh > 0:
+    t += fw * iload_time(l, rh, l.tile_w)
+  end
+  if rw > 0:
+    t += fh * iload_time(l, l.tile_h, rw)
+  end
+  if rh > 0 and rw > 0:
+    t += iload_time(l, rh, rw)
+  end
+  return t
+end
+
+def latency_conv(l):
+  fk = floor(l.filters / l.tile_k)
+  rk = l.filters - fk * l.tile_k
+  keff0 = min(l.tile_k, l.filters)
+
+  # Fill: the first weight tile and the first patch are on the critical
+  # path before the pipeline can stream.
+  total = wload_time(l, keff0) + iload_time(l, min(l.tile_h, out_h(l)), min(l.tile_w, out_w(l)))
+
+  # Full k-tiles: per-step bottleneck sum, floored by the inbound channel
+  # (patches + the overlapped weight load of the following k-tile).
+  if fk > 0:
+    total += fk * max(ktile_body(l, l.tile_k), ktile_dma_in(l) + wload_time(l, l.tile_k))
+  end
+
+  # Remainder k-tile: nothing left to prefetch behind it.
+  if rk > 0:
+    total += max(ktile_body(l, rk), ktile_dma_in(l))
+  end
+
+  return total + finish_cost
+end
+
+def tput_conv(l):
+  # Layers stream back-to-back; fill amortizes away.
+  fk = floor(l.filters / l.tile_k)
+  rk = l.filters - fk * l.tile_k
+  body = 0
+  if fk > 0:
+    body = fk * max(ktile_body(l, l.tile_k), ktile_dma_in(l) + wload_time(l, l.tile_k))
+  end
+  if rk > 0:
+    body += max(ktile_body(l, rk), ktile_dma_in(l) + wload_time(l, min(l.tile_k, l.filters)))
+  end
+  return 1 / body
+end

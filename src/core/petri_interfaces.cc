@@ -265,4 +265,108 @@ double VtaPetriInterface::PredictThroughput(const VtaProgram& program, std::size
   return Predict(program, copies).throughput;
 }
 
+ConvPetriInterface::ConvPetriInterface(const std::string& pnet_path, Cycles finish_cost)
+    : finish_cost_(finish_cost) {
+  source_ = ReadFileOrDie(pnet_path);
+  // LoadPnetFile resolves the dram_channel `use` components relative to the
+  // interface directory.
+  loaded_ = LoadPnetFile(pnet_path);
+  PI_CHECK_MSG(loaded_.ok(), loaded_.error.c_str());
+  prog_ = loaded_.net->PlaceByName("prog");
+  done_ = loaded_.net->PlaceByName("done");
+  attr_op_ = loaded_.net->FindAttr("op");
+  attr_words_ = loaded_.net->FindAttr("words");
+  attr_groups_ = loaded_.net->FindAttr("groups");
+  attr_pop_w_ = loaded_.net->FindAttr("pop_w");
+  PI_CHECK(attr_op_ != PetriNet::kNoAttr && attr_words_ != PetriNet::kNoAttr &&
+           attr_groups_ != PetriNet::kNoAttr && attr_pop_w_ != PetriNet::kNoAttr);
+}
+
+void ConvPetriInterface::InjectProgram(const ConvProgram& program, std::size_t copies,
+                                       PetriSim* sim) const {
+  const std::size_t nattrs = loaded_.net->attr_names().size();
+  for (std::size_t c = 0; c < copies; ++c) {
+    for (const ConvCmd& cmd : program) {
+      if (cmd.op == ConvOp::kFinish) {
+        continue;  // FINISH is the +finish_cost constant, not a token
+      }
+      Token t;
+      t.attrs.assign(nattrs, 0.0);
+      double op = 0;
+      switch (cmd.op) {
+        case ConvOp::kWeightLoad: op = 1; break;
+        case ConvOp::kInputLoad: op = 2; break;
+        case ConvOp::kMac: op = 3; break;
+        case ConvOp::kStore: op = 4; break;
+        case ConvOp::kFinish: op = 0; break;
+      }
+      t.attrs[attr_op_] = op;
+      t.attrs[attr_words_] = static_cast<double>(cmd.dma_words);
+      t.attrs[attr_groups_] = static_cast<double>(cmd.groups);
+      t.attrs[attr_pop_w_] = cmd.pop_weights ? 1.0 : 0.0;
+      sim->Inject(prog_, std::move(t));
+    }
+  }
+}
+
+PetriPrediction ConvPetriInterface::Predict(const ConvProgram& program,
+                                            std::size_t copies) const {
+  PI_CHECK(copies >= 3);
+  PI_CHECK_MSG(ValidateConvProgram(program).empty(), "invalid conv program");
+  std::size_t stores_per_copy = 0;
+  for (const ConvCmd& cmd : program) {
+    if (cmd.op == ConvOp::kStore) {
+      ++stores_per_copy;
+    }
+  }
+  PI_CHECK(stores_per_copy > 0);
+  const std::uint64_t cmds = program.size() - 1;
+
+  PetriPrediction out;
+
+  // Latency: single execution.
+  {
+    PetriSim sim(loaded_.net.get());
+    sim.Observe(done_);
+    InjectProgram(program, 1, &sim);
+    PI_CHECK(sim.Run(kRunBudget));
+    const auto& arrivals = sim.arrivals(done_);
+    PI_CHECK(arrivals.size() == stores_per_copy);
+    out.latency = arrivals.back().time + finish_cost_;
+    out.firings = sim.total_firings();
+  }
+
+  // Throughput: back-to-back copies.
+  {
+    PetriSim sim(loaded_.net.get());
+    sim.Observe(done_);
+    InjectProgram(program, copies, &sim);
+    PI_CHECK(sim.Run(kRunBudget));
+    const auto& arrivals = sim.arrivals(done_);
+    PI_CHECK(arrivals.size() == stores_per_copy * copies);
+    const Cycles first = arrivals[stores_per_copy - 1].time;
+    const Cycles last = arrivals.back().time;
+    PI_CHECK(last > first);
+    out.throughput = static_cast<double>(cmds * (copies - 1)) / static_cast<double>(last - first);
+    out.firings += sim.total_firings();
+  }
+  return out;
+}
+
+Cycles ConvPetriInterface::PredictLatency(const ConvProgram& program) const {
+  PI_CHECK_MSG(ValidateConvProgram(program).empty(), "invalid conv program");
+  PetriSim sim(loaded_.net.get());
+  sim.Observe(done_);
+  InjectProgram(program, 1, &sim);
+  PI_CHECK(sim.Run(kRunBudget));
+  const auto& arrivals = sim.arrivals(done_);
+  PI_CHECK(!arrivals.empty());
+  return arrivals.back().time + finish_cost_;
+}
+
+double ConvPetriInterface::PredictThroughput(const ConvProgram& program,
+                                             std::size_t copies) const {
+  return Predict(program, copies).throughput;
+}
+
 }  // namespace perfiface

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/accel/conv/conv_layer.h"
 #include "src/accel/jpeg/codec.h"
 #include "src/accel/protoacc/message.h"
 #include "src/accel/vta/isa.h"
@@ -98,6 +99,35 @@ class VtaPetriInterface {
   std::size_t attr_uops_ = 0;
   std::size_t attr_iters_ = 0;
   std::size_t attr_push_next_ = 0;
+};
+
+// Petri-net interface for the conv engine: injects the lowered command
+// stream as tokens and reads completion off the store-side sink place.
+class ConvPetriInterface {
+ public:
+  explicit ConvPetriInterface(const std::string& pnet_path, Cycles finish_cost = 4);
+
+  Cycles PredictLatency(const ConvProgram& program) const;
+  // Commands/cycle over back-to-back copies (same protocol as ConvSim).
+  double PredictThroughput(const ConvProgram& program, std::size_t copies = 3) const;
+
+  PetriPrediction Predict(const ConvProgram& program, std::size_t copies = 3) const;
+
+  const PetriNet& net() const { return *loaded_.net; }
+  const std::string& source() const { return source_; }
+
+ private:
+  void InjectProgram(const ConvProgram& program, std::size_t copies, class PetriSim* sim) const;
+
+  LoadedNet loaded_;
+  std::string source_;
+  Cycles finish_cost_;
+  PlaceId prog_ = 0;
+  PlaceId done_ = 0;
+  std::size_t attr_op_ = 0;
+  std::size_t attr_words_ = 0;
+  std::size_t attr_groups_ = 0;
+  std::size_t attr_pop_w_ = 0;
 };
 
 }  // namespace perfiface

@@ -452,6 +452,131 @@ PnetExpansion ExpandPnetIncludes(std::string_view text, const std::string& inclu
   return out;
 }
 
+namespace {
+
+// %.17g survives a double round-trip exactly; integral values (the common
+// case for pnet constants) print without a decimal point or exponent.
+std::string CanonicalNumber(double v) { return StrFormat("%.17g", v); }
+
+std::string CanonicalArcList(const std::vector<ArcSpec>& arcs) {
+  std::string out;
+  for (const ArcSpec& a : arcs) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += a.place;
+    if (a.weight != 1) {
+      out += StrFormat(":%zu", a.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalPnetText(std::string_view text, std::string* error) {
+  std::string canonical;
+  int line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::string err;
+    const std::vector<std::string> words = Tokenize(line, &err);
+    if (!err.empty()) {
+      *error = StrFormat("line %d: %s", line_no, err.c_str());
+      return "";
+    }
+    PI_CHECK(!words.empty());
+    const std::string& directive = words[0];
+
+    auto fail = [&](const std::string& msg) {
+      *error = StrFormat("line %d: %s", line_no, msg.c_str());
+      return std::string();
+    };
+
+    if (directive == "net" || directive == "attr") {
+      if (words.size() != 2) {
+        return fail(directive + " takes exactly one name");
+      }
+      canonical += directive + " " + words[1] + "\n";
+    } else if (directive == "const") {
+      if (words.size() != 3) {
+        return fail("const takes a name and a value");
+      }
+      canonical += "const " + words[1] + " " + CanonicalNumber(std::atof(words[2].c_str())) +
+                   "\n";
+    } else if (directive == "place") {
+      if (words.size() < 2) {
+        return fail("place needs a name");
+      }
+      Options opts;
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (!ParseOption(words[i], &opts, &err)) {
+          return fail(err);
+        }
+      }
+      canonical += "place " + words[1];
+      const int cap = std::atoi(opts.Get("cap", "0").c_str());
+      const int init = std::atoi(opts.Get("init", "0").c_str());
+      if (cap < 0 || init < 0) {
+        return fail("negative cap/init");
+      }
+      if (cap > 0) {
+        canonical += StrFormat(" cap=%d", cap);
+      }
+      if (init > 0) {
+        canonical += StrFormat(" init=%d", init);
+      }
+      canonical += '\n';
+    } else if (directive == "trans") {
+      if (words.size() < 2) {
+        return fail("trans needs a name");
+      }
+      Options opts;
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        if (!ParseOption(words[i], &opts, &err)) {
+          return fail(err);
+        }
+      }
+      if (!opts.Has("in") || !opts.Has("delay")) {
+        return fail("trans requires in= and delay=");
+      }
+      std::vector<ArcSpec> in_arcs;
+      std::vector<ArcSpec> out_arcs;
+      if (!ParseArcs(opts.Get("in"), &in_arcs, &err)) {
+        return fail(err);
+      }
+      if (opts.Has("out") && !ParseArcs(opts.Get("out"), &out_arcs, &err)) {
+        return fail(err);
+      }
+      canonical += "trans " + words[1] + " in=" + CanonicalArcList(in_arcs);
+      if (!out_arcs.empty()) {
+        canonical += " out=" + CanonicalArcList(out_arcs);
+      }
+      if (opts.Has("guard")) {
+        canonical += " guard=\"" + opts.Get("guard") + "\"";
+      }
+      canonical += " delay=\"" + opts.Get("delay") + "\"";
+      const int servers = std::atoi(opts.Get("servers", "1").c_str());
+      if (servers < 1) {
+        return fail("servers must be >= 1");
+      }
+      if (servers > 1) {
+        canonical += StrFormat(" servers=%d", servers);
+      }
+      canonical += '\n';
+    } else {
+      return fail(StrFormat("unknown directive '%s' (flatten `use` with "
+                            "ExpandPnetIncludes first)",
+                            directive.c_str()));
+    }
+  }
+  return canonical;
+}
+
 LoadedNet LoadPnetFile(const std::string& path) {
   const std::string dir = path.find('/') == std::string::npos
                               ? std::string(".")

@@ -72,6 +72,17 @@ struct PnetExpansion {
 PnetExpansion ExpandPnetIncludes(std::string_view text, const std::string& include_dir,
                                  int depth = 0);
 
+// Canonical text of a flattened .pnet document (run ExpandPnetIncludes
+// first; `use` here is an error): comments and blank lines dropped, one
+// space between words, options in a fixed order with default values
+// (cap=0, init=0, servers=1, :1 arc weights) omitted, const values
+// re-printed from their parsed doubles. Directive order is preserved —
+// it is semantic (attribute slots, the default entry place, primary-input
+// arcs). Idempotent, and the canonical text loads to a net with the same
+// structural hash as the original. Returns "" and sets *error on
+// malformed input.
+std::string CanonicalPnetText(std::string_view text, std::string* error);
+
 }  // namespace perfiface
 
 #endif  // SRC_CORE_PNET_H_

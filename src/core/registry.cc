@@ -56,6 +56,21 @@ const InterfaceRegistry& InterfaceRegistry::Default() {
     vta.pnet_path = dir + "/vta.pnet";
     r->bundles_.push_back(vta);
 
+    InterfaceBundle conv;
+    conv.accelerator = "conv";
+    conv.text = TextInterface{
+        "conv",
+        "Latency tracks the slowest pipeline stage per output tile: the inbound DMA "
+        "(input patch plus the weight tile amortized over its reuse), the 4-wide MAC "
+        "array at one group per cycle, or the outbound DMA. Tiling decides which; "
+        "small tiles pay the patch halo again and again, large tiles lose the "
+        "double-buffer overlap.",
+        {}};
+    conv.program_path = dir + "/conv_fig2.psc";
+    conv.pnet_path = dir + "/conv.pnet";
+    conv.constants = {{"burst_lat", 52.0}, {"mac_base", 6.0}, {"finish_cost", 4.0}};
+    r->bundles_.push_back(conv);
+
     return r;
   }();
   return *kRegistry;

@@ -515,6 +515,32 @@ void NetServer::ServeHttp(const std::shared_ptr<Connection>& conn) {
     TimedWrite(conn.get(), HttpResponse(200, "OK", "text/plain", "ok\n"));
     return;
   }
+  if (method == "GET" && path == "/interfaces") {
+    // Discovery: every interface the service answers for, with the
+    // representations it ships ("program" = compiled PerfScript,
+    // "pnet" = compiled Petri net). Registry order.
+    std::string json = "[";
+    bool first_entry = true;
+    for (const auto& info : service_->InterfaceInfos()) {
+      if (!first_entry) {
+        json += ',';
+      }
+      first_entry = false;
+      json += "{\"name\":";
+      AppendJsonString(&json, info.name);
+      json += ",\"representations\":[";
+      if (info.has_program) {
+        json += "\"program\"";
+      }
+      if (info.has_pnet) {
+        json += info.has_program ? ",\"pnet\"" : "\"pnet\"";
+      }
+      json += "]}";
+    }
+    json += "]\n";
+    TimedWrite(conn.get(), HttpResponse(200, "OK", "application/json", json));
+    return;
+  }
   if (method == "POST" && path == "/predict") {
     // Body: one request frame (same schema as the NDJSON protocol, the
     // trailing newline optional). Response body: the response lines.

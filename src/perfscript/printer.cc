@@ -1,0 +1,244 @@
+#include "src/perfscript/printer.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace perfiface {
+namespace {
+
+const char* BinOpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt:  return "<";
+    case BinOp::kLe:  return "<=";
+    case BinOp::kGt:  return ">";
+    case BinOp::kGe:  return ">=";
+    case BinOp::kEq:  return "==";
+    case BinOp::kNe:  return "!=";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr:  return "or";
+  }
+  PI_CHECK(false);
+  return "";
+}
+
+void PrintExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      // %.17g round-trips the double; strtod in the lexer reads it back.
+      *out += StrFormat("%.17g", e.number);
+      return;
+    case ExprKind::kVar:
+      *out += e.name;
+      return;
+    case ExprKind::kAttr:
+      PrintExpr(*e.children[0], out);
+      *out += '.';
+      *out += e.name;
+      return;
+    case ExprKind::kCall:
+      *out += e.name;
+      *out += '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) {
+          *out += ", ";
+        }
+        PrintExpr(*e.children[i], out);
+      }
+      *out += ')';
+      return;
+    case ExprKind::kUnary:
+      *out += '(';
+      *out += e.un_op == UnOp::kNeg ? "-" : "not ";
+      PrintExpr(*e.children[0], out);
+      *out += ')';
+      return;
+    case ExprKind::kBinary:
+      *out += '(';
+      PrintExpr(*e.children[0], out);
+      *out += ' ';
+      *out += BinOpText(e.bin_op);
+      *out += ' ';
+      PrintExpr(*e.children[1], out);
+      *out += ')';
+      return;
+  }
+  PI_CHECK(false);
+}
+
+void PrintBlock(const std::vector<StmtPtr>& block, int indent, std::string* out);
+
+void PrintStmt(const Stmt& s, int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      *out += s.target + " = ";
+      PrintExpr(*s.value, out);
+      *out += '\n';
+      return;
+    case StmtKind::kAugAdd:
+      *out += s.target + " += ";
+      PrintExpr(*s.value, out);
+      *out += '\n';
+      return;
+    case StmtKind::kReturn:
+      *out += "return ";
+      PrintExpr(*s.value, out);
+      *out += '\n';
+      return;
+    case StmtKind::kExpr:
+      PrintExpr(*s.value, out);
+      *out += '\n';
+      return;
+    case StmtKind::kFor:
+      *out += "for " + s.target + " in ";
+      PrintExpr(*s.value, out);
+      *out += ":\n";
+      PrintBlock(s.body, indent + 1, out);
+      out->append(static_cast<std::size_t>(indent) * 2, ' ');
+      *out += "end\n";
+      return;
+    case StmtKind::kIf:
+      *out += "if ";
+      PrintExpr(*s.value, out);
+      *out += ":\n";
+      PrintBlock(s.body, indent + 1, out);
+      if (!s.else_body.empty()) {
+        out->append(static_cast<std::size_t>(indent) * 2, ' ');
+        *out += "else:\n";
+        PrintBlock(s.else_body, indent + 1, out);
+      }
+      out->append(static_cast<std::size_t>(indent) * 2, ' ');
+      *out += "end\n";
+      return;
+  }
+  PI_CHECK(false);
+}
+
+void PrintBlock(const std::vector<StmtPtr>& block, int indent, std::string* out) {
+  for (const StmtPtr& s : block) {
+    PrintStmt(*s, indent, out);
+  }
+}
+
+// --- Structural hash -------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void MixByte(std::uint64_t* h, unsigned char b) {
+  *h ^= b;
+  *h *= kFnvPrime;
+}
+
+void MixBytes(std::uint64_t* h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    MixByte(h, p[i]);
+  }
+}
+
+// Length-prefixed so ("ab","c") and ("a","bc") cannot collide.
+void MixString(std::uint64_t* h, const std::string& s) {
+  const std::uint64_t n = s.size();
+  MixBytes(h, &n, sizeof(n));
+  MixBytes(h, s.data(), s.size());
+}
+
+void MixTag(std::uint64_t* h, int tag) { MixBytes(h, &tag, sizeof(tag)); }
+
+void HashExpr(const Expr& e, std::uint64_t* h) {
+  MixTag(h, static_cast<int>(e.kind));
+  switch (e.kind) {
+    case ExprKind::kNumber: {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(e.number));
+      std::memcpy(&bits, &e.number, sizeof(bits));
+      MixBytes(h, &bits, sizeof(bits));
+      break;
+    }
+    case ExprKind::kBinary:
+      MixTag(h, static_cast<int>(e.bin_op));
+      break;
+    case ExprKind::kUnary:
+      MixTag(h, static_cast<int>(e.un_op));
+      break;
+    case ExprKind::kVar:
+    case ExprKind::kAttr:
+    case ExprKind::kCall:
+      MixString(h, e.name);
+      break;
+  }
+  const std::uint64_t n = e.children.size();
+  MixBytes(h, &n, sizeof(n));
+  for (const ExprPtr& c : e.children) {
+    HashExpr(*c, h);
+  }
+}
+
+void HashBlock(const std::vector<StmtPtr>& block, std::uint64_t* h);
+
+void HashStmt(const Stmt& s, std::uint64_t* h) {
+  MixTag(h, static_cast<int>(s.kind));
+  MixString(h, s.target);
+  if (s.value != nullptr) {
+    HashExpr(*s.value, h);
+  }
+  HashBlock(s.body, h);
+  HashBlock(s.else_body, h);
+}
+
+void HashBlock(const std::vector<StmtPtr>& block, std::uint64_t* h) {
+  const std::uint64_t n = block.size();
+  MixBytes(h, &n, sizeof(n));
+  for (const StmtPtr& s : block) {
+    HashStmt(*s, h);
+  }
+}
+
+}  // namespace
+
+std::string PrintProgram(const Program& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    const FunctionDef& f = program.functions[i];
+    if (i > 0) {
+      out += '\n';
+    }
+    out += "def " + f.name + "(";
+    for (std::size_t p = 0; p < f.params.size(); ++p) {
+      if (p > 0) {
+        out += ", ";
+      }
+      out += f.params[p];
+    }
+    out += "):\n";
+    PrintBlock(f.body, 1, &out);
+    out += "end\n";
+  }
+  return out;
+}
+
+std::uint64_t HashProgram(const Program& program) {
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t n = program.functions.size();
+  MixBytes(&h, &n, sizeof(n));
+  for (const FunctionDef& f : program.functions) {
+    MixString(&h, f.name);
+    const std::uint64_t np = f.params.size();
+    MixBytes(&h, &np, sizeof(np));
+    for (const std::string& p : f.params) {
+      MixString(&h, p);
+    }
+    HashBlock(f.body, &h);
+  }
+  return h;
+}
+
+}  // namespace perfiface

@@ -1,0 +1,29 @@
+// Deterministic serialization of a PerfScript AST, plus a structural hash.
+//
+// PrintProgram is the canonical text form: comments dropped, two-space
+// indentation, every binary/unary expression fully parenthesized (so the
+// printed text reparses to the identical tree regardless of precedence),
+// numbers printed with enough digits to round-trip the double exactly.
+// Parse → print → reparse → print is a fixed point; golden round-trip
+// tests over the shipped interface files pin that down.
+#ifndef SRC_PERFSCRIPT_PRINTER_H_
+#define SRC_PERFSCRIPT_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/perfscript/ast.h"
+
+namespace perfiface {
+
+std::string PrintProgram(const Program& program);
+
+// FNV-1a over the tree structure (statement/expression kinds, operator
+// tags, identifier names, number bit patterns). Source lines, comments
+// and formatting do not contribute, so a reparse of printed text hashes
+// identically to the original parse.
+std::uint64_t HashProgram(const Program& program);
+
+}  // namespace perfiface
+
+#endif  // SRC_PERFSCRIPT_PRINTER_H_

@@ -155,6 +155,15 @@ std::vector<std::string> PredictionService::InterfaceNames() const {
   return names;
 }
 
+std::vector<PredictionService::InterfaceInfo> PredictionService::InterfaceInfos() const {
+  std::vector<InterfaceInfo> infos;
+  infos.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    infos.push_back({e.name, e.program.has_value(), e.pnet.net != nullptr});
+  }
+  return infos;
+}
+
 const PredictionService::Entry* PredictionService::FindEntry(const std::string& name) const {
   // Hot tier: a direct-mapped slot of entry indices. Whatever the slot
   // holds is validated by a name compare before use, so a stale or

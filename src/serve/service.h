@@ -159,6 +159,15 @@ class PredictionService {
   // Interfaces the service can answer for (registry order).
   std::vector<std::string> InterfaceNames() const;
 
+  // Name + shipped representations per interface (registry order); feeds
+  // the HTTP GET /interfaces discovery endpoint.
+  struct InterfaceInfo {
+    std::string name;
+    bool has_program = false;
+    bool has_pnet = false;
+  };
+  std::vector<InterfaceInfo> InterfaceInfos() const;
+
   // Deadline→budget conversion used by Evaluate: at most remaining_us *
   // steps_per_us steps, saturating at UINT64_MAX instead of wrapping (a
   // client-supplied deadline near INT64_MAX must mean "effectively

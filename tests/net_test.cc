@@ -561,6 +561,53 @@ TEST(NetServerHttp, HealthzAndNotFound) {
   EXPECT_EQ(status, 404);
 }
 
+TEST(NetServerHttp, InterfacesListsRegistryWithRepresentations) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+  int status = 0;
+  std::string body;
+  std::string error;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/interfaces", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(body, &doc, &error)) << error;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kArray);
+
+  // One entry per registry interface, same order, with the shipped
+  // representations — conv has both, bitcoin_miner neither, vta pnet-only.
+  const auto names = ts.service.InterfaceNames();
+  ASSERT_EQ(doc.array.size(), names.size());
+  std::set<std::string> reps_of_conv;
+  std::set<std::string> reps_of_miner{"sentinel"};
+  std::set<std::string> reps_of_vta;
+  for (std::size_t i = 0; i < doc.array.size(); ++i) {
+    const JsonValue& entry = *doc.array[i];
+    ASSERT_EQ(entry.kind, JsonValue::Kind::kObject);
+    const JsonValue* name = entry.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->str, names[i]);
+    const JsonValue* reps = entry.Find("representations");
+    ASSERT_NE(reps, nullptr);
+    ASSERT_EQ(reps->kind, JsonValue::Kind::kArray);
+    std::set<std::string> rep_names;
+    for (const auto& rep : reps->array) {
+      rep_names.insert(rep->str);
+    }
+    if (name->str == "conv") {
+      reps_of_conv = rep_names;
+    } else if (name->str == "bitcoin_miner") {
+      reps_of_miner = rep_names;
+    } else if (name->str == "vta") {
+      reps_of_vta = rep_names;
+    }
+  }
+  EXPECT_EQ(reps_of_conv, (std::set<std::string>{"program", "pnet"}));
+  EXPECT_EQ(reps_of_miner, std::set<std::string>{});
+  EXPECT_EQ(reps_of_vta, std::set<std::string>{"pnet"});
+}
+
 TEST(NetServerHttp, MetricsScrapePassesStrictParser) {
   TestServer ts(TwoWorkers());
   ASSERT_TRUE(ts.ok);

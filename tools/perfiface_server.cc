@@ -3,7 +3,7 @@
 //   perfiface_server [options]
 //
 // Serves the NDJSON wire protocol and HTTP (GET /metrics, GET /healthz,
-// POST /predict) on one port; see docs/serving.md "Wire protocol". Prints
+// GET /interfaces, POST /predict) on one port; see docs/serving.md "Wire protocol". Prints
 // "listening on HOST:PORT" once ready (with --port 0 this is how callers
 // learn the ephemeral port), then runs until SIGTERM/SIGINT, draining
 // in-flight connections before exiting 0.
