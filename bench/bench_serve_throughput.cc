@@ -36,6 +36,15 @@
 //      through src/net's NDJSON server over 127.0.0.1 vs the in-process
 //      async client; the ratio is the wire + codec tax
 //
+// PR 7 adds the row shadow validation is judged by:
+//
+//   8. shadow overhead                -> distinct conv latency queries with
+//      the response cache off, shadow sampler disabled vs 1-in-64 against
+//      the cycle-level simulator. Each sampled query pays a full sim run
+//      (that is the point), so the qps ratio quantifies the amortized
+//      price of continuous validation; the verdict also requires zero
+//      drift violations — the shipped calibration must pass its own check.
+//
 // Run with --smoke for the CI-sized variant (same sweeps, fewer queries).
 #include <algorithm>
 #include <chrono>
@@ -49,6 +58,7 @@
 #include <vector>
 
 #include "src/accel/conv/conv_layer.h"
+#include "src/accel/conv/conv_shadow.h"
 #include "src/accel/conv/conv_sim.h"
 #include "src/autotune/conv_search.h"
 #include "src/common/check.h"
@@ -379,6 +389,29 @@ TcpResult DriveTcpPipelined(std::uint16_t port,
   out.qps = static_cast<double>(total) / Seconds(t0, t1);
   out.all_ok = all_ok;
   return out;
+}
+
+// Distinct conv latency queries (the shadow backend's vocabulary): small
+// layers so the sampled sim replays stay CI-sized, dimensions varied enough
+// that a 1-in-64 hash sampler actually picks a few keys.
+std::vector<PredictRequest> BuildConvPopulation(std::size_t distinct) {
+  std::vector<PredictRequest> population;
+  population.reserve(distinct);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    const double height = static_cast<double>(6 + i % 12);
+    const double width = static_cast<double>(6 + (i * 7) % 12);
+    const double channels = static_cast<double>(4 + 4 * ((i / 5) % 2));
+    const double filters = static_cast<double>(4 + 4 * ((i / 7) % 2));
+    PredictRequest req;
+    req.interface = "conv";
+    req.function = "latency_conv";
+    req.attrs = {{"height", height},   {"width", width}, {"channels", channels},
+                 {"filters", filters}, {"kernel_h", 3},  {"kernel_w", 3},
+                 {"stride", 1},        {"pad", 1},       {"tile_h", 4},
+                 {"tile_w", width},    {"tile_k", 4}};
+    population.push_back(std::move(req));
+  }
+  return population;
 }
 
 std::string RowJson(std::size_t workers, std::size_t cache, const LoadResult& r) {
@@ -712,6 +745,58 @@ int main(int argc, char** argv) {
       std::strcmp(conv_verdict, "ok") == 0 ? "[ok: <= 5% at >= 10x]"
                                            : "[INTERFACE SEARCH REGRESSED]");
 
+  // --- Sweep 8: shadow validation overhead ------------------------------
+  // Distinct conv latency queries, response cache OFF (hits are never
+  // shadow-sampled, so a cached run would measure nothing), sampler off vs
+  // 1 in 64. Sampled queries pay a full cycle-level sim replay — orders of
+  // magnitude above the interface query itself — so the qps ratio is the
+  // amortized price of continuous validation at this rate. Violations must
+  // be zero: the shipped conv calibration (max ~7.7% program error) sits
+  // well inside the default 15% drift threshold.
+  conv::RegisterConvShadowBackend();
+  const std::size_t kShadowDistinct = smoke ? 192 : 512;
+  const std::size_t kShadowQueries = smoke ? 1'500 : 20'000;
+  const std::vector<PredictRequest> conv_population = BuildConvPopulation(kShadowDistinct);
+  double shadow_mean_off = 0;
+  double shadow_mean_on = 0;
+  std::uint64_t shadow_runs = 0;
+  std::uint64_t shadow_violations = 0;
+  for (const bool shadowed : {false, true}) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.cache_capacity = 0;
+    options.shadow_sample_every = shadowed ? 64 : 0;
+    PredictionService service(InterfaceRegistry::Default(), options);
+    const double mean_us = DriveMeanLatencyUs(&service, conv_population, kShadowQueries, kBatch);
+    if (shadowed) {
+      shadow_mean_on = mean_us;
+      for (std::size_t i = 0; i < service.InterfaceInfos().size(); ++i) {
+        shadow_runs += service.shadow().runs(i);
+      }
+      shadow_violations = service.shadow().total_violations();
+    } else {
+      shadow_mean_off = mean_us;
+    }
+  }
+  const double shadow_qps_off = shadow_mean_off > 0 ? 1e6 / shadow_mean_off : 0;
+  const double shadow_qps_on = shadow_mean_on > 0 ? 1e6 / shadow_mean_on : 0;
+  const double shadow_ratio = shadow_qps_off > 0 ? shadow_qps_on / shadow_qps_off : 0;
+  // The bar is deliberately coarse (sim replays dominate sampled queries);
+  // the row exists to keep the amortized cost visible and the drift check
+  // honest, not to win a throughput contest.
+  const char* shadow_verdict = shadow_runs == 0
+                                   ? "sampler_never_fired"
+                                   : (shadow_violations != 0
+                                          ? "drift_violations_nonzero"
+                                          : (shadow_ratio >= 0.2 ? "ok" : "overhead_above_5x"));
+  std::printf(
+      "\nshadow overhead (%zu distinct conv queries, %zu total, response cache off):\n"
+      "  sampler off %.0f qps, 1-in-64 %.0f qps (%.2fx), %llu shadow runs, %llu violations  %s\n",
+      kShadowDistinct, kShadowQueries, shadow_qps_off, shadow_qps_on, shadow_ratio,
+      static_cast<unsigned long long>(shadow_runs),
+      static_cast<unsigned long long>(shadow_violations),
+      std::strcmp(shadow_verdict, "ok") == 0 ? "[ok]" : "[SHADOW ROW REGRESSED]");
+
   // --- Tracing overhead -------------------------------------------------
   // Same config twice: tracer off (the shipped default — this is the row
   // later PRs diff against the pre-instrumentation baseline) vs tracer on
@@ -795,6 +880,13 @@ int main(int argc, char** argv) {
       conv_layer.ToString().c_str(), conv_sim_search.evaluations, conv_sim_search.wall_seconds,
       conv_iface_search.wall_seconds, conv_speedup, conv_sim_search.best_tile.ToString().c_str(),
       conv_iface_search.best_tile.ToString().c_str(), 100.0 * conv_gap, conv_verdict);
+  json += StrFormat(
+      "  \"shadow_overhead\": {\"distinct\": %zu, \"queries\": %zu, \"sample_every\": 64, "
+      "\"qps_shadow_off\": %.1f, \"qps_shadow_1_in_64\": %.1f, \"ratio\": %.3f, "
+      "\"shadow_runs\": %llu, \"shadow_violations\": %llu, \"verdict\": \"%s\"},\n",
+      kShadowDistinct, kShadowQueries, shadow_qps_off, shadow_qps_on, shadow_ratio,
+      static_cast<unsigned long long>(shadow_runs),
+      static_cast<unsigned long long>(shadow_violations), shadow_verdict);
   json += StrFormat(
       "  \"trace_overhead\": {\"qps_disabled\": %.1f, \"qps_enabled_1_in_64\": %.1f}\n",
       qps_trace_off, qps_trace_on);

@@ -1,0 +1,90 @@
+#include "src/accel/conv/conv_shadow.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/accel/conv/conv_layer.h"
+#include "src/accel/conv/conv_sim.h"
+#include "src/common/strings.h"
+#include "src/serve/shadow.h"
+
+namespace perfiface::conv {
+
+namespace {
+
+// Pulls one workload attribute and checks it is a non-negative integer that
+// fits the layer/tile fields (the interface's own domain).
+bool GetU32(const serve::PredictRequest& request, const char* name, std::uint32_t* out,
+            std::string* error) {
+  for (const auto& kv : request.attrs) {
+    if (kv.first != name) {
+      continue;
+    }
+    const double v = kv.second;
+    if (!(v >= 0) || v > 4294967295.0 || v != std::floor(v)) {
+      *error = StrFormat("conv shadow: attr '%s' is not a u32", name);
+      return false;
+    }
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+  }
+  *error = StrFormat("conv shadow: missing attr '%s'", name);
+  return false;
+}
+
+}  // namespace
+
+bool ConvShadowTruth(const serve::PredictRequest& request, double* truth, std::string* error) {
+  // Only the full-layer latency query is replayable: tput_conv reports a
+  // derived rate and the pnet per-command entry points describe fragments,
+  // not a layer the simulator can run end to end.
+  if (!request.function.empty() && request.function != "latency_conv") {
+    *error = StrFormat("conv shadow: no ground truth for function '%s'",
+                       request.function.c_str());
+    return false;
+  }
+  if (!request.entry_place.empty()) {
+    *error = "conv shadow: per-command pnet injections are not replayable";
+    return false;
+  }
+
+  ConvLayer layer;
+  ConvTile tile;
+  if (!GetU32(request, "height", &layer.height, error) ||
+      !GetU32(request, "width", &layer.width, error) ||
+      !GetU32(request, "channels", &layer.channels, error) ||
+      !GetU32(request, "filters", &layer.filters, error) ||
+      !GetU32(request, "kernel_h", &layer.kernel_h, error) ||
+      !GetU32(request, "kernel_w", &layer.kernel_w, error) ||
+      !GetU32(request, "stride", &layer.stride, error) ||
+      !GetU32(request, "pad", &layer.pad, error) ||
+      !GetU32(request, "tile_h", &tile.tile_h, error) ||
+      !GetU32(request, "tile_w", &tile.tile_w, error) ||
+      !GetU32(request, "tile_k", &tile.tile_k, error)) {
+    return false;
+  }
+  if (!layer.valid() || tile.tile_h == 0 || tile.tile_w == 0 || tile.tile_k == 0) {
+    *error = "conv shadow: invalid layer/tile";
+    return false;
+  }
+
+  const ConvProgram program = LowerConv(layer, tile);
+  const std::string invalid = ValidateConvProgram(program);
+  if (!invalid.empty()) {
+    *error = StrFormat("conv shadow: %s", invalid.c_str());
+    return false;
+  }
+
+  // Same sim configuration the calibration test uses (tests/conv_test.cc):
+  // default timing, recommended memory config, fixed seed — so shadow error
+  // is measured against the interface's own calibration target.
+  ConvSim sim(ConvTiming{}, ConvSim::RecommendedMemoryConfig(), /*seed=*/5);
+  *truth = static_cast<double>(sim.RunLatency(program));
+  return true;
+}
+
+void RegisterConvShadowBackend() {
+  serve::ShadowBackendRegistry::Global().Register("conv", ConvShadowTruth);
+}
+
+}  // namespace perfiface::conv

@@ -1,0 +1,34 @@
+// Shadow-validation backend for the conv interface family.
+//
+// The conv workload vocabulary (the 11 attributes MakeConvWorkload in
+// src/autotune/conv_search.cc emits) fully determines a ConvLayer +
+// ConvTile, so a served prediction can be replayed against the cycle-level
+// simulator: reconstruct the layer/tile from the request's attrs, lower to
+// the macro-ISA program, and run ConvSim with the same default timing,
+// recommended memory config, and seed the calibration test
+// (tests/conv_test.cc) uses. That makes the shadow's ground truth the same
+// ground truth the interface was calibrated against — drift detected here
+// is interface drift, not a disagreement between two simulators.
+#ifndef SRC_ACCEL_CONV_CONV_SHADOW_H_
+#define SRC_ACCEL_CONV_CONV_SHADOW_H_
+
+#include <string>
+
+#include "src/serve/request.h"
+
+namespace perfiface::conv {
+
+// The raw backend: reconstructs the workload from `request` and produces
+// the simulator's latency. Returns false with *error set when the request
+// is outside the conv vocabulary (missing/non-integral attrs, invalid
+// layer, or a pnet query for a place the sim can't mirror).
+bool ConvShadowTruth(const serve::PredictRequest& request, double* truth, std::string* error);
+
+// Registers ConvShadowTruth for interface "conv" in the process-wide
+// ShadowBackendRegistry. Idempotent; call once at startup (perfiface_server
+// does, as do the shadow tests and bench).
+void RegisterConvShadowBackend();
+
+}  // namespace perfiface::conv
+
+#endif  // SRC_ACCEL_CONV_CONV_SHADOW_H_

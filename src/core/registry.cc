@@ -95,6 +95,26 @@ const InterfaceBundle& InterfaceRegistry::Get(const std::string& accelerator) co
   return bundles_.front();
 }
 
+InterfaceRegistry InterfaceRegistry::WithConstant(const std::string& accelerator,
+                                                 const std::string& name, double value) const {
+  InterfaceRegistry copy = *this;
+  for (InterfaceBundle& b : copy.bundles_) {
+    if (b.accelerator != accelerator) {
+      continue;
+    }
+    for (auto& c : b.constants) {
+      if (c.first == name) {
+        c.second = value;
+        return copy;
+      }
+    }
+    b.constants.emplace_back(name, value);
+    return copy;
+  }
+  PI_CHECK_MSG(false, accelerator.c_str());
+  return copy;
+}
+
 ProgramInterface InterfaceRegistry::LoadProgram(const std::string& accelerator) const {
   const InterfaceBundle& b = Get(accelerator);
   PI_CHECK_MSG(!b.program_path.empty(), "no executable interface shipped");

@@ -46,6 +46,14 @@ class InterfaceRegistry {
 
   const std::vector<InterfaceBundle>& bundles() const { return bundles_; }
 
+  // Returns a copy of this registry with one calibration constant of one
+  // accelerator overridden (added if absent). The shipped registry stays
+  // immutable; the copy exists so drift-injection tests can serve a
+  // deliberately miscalibrated interface and watch shadow validation flag
+  // it. Aborts if the accelerator is unknown.
+  InterfaceRegistry WithConstant(const std::string& accelerator, const std::string& name,
+                                 double value) const;
+
   // Root of the interface files (".../src/core/interfaces").
   static std::string InterfaceDir();
 

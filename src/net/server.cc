@@ -17,6 +17,7 @@
 #include "src/common/strings.h"
 #include "src/net/wire.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/span_ring.h"
 #include "src/obs/trace.h"
 
 namespace perfiface::net {
@@ -74,6 +75,17 @@ bool HeaderNameIs(std::string_view header, std::string_view name) {
     }
   }
   return true;
+}
+
+// Every request entering the service carries a trace_id from here on:
+// client-supplied ids pass through untouched, the rest are minted at the
+// network edge so queue flow events and response lines share one id.
+void FillTraceIds(std::vector<serve::PredictRequest>* requests) {
+  for (serve::PredictRequest& request : *requests) {
+    if (request.trace_id.empty()) {
+      request.trace_id = serve::GenerateTraceId();
+    }
+  }
 }
 
 std::string HttpResponse(int status, const char* reason, const char* content_type,
@@ -308,6 +320,7 @@ void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
 
   const auto handle_frame = [&](const std::string& frame) {
     obs::SpanGuard request_span("net", "request");
+    const std::uint64_t frame_start_ns = obs::SpanRing::Global().NowNs();
     std::uint64_t id = 0;
     std::vector<serve::PredictRequest> requests;
     std::string error;
@@ -328,8 +341,12 @@ void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
       TimedWrite(conn.get(), line);
       return;
     }
+    FillTraceIds(&requests);
     if (request_span.active()) {
       request_span.SetArg("requests", static_cast<double>(requests.size()));
+    }
+    if (!requests.empty()) {
+      request_span.SetTraceId(requests.front().trace_id);
     }
 
     // Backpressure: past the pipelining window the frame is answered
@@ -353,6 +370,8 @@ void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
       ++conn->inflight;
     }
 
+    const std::size_t batch_size = requests.size();
+    const std::string frame_trace_id = requests.empty() ? std::string() : requests.front().trace_id;
     auto remaining = std::make_shared<std::atomic<std::size_t>>(requests.size());
     service_->SubmitBatch(
         std::move(requests),
@@ -366,6 +385,12 @@ void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
             conn->inflight_cv.notify_all();
           }
         });
+    // /tracez provenance: one ring entry per accepted frame, covering
+    // decode + enqueue (responses stream asynchronously and are timed by
+    // their own serve/eval entries).
+    obs::SpanRing& ring = obs::SpanRing::Global();
+    ring.Record({"net", "frame", frame_trace_id, StrFormat("%zu requests", batch_size),
+                 frame_start_ns, ring.NowNs() - frame_start_ns});
   };
 
   for (;;) {
@@ -515,6 +540,21 @@ void NetServer::ServeHttp(const std::shared_ptr<Connection>& conn) {
     TimedWrite(conn.get(), HttpResponse(200, "OK", "text/plain", "ok\n"));
     return;
   }
+  if (method == "GET" && path == "/statusz") {
+    // Live service status: uptime, build info, effective options, and
+    // per-interface traffic/latency/shadow summaries (docs/observability.md
+    // "/statusz").
+    TimedWrite(conn.get(),
+               HttpResponse(200, "OK", "application/json", service_->StatuszJson() + "\n"));
+    return;
+  }
+  if (method == "GET" && path == "/tracez") {
+    // Recent spans + slowest-since-start outliers from the always-on ring
+    // (docs/observability.md "/tracez").
+    TimedWrite(conn.get(), HttpResponse(200, "OK", "application/json",
+                                        obs::SpanRing::Global().DumpJson() + "\n"));
+    return;
+  }
   if (method == "GET" && path == "/interfaces") {
     // Discovery: every interface the service answers for, with the
     // representations it ships ("program" = compiled PerfScript,
@@ -561,6 +601,10 @@ void NetServer::ServeHttp(const std::shared_ptr<Connection>& conn) {
       TimedWrite(conn.get(), HttpResponse(400, "Bad Request", "text/plain",
                                           "too many requests in frame\n"));
       return;
+    }
+    FillTraceIds(&requests);
+    if (!requests.empty()) {
+      request_span.SetTraceId(requests.front().trace_id);
     }
     const std::vector<serve::PredictResponse> responses = service_->PredictBatch(requests);
     std::string lines;

@@ -370,6 +370,13 @@ void AppendRequestJson(const serve::PredictRequest& req, std::string* out) {
   if (req.deadline_us != 0) {
     *out += StrFormat(",\"deadline_us\":%lld", static_cast<long long>(req.deadline_us));
   }
+  if (!req.trace_id.empty()) {
+    *out += ",\"trace_id\":";
+    AppendJsonString(out, req.trace_id);
+  }
+  if (req.explain) {
+    *out += ",\"explain\":true";
+  }
   *out += '}';
 }
 
@@ -445,6 +452,22 @@ bool DecodeRequestObject(const JsonValue& obj, serve::PredictRequest* req, std::
       *error = "'deadline_us' must be a non-negative integer";
       return false;
     }
+  }
+  if (const JsonValue* trace = obj.Find("trace_id"); trace != nullptr) {
+    // Bounded: the id is echoed into every span and response line, so a
+    // hostile client must not get to inflate them arbitrarily.
+    if (trace->kind != JsonValue::Kind::kString || trace->str.size() > 128) {
+      *error = "'trace_id' must be a string of at most 128 bytes";
+      return false;
+    }
+    req->trace_id = trace->str;
+  }
+  if (const JsonValue* explain = obj.Find("explain"); explain != nullptr) {
+    if (explain->kind != JsonValue::Kind::kBool) {
+      *error = "'explain' must be a boolean";
+      return false;
+    }
+    req->explain = explain->bool_value;
   }
   return true;
 }
@@ -601,9 +624,34 @@ void EncodeResponseLine(std::uint64_t id, std::size_t index,
     *out += ",\"error\":";
     AppendJsonString(out, response.error);
   }
-  *out += StrFormat(",\"value\":%.17g,\"throughput\":%.17g,\"cache_hit\":%s,\"eval_ns\":%llu}\n",
+  *out += StrFormat(",\"value\":%.17g,\"throughput\":%.17g,\"cache_hit\":%s,\"eval_ns\":%llu",
                     response.value, response.throughput, response.cache_hit ? "true" : "false",
                     static_cast<unsigned long long>(response.eval_ns));
+  if (!response.trace_id.empty()) {
+    *out += ",\"trace_id\":";
+    AppendJsonString(out, response.trace_id);
+  }
+  if (response.explain.filled) {
+    const serve::ExplainInfo& ex = response.explain;
+    *out += ",\"explain\":{\"representation\":";
+    AppendJsonString(out, ex.representation);
+    *out += ",\"cache\":";
+    AppendJsonString(out, ex.cache);
+    *out += StrFormat(
+        ",\"queue_wait_ns\":%llu,\"eval_ns\":%llu,\"steps\":%llu,\"memo_components\":%llu,"
+        "\"memo_hits\":%llu,\"deadline_limited\":%s,\"shadowed\":%s",
+        static_cast<unsigned long long>(ex.queue_wait_ns),
+        static_cast<unsigned long long>(ex.eval_ns), static_cast<unsigned long long>(ex.steps),
+        static_cast<unsigned long long>(ex.memo_components),
+        static_cast<unsigned long long>(ex.memo_hits), ex.deadline_limited ? "true" : "false",
+        ex.shadowed ? "true" : "false");
+    if (ex.shadowed) {
+      *out += StrFormat(",\"shadow_truth\":%.17g,\"shadow_rel_err\":%.17g", ex.shadow_truth,
+                        ex.shadow_rel_err);
+    }
+    *out += '}';
+  }
+  *out += "}\n";
 }
 
 void EncodeMalformedLine(std::uint64_t id, std::string_view error, std::string* out) {
@@ -671,6 +719,54 @@ bool DecodeResponseLine(std::string_view line, WireResponse* out, std::string* e
     if (!RawToUint64(*ns, &out->response.eval_ns)) {
       *error = "'eval_ns' must be a non-negative integer";
       return false;
+    }
+  }
+  if (const JsonValue* trace = root.Find("trace_id");
+      trace != nullptr && trace->kind == JsonValue::Kind::kString) {
+    out->response.trace_id = trace->str;
+  }
+  if (const JsonValue* explain = root.Find("explain");
+      explain != nullptr && explain->kind == JsonValue::Kind::kObject) {
+    serve::ExplainInfo& ex = out->response.explain;
+    ex.filled = true;
+    if (const JsonValue* v = explain->Find("representation");
+        v != nullptr && v->kind == JsonValue::Kind::kString) {
+      ex.representation = v->str;
+    }
+    if (const JsonValue* v = explain->Find("cache");
+        v != nullptr && v->kind == JsonValue::Kind::kString) {
+      ex.cache = v->str;
+    }
+    if (const JsonValue* v = explain->Find("queue_wait_ns"); v != nullptr) {
+      RawToUint64(*v, &ex.queue_wait_ns);
+    }
+    if (const JsonValue* v = explain->Find("eval_ns"); v != nullptr) {
+      RawToUint64(*v, &ex.eval_ns);
+    }
+    if (const JsonValue* v = explain->Find("steps"); v != nullptr) {
+      RawToUint64(*v, &ex.steps);
+    }
+    if (const JsonValue* v = explain->Find("memo_components"); v != nullptr) {
+      RawToUint64(*v, &ex.memo_components);
+    }
+    if (const JsonValue* v = explain->Find("memo_hits"); v != nullptr) {
+      RawToUint64(*v, &ex.memo_hits);
+    }
+    if (const JsonValue* v = explain->Find("deadline_limited");
+        v != nullptr && v->kind == JsonValue::Kind::kBool) {
+      ex.deadline_limited = v->bool_value;
+    }
+    if (const JsonValue* v = explain->Find("shadowed");
+        v != nullptr && v->kind == JsonValue::Kind::kBool) {
+      ex.shadowed = v->bool_value;
+    }
+    if (const JsonValue* v = explain->Find("shadow_truth");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      ex.shadow_truth = v->number;
+    }
+    if (const JsonValue* v = explain->Find("shadow_rel_err");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      ex.shadow_rel_err = v->number;
     }
   }
   return true;

@@ -117,7 +117,9 @@ void EncodeRequestFrame(std::uint64_t id, const std::vector<serve::PredictReques
 bool DecodeRequestFrame(std::string_view frame, std::uint64_t* id,
                         std::vector<serve::PredictRequest>* requests, std::string* error);
 
-// Response line for requests[index] of frame `id`.
+// Response line for requests[index] of frame `id`. Carries the response's
+// trace_id (when set) and, for explain-flagged requests, the structured
+// provenance breakdown (docs/observability.md "Explain").
 void EncodeResponseLine(std::uint64_t id, std::size_t index,
                         const serve::PredictResponse& response, std::string* out);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/strings.h"
+#include "src/obs/build_info.h"
 
 namespace perfiface::obs {
 
@@ -72,6 +73,7 @@ void MetricsRegistry::Unregister(std::uint64_t handle) {
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  AppendBuildInfoMetrics(&out);
   for (const std::unique_ptr<Counter>& c : counters_) {
     out += StrFormat("# HELP %s %s\n", c->name_.c_str(), EscapeHelpText(c->help_).c_str());
     out += StrFormat("# TYPE %s counter\n", c->name_.c_str());

@@ -56,6 +56,12 @@ void AppendArgs(std::string* out, const TraceEvent& e) {
     *out += StrFormat("%s\"%s\":\"", first ? "" : ",", e.str_key);
     AppendJsonEscaped(out, e.str_val);
     *out += '"';
+    first = false;
+  }
+  if (!e.trace_id.empty()) {
+    *out += StrFormat("%s\"trace_id\":\"", first ? "" : ",");
+    AppendJsonEscaped(out, e.trace_id);
+    *out += '"';
   }
   *out += '}';
 }
@@ -170,7 +176,8 @@ void Tracer::CounterDyn(const char* cat, std::string name, double value) {
   Append(std::move(e));
 }
 
-void Tracer::FlowBegin(const char* cat, const char* name, std::uint64_t flow_id) {
+void Tracer::FlowBegin(const char* cat, const char* name, std::uint64_t flow_id,
+                       std::string trace_id) {
   if (!enabled()) {
     return;
   }
@@ -180,10 +187,12 @@ void Tracer::FlowBegin(const char* cat, const char* name, std::uint64_t flow_id)
   e.name = name;
   e.ts_ns = NowNs();
   e.flow_id = flow_id;
+  e.trace_id = std::move(trace_id);
   Append(std::move(e));
 }
 
-void Tracer::FlowEnd(const char* cat, const char* name, std::uint64_t flow_id) {
+void Tracer::FlowEnd(const char* cat, const char* name, std::uint64_t flow_id,
+                     std::string trace_id) {
   if (!enabled()) {
     return;
   }
@@ -193,6 +202,7 @@ void Tracer::FlowEnd(const char* cat, const char* name, std::uint64_t flow_id) {
   e.name = name;
   e.ts_ns = NowNs();
   e.flow_id = flow_id;
+  e.trace_id = std::move(trace_id);
   Append(std::move(e));
 }
 

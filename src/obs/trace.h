@@ -59,6 +59,9 @@ struct TraceEvent {
   double num_val = 0;
   const char* str_key = nullptr;
   std::string str_val;
+  // Wire-propagated trace context (docs/observability.md "Trace context"):
+  // rendered as args.trace_id so one id links a client frame to its spans.
+  std::string trace_id;
 
   const char* EffectiveName() const { return dyn_name.empty() ? name : dyn_name.c_str(); }
 };
@@ -97,8 +100,10 @@ class Tracer {
   // e.g. serve's enqueue -> worker-dequeue handoff. Never sampled: a flow
   // arrow with a missing endpoint is worse than no arrow, so both ends
   // record whenever tracing is on (they are rare next to per-firing spans).
-  void FlowBegin(const char* cat, const char* name, std::uint64_t flow_id);
-  void FlowEnd(const char* cat, const char* name, std::uint64_t flow_id);
+  void FlowBegin(const char* cat, const char* name, std::uint64_t flow_id,
+                 std::string trace_id = {});
+  void FlowEnd(const char* cat, const char* name, std::uint64_t flow_id,
+               std::string trace_id = {});
 
   // Chrome trace_event JSON ({"traceEvents":[...]}); load in Perfetto or
   // chrome://tracing. Safe to call while other threads record.
@@ -168,6 +173,7 @@ class SpanGuard {
     e.num_val = num_val_;
     e.str_key = str_key_;
     e.str_val = std::move(str_val_);
+    e.trace_id = std::move(trace_id_);
     tracer.RecordSpan(std::move(e));
   }
 
@@ -189,6 +195,13 @@ class SpanGuard {
       str_val_ = std::move(value);
     }
   }
+  // Attaches the request's wire trace id; unlike SetArg(str) this has its
+  // own slot, so it composes with an "interface"/"status" string arg.
+  void SetTraceId(std::string trace_id) {
+    if (active()) {
+      trace_id_ = std::move(trace_id);
+    }
+  }
 
  private:
   const char* cat_ = nullptr;
@@ -198,6 +211,7 @@ class SpanGuard {
   double num_val_ = 0;
   const char* str_key_ = nullptr;
   std::string str_val_;
+  std::string trace_id_;
 };
 
 }  // namespace perfiface::obs

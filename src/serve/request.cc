@@ -1,8 +1,12 @@
 #include "src/serve/request.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 
@@ -84,7 +88,29 @@ std::string CanonicalEntryPlace(const std::string& spec, int default_count) {
   return out;
 }
 
+// splitmix64: cheap, well-mixed 64-bit permutation.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+std::string GenerateTraceId() {
+  // One wall-clock+pid sample per process, then a counter: ids are unique
+  // within the process by construction and across concurrent processes with
+  // overwhelming probability.
+  static const std::uint64_t kBase = Mix64(
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::system_clock::now().time_since_epoch())
+                                     .count()) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32));
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = Mix64(kBase + counter.fetch_add(1, std::memory_order_relaxed));
+  return StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
 
 const char* PredictStatusName(PredictStatus s) {
   switch (s) {

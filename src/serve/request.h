@@ -50,6 +50,16 @@ struct PredictRequest {
   // docs/serving.md for how the deadline maps onto the step budget.
   std::uint64_t max_steps = 0;
   std::int64_t deadline_us = 0;
+
+  // Provenance (docs/observability.md "Trace context" / "Explain"). Both
+  // are deliberately excluded from CanonicalCacheKey: they change what the
+  // response *reports*, never what it predicts.
+  //
+  // Client-supplied trace id echoed in the response and attached to every
+  // span the request crosses; the service generates one when empty.
+  std::string trace_id;
+  // Opt-in: fill PredictResponse::explain with the provenance breakdown.
+  bool explain = false;
 };
 
 enum class PredictStatus {
@@ -68,6 +78,34 @@ const char* PredictStatusName(PredictStatus s);
 // name. Used by the wire codec to decode statuses off the network.
 bool PredictStatusFromName(std::string_view name, PredictStatus* out);
 
+// Per-request provenance, filled only when PredictRequest::explain is set.
+// Everything here is assembled from state the evaluation path already
+// tracks; requesting it costs a few string copies, not extra evaluation.
+struct ExplainInfo {
+  bool filled = false;
+  // Which machinery produced the value: "psc-vm", "psc-interp", "pnet",
+  // "pnet-memo" (every component answered from the memo table), or "cache"
+  // (served from the prediction cache without evaluating).
+  std::string representation;
+  // Prediction-cache outcome: "hit", "miss", or "not_consulted" (cache
+  // disabled or the request never reached lookup).
+  std::string cache;
+  std::uint64_t queue_wait_ns = 0;  // batch submission -> worker pickup
+  std::uint64_t eval_ns = 0;        // same clock as PredictResponse::eval_ns
+  // Interpreter/VM steps (program) or net firings consumed (pnet).
+  std::uint64_t steps = 0;
+  // Pnet memo path: components consulted and how many hit the memo table.
+  std::uint64_t memo_components = 0;
+  std::uint64_t memo_hits = 0;
+  // The step budget came from deadline_us rather than max_steps.
+  bool deadline_limited = false;
+  // Shadow validation (docs/observability.md): set when this request was
+  // sampled and re-run against the simulator backend.
+  bool shadowed = false;
+  double shadow_truth = 0;
+  double shadow_rel_err = 0;  // (predicted - truth) / truth, signed
+};
+
 struct PredictResponse {
   PredictStatus status = PredictStatus::kRejected;
   std::string error;  // empty iff status == kOk
@@ -82,8 +120,18 @@ struct PredictResponse {
   bool cache_hit = false;
   std::uint64_t eval_ns = 0;  // service-side evaluation time (0 on a hit)
 
+  // Echo of the request's trace id (service-generated when the request
+  // carried none). Always set by PredictionService, even on errors.
+  std::string trace_id;
+  // Provenance breakdown; filled iff the request set explain.
+  ExplainInfo explain;
+
   bool ok() const { return status == PredictStatus::kOk; }
 };
+
+// Process-unique trace id: 16 lowercase hex chars, seeded from the wall
+// clock and pid at first use so concurrent processes don't collide.
+std::string GenerateTraceId();
 
 // Canonical cache key: representation-resolved, attribute order and float
 // formatting normalized, and the entry-place spec canonicalized (whitespace

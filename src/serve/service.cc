@@ -8,7 +8,9 @@
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/obs/build_info.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/span_ring.h"
 #include "src/obs/trace.h"
 #include "src/perfscript/kv_object.h"
 #include "src/petri/pnet_memo.h"
@@ -69,6 +71,7 @@ const std::vector<PredictResponse>& PredictionService::BatchHandle::Responses() 
 
 PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceOptions options)
     : options_(options),
+      service_start_(Clock::now()),
       cache_(options.cache_capacity, options.cache_shards),
       queue_(options.queue_capacity) {
   // Pre-parse everything the registry ships: queries never touch the
@@ -95,10 +98,17 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
     slot.store(UINT32_MAX, std::memory_order_relaxed);
   }
   metrics_ = std::make_unique<ServiceMetrics>(names);
+  shadow_ = std::make_unique<ShadowValidator>(
+      ShadowOptions{options_.shadow_sample_every, options_.shadow_seed,
+                    options_.shadow_drift_threshold},
+      names);
   // One scrape via MetricsRegistry::RenderPrometheus() unifies this
-  // service's families with the process-wide interp/pnet/sim counters.
-  metrics_collector_ = obs::MetricsRegistry::Global().RegisterCollector(
-      [this](std::string* out) { *out += metrics_->DumpPrometheus(queue_depth()); });
+  // service's families with the process-wide interp/pnet/sim counters (and
+  // the shadow-validation series when the sampler is on).
+  metrics_collector_ = obs::MetricsRegistry::Global().RegisterCollector([this](std::string* out) {
+    *out += metrics_->DumpPrometheus(queue_depth());
+    shadow_->DumpPrometheus(out);
+  });
 
   std::size_t n = options_.num_workers;
   if (n == 0) {
@@ -144,6 +154,47 @@ std::uint64_t PredictionService::DeadlineBudgetSteps(std::int64_t remaining_us,
 
 std::string PredictionService::StatsPrometheus() const {
   return obs::MetricsRegistry::Global().RenderPrometheus();
+}
+
+std::string PredictionService::StatuszJson() const {
+  const double uptime_s =
+      static_cast<double>(ElapsedNs(service_start_, Clock::now())) / 1e9;
+  std::string out = "{";
+  out += StrFormat("\"uptime_s\":%.3f,", uptime_s);
+  out += "\"build\":" + obs::BuildInfoJson() + ",";
+  out += StrFormat(
+      "\"options\":{\"workers\":%zu,\"queue_capacity\":%zu,\"batch_chunk\":%zu,"
+      "\"cache_capacity\":%zu,\"cache_shards\":%zu,\"pnet_memo\":%s,\"psc_compile\":%s,"
+      "\"default_max_steps\":%llu,\"steps_per_us\":%llu,\"shadow_sample_every\":%llu,"
+      "\"shadow_seed\":%llu,\"shadow_drift_threshold\":%.9g,\"span_ring\":%s},",
+      workers_.size(), options_.queue_capacity, options_.batch_chunk, options_.cache_capacity,
+      options_.cache_shards, options_.enable_pnet_memo ? "true" : "false",
+      options_.enable_psc_compile ? "true" : "false",
+      static_cast<unsigned long long>(options_.default_max_steps),
+      static_cast<unsigned long long>(options_.steps_per_us),
+      static_cast<unsigned long long>(options_.shadow_sample_every),
+      static_cast<unsigned long long>(options_.shadow_seed), options_.shadow_drift_threshold,
+      options_.enable_span_ring ? "true" : "false");
+  out += StrFormat("\"queue_depth\":%zu,", queue_depth());
+  out += "\"interfaces\":[";
+  const auto& rows = metrics_->interfaces();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const InterfaceMetrics& m = *rows[i];
+    const std::uint64_t requests = m.requests.load(std::memory_order_relaxed);
+    if (i != 0) {
+      out += ',';
+    }
+    out += StrFormat(
+        "{\"name\":\"%s\",\"requests\":%llu,\"errors\":%llu,\"qps\":%.2f,"
+        "\"p50_us\":%.2f,\"p99_us\":%.2f,\"shadow\":%s}",
+        obs::EscapeLabelValue(m.interface).c_str(), static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(m.errors.load(std::memory_order_relaxed)),
+        uptime_s <= 0 ? 0.0 : static_cast<double>(requests) / uptime_s,
+        m.latency.PercentileNs(50) / 1e3, m.latency.PercentileNs(99) / 1e3,
+        shadow_->SummaryJson(i).c_str());
+  }
+  out += "]}";
+  return out;
 }
 
 std::vector<std::string> PredictionService::InterfaceNames() const {
@@ -207,9 +258,10 @@ std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
     if (tracer.enabled()) {
       // Each chunk gets a flow arrow from this enqueue span to the dequeue
       // span of whichever worker pops it (the queue-wait handoff the flat
-      // span view cannot show).
+      // span view cannot show). The chunk's first trace id rides on the
+      // arrow so a wire trace id finds its queue hop in the export.
       job.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
-      tracer.FlowBegin("serve", "queue", job.flow_id);
+      tracer.FlowBegin("serve", "queue", job.flow_id, requests[begin].trace_id);
     }
     if (!queue_.Push(job)) {
       return begin;
@@ -323,7 +375,8 @@ void PredictionService::WorkerLoop() {
       if (job.flow_id != 0) {
         // Terminate the enqueue->dequeue flow inside this span (the export
         // binds "f" events to their enclosing slice).
-        obs::Tracer::Global().FlowEnd("serve", "queue", job.flow_id);
+        obs::Tracer::Global().FlowEnd("serve", "queue", job.flow_id,
+                                      job.requests[job.begin].trace_id);
       }
     }
     if (obs::Tracer::Global().enabled()) {
@@ -361,11 +414,19 @@ void PredictionService::WorkerLoop() {
 PredictResponse PredictionService::Evaluate(const PredictRequest& request,
                                             Clock::time_point submitted, WorkerState* state) {
   const Clock::time_point start = Clock::now();
+  const std::uint64_t queue_wait_ns = ElapsedNs(submitted, start);
+  const std::uint64_t ring_start_ns =
+      options_.enable_span_ring ? obs::SpanRing::Global().NowNs() : 0;
   PredictResponse response;
+  // Every response carries a trace id: the client's when supplied, a fresh
+  // one otherwise (docs/observability.md "Trace context"). Held in a local
+  // because `response` is wholesale-replaced by the evaluator's result.
+  const std::string trace_id = request.trace_id.empty() ? GenerateTraceId() : request.trace_id;
 
   obs::SpanGuard eval_span("serve", "eval");
   if (eval_span.active()) {
     eval_span.SetArg("interface", request.interface);
+    eval_span.SetTraceId(trace_id);
   }
 
   const std::size_t iface_idx = metrics_->IndexOf(request.interface);
@@ -373,7 +434,15 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   // (expired deadline, unknown interface/function) must not skew the
   // hit/miss counters.
   CacheOutcome cache_outcome = CacheOutcome::kNotConsulted;
+  // Deadline bookkeeping: queue-expired requests are answered without
+  // evaluating; live ones get a step budget capped by the time remaining.
+  std::uint64_t budget =
+      request.max_steps != 0 ? request.max_steps : options_.default_max_steps;
+  bool deadline_limited = false;
+  EvalDetail detail;
+  ShadowValidator::Outcome shadow_outcome;
   auto finish = [&](PredictResponse r) {
+    r.trace_id = trace_id;
     r.eval_ns = ElapsedNs(start, Clock::now());
     metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
     metrics_->RecordStatus(cache_outcome, r.status == PredictStatus::kDeadlineExceeded,
@@ -381,14 +450,36 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
     if (eval_span.active()) {
       eval_span.SetArg("status", std::string(PredictStatusName(r.status)));
     }
+    if (request.explain) {
+      ExplainInfo& ex = r.explain;
+      ex.filled = true;
+      ex.representation = detail.representation;
+      ex.cache = cache_outcome == CacheOutcome::kHit
+                     ? "hit"
+                     : (cache_outcome == CacheOutcome::kMiss ? "miss" : "not_consulted");
+      ex.queue_wait_ns = queue_wait_ns;
+      ex.eval_ns = r.eval_ns;
+      ex.steps = detail.steps;
+      ex.memo_components = detail.memo_components;
+      ex.memo_hits = detail.memo_hits;
+      ex.deadline_limited = deadline_limited;
+      ex.shadowed = shadow_outcome.ran;
+      ex.shadow_truth = shadow_outcome.truth;
+      ex.shadow_rel_err = shadow_outcome.rel_err;
+    }
+    if (options_.enable_span_ring) {
+      obs::SpanRing::Entry ring_entry;
+      ring_entry.cat = "serve";
+      ring_entry.name = "eval";
+      ring_entry.trace_id = r.trace_id;
+      ring_entry.detail = request.interface + ' ' + PredictStatusName(r.status);
+      ring_entry.start_ns = ring_start_ns;
+      ring_entry.dur_ns = r.eval_ns;
+      obs::SpanRing::Global().Record(std::move(ring_entry));
+    }
     return r;
   };
 
-  // Deadline bookkeeping: queue-expired requests are answered without
-  // evaluating; live ones get a step budget capped by the time remaining.
-  std::uint64_t budget =
-      request.max_steps != 0 ? request.max_steps : options_.default_max_steps;
-  bool deadline_limited = false;
   if (request.deadline_us > 0) {
     const std::int64_t elapsed_us = static_cast<std::int64_t>(ElapsedNs(submitted, start) / 1000);
     const std::int64_t remaining_us = request.deadline_us - elapsed_us;
@@ -438,6 +529,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   CachedPrediction cached;
   if (cache_.Get(key, &cached)) {
     cache_outcome = CacheOutcome::kHit;
+    detail.representation = "cache";
     obs::Tracer::Global().Instant("serve", "cache_hit");
     response.status = PredictStatus::kOk;
     response.value = cached.value;
@@ -448,9 +540,15 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   cache_outcome = CacheOutcome::kMiss;
 
   response = rep == Representation::kProgram
-                 ? EvaluateProgram(request, *entry, entry_idx, budget, deadline_limited, state)
-                 : EvaluatePnet(request, *entry, budget, deadline_limited);
+                 ? EvaluateProgram(request, *entry, entry_idx, budget, deadline_limited, state,
+                                   &detail)
+                 : EvaluatePnet(request, *entry, budget, deadline_limited, &detail);
   if (response.ok()) {
+    // Shadow validation rides the miss path only: a cached prediction was
+    // already sampled (same key, same decision) when first evaluated.
+    if (shadow_->enabled() && shadow_->ShouldSample(key)) {
+      shadow_outcome = shadow_->Validate(entry_idx, entry->name, request, response.value);
+    }
     obs::SpanGuard fill_span("serve", "cache_fill");
     cache_.Put(key, CachedPrediction{response.value, response.throughput});
   }
@@ -460,7 +558,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
 PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request,
                                                    const Entry& entry, std::size_t entry_idx,
                                                    std::uint64_t budget, bool deadline_limited,
-                                                   WorkerState* state) {
+                                                   WorkerState* state, EvalDetail* detail) {
   PredictResponse response;
   const ProgramInterface& iface = *entry.program;
   if (!iface.Has(request.function)) {
@@ -492,6 +590,8 @@ PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request
     vm.set_max_steps(budget);
     result = vm.Call(request.function, {Value::Object(&workload)});
     budget_exhausted = vm.step_budget_exhausted();
+    detail->representation = "psc-vm";
+    detail->steps = vm.steps_used();
   } else {
     if (options_.enable_psc_compile) {
       static obs::MetricsRegistry::Counter& fallback_total =
@@ -512,6 +612,8 @@ PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request
     interp.set_max_steps(budget);
     result = interp.Call(request.function, {Value::Object(&workload)});
     budget_exhausted = interp.step_budget_exhausted();
+    detail->representation = "psc-interp";
+    detail->steps = interp.steps_used();
   }
 
   if (!result.ok) {
@@ -538,8 +640,10 @@ PredictResponse PredictionService::EvaluateProgram(const PredictRequest& request
 }
 
 PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, const Entry& entry,
-                                                std::uint64_t budget, bool deadline_limited) {
+                                                std::uint64_t budget, bool deadline_limited,
+                                                EvalDetail* detail) {
   PredictResponse response;
+  detail->representation = "pnet";
   const PetriNet& net = *entry.pnet.net;
   const CompiledNet& cnet = *entry.compiled;
 
@@ -617,6 +721,7 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
     // injected tokens can still fire off its initial marking.
     PnetMemoTable& memo = PnetMemoTable::Global();
     std::uint64_t remaining = budget;
+    detail->memo_components = cnet.num_components();
     for (std::size_t c = 0; c < cnet.num_components(); ++c) {
       const std::string key = PnetMemoTable::Key(cnet, c, token, injections);
       PnetMemoResult result;
@@ -627,6 +732,9 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
         if (lookup_span.active()) {
           lookup_span.SetArg("hit", hit ? 1.0 : 0.0);
         }
+      }
+      if (hit) {
+        ++detail->memo_hits;
       }
       if (!hit) {
         PetriSim sim(&cnet, c);
@@ -651,7 +759,11 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
         memo.Insert(key, result);
       }
       remaining -= result.firings;
+      detail->steps += result.firings;
       value = std::max(value, result.quiesce_time);
+    }
+    if (detail->memo_components != 0 && detail->memo_hits == detail->memo_components) {
+      detail->representation = "pnet-memo";
     }
   } else {
     // Memo off (or net unhashable: opaque C++ closures): one whole-net
@@ -666,6 +778,7 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
     quiesced = sim.Run(kPnetRunBudget);
     firing_budget_hit = sim.firing_budget_exhausted();
     value = sim.now();
+    detail->steps = sim.total_firings();
   }
 
   if (!quiesced) {

@@ -52,6 +52,7 @@
 #include "src/serve/metrics.h"
 #include "src/serve/mpmc_queue.h"
 #include "src/serve/request.h"
+#include "src/serve/shadow.h"
 
 namespace perfiface::serve {
 
@@ -82,6 +83,20 @@ struct ServiceOptions {
   // Deadline→budget conversion: a request with deadline_us left gets at
   // most deadline_us * steps_per_us steps (docs/serving.md).
   std::uint64_t steps_per_us = 200;
+  // Shadow validation (src/serve/shadow.h): re-run 1-in-N evaluated
+  // predictions against the registered simulator backend and track drift.
+  // 0 disables. The sampler is seeded and key-hashed, so the sampled set is
+  // identical across runs regardless of worker interleaving.
+  std::uint64_t shadow_sample_every = 0;
+  std::uint64_t shadow_seed = 0;
+  // |relative error| above this counts as a perfiface_shadow_violations_total
+  // drift violation. The default leaves headroom over conv's calibrated
+  // worst case (~7.7% program max error in tests/conv_test.cc).
+  double shadow_drift_threshold = 0.15;
+  // Record one coarse entry per evaluated request into the process-wide
+  // obs::SpanRing behind GET /tracez. Cheap (a mutex + small copies), but
+  // can be disabled for closed-loop microbenchmarks.
+  bool enable_span_ring = true;
 };
 
 // Per-request completion callback for the async API: invoked once per
@@ -159,6 +174,14 @@ class PredictionService {
   // Interfaces the service can answer for (registry order).
   std::vector<std::string> InterfaceNames() const;
 
+  // Shadow-validation bookkeeping (always constructed; inert when
+  // ServiceOptions::shadow_sample_every is 0).
+  const ShadowValidator& shadow() const { return *shadow_; }
+
+  // GET /statusz body: uptime, build info, effective options, and a
+  // per-interface requests/qps/p50/p99/shadow summary (docs/observability.md).
+  std::string StatuszJson() const;
+
   // Name + shipped representations per interface (registry order); feeds
   // the HTTP GET /interfaces discovery endpoint.
   struct InterfaceInfo {
@@ -224,6 +247,17 @@ class PredictionService {
     std::vector<std::unique_ptr<Vm>> vms;               // by entry index
   };
 
+  // Evaluation-path facts threaded out of EvaluateProgram/EvaluatePnet so
+  // Evaluate can assemble the explain payload and the span-ring entry
+  // without re-deriving them. Static strings only — no per-request
+  // allocation unless the client asked to explain.
+  struct EvalDetail {
+    const char* representation = "";  // "psc-vm" | "psc-interp" | "pnet" | "pnet-memo"
+    std::uint64_t steps = 0;          // interpreter/VM steps or net firings
+    std::uint64_t memo_components = 0;
+    std::uint64_t memo_hits = 0;
+  };
+
   void WorkerLoop();
   // Splits [0, n) into chunks and enqueues them; returns the index of the
   // first request that could not be queued (n when all were accepted).
@@ -235,9 +269,9 @@ class PredictionService {
                            WorkerState* state);
   PredictResponse EvaluateProgram(const PredictRequest& request, const Entry& entry,
                                   std::size_t entry_idx, std::uint64_t budget,
-                                  bool deadline_limited, WorkerState* state);
+                                  bool deadline_limited, WorkerState* state, EvalDetail* detail);
   PredictResponse EvaluatePnet(const PredictRequest& request, const Entry& entry,
-                               std::uint64_t budget, bool deadline_limited);
+                               std::uint64_t budget, bool deadline_limited, EvalDetail* detail);
 
   ServiceOptions options_;
   std::vector<Entry> entries_;
@@ -250,6 +284,8 @@ class PredictionService {
   std::unordered_map<std::string, std::size_t> index_;
   mutable std::array<std::atomic<std::uint32_t>, kHotSlots> hot_;
   std::unique_ptr<ServiceMetrics> metrics_;
+  std::unique_ptr<ShadowValidator> shadow_;
+  Clock::time_point service_start_{};
   ShardedLruCache cache_;
   BoundedQueue<Job> queue_;
   std::atomic<std::uint64_t> next_flow_id_{1};

@@ -1,0 +1,215 @@
+#include "src/serve/shadow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+
+namespace perfiface::serve {
+
+namespace {
+
+std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShadowBackendRegistry& ShadowBackendRegistry::Global() {
+  static ShadowBackendRegistry* registry = new ShadowBackendRegistry();  // never destroyed
+  return *registry;
+}
+
+void ShadowBackendRegistry::Register(const std::string& interface_name, ShadowBackendFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backends_[interface_name] = std::move(fn);
+}
+
+ShadowBackendFn ShadowBackendRegistry::Find(const std::string& interface_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(interface_name);
+  return it == backends_.end() ? ShadowBackendFn() : it->second;
+}
+
+ShadowValidator::ShadowValidator(const ShadowOptions& options,
+                                 std::vector<std::string> interface_names)
+    : options_(options), seed_mix_(Mix64(options.seed)), names_(std::move(interface_names)),
+      rows_(names_.size()) {}
+
+bool ShadowValidator::ShouldSample(std::string_view canonical_key) const {
+  if (options_.sample_every == 0) {
+    return false;
+  }
+  if (options_.sample_every == 1) {
+    return true;
+  }
+  return Mix64(Fnv1a64(canonical_key) ^ seed_mix_) % options_.sample_every == 0;
+}
+
+ShadowValidator::Outcome ShadowValidator::Validate(std::size_t idx,
+                                                   const std::string& interface_name,
+                                                   const PredictRequest& request,
+                                                   double predicted) {
+  Outcome outcome;
+  const ShadowBackendFn backend = ShadowBackendRegistry::Global().Find(interface_name);
+  if (!backend) {
+    outcome.error = "no shadow backend registered";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rows_[idx].errors;
+    return outcome;
+  }
+
+  double truth = 0;
+  std::string error;
+  {
+    obs::SpanGuard span("serve", "shadow");
+    if (span.active()) {
+      span.SetArg("interface", interface_name);
+    }
+    if (!backend(request, &truth, &error)) {
+      outcome.error = error.empty() ? "shadow backend failed" : error;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++rows_[idx].errors;
+      return outcome;
+    }
+  }
+
+  outcome.ran = true;
+  outcome.truth = truth;
+  // A zero-truth prediction can't be expressed as relative error; treat any
+  // nonzero prediction against it as maximal drift.
+  if (truth == 0) {
+    outcome.rel_err = predicted == 0 ? 0 : std::numeric_limits<double>::infinity();
+  } else {
+    outcome.rel_err = (predicted - truth) / truth;
+  }
+  const double abs_err = std::abs(outcome.rel_err);
+  outcome.violation = abs_err > options_.drift_threshold;
+  if (outcome.violation) {
+    obs::Tracer::Global().Instant("serve", "shadow_violation", "rel_err", outcome.rel_err,
+                                  "interface", interface_name);
+  }
+
+  int bucket = 0;
+  if (abs_err > 0) {
+    const int log2b = static_cast<int>(std::floor(std::log2(abs_err)));
+    bucket = std::clamp(log2b + kBucketBias + 1, 0, static_cast<int>(kBuckets) - 1);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Row& row = rows_[idx];
+  ++row.runs;
+  if (outcome.violation) {
+    ++row.violations;
+  }
+  row.signed_sum += outcome.rel_err;
+  row.abs_sum += abs_err;
+  row.max_abs = std::max(row.max_abs, abs_err);
+  ++row.buckets[bucket];
+  return outcome;
+}
+
+std::uint64_t ShadowValidator::runs(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_[idx].runs;
+}
+
+std::uint64_t ShadowValidator::violations(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_[idx].violations;
+}
+
+std::uint64_t ShadowValidator::total_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Row& row : rows_) {
+    n += row.violations;
+  }
+  return n;
+}
+
+void ShadowValidator::DumpPrometheus(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out += "# HELP perfiface_shadow_runs_total Shadow validations that produced ground truth.\n";
+  *out += "# TYPE perfiface_shadow_runs_total counter\n";
+  *out += "# HELP perfiface_shadow_violations_total Shadow validations whose |relative error| "
+          "exceeded the drift threshold.\n";
+  *out += "# TYPE perfiface_shadow_violations_total counter\n";
+  *out += "# HELP perfiface_shadow_errors_total Sampled requests whose shadow backend was "
+          "missing or failed.\n";
+  *out += "# TYPE perfiface_shadow_errors_total counter\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    if (row.runs == 0 && row.errors == 0) {
+      continue;
+    }
+    const std::string label = obs::EscapeLabelValue(names_[i]);
+    *out += StrFormat("perfiface_shadow_runs_total{interface=\"%s\"} %llu\n", label.c_str(),
+                      static_cast<unsigned long long>(row.runs));
+    *out += StrFormat("perfiface_shadow_violations_total{interface=\"%s\"} %llu\n",
+                      label.c_str(), static_cast<unsigned long long>(row.violations));
+    *out += StrFormat("perfiface_shadow_errors_total{interface=\"%s\"} %llu\n", label.c_str(),
+                      static_cast<unsigned long long>(row.errors));
+  }
+
+  *out += "# HELP perfiface_shadow_error_abs |relative error| of shadowed predictions vs the "
+          "simulator, log2 buckets.\n";
+  *out += "# TYPE perfiface_shadow_error_abs histogram\n";
+  *out += "# HELP perfiface_shadow_error_signed_sum Sum of signed relative errors (bias "
+          "direction; divide by runs for the mean).\n";
+  *out += "# TYPE perfiface_shadow_error_signed_sum gauge\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    if (row.runs == 0) {
+      continue;
+    }
+    const std::string label = obs::EscapeLabelValue(names_[i]);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cumulative += row.buckets[b];
+      if (row.buckets[b] == 0 && b + 1 != kBuckets) {
+        continue;  // elide empty buckets, keep the implicit +Inf-equivalent last one
+      }
+      const double le = std::ldexp(1.0, static_cast<int>(b) - kBucketBias);
+      *out += StrFormat("perfiface_shadow_error_abs_bucket{interface=\"%s\",le=\"%.9g\"} %llu\n",
+                        label.c_str(), le, static_cast<unsigned long long>(cumulative));
+    }
+    *out += StrFormat("perfiface_shadow_error_abs_bucket{interface=\"%s\",le=\"+Inf\"} %llu\n",
+                      label.c_str(), static_cast<unsigned long long>(row.runs));
+    *out += StrFormat("perfiface_shadow_error_abs_sum{interface=\"%s\"} %.9g\n", label.c_str(),
+                      row.abs_sum);
+    *out += StrFormat("perfiface_shadow_error_abs_count{interface=\"%s\"} %llu\n", label.c_str(),
+                      static_cast<unsigned long long>(row.runs));
+    *out += StrFormat("perfiface_shadow_error_signed_sum{interface=\"%s\"} %.9g\n",
+                      label.c_str(), row.signed_sum);
+  }
+}
+
+std::string ShadowValidator::SummaryJson(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Row& row = rows_[idx];
+  return StrFormat(
+      "{\"runs\":%llu,\"violations\":%llu,\"errors\":%llu,\"mean_abs_err\":%.9g,"
+      "\"max_abs_err\":%.9g}",
+      static_cast<unsigned long long>(row.runs),
+      static_cast<unsigned long long>(row.violations),
+      static_cast<unsigned long long>(row.errors),
+      row.runs == 0 ? 0.0 : row.abs_sum / static_cast<double>(row.runs), row.max_abs);
+}
+
+}  // namespace perfiface::serve

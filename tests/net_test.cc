@@ -23,6 +23,7 @@
 #include "src/net/server.h"
 #include "src/net/wire.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"
 #include "src/serve/service.h"
@@ -699,6 +700,195 @@ TEST(NetServerHttp, PostPredictRoundTrips) {
   EXPECT_EQ(wire.id, 21u);
   EXPECT_EQ(wire.response.status, PredictStatus::kOk);
   EXPECT_GT(wire.response.value, 0);
+}
+
+// --- Trace context and explain over the wire -------------------------------
+
+TEST(NetServer, TraceIdsRoundTripThroughPipelinedBatches) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+
+  // Even batches carry client-supplied trace ids; odd batches leave the
+  // field empty and must come back with server-generated ones. All frames
+  // go out before any response is read, so ids survive interleaving.
+  constexpr int kBatches = 8;
+  constexpr int kPerBatch = 3;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<PredictRequest> batch;
+    for (int i = 0; i < kPerBatch; ++i) {
+      PredictRequest req = JpegRequest(2000.0 + b * kPerBatch + i, 0.2);
+      if (b % 2 == 0) {
+        req.trace_id = "client-" + std::to_string(b) + "-" + std::to_string(i);
+      }
+      batch.push_back(std::move(req));
+    }
+    ASSERT_TRUE(client.SendBatch(static_cast<std::uint64_t>(b + 1), batch, &error)) << error;
+  }
+
+  std::set<std::string> generated;
+  int supplied_seen = 0;
+  for (int i = 0; i < kBatches * kPerBatch; ++i) {
+    WireResponse wire;
+    ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+    ASSERT_FALSE(wire.malformed) << wire.response.error;
+    ASSERT_EQ(wire.response.status, PredictStatus::kOk) << wire.response.error;
+    const int b = static_cast<int>(wire.id) - 1;
+    if (b % 2 == 0) {
+      EXPECT_EQ(wire.response.trace_id,
+                "client-" + std::to_string(b) + "-" + std::to_string(wire.index));
+      ++supplied_seen;
+    } else {
+      EXPECT_FALSE(wire.response.trace_id.empty());
+      EXPECT_TRUE(generated.insert(wire.response.trace_id).second)
+          << "server-generated trace ids must be unique: " << wire.response.trace_id;
+    }
+  }
+  EXPECT_EQ(supplied_seen, kBatches / 2 * kPerBatch);
+  EXPECT_EQ(generated.size(), static_cast<std::size_t>(kBatches / 2 * kPerBatch));
+}
+
+TEST(NetServer, ExplainTravelsOverTheWire) {
+  serve::ServiceOptions sopts = TwoWorkers();
+  sopts.cache_capacity = 64;
+  TestServer ts(sopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+
+  PredictRequest req = JpegRequest(65536, 0.2);
+  req.explain = true;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call({req}, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].ok()) << responses[0].error;
+  ASSERT_TRUE(responses[0].explain.filled);
+  EXPECT_EQ(responses[0].explain.representation, "psc-vm");
+  EXPECT_EQ(responses[0].explain.cache, "miss");
+  EXPECT_GT(responses[0].explain.eval_ns, 0u);
+  EXPECT_GT(responses[0].explain.steps, 0u);
+
+  // Same query again: served from the prediction cache, and the explain
+  // breakdown says so instead of pretending it was evaluated.
+  ASSERT_TRUE(client.Call({req}, &responses, &error)) << error;
+  ASSERT_TRUE(responses[0].explain.filled);
+  EXPECT_EQ(responses[0].explain.representation, "cache");
+  EXPECT_EQ(responses[0].explain.cache, "hit");
+
+  // Explain is strictly opt-in: the plain request pays no breakdown.
+  ASSERT_TRUE(client.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+  EXPECT_FALSE(responses[0].explain.filled);
+}
+
+TEST(NetServer, ResponseTraceIdAppearsInTraceExport) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start({});  // sample_every = 1: record every span
+
+  {
+    TestServer ts(TwoWorkers());
+    ASSERT_TRUE(ts.ok);
+    NetClient client;
+    std::string error;
+    ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+    PredictRequest req = JpegRequest(65536, 0.2);
+    req.trace_id = "accept-trace-0001";
+    std::vector<PredictResponse> responses;
+    ASSERT_TRUE(client.Call({req}, &responses, &error)) << error;
+    ASSERT_TRUE(responses[0].ok()) << responses[0].error;
+    EXPECT_EQ(responses[0].trace_id, "accept-trace-0001");
+  }  // server + service torn down: worker spans flushed
+
+  const std::string chrome = tracer.ExportChromeJson();
+  tracer.Stop();
+  // The id the client got back is findable in the span dump — the wire
+  // response and the trace tooling agree on identity.
+  EXPECT_NE(chrome.find("\"trace_id\":\"accept-trace-0001\""), std::string::npos);
+}
+
+TEST(NetServerHttp, StatuszReportsBuildOptionsAndInterfaces) {
+  serve::ServiceOptions sopts = TwoWorkers();
+  sopts.shadow_sample_every = 16;
+  TestServer ts(sopts);
+  ASSERT_TRUE(ts.ok);
+
+  // Put a request through so per-interface rows have live numbers.
+  NetClient client;
+  std::string error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  ASSERT_TRUE(client.Call({JpegRequest(65536, 0.2)}, &responses, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/statusz", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(body, &doc, &error)) << error << ": " << body;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* uptime = doc.Find("uptime_s");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GT(uptime->number, 0.0);
+  ASSERT_NE(doc.Find("build"), nullptr);
+  const JsonValue* options = doc.Find("options");
+  ASSERT_NE(options, nullptr);
+  const JsonValue* shadow_every = options->Find("shadow_sample_every");
+  ASSERT_NE(shadow_every, nullptr);
+  EXPECT_EQ(shadow_every->number, 16.0);
+  const JsonValue* interfaces = doc.Find("interfaces");
+  ASSERT_NE(interfaces, nullptr);
+  ASSERT_EQ(interfaces->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(interfaces->array.size(), ts.service.InterfaceNames().size());
+  bool saw_jpeg_traffic = false;
+  for (const auto& row : interfaces->array) {
+    ASSERT_NE(row->Find("name"), nullptr);
+    ASSERT_NE(row->Find("qps"), nullptr);
+    ASSERT_NE(row->Find("p99_us"), nullptr);
+    ASSERT_NE(row->Find("shadow"), nullptr);
+    if (row->Find("name")->str == "jpeg_decoder" && row->Find("requests")->number >= 1) {
+      saw_jpeg_traffic = true;
+    }
+  }
+  EXPECT_TRUE(saw_jpeg_traffic);
+}
+
+TEST(NetServerHttp, TracezListsRecentSpansWithTraceIds) {
+  TestServer ts(TwoWorkers());
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  PredictRequest req = JpegRequest(65536, 0.2);
+  req.trace_id = "tracez-probe-7";
+  ASSERT_TRUE(client.Call({req}, &responses, &error)) << error;
+  ASSERT_TRUE(responses[0].ok()) << responses[0].error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/tracez", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(body, &doc, &error)) << error << ": " << body;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* total = doc.Find("recorded_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->number, 1.0);
+  const JsonValue* recent = doc.Find("recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_EQ(recent->kind, JsonValue::Kind::kArray);
+  ASSERT_NE(doc.Find("slowest"), nullptr);
+  // Both the net frame span and the serve eval span carry the probe id.
+  EXPECT_NE(body.find("tracez-probe-7"), std::string::npos) << body;
 }
 
 TEST(NetServerHttp, PostPredictRejectsBadBody) {

@@ -7,11 +7,14 @@
 #include <cstdint>
 #include <limits>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/accel/conv/conv_shadow.h"
 #include "src/core/program_interface.h"
 #include "src/core/registry.h"
 #include "src/obs/metrics_registry.h"
@@ -945,6 +948,184 @@ TEST(PredictionServiceConcurrency, AsyncBatchesShareTheMemoTable) {
 
 // Satellite: multi-threaded interpreter resource exhaustion. Each thread
 // owns its interpreter; the parsed program and the workload object are
+// A conv latency query in the shadow backend's vocabulary: the 11 workload
+// attrs fully determine the layer + tile the simulator replays.
+PredictRequest ConvRequest(double height, double width, double channels, double filters) {
+  PredictRequest req;
+  req.interface = "conv";
+  req.function = "latency_conv";
+  req.attrs = {{"height", height},   {"width", width}, {"channels", channels},
+               {"filters", filters}, {"kernel_h", 3},  {"kernel_w", 3},
+               {"stride", 1},        {"pad", 1},       {"tile_h", 4},
+               {"tile_w", width},    {"tile_k", 4}};
+  return req;
+}
+
+// The sampled set must depend only on (key set, seed, rate) — never on
+// worker interleaving — or two fleets with the same config would validate
+// different traffic and their drift histograms would not be comparable.
+TEST(ShadowValidation, SamplerIsDeterministicAcrossServiceInstances) {
+  std::mutex mu;
+  std::vector<std::set<std::string>> sampled(3);
+  const auto run_instance = [&](std::size_t instance, std::uint64_t seed) {
+    ShadowBackendRegistry::Global().Register(
+        "jpeg_decoder",
+        [&mu, &sampled, instance](const PredictRequest& req, double* truth, std::string*) {
+          std::lock_guard<std::mutex> lock(mu);
+          sampled[instance].insert(CanonicalCacheKey(req, Representation::kProgram));
+          *truth = 1.0;
+          return true;
+        });
+    ServiceOptions options;
+    options.num_workers = 4;
+    options.cache_capacity = 0;
+    options.shadow_sample_every = 4;
+    options.shadow_seed = seed;
+    PredictionService service(InterfaceRegistry::Default(), options);
+    std::vector<PredictRequest> batch;
+    for (int i = 0; i < 256; ++i) {
+      batch.push_back(JpegRequest(1024 + 64 * i, 0.2));
+    }
+    for (const PredictResponse& r : service.PredictBatch(batch)) {
+      ASSERT_TRUE(r.ok()) << r.error;
+    }
+  };
+  run_instance(0, 99);
+  run_instance(1, 99);
+  run_instance(2, 7);
+  // The recorder captures locals; leave a self-contained stub behind so no
+  // later shadow-enabled service can call into a dangling closure.
+  ShadowBackendRegistry::Global().Register(
+      "jpeg_decoder", [](const PredictRequest&, double*, std::string* error) {
+        *error = "test stub";
+        return false;
+      });
+  EXPECT_FALSE(sampled[0].empty());
+  EXPECT_LT(sampled[0].size(), 256u);  // 1-in-4 sampling, not 1-in-1
+  EXPECT_EQ(sampled[0], sampled[1]);   // same seed -> same sampled set
+  EXPECT_NE(sampled[0], sampled[2]);   // different seed -> different set
+}
+
+// The acceptance check for drift detection: a deliberately miscalibrated
+// registry must light up perfiface_shadow_violations_total, while the
+// shipped calibration — max ~7.7% program error vs the sim — stays under
+// the 15% threshold. The perturbation has to actually move the
+// prediction: step_time is max(iload, mac, store) and these shapes are
+// MAC-bound (~2310 cycles/step vs ~244 for iload at burst_lat=52), so a
+// mild burst_lat bump hides under the max. burst_lat=1500 makes the DMA
+// leg the bottleneck (~6000 cycles/step), a >2x shift vs the sim.
+TEST(ShadowValidation, ForcedDriftRaisesViolationsCalibratedRegistryDoesNot) {
+  conv::RegisterConvShadowBackend();
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 0;
+  options.shadow_sample_every = 1;  // validate every evaluated prediction
+  options.shadow_drift_threshold = 0.15;
+
+  std::vector<PredictRequest> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(ConvRequest(8 + i, 8 + i, 8, 8));
+  }
+
+  std::uint64_t calibrated_runs = 0;
+  {
+    PredictionService service(InterfaceRegistry::Default(), options);
+    for (const PredictResponse& r : service.PredictBatch(batch)) {
+      ASSERT_TRUE(r.ok()) << r.error;
+    }
+    for (std::size_t i = 0; i < service.InterfaceInfos().size(); ++i) {
+      calibrated_runs += service.shadow().runs(i);
+    }
+    EXPECT_EQ(service.shadow().total_violations(), 0u);
+  }
+  EXPECT_EQ(calibrated_runs, batch.size());
+
+  {
+    const InterfaceRegistry drifted =
+        InterfaceRegistry::Default().WithConstant("conv", "burst_lat", 1500.0);
+    PredictionService service(drifted, options);
+    for (const PredictResponse& r : service.PredictBatch(batch)) {
+      ASSERT_TRUE(r.ok()) << r.error;
+    }
+    EXPECT_GT(service.shadow().total_violations(), 0u);
+    const std::string scrape = service.StatsPrometheus();
+    EXPECT_NE(scrape.find("perfiface_shadow_violations_total"), std::string::npos);
+    EXPECT_NE(scrape.find("perfiface_shadow_error_abs_bucket"), std::string::npos);
+  }
+}
+
+TEST(PredictionServiceExplain, BreakdownCoversRepresentationCacheAndTiming) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 64;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req = JpegRequest(65536, 0.2);
+  req.explain = true;
+  const PredictResponse miss = service.Predict(req);
+  ASSERT_TRUE(miss.ok()) << miss.error;
+  EXPECT_FALSE(miss.trace_id.empty());
+  ASSERT_TRUE(miss.explain.filled);
+  EXPECT_EQ(miss.explain.representation, "psc-vm");
+  EXPECT_EQ(miss.explain.cache, "miss");
+  EXPECT_GT(miss.explain.eval_ns, 0u);
+  EXPECT_GT(miss.explain.steps, 0u);
+  EXPECT_FALSE(miss.explain.shadowed);
+
+  // Same workload again: explain/trace_id are excluded from the cache key,
+  // so this hits, and the breakdown says so.
+  const PredictResponse hit = service.Predict(req);
+  ASSERT_TRUE(hit.explain.filled);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.explain.cache, "hit");
+  EXPECT_EQ(hit.explain.representation, "cache");
+
+  // Explain is strictly opt-in.
+  req.explain = false;
+  EXPECT_FALSE(service.Predict(req).explain.filled);
+
+  // A client-supplied trace id echoes back verbatim; generated ids are
+  // unique per response.
+  req.trace_id = "client-supplied-id";
+  EXPECT_EQ(service.Predict(req).trace_id, "client-supplied-id");
+  EXPECT_NE(GenerateTraceId(), GenerateTraceId());
+}
+
+TEST(PredictionServiceExplain, PnetMemoRepresentationProgression) {
+  PnetMemoTable::Global().Clear();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;  // no response cache: the second query re-evaluates
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest req = PnetRequest("jpeg_decoder", "hdr_in:1,vld_in:8");
+  req.explain = true;
+  const PredictResponse first = service.Predict(req);
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_TRUE(first.explain.filled);
+  EXPECT_EQ(first.explain.representation, "pnet");
+  EXPECT_GT(first.explain.memo_components, 0u);
+
+  const PredictResponse second = service.Predict(req);
+  ASSERT_TRUE(second.explain.filled);
+  EXPECT_EQ(second.explain.representation, "pnet-memo");
+  EXPECT_EQ(second.explain.memo_hits, second.explain.memo_components);
+  EXPECT_EQ(second.value, first.value);
+}
+
+TEST(PredictionService, StatuszJsonCoversBuildOptionsAndInterfaces) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(InterfaceRegistry::Default(), options);
+  ASSERT_TRUE(service.Predict(JpegRequest(65536, 0.2)).ok());
+  const std::string status = service.StatuszJson();
+  for (const char* needle :
+       {"\"uptime_s\"", "\"build\"", "\"version\"", "\"options\"", "\"interfaces\"",
+        "\"jpeg_decoder\"", "\"conv\"", "\"shadow\"", "\"qps\"", "\"p99_us\""}) {
+    EXPECT_NE(status.find(needle), std::string::npos) << needle;
+  }
+}
+
 // shared read-only — the documented thread-safety contract of interp.h.
 TEST(InterpreterConcurrency, StepBudgetExhaustsCleanlyAcrossThreads) {
   ParseResult parsed = ParseProgram(

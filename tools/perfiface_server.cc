@@ -3,7 +3,8 @@
 //   perfiface_server [options]
 //
 // Serves the NDJSON wire protocol and HTTP (GET /metrics, GET /healthz,
-// GET /interfaces, POST /predict) on one port; see docs/serving.md "Wire protocol". Prints
+// GET /interfaces, GET /statusz, GET /tracez, POST /predict) on one port;
+// see docs/serving.md "Wire protocol". Prints
 // "listening on HOST:PORT" once ready (with --port 0 this is how callers
 // learn the ephemeral port), then runs until SIGTERM/SIGINT, draining
 // in-flight connections before exiting 0.
@@ -20,6 +21,12 @@
 //   --io-timeout-ms N      per-connection read/write timeout (default 30000)
 //   --max-frame-bytes N    max request frame size (default 1 MiB)
 //   --max-inflight N       per-connection pipelined-batch window (default 32)
+//   --shadow-every N       shadow-validate 1 in N cache-miss predictions
+//                          against the registered simulator backends
+//                          (0 disables; default 0)
+//   --shadow-threshold X   relative error above which a shadow run counts
+//                          as a drift violation (default 0.15)
+//   --shadow-seed N        seed for the deterministic shadow sampler
 //
 // Example:
 //   perfiface_server --port 7077 &
@@ -34,6 +41,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/accel/conv/conv_shadow.h"
 #include "src/core/registry.h"
 #include "src/net/server.h"
 #include "src/serve/service.h"
@@ -55,7 +63,8 @@ int Usage() {
                "usage: perfiface_server [--host ADDR] [--port N] [--workers N] [--cache N]\n"
                "                        [--no-memo] [--no-compile] [--max-conns N]\n"
                "                        [--io-timeout-ms N] [--max-frame-bytes N]\n"
-               "                        [--max-inflight N]\n");
+               "                        [--max-inflight N] [--shadow-every N]\n"
+               "                        [--shadow-threshold X] [--shadow-seed N]\n");
   return 2;
 }
 
@@ -92,6 +101,12 @@ int Main(int argc, char** argv) {
       net_options.max_frame_bytes = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--max-inflight" && (v = value()) != nullptr) {
       net_options.max_inflight_batches = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--shadow-every" && (v = value()) != nullptr) {
+      service_options.shadow_sample_every = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--shadow-threshold" && (v = value()) != nullptr) {
+      service_options.shadow_drift_threshold = std::atof(v);
+    } else if (arg == "--shadow-seed" && (v = value()) != nullptr) {
+      service_options.shadow_seed = static_cast<std::uint64_t>(std::atoll(v));
     } else {
       return Usage();
     }
@@ -104,6 +119,11 @@ int Main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Shadow backends register before the service starts so a --shadow-every
+  // sampler never races a late registration. Today that is conv only; other
+  // accelerators join by registering their own replay backend here.
+  conv::RegisterConvShadowBackend();
 
   serve::PredictionService service(InterfaceRegistry::Default(), service_options);
   NetServer server(&service, net_options);

@@ -17,6 +17,9 @@
 //                          plan (default: first place, `--tokens` copies)
 //   --deadline-us N        per-request deadline
 //   --max-steps N          per-request step/firing budget
+//   --explain              request the per-response provenance breakdown
+//                          (representation, cache outcome, queue/eval time;
+//                          docs/observability.md "Explain")
 //   --workers N            worker threads (default: hardware concurrency)
 //   --cache N              cache capacity in entries (0 disables)
 //   --repeat N             run: repeat the query file N times (cache demo)
@@ -37,18 +40,23 @@
 //   --connect HOST:PORT    query a running perfiface_server over TCP
 //                          instead of an in-process service (the NDJSON
 //                          wire protocol; --async pipelines every repeat
-//                          before collecting). --metrics fetches the
-//                          server's GET /metrics. Service options
-//                          (--workers, --cache, ...) are ignored — they
-//                          belong to the server process.
+//                          before collecting and echoes each response's
+//                          trace_id). `run --connect` reports
+//                          client-observed p50/p99 latency on stderr.
+//                          --metrics fetches the server's GET /metrics.
+//                          Service options (--workers, --cache, ...) are
+//                          ignored — they belong to the server process.
 //
 // Example:
 //   serve_tool query jpeg_decoder latency_jpeg_decode orig_size=65536 compress_rate=0.18
 //   serve_tool query jpeg_decoder - --entry hdr_in:1,vld_in:40 bits=80 blocks=8
 //   serve_tool run examples/serve_queries.txt --trace out.json --stats-format prometheus
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -68,7 +76,7 @@ int Usage() {
                "       serve_tool query <interface> <function|-> [k=v ...] [options]\n"
                "       serve_tool run <query-file> [options]\n"
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
-               "         --deadline-us N --max-steps N --workers N --cache N\n"
+               "         --deadline-us N --max-steps N --explain --workers N --cache N\n"
                "         --repeat N --no-memo --no-compile --async --json --stats\n"
                "         --stats-format text|json|prometheus\n"
                "         --trace FILE --trace-sample N --metrics\n"
@@ -251,6 +259,10 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
     req->max_steps = static_cast<std::uint64_t>(std::atoll(v));
     return 2;
   }
+  if (arg == "--explain") {
+    req->explain = true;
+    return 1;
+  }
   if (arg == "--workers" && value(&v)) {
     cli->service.num_workers = static_cast<std::size_t>(std::atoi(v));
     return 2;
@@ -282,33 +294,83 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
   return 0;
 }
 
-void PrintResponse(const PredictRequest& req, const PredictResponse& resp, bool json) {
+void PrintResponse(const PredictRequest& req, const PredictResponse& resp, bool json,
+                   bool show_trace = false) {
   if (json) {
     std::string attrs;
     for (const auto& kv : req.attrs) {
       attrs += StrFormat("%s\"%s\":%.17g", attrs.empty() ? "" : ",", kv.first.c_str(), kv.second);
     }
+    std::string extras;
+    if (!resp.trace_id.empty()) {
+      extras += StrFormat(",\"trace_id\":\"%s\"", resp.trace_id.c_str());
+    }
+    if (resp.explain.filled) {
+      const ExplainInfo& ex = resp.explain;
+      extras += StrFormat(
+          ",\"explain\":{\"representation\":\"%s\",\"cache\":\"%s\","
+          "\"queue_wait_ns\":%llu,\"eval_ns\":%llu,\"steps\":%llu,"
+          "\"memo_components\":%llu,\"memo_hits\":%llu,\"deadline_limited\":%s,"
+          "\"shadowed\":%s}",
+          ex.representation.c_str(), ex.cache.c_str(),
+          static_cast<unsigned long long>(ex.queue_wait_ns),
+          static_cast<unsigned long long>(ex.eval_ns),
+          static_cast<unsigned long long>(ex.steps),
+          static_cast<unsigned long long>(ex.memo_components),
+          static_cast<unsigned long long>(ex.memo_hits), ex.deadline_limited ? "true" : "false",
+          ex.shadowed ? "true" : "false");
+    }
     std::printf(
         "{\"interface\":\"%s\",\"function\":\"%s\",\"attrs\":{%s},\"status\":\"%s\","
-        "\"value\":%.17g,\"throughput\":%.17g,\"cache_hit\":%s,\"eval_ns\":%llu%s%s%s}\n",
+        "\"value\":%.17g,\"throughput\":%.17g,\"cache_hit\":%s,\"eval_ns\":%llu%s%s%s%s}\n",
         req.interface.c_str(), req.function.c_str(), attrs.c_str(),
         PredictStatusName(resp.status), resp.value, resp.throughput,
         resp.cache_hit ? "true" : "false", static_cast<unsigned long long>(resp.eval_ns),
-        resp.error.empty() ? "" : ",\"error\":\"", resp.error.c_str(),
+        extras.c_str(), resp.error.empty() ? "" : ",\"error\":\"", resp.error.c_str(),
         resp.error.empty() ? "" : "\"");
     return;
   }
+  const std::string trace_suffix =
+      show_trace && !resp.trace_id.empty() ? StrFormat("  [trace %s]", resp.trace_id.c_str())
+                                           : std::string();
   if (!resp.ok()) {
-    std::printf("%s %s: %s (%s)\n", req.interface.c_str(), req.function.c_str(),
-                PredictStatusName(resp.status), resp.error.c_str());
+    std::printf("%s %s: %s (%s)%s\n", req.interface.c_str(), req.function.c_str(),
+                PredictStatusName(resp.status), resp.error.c_str(), trace_suffix.c_str());
     return;
   }
-  std::printf("%s %s = %.10g%s%s\n", req.interface.c_str(),
+  std::printf("%s %s = %.10g%s%s%s\n", req.interface.c_str(),
               req.function.empty() ? "<pnet>" : req.function.c_str(), resp.value,
               resp.throughput != 0 && resp.throughput != resp.value
                   ? StrFormat("  (throughput %.10g)", resp.throughput).c_str()
                   : "",
-              resp.cache_hit ? "  [cached]" : "");
+              resp.cache_hit ? "  [cached]" : "", trace_suffix.c_str());
+  if (resp.explain.filled) {
+    const ExplainInfo& ex = resp.explain;
+    std::printf("  explain: rep=%s cache=%s queue=%lluns eval=%lluns steps=%llu memo=%llu/%llu%s%s\n",
+                ex.representation.c_str(), ex.cache.c_str(),
+                static_cast<unsigned long long>(ex.queue_wait_ns),
+                static_cast<unsigned long long>(ex.eval_ns),
+                static_cast<unsigned long long>(ex.steps),
+                static_cast<unsigned long long>(ex.memo_hits),
+                static_cast<unsigned long long>(ex.memo_components),
+                ex.deadline_limited ? " deadline-limited" : "",
+                ex.shadowed ? StrFormat(" shadow_rel_err=%.4g", ex.shadow_rel_err).c_str() : "");
+  }
+}
+
+// Client-observed latency summary for `run --connect`: stderr so stdout
+// stays parseable response lines.
+void PrintClientLatency(std::vector<double>* latencies_us) {
+  if (latencies_us->empty()) {
+    return;
+  }
+  std::sort(latencies_us->begin(), latencies_us->end());
+  const auto pct = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(p * (latencies_us->size() - 1) + 0.5);
+    return (*latencies_us)[std::min(idx, latencies_us->size() - 1)];
+  };
+  std::fprintf(stderr, "client-observed latency over %zu responses: p50=%.1fus p99=%.1fus\n",
+               latencies_us->size(), pct(0.50), pct(0.99));
 }
 
 // Parses "<interface> <function|-> [k=v ...]" into a request; options are
@@ -408,13 +470,20 @@ int RunRemote(const std::vector<PredictRequest>& requests, const CliOptions& cli
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  using LatClock = std::chrono::steady_clock;
+  const auto elapsed_us = [](LatClock::time_point since) {
+    return std::chrono::duration<double, std::micro>(LatClock::now() - since).count();
+  };
+  std::vector<double> latencies_us;  // client-observed, per response line
   const int total = std::max(1, cli.repeat);
   std::vector<PredictResponse> last(requests.size());
   if (cli.async) {
     std::vector<std::uint64_t> ids;
+    std::map<std::uint64_t, LatClock::time_point> sent_at;
     ids.reserve(static_cast<std::size_t>(total));
     for (int r = 0; r < total; ++r) {
       ids.push_back(client.NextId());
+      sent_at[ids.back()] = LatClock::now();
       if (!client.SendBatch(ids.back(), requests, &error)) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
@@ -431,25 +500,35 @@ int RunRemote(const std::vector<PredictRequest>& requests, const CliOptions& cli
         std::fprintf(stderr, "server rejected frame: %s\n", wire.response.error.c_str());
         return 1;
       }
+      const auto it = sent_at.find(wire.id);
+      if (it != sent_at.end()) {
+        // Latency as the client sees it: frame send to this response line.
+        latencies_us.push_back(elapsed_us(it->second));
+      }
       if (wire.id == ids.back() && wire.index < last.size()) {
         last[wire.index] = wire.response;
       }
     }
   } else {
     for (int r = 0; r < total; ++r) {
+      const LatClock::time_point call_start = LatClock::now();
       if (!client.Call(requests, &last, &error)) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
       }
+      latencies_us.push_back(elapsed_us(call_start));
     }
   }
   int failures = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    PrintResponse(requests[i], last[i], cli.json);
+    // --async echoes the server's trace ids so pipelined responses can be
+    // matched against /tracez and trace exports.
+    PrintResponse(requests[i], last[i], cli.json, /*show_trace=*/cli.async);
     if (!last[i].ok()) {
       ++failures;
     }
   }
+  PrintClientLatency(&latencies_us);
   if (cli.metrics && PrintRemoteMetrics(host, port) != 0) {
     return 1;
   }
