@@ -1,0 +1,189 @@
+// Parametric memoization: per-component delay curves fitted online.
+//
+// The exact memo table (src/petri/pnet_memo.h) only pays off when token
+// attributes match a previous run bit-for-bit; the Zipf tail of near-miss
+// queries re-simulates everything. But the paper's whole premise is that
+// an accelerator's latency is a *simple function* of the workload — simple
+// enough that a least-squares fit over the memo key's own feature vector
+// (the schema-sorted token attributes) recovers it from the exact results
+// the memo path computes anyway. This store is that fit: one ridge
+// regression per (component structural hash, injection plan), over the
+// attributes plus their pairwise products, updated incrementally from
+// every exact memo fill (normal equations under a shard lock, fixed
+// memory), and consulted on exact-memo misses.
+//
+// Serving an interpolated value is gated three ways, and a refused gate
+// falls back to simulation exactly as before (the strict path stays
+// bit-identical):
+//   1. the model has seen >= min_samples exact results,
+//   2. the query lies inside the observed per-attribute hull (clamped
+//      extrapolation is refused, never served), and
+//   3. the model's running residual bound — the max prequential relative
+//      error over a recent window of exact results — is below max_rel_err.
+//
+// Budget accounting stays conservative: a parametric hit charges the
+// maximum firing count ever observed for the model, and the gate refuses
+// when that count would exhaust the caller's remaining budget (mirroring
+// the exact table's firings < budget rule).
+//
+// Thread-safety: all methods safe from any thread (sharded mutexes).
+#ifndef SRC_PETRI_PARAM_MODEL_H_
+#define SRC_PETRI_PARAM_MODEL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/petri/compiled_net.h"
+
+namespace perfiface {
+
+// Gate knobs, owned by the caller (ServiceOptions in the serving layer).
+struct ParamGate {
+  std::size_t min_samples = 32;
+  double max_rel_err = 0.02;
+};
+
+// One interpolated component result. `firings` is the conservative budget
+// charge (max observed for this model, never an extrapolation).
+struct ParamPrediction {
+  double quiesce_time = 0;
+  std::uint64_t firings = 0;
+};
+
+class ParamModelStore {
+ public:
+  enum class Outcome {
+    kHit,         // gate open: *out is the interpolated result
+    kNoModel,     // no model for this key (or attribute arity changed)
+    kFewSamples,  // model exists but has < min_samples exact results
+    kOutsideHull, // a query attribute lies outside the observed range
+    kResidual,    // running residual bound above max_rel_err (or unsolvable)
+    kBudget,      // conservative firing charge would exhaust the budget
+  };
+
+  // The process-wide store the serving layer shares, like the memo table.
+  static ParamModelStore& Global();
+
+  explicit ParamModelStore(std::size_t max_models = 4096, std::size_t num_shards = 16);
+  ~ParamModelStore();
+
+  ParamModelStore(const ParamModelStore&) = delete;
+  ParamModelStore& operator=(const ParamModelStore&) = delete;
+
+  // Model key: the component structural hash plus the canonical injection
+  // plan — the exact memo key (pnet_memo.h) with the attribute section
+  // removed, because the attributes are the model's *inputs*, not its
+  // identity. Empty if the net is unhashable (unhashable nets are never
+  // fitted, exactly as they are never memoized).
+  static std::string Key(const CompiledNet& net, std::size_t component,
+                         const std::vector<std::pair<PlaceId, int>>& injections);
+
+  // Feeds one exact component result into the fitter. `attrs` is the
+  // schema-sorted attribute vector (the same ordering the memo key uses);
+  // its size fixes the model's feature map at creation. Before the update,
+  // the current fit is scored against the new ground truth (prequential
+  // validation) and the relative error feeds the running residual bound
+  // and the perfiface_param_memo_rel_err histogram. Fixed memory: when the
+  // store is at max_models, unseen keys are ignored.
+  void Observe(const std::string& key, const std::vector<double>& attrs,
+               double quiesce_time, std::uint64_t firings);
+
+  // Consults the fitted model. Returns kHit (and fills *out) only when
+  // every gate opens; any other outcome means the caller must simulate.
+  // `budget` is the caller's remaining firing budget (the kBudget gate).
+  Outcome Predict(const std::string& key, const std::vector<double>& attrs,
+                  const ParamGate& gate, std::uint64_t budget, ParamPrediction* out);
+
+  void Clear();
+
+  // Store-local totals (the perfiface_param_memo_* counters aggregate
+  // across stores; these back tests and the /statusz summary).
+  std::size_t size() const;
+  std::uint64_t fits() const { return fits_.load(std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t refused_hull() const { return refused_hull_.load(std::memory_order_relaxed); }
+  std::uint64_t refused_residual() const {
+    return refused_residual_.load(std::memory_order_relaxed);
+  }
+
+  // {"models":N,"fits":N,"hits":N,...} for the /statusz param summary.
+  std::string SummaryJson() const;
+
+ private:
+  // Feature map: 1, x_i, then x_i*x_j (i <= j) when the quadratic
+  // expansion fits kMaxFeatures; linear-only otherwise; nets with more
+  // attributes than even that allows are not modeled.
+  static constexpr std::size_t kMaxFeatures = 64;
+  // Residual ring: the gate's "running residual bound" is the max
+  // prequential |rel err| over this many most-recent exact results.
+  static constexpr std::size_t kResidualWindow = 64;
+  // The bound is meaningless until a few post-convergence residuals exist.
+  static constexpr std::size_t kMinResiduals = 8;
+
+  struct Model {
+    std::size_t n = 0;              // attribute count (fixed at creation)
+    std::size_t p = 0;              // feature count (0 = not modelable)
+    std::uint64_t count = 0;        // exact results folded in
+    std::vector<double> xtx;        // p*p normal matrix, row-major
+    std::vector<double> xty;        // p
+    std::vector<double> coef;       // p, valid iff solved && solvable
+    bool dirty = true;              // xtx/xty changed since last solve
+    bool solvable = false;
+    std::vector<double> lo, hi;     // per-attribute observed hull
+    std::uint64_t max_firings = 0;
+    std::array<double, kResidualWindow> residuals{};
+    std::uint64_t residual_count = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Model>> models;
+  };
+
+  static std::size_t FeatureCount(std::size_t n);
+  static void BuildFeatures(const std::vector<double>& attrs, std::size_t p,
+                            std::vector<double>* phi);
+  // Equilibrated Cholesky solve of the normal equations with iterative
+  // refinement; escalates ridge damping only when the factorization fails,
+  // so well-conditioned exact fits (affine nets) are recovered to near
+  // machine precision. Updates coef/solvable/dirty.
+  static void Solve(Model* m);
+  static double ResidualBound(const Model& m);
+
+  Shard& ShardFor(const std::string& key);
+  void RecordRelErr(double abs_rel_err);
+
+  std::size_t max_models_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> total_models_{0};
+
+  std::atomic<std::uint64_t> fits_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> refused_hull_{0};
+  std::atomic<std::uint64_t> refused_residual_{0};
+
+  // Prequential |rel err| histogram over log2 buckets (same scheme as the
+  // shadow validator's): bucket b covers [2^(b-kBucketBias-1),
+  // 2^(b-kBucketBias)); underflow lands in bucket 0, overflow in the last.
+  static constexpr int kBucketBias = 20;
+  static constexpr int kBucketsAboveOne = 4;
+  static constexpr std::size_t kBuckets = kBucketBias + kBucketsAboveOne + 1;
+  std::array<std::atomic<std::uint64_t>, kBuckets> err_buckets_{};
+  std::atomic<std::uint64_t> err_count_{0};
+  // Atomic double via CAS-add: exposition-only, contention is negligible.
+  std::atomic<double> err_sum_{0};
+
+  std::uint64_t metrics_collector_ = 0;  // obs::MetricsRegistry handle
+};
+
+}  // namespace perfiface
+
+#endif  // SRC_PETRI_PARAM_MODEL_H_

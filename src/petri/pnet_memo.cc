@@ -13,7 +13,30 @@ PnetMemoTable& PnetMemoTable::Global() {
 }
 
 PnetMemoTable::PnetMemoTable(std::size_t capacity, std::size_t num_shards)
-    : table_(capacity, num_shards) {}
+    : table_(capacity, num_shards) {
+  // Occupancy exposition rides a collector (size is a gauge, not a
+  // counter). Each table emits its own samples; in practice only the
+  // process-wide Global() table exists when a scrape runs.
+  metrics_collector_ =
+      obs::MetricsRegistry::Global().RegisterCollector([this](std::string* out) {
+        *out += "# HELP perfiface_pnet_memo_entries Sub-net memo table entries currently "
+                "resident.\n";
+        *out += "# TYPE perfiface_pnet_memo_entries gauge\n";
+        *out += StrFormat("perfiface_pnet_memo_entries %zu\n", this->size());
+        *out += "# HELP perfiface_pnet_memo_capacity Sub-net memo table entry capacity.\n";
+        *out += "# TYPE perfiface_pnet_memo_capacity gauge\n";
+        *out += StrFormat("perfiface_pnet_memo_capacity %zu\n", this->capacity());
+        *out += "# HELP perfiface_pnet_memo_evictions_total Sub-net memo entries evicted by "
+                "LRU capacity pressure.\n";
+        *out += "# TYPE perfiface_pnet_memo_evictions_total counter\n";
+        *out += StrFormat("perfiface_pnet_memo_evictions_total %llu\n",
+                          static_cast<unsigned long long>(evictions()));
+      });
+}
+
+PnetMemoTable::~PnetMemoTable() {
+  obs::MetricsRegistry::Global().Unregister(metrics_collector_);
+}
 
 std::string PnetMemoTable::Key(const CompiledNet& net, std::size_t component, const Token& token,
                                const std::vector<std::pair<PlaceId, int>>& injections) {
@@ -41,6 +64,13 @@ std::string PnetMemoTable::Key(const CompiledNet& net, std::size_t component, co
     key += StrFormat("=%.17g", token.Attr(slot));
   }
 
+  AppendCanonicalPlan(net, component, injections, &key);
+  return key;
+}
+
+void PnetMemoTable::AppendCanonicalPlan(const CompiledNet& net, std::size_t component,
+                                        const std::vector<std::pair<PlaceId, int>>& injections,
+                                        std::string* key) {
   // Injection plan restricted to this component, as sorted (local place
   // index, count) pairs: the same sub-net keyed identically no matter
   // where it sits inside the enclosing net. All injected tokens carry the
@@ -63,9 +93,8 @@ std::string PnetMemoTable::Key(const CompiledNet& net, std::size_t component, co
     for (std::size_t j = i + 1; j < plan.size() && plan[j].first == plan[i].first; ++j) {
       count += plan[j].second;
     }
-    key += StrFormat("\x1f@%u:%lld", plan[i].first, count);
+    *key += StrFormat("\x1f@%u:%lld", plan[i].first, count);
   }
-  return key;
 }
 
 bool PnetMemoTable::Lookup(const std::string& key, std::uint64_t budget, PnetMemoResult* out) {

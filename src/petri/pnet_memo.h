@@ -50,6 +50,7 @@ class PnetMemoTable {
   static PnetMemoTable& Global();
 
   explicit PnetMemoTable(std::size_t capacity = 1 << 16, std::size_t num_shards = 16);
+  ~PnetMemoTable();
 
   // Canonical key for one component evaluation: component hash, the
   // token's attribute values labeled by schema name (sorted by name, so
@@ -58,6 +59,14 @@ class PnetMemoTable {
   // the net is unhashable — unhashable nets must not be memoized.
   static std::string Key(const CompiledNet& net, std::size_t component, const Token& token,
                          const std::vector<std::pair<PlaceId, int>>& injections);
+
+  // The key's injection-plan section alone: the plan restricted to
+  // `component`, as sorted, duplicate-merged "\x1f@local:count" items.
+  // Shared with the parametric model store (src/petri/param_model.h),
+  // whose model identity is exactly this key minus the attributes.
+  static void AppendCanonicalPlan(const CompiledNet& net, std::size_t component,
+                                  const std::vector<std::pair<PlaceId, int>>& injections,
+                                  std::string* key);
 
   // Hit iff present AND the stored firing count is strictly below `budget`
   // (PetriSim reports exhaustion at exactly `budget` firings, so a memo
@@ -75,12 +84,18 @@ class PnetMemoTable {
   // simulate), unlike the raw LRU counters underneath.
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Occupancy view for /statusz and the perfiface_pnet_memo_{entries,
+  // capacity,evictions_total} exposition: without these, hit-rate drops
+  // caused by capacity churn are indistinguishable from cold traffic.
   std::size_t size() const { return table_.size(); }
+  std::size_t capacity() const { return table_.capacity(); }
+  std::uint64_t evictions() const { return table_.evictions(); }
 
  private:
   ShardedLru<PnetMemoResult> table_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t metrics_collector_ = 0;  // obs::MetricsRegistry handle
 };
 
 }  // namespace perfiface

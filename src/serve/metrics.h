@@ -52,6 +52,9 @@ struct InterfaceMetrics {
   LatencyHistogram latency;                  // end-to-end service-side time
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> errors{0};
+  // Pnet components this interface served from the parametric model
+  // (src/petri/param_model.h); feeds the /statusz per-interface summary.
+  std::atomic<std::uint64_t> param_hits{0};
 };
 
 // What the cache saw for one request. Requests that are resolved before the
@@ -70,6 +73,11 @@ class ServiceMetrics {
 
   void RecordRequest(std::size_t iface_idx, std::uint64_t latency_ns, bool ok);
   void RecordStatus(CacheOutcome cache, bool deadline_exceeded, bool rejected);
+  void RecordParamHits(std::size_t iface_idx, std::uint64_t hits) {
+    if (hits != 0 && iface_idx < per_interface_.size()) {
+      per_interface_[iface_idx]->param_hits.fetch_add(hits, std::memory_order_relaxed);
+    }
+  }
 
   // One registry lookup, answered by the lock-free hot tier (`hot`) or by
   // the cold hash index (which then refreshes the hot slot).

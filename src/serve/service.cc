@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 
@@ -13,6 +14,7 @@
 #include "src/obs/span_ring.h"
 #include "src/obs/trace.h"
 #include "src/perfscript/kv_object.h"
+#include "src/petri/param_model.h"
 #include "src/petri/pnet_memo.h"
 #include "src/petri/sim.h"
 
@@ -87,6 +89,15 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
       entry.pnet = LoadPnetFile(bundle.pnet_path);
       PI_CHECK_MSG(entry.pnet.ok(), entry.pnet.error.c_str());
       entry.compiled = std::make_unique<CompiledNet>(entry.pnet.net.get());
+      const std::vector<std::string>& attr_names = entry.pnet.net->attr_names();
+      entry.attr_order.resize(attr_names.size());
+      for (std::size_t slot = 0; slot < entry.attr_order.size(); ++slot) {
+        entry.attr_order[slot] = slot;
+      }
+      std::sort(entry.attr_order.begin(), entry.attr_order.end(),
+                [&attr_names](std::size_t a, std::size_t b) {
+                  return attr_names[a] < attr_names[b];
+                });
     }
     names.push_back(entry.name);
     entries_.push_back(std::move(entry));
@@ -164,18 +175,30 @@ std::string PredictionService::StatuszJson() const {
   out += "\"build\":" + obs::BuildInfoJson() + ",";
   out += StrFormat(
       "\"options\":{\"workers\":%zu,\"queue_capacity\":%zu,\"batch_chunk\":%zu,"
-      "\"cache_capacity\":%zu,\"cache_shards\":%zu,\"pnet_memo\":%s,\"psc_compile\":%s,"
+      "\"cache_capacity\":%zu,\"cache_shards\":%zu,\"pnet_memo\":%s,\"param_memo\":%s,"
+      "\"param_memo_min_samples\":%zu,\"param_memo_max_rel_err\":%.9g,\"psc_compile\":%s,"
       "\"default_max_steps\":%llu,\"steps_per_us\":%llu,\"shadow_sample_every\":%llu,"
       "\"shadow_seed\":%llu,\"shadow_drift_threshold\":%.9g,\"span_ring\":%s},",
       workers_.size(), options_.queue_capacity, options_.batch_chunk, options_.cache_capacity,
       options_.cache_shards, options_.enable_pnet_memo ? "true" : "false",
-      options_.enable_psc_compile ? "true" : "false",
+      options_.enable_param_memo ? "true" : "false", options_.param_memo_min_samples,
+      options_.param_memo_max_rel_err, options_.enable_psc_compile ? "true" : "false",
       static_cast<unsigned long long>(options_.default_max_steps),
       static_cast<unsigned long long>(options_.steps_per_us),
       static_cast<unsigned long long>(options_.shadow_sample_every),
       static_cast<unsigned long long>(options_.shadow_seed), options_.shadow_drift_threshold,
       options_.enable_span_ring ? "true" : "false");
   out += StrFormat("\"queue_depth\":%zu,", queue_depth());
+  // Memo-vs-param attribution: occupancy/eviction pressure on the exact
+  // table next to the parametric store's fit/hit/refusal totals.
+  const PnetMemoTable& memo = PnetMemoTable::Global();
+  out += StrFormat(
+      "\"pnet_memo\":{\"entries\":%zu,\"capacity\":%zu,\"hits\":%llu,\"misses\":%llu,"
+      "\"evictions\":%llu},",
+      memo.size(), memo.capacity(), static_cast<unsigned long long>(memo.hits()),
+      static_cast<unsigned long long>(memo.misses()),
+      static_cast<unsigned long long>(memo.evictions()));
+  out += "\"param_store\":" + ParamModelStore::Global().SummaryJson() + ",";
   out += "\"interfaces\":[";
   const auto& rows = metrics_->interfaces();
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -186,11 +209,12 @@ std::string PredictionService::StatuszJson() const {
     }
     out += StrFormat(
         "{\"name\":\"%s\",\"requests\":%llu,\"errors\":%llu,\"qps\":%.2f,"
-        "\"p50_us\":%.2f,\"p99_us\":%.2f,\"shadow\":%s}",
+        "\"p50_us\":%.2f,\"p99_us\":%.2f,\"param_hits\":%llu,\"shadow\":%s}",
         obs::EscapeLabelValue(m.interface).c_str(), static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(m.errors.load(std::memory_order_relaxed)),
         uptime_s <= 0 ? 0.0 : static_cast<double>(requests) / uptime_s,
         m.latency.PercentileNs(50) / 1e3, m.latency.PercentileNs(99) / 1e3,
+        static_cast<unsigned long long>(m.param_hits.load(std::memory_order_relaxed)),
         shadow_->SummaryJson(i).c_str());
   }
   out += "]}";
@@ -445,6 +469,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
     r.trace_id = trace_id;
     r.eval_ns = ElapsedNs(start, Clock::now());
     metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
+    metrics_->RecordParamHits(iface_idx, detail.param_hits);
     metrics_->RecordStatus(cache_outcome, r.status == PredictStatus::kDeadlineExceeded,
                            r.status == PredictStatus::kRejected);
     if (eval_span.active()) {
@@ -462,6 +487,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
       ex.steps = detail.steps;
       ex.memo_components = detail.memo_components;
       ex.memo_hits = detail.memo_hits;
+      ex.param_hits = detail.param_hits;
       ex.deadline_limited = deadline_limited;
       ex.shadowed = shadow_outcome.ran;
       ex.shadow_truth = shadow_outcome.truth;
@@ -720,6 +746,20 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
     // the interleaving differs). Every component must run — one with no
     // injected tokens can still fire off its initial marking.
     PnetMemoTable& memo = PnetMemoTable::Global();
+    ParamModelStore& params = ParamModelStore::Global();
+    const bool param_memo = options_.enable_param_memo;
+    const ParamGate param_gate{options_.param_memo_min_samples,
+                               options_.param_memo_max_rel_err};
+    // Schema-sorted attribute vector: the memo key's canonical attribute
+    // order, doubling as the parametric model's feature vector. Built only
+    // when the parametric tier is on — the strict path allocates nothing.
+    std::vector<double> sorted_attrs;
+    if (param_memo) {
+      sorted_attrs.reserve(entry.attr_order.size());
+      for (const std::size_t slot : entry.attr_order) {
+        sorted_attrs.push_back(token.attrs[slot]);
+      }
+    }
     std::uint64_t remaining = budget;
     detail->memo_components = cnet.num_components();
     for (std::size_t c = 0; c < cnet.num_components(); ++c) {
@@ -735,6 +775,29 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
       }
       if (hit) {
         ++detail->memo_hits;
+      }
+      std::string param_key;
+      if (!hit && param_memo) {
+        // Second tier: the fitted per-component delay curve. A gate-open
+        // prediction substitutes for the simulation below; any refusal
+        // falls through to simulate exactly as with the tier off.
+        param_key = ParamModelStore::Key(cnet, c, injections);
+        ParamPrediction predicted;
+        ParamModelStore::Outcome outcome;
+        {
+          obs::SpanGuard param_span("serve", "param_lookup");
+          outcome = params.Predict(param_key, sorted_attrs, param_gate, remaining, &predicted);
+          if (param_span.active()) {
+            param_span.SetArg("hit", outcome == ParamModelStore::Outcome::kHit ? 1.0 : 0.0);
+          }
+        }
+        if (outcome == ParamModelStore::Outcome::kHit) {
+          ++detail->param_hits;
+          remaining -= predicted.firings;
+          detail->steps += predicted.firings;
+          value = std::max(value, static_cast<Cycles>(std::llround(predicted.quiesce_time)));
+          continue;
+        }
       }
       if (!hit) {
         PetriSim sim(&cnet, c);
@@ -757,13 +820,20 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
         }
         // Only quiesced results enter the table (pnet_memo.h contract).
         memo.Insert(key, result);
+        if (param_memo) {
+          // Every exact fill also feeds the fitter: the parametric tier
+          // learns from precisely the results the memo table stores.
+          params.Observe(param_key, sorted_attrs, static_cast<double>(result.quiesce_time),
+                         result.firings);
+        }
       }
       remaining -= result.firings;
       detail->steps += result.firings;
       value = std::max(value, result.quiesce_time);
     }
-    if (detail->memo_components != 0 && detail->memo_hits == detail->memo_components) {
-      detail->representation = "pnet-memo";
+    if (detail->memo_components != 0 &&
+        detail->memo_hits + detail->param_hits == detail->memo_components) {
+      detail->representation = detail->param_hits != 0 ? "pnet-param" : "pnet-memo";
     }
   } else {
     // Memo off (or net unhashable: opaque C++ closures): one whole-net

@@ -71,6 +71,18 @@ struct ServiceOptions {
   // table in src/petri/pnet_memo.h). Off, every pnet query simulates from
   // scratch — useful for benchmarking and for verifying equivalence.
   bool enable_pnet_memo = true;
+  // Parametric memoization (src/petri/param_model.h): on an exact-memo
+  // miss, consult the per-component delay curve fitted online from prior
+  // exact results and serve the interpolated value when the gates open
+  // (enough samples, query inside the observed attribute hull, running
+  // residual bound under param_memo_max_rel_err). Off by default: enabling
+  // it trades bit-exact replay of the simulation for interpolated answers
+  // on near-miss traffic. Gate-closed queries are bit-identical to the
+  // memo-only path either way. Requires enable_pnet_memo (the exact fills
+  // are what feed the fitter).
+  bool enable_param_memo = false;
+  std::size_t param_memo_min_samples = 32;
+  double param_memo_max_rel_err = 0.02;
   // Evaluate program interfaces through their compiled bytecode (one Vm per
   // worker per program) instead of the tree-walking interpreter. Programs
   // outside the compilable subset always use the interpreter. Off, every
@@ -208,6 +220,10 @@ class PredictionService {
     std::optional<ProgramInterface> program;  // shared parse + constants
     LoadedNet pnet;                           // pnet.net null if none shipped
     std::unique_ptr<CompiledNet> compiled;    // non-null iff pnet.net is
+    // Token-schema slots sorted by attribute name: the memo key's
+    // canonical attribute order, reused as the parametric model's feature
+    // vector (computed once here, not per request).
+    std::vector<std::size_t> attr_order;
   };
 
   // Completion state shared between a batch submitter and the workers.
@@ -252,10 +268,12 @@ class PredictionService {
   // without re-deriving them. Static strings only — no per-request
   // allocation unless the client asked to explain.
   struct EvalDetail {
-    const char* representation = "";  // "psc-vm" | "psc-interp" | "pnet" | "pnet-memo"
+    // "psc-vm" | "psc-interp" | "pnet" | "pnet-memo" | "pnet-param"
+    const char* representation = "";
     std::uint64_t steps = 0;          // interpreter/VM steps or net firings
     std::uint64_t memo_components = 0;
     std::uint64_t memo_hits = 0;
+    std::uint64_t param_hits = 0;     // components served by the fitted model
   };
 
   void WorkerLoop();

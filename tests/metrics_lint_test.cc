@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "src/accel/conv/conv_shadow.h"
+#include "src/accel/jpeg/jpeg_shadow.h"
 #include "src/common/loc.h"
 #include "src/core/registry.h"
 #include "src/net/client.h"
@@ -50,14 +51,16 @@ std::string BaseFamily(const std::string& name) {
 
 TEST(MetricsLint, EveryEmittedFamilyIsDocumented) {
   // Drive every layer that contributes families: program queries (VM +
-  // interpreter fallback counters), pnet queries (memo table), conv
-  // queries with shadow validation on (conv sim + shadow families), and
-  // the TCP front end (net counters).
+  // interpreter fallback counters), pnet queries (memo table + parametric
+  // store), conv queries with shadow validation on (conv sim + shadow
+  // families), and the TCP front end (net counters).
   conv::RegisterConvShadowBackend();
+  jpeg::RegisterJpegShadowBackend();
   serve::ServiceOptions options;
   options.num_workers = 2;
   options.cache_capacity = 64;
   options.shadow_sample_every = 1;
+  options.enable_param_memo = true;
   serve::PredictionService service(InterfaceRegistry::Default(), options);
   net::NetServer server(&service);
   std::string error;

@@ -1,0 +1,277 @@
+// Tests for the parametric memoization store (src/petri/param_model.h):
+// the affine/quadratic recovery property the serving gate relies on, every
+// refusal gate, fixed-memory behavior, and concurrent fit+lookup (this
+// binary joins serve_test in the ThreadSanitizer CI job).
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pnet.h"
+#include "src/petri/compiled_net.h"
+#include "src/petri/net.h"
+#include "src/petri/param_model.h"
+#include "src/petri/pnet_memo.h"
+#include "src/petri/sim.h"
+
+namespace perfiface {
+namespace {
+
+// One simulated run of a single-transition net: inject a token carrying
+// (x, y), run to quiescence, report the arrival time and firing count.
+struct SimResult {
+  double quiesce_time = 0;
+  std::uint64_t firings = 0;
+};
+
+SimResult Simulate(const LoadedNet& loaded, double x, double y) {
+  PetriSim sim(loaded.net.get());
+  const PlaceId out = loaded.net->PlaceByName("out");
+  sim.Observe(out);
+  Token token;
+  token.attrs.assign(loaded.net->attr_names().size(), 0.0);
+  token.attrs[loaded.net->FindAttr("x")] = x;
+  token.attrs[loaded.net->FindAttr("y")] = y;
+  sim.Inject(loaded.net->PlaceByName("in"), token);
+  EXPECT_TRUE(sim.Run(1'000'000'000));
+  SimResult r;
+  r.quiesce_time = static_cast<double>(sim.arrivals(out).back().time);
+  r.firings = sim.total_firings();
+  return r;
+}
+
+constexpr const char* kAffineNet =
+    "net affine\n"
+    "attr x\n"
+    "attr y\n"
+    "place in\n"
+    "place out\n"
+    "trans t in=in out=out delay=\"100 + 3 * x + 7 * y\"\n";
+
+// The tentpole property: a delay that *is* affine in the attributes is
+// recovered by the fit so precisely that an interpolated answer equals the
+// simulated one within 1e-9 — at query points the fitter never saw.
+TEST(ParamModel, AffineRecoveryMatchesSimulation) {
+  const LoadedNet loaded = LoadPnet(kAffineNet);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+
+  ParamModelStore store;
+  const std::string key = "affine-demo";
+  // Observe an even-coordinate grid; query odd coordinates inside it, so
+  // every checked point is a genuine near-miss, not a replay. Several
+  // passes: the residual ring judges the *recent* prequential errors, and
+  // the earliest ones (scored while the design was still rank-deficient)
+  // must age out, exactly as they do under live traffic.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int x = 0; x <= 10; x += 2) {
+      for (int y = 0; y <= 10; y += 2) {
+        const SimResult r = Simulate(loaded, x, y);
+        store.Observe(key, {static_cast<double>(x), static_cast<double>(y)}, r.quiesce_time,
+                      r.firings);
+      }
+    }
+  }
+
+  const ParamGate gate{/*min_samples=*/16, /*max_rel_err=*/0.02};
+  for (int x = 1; x <= 9; x += 2) {
+    for (int y = 1; y <= 9; y += 2) {
+      const SimResult truth = Simulate(loaded, x, y);
+      ParamPrediction out;
+      ASSERT_EQ(store.Predict(key, {static_cast<double>(x), static_cast<double>(y)}, gate,
+                              /*budget=*/1000, &out),
+                ParamModelStore::Outcome::kHit)
+          << "x=" << x << " y=" << y;
+      EXPECT_NEAR(out.quiesce_time, truth.quiesce_time, 1e-9 * truth.quiesce_time);
+      // Conservative budget charge: the max firing count ever observed.
+      EXPECT_EQ(out.firings, truth.firings);
+    }
+  }
+  EXPECT_GT(store.hits(), 0u);
+  EXPECT_EQ(store.refused_hull(), 0u);
+  EXPECT_EQ(store.refused_residual(), 0u);
+}
+
+// Pairwise products are in the feature basis, so an interaction term is
+// recovered exactly too.
+TEST(ParamModel, QuadraticRecovery) {
+  ParamModelStore store;
+  const std::string key = "quad";
+  const auto f = [](double x, double y) { return 2.0 + 0.5 * x * x + 3.0 * x * y; };
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int x = 1; x <= 8; ++x) {
+      for (int y = 1; y <= 8; ++y) {
+        store.Observe(key, {static_cast<double>(x), static_cast<double>(y)}, f(x, y), 1);
+      }
+    }
+  }
+  const ParamGate gate{16, 0.02};
+  ParamPrediction out;
+  ASSERT_EQ(store.Predict(key, {3.5, 6.5}, gate, 100, &out), ParamModelStore::Outcome::kHit);
+  EXPECT_NEAR(out.quiesce_time, f(3.5, 6.5), 1e-9 * f(3.5, 6.5));
+}
+
+TEST(ParamModel, GateRefusesUnknownKeyAndEmptyKey) {
+  ParamModelStore store;
+  ParamPrediction out;
+  EXPECT_EQ(store.Predict("missing", {1.0}, ParamGate{}, 100, &out),
+            ParamModelStore::Outcome::kNoModel);
+  store.Observe("", {1.0}, 10.0, 1);  // empty key (unhashable net): no-op
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Predict("", {1.0}, ParamGate{}, 100, &out),
+            ParamModelStore::Outcome::kNoModel);
+}
+
+TEST(ParamModel, GateRefusesFewSamples) {
+  ParamModelStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Observe("k", {static_cast<double>(i)}, 5.0 + i, 1);
+  }
+  ParamPrediction out;
+  EXPECT_EQ(store.Predict("k", {4.0}, ParamGate{/*min_samples=*/32, 0.02}, 100, &out),
+            ParamModelStore::Outcome::kFewSamples);
+}
+
+TEST(ParamModel, GateRefusesOutsideHull) {
+  ParamModelStore store;
+  for (int i = 0; i <= 40; ++i) {
+    store.Observe("k", {static_cast<double>(i)}, 5.0 + 2.0 * i, 1);
+  }
+  const ParamGate gate{16, 0.02};
+  ParamPrediction out;
+  // Inside the hull: served. Outside (either side): refused, never
+  // extrapolated — even though the fit itself would be exact here.
+  EXPECT_EQ(store.Predict("k", {20.5}, gate, 100, &out), ParamModelStore::Outcome::kHit);
+  EXPECT_EQ(store.Predict("k", {-1.0}, gate, 100, &out),
+            ParamModelStore::Outcome::kOutsideHull);
+  EXPECT_EQ(store.Predict("k", {41.0}, gate, 100, &out),
+            ParamModelStore::Outcome::kOutsideHull);
+  EXPECT_EQ(store.refused_hull(), 2u);
+}
+
+TEST(ParamModel, GateRefusesHighResidual) {
+  ParamModelStore store;
+  // A cubic is outside the quadratic feature basis: prequential residuals
+  // stay high, so the gate must keep refusing at a tight threshold.
+  for (int i = 1; i <= 60; ++i) {
+    const double x = static_cast<double>(i);
+    store.Observe("k", {x}, x * x * x, 1);
+  }
+  ParamPrediction out;
+  EXPECT_EQ(store.Predict("k", {30.5}, ParamGate{16, /*max_rel_err=*/1e-4}, 1000, &out),
+            ParamModelStore::Outcome::kResidual);
+  EXPECT_GT(store.refused_residual(), 0u);
+}
+
+TEST(ParamModel, GateRefusesWhenBudgetWouldBeExhausted) {
+  ParamModelStore store;
+  for (int i = 0; i <= 40; ++i) {
+    store.Observe("k", {static_cast<double>(i)}, 5.0 + 2.0 * i, /*firings=*/25);
+  }
+  const ParamGate gate{16, 0.02};
+  ParamPrediction out;
+  // Mirrors the exact memo rule (firings < budget, strictly).
+  EXPECT_EQ(store.Predict("k", {20.0}, gate, /*budget=*/25, &out),
+            ParamModelStore::Outcome::kBudget);
+  ASSERT_EQ(store.Predict("k", {20.0}, gate, /*budget=*/26, &out),
+            ParamModelStore::Outcome::kHit);
+  EXPECT_EQ(out.firings, 25u);
+}
+
+TEST(ParamModel, ArityChangeNeverPoisonsTheModel) {
+  ParamModelStore store;
+  for (int i = 0; i <= 40; ++i) {
+    store.Observe("k", {static_cast<double>(i)}, 5.0 + 2.0 * i, 1);
+  }
+  const std::uint64_t fits_before = store.fits();
+  store.Observe("k", {1.0, 2.0}, 99.0, 1);  // wrong arity: dropped
+  EXPECT_EQ(store.fits(), fits_before);
+  ParamPrediction out;
+  EXPECT_EQ(store.Predict("k", {1.0, 2.0}, ParamGate{16, 0.02}, 100, &out),
+            ParamModelStore::Outcome::kNoModel);
+  EXPECT_EQ(store.Predict("k", {20.0}, ParamGate{16, 0.02}, 100, &out),
+            ParamModelStore::Outcome::kHit);
+}
+
+TEST(ParamModel, FixedMemoryNeverGrowsPastMaxModels) {
+  ParamModelStore store(/*max_models=*/2, /*num_shards=*/1);
+  store.Observe("a", {1.0}, 1.0, 1);
+  store.Observe("b", {1.0}, 1.0, 1);
+  store.Observe("c", {1.0}, 1.0, 1);  // at capacity: ignored
+  EXPECT_EQ(store.size(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  store.Observe("c", {1.0}, 1.0, 1);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// The model key is the exact memo key minus the attribute section: same
+// component hash, same canonical plan — so near-miss queries (different
+// attrs, same structure) share one model.
+TEST(ParamModel, KeyIsMemoKeyWithoutAttributes) {
+  const LoadedNet loaded = LoadPnet(kAffineNet);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const CompiledNet compiled(loaded.net.get());
+  ASSERT_TRUE(compiled.hashable());
+
+  const std::vector<std::pair<PlaceId, int>> plan = {
+      {loaded.net->PlaceByName("in"), 3}};
+  const std::string param_key = ParamModelStore::Key(compiled, 0, plan);
+  EXPECT_FALSE(param_key.empty());
+
+  Token t1;
+  t1.attrs = {1.0, 2.0};
+  Token t2;
+  t2.attrs = {9.0, 4.0};
+  const std::string memo1 = PnetMemoTable::Key(compiled, 0, t1, plan);
+  const std::string memo2 = PnetMemoTable::Key(compiled, 0, t2, plan);
+  EXPECT_NE(memo1, memo2);  // attrs separate exact entries...
+  // ...but both share the param key's hash prefix and plan suffix.
+  const std::string hash_prefix = param_key.substr(0, 16);
+  const std::string plan_suffix = param_key.substr(16);
+  EXPECT_EQ(memo1.substr(0, 16), hash_prefix);
+  EXPECT_EQ(memo2.substr(0, 16), hash_prefix);
+  EXPECT_EQ(memo1.substr(memo1.size() - plan_suffix.size()), plan_suffix);
+  EXPECT_EQ(memo2.substr(memo2.size() - plan_suffix.size()), plan_suffix);
+}
+
+// Concurrent Observe + Predict on a shared store: the TSan job runs this.
+TEST(ParamModel, ConcurrentFitAndLookup) {
+  ParamModelStore store;
+  const ParamGate gate{16, 0.02};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&store, t] {
+      const std::string key = t == 0 ? "left" : "right";
+      for (int i = 0; i <= 60; ++i) {
+        const double x = static_cast<double>(i);
+        const double z = static_cast<double>((i * 7) % 11);
+        store.Observe(key, {x, z}, 50.0 + 3.0 * x + 2.0 * z, 2);
+      }
+    });
+    threads.emplace_back([&store, &gate, t] {
+      const std::string key = t == 0 ? "left" : "right";
+      ParamPrediction out;
+      for (int i = 0; i < 200; ++i) {
+        const double x = 10.0 + (i % 40);
+        (void)store.Predict(key, {x, 5.0}, gate, 1000, &out);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  // After the dust settles both models serve interior queries exactly.
+  for (const char* key : {"left", "right"}) {
+    ParamPrediction out;
+    ASSERT_EQ(store.Predict(key, {20.5, 5.0}, gate, 1000, &out),
+              ParamModelStore::Outcome::kHit)
+        << key;
+    const double want = 50.0 + 3.0 * 20.5 + 2.0 * 5.0;
+    EXPECT_NEAR(out.quiesce_time, want, 1e-9 * want);
+  }
+}
+
+}  // namespace
+}  // namespace perfiface

@@ -3,6 +3,7 @@
 // (this binary is the ThreadSanitizer target in CI).
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
@@ -15,12 +16,14 @@
 #include <gtest/gtest.h>
 
 #include "src/accel/conv/conv_shadow.h"
+#include "src/accel/jpeg/jpeg_shadow.h"
 #include "src/core/program_interface.h"
 #include "src/core/registry.h"
 #include "src/obs/metrics_registry.h"
 #include "src/perfscript/interp.h"
 #include "src/perfscript/kv_object.h"
 #include "src/perfscript/parser.h"
+#include "src/petri/param_model.h"
 #include "src/petri/pnet_memo.h"
 #include "src/serve/lru_cache.h"
 #include "src/serve/metrics.h"
@@ -1124,6 +1127,222 @@ TEST(PredictionService, StatuszJsonCoversBuildOptionsAndInterfaces) {
         "\"jpeg_decoder\"", "\"conv\"", "\"shadow\"", "\"qps\"", "\"p99_us\""}) {
     EXPECT_NE(status.find(needle), std::string::npos) << needle;
   }
+}
+
+// --- parametric memoization (docs/serving.md "Parametric memoization") ---
+
+// A jpeg stripe query with a distinct coded-bit count: the near-miss
+// traffic shape the parametric tier exists for.
+PredictRequest JpegStripeRequest(double bits, const std::string& plan = "hdr_in:1,vld_in:8") {
+  PredictRequest req;
+  req.interface = "jpeg_decoder";
+  req.representation = Representation::kPnet;
+  req.entry_place = plan;
+  req.attrs = {{"bits", bits}, {"blocks", 8.0}};
+  return req;
+}
+
+// Acceptance: with every gate held shut (min_samples unreachable), the
+// param-enabled service must serve values bit-identical to a service that
+// always simulates — the parametric tier may only ever *add* hits, never
+// change a fallback answer.
+TEST(PredictionServiceParam, GateClosedServesBitIdenticalValues) {
+  PnetMemoTable::Global().Clear();
+  ParamModelStore::Global().Clear();
+  ServiceOptions strict;
+  strict.num_workers = 1;
+  strict.cache_capacity = 0;
+  strict.enable_pnet_memo = false;  // simulates every query from scratch
+  ServiceOptions gated = strict;
+  gated.enable_pnet_memo = true;
+  gated.enable_param_memo = true;
+  gated.param_memo_min_samples = static_cast<std::size_t>(1) << 40;  // never opens
+  PredictionService sim_svc(InterfaceRegistry::Default(), strict);
+  PredictionService gated_svc(InterfaceRegistry::Default(), gated);
+
+  const std::uint64_t hits_before = ParamModelStore::Global().hits();
+  for (int i = 0; i < 24; ++i) {
+    PredictRequest req = JpegStripeRequest(40000.0 + 613.0 * i);
+    req.explain = true;
+    const PredictResponse base = sim_svc.Predict(req);
+    const PredictResponse got = gated_svc.Predict(req);
+    ASSERT_TRUE(base.ok() && got.ok()) << base.error << got.error;
+    EXPECT_EQ(got.value, base.value) << i;
+    EXPECT_EQ(got.throughput, base.throughput) << i;
+    ASSERT_TRUE(got.explain.filled);
+    EXPECT_EQ(got.explain.param_hits, 0u) << i;
+    EXPECT_NE(got.explain.representation, "pnet-param") << i;
+  }
+  // The gate never opened, but every exact result still fed the fitter.
+  EXPECT_EQ(ParamModelStore::Global().hits(), hits_before);
+  EXPECT_GT(ParamModelStore::Global().fits(), 0u);
+}
+
+// Out-of-hull and high-residual queries must fall back to simulation and
+// reproduce the strict path's value exactly.
+TEST(PredictionServiceParam, RefusedGatesFallBackBitIdentically) {
+  PnetMemoTable::Global().Clear();
+  ParamModelStore::Global().Clear();
+  ServiceOptions strict;
+  strict.num_workers = 1;
+  strict.cache_capacity = 0;
+  strict.enable_pnet_memo = false;
+  PredictionService sim_svc(InterfaceRegistry::Default(), strict);
+
+  // Hull gate: warm a narrow bit range with the residual gate loose, then
+  // query far below it — clamped extrapolation must be refused.
+  ServiceOptions hull = strict;
+  hull.enable_pnet_memo = true;
+  hull.enable_param_memo = true;
+  hull.param_memo_min_samples = 4;
+  hull.param_memo_max_rel_err = 0.5;
+  PredictionService hull_svc(InterfaceRegistry::Default(), hull);
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(hull_svc.Predict(JpegStripeRequest(40000.0 + 613.0 * i)).ok());
+  }
+  const std::uint64_t hull_refusals = ParamModelStore::Global().refused_hull();
+  PredictRequest below = JpegStripeRequest(200.0);
+  below.explain = true;
+  const PredictResponse hull_base = sim_svc.Predict(below);
+  const PredictResponse hull_got = hull_svc.Predict(below);
+  ASSERT_TRUE(hull_base.ok() && hull_got.ok());
+  EXPECT_EQ(hull_got.value, hull_base.value);
+  EXPECT_EQ(hull_got.explain.param_hits, 0u);
+  EXPECT_GT(ParamModelStore::Global().refused_hull(), hull_refusals);
+
+  // Residual gate: a different injection plan (its own model) over the
+  // VLD-sensitive bit range, with an impossible residual bound. The 1/bits
+  // delay curve leaves nonzero prequential residuals, so the gate refuses
+  // even for interior queries.
+  ServiceOptions resid = hull;
+  resid.param_memo_max_rel_err = 0.0;
+  PredictionService resid_svc(InterfaceRegistry::Default(), resid);
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(
+        resid_svc.Predict(JpegStripeRequest(200.0 + 25.0 * i, "hdr_in:1,vld_in:9")).ok());
+  }
+  const std::uint64_t resid_refusals = ParamModelStore::Global().refused_residual();
+  PredictRequest mid = JpegStripeRequest(437.0, "hdr_in:1,vld_in:9");
+  mid.explain = true;
+  const PredictResponse resid_base = sim_svc.Predict(mid);
+  const PredictResponse resid_got = resid_svc.Predict(mid);
+  ASSERT_TRUE(resid_base.ok() && resid_got.ok());
+  EXPECT_EQ(resid_got.value, resid_base.value);
+  EXPECT_EQ(resid_got.explain.param_hits, 0u);
+  EXPECT_GT(ParamModelStore::Global().refused_residual(), resid_refusals);
+}
+
+// The payoff path: after enough exact fills, an unseen interior workload
+// is served from the fitted curve — representation "pnet-param", the hit
+// attributed in explain and /statusz, and the value within the gate's own
+// error budget of the simulated truth.
+TEST(PredictionServiceParam, NearMissServesPnetParamWithProvenance) {
+  PnetMemoTable::Global().Clear();
+  ParamModelStore::Global().Clear();
+  ServiceOptions strict;
+  strict.num_workers = 1;
+  strict.cache_capacity = 0;
+  strict.enable_pnet_memo = false;
+  PredictionService sim_svc(InterfaceRegistry::Default(), strict);
+
+  ServiceOptions on = strict;
+  on.enable_pnet_memo = true;
+  on.enable_param_memo = true;
+  on.param_memo_min_samples = 16;
+  on.param_memo_max_rel_err = 0.02;
+  PredictionService svc(InterfaceRegistry::Default(), on);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(svc.Predict(JpegStripeRequest(40000.0 + 977.0 * i)).ok());
+  }
+
+  PredictRequest probe = JpegStripeRequest(40500.0);  // unseen, inside the hull
+  probe.explain = true;
+  const PredictResponse base = sim_svc.Predict(probe);
+  const PredictResponse got = svc.Predict(probe);
+  ASSERT_TRUE(base.ok() && got.ok()) << base.error << got.error;
+  ASSERT_TRUE(got.explain.filled);
+  EXPECT_EQ(got.explain.representation, "pnet-param");
+  EXPECT_GT(got.explain.param_hits, 0u);
+  EXPECT_EQ(got.explain.memo_hits + got.explain.param_hits, got.explain.memo_components);
+  EXPECT_NEAR(got.value, base.value, 0.02 * base.value);
+  EXPECT_GT(ParamModelStore::Global().hits(), 0u);
+
+  const std::string status = svc.StatuszJson();
+  for (const char* needle : {"\"param_memo\":true", "\"param_store\"", "\"models\"",
+                             "\"param_hits\"", "\"pnet_memo\"", "\"evictions\""}) {
+    EXPECT_NE(status.find(needle), std::string::npos) << needle;
+  }
+}
+
+// --- jpeg shadow backend (src/accel/jpeg/jpeg_shadow.h) ---
+
+// End-to-end: the registered jpeg backend replays both the program query
+// and the standard stripe query against the cycle-level simulator, and the
+// shipped calibration stays under the drift threshold.
+TEST(ShadowValidation, JpegBackendReplaysProgramAndStripeQueries) {
+  jpeg::RegisterJpegShadowBackend();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  options.shadow_sample_every = 1;
+  options.shadow_drift_threshold = 0.15;
+  PredictionService service(InterfaceRegistry::Default(), options);
+
+  PredictRequest prog = JpegRequest(65536, 0.2);
+  prog.explain = true;
+  const PredictResponse p = service.Predict(prog);
+  ASSERT_TRUE(p.ok()) << p.error;
+  ASSERT_TRUE(p.explain.filled);
+  ASSERT_TRUE(p.explain.shadowed);
+  EXPECT_GT(p.explain.shadow_truth, 0.0);
+  EXPECT_LT(std::abs(p.explain.shadow_rel_err), 0.15);
+
+  PredictRequest pnet = JpegStripeRequest(800.0);
+  pnet.explain = true;
+  const PredictResponse q = service.Predict(pnet);
+  ASSERT_TRUE(q.ok()) << q.error;
+  ASSERT_TRUE(q.explain.shadowed);
+  // The pnet replay differs from the sim only by the un-modeled
+  // realignment stall — well inside 5%.
+  EXPECT_LT(std::abs(q.explain.shadow_rel_err), 0.05);
+  EXPECT_EQ(service.shadow().total_violations(), 0u);
+}
+
+// Requests outside the replayable vocabulary are refused (shadow errors),
+// never guessed at (false violations).
+TEST(ShadowValidation, JpegBackendRefusesOutsideVocabulary) {
+  double truth = 0;
+  std::string error;
+
+  PredictRequest tput = JpegRequest(65536, 0.2);
+  tput.function = "tput_jpeg_decode";
+  EXPECT_FALSE(jpeg::JpegShadowTruth(tput, &truth, &error));
+
+  // orig_size not a whole number of 8x8 blocks.
+  EXPECT_FALSE(jpeg::JpegShadowTruth(JpegRequest(65536 + 100, 0.2), &truth, &error));
+  // compress_rate so low the payload would be empty.
+  EXPECT_FALSE(jpeg::JpegShadowTruth(JpegRequest(65536, 0.0001), &truth, &error));
+
+  // Injection plans the stripe vocabulary does not cover.
+  EXPECT_FALSE(
+      jpeg::JpegShadowTruth(JpegStripeRequest(800.0, "vld_in:8"), &truth, &error));
+  EXPECT_FALSE(
+      jpeg::JpegShadowTruth(JpegStripeRequest(800.0, "hdr_in:2,vld_in:8"), &truth, &error));
+  EXPECT_FALSE(
+      jpeg::JpegShadowTruth(JpegStripeRequest(800.0, "hdr_in:1,fifo1:1"), &truth, &error));
+  PredictRequest partial = JpegStripeRequest(800.0, "hdr_in:1,vld_in:2");
+  partial.attrs = {{"bits", 800.0}, {"blocks", 5.0}};  // two partial stripes
+  EXPECT_FALSE(jpeg::JpegShadowTruth(partial, &truth, &error));
+  // Default-entry pnet query (tokens into hdr_in only): no image to decode.
+  PredictRequest default_entry = JpegStripeRequest(800.0, "");
+  EXPECT_FALSE(jpeg::JpegShadowTruth(default_entry, &truth, &error));
+
+  // The well-formed variants of the same queries replay fine.
+  EXPECT_TRUE(jpeg::JpegShadowTruth(JpegRequest(65536, 0.2), &truth, &error)) << error;
+  EXPECT_GT(truth, 0.0);
+  PredictRequest single = JpegStripeRequest(500.0, "hdr_in:1,vld_in:1");
+  single.attrs = {{"bits", 500.0}, {"blocks", 5.0}};  // one partial stripe: fine
+  EXPECT_TRUE(jpeg::JpegShadowTruth(single, &truth, &error)) << error;
 }
 
 // shared read-only — the documented thread-safety contract of interp.h.

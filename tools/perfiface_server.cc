@@ -27,6 +27,13 @@
 //   --shadow-threshold X   relative error above which a shadow run counts
 //                          as a drift violation (default 0.15)
 //   --shadow-seed N        seed for the deterministic shadow sampler
+//   --param-memo           serve exact-memo misses from per-component
+//                          fitted delay curves when the gates pass
+//                          (docs/serving.md "Parametric memoization")
+//   --param-min-samples N  exact results required before a curve serves
+//                          (default 32)
+//   --param-max-rel-err X  running residual bound above which the model
+//                          refuses to serve (default 0.02)
 //
 // Example:
 //   perfiface_server --port 7077 &
@@ -42,6 +49,7 @@
 #include <string>
 
 #include "src/accel/conv/conv_shadow.h"
+#include "src/accel/jpeg/jpeg_shadow.h"
 #include "src/core/registry.h"
 #include "src/net/server.h"
 #include "src/serve/service.h"
@@ -64,7 +72,9 @@ int Usage() {
                "                        [--no-memo] [--no-compile] [--max-conns N]\n"
                "                        [--io-timeout-ms N] [--max-frame-bytes N]\n"
                "                        [--max-inflight N] [--shadow-every N]\n"
-               "                        [--shadow-threshold X] [--shadow-seed N]\n");
+               "                        [--shadow-threshold X] [--shadow-seed N]\n"
+               "                        [--param-memo] [--param-min-samples N]\n"
+               "                        [--param-max-rel-err X]\n");
   return 2;
 }
 
@@ -107,6 +117,12 @@ int Main(int argc, char** argv) {
       service_options.shadow_drift_threshold = std::atof(v);
     } else if (arg == "--shadow-seed" && (v = value()) != nullptr) {
       service_options.shadow_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--param-memo") {
+      service_options.enable_param_memo = true;
+    } else if (arg == "--param-min-samples" && (v = value()) != nullptr) {
+      service_options.param_memo_min_samples = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--param-max-rel-err" && (v = value()) != nullptr) {
+      service_options.param_memo_max_rel_err = std::atof(v);
     } else {
       return Usage();
     }
@@ -121,9 +137,10 @@ int Main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   // Shadow backends register before the service starts so a --shadow-every
-  // sampler never races a late registration. Today that is conv only; other
-  // accelerators join by registering their own replay backend here.
+  // sampler never races a late registration. Other accelerators join by
+  // registering their own replay backend here.
   conv::RegisterConvShadowBackend();
+  jpeg::RegisterJpegShadowBackend();
 
   serve::PredictionService service(InterfaceRegistry::Default(), service_options);
   NetServer server(&service, net_options);
