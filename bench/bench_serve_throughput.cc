@@ -54,6 +54,18 @@
 //      gate-open probe predictions whose relative error against a
 //      param-off ground-truth run exceeds the serving residual bound
 //
+// PR 9 adds the rows the unified expression IR is judged by:
+//
+//  10. derived interface sweep       -> unique-attr deterministic-path
+//      jpeg pnet queries inside the distilled probe hull, derived tier
+//      off vs on with every cache cold; target >= 5x on mean latency AND
+//      bit-identical values on an audited probe set (the distiller's
+//      exactness contract measured end to end)
+//  11. expr superinstruction micro   -> an expr-heavy pipeline net driven
+//      straight through PetriSim, register-bytecode fast path off vs on
+//      over an identical workload stream; target >= 1.3x with zero
+//      quiesce-time divergence
+//
 // Run with --smoke for the CI-sized variant (same sweeps, fewer queries).
 #include <algorithm>
 #include <chrono>
@@ -64,6 +76,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/accel/conv/conv_layer.h"
@@ -74,12 +87,17 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/core/pnet.h"
 #include "src/core/registry.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/obs/trace.h"
+#include "src/petri/compiled_net.h"
+#include "src/petri/distill.h"
 #include "src/petri/param_model.h"
 #include "src/petri/pnet_memo.h"
+#include "src/petri/sim.h"
+#include "src/petri/token.h"
 #include "src/serve/service.h"
 
 namespace perfiface::serve {
@@ -267,6 +285,29 @@ std::vector<PredictRequest> BuildNearMissPopulation(std::size_t count, std::size
     req.entry_place = "hdr_in:1,vld_in:32";
     req.attrs = {{"bits", static_cast<double>(40'000 + 2'500 * center + rng.NextBelow(2'000))},
                  {"blocks", static_cast<double>(1 + center % 8)}};
+    population.push_back(std::move(req));
+  }
+  return population;
+}
+
+// Deterministic-path population for the derived-interface sweep: jpeg
+// pnet decodes whose attributes never repeat (continuous bits jitter, so
+// neither the response cache nor the exact memo can hit) but always land
+// inside the hull the distiller probes from the base workload
+// (bits=1000, blocks=8 scaled up to 2x per attribute). Derived-off pays a
+// full event-driven simulation per query; derived-on serves every one
+// from the closed form distilled on the first miss.
+std::vector<PredictRequest> BuildDerivedPopulation(std::size_t count, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<PredictRequest> population;
+  population.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PredictRequest req;
+    req.interface = "jpeg_decoder";
+    req.representation = Representation::kPnet;
+    req.entry_place = "hdr_in:1,vld_in:256";
+    req.attrs = {{"bits", 1'000.0 + 1'000.0 * rng.NextDouble()},
+                 {"blocks", static_cast<double>(8 + rng.NextBelow(9))}};
     population.push_back(std::move(req));
   }
   return population;
@@ -920,6 +961,211 @@ int main(int argc, char** argv) {
       std::strcmp(param_verdict, "ok") == 0 ? "[ok: >= 1.5x, 0 violations]"
                                             : "[PARAM ROW REGRESSED]");
 
+  // --- Sweep: derived closed-form interfaces, deterministic-path pnet ---
+  // Unique-attr jpeg pnet queries inside the distilled model's probe hull:
+  // the exact memo table cannot hit (no attrs repeat) and the parametric
+  // store is off, so derived-off pays a full simulation per query while
+  // derived-on serves every one from the closed form distilled on the
+  // first miss. The verdict demands >= 5x on mean latency AND
+  // bit-identical values on an audited probe set — the distiller's
+  // exactness contract (src/petri/distill.h) measured end to end; a fast
+  // answer that differs by even one cycle is a regression, not a win.
+  const std::size_t kDerivedQueries = smoke ? 1'000 : 10'000;
+  const std::size_t kDerivedProbes = 64;
+  std::vector<PredictRequest> derived_timed = BuildDerivedPopulation(kDerivedQueries, 0xdeed);
+  // The first query any config serves sits at the hull base: distillation
+  // probes scale *up* from the seeding token, so only traffic in
+  // [base, 2*base] per attribute lands inside the hull.
+  derived_timed.front().attrs = {{"bits", 1'000.0}, {"blocks", 8.0}};
+  std::vector<PredictRequest> derived_probes = BuildDerivedPopulation(kDerivedProbes, 0xface);
+  for (PredictRequest& probe : derived_probes) {
+    probe.explain = true;
+  }
+  double derived_mean_off = 0;
+  double derived_mean_on = 0;
+  std::uint64_t derived_hits_total = 0;
+  std::uint64_t derived_models = 0;
+  std::size_t derived_probe_hits = 0;
+  std::size_t derived_divergence = 0;
+  std::vector<double> derived_truth(kDerivedProbes, 0);
+  for (const bool derived : {false, true}) {
+    PnetMemoTable::Global().Clear();
+    ParamModelStore::Global().Clear();
+    DerivedStore::Global().Clear();
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.cache_capacity = 0;
+    options.enable_derived = derived;
+    PredictionService service(InterfaceRegistry::Default(), options);
+    // Seed pass: the base query alone, so derived-on distills (and pays
+    // its probe simulations) outside the timed region — the row prices
+    // the steady state, not the one-time distillation.
+    const std::vector<PredictRequest> seed_batch{derived_timed.front()};
+    for (const PredictResponse& r : service.PredictBatch(seed_batch)) {
+      PI_CHECK_MSG(r.ok(), r.error.c_str());
+    }
+    const double mean_us = DriveMeanLatencyUs(&service, derived_timed, kDerivedQueries, kBatch);
+    const std::vector<PredictResponse> probe_responses = service.PredictBatch(derived_probes);
+    if (derived) {
+      derived_mean_on = mean_us;
+      derived_hits_total = DerivedStore::Global().hits();
+      derived_models = DerivedStore::Global().distilled();
+      for (std::size_t i = 0; i < probe_responses.size(); ++i) {
+        const PredictResponse& r = probe_responses[i];
+        PI_CHECK_MSG(r.ok(), r.error.c_str());
+        if (r.explain.derived_hits != 0) {
+          ++derived_probe_hits;
+        }
+        if (r.value != derived_truth[i]) {
+          ++derived_divergence;
+        }
+      }
+    } else {
+      derived_mean_off = mean_us;
+      // The derived-off pass is ground truth for the probe audit: pure
+      // simulation (unique attrs, so even the exact memo stays cold).
+      for (std::size_t i = 0; i < probe_responses.size(); ++i) {
+        PI_CHECK_MSG(probe_responses[i].ok(), probe_responses[i].error.c_str());
+        derived_truth[i] = probe_responses[i].value;
+      }
+    }
+  }
+  const double derived_speedup = derived_mean_on > 0 ? derived_mean_off / derived_mean_on : 0;
+  const char* derived_verdict =
+      derived_hits_total == 0
+          ? "distiller_never_served"
+          : (derived_divergence != 0
+                 ? "derived_divergence_nonzero"
+                 : (derived_speedup >= 5.0 ? "ok" : "below_5x_target"));
+  std::printf(
+      "\nderived interface sweep (%zu unique-attr jpeg pnet queries, all caches cold):\n"
+      "  derived off %.2f us/query, derived on %.2f us/query -> %.2fx, %llu derived hits, "
+      "%llu model(s), probes %zu served derived / %zu diverged  %s\n",
+      kDerivedQueries, derived_mean_off, derived_mean_on, derived_speedup,
+      static_cast<unsigned long long>(derived_hits_total),
+      static_cast<unsigned long long>(derived_models), derived_probe_hits, derived_divergence,
+      std::strcmp(derived_verdict, "ok") == 0 ? "[ok: >= 5x, bit-identical]"
+                                              : "[DERIVED ROW REGRESSED]");
+
+  // --- Micro-row: expression superinstruction fast path -----------------
+  // An expr-heavy pipeline net driven straight through PetriSim (no
+  // serving layer): four stages whose delay *and* guard expressions are
+  // deep enough that evaluation, not event-heap bookkeeping, dominates
+  // each firing — the workload the register bytecode and its fused
+  // superinstructions exist for. Fast path off vs on over an identical
+  // attr stream; the two modes are bit-identical by contract
+  // (src/petri/sim.h), so any quiesce-time mismatch counts as divergence
+  // and fails the row outright.
+  const std::size_t kExprStages = 4;
+  const std::size_t kExprTermsPerDelay = 96;
+  const std::size_t kExprReps = smoke ? 256 : 2'048;
+  const std::size_t kExprTokens = 64;
+  double expr_secs_off = 0;
+  double expr_secs_on = 0;
+  double expr_median_speedup = 0;
+  std::size_t expr_divergence = 0;
+  {
+    // Each stage's delay is a long, fusable chain — mul-add groups, const
+    // min/max clamps, prime moduli — generated rather than hand-written so
+    // depth is one constant. Guards are attr-dependent (never constant, so
+    // the register guard route is exercised) but always true for the
+    // nonnegative attrs the driver injects.
+    std::string expr_net_text = "net exprheavy\nattr x\nattr y\n";
+    for (std::size_t p = 0; p <= kExprStages; ++p) {
+      expr_net_text += StrFormat("place q%zu\n", p);
+    }
+    const unsigned primes[] = {127, 149, 191, 227, 233, 251, 283, 311, 359,
+                               421, 431, 499, 509, 541, 577, 593, 613, 641,
+                               647, 683, 709, 733, 769, 821, 883, 919};
+    const char* guards[] = {"x + y * 2 >= 1 and x * 3 + 1 > 0",
+                            "max(x, y) >= 0 and y + 1 > 0",
+                            "x * y + 1 > 0 and x >= 0",
+                            "x + 1 > 0 and y * 2 >= 0"};
+    for (std::size_t s = 0; s < kExprStages; ++s) {
+      std::string delay = StrFormat("(x * %zu + y * %zu + %zu) %% 8191", 2 + s, 3 + s, 5 + s);
+      for (std::size_t t = 0; t < kExprTermsPerDelay; ++t) {
+        const std::size_t v = s * kExprTermsPerDelay + t;
+        const unsigned prime = primes[v % (sizeof(primes) / sizeof(primes[0]))];
+        switch (t % 4) {
+          case 0:
+            delay += StrFormat(" + ((x * %zu + y * %zu) * %zu + %zu) %% %u", 2 + v % 7,
+                               1 + v % 5, 2 + v % 3, 3 + v, prime);
+            break;
+          case 1:
+            delay += StrFormat(" + max(min(y * %zu + %zu, %zu), %zu)", 2 + v % 8, 3 + v,
+                               8'000 + 900 * (v % 50), 8 + v % 56);
+            break;
+          case 2:
+            delay += StrFormat(" + (x * %zu + y * %zu + %zu) %% %u", 1 + v % 9, 2 + v % 7,
+                               7 + v, prime);
+            break;
+          default:
+            delay += StrFormat(" + min(x * %zu + %zu, %zu) / %zu", 2 + v % 6, 2 + v,
+                               30'000 + 1'000 * (v % 60), 3 + v % 28);
+            break;
+        }
+      }
+      expr_net_text += StrFormat("trans s%zu in=q%zu out=q%zu guard=\"%s\" delay=\"%s\"\n",
+                                 s + 1, s, s + 1, guards[s % 4], delay.c_str());
+    }
+    const LoadedNet expr_loaded = LoadPnet(expr_net_text);
+    PI_CHECK_MSG(expr_loaded.ok(), expr_loaded.error.c_str());
+    const CompiledNet expr_cnet(expr_loaded.net.get());
+    const PlaceId q0 = expr_loaded.net->PlaceByName("q0");
+    // Modes interleave per rep (off, on, off, on, ...) with a shared seed
+    // per rep, so clock drift and thermal throttling hit both sides
+    // equally and the quiesce-time comparison sees identical attr streams.
+    // The verdict statistic is the *median* of per-rep speedups: a noisy
+    // neighbor stealing the core for a few reps shifts the tails, not the
+    // median, so the row does not flap on shared hosts.
+    std::vector<double> expr_rep_ratio;
+    expr_rep_ratio.reserve(kExprReps);
+    for (std::size_t rep = 0; rep < kExprReps; ++rep) {
+      Cycles now_off = 0;
+      Cycles now_on = 0;
+      double rep_secs_off = 0;
+      double rep_secs_on = 0;
+      for (const bool fastpath : {false, true}) {
+        SplitMix64 rng(DeriveSeed(0x90de, rep));
+        PetriSim sim(&expr_cnet);
+        sim.set_expr_fastpath(fastpath);
+        for (std::size_t i = 0; i < kExprTokens; ++i) {
+          Token tok;
+          tok.attrs = {static_cast<double>(rng.NextBelow(10'000)),
+                       static_cast<double>(rng.NextBelow(10'000))};
+          sim.Inject(q0, tok);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        PI_CHECK(sim.Run(1ULL << 40));
+        const auto t1 = std::chrono::steady_clock::now();
+        (fastpath ? rep_secs_on : rep_secs_off) = Seconds(t0, t1);
+        (fastpath ? now_on : now_off) = sim.now();
+      }
+      expr_secs_off += rep_secs_off;
+      expr_secs_on += rep_secs_on;
+      if (rep_secs_on > 0) {
+        expr_rep_ratio.push_back(rep_secs_off / rep_secs_on);
+      }
+      if (now_on != now_off) {
+        ++expr_divergence;
+      }
+    }
+    std::sort(expr_rep_ratio.begin(), expr_rep_ratio.end());
+    expr_median_speedup =
+        expr_rep_ratio.empty() ? 0 : expr_rep_ratio[expr_rep_ratio.size() / 2];
+  }
+  const double expr_speedup = expr_median_speedup;
+  const char* expr_verdict = expr_divergence != 0
+                                 ? "fastpath_divergence_nonzero"
+                                 : (expr_speedup >= 1.3 ? "ok" : "below_1p3x_target");
+  std::printf(
+      "\nexpr superinstruction micro (%zu direct sim runs, %zu tokens through 4 expr-heavy "
+      "stages):\n"
+      "  fastpath off %.4fs, fastpath on %.4fs -> median %.2fx, %zu divergence(s)  %s\n",
+      kExprReps, kExprTokens, expr_secs_off, expr_secs_on, expr_speedup, expr_divergence,
+      std::strcmp(expr_verdict, "ok") == 0 ? "[ok: >= 1.3x, bit-identical]"
+                                           : "[EXPR ROW REGRESSED]");
+
   // --- Tracing overhead -------------------------------------------------
   // Same config twice: tracer off (the shipped default — this is the row
   // later PRs diff against the pre-instrumentation baseline) vs tracer on
@@ -1018,6 +1264,21 @@ int main(int argc, char** argv) {
       kParamCenters, kParamWarmup, kParamQueries, param_mean_off, param_mean_on, param_speedup,
       static_cast<unsigned long long>(param_hits_total), probe_gate_open, probe_violations,
       param_max_rel_err_bound, param_verdict);
+  json += StrFormat(
+      "  \"derived_iface_sweep\": {\"queries\": %zu, \"mean_us_derived_off\": %.2f, "
+      "\"mean_us_derived_on\": %.2f, \"speedup\": %.3f, \"derived_hits\": %llu, "
+      "\"models\": %llu, \"probe_derived_hits\": %zu, \"probe_divergence\": %zu, "
+      "\"verdict\": \"%s\"},\n",
+      kDerivedQueries, derived_mean_off, derived_mean_on, derived_speedup,
+      static_cast<unsigned long long>(derived_hits_total),
+      static_cast<unsigned long long>(derived_models), derived_probe_hits, derived_divergence,
+      derived_verdict);
+  json += StrFormat(
+      "  \"expr_superinstr\": {\"reps\": %zu, \"tokens\": %zu, \"secs_fastpath_off\": %.4f, "
+      "\"secs_fastpath_on\": %.4f, \"median_speedup\": %.3f, \"divergence\": %zu, "
+      "\"verdict\": \"%s\"},\n",
+      kExprReps, kExprTokens, expr_secs_off, expr_secs_on, expr_speedup, expr_divergence,
+      expr_verdict);
   json += StrFormat(
       "  \"trace_overhead\": {\"qps_disabled\": %.1f, \"qps_enabled_1_in_64\": %.1f}\n",
       qps_trace_off, qps_trace_on);

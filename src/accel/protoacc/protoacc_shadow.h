@@ -1,0 +1,40 @@
+// Shadow-validation backend for the protoacc (serializer) interface family.
+//
+// The serving vocabulary is invertible: a program query
+// (tput_protoacc_ser over num_fields + num_writes + uniform children) or a
+// single-node pnet query (node_q:1,msg_q:1 over groups/first/writes) fully
+// determines a synthetic MessageInstance — scalar varint fields plus one
+// length-delimited filler field tuned until the real wire encoding
+// occupies exactly num_writes 16-byte words. The cycle-level serializer
+// simulator (src/accel/protoacc/serializer_sim.h) then replays it with the
+// recommended memory configuration for ground truth, the same contract
+// conv_shadow.h and jpeg_shadow.h establish for their families.
+//
+// The Fig 3 latency functions are *bounds* (min_latency/max_latency — the
+// paper's point that Protoacc's latency has no closed form), so they have
+// no point ground truth and are refused; tput_protoacc_ser and pnet point
+// estimates are validated.
+#ifndef SRC_ACCEL_PROTOACC_PROTOACC_SHADOW_H_
+#define SRC_ACCEL_PROTOACC_PROTOACC_SHADOW_H_
+
+#include <string>
+
+#include "src/serve/request.h"
+
+namespace perfiface::protoacc {
+
+// Reconstructs the workload from `request` and produces the simulator's
+// answer (throughput for tput_protoacc_ser, quiesce latency for pnet
+// queries). Returns false with *error set when the request is outside the
+// replayable vocabulary (bounds functions, non-integral attrs, multi-node
+// injection plans).
+bool ProtoaccShadowTruth(const serve::PredictRequest& request, double* truth,
+                         std::string* error);
+
+// Registers ProtoaccShadowTruth for interface "protoacc" in the
+// process-wide ShadowBackendRegistry. Idempotent; call once at startup.
+void RegisterProtoaccShadowBackend();
+
+}  // namespace perfiface::protoacc
+
+#endif  // SRC_ACCEL_PROTOACC_PROTOACC_SHADOW_H_

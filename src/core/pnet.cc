@@ -265,6 +265,7 @@ LoadedNet LoadPnet(std::string_view text) {
         return out;
       }
       spec.delay_expr = delay_sp->Canonical();
+      spec.delay_compiled = delay_sp;
       spec.delay = [delay_sp](const TokenRefs& tokens) -> Cycles {
         const double v = EvalNetExpr(*delay_sp, tokens);
         PI_CHECK_MSG(v >= 0 && v < 1e15, "delay out of range");
@@ -279,6 +280,7 @@ LoadedNet LoadPnet(std::string_view text) {
           return out;
         }
         spec.guard_expr = guard_sp->Canonical();
+        spec.guard_compiled = guard_sp;
         spec.guard = [guard_sp](const TokenRefs& tokens) -> bool {
           return EvalNetExpr(*guard_sp, tokens) != 0.0;
         };

@@ -639,11 +639,13 @@ void EncodeResponseLine(std::uint64_t id, std::size_t index,
     AppendJsonString(out, ex.cache);
     *out += StrFormat(
         ",\"queue_wait_ns\":%llu,\"eval_ns\":%llu,\"steps\":%llu,\"memo_components\":%llu,"
-        "\"memo_hits\":%llu,\"param_hits\":%llu,\"deadline_limited\":%s,\"shadowed\":%s",
+        "\"memo_hits\":%llu,\"derived_hits\":%llu,\"param_hits\":%llu,"
+        "\"deadline_limited\":%s,\"shadowed\":%s",
         static_cast<unsigned long long>(ex.queue_wait_ns),
         static_cast<unsigned long long>(ex.eval_ns), static_cast<unsigned long long>(ex.steps),
         static_cast<unsigned long long>(ex.memo_components),
         static_cast<unsigned long long>(ex.memo_hits),
+        static_cast<unsigned long long>(ex.derived_hits),
         static_cast<unsigned long long>(ex.param_hits), ex.deadline_limited ? "true" : "false",
         ex.shadowed ? "true" : "false");
     if (ex.shadowed) {
@@ -752,6 +754,9 @@ bool DecodeResponseLine(std::string_view line, WireResponse* out, std::string* e
     }
     if (const JsonValue* v = explain->Find("memo_hits"); v != nullptr) {
       RawToUint64(*v, &ex.memo_hits);
+    }
+    if (const JsonValue* v = explain->Find("derived_hits"); v != nullptr) {
+      RawToUint64(*v, &ex.derived_hits);
     }
     if (const JsonValue* v = explain->Find("param_hits"); v != nullptr) {
       RawToUint64(*v, &ex.param_hits);

@@ -1,5 +1,6 @@
 #include "src/perfscript/compile.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -8,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics_registry.h"
 #include "src/perfscript/parser.h"
 
 namespace perfiface {
@@ -327,6 +329,7 @@ bool FunctionCompiler::Compile(CompiledFunction* cf, std::string* reason) {
     return false;
   }
   cf_->num_regs = max_regs_;
+  cf_->num_locals = num_locals_;
   return true;
 }
 
@@ -826,7 +829,248 @@ void FunctionCompiler::LowerStmt(const Stmt& s, std::uint32_t w) {
   }
 }
 
+// One counter covers both lowering pipelines: program functions fused in
+// CompileProgram and net expressions fused in CompiledExpr::LowerToRegs.
+void NoteSuperinstructions(std::size_t n) {
+  if (n == 0) return;
+  static obs::MetricsRegistry::Counter& fused_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "perfiface_expr_superinstr_total",
+          "Superinstructions fused into register bytecode (programs and net "
+          "expressions)");
+  fused_total.Add(n);
+}
+
+bool IsJumpOp(Op op) {
+  return op == Op::kJmp || op == Op::kJmpIfZero || op == Op::kJmpIfNotZero ||
+         op == Op::kJmpGe || op == Op::kCmpBranch;
+}
+
+bool InstrWritesA(Op op) {
+  switch (op) {
+    case Op::kCheckNum:
+    case Op::kJmp:
+    case Op::kJmpIfZero:
+    case Op::kJmpIfNotZero:
+    case Op::kJmpGe:
+    case Op::kCmpBranch:
+    case Op::kRet:
+    case Op::kError:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Whether `ins` reads register `r`. Used by the fusion pass to prove the
+// intermediate temp of a candidate pair is dead everywhere else; errs on the
+// side of "reads it".
+bool InstrReadsReg(const Instr& ins, std::uint32_t r) {
+  switch (ins.op) {
+    case Op::kLoadConst:
+    case Op::kError:
+    case Op::kJmp:
+      return false;
+    case Op::kMove:
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kBool:
+    case Op::kCeil:
+    case Op::kFloor:
+    case Op::kAbs:
+    case Op::kSqrt:
+    case Op::kLen:
+    case Op::kIterLen:
+    case Op::kAttr:
+    case Op::kAddC:
+    case Op::kSubC:
+    case Op::kMulC:
+    case Op::kDivC:
+    case Op::kRSubC:
+    case Op::kRDivC:
+    case Op::kMinC:
+    case Op::kMaxC:
+    case Op::kClampCC:
+    case Op::kMulAddCC:
+      return ins.b == r;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kMin2:
+    case Op::kMax2:
+    case Op::kIterChild:
+    case Op::kAnd2:
+    case Op::kOr2:
+    case Op::kMulAddC:
+      return ins.b == r || ins.c == r;
+    case Op::kCheckNum:
+    case Op::kJmpIfZero:
+    case Op::kJmpIfNotZero:
+    case Op::kRet:
+      return ins.a == r;
+    case Op::kJmpGe:
+    case Op::kCmpBranch:
+      return ins.a == r || ins.b == r;
+    case Op::kFma:
+      return ins.a == r || ins.b == r || ins.c == r;
+    case Op::kCall:
+      // The callee's register window starts at b: arguments and the callee
+      // frame alias everything at or above it.
+      return r >= ins.b;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::size_t FuseSuperinstructions(std::vector<Instr>* code_ptr,
+                                  const std::vector<double>& consts,
+                                  std::uint32_t first_temp_reg) {
+  (void)consts;
+  std::vector<Instr>& code = *code_ptr;
+  std::size_t fused_total = 0;
+
+  bool straight_line = true;
+  for (const Instr& ins : code) {
+    if (IsJumpOp(ins.op) || ins.op == Op::kCall) {
+      straight_line = false;
+      break;
+    }
+  }
+
+  // The intermediate temp of a candidate pair (instructions i, i+1) must be
+  // provably dead outside the pair. Straight-line code gets a forward
+  // liveness scan (a later write kills it); code with jumps/calls falls back
+  // to "no other instruction anywhere reads it", which is sound without a
+  // CFG.
+  auto temp_dead_elsewhere = [&](std::uint32_t r, std::size_t i, std::size_t j) {
+    if (r < first_temp_reg) return false;
+    if (straight_line) {
+      for (std::size_t k = j + 1; k < code.size(); ++k) {
+        if (InstrReadsReg(code[k], r)) return false;
+        if (InstrWritesA(code[k].op) && code[k].a == r) return true;
+      }
+      return true;
+    }
+    for (std::size_t k = 0; k < code.size(); ++k) {
+      if (k == i || k == j) continue;
+      if (InstrReadsReg(code[k], r)) return false;
+    }
+    return true;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // A pair must not span a jump landing point: control could enter between
+    // the two halves.
+    std::vector<bool> target(code.size() + 1, false);
+    for (const Instr& ins : code) {
+      if (IsJumpOp(ins.op)) {
+        target[std::min<std::size_t>(ins.imm, code.size())] = true;
+      }
+    }
+    std::vector<Instr> out;
+    out.reserve(code.size());
+    std::vector<std::uint16_t> remap(code.size() + 1, 0);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      remap[i] = static_cast<std::uint16_t>(out.size());
+      bool fused = false;
+      // Fusing across source lines would change which line a runtime error
+      // reports, so equal lines are part of the pattern.
+      if (i + 1 < code.size() && !target[i + 1] && code[i].line == code[i + 1].line) {
+        const Instr& x = code[i];
+        const Instr& y = code[i + 1];
+        Instr f;
+        f.line = x.line;
+        // const-mul-add: (t = b*C1; a = t + C2) -> muladdcc. The second
+        // constant rides in the 8-bit c field, so its pool index must fit.
+        if (x.op == Op::kMulC && y.op == Op::kAddC && y.b == x.a && y.imm <= 255 &&
+            temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = Op::kMulAddCC;
+          f.a = y.a;
+          f.b = x.b;
+          f.c = static_cast<std::uint8_t>(y.imm);
+          f.imm = x.imm;
+          fused = true;
+          // attr-mul-add: (t = b*C; a = t + z). Only the t-first add form
+          // fuses — swapping add operands could swap which NaN payload wins.
+        } else if (x.op == Op::kMulC && y.op == Op::kAdd && y.b == x.a && y.c != x.a &&
+                   temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = Op::kMulAddC;
+          f.a = y.a;
+          f.b = x.b;
+          f.c = y.c;
+          f.imm = x.imm;
+          fused = true;
+          // accumulate: (t = x*y; a = a + t) -> fma (the '+=' shape).
+        } else if (x.op == Op::kMul && y.op == Op::kAdd && y.c == x.a && y.b == y.a &&
+                   y.a != x.a && temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = Op::kFma;
+          f.a = y.a;
+          f.b = x.b;
+          f.c = x.c;
+          fused = true;
+          // min/max against a just-loaded constant. Only the const-second
+          // form fuses: fmin's operand order is observable for signed zeros.
+        } else if (x.op == Op::kLoadConst && (y.op == Op::kMin2 || y.op == Op::kMax2) &&
+                   y.c == x.a && y.b != x.a && temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = y.op == Op::kMin2 ? Op::kMinC : Op::kMaxC;
+          f.a = y.a;
+          f.b = y.b;
+          f.imm = x.imm;
+          fused = true;
+          // clamp: (t = fmin(b, C1); a = fmax(t, C2)) -> clampcc. Reaches
+          // fixpoint on the second pass once minc/maxc exist.
+        } else if (x.op == Op::kMinC && y.op == Op::kMaxC && y.b == x.a && y.imm <= 255 &&
+                   temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = Op::kClampCC;
+          f.a = y.a;
+          f.b = x.b;
+          f.c = static_cast<std::uint8_t>(y.imm);
+          f.imm = x.imm;
+          fused = true;
+          // compare-and-branch guards: (t = x cmp y; jz/jnz t) -> cmpbr.
+        } else if (x.op >= Op::kLt && x.op <= Op::kNe &&
+                   (y.op == Op::kJmpIfZero || y.op == Op::kJmpIfNotZero) && y.a == x.a &&
+                   temp_dead_elsewhere(x.a, i, i + 1)) {
+          f.op = Op::kCmpBranch;
+          f.a = x.b;
+          f.b = x.c;
+          f.c = static_cast<std::uint8_t>(
+              static_cast<int>(x.op) - static_cast<int>(Op::kLt) +
+              (y.op == Op::kJmpIfNotZero ? kCmpBranchIfTrue : 0));
+          f.imm = y.imm;
+          fused = true;
+        }
+        if (fused) {
+          out.push_back(f);
+          remap[i + 1] = remap[i];
+          ++i;
+          ++fused_total;
+          changed = true;
+        }
+      }
+      if (!fused) out.push_back(code[i]);
+    }
+    remap[code.size()] = static_cast<std::uint16_t>(out.size());
+    for (Instr& ins : out) {
+      if (IsJumpOp(ins.op)) {
+        ins.imm = remap[std::min<std::size_t>(ins.imm, code.size())];
+      }
+    }
+    code.swap(out);
+  }
+  return fused_total;
+}
 
 const CompiledFunction* CompiledProgram::Find(const std::string& name) const {
   const int idx = FindIndex(name);
@@ -869,6 +1113,14 @@ CompileProgramResult CompileProgram(
       return result;
     }
   }
+  // The shared peephole runs after every function lowers: the superinstruction
+  // set is part of the one IR both pipelines execute.
+  std::size_t fused = 0;
+  for (CompiledFunction& fn : out->functions) {
+    fused += FuseSuperinstructions(&fn.code, out->consts,
+                                   static_cast<std::uint32_t>(fn.num_locals));
+  }
+  NoteSuperinstructions(fused);
   result.program = std::move(out);
   return result;
 }
@@ -917,6 +1169,27 @@ const char* OpName(Op op) {
     case Op::kCall: return "call";
     case Op::kRet: return "ret";
     case Op::kError: return "error";
+    case Op::kMulAddCC: return "muladdcc";
+    case Op::kMulAddC: return "muladdc";
+    case Op::kFma: return "fma";
+    case Op::kMinC: return "minc";
+    case Op::kMaxC: return "maxc";
+    case Op::kClampCC: return "clampcc";
+    case Op::kCmpBranch: return "cmpbr";
+    case Op::kAnd2: return "and2";
+    case Op::kOr2: return "or2";
+  }
+  return "?";
+}
+
+const char* CmpName(std::uint8_t kind) {
+  switch (kind & 7) {
+    case kCmpLt: return "<";
+    case kCmpLe: return "<=";
+    case kCmpGt: return ">";
+    case kCmpGe: return ">=";
+    case kCmpEq: return "==";
+    case kCmpNe: return "!=";
   }
   return "?";
 }
@@ -996,6 +1269,30 @@ std::string CompiledProgram::DisassembleFunction(const CompiledFunction& fn) con
       case Op::kError:
         out += StrFormat("\"%s\"", errors[ins.imm].c_str());
         break;
+      case Op::kMulAddCC:
+        out += StrFormat("r%u, r%u * %g + %g", ins.a, ins.b, consts[ins.imm], consts[ins.c]);
+        break;
+      case Op::kMulAddC:
+        out += StrFormat("r%u, r%u * %g + r%u", ins.a, ins.b, consts[ins.imm], ins.c);
+        break;
+      case Op::kFma:
+        out += StrFormat("r%u += r%u * r%u", ins.a, ins.b, ins.c);
+        break;
+      case Op::kMinC:
+      case Op::kMaxC:
+        out += StrFormat("r%u, r%u, %g", ins.a, ins.b, consts[ins.imm]);
+        break;
+      case Op::kClampCC:
+        out += StrFormat("r%u, r%u in [%g, %g]", ins.a, ins.b, consts[ins.c], consts[ins.imm]);
+        break;
+      case Op::kCmpBranch:
+        out += StrFormat("r%u %s r%u %s-> %u", ins.a, CmpName(ins.c), ins.b,
+                         (ins.c & kCmpBranchIfTrue) ? "" : "!", ins.imm);
+        break;
+      case Op::kAnd2:
+      case Op::kOr2:
+        out += StrFormat("r%u, r%u, r%u", ins.a, ins.b, ins.c);
+        break;
     }
     out += StrFormat("   ; line %u\n", ins.line);
   }
@@ -1048,6 +1345,10 @@ std::unique_ptr<CompiledExpr> CompiledExpr::Compile(const Expr& expr, const Expr
     *error = "expression too deep";
     return nullptr;
   }
+  // ops_ is final (Canonical() serializes it); the register form and the
+  // shape summary are derived views on top.
+  compiled->Summarize();
+  compiled->LowerToRegs();
   return compiled;
 }
 
@@ -1160,6 +1461,538 @@ bool CompiledExpr::Emit(const Expr& e, const ExprBinder& binder,
     }
   }
   return false;
+}
+
+// Lowers the postfix stack ops onto the shared register instruction set.
+// Strictly order-preserving: no reassociation, constants fold with the same
+// std:: calls the stack evaluator uses, commuted constant forms (kAddC/kMulC
+// with a constant lhs) are taken only for non-NaN constants (NaN payload
+// propagation is the one way IEEE add/mul observe operand order), and a
+// constant zero divisor is left as a generic kDiv/kMod so the runtime
+// abort/error fires exactly as before. Any shape that cannot be lowered
+// under those rules clears rcode_ and the callers stay on the stack path.
+void CompiledExpr::LowerToRegs() {
+  rcode_.clear();
+  rconsts_.clear();
+  used_slots_.clear();
+  num_regs_ = 0;
+
+  // Registers [0, slot_limit) mirror attribute slots identically; temps live
+  // above. The prelude in RunRegs loads only used_slots_.
+  std::uint32_t slot_limit = 0;
+  for (const ExprInstr& op : ops_) {
+    if (op.op == ExprOp::kSlot) {
+      used_slots_.push_back(op.slot);
+      slot_limit = std::max(slot_limit, op.slot + 1);
+    }
+  }
+  std::sort(used_slots_.begin(), used_slots_.end());
+  used_slots_.erase(std::unique(used_slots_.begin(), used_slots_.end()), used_slots_.end());
+  // Temps need headroom below the 8-bit operand fields (64 stack slots + 2
+  // materialization scratch regs).
+  bool ok = slot_limit <= 180;
+
+  struct VOp {
+    bool is_const = false;
+    double cval = 0;
+    std::uint32_t reg = 0;
+  };
+  std::vector<VOp> stk;
+  stk.reserve(16);
+  std::uint32_t max_reg = slot_limit;
+
+  auto const_idx = [&](double v) -> std::size_t {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (std::size_t i = 0; i < rconsts_.size(); ++i) {
+      std::uint64_t have;
+      std::memcpy(&have, &rconsts_[i], sizeof(have));
+      if (have == bits) return i;
+    }
+    rconsts_.push_back(v);
+    return rconsts_.size() - 1;
+  };
+  auto emit = [&](Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                  std::size_t imm, std::uint16_t line) {
+    if (a > 255 || b > 255 || c > 255 || imm > kMaxImm || rcode_.size() >= kMaxImm) {
+      ok = false;
+      return;
+    }
+    max_reg = std::max({max_reg, a + 1, b + 1, c + 1});
+    Instr ins;
+    ins.op = op;
+    ins.a = static_cast<std::uint8_t>(a);
+    ins.b = static_cast<std::uint8_t>(b);
+    ins.c = static_cast<std::uint8_t>(c);
+    ins.imm = static_cast<std::uint16_t>(imm);
+    ins.line = line;
+    rcode_.push_back(ins);
+  };
+  // First temp register above every live temp on the virtual stack
+  // (constants occupy no register until materialized).
+  auto temp_base = [&]() {
+    std::uint32_t n = 0;
+    for (const VOp& v : stk) {
+      if (!v.is_const && v.reg >= slot_limit) ++n;
+    }
+    return slot_limit + n;
+  };
+
+  for (const ExprInstr& op : ops_) {
+    if (!ok) break;
+    switch (op.op) {
+      case ExprOp::kConst:
+        stk.push_back(VOp{true, op.value, 0});
+        break;
+      case ExprOp::kSlot:
+        stk.push_back(VOp{false, 0, op.slot});
+        break;
+      case ExprOp::kNeg:
+      case ExprOp::kNot:
+      case ExprOp::kCeil:
+      case ExprOp::kFloor:
+      case ExprOp::kAbs:
+      case ExprOp::kSqrt: {
+        VOp v = stk.back();
+        stk.pop_back();
+        if (v.is_const) {
+          double r = 0;
+          switch (op.op) {
+            case ExprOp::kNeg: r = -v.cval; break;
+            case ExprOp::kNot: r = v.cval == 0 ? 1 : 0; break;
+            case ExprOp::kCeil: r = std::ceil(v.cval); break;
+            case ExprOp::kFloor: r = std::floor(v.cval); break;
+            case ExprOp::kAbs: r = std::fabs(v.cval); break;
+            default: r = std::sqrt(v.cval); break;
+          }
+          stk.push_back(VOp{true, r, 0});
+          break;
+        }
+        const std::uint32_t dst = temp_base();
+        Op ro = Op::kNeg;
+        switch (op.op) {
+          case ExprOp::kNeg: ro = Op::kNeg; break;
+          case ExprOp::kNot: ro = Op::kNot; break;
+          case ExprOp::kCeil: ro = Op::kCeil; break;
+          case ExprOp::kFloor: ro = Op::kFloor; break;
+          case ExprOp::kAbs: ro = Op::kAbs; break;
+          default: ro = Op::kSqrt; break;
+        }
+        emit(ro, dst, v.reg, 0, 0, op.line);
+        stk.push_back(VOp{false, 0, dst});
+        break;
+      }
+      default: {
+        VOp b = stk.back();
+        stk.pop_back();
+        VOp a = stk.back();
+        stk.pop_back();
+        const std::uint32_t base = temp_base();
+
+        // Both constant: fold, except a zero divisor (must stay a runtime
+        // abort/error at this op's line).
+        if (a.is_const && b.is_const) {
+          const double x = a.cval;
+          const double y = b.cval;
+          bool folded = true;
+          double r = 0;
+          switch (op.op) {
+            case ExprOp::kAdd: r = x + y; break;
+            case ExprOp::kSub: r = x - y; break;
+            case ExprOp::kMul: r = x * y; break;
+            case ExprOp::kDiv:
+              if (y == 0) folded = false;
+              else r = x / y;
+              break;
+            case ExprOp::kMod:
+              if (y == 0) folded = false;
+              else r = std::fmod(x, y);
+              break;
+            case ExprOp::kLt: r = x < y ? 1 : 0; break;
+            case ExprOp::kLe: r = x <= y ? 1 : 0; break;
+            case ExprOp::kGt: r = x > y ? 1 : 0; break;
+            case ExprOp::kGe: r = x >= y ? 1 : 0; break;
+            case ExprOp::kEq: r = x == y ? 1 : 0; break;
+            case ExprOp::kNe: r = x != y ? 1 : 0; break;
+            case ExprOp::kAnd: r = (x != 0 && y != 0) ? 1 : 0; break;
+            case ExprOp::kOr: r = (x != 0 || y != 0) ? 1 : 0; break;
+            case ExprOp::kMin: r = std::fmin(x, y); break;
+            case ExprOp::kMax: r = std::fmax(x, y); break;
+            default: ok = false; break;
+          }
+          if (folded) {
+            stk.push_back(VOp{true, r, 0});
+            break;
+          }
+        }
+
+        // Logical ops against a constant decide from the other side alone
+        // (non-short-circuit semantics; any operand code already emitted
+        // stays, so a dividing-by-zero subexpression still aborts).
+        if (op.op == ExprOp::kAnd || op.op == ExprOp::kOr) {
+          const bool is_and = op.op == ExprOp::kAnd;
+          if (a.is_const || b.is_const) {
+            const VOp& cv = a.is_const ? a : b;
+            const VOp& rv = a.is_const ? b : a;
+            const bool c_true = cv.cval != 0;
+            if (is_and != c_true) {
+              // and-false / or-true: the result is fixed.
+              stk.push_back(VOp{true, is_and ? 0.0 : 1.0, 0});
+            } else {
+              emit(Op::kBool, base, rv.reg, 0, 0, op.line);
+              stk.push_back(VOp{false, 0, base});
+            }
+            break;
+          }
+          emit(is_and ? Op::kAnd2 : Op::kOr2, base, a.reg, b.reg, 0, op.line);
+          stk.push_back(VOp{false, 0, base});
+          break;
+        }
+
+        // Constant-operand forms. Directional ops get their kR* twins;
+        // commutable add/mul swap only for non-NaN constants.
+        bool handled = false;
+        if (b.is_const && !a.is_const) {
+          switch (op.op) {
+            case ExprOp::kAdd:
+              emit(Op::kAddC, base, a.reg, 0, const_idx(b.cval), op.line);
+              handled = true;
+              break;
+            case ExprOp::kSub:
+              emit(Op::kSubC, base, a.reg, 0, const_idx(b.cval), op.line);
+              handled = true;
+              break;
+            case ExprOp::kMul:
+              emit(Op::kMulC, base, a.reg, 0, const_idx(b.cval), op.line);
+              handled = true;
+              break;
+            case ExprOp::kDiv:
+              if (b.cval != 0) {
+                emit(Op::kDivC, base, a.reg, 0, const_idx(b.cval), op.line);
+                handled = true;
+              }
+              break;
+            case ExprOp::kMin:
+              emit(Op::kMinC, base, a.reg, 0, const_idx(b.cval), op.line);
+              handled = true;
+              break;
+            case ExprOp::kMax:
+              emit(Op::kMaxC, base, a.reg, 0, const_idx(b.cval), op.line);
+              handled = true;
+              break;
+            default:
+              break;
+          }
+        } else if (a.is_const && !b.is_const) {
+          switch (op.op) {
+            case ExprOp::kAdd:
+              if (!std::isnan(a.cval)) {
+                emit(Op::kAddC, base, b.reg, 0, const_idx(a.cval), op.line);
+                handled = true;
+              }
+              break;
+            case ExprOp::kMul:
+              if (!std::isnan(a.cval)) {
+                emit(Op::kMulC, base, b.reg, 0, const_idx(a.cval), op.line);
+                handled = true;
+              }
+              break;
+            case ExprOp::kSub:
+              emit(Op::kRSubC, base, b.reg, 0, const_idx(a.cval), op.line);
+              handled = true;
+              break;
+            case ExprOp::kDiv:
+              emit(Op::kRDivC, base, b.reg, 0, const_idx(a.cval), op.line);
+              handled = true;
+              break;
+            default:
+              break;
+          }
+        }
+        if (handled) {
+          stk.push_back(VOp{false, 0, base});
+          break;
+        }
+
+        // Generic form: materialize constants into scratch temps that dodge
+        // the live operand registers, preserve operand order exactly.
+        std::uint32_t next_free = base;
+        auto alloc_free = [&]() {
+          while ((!a.is_const && a.reg == next_free) ||
+                 (!b.is_const && b.reg == next_free)) {
+            ++next_free;
+          }
+          return next_free++;
+        };
+        std::uint32_t ra = a.reg;
+        if (a.is_const) {
+          ra = alloc_free();
+          emit(Op::kLoadConst, ra, 0, 0, const_idx(a.cval), op.line);
+        }
+        std::uint32_t rb = b.reg;
+        if (b.is_const) {
+          rb = alloc_free();
+          emit(Op::kLoadConst, rb, 0, 0, const_idx(b.cval), op.line);
+        }
+        Op generic = Op::kAdd;
+        switch (op.op) {
+          case ExprOp::kAdd: generic = Op::kAdd; break;
+          case ExprOp::kSub: generic = Op::kSub; break;
+          case ExprOp::kMul: generic = Op::kMul; break;
+          case ExprOp::kDiv: generic = Op::kDiv; break;
+          case ExprOp::kMod: generic = Op::kMod; break;
+          case ExprOp::kLt: generic = Op::kLt; break;
+          case ExprOp::kLe: generic = Op::kLe; break;
+          case ExprOp::kGt: generic = Op::kGt; break;
+          case ExprOp::kGe: generic = Op::kGe; break;
+          case ExprOp::kEq: generic = Op::kEq; break;
+          case ExprOp::kNe: generic = Op::kNe; break;
+          case ExprOp::kMin: generic = Op::kMin2; break;
+          case ExprOp::kMax: generic = Op::kMax2; break;
+          default: ok = false; break;
+        }
+        emit(generic, base, ra, rb, 0, op.line);
+        stk.push_back(VOp{false, 0, base});
+        break;
+      }
+    }
+  }
+
+  if (ok && stk.size() == 1) {
+    const std::uint16_t line = ops_.empty() ? 0 : ops_.back().line;
+    const VOp res = stk.back();
+    if (res.is_const) {
+      const std::uint32_t r = slot_limit;
+      emit(Op::kLoadConst, r, 0, 0, const_idx(res.cval), line);
+      emit(Op::kRet, r, 0, 0, 0, line);
+    } else {
+      emit(Op::kRet, res.reg, 0, 0, 0, line);
+    }
+  } else {
+    ok = false;
+  }
+
+  if (!ok) {
+    rcode_.clear();
+    rconsts_.clear();
+    num_regs_ = 0;
+    return;
+  }
+  num_regs_ = max_reg;
+  NoteSuperinstructions(FuseSuperinstructions(&rcode_, rconsts_, slot_limit));
+}
+
+// Compile-time shape classification over ops_. The affine tracker never
+// claims kConstant for an expression that reads any slot (so the claim holds
+// for NaN/Inf attribute values too) and never folds an op whose evaluation
+// could abort (zero divisors stay general).
+void CompiledExpr::Summarize() {
+  struct Lin {
+    int kind = 2;  // 0 constant, 1 affine, 2 general
+    double c0 = 0;
+    std::map<std::uint32_t, double> co;
+  };
+  std::vector<Lin> stk;
+  stk.reserve(16);
+  bool any_slot = false;
+  auto push_const = [&](double v) {
+    Lin l;
+    l.kind = 0;
+    l.c0 = v;
+    stk.push_back(std::move(l));
+  };
+  auto push_general = [&]() { stk.push_back(Lin{}); };
+
+  for (const ExprInstr& op : ops_) {
+    switch (op.op) {
+      case ExprOp::kConst:
+        push_const(op.value);
+        break;
+      case ExprOp::kSlot: {
+        any_slot = true;
+        Lin l;
+        l.kind = 1;
+        l.co[op.slot] = 1;
+        stk.push_back(std::move(l));
+        break;
+      }
+      case ExprOp::kNeg:
+      case ExprOp::kNot:
+      case ExprOp::kCeil:
+      case ExprOp::kFloor:
+      case ExprOp::kAbs:
+      case ExprOp::kSqrt: {
+        Lin v = std::move(stk.back());
+        stk.pop_back();
+        if (v.kind == 0) {
+          switch (op.op) {
+            case ExprOp::kNeg: push_const(-v.c0); break;
+            case ExprOp::kNot: push_const(v.c0 == 0 ? 1 : 0); break;
+            case ExprOp::kCeil: push_const(std::ceil(v.c0)); break;
+            case ExprOp::kFloor: push_const(std::floor(v.c0)); break;
+            case ExprOp::kAbs: push_const(std::fabs(v.c0)); break;
+            default: push_const(std::sqrt(v.c0)); break;
+          }
+        } else if (op.op == ExprOp::kNeg && v.kind == 1) {
+          v.c0 = -v.c0;
+          for (auto& kv : v.co) kv.second = -kv.second;
+          stk.push_back(std::move(v));
+        } else {
+          push_general();
+        }
+        break;
+      }
+      default: {
+        Lin b = std::move(stk.back());
+        stk.pop_back();
+        Lin a = std::move(stk.back());
+        stk.pop_back();
+        if (a.kind == 0 && b.kind == 0) {
+          const double x = a.c0;
+          const double y = b.c0;
+          bool folded = true;
+          double r = 0;
+          switch (op.op) {
+            case ExprOp::kAdd: r = x + y; break;
+            case ExprOp::kSub: r = x - y; break;
+            case ExprOp::kMul: r = x * y; break;
+            case ExprOp::kDiv:
+              if (y == 0) folded = false;
+              else r = x / y;
+              break;
+            case ExprOp::kMod:
+              if (y == 0) folded = false;
+              else r = std::fmod(x, y);
+              break;
+            case ExprOp::kLt: r = x < y ? 1 : 0; break;
+            case ExprOp::kLe: r = x <= y ? 1 : 0; break;
+            case ExprOp::kGt: r = x > y ? 1 : 0; break;
+            case ExprOp::kGe: r = x >= y ? 1 : 0; break;
+            case ExprOp::kEq: r = x == y ? 1 : 0; break;
+            case ExprOp::kNe: r = x != y ? 1 : 0; break;
+            case ExprOp::kAnd: r = (x != 0 && y != 0) ? 1 : 0; break;
+            case ExprOp::kOr: r = (x != 0 || y != 0) ? 1 : 0; break;
+            case ExprOp::kMin: r = std::fmin(x, y); break;
+            case ExprOp::kMax: r = std::fmax(x, y); break;
+            default: folded = false; break;
+          }
+          if (folded) push_const(r);
+          else push_general();
+          break;
+        }
+        const bool both_lin = a.kind <= 1 && b.kind <= 1;
+        if (op.op == ExprOp::kAdd && both_lin) {
+          a.kind = 1;
+          a.c0 += b.c0;
+          for (const auto& kv : b.co) a.co[kv.first] += kv.second;
+          stk.push_back(std::move(a));
+        } else if (op.op == ExprOp::kSub && both_lin) {
+          a.kind = 1;
+          a.c0 -= b.c0;
+          for (const auto& kv : b.co) a.co[kv.first] -= kv.second;
+          stk.push_back(std::move(a));
+        } else if (op.op == ExprOp::kMul && both_lin &&
+                   (a.kind == 0 || b.kind == 0)) {
+          Lin& lin = a.kind == 0 ? b : a;
+          const double s = a.kind == 0 ? a.c0 : b.c0;
+          lin.kind = 1;
+          lin.c0 *= s;
+          for (auto& kv : lin.co) kv.second *= s;
+          stk.push_back(std::move(lin));
+        } else if (op.op == ExprOp::kDiv && a.kind <= 1 && b.kind == 0 &&
+                   b.c0 != 0) {
+          a.kind = 1;
+          a.c0 /= b.c0;
+          for (auto& kv : a.co) kv.second /= b.c0;
+          stk.push_back(std::move(a));
+        } else {
+          push_general();
+        }
+        break;
+      }
+    }
+  }
+
+  summary_ = Summary{};
+  if (stk.size() != 1) return;
+  const Lin& r = stk.back();
+  if (r.kind == 0 && !any_slot) {
+    summary_.kind = Summary::Kind::kConstant;
+    summary_.constant = r.c0;
+  } else if (r.kind <= 1) {
+    summary_.kind = Summary::Kind::kAffine;
+    summary_.base = r.c0;
+    for (const auto& kv : r.co) {
+      if (kv.second != 0) summary_.terms.emplace_back(kv.first, kv.second);
+    }
+  } else {
+    summary_.kind = Summary::Kind::kGeneral;
+  }
+}
+
+std::string CompiledExpr::DisassembleRegs() const {
+  if (!has_reg_code()) {
+    return "expr: no register form (stack evaluator)\n";
+  }
+  std::string out = StrFormat("expr: %u regs, slots [", num_regs_);
+  for (std::size_t i = 0; i < used_slots_.size(); ++i) {
+    out += StrFormat(i == 0 ? "%u" : " %u", used_slots_[i]);
+  }
+  out += "]\n";
+  for (std::size_t i = 0; i < rcode_.size(); ++i) {
+    const Instr& ins = rcode_[i];
+    out += StrFormat("  %4zu: %-9s", i, OpName(ins.op));
+    switch (ins.op) {
+      case Op::kLoadConst:
+        out += StrFormat("r%u, %g", ins.a, rconsts_[ins.imm]);
+        break;
+      case Op::kAddC:
+      case Op::kSubC:
+      case Op::kMulC:
+      case Op::kDivC:
+      case Op::kRSubC:
+      case Op::kRDivC:
+      case Op::kMinC:
+      case Op::kMaxC:
+        out += StrFormat("r%u, r%u, %g", ins.a, ins.b, rconsts_[ins.imm]);
+        break;
+      case Op::kMulAddCC:
+        out += StrFormat("r%u, r%u * %g + %g", ins.a, ins.b, rconsts_[ins.imm],
+                         rconsts_[ins.c]);
+        break;
+      case Op::kMulAddC:
+        out += StrFormat("r%u, r%u * %g + r%u", ins.a, ins.b, rconsts_[ins.imm], ins.c);
+        break;
+      case Op::kFma:
+        out += StrFormat("r%u += r%u * r%u", ins.a, ins.b, ins.c);
+        break;
+      case Op::kClampCC:
+        out += StrFormat("r%u, r%u in [%g, %g]", ins.a, ins.b, rconsts_[ins.c],
+                         rconsts_[ins.imm]);
+        break;
+      case Op::kCmpBranch:
+        out += StrFormat("r%u %s r%u %s-> %u", ins.a, CmpName(ins.c), ins.b,
+                         (ins.c & kCmpBranchIfTrue) ? "" : "!", ins.imm);
+        break;
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kBool:
+      case Op::kCeil:
+      case Op::kFloor:
+      case Op::kAbs:
+      case Op::kSqrt:
+        out += StrFormat("r%u, r%u", ins.a, ins.b);
+        break;
+      case Op::kRet:
+        out += StrFormat("r%u", ins.a);
+        break;
+      default:
+        out += StrFormat("r%u, r%u, r%u", ins.a, ins.b, ins.c);
+        break;
+    }
+    out += StrFormat("   ; line %u\n", ins.line);
+  }
+  return out;
 }
 
 }  // namespace perfiface

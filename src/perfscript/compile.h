@@ -70,7 +70,44 @@ enum class Op : std::uint8_t {
   kCall,       // r[a] = functions[imm](args at r[b]..r[b+c-1])
   kRet,        // return r[a]
   kError,      // raise errors[imm]
+  // --- Fused superinstructions (docs/serving.md "Unified expression IR").
+  // Emitted only by the peephole pass (FuseSuperinstructions) over already
+  // type-checked code, plus kAnd2/kOr2 which the standalone-expression
+  // lowering emits directly (net `and`/`or` do not short-circuit). Appended
+  // after kError so existing opcode numbering is untouched.
+  kMulAddCC,   // r[a] = r[b] * consts[imm] + consts[c]  (c indexes consts)
+  kMulAddC,    // r[a] = r[b] * consts[imm] + r[c]; r[c] checked at runtime
+  kFma,        // r[a] = r[a] + r[b] * r[c]; all three checked at runtime
+  kMinC,       // r[a] = fmin(r[b], consts[imm])
+  kMaxC,       // r[a] = fmax(r[b], consts[imm])
+  kClampCC,    // r[a] = fmax(fmin(r[b], consts[imm]), consts[c])
+  kCmpBranch,  // if cmp<c&7>(r[a], r[b]) == bool(c&8): pc = imm; both checked
+  kAnd2,       // r[a] = (r[b] != 0 && r[c] != 0) ? 1 : 0
+  kOr2,        // r[a] = (r[b] != 0 || r[c] != 0) ? 1 : 0
 };
+
+// kCmpBranch comparison kinds (low 3 bits of `c`); bit 3 set means "branch
+// when the comparison is true" (fused from kJmpIfNotZero), clear means
+// "branch when false" (fused from kJmpIfZero).
+inline constexpr std::uint8_t kCmpLt = 0, kCmpLe = 1, kCmpGt = 2, kCmpGe = 3,
+                              kCmpEq = 4, kCmpNe = 5;
+inline constexpr std::uint8_t kCmpBranchIfTrue = 8;
+
+// Forces `x` through a rounded double so the compiler cannot contract a
+// superinstruction's multiply+add into a hardware fma. A fused instruction
+// must round exactly like the two instructions it replaced — that
+// bit-identity is what the differential suites assert.
+inline double RoundBarrier(double x) {
+#if defined(__GNUC__) && defined(__x86_64__)
+  asm("" : "+x"(x));
+#elif defined(__GNUC__) && defined(__aarch64__)
+  asm("" : "+w"(x));
+#else
+  volatile double y = x;
+  x = y;
+#endif
+  return x;
+}
 
 // Operand kinds for kCheckNum's error message ("<what> must be a number"),
 // chosen to reproduce the interpreter's messages exactly.
@@ -93,7 +130,8 @@ struct CompiledFunction {
   std::string name;
   int line = 0;  // definition line (arity errors point here, like interp)
   std::size_t num_params = 0;
-  std::size_t num_regs = 0;  // frame size: params + locals + temps
+  std::size_t num_regs = 0;    // frame size: params + locals + temps
+  std::size_t num_locals = 0;  // params + named locals; temps live above
   std::vector<Instr> code;
 };
 
@@ -128,6 +166,19 @@ struct CompileProgramResult {
 CompileProgramResult CompileProgram(
     const Program& program,
     const std::vector<std::pair<std::string, double>>& constants);
+
+// Peephole pass over register bytecode: rewrites adjacent instruction pairs
+// into the fused superinstructions above (const-mul-add, fma, min/max-clamp,
+// compare-and-branch). Applied to both CompiledProgram functions and the
+// register form of CompiledExpr — one IR, one optimizer. A pair fuses only
+// when the intermediate is a dead temp (register >= first_temp_reg, read
+// nowhere else), no jump lands between the two, and both carry the same
+// source line, so values, error messages, and error lines stay bit-identical
+// to the unfused code. Jump targets are remapped. Returns the number of
+// fusions performed (feeds perfiface_expr_superinstr_total).
+std::size_t FuseSuperinstructions(std::vector<Instr>* code,
+                                  const std::vector<double>& consts,
+                                  std::uint32_t first_temp_reg);
 
 // ---------------------------------------------------------------------------
 // Standalone expressions (CompiledExpr)
@@ -193,6 +244,47 @@ class CompiledExpr {
 
   std::size_t num_ops() const { return ops_.size(); }
 
+  // ------------------------------------------------------------------
+  // Register-bytecode form (the unified IR). Compile() additionally
+  // lowers the stack ops onto the same Instr set the Vm executes, with
+  // constant folding, constant-operand forms, and the shared
+  // superinstruction peephole. Registers [0, max_slot] mirror token
+  // attribute slots; temps live above. Callers that find has_reg_code()
+  // false (an expression the lowering could not prove bit-equivalent,
+  // e.g. register pressure beyond the 8-bit operand fields) fall back to
+  // the stack evaluator, which stays the reference semantics.
+  // ------------------------------------------------------------------
+  bool has_reg_code() const { return !rcode_.empty(); }
+  const std::vector<Instr>& reg_code() const { return rcode_; }
+  const std::vector<double>& reg_consts() const { return rconsts_; }
+  std::uint32_t num_regs() const { return num_regs_; }
+  // Attribute slots the expression reads, sorted ascending.
+  const std::vector<std::uint32_t>& used_slots() const { return used_slots_; }
+  // Human-readable listing (pnet_tool --dump-expr-bytecode).
+  std::string DisassembleRegs() const;
+
+  // Same contracts as Eval/EvalChecked, executed on the register form.
+  // Requires has_reg_code().
+  template <typename SlotFn>
+  double EvalRegs(SlotFn&& slot) const;
+  template <typename SlotFn>
+  EvalResult EvalRegsChecked(SlotFn&& slot) const;
+
+  // Compile-time shape classification, for the sim fast path and the
+  // interface distiller. kConstant is claimed only for expressions with
+  // no slot reads at all (so it holds for every attribute value,
+  // including NaN/Inf) and whose evaluation provably cannot abort.
+  // Affine coefficients are informational (tooling, distiller feature
+  // selection); bit-exact serving never re-evaluates through them.
+  struct Summary {
+    enum class Kind { kConstant, kAffine, kGeneral };
+    Kind kind = Kind::kGeneral;
+    double constant = 0;  // kConstant: the folded value
+    double base = 0;      // kAffine: constant term
+    std::vector<std::pair<std::uint32_t, double>> terms;  // slot, coeff
+  };
+  const Summary& summary() const { return summary_; }
+
  private:
   // Numbering is load-bearing: Canonical() serializes the raw enum values.
   enum class ExprOp : std::uint8_t {
@@ -209,11 +301,23 @@ class CompiledExpr {
 
   template <typename SlotFn>
   double Run(SlotFn&& slot, bool* failed, std::string* error) const;
+  template <typename SlotFn>
+  double RunRegs(SlotFn&& slot, bool* failed, std::string* error) const;
 
   bool Emit(const Expr& e, const ExprBinder& binder, const ExprCompileOptions& options,
             std::string* error);
+  // Builds rcode_/rconsts_ from ops_; clears rcode_ (fallback to the stack
+  // path) on any shape it cannot lower bit-identically.
+  void LowerToRegs();
+  // Fills summary_ from ops_ (runs regardless of lowering success).
+  void Summarize();
 
   std::vector<ExprInstr> ops_;
+  std::vector<Instr> rcode_;
+  std::vector<double> rconsts_;
+  std::vector<std::uint32_t> used_slots_;
+  std::uint32_t num_regs_ = 0;
+  Summary summary_;
 };
 
 }  // namespace perfiface

@@ -77,6 +77,131 @@ double CompiledExpr::Run(SlotFn&& slot, bool* failed, std::string* error) const 
   return stack[0];
 }
 
+// Register-form twin of Run(): same values bit-for-bit, same abort/error
+// behavior, same error strings and lines (the expr_diff_test suite holds the
+// two to that contract over every registry net and a fuzzed corpus). The
+// lowering preserves evaluation order and never reassociates, so each
+// arithmetic op here rounds exactly like its stack counterpart;
+// superinstructions use RoundBarrier to keep their internal multiply+add as
+// two roundings.
+template <typename SlotFn>
+double CompiledExpr::RunRegs(SlotFn&& slot, bool* failed, std::string* error) const {
+  double regs[256];
+  for (const std::uint32_t s : used_slots_) regs[s] = slot(s);
+  const double* consts = rconsts_.data();
+  for (const Instr& ins : rcode_) {
+    switch (ins.op) {
+      case Op::kLoadConst: regs[ins.a] = consts[ins.imm]; break;
+      case Op::kMove: regs[ins.a] = regs[ins.b]; break;
+      case Op::kAdd: regs[ins.a] = regs[ins.b] + regs[ins.c]; break;
+      case Op::kSub: regs[ins.a] = regs[ins.b] - regs[ins.c]; break;
+      case Op::kMul: regs[ins.a] = regs[ins.b] * regs[ins.c]; break;
+      case Op::kDiv: {
+        const double d = regs[ins.c];
+        if (d == 0) {
+          if (failed == nullptr) {
+            PI_CHECK_MSG(false, "division by zero in net expression");
+          }
+          *failed = true;
+          *error = StrFormat("line %d: division by zero", ins.line);
+          return 0;
+        }
+        regs[ins.a] = regs[ins.b] / d;
+        break;
+      }
+      case Op::kMod: {
+        const double d = regs[ins.c];
+        if (d == 0) {
+          if (failed == nullptr) {
+            PI_CHECK_MSG(false, "modulo by zero in net expression");
+          }
+          *failed = true;
+          *error = StrFormat("line %d: modulo by zero", ins.line);
+          return 0;
+        }
+        regs[ins.a] = std::fmod(regs[ins.b], d);
+        break;
+      }
+      case Op::kLt: regs[ins.a] = regs[ins.b] < regs[ins.c] ? 1 : 0; break;
+      case Op::kLe: regs[ins.a] = regs[ins.b] <= regs[ins.c] ? 1 : 0; break;
+      case Op::kGt: regs[ins.a] = regs[ins.b] > regs[ins.c] ? 1 : 0; break;
+      case Op::kGe: regs[ins.a] = regs[ins.b] >= regs[ins.c] ? 1 : 0; break;
+      case Op::kEq: regs[ins.a] = regs[ins.b] == regs[ins.c] ? 1 : 0; break;
+      case Op::kNe: regs[ins.a] = regs[ins.b] != regs[ins.c] ? 1 : 0; break;
+      case Op::kAddC: regs[ins.a] = regs[ins.b] + consts[ins.imm]; break;
+      case Op::kSubC: regs[ins.a] = regs[ins.b] - consts[ins.imm]; break;
+      case Op::kMulC: regs[ins.a] = regs[ins.b] * consts[ins.imm]; break;
+      case Op::kDivC: regs[ins.a] = regs[ins.b] / consts[ins.imm]; break;
+      case Op::kRSubC: regs[ins.a] = consts[ins.imm] - regs[ins.b]; break;
+      case Op::kRDivC: {
+        const double d = regs[ins.b];
+        if (d == 0) {
+          if (failed == nullptr) {
+            PI_CHECK_MSG(false, "division by zero in net expression");
+          }
+          *failed = true;
+          *error = StrFormat("line %d: division by zero", ins.line);
+          return 0;
+        }
+        regs[ins.a] = consts[ins.imm] / d;
+        break;
+      }
+      case Op::kNeg: regs[ins.a] = -regs[ins.b]; break;
+      case Op::kNot: regs[ins.a] = regs[ins.b] == 0 ? 1 : 0; break;
+      case Op::kBool: regs[ins.a] = regs[ins.b] != 0 ? 1 : 0; break;
+      case Op::kCeil: regs[ins.a] = std::ceil(regs[ins.b]); break;
+      case Op::kFloor: regs[ins.a] = std::floor(regs[ins.b]); break;
+      case Op::kAbs: regs[ins.a] = std::fabs(regs[ins.b]); break;
+      case Op::kSqrt: regs[ins.a] = std::sqrt(regs[ins.b]); break;
+      case Op::kMin2: regs[ins.a] = std::fmin(regs[ins.b], regs[ins.c]); break;
+      case Op::kMax2: regs[ins.a] = std::fmax(regs[ins.b], regs[ins.c]); break;
+      case Op::kMinC: regs[ins.a] = std::fmin(regs[ins.b], consts[ins.imm]); break;
+      case Op::kMaxC: regs[ins.a] = std::fmax(regs[ins.b], consts[ins.imm]); break;
+      case Op::kClampCC:
+        regs[ins.a] =
+            std::fmax(std::fmin(regs[ins.b], consts[ins.imm]), consts[ins.c]);
+        break;
+      case Op::kMulAddCC:
+        regs[ins.a] = RoundBarrier(regs[ins.b] * consts[ins.imm]) + consts[ins.c];
+        break;
+      case Op::kMulAddC:
+        regs[ins.a] = RoundBarrier(regs[ins.b] * consts[ins.imm]) + regs[ins.c];
+        break;
+      case Op::kFma:
+        regs[ins.a] = regs[ins.a] + RoundBarrier(regs[ins.b] * regs[ins.c]);
+        break;
+      case Op::kAnd2:
+        regs[ins.a] = (regs[ins.b] != 0 && regs[ins.c] != 0) ? 1 : 0;
+        break;
+      case Op::kOr2:
+        regs[ins.a] = (regs[ins.b] != 0 || regs[ins.c] != 0) ? 1 : 0;
+        break;
+      case Op::kRet: return regs[ins.a];
+      default: PI_CHECK_MSG(false, "bad opcode in expression register code");
+    }
+  }
+  PI_CHECK_MSG(false, "expression register code fell off the end");
+  return 0;
+}
+
+template <typename SlotFn>
+double CompiledExpr::EvalRegs(SlotFn&& slot) const {
+  return RunRegs(static_cast<SlotFn&&>(slot), nullptr, nullptr);
+}
+
+template <typename SlotFn>
+EvalResult CompiledExpr::EvalRegsChecked(SlotFn&& slot) const {
+  EvalResult out;
+  bool failed = false;
+  const double v = RunRegs(static_cast<SlotFn&&>(slot), &failed, &out.error);
+  if (failed) {
+    return out;
+  }
+  out.ok = true;
+  out.value = Value::Number(v);
+  return out;
+}
+
 template <typename SlotFn>
 double CompiledExpr::Eval(SlotFn&& slot) const {
   return Run(static_cast<SlotFn&&>(slot), nullptr, nullptr);

@@ -293,6 +293,80 @@ EvalResult Vm::Call(const std::string& function, const std::vector<Value>& args)
       case Op::kError:
         fail(ins.line, program_->errors[ins.imm]);
         break;
+      // Fused superinstructions (FuseSuperinstructions in compile.cc). Each
+      // must round and type-check exactly like the pair it replaced:
+      // RoundBarrier keeps the multiply a separate rounding step, and the
+      // runtime checks mirror whichever operands the original generic ops
+      // checked (constant-form operands were compiler-proven numeric).
+      case Op::kMulAddCC:
+        R[ins.a] = Value::Number(RoundBarrier(R[ins.b].num * program_->consts[ins.imm]) +
+                                 program_->consts[ins.c]);
+        break;
+      case Op::kMulAddC: {
+        const Value& vc = R[ins.c];
+        if (!vc.IsNumber()) {
+          fail(ins.line, "operand must be a number");
+          break;
+        }
+        R[ins.a] =
+            Value::Number(RoundBarrier(R[ins.b].num * program_->consts[ins.imm]) + vc.num);
+        break;
+      }
+      case Op::kFma: {
+        const Value& vb = R[ins.b];
+        const Value& vc = R[ins.c];
+        if (!vb.IsNumber() || !vc.IsNumber()) {
+          fail(ins.line, "operand must be a number");
+          break;
+        }
+        const Value& va = R[ins.a];
+        if (!va.IsNumber()) {
+          fail(ins.line, "operand must be a number");
+          break;
+        }
+        R[ins.a] = Value::Number(va.num + RoundBarrier(vb.num * vc.num));
+        break;
+      }
+      case Op::kMinC:
+        R[ins.a] = Value::Number(std::fmin(R[ins.b].num, program_->consts[ins.imm]));
+        break;
+      case Op::kMaxC:
+        R[ins.a] = Value::Number(std::fmax(R[ins.b].num, program_->consts[ins.imm]));
+        break;
+      case Op::kClampCC:
+        R[ins.a] = Value::Number(std::fmax(
+            std::fmin(R[ins.b].num, program_->consts[ins.imm]), program_->consts[ins.c]));
+        break;
+      case Op::kCmpBranch: {
+        const Value& va = R[ins.a];
+        const Value& vb = R[ins.b];
+        if (!va.IsNumber() || !vb.IsNumber()) {
+          fail(ins.line, "operand must be a number");
+          break;
+        }
+        const double x = va.num;
+        const double y = vb.num;
+        bool cond = false;
+        switch (ins.c & 7) {
+          case kCmpLt: cond = x < y; break;
+          case kCmpLe: cond = x <= y; break;
+          case kCmpGt: cond = x > y; break;
+          case kCmpGe: cond = x >= y; break;
+          case kCmpEq: cond = x == y; break;
+          default: cond = x != y; break;
+        }
+        if (cond == ((ins.c & kCmpBranchIfTrue) != 0)) pc = ins.imm;
+        break;
+      }
+      // The expression lowering's non-short-circuit logical ops; programs
+      // never emit these, but the Vm executes the full shared instruction
+      // set.
+      case Op::kAnd2:
+        R[ins.a] = Value::Number((R[ins.b].num != 0 && R[ins.c].num != 0) ? 1 : 0);
+        break;
+      case Op::kOr2:
+        R[ins.a] = Value::Number((R[ins.b].num != 0 || R[ins.c].num != 0) ? 1 : 0);
+        break;
     }
     if (failed) break;
   }

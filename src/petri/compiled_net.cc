@@ -1,10 +1,12 @@
 #include "src/petri/compiled_net.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "src/common/check.h"
 #include "src/obs/trace.h"
+#include "src/perfscript/compile.h"
 
 namespace perfiface {
 
@@ -115,6 +117,34 @@ CompiledNet::CompiledNet(const PetriNet* net) : net_(net) {
     info.delay = &spec.delay;
     info.guard = spec.guard ? &spec.guard : nullptr;
     info.fire = spec.fire ? &spec.fire : nullptr;
+
+    // Classify loader-attached expressions for the firing-loop fast paths.
+    // A constant delay must already be a valid Cycles to qualify; an
+    // out-of-range constant keeps the general path so the range check
+    // aborts exactly as the closure would.
+    if (spec.delay_compiled != nullptr) {
+      const CompiledExpr& e = *spec.delay_compiled;
+      if (e.has_reg_code()) {
+        info.delay_code = &e;
+      }
+      const CompiledExpr::Summary& s = e.summary();
+      if (s.kind == CompiledExpr::Summary::Kind::kConstant && s.constant >= 0 &&
+          s.constant < 1e15) {
+        info.delay_const = true;
+        info.const_delay = static_cast<Cycles>(std::llround(s.constant));
+      }
+    }
+    if (spec.guard_compiled != nullptr) {
+      const CompiledExpr& e = *spec.guard_compiled;
+      if (e.has_reg_code()) {
+        info.guard_code = &e;
+      }
+      const CompiledExpr::Summary& s = e.summary();
+      if (s.kind == CompiledExpr::Summary::Kind::kConstant) {
+        info.guard_const = true;
+        info.guard_value = s.constant != 0.0;
+      }
+    }
 
     info.in_begin = static_cast<std::uint32_t>(inputs_.size());
     for (const Arc& a : spec.inputs) {

@@ -58,6 +58,16 @@ class CompiledNet {
     const DelayFn* delay = nullptr;
     const GuardFn* guard = nullptr;
     const FireFn* fire = nullptr;
+    // Expression fast paths, classified once here from the compiled
+    // delay/guard expressions the loader attached to the spec (see
+    // TransitionSpec::delay_compiled for the contract). All null/false for
+    // hand-built nets; the simulator then falls back to the closures.
+    const CompiledExpr* delay_code = nullptr;  // register-evaluable delay
+    const CompiledExpr* guard_code = nullptr;  // register-evaluable guard
+    bool guard_const = false;  // guard folds to a constant at compile time
+    bool guard_value = true;   // that constant (as a bool), if guard_const
+    bool delay_const = false;  // delay folds to a constant valid Cycles
+    Cycles const_delay = 0;    // that constant, if delay_const
   };
 
   struct PlaceInfo {

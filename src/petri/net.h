@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "src/petri/token.h"
 
 namespace perfiface {
+
+class CompiledExpr;  // src/perfscript/compile.h
 
 using PlaceId = std::size_t;
 using TransitionId = std::size_t;
@@ -74,6 +77,17 @@ struct TransitionSpec {
   // cannot be compared across nets, so nets carrying one are unhashable).
   std::string delay_expr;
   std::string guard_expr;
+  // The compiled expressions behind the closures, when they came from a
+  // textual form. Setting one is a contract about the matching closure:
+  // delay_compiled asserts that `delay` is exactly "evaluate the expression
+  // on the front token, check [0, 1e15), llround"; guard_compiled asserts
+  // that `guard` is exactly "expression != 0 on the front token". The
+  // simulator uses them to classify transitions at net-compile time
+  // (constant guards, constant/register-evaluable delays) and to serve
+  // firings without entering the std::function at all — the fast paths
+  // must stay bit-identical to the closures they bypass.
+  std::shared_ptr<const CompiledExpr> delay_compiled;
+  std::shared_ptr<const CompiledExpr> guard_compiled;
 };
 
 class PetriNet {

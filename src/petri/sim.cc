@@ -1,10 +1,12 @@
 #include "src/petri/sim.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/perfscript/compile.h"
 
 namespace perfiface {
 
@@ -121,7 +123,23 @@ bool PetriSim::TryStart(TransitionId t) {
       refs.push_back(&places_[in_arcs[i].place].tokens[k]);
     }
   }
-  if (trans.guard != nullptr && !(*trans.guard)(refs)) {
+  // Guard, via the cheapest route the compile-time classification allows.
+  // All three routes decide enablement identically: the constant route is
+  // the folded expression value, the register route evaluates the same
+  // expression the closure wraps (same front token, same attrs), and the
+  // closure route is the pre-classification behavior.
+  if (expr_fastpath_ && trans.guard_const) {
+    if (!trans.guard_value) {
+      return false;
+    }
+  } else if (expr_fastpath_ && trans.guard_code != nullptr) {
+    const Token* primary = refs.front();
+    const double g = trans.guard_code->EvalRegs(
+        [primary](std::uint32_t slot) { return primary->Attr(slot); });
+    if (g == 0.0) {
+      return false;
+    }
+  } else if (trans.guard != nullptr && !(*trans.guard)(refs)) {
     return false;
   }
 
@@ -142,8 +160,21 @@ bool PetriSim::TryStart(TransitionId t) {
     }
   }
 
-  // Compute delay while the token refs are still valid.
-  const Cycles delay = (*trans.delay)(refs);
+  // Compute delay while the token refs are still valid. Constant delays
+  // were pre-validated and rounded at net-compile time; register-evaluable
+  // delays repeat the loader closure's exact range check and rounding.
+  Cycles delay;
+  if (expr_fastpath_ && trans.delay_const) {
+    delay = trans.const_delay;
+  } else if (expr_fastpath_ && trans.delay_code != nullptr) {
+    const Token* primary = refs.front();
+    const double v = trans.delay_code->EvalRegs(
+        [primary](std::uint32_t slot) { return primary->Attr(slot); });
+    PI_CHECK_MSG(v >= 0 && v < 1e15, "delay out of range");
+    delay = static_cast<Cycles>(std::llround(v));
+  } else {
+    delay = (*trans.delay)(refs);
+  }
 
   // Consume inputs into a scheduled slab slot.
   Firing& f = ScheduleFiring(now_ + delay);

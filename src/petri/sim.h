@@ -73,6 +73,13 @@ class PetriSim {
   void set_max_firings(std::uint64_t m) { max_firings_ = m; }
   bool firing_budget_exhausted() const { return budget_exhausted_; }
 
+  // Disables the compile-time expression fast paths (constant guards,
+  // constant/register-bytecode delays) so every firing goes through the
+  // original std::function closures. The two modes are bit-identical by
+  // contract; the switch exists for benchmarking the fast paths and for
+  // bisecting a suspected divergence.
+  void set_expr_fastpath(bool on) { expr_fastpath_ = on; }
+
  private:
   struct Firing {
     TransitionId transition = 0;
@@ -122,6 +129,7 @@ class PetriSim {
   std::uint64_t total_firings_ = 0;
   std::uint64_t max_firings_ = 500'000'000;
   bool budget_exhausted_ = false;
+  bool expr_fastpath_ = true;
   // Allocates a slab slot for an in-flight firing and schedules it.
   Firing& ScheduleFiring(Cycles complete_at);
 

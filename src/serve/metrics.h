@@ -55,6 +55,8 @@ struct InterfaceMetrics {
   // Pnet components this interface served from the parametric model
   // (src/petri/param_model.h); feeds the /statusz per-interface summary.
   std::atomic<std::uint64_t> param_hits{0};
+  // Pnet components served from distilled closed forms (src/petri/distill.h).
+  std::atomic<std::uint64_t> derived_hits{0};
 };
 
 // What the cache saw for one request. Requests that are resolved before the
@@ -76,6 +78,11 @@ class ServiceMetrics {
   void RecordParamHits(std::size_t iface_idx, std::uint64_t hits) {
     if (hits != 0 && iface_idx < per_interface_.size()) {
       per_interface_[iface_idx]->param_hits.fetch_add(hits, std::memory_order_relaxed);
+    }
+  }
+  void RecordDerivedHits(std::size_t iface_idx, std::uint64_t hits) {
+    if (hits != 0 && iface_idx < per_interface_.size()) {
+      per_interface_[iface_idx]->derived_hits.fetch_add(hits, std::memory_order_relaxed);
     }
   }
 

@@ -85,6 +85,8 @@ struct ExplainInfo {
   bool filled = false;
   // Which machinery produced the value: "psc-vm", "psc-interp", "pnet",
   // "pnet-memo" (every component answered from the memo table),
+  // "pnet-derived" (no simulation; at least one component served from a
+  // distilled closed-form interface, src/petri/distill.h),
   // "pnet-param" (no simulation; at least one component interpolated from
   // the fitted parametric model), or "cache" (served from the prediction
   // cache without evaluating).
@@ -99,6 +101,11 @@ struct ExplainInfo {
   // Pnet memo path: components consulted and how many hit the memo table.
   std::uint64_t memo_components = 0;
   std::uint64_t memo_hits = 0;
+  // Components served from a distilled closed-form interface on an
+  // exact-memo miss (docs/serving.md "Unified expression IR & derived
+  // interfaces"). representation reads "pnet-derived" when no component
+  // had to simulate and at least one came from a closed form.
+  std::uint64_t derived_hits = 0;
   // Components served by the parametric model on an exact-memo miss
   // (docs/serving.md "Parametric memoization"). representation reads
   // "pnet-param" when no component had to simulate and at least one was

@@ -14,6 +14,7 @@
 #include "src/obs/span_ring.h"
 #include "src/obs/trace.h"
 #include "src/perfscript/kv_object.h"
+#include "src/petri/distill.h"
 #include "src/petri/param_model.h"
 #include "src/petri/pnet_memo.h"
 #include "src/petri/sim.h"
@@ -176,13 +177,15 @@ std::string PredictionService::StatuszJson() const {
   out += StrFormat(
       "\"options\":{\"workers\":%zu,\"queue_capacity\":%zu,\"batch_chunk\":%zu,"
       "\"cache_capacity\":%zu,\"cache_shards\":%zu,\"pnet_memo\":%s,\"param_memo\":%s,"
-      "\"param_memo_min_samples\":%zu,\"param_memo_max_rel_err\":%.9g,\"psc_compile\":%s,"
+      "\"param_memo_min_samples\":%zu,\"param_memo_max_rel_err\":%.9g,\"derived\":%s,"
+      "\"psc_compile\":%s,"
       "\"default_max_steps\":%llu,\"steps_per_us\":%llu,\"shadow_sample_every\":%llu,"
       "\"shadow_seed\":%llu,\"shadow_drift_threshold\":%.9g,\"span_ring\":%s},",
       workers_.size(), options_.queue_capacity, options_.batch_chunk, options_.cache_capacity,
       options_.cache_shards, options_.enable_pnet_memo ? "true" : "false",
       options_.enable_param_memo ? "true" : "false", options_.param_memo_min_samples,
-      options_.param_memo_max_rel_err, options_.enable_psc_compile ? "true" : "false",
+      options_.param_memo_max_rel_err, options_.enable_derived ? "true" : "false",
+      options_.enable_psc_compile ? "true" : "false",
       static_cast<unsigned long long>(options_.default_max_steps),
       static_cast<unsigned long long>(options_.steps_per_us),
       static_cast<unsigned long long>(options_.shadow_sample_every),
@@ -199,6 +202,7 @@ std::string PredictionService::StatuszJson() const {
       static_cast<unsigned long long>(memo.misses()),
       static_cast<unsigned long long>(memo.evictions()));
   out += "\"param_store\":" + ParamModelStore::Global().SummaryJson() + ",";
+  out += "\"derived_store\":" + DerivedStore::Global().SummaryJson() + ",";
   out += "\"interfaces\":[";
   const auto& rows = metrics_->interfaces();
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -209,11 +213,13 @@ std::string PredictionService::StatuszJson() const {
     }
     out += StrFormat(
         "{\"name\":\"%s\",\"requests\":%llu,\"errors\":%llu,\"qps\":%.2f,"
-        "\"p50_us\":%.2f,\"p99_us\":%.2f,\"param_hits\":%llu,\"shadow\":%s}",
+        "\"p50_us\":%.2f,\"p99_us\":%.2f,\"derived_hits\":%llu,\"param_hits\":%llu,"
+        "\"shadow\":%s}",
         obs::EscapeLabelValue(m.interface).c_str(), static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(m.errors.load(std::memory_order_relaxed)),
         uptime_s <= 0 ? 0.0 : static_cast<double>(requests) / uptime_s,
         m.latency.PercentileNs(50) / 1e3, m.latency.PercentileNs(99) / 1e3,
+        static_cast<unsigned long long>(m.derived_hits.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(m.param_hits.load(std::memory_order_relaxed)),
         shadow_->SummaryJson(i).c_str());
   }
@@ -469,6 +475,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
     r.trace_id = trace_id;
     r.eval_ns = ElapsedNs(start, Clock::now());
     metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
+    metrics_->RecordDerivedHits(iface_idx, detail.derived_hits);
     metrics_->RecordParamHits(iface_idx, detail.param_hits);
     metrics_->RecordStatus(cache_outcome, r.status == PredictStatus::kDeadlineExceeded,
                            r.status == PredictStatus::kRejected);
@@ -487,6 +494,7 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
       ex.steps = detail.steps;
       ex.memo_components = detail.memo_components;
       ex.memo_hits = detail.memo_hits;
+      ex.derived_hits = detail.derived_hits;
       ex.param_hits = detail.param_hits;
       ex.deadline_limited = deadline_limited;
       ex.shadowed = shadow_outcome.ran;
@@ -776,6 +784,36 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
       if (hit) {
         ++detail->memo_hits;
       }
+      if (!hit && options_.enable_derived) {
+        // Second tier: the closed form distilled from the component's
+        // compiled delay expressions (src/petri/distill.h). The first
+        // consultation per (component, plan) distills — a few restricted
+        // probe simulations, cached process-wide — and every outcome
+        // short of a hit falls through bit-identically.
+        DerivedStore& derived = DerivedStore::Global();
+        const std::string derived_key = DerivedStore::Key(cnet, c, injections);
+        DerivedPrediction derived_pred;
+        DerivedStore::Outcome derived_outcome;
+        {
+          obs::SpanGuard derived_span("serve", "derived_lookup");
+          derived_outcome = derived.Predict(derived_key, token, remaining, &derived_pred);
+          if (derived_outcome == DerivedStore::Outcome::kNoModel &&
+              derived.Distill(derived_key, cnet, c, token, injections)) {
+            derived_outcome = derived.Predict(derived_key, token, remaining, &derived_pred);
+          }
+          if (derived_span.active()) {
+            derived_span.SetArg(
+                "hit", derived_outcome == DerivedStore::Outcome::kHit ? 1.0 : 0.0);
+          }
+        }
+        if (derived_outcome == DerivedStore::Outcome::kHit) {
+          ++detail->derived_hits;
+          remaining -= derived_pred.firings;
+          detail->steps += derived_pred.firings;
+          value = std::max(value, derived_pred.quiesce_time);
+          continue;
+        }
+      }
       std::string param_key;
       if (!hit && param_memo) {
         // Second tier: the fitted per-component delay curve. A gate-open
@@ -832,8 +870,13 @@ PredictResponse PredictionService::EvaluatePnet(const PredictRequest& request, c
       value = std::max(value, result.quiesce_time);
     }
     if (detail->memo_components != 0 &&
-        detail->memo_hits + detail->param_hits == detail->memo_components) {
-      detail->representation = detail->param_hits != 0 ? "pnet-param" : "pnet-memo";
+        detail->memo_hits + detail->derived_hits + detail->param_hits ==
+            detail->memo_components) {
+      // No component simulated. Closed-form wins over interpolation in the
+      // label: "pnet-derived" whenever the distilled tier contributed.
+      detail->representation = detail->derived_hits != 0
+                                   ? "pnet-derived"
+                                   : (detail->param_hits != 0 ? "pnet-param" : "pnet-memo");
     }
   } else {
     // Memo off (or net unhashable: opaque C++ closures): one whole-net

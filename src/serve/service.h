@@ -83,6 +83,15 @@ struct ServiceOptions {
   bool enable_param_memo = false;
   std::size_t param_memo_min_samples = 32;
   double param_memo_max_rel_err = 0.02;
+  // Derived closed-form interfaces (src/petri/distill.h): on an exact-memo
+  // miss — and before the parametric tier — serve deterministic-path
+  // components from the closed form distilled out of their compiled delay
+  // expressions. Distillation runs once per (component, injection plan),
+  // probing with a handful of restricted simulations; any refusal (attr-
+  // dependent guards, drifting firing counts, query outside the probed
+  // hull) falls back to the lower tiers bit-identically. Off by default.
+  // Requires enable_pnet_memo (the tier lives on the per-component path).
+  bool enable_derived = false;
   // Evaluate program interfaces through their compiled bytecode (one Vm per
   // worker per program) instead of the tree-walking interpreter. Programs
   // outside the compilable subset always use the interpreter. Off, every
@@ -268,11 +277,13 @@ class PredictionService {
   // without re-deriving them. Static strings only — no per-request
   // allocation unless the client asked to explain.
   struct EvalDetail {
-    // "psc-vm" | "psc-interp" | "pnet" | "pnet-memo" | "pnet-param"
+    // "psc-vm" | "psc-interp" | "pnet" | "pnet-memo" | "pnet-derived" |
+    // "pnet-param"
     const char* representation = "";
     std::uint64_t steps = 0;          // interpreter/VM steps or net firings
     std::uint64_t memo_components = 0;
     std::uint64_t memo_hits = 0;
+    std::uint64_t derived_hits = 0;   // components served by distilled closed forms
     std::uint64_t param_hits = 0;     // components served by the fitted model
   };
 

@@ -1,0 +1,204 @@
+// Differential equivalence for the unified expression IR: the register
+// bytecode (CompiledExpr::EvalRegs / EvalRegsChecked, with the shared
+// superinstruction peephole) must be observably identical to the stack
+// evaluator (Eval / EvalChecked) — bit-exact doubles, including the NaN
+// produced, and byte-identical error strings. This is the contract that
+// lets the simulator's fast paths (src/petri/sim.cc) and the distiller
+// (src/petri/distill.cc) run the register form in place of the stack
+// form without changing a single answer.
+//
+// Two corpora: every delay/guard expression of every shipped .pnet
+// interface, and a seeded random-expression fuzz over the full operator
+// set — both swept across attribute vectors that include 0, negatives,
+// non-integers, huge magnitudes, NaN, and +/-Inf.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pnet.h"
+#include "src/perfscript/compile.h"
+#include "src/perfscript/interp.h"
+#include "src/petri/net.h"
+
+namespace perfiface {
+namespace {
+
+// Deterministic seed stream (SplitMix64): the fuzzed expressions and
+// argument sets must be identical on every run and platform.
+std::uint64_t NextRand(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Bit-exact double comparison. NaN == NaN only when the payloads match:
+// both evaluators run the same arithmetic in the same order, so even NaN
+// bits must agree.
+bool BitEqual(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+// Attribute values the fuzz draws from; deliberately adversarial (zero
+// divisors, NaN/Inf propagation, values past the 2^53 integer range).
+const double kAttrPool[] = {
+    0.0,    1.0, -1.0, 0.5,      -3.25, 8.0,   17.0,
+    4096.0, 1e6, 1e15, 9.007e15, -1e9,  1e-12,
+    std::numeric_limits<double>::quiet_NaN(),
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+};
+
+double DrawAttr(std::uint64_t* rng) {
+  if (NextRand(rng) % 4 == 0) {
+    return kAttrPool[NextRand(rng) % (sizeof(kAttrPool) / sizeof(kAttrPool[0]))];
+  }
+  // A "plausible workload" value: non-negative, mixed magnitude.
+  return static_cast<double>(NextRand(rng) % 100000) / 4.0;
+}
+
+// Asserts stack and register evaluation agree on one attribute vector:
+// same ok flag, byte-identical error, bit-exact value. When the checked
+// form succeeds, the aborting forms are also exercised (they are the
+// ones the simulator hot loop calls).
+void ExpectSame(const CompiledExpr& expr, const std::vector<double>& attrs,
+                const std::string& what) {
+  const auto slot = [&attrs](std::uint32_t s) {
+    return s < attrs.size() ? attrs[s] : 0.0;
+  };
+  const EvalResult stack = expr.EvalChecked(slot);
+  const EvalResult regs = expr.EvalRegsChecked(slot);
+  ASSERT_EQ(stack.ok, regs.ok) << what;
+  if (!stack.ok) {
+    EXPECT_EQ(stack.error, regs.error) << what;
+    return;
+  }
+  EXPECT_TRUE(BitEqual(stack.Num(), regs.Num()))
+      << what << ": stack=" << stack.Num() << " regs=" << regs.Num();
+  EXPECT_TRUE(BitEqual(expr.Eval(slot), expr.EvalRegs(slot))) << what;
+}
+
+TEST(ExprDiff, ShippedNetExpressionsAgree) {
+  std::uint64_t rng = 0x9d1f29a4c0ffee01ULL;
+  std::size_t with_reg_code = 0;
+  for (const char* name : {"jpeg", "protoacc", "vta", "conv"}) {
+    const LoadedNet loaded = LoadPnetFile(std::string(PERFIFACE_SOURCE_DIR) +
+                                          "/src/core/interfaces/" + name + ".pnet");
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.error;
+    const std::size_t num_attrs = loaded.net->attr_names().size();
+    for (const TransitionSpec& spec : loaded.net->transitions()) {
+      for (const auto& compiled : {spec.delay_compiled, spec.guard_compiled}) {
+        if (compiled == nullptr || !compiled->has_reg_code()) continue;
+        ++with_reg_code;
+        for (int trial = 0; trial < 64; ++trial) {
+          std::vector<double> attrs(num_attrs);
+          for (double& a : attrs) a = DrawAttr(&rng);
+          ExpectSame(*compiled, attrs,
+                     std::string(name) + "/" + spec.name + " trial " +
+                         std::to_string(trial));
+        }
+      }
+    }
+  }
+  // The point of the lowering is that the shipped interfaces actually use
+  // it; a silent fall-back to the stack form everywhere would pass the
+  // comparisons vacuously.
+  EXPECT_GT(with_reg_code, 10u);
+}
+
+// --------------------------------------------------------------------------
+// Random-expression corpus
+// --------------------------------------------------------------------------
+
+const char* const kLeafConsts[] = {"0", "1", "2", "0.5", "3", "8", "4096", "1.5", "7"};
+
+std::string GenExpr(std::uint64_t* rng, int depth) {
+  if (depth <= 0 || NextRand(rng) % 100 < 25) {
+    switch (NextRand(rng) % 6) {
+      case 0: return "a";
+      case 1: return "b";
+      case 2: return "c";
+      default:
+        return kLeafConsts[NextRand(rng) % (sizeof(kLeafConsts) / sizeof(kLeafConsts[0]))];
+    }
+  }
+  const char* const kBinOps[] = {"+", "-",  "*",  "/",  "%",   "<",  "<=",
+                                 ">", ">=", "==", "!=", "and", "or"};
+  switch (NextRand(rng) % 20) {
+    case 0: return "(-" + GenExpr(rng, depth - 1) + ")";
+    case 1: return "(not " + GenExpr(rng, depth - 1) + ")";
+    case 2: return "ceil(" + GenExpr(rng, depth - 1) + ")";
+    case 3: return "floor(" + GenExpr(rng, depth - 1) + ")";
+    case 4: return "abs(" + GenExpr(rng, depth - 1) + ")";
+    case 5: return "sqrt(" + GenExpr(rng, depth - 1) + ")";
+    case 6: return "min(" + GenExpr(rng, depth - 1) + ", " + GenExpr(rng, depth - 1) + ")";
+    case 7: return "max(" + GenExpr(rng, depth - 1) + ", " + GenExpr(rng, depth - 1) + ")";
+    default: {
+      const char* op = kBinOps[NextRand(rng) % (sizeof(kBinOps) / sizeof(kBinOps[0]))];
+      return "(" + GenExpr(rng, depth - 1) + " " + op + " " + GenExpr(rng, depth - 1) + ")";
+    }
+  }
+}
+
+TEST(ExprDiff, RandomExpressionCorpusAgrees) {
+  std::uint64_t rng = 0x5eed5eed5eed5eedULL;
+  const ExprBinder binder = [](std::string_view name) -> std::optional<ExprBinding> {
+    if (name == "a") return ExprBinding::Slot(0);
+    if (name == "b") return ExprBinding::Slot(1);
+    if (name == "c") return ExprBinding::Slot(2);
+    return std::nullopt;
+  };
+  ExprCompileOptions options;
+  options.domain = "net expressions";  // match the .pnet loader's error phrasing
+
+  std::size_t with_reg_code = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::string source = GenExpr(&rng, 5);
+    std::string error;
+    const auto expr = CompiledExpr::CompileSource(source, binder, &error, options);
+    ASSERT_NE(expr, nullptr) << source << ": " << error;
+    if (!expr->has_reg_code()) continue;
+    ++with_reg_code;
+    for (int trial = 0; trial < 16; ++trial) {
+      std::vector<double> attrs(3);
+      for (double& a : attrs) a = DrawAttr(&rng);
+      ExpectSame(*expr, attrs, source);
+    }
+  }
+  // Constant folding may collapse an expression to a literal, and register
+  // pressure may force the stack fall-back, but the lowering must cover
+  // the overwhelming bulk of a mixed corpus.
+  EXPECT_GT(with_reg_code, 200u);
+}
+
+TEST(ExprDiff, DivisionByZeroErrorStringsMatchTheLoader) {
+  const ExprBinder binder = [](std::string_view name) -> std::optional<ExprBinding> {
+    if (name == "a") return ExprBinding::Slot(0);
+    return std::nullopt;
+  };
+  ExprCompileOptions options;
+  options.domain = "net expressions";
+  std::string error;
+  const auto expr = CompiledExpr::CompileSource("(7 / a)", binder, &error, options);
+  ASSERT_NE(expr, nullptr) << error;
+  ASSERT_TRUE(expr->has_reg_code());
+  const auto zero = [](std::uint32_t) { return 0.0; };
+  const EvalResult stack = expr->EvalChecked(zero);
+  const EvalResult regs = expr->EvalRegsChecked(zero);
+  ASSERT_FALSE(stack.ok);
+  ASSERT_FALSE(regs.ok);
+  EXPECT_EQ(stack.error, regs.error);
+  EXPECT_NE(stack.error.find("division by zero"), std::string::npos) << stack.error;
+}
+
+}  // namespace
+}  // namespace perfiface

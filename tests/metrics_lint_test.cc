@@ -20,6 +20,7 @@
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/obs/metrics_registry.h"
+#include "src/perfscript/compile.h"
 #include "src/serve/request.h"
 #include "src/serve/service.h"
 #include "tests/exposition_parser.h"
@@ -56,11 +57,25 @@ TEST(MetricsLint, EveryEmittedFamilyIsDocumented) {
   // families), and the TCP front end (net counters).
   conv::RegisterConvShadowBackend();
   jpeg::RegisterJpegShadowBackend();
+  // None of the shipped registry expressions happens to trigger a peephole
+  // fusion, so compile one fusable shape (min-against-constant feeding a
+  // live consumer) directly to register the family.
+  {
+    std::string error;
+    const auto fused = CompiledExpr::CompileSource(
+        "min(x, 9) + y",
+        [](std::string_view name) { return ExprBinding::Slot(name == "x" ? 0 : 1); },
+        &error);
+    ASSERT_NE(fused, nullptr) << error;
+    ASSERT_TRUE(fused->has_reg_code());
+    ASSERT_NE(fused->DisassembleRegs().find("minc"), std::string::npos);
+  }
   serve::ServiceOptions options;
   options.num_workers = 2;
   options.cache_capacity = 64;
   options.shadow_sample_every = 1;
   options.enable_param_memo = true;
+  options.enable_derived = true;
   serve::PredictionService service(InterfaceRegistry::Default(), options);
   net::NetServer server(&service);
   std::string error;

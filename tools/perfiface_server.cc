@@ -34,6 +34,10 @@
 //                          (default 32)
 //   --param-max-rel-err X  running residual bound above which the model
 //                          refuses to serve (default 0.02)
+//   --derived              serve exact-memo misses from closed-form
+//                          interfaces distilled out of the compiled delay
+//                          expressions (docs/serving.md "Unified
+//                          expression IR & derived interfaces")
 //
 // Example:
 //   perfiface_server --port 7077 &
@@ -50,6 +54,7 @@
 
 #include "src/accel/conv/conv_shadow.h"
 #include "src/accel/jpeg/jpeg_shadow.h"
+#include "src/accel/protoacc/protoacc_shadow.h"
 #include "src/core/registry.h"
 #include "src/net/server.h"
 #include "src/serve/service.h"
@@ -74,7 +79,7 @@ int Usage() {
                "                        [--max-inflight N] [--shadow-every N]\n"
                "                        [--shadow-threshold X] [--shadow-seed N]\n"
                "                        [--param-memo] [--param-min-samples N]\n"
-               "                        [--param-max-rel-err X]\n");
+               "                        [--param-max-rel-err X] [--derived]\n");
   return 2;
 }
 
@@ -123,6 +128,8 @@ int Main(int argc, char** argv) {
       service_options.param_memo_min_samples = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--param-max-rel-err" && (v = value()) != nullptr) {
       service_options.param_memo_max_rel_err = std::atof(v);
+    } else if (arg == "--derived") {
+      service_options.enable_derived = true;
     } else {
       return Usage();
     }
@@ -141,6 +148,7 @@ int Main(int argc, char** argv) {
   // registering their own replay backend here.
   conv::RegisterConvShadowBackend();
   jpeg::RegisterJpegShadowBackend();
+  protoacc::RegisterProtoaccShadowBackend();
 
   serve::PredictionService service(InterfaceRegistry::Default(), service_options);
   NetServer server(&service, net_options);

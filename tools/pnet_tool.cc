@@ -2,6 +2,9 @@
 //
 //   pnet_tool lint <file.pnet>               parse + structural lint
 //   pnet_tool show <file.pnet>               summary (after `use` expansion)
+//       [--dump-expr-bytecode]  register bytecode + shape class of every
+//                               delay/guard expression (the unified IR the
+//                               sim fast path and the distiller execute)
 //   pnet_tool expand <file.pnet>             print the flattened document
 //   pnet_tool run <file.pnet> <inject place attr=v[,attr=v...] xN> ...
 //       [--observe place] [--until T]
@@ -16,12 +19,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/loc.h"
 #include "src/common/strings.h"
 #include "src/core/pnet.h"
 #include "src/obs/metrics_registry.h"
+#include "src/perfscript/compile.h"
 #include "src/obs/trace.h"
 #include "src/petri/analysis.h"
 #include "src/petri/sim.h"
@@ -32,6 +37,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pnet_tool <lint|show|expand|run> <file.pnet> [args]\n"
+               "  show args: [--dump-expr-bytecode]\n"
                "  run args: [--observe PLACE] [--until T] [--trace FILE] [--metrics]\n"
                "            inject PLACE [attr=v,attr=v...] [xN]\n");
   return 2;
@@ -62,7 +68,36 @@ int CmdLint(const std::string& path) {
   return issues.empty() ? 0 : 1;
 }
 
-int CmdShow(const std::string& path) {
+// --dump-expr-bytecode: the register form every delay/guard expression was
+// lowered onto (the same bytecode the sim fast path and the distiller
+// execute), plus its compile-time shape classification.
+void DumpExprBytecode(const LoadedNet& loaded) {
+  for (const TransitionSpec& t : loaded.net->transitions()) {
+    for (const auto& [label, compiled] :
+         {std::pair<const char*, const CompiledExpr*>{"delay", t.delay_compiled.get()},
+          std::pair<const char*, const CompiledExpr*>{"guard", t.guard_compiled.get()}}) {
+      if (compiled == nullptr) {
+        continue;
+      }
+      const CompiledExpr::Summary& s = compiled->summary();
+      const char* kind = s.kind == CompiledExpr::Summary::Kind::kConstant ? "constant"
+                         : s.kind == CompiledExpr::Summary::Kind::kAffine ? "affine"
+                                                                          : "general";
+      std::printf("  %s.%s: %s", t.name.c_str(), label, kind);
+      if (s.kind == CompiledExpr::Summary::Kind::kConstant) {
+        std::printf(" = %.17g", s.constant);
+      }
+      std::printf("\n");
+      if (compiled->has_reg_code()) {
+        std::fputs(compiled->DisassembleRegs().c_str(), stdout);
+      } else {
+        std::printf("    (stack form only)\n");
+      }
+    }
+  }
+}
+
+int CmdShow(const std::string& path, bool dump_bytecode) {
   const LoadedNet loaded = LoadOrDie(path);
   const NetSummary s = Summarize(*loaded.net);
   std::printf("net %s\n", loaded.name.c_str());
@@ -80,6 +115,9 @@ int CmdShow(const std::string& path) {
   for (const TransitionSpec& t : loaded.net->transitions()) {
     std::printf("  trans %-16s in=%zu out=%zu servers=%zu%s\n", t.name.c_str(),
                 t.inputs.size(), t.outputs.size(), t.servers, t.guard ? " guarded" : "");
+  }
+  if (dump_bytecode) {
+    DumpExprBytecode(loaded);
   }
   return 0;
 }
@@ -221,7 +259,15 @@ int Main(int argc, char** argv) {
     return CmdLint(path);
   }
   if (cmd == "show") {
-    return CmdShow(path);
+    bool dump_bytecode = false;
+    for (const std::string& arg : rest) {
+      if (arg == "--dump-expr-bytecode") {
+        dump_bytecode = true;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdShow(path, dump_bytecode);
   }
   if (cmd == "expand") {
     return CmdExpand(path);

@@ -32,6 +32,10 @@
 //                          (default 32)
 //   --param-max-rel-err X  running residual bound above which the model
 //                          refuses to serve (default 0.02)
+//   --derived              serve exact-memo misses from closed-form
+//                          interfaces distilled out of the compiled delay
+//                          expressions (docs/serving.md "Unified
+//                          expression IR & derived interfaces")
 //   --no-compile           evaluate program interfaces on the tree-walking
 //                          interpreter instead of the bytecode VM (A/B)
 //   --async                run: submit through the async SubmitBatch API
@@ -85,7 +89,7 @@ int Usage() {
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
                "         --deadline-us N --max-steps N --explain --workers N --cache N\n"
                "         --repeat N --no-memo --param-memo --param-min-samples N\n"
-               "         --param-max-rel-err X --no-compile --async --json --stats\n"
+               "         --param-max-rel-err X --derived --no-compile --async --json --stats\n"
                "         --stats-format text|json|prometheus\n"
                "         --trace FILE --trace-sample N --metrics\n"
                "         --connect HOST:PORT (query a perfiface_server over TCP)\n");
@@ -299,6 +303,10 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
     cli->service.param_memo_max_rel_err = std::atof(v);
     return 2;
   }
+  if (arg == "--derived") {
+    cli->service.enable_derived = true;
+    return 1;
+  }
   if (arg == "--no-compile") {
     cli->service.enable_psc_compile = false;
     return 1;
@@ -330,14 +338,15 @@ void PrintResponse(const PredictRequest& req, const PredictResponse& resp, bool 
       extras += StrFormat(
           ",\"explain\":{\"representation\":\"%s\",\"cache\":\"%s\","
           "\"queue_wait_ns\":%llu,\"eval_ns\":%llu,\"steps\":%llu,"
-          "\"memo_components\":%llu,\"memo_hits\":%llu,\"param_hits\":%llu,"
-          "\"deadline_limited\":%s,\"shadowed\":%s}",
+          "\"memo_components\":%llu,\"memo_hits\":%llu,\"derived_hits\":%llu,"
+          "\"param_hits\":%llu,\"deadline_limited\":%s,\"shadowed\":%s}",
           ex.representation.c_str(), ex.cache.c_str(),
           static_cast<unsigned long long>(ex.queue_wait_ns),
           static_cast<unsigned long long>(ex.eval_ns),
           static_cast<unsigned long long>(ex.steps),
           static_cast<unsigned long long>(ex.memo_components),
           static_cast<unsigned long long>(ex.memo_hits),
+          static_cast<unsigned long long>(ex.derived_hits),
           static_cast<unsigned long long>(ex.param_hits), ex.deadline_limited ? "true" : "false",
           ex.shadowed ? "true" : "false");
     }
@@ -367,13 +376,18 @@ void PrintResponse(const PredictRequest& req, const PredictResponse& resp, bool 
               resp.cache_hit ? "  [cached]" : "", trace_suffix.c_str());
   if (resp.explain.filled) {
     const ExplainInfo& ex = resp.explain;
-    std::printf("  explain: rep=%s cache=%s queue=%lluns eval=%lluns steps=%llu memo=%llu/%llu%s%s%s\n",
+    std::printf("  explain: rep=%s cache=%s queue=%lluns eval=%lluns steps=%llu memo=%llu/%llu%s%s%s%s\n",
                 ex.representation.c_str(), ex.cache.c_str(),
                 static_cast<unsigned long long>(ex.queue_wait_ns),
                 static_cast<unsigned long long>(ex.eval_ns),
                 static_cast<unsigned long long>(ex.steps),
                 static_cast<unsigned long long>(ex.memo_hits),
                 static_cast<unsigned long long>(ex.memo_components),
+                ex.derived_hits != 0
+                    ? StrFormat(" derived=%llu",
+                                static_cast<unsigned long long>(ex.derived_hits))
+                          .c_str()
+                    : "",
                 ex.param_hits != 0
                     ? StrFormat(" param=%llu", static_cast<unsigned long long>(ex.param_hits))
                           .c_str()
