@@ -357,11 +357,23 @@ void NetServer::ServeNdjson(const std::shared_ptr<Connection>& conn) {
       if (conn->inflight >= options_.max_inflight_batches) {
         lock.unlock();
         BatchesRejectedTotal().Increment();
+        // Parity with serve-layer rejections: every line echoes its own
+        // request's trace_id (already minted by FillTraceIds above) and
+        // tenant, and explain-flagged requests still get an explain block
+        // — a shared anonymous response once dropped all three, so a
+        // pipelined client could not attribute the rejections.
         std::string lines;
-        serve::PredictResponse rejected;
-        rejected.status = serve::PredictStatus::kRejected;
-        rejected.error = "too many batches in flight on this connection";
         for (std::size_t i = 0; i < requests.size(); ++i) {
+          serve::PredictResponse rejected;
+          rejected.status = serve::PredictStatus::kRejected;
+          rejected.error = "too many batches in flight on this connection";
+          rejected.trace_id = requests[i].trace_id;
+          rejected.tenant = requests[i].tenant;
+          if (requests[i].explain) {
+            rejected.explain.filled = true;
+            rejected.explain.representation = "rejected";
+            rejected.explain.cache = "not_consulted";
+          }
           EncodeResponseLine(id, i, rejected, &lines);
         }
         TimedWrite(conn.get(), lines);

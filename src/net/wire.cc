@@ -377,6 +377,10 @@ void AppendRequestJson(const serve::PredictRequest& req, std::string* out) {
   if (req.explain) {
     *out += ",\"explain\":true";
   }
+  if (!req.tenant.empty()) {
+    *out += ",\"tenant\":";
+    AppendJsonString(out, req.tenant);
+  }
   *out += '}';
 }
 
@@ -469,6 +473,16 @@ bool DecodeRequestObject(const JsonValue& obj, serve::PredictRequest* req, std::
     }
     req->explain = explain->bool_value;
   }
+  if (const JsonValue* tenant = obj.Find("tenant"); tenant != nullptr) {
+    // Bounded like trace_id: the tenant is echoed into responses and
+    // becomes a metrics label, so a hostile client must not get to inflate
+    // either arbitrarily.
+    if (tenant->kind != JsonValue::Kind::kString || tenant->str.size() > 64) {
+      *error = "'tenant' must be a string of at most 64 bytes";
+      return false;
+    }
+    req->tenant = tenant->str;
+  }
   return true;
 }
 
@@ -526,7 +540,12 @@ FrameReader::Next FrameReader::Pop(std::string* frame) {
   const std::size_t nl = buffer_.find('\n', scan_from_);
   if (nl == std::string::npos) {
     scan_from_ = buffer_.size();
-    if (buffer_.size() > max_frame_bytes_) {
+    // One byte of headroom when the buffer ends in '\r': it may be the CR
+    // of a CRLF terminator for a frame of exactly max_frame_bytes, which
+    // must not be dropped (the CR is framing, not payload).
+    const std::size_t limit =
+        max_frame_bytes_ + (!buffer_.empty() && buffer_.back() == '\r' ? 1 : 0);
+    if (buffer_.size() > limit) {
       // The frame is already too long even though its newline has not
       // arrived; switch to skip mode so the buffer cannot grow unbounded.
       buffer_.clear();
@@ -535,16 +554,18 @@ FrameReader::Next FrameReader::Pop(std::string* frame) {
     }
     return Next::kNeedMore;
   }
-  if (nl > max_frame_bytes_) {
+  // The size limit applies to the frame *content*: a trailing '\r' is
+  // framing, not payload, so it must be excluded before the check — or a
+  // CRLF client's frame of exactly max_frame_bytes would be rejected as
+  // oversized while the same bytes over LF pass.
+  const std::size_t content = nl > 0 && buffer_[nl - 1] == '\r' ? nl - 1 : nl;
+  if (content > max_frame_bytes_) {
     buffer_.erase(0, nl + 1);
     scan_from_ = 0;
     return Next::kOversized;
   }
-  frame->assign(buffer_, 0, nl);
   // Tolerate CRLF framing from line-oriented clients (telnet, printf).
-  if (!frame->empty() && frame->back() == '\r') {
-    frame->pop_back();
-  }
+  frame->assign(buffer_, 0, content);
   buffer_.erase(0, nl + 1);
   scan_from_ = 0;
   return Next::kFrame;
@@ -630,6 +651,10 @@ void EncodeResponseLine(std::uint64_t id, std::size_t index,
   if (!response.trace_id.empty()) {
     *out += ",\"trace_id\":";
     AppendJsonString(out, response.trace_id);
+  }
+  if (!response.tenant.empty()) {
+    *out += ",\"tenant\":";
+    AppendJsonString(out, response.tenant);
   }
   if (response.explain.filled) {
     const serve::ExplainInfo& ex = response.explain;
@@ -727,6 +752,10 @@ bool DecodeResponseLine(std::string_view line, WireResponse* out, std::string* e
   if (const JsonValue* trace = root.Find("trace_id");
       trace != nullptr && trace->kind == JsonValue::Kind::kString) {
     out->response.trace_id = trace->str;
+  }
+  if (const JsonValue* tenant = root.Find("tenant");
+      tenant != nullptr && tenant->kind == JsonValue::Kind::kString) {
+    out->response.tenant = tenant->str;
   }
   if (const JsonValue* explain = root.Find("explain");
       explain != nullptr && explain->kind == JsonValue::Kind::kObject) {

@@ -19,6 +19,11 @@
 // JSON integers and decoded from the raw digit text, never through double,
 // so values near INT64_MAX round-trip exactly (docs/serving.md "Wire
 // protocol" documents the full frame schema).
+//
+// Requests may carry a "tenant" string (at most 64 bytes) naming the
+// tenant for per-tenant admission quotas and metrics; it is echoed in
+// every response line and — like trace_id — excluded from cache keys
+// (docs/serving.md "Admission control & tenancy").
 #ifndef SRC_NET_WIRE_H_
 #define SRC_NET_WIRE_H_
 
@@ -118,8 +123,8 @@ bool DecodeRequestFrame(std::string_view frame, std::uint64_t* id,
                         std::vector<serve::PredictRequest>* requests, std::string* error);
 
 // Response line for requests[index] of frame `id`. Carries the response's
-// trace_id (when set) and, for explain-flagged requests, the structured
-// provenance breakdown (docs/observability.md "Explain").
+// trace_id and tenant echo (when set) and, for explain-flagged requests,
+// the structured provenance breakdown (docs/observability.md "Explain").
 void EncodeResponseLine(std::uint64_t id, std::size_t index,
                         const serve::PredictResponse& response, std::string* out);
 

@@ -1,5 +1,6 @@
 #include "src/serve/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -100,6 +101,70 @@ void ServiceMetrics::RecordStatus(CacheOutcome cache, bool deadline_exceeded, bo
   if (rejected) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ServiceMetrics::TenantAdmission* ServiceMetrics::TenantRow(const std::string& tenant) {
+  const std::string& name = tenant.empty() ? std::string("default") : tenant;
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  for (auto& [existing, row] : tenants_) {
+    if (existing == name) {
+      return row.get();
+    }
+  }
+  if (tenants_.size() >= kMaxTenantRows) {
+    for (auto& [existing, row] : tenants_) {
+      if (existing == "_other") {
+        return row.get();
+      }
+    }
+    tenants_.emplace_back("_other", std::make_unique<TenantAdmission>());
+    return tenants_.back().second.get();
+  }
+  tenants_.emplace_back(name, std::make_unique<TenantAdmission>());
+  return tenants_.back().second.get();
+}
+
+void ServiceMetrics::RecordAdmission(const std::string& tenant, AdmissionDecision decision) {
+  TenantAdmission* row = TenantRow(tenant);
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      admission_admitted_.fetch_add(1, std::memory_order_relaxed);
+      row->admitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case AdmissionDecision::kShedDeadline:
+      admission_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      row->shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case AdmissionDecision::kShedQuota:
+      admission_shed_quota_.fetch_add(1, std::memory_order_relaxed);
+      row->shed_quota.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void ServiceMetrics::RecordQueueWait(DeadlineBucket bucket, std::uint64_t wait_ns) {
+  queue_wait_[static_cast<std::size_t>(bucket)].Record(wait_ns);
+}
+
+std::vector<TenantAdmissionSnapshot> ServiceMetrics::AdmissionSnapshot() const {
+  std::vector<TenantAdmissionSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [name, row] : tenants_) {
+      TenantAdmissionSnapshot snap;
+      snap.tenant = name;
+      snap.admitted = row->admitted.load(std::memory_order_relaxed);
+      snap.shed_deadline = row->shed_deadline.load(std::memory_order_relaxed);
+      snap.shed_quota = row->shed_quota.load(std::memory_order_relaxed);
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantAdmissionSnapshot& a, const TenantAdmissionSnapshot& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
 }
 
 std::string ServiceMetrics::DumpText(std::size_t queue_depth) const {
@@ -207,6 +272,59 @@ std::string ServiceMetrics::DumpPrometheus(std::size_t queue_depth) const {
     out += StrFormat("perfiface_serve_interface_errors_total{interface=\"%s\"} %llu\n",
                      obs::EscapeLabelValue(m->interface).c_str(),
                      static_cast<unsigned long long>(m->errors.load(std::memory_order_relaxed)));
+  }
+
+  // Admission families always emit at least the "default" tenant row so
+  // dashboards (and metrics_lint_test) see the family before any shed.
+  std::vector<TenantAdmissionSnapshot> tenants = AdmissionSnapshot();
+  if (tenants.empty()) {
+    tenants.push_back(TenantAdmissionSnapshot{"default", 0, 0, 0});
+  }
+  const auto tenant_counter = [&out, &tenants](const char* name, const char* help,
+                                               std::uint64_t TenantAdmissionSnapshot::*field) {
+    out += StrFormat("# HELP %s %s\n# TYPE %s counter\n", name, help, name);
+    for (const TenantAdmissionSnapshot& t : tenants) {
+      out += StrFormat("%s{tenant=\"%s\"} %llu\n", name,
+                       obs::EscapeLabelValue(t.tenant).c_str(),
+                       static_cast<unsigned long long>(t.*field));
+    }
+  };
+  tenant_counter("perfiface_admission_admitted_total",
+                 "Requests admitted to the worker queue, by tenant",
+                 &TenantAdmissionSnapshot::admitted);
+  tenant_counter("perfiface_admission_shed_deadline_total",
+                 "Requests shed at enqueue because the deadline was infeasible, by tenant",
+                 &TenantAdmissionSnapshot::shed_deadline);
+  tenant_counter("perfiface_admission_shed_quota_total",
+                 "Requests shed at enqueue because the tenant token bucket was dry, by tenant",
+                 &TenantAdmissionSnapshot::shed_quota);
+
+  out +=
+      "# HELP perfiface_admission_queue_wait_seconds Enqueue-to-worker-pickup wait by "
+      "deadline slack band\n"
+      "# TYPE perfiface_admission_queue_wait_seconds histogram\n";
+  for (std::size_t band = 0; band < kDeadlineBucketCount; ++band) {
+    const LatencyHistogram& h = queue_wait_[band];
+    const char* name = DeadlineBucketName(static_cast<DeadlineBucket>(band));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t n = h.BucketCount(b);
+      cumulative += n;
+      if (n == 0) {
+        continue;  // elide empty buckets; cumulative semantics are preserved
+      }
+      out += StrFormat(
+          "perfiface_admission_queue_wait_seconds_bucket{bucket=\"%s\",le=\"%.9g\"} %llu\n",
+          name, static_cast<double>(LatencyHistogram::BucketUpperNs(b)) / 1e9,
+          static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat(
+        "perfiface_admission_queue_wait_seconds_bucket{bucket=\"%s\",le=\"+Inf\"} %llu\n",
+        name, static_cast<unsigned long long>(h.count()));
+    out += StrFormat("perfiface_admission_queue_wait_seconds_sum{bucket=\"%s\"} %.9g\n", name,
+                     static_cast<double>(h.sum_ns()) / 1e9);
+    out += StrFormat("perfiface_admission_queue_wait_seconds_count{bucket=\"%s\"} %llu\n",
+                     name, static_cast<unsigned long long>(h.count()));
   }
 
   out +=

@@ -13,8 +13,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/serve/admission.h"
+#include "src/serve/deadline_queue.h"
 
 namespace perfiface::serve {
 
@@ -65,6 +69,14 @@ struct InterfaceMetrics {
 // miss counter and skew the hit rate.
 enum class CacheOutcome { kHit, kMiss, kNotConsulted };
 
+// Point-in-time copy of one tenant's admission counters, for /statusz.
+struct TenantAdmissionSnapshot {
+  std::string tenant;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_quota = 0;
+};
+
 class ServiceMetrics {
  public:
   explicit ServiceMetrics(const std::vector<std::string>& interfaces);
@@ -84,6 +96,31 @@ class ServiceMetrics {
     if (hits != 0 && iface_idx < per_interface_.size()) {
       per_interface_[iface_idx]->derived_hits.fetch_add(hits, std::memory_order_relaxed);
     }
+  }
+
+  // One admission decision for `tenant` (empty = "default"). Rows are
+  // created on first sight and capped: past kMaxTenantRows distinct
+  // tenants, decisions aggregate under the "_other" row so a tenant-name
+  // flood cannot grow the scrape without bound.
+  void RecordAdmission(const std::string& tenant, AdmissionDecision decision);
+  // Queue wait (enqueue -> worker pickup) of one request, labeled by the
+  // slack band it was scheduled in.
+  void RecordQueueWait(DeadlineBucket bucket, std::uint64_t wait_ns);
+
+  std::uint64_t admission_admitted() const {
+    return admission_admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admission_shed_deadline() const {
+    return admission_shed_deadline_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admission_shed_quota() const {
+    return admission_shed_quota_.load(std::memory_order_relaxed);
+  }
+  // Sorted by tenant name; includes the "default" row once any decision
+  // has been recorded.
+  std::vector<TenantAdmissionSnapshot> AdmissionSnapshot() const;
+  const LatencyHistogram& queue_wait(DeadlineBucket bucket) const {
+    return queue_wait_[static_cast<std::size_t>(bucket)];
   }
 
   // One registry lookup, answered by the lock-free hot tier (`hot`) or by
@@ -123,7 +160,25 @@ class ServiceMetrics {
   std::string DumpPrometheus(std::size_t queue_depth) const;
 
  private:
+  static constexpr std::size_t kMaxTenantRows = 64;
+
+  struct TenantAdmission {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> shed_deadline{0};
+    std::atomic<std::uint64_t> shed_quota{0};
+  };
+
+  TenantAdmission* TenantRow(const std::string& tenant);
+
   std::vector<std::unique_ptr<InterfaceMetrics>> per_interface_;
+  // Tenant rows are pointer-stable (unique_ptr) so the hot path increments
+  // atomics outside the lock; the lock only guards map shape.
+  mutable std::mutex tenant_mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<TenantAdmission>>> tenants_;
+  LatencyHistogram queue_wait_[kDeadlineBucketCount];
+  std::atomic<std::uint64_t> admission_admitted_{0};
+  std::atomic<std::uint64_t> admission_shed_deadline_{0};
+  std::atomic<std::uint64_t> admission_shed_quota_{0};
   std::atomic<std::uint64_t> total_requests_{0};
   std::atomic<std::uint64_t> total_errors_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -60,6 +60,13 @@ struct PredictRequest {
   std::string trace_id;
   // Opt-in: fill PredictResponse::explain with the provenance breakdown.
   bool explain = false;
+
+  // Tenant name for per-tenant quotas and metrics (docs/serving.md
+  // "Admission control & tenancy"). At most 64 bytes on the wire, echoed
+  // in the response, and — like trace_id — excluded from
+  // CanonicalCacheKey: tenancy changes who is asking, not what the
+  // interface predicts. Empty means the default tenant.
+  std::string tenant;
 };
 
 enum class PredictStatus {
@@ -69,7 +76,10 @@ enum class PredictStatus {
   kDeadlineExceeded,   // expired in queue or step budget derived from the
                        // deadline exhausted mid-evaluation
   kResourceExhausted,  // explicit max_steps budget exhausted
-  kRejected,           // service shutting down
+  kRejected,           // shed at admission (tenant quota dry, deadline
+                       // infeasible at current queue depth) or service
+                       // shutting down — see docs/serving.md "Admission
+                       // control & tenancy"
 };
 
 const char* PredictStatusName(PredictStatus s);
@@ -137,6 +147,10 @@ struct PredictResponse {
   // Echo of the request's trace id (service-generated when the request
   // carried none). Always set by PredictionService, even on errors.
   std::string trace_id;
+  // Echo of the request's tenant (empty for the default tenant), so
+  // pipelined multi-tenant clients can attribute responses without
+  // re-joining against their own bookkeeping.
+  std::string tenant;
   // Provenance breakdown; filled iff the request set explain.
   ExplainInfo explain;
 

@@ -76,7 +76,8 @@ PredictionService::PredictionService(const InterfaceRegistry& registry, ServiceO
     : options_(options),
       service_start_(Clock::now()),
       cache_(options.cache_capacity, options.cache_shards),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      admission_(options.admission) {
   // Pre-parse everything the registry ships: queries never touch the
   // filesystem, the parser, or the pnet compiler.
   std::vector<std::string> names;
@@ -192,6 +193,50 @@ std::string PredictionService::StatuszJson() const {
       static_cast<unsigned long long>(options_.shadow_seed), options_.shadow_drift_threshold,
       options_.enable_span_ring ? "true" : "false");
   out += StrFormat("\"queue_depth\":%zu,", queue_depth());
+  // Admission summary: configured quotas merged with observed per-tenant
+  // decision counters, so a tenant shows up whether it has traffic, a
+  // quota, or both (docs/serving.md "Admission control & tenancy").
+  {
+    std::vector<TenantAdmissionSnapshot> rows = metrics_->AdmissionSnapshot();
+    for (const auto& [tenant, quota] : admission_.options().tenant_quotas) {
+      const std::string display = tenant.empty() ? "default" : tenant;
+      bool present = false;
+      for (const TenantAdmissionSnapshot& row : rows) {
+        present = present || row.tenant == display;
+      }
+      if (!present) {
+        rows.push_back(TenantAdmissionSnapshot{display, 0, 0, 0});
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const TenantAdmissionSnapshot& a, const TenantAdmissionSnapshot& b) {
+                return a.tenant < b.tenant;
+              });
+    out += StrFormat(
+        "\"admission\":{\"enabled\":%s,\"shed_deadline\":%s,\"pending_requests\":%llu,"
+        "\"ema_service_us\":%.3f,\"admitted\":%llu,\"shed_deadline_total\":%llu,"
+        "\"shed_quota_total\":%llu,\"tenants\":[",
+        admission_.enabled() ? "true" : "false",
+        admission_.options().shed_deadline ? "true" : "false",
+        static_cast<unsigned long long>(pending_requests_.load(std::memory_order_relaxed)),
+        static_cast<double>(ema_service_ns_.load(std::memory_order_relaxed)) / 1e3,
+        static_cast<unsigned long long>(metrics_->admission_admitted()),
+        static_cast<unsigned long long>(metrics_->admission_shed_deadline()),
+        static_cast<unsigned long long>(metrics_->admission_shed_quota()));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const TenantAdmissionSnapshot& row = rows[i];
+      const TenantQuota quota =
+          admission_.QuotaFor(row.tenant == "default" ? std::string() : row.tenant);
+      out += StrFormat(
+          "%s{\"tenant\":\"%s\",\"admitted\":%llu,\"shed_deadline\":%llu,"
+          "\"shed_quota\":%llu,\"quota_qps\":%.9g,\"quota_burst\":%.9g}",
+          i == 0 ? "" : ",", obs::EscapeLabelValue(row.tenant).c_str(),
+          static_cast<unsigned long long>(row.admitted),
+          static_cast<unsigned long long>(row.shed_deadline),
+          static_cast<unsigned long long>(row.shed_quota), quota.qps, quota.burst);
+    }
+    out += "]},";
+  }
   // Memo-vs-param attribution: occupancy/eviction pressure on the exact
   // table next to the parametric store's fit/hit/refusal totals.
   const PnetMemoTable& memo = PnetMemoTable::Global();
@@ -269,22 +314,113 @@ PredictResponse PredictionService::Predict(const PredictRequest& request) {
   return PredictBatch(std::span<const PredictRequest>(&request, 1))[0];
 }
 
-std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
-                                             PredictResponse* responses, std::size_t n,
-                                             BatchState* batch,
-                                             const std::shared_ptr<BatchState>& keepalive) {
+void PredictionService::FillRejected(const PredictRequest& request, const char* error,
+                                     PredictResponse* out) {
+  out->status = PredictStatus::kRejected;
+  out->error = error;
+  // Same provenance contract as evaluated responses: the trace id is
+  // echoed (or minted) and the tenant echoed even on the rejection path,
+  // so a pipelined multi-tenant client can attribute every line.
+  out->trace_id = request.trace_id.empty() ? GenerateTraceId() : request.trace_id;
+  out->tenant = request.tenant;
+  if (request.explain) {
+    out->explain.filled = true;
+    out->explain.representation = "rejected";
+    out->explain.cache = "not_consulted";
+  }
+}
+
+void PredictionService::EnqueueChunks(const PredictRequest* requests,
+                                      PredictResponse* responses, std::size_t n,
+                                      BatchState* batch,
+                                      const std::shared_ptr<BatchState>& keepalive) {
   const std::size_t chunk = std::max<std::size_t>(1, options_.batch_chunk);
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::SpanGuard enqueue_span("serve", "enqueue");
   enqueue_span.SetArg("requests", static_cast<double>(n));
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
+
+  const Clock::time_point now = Clock::now();
+  const std::int64_t elapsed_us =
+      static_cast<std::int64_t>(ElapsedNs(batch->submitted, now) / 1000);
+
+  // Admission pass: decide every request up front so shedding happens
+  // before any queueing (REJECTED now beats DEADLINE_EXCEEDED later). An
+  // empty `admitted` means admission is inert and everything proceeds —
+  // the per-request metrics work is skipped entirely on that hot path.
+  std::vector<bool> admitted;
+  std::vector<std::size_t> resolved_inline;  // shed here, or unqueued at shutdown
+  std::size_t shed = 0;
+  if (admission_.enabled()) {
+    obs::SpanGuard admission_span("serve", "admission");
+    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch()).count());
+    const std::uint64_t ema = ema_service_ns_.load(std::memory_order_relaxed);
+    admitted.assign(n, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PredictRequest& request = requests[i];
+      const std::int64_t remaining_us =
+          request.deadline_us > 0 ? request.deadline_us - elapsed_us : 0;
+      const AdmissionDecision decision = admission_.Decide(
+          request.tenant, remaining_us, now_ns,
+          pending_requests_.load(std::memory_order_relaxed) + (i - shed), ema,
+          workers_.size());
+      metrics_->RecordAdmission(request.tenant, decision);
+      if (decision == AdmissionDecision::kAdmit) {
+        continue;
+      }
+      admitted[i] = false;
+      ++shed;
+      resolved_inline.push_back(i);
+      FillRejected(request,
+                   decision == AdmissionDecision::kShedQuota
+                       ? "admission: tenant quota exhausted"
+                       : "admission: deadline infeasible at current queue depth",
+                   &responses[i]);
+      // Shed requests never consulted the cache: the hit/miss counters
+      // must not move.
+      metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
+                             /*rejected=*/true);
+    }
+    if (admission_span.active()) {
+      admission_span.SetArg("admitted", static_cast<double>(n - shed));
+      admission_span.SetArg("shed", static_cast<double>(shed));
+    }
+  }
+
+  // Enqueue admitted requests as contiguous runs of at most `chunk`. A run
+  // is scheduled in the slack band of its tightest deadline so one urgent
+  // request is never parked behind its chunk-mates' laxity.
+  std::size_t begin = 0;
+  while (begin < n) {
+    if (!admitted.empty() && !admitted[begin]) {
+      ++begin;
+      continue;
+    }
+    std::size_t end = begin + 1;
+    while (end < n && end - begin < chunk && (admitted.empty() || admitted[end])) {
+      ++end;
+    }
     Job job;
     job.requests = requests;
     job.responses = responses;
     job.begin = begin;
-    job.end = std::min(n, begin + chunk);
+    job.end = end;
     job.batch = batch;
     job.keepalive = keepalive;
+    job.enqueued = now;
+    std::int64_t tightest_us = 0;  // 0 = no deadline in the run
+    for (std::size_t i = begin; i < end; ++i) {
+      if (requests[i].deadline_us > 0) {
+        const std::int64_t remaining_us = requests[i].deadline_us - elapsed_us;
+        // An already-expired deadline still schedules most urgently; the
+        // worker answers it DEADLINE_EXCEEDED at dequeue.
+        const std::int64_t clamped = remaining_us < 1 ? 1 : remaining_us;
+        if (tightest_us == 0 || clamped < tightest_us) {
+          tightest_us = clamped;
+        }
+      }
+    }
+    job.bucket = ClassifyDeadline(tightest_us);
     if (tracer.enabled()) {
       // Each chunk gets a flow arrow from this enqueue span to the dequeue
       // span of whichever worker pops it (the queue-wait handoff the flat
@@ -293,11 +429,44 @@ std::size_t PredictionService::EnqueueChunks(const PredictRequest* requests,
       job.flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
       tracer.FlowBegin("serve", "queue", job.flow_id, requests[begin].trace_id);
     }
-    if (!queue_.Push(job)) {
-      return begin;
+    pending_requests_.fetch_add(end - begin, std::memory_order_relaxed);
+    if (!queue_.Push(job, job.bucket)) {
+      pending_requests_.fetch_sub(end - begin, std::memory_order_relaxed);
+      // Service shut down mid-submission: answer the unqueued tail
+      // directly (skipping indices admission already resolved). These
+      // requests never consulted the cache, so the hit/miss counters must
+      // not move (the miss counter once did, skewing the hit rate).
+      for (std::size_t i = begin; i < n; ++i) {
+        if (!admitted.empty() && !admitted[i]) {
+          continue;
+        }
+        FillRejected(requests[i], "service is shut down", &responses[i]);
+        metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
+                               /*rejected=*/true);
+        resolved_inline.push_back(i);
+      }
+      break;
+    }
+    begin = end;
+  }
+
+  if (resolved_inline.empty()) {
+    return;
+  }
+  // Stream inline-resolved responses before they are counted done: once
+  // remaining hits zero, Wait() may return and the submitter may assume
+  // every callback has finished.
+  if (batch->on_complete) {
+    for (const std::size_t i : resolved_inline) {
+      batch->on_complete(i, responses[i]);
     }
   }
-  return n;
+  std::lock_guard<std::mutex> lock(batch->mu);
+  batch->remaining -= resolved_inline.size();
+  if (batch->remaining == 0) {
+    metrics_->DecrementInflight();
+    batch->cv.notify_all();
+  }
 }
 
 std::vector<PredictResponse> PredictionService::PredictBatch(
@@ -315,28 +484,12 @@ std::vector<PredictResponse> PredictionService::PredictBatch(
   }
   metrics_->IncrementInflight();
 
-  const std::size_t first_rejected =
-      EnqueueChunks(requests.data(), responses.data(), requests.size(), &batch, nullptr);
+  // EnqueueChunks resolves shed and shutdown-rejected requests inline
+  // (response, metrics, batch accounting); everything else is queued.
+  EnqueueChunks(requests.data(), responses.data(), requests.size(), &batch, nullptr);
   if (obs::Tracer::Global().enabled()) {
     obs::Tracer::Global().Counter("serve", "queue_depth",
                                   static_cast<double>(queue_.size()));
-  }
-  if (first_rejected < requests.size()) {
-    // Service shut down mid-submission: answer the unqueued tail directly.
-    // These requests never consulted the cache, so the hit/miss counters
-    // must not move (the miss counter once did, skewing the hit rate).
-    for (std::size_t i = first_rejected; i < requests.size(); ++i) {
-      responses[i].status = PredictStatus::kRejected;
-      responses[i].error = "service is shut down";
-      metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
-                             /*rejected=*/true);
-    }
-    std::lock_guard<std::mutex> lock(batch.mu);
-    batch.remaining -= requests.size() - first_rejected;
-    if (batch.remaining == 0) {
-      metrics_->DecrementInflight();
-      return responses;
-    }
   }
 
   std::unique_lock<std::mutex> lock(batch.mu);
@@ -361,29 +514,13 @@ PredictionService::BatchHandle PredictionService::SubmitBatch(
   }
   metrics_->IncrementInflight();
 
-  const std::size_t first_rejected =
-      EnqueueChunks(state->requests.data(), state->responses.data(), n, state.get(), state);
+  // EnqueueChunks resolves shed and shutdown-rejected requests inline from
+  // this (submitting) thread — responses filled, completions streamed,
+  // batch accounting settled; everything else is queued.
+  EnqueueChunks(state->requests.data(), state->responses.data(), n, state.get(), state);
   if (obs::Tracer::Global().enabled()) {
     obs::Tracer::Global().Counter("serve", "queue_depth",
                                   static_cast<double>(queue_.size()));
-  }
-  if (first_rejected < n) {
-    // Resolve (and stream) the unqueued tail from the submitting thread.
-    for (std::size_t i = first_rejected; i < n; ++i) {
-      state->responses[i].status = PredictStatus::kRejected;
-      state->responses[i].error = "service is shut down";
-      metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/false,
-                             /*rejected=*/true);
-      if (state->on_complete) {
-        state->on_complete(i, state->responses[i]);
-      }
-    }
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->remaining -= n - first_rejected;
-    if (state->remaining == 0) {
-      metrics_->DecrementInflight();
-      state->cv.notify_all();
-    }
   }
   return BatchHandle(std::move(state));
 }
@@ -413,8 +550,21 @@ void PredictionService::WorkerLoop() {
       obs::Tracer::Global().Counter("serve", "queue_depth",
                                     static_cast<double>(queue_.size()));
     }
+    const Clock::time_point popped = Clock::now();
+    const std::uint64_t queue_wait_ns = ElapsedNs(job.enqueued, popped);
     for (std::size_t i = job.begin; i < job.end; ++i) {
-      job.responses[i] = Evaluate(job.requests[i], job.batch->submitted, &state);
+      const PredictRequest& request = job.requests[i];
+      metrics_->RecordQueueWait(job.bucket, queue_wait_ns);
+      // A deadline that expired while the chunk sat in the queue is
+      // answered here, before any cache or registry work starts — the
+      // eval-path metrics and the shadow sampler never see the request.
+      if (request.deadline_us > 0 &&
+          static_cast<std::int64_t>(ElapsedNs(job.batch->submitted, popped) / 1000) >=
+              request.deadline_us) {
+        job.responses[i] = QueueExpiredResponse(request, queue_wait_ns);
+      } else {
+        job.responses[i] = Evaluate(request, job.batch->submitted, &state);
+      }
       if (job.batch->on_complete) {
         // Stream each completion before the request is counted done: once
         // remaining hits zero, Wait() may return and the submitter may
@@ -423,6 +573,7 @@ void PredictionService::WorkerLoop() {
       }
     }
     const std::size_t done = job.end - job.begin;
+    pending_requests_.fetch_sub(done, std::memory_order_relaxed);
     {
       // Notify while still holding the mutex: the moment the submitter
       // observes remaining == 0 it may destroy the BatchState (sync
@@ -439,6 +590,38 @@ void PredictionService::WorkerLoop() {
     // Release the async batch promptly rather than at the next Pop.
     job.keepalive.reset();
   }
+}
+
+PredictResponse PredictionService::QueueExpiredResponse(const PredictRequest& request,
+                                                        std::uint64_t queue_wait_ns) {
+  PredictResponse response;
+  response.status = PredictStatus::kDeadlineExceeded;
+  response.error = "deadline expired while queued";
+  response.trace_id = request.trace_id.empty() ? GenerateTraceId() : request.trace_id;
+  response.tenant = request.tenant;
+  // The deadline counter moves (operators alert on it) but RecordRequest
+  // does not: the latency histogram and per-interface request/error
+  // counters describe evaluated traffic, and this request was never
+  // evaluated. The cache was not consulted either.
+  metrics_->RecordStatus(CacheOutcome::kNotConsulted, /*deadline_exceeded=*/true,
+                         /*rejected=*/false);
+  if (request.explain) {
+    response.explain.filled = true;
+    response.explain.representation = "expired";
+    response.explain.cache = "not_consulted";
+    response.explain.queue_wait_ns = queue_wait_ns;
+  }
+  if (options_.enable_span_ring) {
+    obs::SpanRing::Entry ring_entry;
+    ring_entry.cat = "serve";
+    ring_entry.name = "expired";
+    ring_entry.trace_id = response.trace_id;
+    ring_entry.detail = request.interface + " DEADLINE_EXCEEDED";
+    ring_entry.start_ns = obs::SpanRing::Global().NowNs();
+    ring_entry.dur_ns = 0;
+    obs::SpanRing::Global().Record(std::move(ring_entry));
+  }
+  return response;
 }
 
 PredictResponse PredictionService::Evaluate(const PredictRequest& request,
@@ -473,8 +656,20 @@ PredictResponse PredictionService::Evaluate(const PredictRequest& request,
   ShadowValidator::Outcome shadow_outcome;
   auto finish = [&](PredictResponse r) {
     r.trace_id = trace_id;
+    r.tenant = request.tenant;
     r.eval_ns = ElapsedNs(start, Clock::now());
     metrics_->RecordRequest(iface_idx, r.eval_ns, r.ok());
+    // Service-time EMA (alpha 1/8) feeding the admission feasibility
+    // estimate. Relaxed load/store: a lost update only nudges an estimate.
+    const std::uint64_t prev_ema = ema_service_ns_.load(std::memory_order_relaxed);
+    ema_service_ns_.store(
+        prev_ema == 0
+            ? r.eval_ns
+            : static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(prev_ema) +
+                  (static_cast<std::int64_t>(r.eval_ns) - static_cast<std::int64_t>(prev_ema)) /
+                      8),
+        std::memory_order_relaxed);
     metrics_->RecordDerivedHits(iface_idx, detail.derived_hits);
     metrics_->RecordParamHits(iface_idx, detail.param_hits);
     metrics_->RecordStatus(cache_outcome, r.status == PredictStatus::kDeadlineExceeded,

@@ -7,8 +7,9 @@
 // program and .pnet net (nets are also pre-compiled to flat CompiledNet
 // form), and answers queries through a fixed worker pool:
 //
-//   clients ──Predict/PredictBatch/SubmitBatch──▶ bounded MPMC queue
-//                                          │       (request chunks)
+//   clients ──Predict/PredictBatch/SubmitBatch──▶ admission control ──▶
+//                                          │       deadline-bucketed MPMC
+//                                          │       queue (request chunks)
 //                             workers (one Interpreter per thread per
 //                             program — interpreters are stateful and are
 //                             never shared) ──▶ sharded LRU cache
@@ -48,9 +49,10 @@
 #include "src/core/registry.h"
 #include "src/perfscript/vm.h"
 #include "src/petri/compiled_net.h"
+#include "src/serve/admission.h"
+#include "src/serve/deadline_queue.h"
 #include "src/serve/lru_cache.h"
 #include "src/serve/metrics.h"
-#include "src/serve/mpmc_queue.h"
 #include "src/serve/request.h"
 #include "src/serve/shadow.h"
 
@@ -118,14 +120,20 @@ struct ServiceOptions {
   // obs::SpanRing behind GET /tracez. Cheap (a mutex + small copies), but
   // can be disabled for closed-loop microbenchmarks.
   bool enable_span_ring = true;
+  // Admission control (docs/serving.md "Admission control & tenancy"):
+  // per-tenant token-bucket quotas plus optional deadline-feasibility
+  // shedding, applied at enqueue so overload is rejected early instead of
+  // timing out in the queue. Defaults admit everything.
+  AdmissionOptions admission;
 };
 
 // Per-request completion callback for the async API: invoked once per
 // request, from a worker thread, with the request's index in submission
 // order, as soon as that request resolves (streaming — not batched at the
 // end). May be invoked from the submitting thread for requests rejected at
-// submission (service shutting down). Must not block for long: it runs on
-// the worker that would otherwise be evaluating.
+// submission (shed by admission control, or service shutting down). Must
+// not block for long: it runs on the worker that would otherwise be
+// evaluating.
 using StreamCallback = std::function<void(std::size_t index, const PredictResponse& response)>;
 
 class PredictionService {
@@ -262,6 +270,11 @@ class PredictionService {
     // worker picks it up (trace flow arrow). 0 = tracing was off at
     // submission, no flow recorded.
     std::uint64_t flow_id = 0;
+    // Slack band the chunk was scheduled in (tightest deadline of its
+    // requests at enqueue) and when it entered the queue, for the
+    // queue-wait-by-band histograms.
+    DeadlineBucket bucket = DeadlineBucket::kNone;
+    Clock::time_point enqueued{};
   };
 
   // Per-worker evaluation state: one Interpreter (and one bytecode Vm, for
@@ -288,11 +301,24 @@ class PredictionService {
   };
 
   void WorkerLoop();
-  // Splits [0, n) into chunks and enqueues them; returns the index of the
-  // first request that could not be queued (n when all were accepted).
-  std::size_t EnqueueChunks(const PredictRequest* requests, PredictResponse* responses,
-                            std::size_t n, BatchState* batch,
-                            const std::shared_ptr<BatchState>& keepalive);
+  // Runs admission over [0, n), resolves shed (and, on shutdown, unqueued)
+  // requests inline — response filled, metrics charged, completion
+  // streamed, batch accounting settled — and enqueues admitted requests as
+  // contiguous chunks. After it returns, every request is either queued or
+  // already resolved.
+  void EnqueueChunks(const PredictRequest* requests, PredictResponse* responses,
+                     std::size_t n, BatchState* batch,
+                     const std::shared_ptr<BatchState>& keepalive);
+  // Fills a REJECTED response with the trace-id/tenant echo and
+  // explain-presence parity every evaluated response gets.
+  static void FillRejected(const PredictRequest& request, const char* error,
+                           PredictResponse* out);
+  // DEADLINE_EXCEEDED for a request whose deadline expired while queued:
+  // detected at dequeue, before any cache/registry work, charging the
+  // deadline counter but not the eval-path latency/request metrics or the
+  // shadow sampler.
+  PredictResponse QueueExpiredResponse(const PredictRequest& request,
+                                       std::uint64_t queue_wait_ns);
   const Entry* FindEntry(const std::string& name) const;
   PredictResponse Evaluate(const PredictRequest& request, Clock::time_point submitted,
                            WorkerState* state);
@@ -316,7 +342,14 @@ class PredictionService {
   std::unique_ptr<ShadowValidator> shadow_;
   Clock::time_point service_start_{};
   ShardedLruCache cache_;
-  BoundedQueue<Job> queue_;
+  DeadlineQueue<Job> queue_;
+  AdmissionController admission_;
+  // Admitted-but-unfinished requests and a relaxed EMA of per-request
+  // service time, feeding the deadline-feasibility estimate (predicted
+  // wait = pending x ema / workers). Racy lost EMA updates are fine — it
+  // is an estimate, and the atomics keep it TSan-clean.
+  std::atomic<std::uint64_t> pending_requests_{0};
+  std::atomic<std::uint64_t> ema_service_ns_{0};
   std::atomic<std::uint64_t> next_flow_id_{1};
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;

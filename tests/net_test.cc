@@ -491,6 +491,222 @@ TEST(NetServer, BackpressureSurfacesAsRejectedLines) {
   }
 }
 
+// Regression: the oversized check ran against the newline offset before
+// the CRLF strip, so a frame of exactly max_frame_bytes was kOversized
+// when CRLF-terminated but kFrame when LF-terminated. The boundary must
+// be on *payload* bytes for both terminators, at every split point.
+TEST(FrameReader, FrameOfExactlyMaxBytesPopsForBothTerminators) {
+  const std::string payload(8, 'a');
+  for (const char* terminator : {"\n", "\r\n"}) {
+    FrameReader reader(8);
+    const std::string stream = payload + terminator;
+    std::vector<std::string> frames;
+    for (const char c : stream) {  // byte-at-a-time: every recv split
+      reader.Append(&c, 1);
+      std::string frame;
+      while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+        frames.push_back(frame);
+      }
+    }
+    ASSERT_EQ(frames.size(), 1u) << "terminator " << (terminator[0] == '\n' ? "LF" : "CRLF");
+    EXPECT_EQ(frames[0], payload);
+  }
+}
+
+TEST(FrameReader, FrameOfMaxPlusOneBytesIsOversizedForBothTerminators) {
+  const std::string payload(9, 'a');
+  for (const char* terminator : {"\n", "\r\n"}) {
+    FrameReader reader(8);
+    const std::string stream = payload + terminator + "ok\n";
+    std::size_t oversized = 0;
+    std::vector<std::string> frames;
+    for (const char c : stream) {
+      reader.Append(&c, 1);
+      std::string frame;
+      for (;;) {
+        const FrameReader::Next next = reader.Pop(&frame);
+        if (next == FrameReader::Next::kOversized) {
+          ++oversized;
+        } else if (next == FrameReader::Next::kFrame) {
+          frames.push_back(frame);
+        } else {
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(oversized, 1u);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], "ok");  // resynchronized after the bad frame
+  }
+}
+
+TEST(FrameReader, PendingCarriageReturnAtCapIsNotCountedAgainstPayload) {
+  // max_frame_bytes of payload plus a buffered '\r' with no '\n' yet: the
+  // CR may turn out to be CRLF framing, so the reader must keep waiting
+  // instead of entering oversized-skip mode and eating the frame.
+  FrameReader reader(8);
+  const std::string head = std::string(8, 'b') + "\r";
+  std::string frame;
+  for (const char c : head) {
+    reader.Append(&c, 1);
+    EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore);
+  }
+  reader.Append("\n", 1);
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame, std::string(8, 'b'));
+}
+
+TEST(WireCodec, TenantRoundTripsThroughFrameAndResponseLine) {
+  PredictRequest req = JpegRequest(65536, 0.2);
+  req.tenant = "acme-prod";
+  std::string frame;
+  EncodeRequestFrame(11, {req}, &frame);
+  EXPECT_NE(frame.find("\"tenant\":\"acme-prod\""), std::string::npos) << frame;
+
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequestFrame(std::string_view(frame).substr(0, frame.size() - 1), &id,
+                                 &decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].tenant, "acme-prod");
+
+  PredictResponse resp;
+  resp.status = PredictStatus::kOk;
+  resp.value = 1.5;
+  resp.tenant = "acme-prod";
+  std::string line;
+  EncodeResponseLine(11, 0, resp, &line);
+  WireResponse wire;
+  ASSERT_TRUE(
+      DecodeResponseLine(std::string_view(line).substr(0, line.size() - 1), &wire, &error))
+      << error;
+  EXPECT_EQ(wire.response.tenant, "acme-prod");
+}
+
+TEST(WireCodec, TenantOverSixtyFourBytesIsRejected) {
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  const std::string frame = "{\"id\":1,\"requests\":[{\"interface\":\"x\",\"tenant\":\"" +
+                            std::string(65, 't') + "\"}]}";
+  EXPECT_FALSE(DecodeRequestFrame(frame, &id, &decoded, &error));
+  EXPECT_NE(error.find("tenant"), std::string::npos) << error;
+}
+
+// Regression: the single-object "requests" shorthand must decode through
+// the same field set as the array form — tenant and trace_id used to be
+// easy to lose when the two paths diverge.
+TEST(WireCodec, SingleObjectShorthandKeepsTenantAndTraceId) {
+  std::uint64_t id = 0;
+  std::vector<PredictRequest> decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequestFrame(
+      R"({"id":4,"requests":{"interface":"jpeg_decoder","function":"f",)"
+      R"("tenant":"acme","trace_id":"cafe0123"}})",
+      &id, &decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].tenant, "acme");
+  EXPECT_EQ(decoded[0].trace_id, "cafe0123");
+}
+
+// Regression for the backpressure path: serve-layer rejections echo the
+// request's trace_id/tenant and honor `explain`, but the net-layer
+// REJECTED lines used to ship bare (same status, none of the provenance),
+// so a pipelining client could not match shed lines to its requests.
+TEST(NetServer, BackpressureRejectionsCarryTraceTenantAndExplain) {
+  NetServerOptions nopts;
+  nopts.max_inflight_batches = 0;  // every frame is over the window
+  TestServer ts(TwoWorkers(), nopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  ASSERT_TRUE(client.SendRaw(
+      "{\"id\":6,\"requests\":["
+      "{\"interface\":\"jpeg_decoder\",\"function\":\"latency_jpeg_decode\","
+      "\"attrs\":{\"orig_size\":65536,\"compress_rate\":0.2},"
+      "\"trace_id\":\"feed0001\",\"tenant\":\"acme\",\"explain\":true},"
+      "{\"interface\":\"jpeg_decoder\",\"function\":\"latency_jpeg_decode\","
+      "\"attrs\":{\"orig_size\":1024,\"compress_rate\":0.5},\"tenant\":\"acme\"}]}\n",
+      &error))
+      << error;
+  for (std::size_t i = 0; i < 2; ++i) {
+    WireResponse wire;
+    ASSERT_TRUE(client.ReadResponse(&wire, &error)) << error;
+    ASSERT_FALSE(wire.malformed);
+    EXPECT_EQ(wire.id, 6u);
+    EXPECT_EQ(wire.response.status, PredictStatus::kRejected);
+    EXPECT_NE(wire.response.error.find("in flight"), std::string::npos);
+    // Every rejection line is attributable: trace id (client-sent or
+    // server-minted) and tenant echo, like serve-layer rejections.
+    EXPECT_FALSE(wire.response.trace_id.empty()) << wire.index;
+    EXPECT_EQ(wire.response.tenant, "acme") << wire.index;
+    if (wire.index == 0) {
+      EXPECT_EQ(wire.response.trace_id, "feed0001");
+      // The explain-flagged request gets the same presence contract as a
+      // serve-layer shed: filled, with rejection provenance.
+      EXPECT_TRUE(wire.response.explain.filled);
+      EXPECT_EQ(wire.response.explain.representation, "rejected");
+      EXPECT_EQ(wire.response.explain.cache, "not_consulted");
+    } else {
+      EXPECT_FALSE(wire.response.explain.filled);
+    }
+  }
+}
+
+TEST(NetServer, TenantEchoesThroughLoopbackAndAdmissionShedsOverQuota) {
+  // Quota-only admission over the wire: a dry token bucket surfaces as a
+  // REJECTED line naming the quota, with the tenant echoed; the admission
+  // counters and the /statusz tenant block both move.
+  serve::ServiceOptions sopts = TwoWorkers();
+  serve::TenantQuota quota;
+  quota.qps = 0.001;  // refills far too slowly to matter mid-test
+  quota.burst = 2;
+  sopts.admission.tenant_quotas.emplace_back("acme", quota);
+  TestServer ts(sopts);
+  ASSERT_TRUE(ts.ok);
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.server.port(), &error)) << error;
+  std::vector<PredictRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    PredictRequest req = JpegRequest(65536 + i, 0.2);
+    req.tenant = "acme";
+    batch.push_back(req);
+  }
+  std::vector<PredictResponse> responses;
+  ASSERT_TRUE(client.Call(batch, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), 4u);
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (const PredictResponse& r : responses) {
+    EXPECT_EQ(r.tenant, "acme");
+    if (r.status == PredictStatus::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status, PredictStatus::kRejected);
+      EXPECT_NE(r.error.find("quota"), std::string::npos) << r.error;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2u);  // the burst
+  EXPECT_EQ(shed, 2u);
+  EXPECT_EQ(ts.service.metrics().admission_shed_quota(), 2u);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", ts.server.port(), "/statusz", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"admission\""), std::string::npos);
+  EXPECT_NE(body.find("\"tenant\":\"acme\""), std::string::npos) << body;
+}
+
 TEST(NetServer, ConnectionCapRefusesExtraClients) {
   NetServerOptions nopts;
   nopts.max_connections = 1;

@@ -38,6 +38,13 @@
 //                          interfaces distilled out of the compiled delay
 //                          expressions (docs/serving.md "Unified
 //                          expression IR & derived interfaces")
+//   --quota T=QPS[:BURST]  token-bucket quota for tenant T (repeatable;
+//                          T "*" sets the default quota for tenants
+//                          without an explicit entry); over-quota
+//                          requests are shed with REJECTED at enqueue
+//                          (docs/serving.md "Admission control & tenancy")
+//   --admission            also shed requests whose deadline cannot be
+//                          met at the current queue depth
 //
 // Example:
 //   perfiface_server --port 7077 &
@@ -79,8 +86,33 @@ int Usage() {
                "                        [--max-inflight N] [--shadow-every N]\n"
                "                        [--shadow-threshold X] [--shadow-seed N]\n"
                "                        [--param-memo] [--param-min-samples N]\n"
-               "                        [--param-max-rel-err X] [--derived]\n");
+               "                        [--param-max-rel-err X] [--derived]\n"
+               "                        [--quota TENANT=QPS[:BURST]] [--admission]\n");
   return 2;
+}
+
+// Parses "tenant=qps[:burst]" (tenant "*" = the default quota). False on
+// any malformed piece.
+bool ParseQuotaFlag(const char* text, std::string* tenant, serve::TenantQuota* quota) {
+  const std::string s = text;
+  const std::size_t eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *tenant = s.substr(0, eq);
+  std::string rate = s.substr(eq + 1);
+  quota->burst = 0.0;
+  if (const std::size_t colon = rate.find(':'); colon != std::string::npos) {
+    char* end = nullptr;
+    quota->burst = std::strtod(rate.c_str() + colon + 1, &end);
+    if (end == rate.c_str() + colon + 1 || *end != '\0' || quota->burst <= 0) {
+      return false;
+    }
+    rate.resize(colon);
+  }
+  char* end = nullptr;
+  quota->qps = std::strtod(rate.c_str(), &end);
+  return end != rate.c_str() && *end == '\0' && quota->qps > 0;
 }
 
 int Main(int argc, char** argv) {
@@ -130,6 +162,19 @@ int Main(int argc, char** argv) {
       service_options.param_memo_max_rel_err = std::atof(v);
     } else if (arg == "--derived") {
       service_options.enable_derived = true;
+    } else if (arg == "--quota" && (v = value()) != nullptr) {
+      std::string tenant;
+      serve::TenantQuota quota;
+      if (!ParseQuotaFlag(v, &tenant, &quota)) {
+        return Usage();
+      }
+      if (tenant == "*") {
+        service_options.admission.default_quota = quota;
+      } else {
+        service_options.admission.tenant_quotas.emplace_back(tenant, quota);
+      }
+    } else if (arg == "--admission") {
+      service_options.admission.shed_deadline = true;
     } else {
       return Usage();
     }

@@ -16,12 +16,21 @@
 //   --entry SPEC           pnet: comma-separated place[:count] injection
 //                          plan (default: first place, `--tokens` copies)
 //   --deadline-us N        per-request deadline
+//   --tenant NAME          tenant name sent with every request (≤64 bytes;
+//                          echoed in responses, drives per-tenant
+//                          admission quotas; docs/serving.md "Admission
+//                          control & tenancy")
 //   --max-steps N          per-request step/firing budget
 //   --explain              request the per-response provenance breakdown
 //                          (representation, cache outcome, queue/eval time;
 //                          docs/observability.md "Explain")
 //   --workers N            worker threads (default: hardware concurrency)
 //   --cache N              cache capacity in entries (0 disables)
+//   --quota T=QPS[:BURST]  in-process: token-bucket quota for tenant T
+//                          (repeatable; "*" sets the default quota) —
+//                          over-quota requests come back REJECTED
+//   --admission            in-process: shed requests whose deadline is
+//                          infeasible at the current queue depth
 //   --repeat N             run: repeat the query file N times (cache demo)
 //   --no-memo              disable the cross-request sub-net memo table
 //                          (docs/serving.md)
@@ -87,7 +96,8 @@ int Usage() {
                "       serve_tool query <interface> <function|-> [k=v ...] [options]\n"
                "       serve_tool run <query-file> [options]\n"
                "options: --rep program|pnet --children N --tokens N --entry SPEC\n"
-               "         --deadline-us N --max-steps N --explain --workers N --cache N\n"
+               "         --deadline-us N --tenant NAME --max-steps N --explain\n"
+               "         --workers N --cache N --quota T=QPS[:BURST] --admission\n"
                "         --repeat N --no-memo --param-memo --param-min-samples N\n"
                "         --param-max-rel-err X --derived --no-compile --async --json --stats\n"
                "         --stats-format text|json|prometheus\n"
@@ -111,6 +121,30 @@ struct CliOptions {
   bool metrics = false;
   std::string connect;  // HOST:PORT; empty = in-process service
 };
+
+// Parses "tenant=qps[:burst]" (tenant "*" = the default quota). False on
+// any malformed piece.
+bool ParseQuotaSpec(const char* text, std::string* tenant, TenantQuota* quota) {
+  const std::string s = text;
+  const std::size_t eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *tenant = s.substr(0, eq);
+  std::string rate = s.substr(eq + 1);
+  quota->burst = 0.0;
+  if (const std::size_t colon = rate.find(':'); colon != std::string::npos) {
+    char* end = nullptr;
+    quota->burst = std::strtod(rate.c_str() + colon + 1, &end);
+    if (end == rate.c_str() + colon + 1 || *end != '\0' || quota->burst <= 0) {
+      return false;
+    }
+    rate.resize(colon);
+  }
+  char* end = nullptr;
+  quota->qps = std::strtod(rate.c_str(), &end);
+  return end != rate.c_str() && *end == '\0' && quota->qps > 0;
+}
 
 // Splits "HOST:PORT"; false if the port is missing or out of range.
 bool ParseHostPort(const std::string& spec, std::string* host, std::uint16_t* port) {
@@ -267,6 +301,10 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
     req->deadline_us = std::atoll(v);
     return 2;
   }
+  if (arg == "--tenant" && value(&v)) {
+    req->tenant = v;
+    return 2;
+  }
   if (arg == "--max-steps" && value(&v)) {
     req->max_steps = static_cast<std::uint64_t>(std::atoll(v));
     return 2;
@@ -286,6 +324,23 @@ std::size_t ParseOption(const std::vector<std::string>& args, std::size_t i,
   if (arg == "--repeat" && value(&v)) {
     cli->repeat = std::atoi(v);
     return 2;
+  }
+  if (arg == "--quota" && value(&v)) {
+    std::string tenant;
+    TenantQuota quota;
+    if (!ParseQuotaSpec(v, &tenant, &quota)) {
+      return 0;
+    }
+    if (tenant == "*") {
+      cli->service.admission.default_quota = quota;
+    } else {
+      cli->service.admission.tenant_quotas.emplace_back(tenant, quota);
+    }
+    return 2;
+  }
+  if (arg == "--admission") {
+    cli->service.admission.shed_deadline = true;
+    return 1;
   }
   if (arg == "--no-memo") {
     cli->service.enable_pnet_memo = false;
